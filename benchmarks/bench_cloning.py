@@ -1,0 +1,71 @@
+"""E7 — Section 5 cloning observations.
+
+Claims measured:
+
+1. the cloning variant keeps n/2 agents and log n steps but drops the
+   move count to exactly n - 1 (each tree edge crossed once);
+2. cloning gives **no** advantage to Algorithm CLEAN — a clone-per-dispatch
+   version of CLEAN would employ n/2 + 1 agents, *more* than Theorem 2's
+   reuse-based team (checked from d >= 4 where the asymptotics bite).
+"""
+
+from repro.analysis import formulas
+from repro.analysis.verify import verify_schedule
+from repro.core.strategy import get_strategy
+from repro.protocols.cloning_protocol import run_cloning_protocol
+from repro.sim.scheduling import RandomDelay
+
+DIMS = list(range(1, 11))
+
+
+def measure():
+    strategy = get_strategy("cloning")
+    out = {}
+    for d in DIMS:
+        schedule = strategy.run(d)
+        assert verify_schedule(schedule).ok
+        out[d] = (schedule.team_size, schedule.total_moves, schedule.makespan)
+    return out
+
+
+def test_cloning_claims(benchmark, report):
+    measured = benchmark(measure)
+
+    lines = [
+        f"{'d':>3} {'n':>6} {'agents':>7} {'moves':>7} {'n-1':>6} {'steps':>6} "
+        f"{'CLEAN team':>11} {'CLEAN+cloning':>14}"
+    ]
+    for d in DIMS:
+        agents, moves, steps = measured[d]
+        assert agents == formulas.cloning_agents(d) == (1 << d) // 2
+        assert moves == (1 << d) - 1
+        assert steps == d
+        clean_team = formulas.clean_peak_agents(d)
+        clean_cloning = formulas.clean_with_cloning_agents(d)
+        if d >= 4:
+            assert clean_cloning > clean_team  # cloning hurts Algorithm CLEAN
+        lines.append(
+            f"{d:>3} {1 << d:>6} {agents:>7} {moves:>7} {(1 << d) - 1:>6} {steps:>6} "
+            f"{clean_team:>11} {clean_cloning:>14}"
+        )
+
+    # moves strictly below every other strategy from d >= 3
+    for d in (4, 8):
+        assert measured[d][1] < formulas.visibility_moves_exact(d)
+        assert measured[d][1] < formulas.clean_agent_moves_exact(d)
+
+    report("cloning", "\n".join(lines))
+
+
+def test_cloning_protocol_async(benchmark):
+    """The engine run with real CloneSelf actions matches n - 1 moves under
+    random delays."""
+    d = 5
+
+    def run():
+        return run_cloning_protocol(d, delay=RandomDelay(seed=13))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.ok
+    assert result.total_moves == (1 << d) - 1
+    assert result.team_size == (1 << d) // 2

@@ -1,0 +1,32 @@
+"""Perf — discrete-event engine throughput (regression tracking).
+
+Not a paper artifact: tracks the simulator's own performance so substrate
+regressions show up in the benchmark history.  Measures events/second on
+the visibility protocol (the wake-heavy worst case: every agent blocks on
+a squad predicate) and on the cloning protocol (spawn-heavy).
+"""
+
+from repro.protocols.cloning_protocol import run_cloning_protocol
+from repro.protocols.visibility_protocol import run_visibility_protocol
+
+
+def test_engine_throughput_visibility(benchmark):
+    result = benchmark(run_visibility_protocol, 6)
+    assert result.ok
+    assert result.event_count > 0
+
+
+def test_engine_throughput_cloning(benchmark):
+    result = benchmark(run_cloning_protocol, 7)
+    assert result.ok
+    assert result.team_size == 64
+
+
+def test_engine_throughput_random_delays(benchmark):
+    from repro.sim.scheduling import RandomDelay
+
+    def run():
+        return run_visibility_protocol(5, delay=RandomDelay(seed=1))
+
+    result = benchmark(run)
+    assert result.ok

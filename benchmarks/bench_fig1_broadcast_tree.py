@@ -1,0 +1,49 @@
+"""F1 — Figure 1: the broadcast tree T(6) of H_6.
+
+Regenerates the figure (tree rendering + level/type census) and checks the
+structural facts its caption encodes: the tree is the heap queue T(6)
+(Definition 1), Property 1's type census and Property 2's leaf census hold
+at every level.
+"""
+
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.heap_queue import HeapQueue
+from repro.topology.hypercube import Hypercube
+from repro.viz.tree_render import render_broadcast_tree, render_level_table
+
+FIGURE_DIMENSION = 6  # the paper draws T(6)
+
+
+def build_and_validate(d: int) -> BroadcastTree:
+    tree = BroadcastTree(Hypercube(d))
+    tree.validate()
+    return tree
+
+
+def test_fig1_broadcast_tree(benchmark, report):
+    tree = benchmark(build_and_validate, FIGURE_DIMENSION)
+
+    # Definition 1: the tree is the heap queue T(6)
+    assert HeapQueue(FIGURE_DIMENSION).isomorphic_to_broadcast_tree(tree)
+
+    # Property 1 / Property 2 censuses at every level
+    for level in range(FIGURE_DIMENSION + 1):
+        assert tree.type_census(level) == tree.type_census_formula(level)
+    assert len(tree.leaves()) == 32  # 2^{d-1} leaves, all in C_d
+
+    rendered = (
+        render_broadcast_tree(tree, show_bitstring=False)
+        + "\n\n"
+        + render_level_table(tree)
+    )
+    report("fig1_broadcast_tree_T6", rendered)
+    # the figure shows the root T(6) and, per Property 1, one node of each
+    # type T(0)..T(5) at level 1
+    assert "T(6)" in rendered
+    assert tree.type_census(1) == {k: 1 for k in range(6)}
+
+
+def test_fig1_scales_to_larger_cubes(benchmark):
+    """The construction is near-linear: building+validating H_9's tree."""
+    tree = benchmark(build_and_validate, 9)
+    assert tree.n == 512

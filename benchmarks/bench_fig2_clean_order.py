@@ -1,0 +1,58 @@
+"""F2 — Figure 2: the order in which Algorithm CLEAN decontaminates H_4.
+
+Regenerates the figure's node numbering (first-visit ranks) and checks its
+defining structure: strictly sequential cleaning, level by level, visiting
+level 1 in the root's child order and each deeper level grouped by parent
+in increasing (lexicographic) order — the order Lemma 1 requires.
+"""
+
+from repro.analysis.verify import verify_schedule
+from repro.core.strategy import get_strategy
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+from repro.viz.order_render import render_cleaning_order
+
+FIGURE_DIMENSION = 4  # the paper draws H_4
+
+
+def generate_and_verify(d: int):
+    schedule = get_strategy("clean").run(d)
+    report = verify_schedule(schedule)
+    assert report.ok
+    return schedule
+
+
+def test_fig2_clean_order(benchmark, report):
+    schedule = benchmark(generate_and_verify, FIGURE_DIMENSION)
+    h = Hypercube(FIGURE_DIMENSION)
+    tree = BroadcastTree(h)
+
+    order = schedule.first_visit_order()
+    assert order[0] == 0  # the homebase is "1" in the figure
+    assert sorted(order) == list(range(16))
+
+    # level by level ...
+    levels = [h.level(x) for x in order]
+    assert levels == sorted(levels)
+    # ... level 1 in the root's child order T(3), T(2), T(1), T(0)
+    assert [x for x in order if h.level(x) == 1] == [1, 2, 4, 8]
+    # ... deeper levels grouped by parent, parents in increasing order
+    for level in (2, 3):
+        nodes = [x for x in order if h.level(x) == level]
+        parents = [tree.parent(x) for x in nodes]
+        assert parents == sorted(parents)
+
+    report("fig2_clean_order_H4", render_cleaning_order(schedule))
+
+
+def test_fig2_sequentiality(benchmark):
+    """CLEAN is sequential: at most one *deploying* traversal per time unit
+    (dispatch/return traffic may overlap the synchronizer's walk)."""
+    schedule = benchmark(generate_and_verify, FIGURE_DIMENSION)
+    from repro.core.schedule import MoveKind
+
+    per_time = {}
+    for m in schedule.moves:
+        if m.kind is MoveKind.DEPLOY:
+            per_time.setdefault(m.time, []).append(m)
+    assert all(len(moves) == 1 for moves in per_time.values())

@@ -1,0 +1,65 @@
+"""A6 — ablation: localized quarantine-and-clean vs full re-sweeps.
+
+Section 1.1 argues cleaning overhead must stay small next to the normal
+network load.  This bench sweeps incident sizes on ``H_d`` and compares
+the localized operation (guard the quarantine line, sweep only the
+infected zone) against the full-network sweeps: traffic scales with the
+incident, not with ``n log n``.
+"""
+
+from repro.core.strategy import get_strategy
+from repro.sim.quarantine import quarantine_and_clean
+from repro.topology.generic import hypercube_graph
+
+DIMENSION = 6
+
+
+def grow_incident(graph, size: int, start: int):
+    """A connected infected patch of the requested size (BFS ball)."""
+    patch = {start}
+    frontier = [start]
+    while frontier and len(patch) < size:
+        node = frontier.pop(0)
+        for y in graph.neighbors(node):
+            if y not in patch and len(patch) < size:
+                patch.add(y)
+                frontier.append(y)
+    return patch
+
+
+def sweep_incident_sizes():
+    graph = hypercube_graph(DIMENSION)
+    start = graph.n - 1  # incidents grow from the corner farthest from 0
+    rows = {}
+    for size in (1, 2, 4, 8, 16):
+        report = quarantine_and_clean(graph, grow_incident(graph, size, start))
+        assert report.ok
+        rows[size] = (report.total_agents, report.sweep_team, report.moves)
+    return rows
+
+
+def test_quarantine_locality(benchmark, report):
+    rows = benchmark.pedantic(sweep_incident_sizes, rounds=1, iterations=1)
+
+    full_clean = get_strategy("clean").run(DIMENSION)
+    full_vis = get_strategy("visibility").run(DIMENSION)
+
+    lines = [
+        f"incidents on H_{DIMENSION} (n={1 << DIMENSION}); full sweeps: "
+        f"clean {full_clean.total_moves} moves, visibility {full_vis.total_moves} moves",
+        f"{'|C|':>4} {'agents':>7} {'sweepers':>9} {'moves':>6} {'vs full clean':>14}",
+    ]
+    previous_moves = 0
+    for size, (agents, sweepers, moves) in rows.items():
+        assert moves < full_clean.total_moves
+        assert moves >= previous_moves  # cost grows with the incident
+        previous_moves = moves
+        lines.append(
+            f"{size:>4} {agents:>7} {sweepers:>9} {moves:>6} "
+            f"{moves / full_clean.total_moves:>13.1%}"
+        )
+
+    # the headline: a quarter-cube incident still costs a fraction of a
+    # full sweep's traffic
+    assert rows[16][2] < full_clean.total_moves / 3
+    report("quarantine_locality", "\n".join(lines))

@@ -1,0 +1,86 @@
+"""T1 — the Section 1.3 / Section 5 strategy comparison table.
+
+| Strategy    | Agents                    | Time       | Moves      |
+|-------------|---------------------------|------------|------------|
+| CLEAN       | O(n / log n) [see E1]     | O(n log n) | O(n log n) |
+| VISIBILITY  | n/2                       | log n      | O(n log n) |
+| CLONING     | n/2                       | log n      | n - 1      |
+| SYNCHRONOUS | n/2                       | log n      | O(n log n) |
+
+The bench regenerates all four rows for a sweep of dimensions, verifies
+every schedule, checks the exact columns exactly and the asymptotic
+columns by bounded-ratio shape.
+"""
+
+from repro.analysis import formulas
+from repro.analysis.asymptotics import is_bounded_ratio
+from repro.analysis.verify import verify_schedule
+from repro.core.strategy import get_strategy
+
+DIMS = list(range(2, 10))
+NAMES = ["clean", "visibility", "cloning", "synchronous"]
+
+
+def build_table():
+    rows = {}
+    for name in NAMES:
+        strategy = get_strategy(name)
+        for d in DIMS:
+            schedule = strategy.run(d)
+            assert verify_schedule(schedule).ok
+            rows[(name, d)] = (
+                schedule.team_size,
+                schedule.total_moves,
+                schedule.makespan,
+            )
+    return rows
+
+
+def render_table(rows) -> str:
+    lines = [
+        f"{'d':>3} {'n':>5} | " + " | ".join(f"{n:^24}" for n in NAMES),
+        f"{'':>3} {'':>5} | " + " | ".join(f"{'agents/moves/steps':^24}" for _ in NAMES),
+    ]
+    for d in DIMS:
+        cells = [
+            f"{rows[(n, d)][0]:>7}/{rows[(n, d)][1]:>7}/{rows[(n, d)][2]:>6}"
+            for n in NAMES
+        ]
+        lines.append(f"{d:>3} {1 << d:>5} | " + " | ".join(f"{c:^24}" for c in cells))
+    return "\n".join(lines)
+
+
+def test_table1_summary(benchmark, report):
+    rows = benchmark(build_table)
+
+    for d in DIMS:
+        # exact columns
+        assert rows[("visibility", d)] == (
+            formulas.visibility_agents(d),
+            formulas.visibility_moves_exact(d),
+            d,
+        )
+        assert rows[("cloning", d)] == (
+            formulas.cloning_agents(d),
+            formulas.cloning_moves(d),
+            d,
+        )
+        assert rows[("synchronous", d)] == rows[("visibility", d)]
+        assert rows[("clean", d)][0] == formulas.clean_peak_agents(d)
+
+    # asymptotic columns: O(n log n) moves for clean/visibility/synchronous
+    for name in ("clean", "visibility", "synchronous"):
+        moves = [rows[(name, d)][1] for d in DIMS]
+        assert is_bounded_ratio(DIMS, moves, lambda d: (1 << d) * d)
+    # clean's time O(n log n); visibility's time exactly log n
+    times = [rows[("clean", d)][2] for d in DIMS]
+    assert is_bounded_ratio(DIMS, times, lambda d: (1 << d) * d)
+
+    # who wins: visibility is ~ sqrt(log n) / 2 times hungrier in agents but
+    # a factor ~ n faster; cloning wins moves outright
+    d = DIMS[-1]
+    assert rows[("visibility", d)][2] < rows[("clean", d)][2]
+    assert rows[("clean", d)][0] < rows[("visibility", d)][0]
+    assert rows[("cloning", d)][1] < rows[("visibility", d)][1]
+
+    report("table1_summary", render_table(rows))

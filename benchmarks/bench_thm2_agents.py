@@ -1,0 +1,55 @@
+"""E1 — Theorem 2 + Lemmas 3/4: CLEAN's team size.
+
+Measures the team hired by the simulated strategy across dimensions and
+checks it equals the proof-internal closed form
+``max(d+1, max_l [C(d,l+1) + C(d-1,l-1) + 1])`` exactly, that the
+per-level extra-agent requests match Lemma 3, that the maximizing levels
+are the central ones (Lemma 4), and that the asymptotic order is
+``Theta(C(d, d/2))`` — the paper labels this ``O(n / log n)``; the
+measured growth exponent (``~ n / sqrt(log n)``) is recorded in the
+report and discussed in EXPERIMENTS.md.
+"""
+
+from repro.analysis import formulas
+from repro.analysis.asymptotics import fit_growth
+from repro.analysis.counting import central_binomial
+from repro.core.strategy import get_strategy
+
+DIMS = list(range(1, 11))
+
+
+def measure_teams():
+    strategy = get_strategy("clean")
+    out = {}
+    for d in DIMS:
+        schedule = strategy.run(d)
+        out[d] = (schedule.team_size, dict(schedule.metadata["extras_per_level"]))
+    return out
+
+
+def test_thm2_team_size(benchmark, report):
+    measured = benchmark(measure_teams)
+
+    lines = [f"{'d':>3} {'n':>6} {'team':>6} {'formula':>8} {'n/log n':>9} {'C(d,d/2)':>9}"]
+    for d in DIMS:
+        team, extras = measured[d]
+        assert team == formulas.clean_peak_agents(d)
+        for level, count in extras.items():
+            assert count == formulas.extra_agents_for_level(d, level)
+        lines.append(
+            f"{d:>3} {1 << d:>6} {team:>6} {formulas.clean_peak_agents(d):>8} "
+            f"{formulas.n_over_log_n(d):>9.1f} {central_binomial(d):>9}"
+        )
+
+    # Lemma 4: for even d the peak is at l = d/2 - 1 and l = d/2
+    for d in (6, 8, 10):
+        assert set(formulas.clean_peak_agents_maximizers(d)) == {d // 2 - 1, d // 2}
+
+    # growth: Theta(n / sqrt(log n)) — exponent of log should be ~ -0.5
+    dims = list(range(4, 18))
+    fit = fit_growth(dims, [formulas.clean_peak_agents(d) for d in dims])
+    assert abs(fit.exponent_n - 1.0) < 0.05
+    assert -0.8 < fit.exponent_log < -0.3
+    lines.append(f"growth fit: {fit.describe()}")
+    lines.append("paper label: O(n / log n); measured order: n / sqrt(log n)")
+    report("thm2_agents", "\n".join(lines))

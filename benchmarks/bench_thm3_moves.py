@@ -1,0 +1,64 @@
+"""E2 — Theorem 3: CLEAN performs O(n log n) moves.
+
+Measures both components of the theorem's decomposition across dimensions:
+
+* agent moves — exact: ``sum_l 2 l C(d-1, l-1) = (n/2)(log n + 1)``;
+* synchronizer moves — bounded by the four-part accounting (return trips,
+  level entries, intra-level navigation, tree-edge escorts), with the
+  escort part exact at ``2 (n - 1)``.
+
+The total's O(n log n) shape is checked by bounded ratio against n log n.
+"""
+
+from repro.analysis import formulas
+from repro.analysis.asymptotics import fit_growth, is_bounded_ratio
+from repro.core.schedule import MoveKind
+from repro.core.states import AgentRole
+from repro.core.strategy import get_strategy
+
+DIMS = list(range(2, 11))
+
+
+def measure_moves():
+    strategy = get_strategy("clean")
+    out = {}
+    for d in DIMS:
+        schedule = strategy.run(d)
+        roles = schedule.moves_by_role()
+        kinds = schedule.moves_by_kind()
+        out[d] = {
+            "agent": roles[AgentRole.AGENT],
+            "sync": roles[AgentRole.SYNCHRONIZER],
+            "escort": kinds[MoveKind.ESCORT],
+            "total": schedule.total_moves,
+        }
+    return out
+
+
+def test_thm3_move_decomposition(benchmark, report):
+    measured = benchmark(measure_moves)
+
+    lines = [
+        f"{'d':>3} {'n':>6} {'agent':>7} {'=(n/2)(d+1)':>12} {'sync':>7} "
+        f"{'<=bound':>8} {'escort':>7} {'=2(n-1)':>8} {'total':>8}"
+    ]
+    for d in DIMS:
+        m = measured[d]
+        exact_agent = formulas.clean_agent_moves_exact(d)
+        sync_bound = formulas.clean_sync_moves_upper_bound(d)
+        escort_exact = formulas.clean_sync_escort_moves(d)
+        assert m["agent"] == exact_agent
+        assert m["sync"] <= sync_bound
+        assert m["escort"] == escort_exact
+        assert m["total"] <= formulas.clean_total_moves_upper_bound(d)
+        lines.append(
+            f"{d:>3} {1 << d:>6} {m['agent']:>7} {exact_agent:>12} {m['sync']:>7} "
+            f"{sync_bound:>8} {m['escort']:>7} {escort_exact:>8} {m['total']:>8}"
+        )
+
+    totals = [measured[d]["total"] for d in DIMS]
+    assert is_bounded_ratio(DIMS, totals, lambda d: (1 << d) * d)
+    fit = fit_growth(DIMS, totals)
+    assert abs(fit.exponent_n - 1.0) < 0.15
+    lines.append(f"total-moves growth fit: {fit.describe()} (paper: O(n log n))")
+    report("thm3_moves", "\n".join(lines))

@@ -1,0 +1,62 @@
+"""E3 — Theorem 4: CLEAN takes O(n log n) ideal time.
+
+"The cleaning process is carried out sequentially by the synchronizer; the
+time required is then equal to the number of moves of the synchronizer" —
+we measure the schedule makespan (with the concurrent dispatch/return
+traffic overlapped) and check it is Theta(synchronizer moves) and
+O(n log n), and additionally confirm the asynchronous protocol's makespan
+under unit delays lands in the same order.
+"""
+
+from repro.analysis.asymptotics import fit_growth, is_bounded_ratio
+from repro.core.states import AgentRole
+from repro.core.strategy import get_strategy
+
+DIMS = list(range(2, 11))
+
+
+def measure_makespans():
+    strategy = get_strategy("clean")
+    out = {}
+    for d in DIMS:
+        schedule = strategy.run(d)
+        out[d] = (
+            schedule.makespan,
+            schedule.moves_by_role()[AgentRole.SYNCHRONIZER],
+        )
+    return out
+
+
+def test_thm4_ideal_time(benchmark, report):
+    measured = benchmark(measure_makespans)
+
+    lines = [f"{'d':>3} {'n':>6} {'makespan':>9} {'sync moves':>11} {'ratio':>7}"]
+    for d in DIMS:
+        makespan, sync_moves = measured[d]
+        # sequential coordination: the synchronizer's walk dominates time
+        assert sync_moves <= makespan <= 3 * sync_moves + 2 * d
+        lines.append(
+            f"{d:>3} {1 << d:>6} {makespan:>9} {sync_moves:>11} "
+            f"{makespan / max(1, sync_moves):>7.3f}"
+        )
+
+    spans = [measured[d][0] for d in DIMS]
+    assert is_bounded_ratio(DIMS, spans, lambda d: (1 << d) * d)
+    fit = fit_growth(DIMS, spans)
+    # finite-size bias pulls the exponent slightly below 1 on d <= 10
+    assert abs(fit.exponent_n - 1.0) < 0.2
+    lines.append(f"makespan growth fit: {fit.describe()} (paper: O(n log n))")
+    report("thm4_time", "\n".join(lines))
+
+
+def test_thm4_protocol_agrees(benchmark):
+    """The whiteboard protocol under unit delays has makespan of the same
+    order as the schedule plane (coordination overhead is a constant
+    factor)."""
+    from repro.protocols.clean_protocol import run_clean_protocol
+
+    d = 4
+    result = benchmark.pedantic(run_clean_protocol, args=(d,), rounds=1, iterations=1)
+    plane = get_strategy("clean").run(d).makespan
+    assert result.ok
+    assert plane <= result.makespan <= 6 * plane

@@ -1,0 +1,52 @@
+"""E6 — Theorem 8: the visibility strategy performs O(n log n) moves.
+
+Exact check against both accountings of the proof — per-leaf
+(``sum_l l C(d-1, l-1) = (n/4)(log n + 1)``) and per-edge (squad sizes
+summed over tree edges) — plus the O(n log n) shape and the protocol
+plane's agreement under randomized delays.
+"""
+
+from repro.analysis import formulas
+from repro.analysis.asymptotics import fit_growth, is_bounded_ratio
+from repro.core.strategy import get_strategy
+from repro.protocols.visibility_protocol import run_visibility_protocol
+from repro.sim.scheduling import RandomDelay
+
+DIMS = list(range(1, 12))
+
+
+def measure_moves():
+    strategy = get_strategy("visibility")
+    return {d: strategy.run(d).total_moves for d in DIMS}
+
+
+def test_thm8_moves(benchmark, report):
+    measured = benchmark(measure_moves)
+
+    lines = [f"{'d':>3} {'n':>6} {'moves':>8} {'(n/4)(d+1)':>11} {'per-edge':>9}"]
+    for d in DIMS:
+        exact = formulas.visibility_moves_exact(d)
+        by_edges = formulas.visibility_moves_by_edges(d)
+        assert measured[d] == exact == by_edges
+        lines.append(f"{d:>3} {1 << d:>6} {measured[d]:>8} {exact:>11} {by_edges:>9}")
+
+    values = [measured[d] for d in DIMS]
+    assert is_bounded_ratio(DIMS, values, lambda d: (1 << d) * d)
+    fit = fit_growth(DIMS, values)
+    assert abs(fit.exponent_n - 1.0) < 0.1
+    lines.append(f"growth fit: {fit.describe()} (paper: O(n log n))")
+    report("thm8_moves", "\n".join(lines))
+
+
+def test_thm8_protocol_move_count_invariant(benchmark):
+    """The move count is delay-independent: random asynchrony cannot change
+    it (each tree edge carries a fixed squad)."""
+
+    def run_three_seeds():
+        return [
+            run_visibility_protocol(5, delay=RandomDelay(seed=s)).total_moves
+            for s in (1, 2, 3)
+        ]
+
+    counts = benchmark.pedantic(run_three_seeds, rounds=1, iterations=1)
+    assert counts == [formulas.visibility_moves_exact(5)] * 3

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one paper artifact (figure, table, or theorem
+quantity), asserts the paper's claim about it (exact where the paper is
+exact, shape where the paper is asymptotic), times the underlying
+computation with pytest-benchmark, and writes the rendered artifact to
+``benchmarks/reports/<name>.txt`` so EXPERIMENTS.md can quote it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture()
+def report():
+    """Write a rendered artifact to benchmarks/reports/<name>.txt."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Decontaminate an arbitrary enterprise network (beyond the hypercube).
+
+The paper's strategies are hypercube-specific; the library's generic layer
+(`repro.search.frontier_sweep` + `repro.protocols.frontier_protocol`) works
+on any connected topology.  This example builds a small "enterprise"
+network — a backbone ring of routers, departmental stars hanging off it,
+and a server-room clique — and cleans it twice:
+
+1. schedule plane: deterministic frontier sweep, verified move by move;
+2. protocol plane: real agents with visibility + whiteboards on the
+   asynchronous engine, chasing a pack of walker intruders.
+
+Run:  python examples/arbitrary_network.py
+"""
+
+import sys
+
+from repro.analysis.verify import ScheduleVerifier
+from repro.protocols import run_frontier_protocol
+from repro.search.frontier_sweep import bfs_boundary_width, frontier_sweep_schedule
+from repro.sim.scenarios import enterprise_network
+from repro.sim.scheduling import RandomDelay
+
+
+def main() -> int:
+    # backbone ring of 4 routers, three departmental stars, a server clique
+    net = enterprise_network(routers=4, hosts_per_department=3, servers=3)
+    print(f"Network '{net.name}': {net.n} hosts, {len(net.edges())} links")
+    print(f"BFS boundary width from host 0: {bfs_boundary_width(net)}\n")
+
+    print("=== schedule plane: deterministic sweep, exact verification ===")
+    schedule = frontier_sweep_schedule(net)
+    report = ScheduleVerifier(net).verify(schedule)
+    report.raise_if_failed()
+    print(report.summary())
+    print(f"visit order: {report.first_visit_order}\n")
+
+    print("=== protocol plane: live agents, random delays, 3 intruders ===")
+    result = run_frontier_protocol(
+        net, delay=RandomDelay(seed=11), intruder="walkers", intruder_count=3,
+    )
+    print(result.summary())
+    if not result.ok:
+        raise SystemExit("the sweep failed -- should be impossible")
+
+    print(
+        f"\n{result.team_size} agents decontaminated all {net.n} hosts in "
+        f"{result.makespan:.1f} time units ({result.total_moves} moves); "
+        "every intruder was cornered."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

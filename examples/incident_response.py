@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Incident response: quarantine and clean a partial infection.
+
+Mid-incident, a cleaning service rarely re-sweeps the whole network
+(Section 1.1's overhead concern): it knows *which* hosts are compromised,
+stations guards on the quarantine line around them, and sweeps only the
+infected zone.  This example stages an infection on ``H_6``, contains it,
+cleans it, and compares the cost against a full Algorithm-CLEAN sweep.
+
+Run:  python examples/incident_response.py [dimension]
+"""
+
+import sys
+
+from repro.core.strategy import get_strategy
+from repro.sim.quarantine import quarantine_and_clean, quarantine_line
+from repro.topology.generic import hypercube_graph
+
+
+def main() -> int:
+    d = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    g = hypercube_graph(d)
+    top = g.n - 1
+
+    # the infection: a corner subcube (the top node and its lower neighbours)
+    infected = {top} | {top ^ (1 << i) for i in range(3)}
+    print(f"Incident on H_{d} ({g.n} hosts): {sorted(infected)} compromised\n")
+
+    line = quarantine_line(g, infected)
+    print(f"Quarantine line: {len(line)} guard posts: {sorted(line)}")
+
+    report = quarantine_and_clean(g, infected)
+    if not report.ok:
+        raise SystemExit("containment failed — should be impossible")
+    print(
+        f"Swept the zone with {report.sweep_team} agents in {report.moves} moves; "
+        f"monotone={report.monotone}, captured={report.intruder_captured}\n"
+    )
+
+    full = get_strategy("clean").run(d)
+    print("Cost comparison:")
+    print(f"  localized response : {report.total_agents} agents, {report.moves} sweep moves")
+    print(f"  full CLEAN sweep   : {full.team_size} agents, {full.total_moves} moves")
+    print(
+        f"\nThe localized operation used {report.moves / full.total_moves:.1%} of the "
+        "full sweep's traffic — §1.1's overhead argument, quantified."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Overhead study: the Section 1.1 cost trade-off, measured.
+
+The paper motivates its efficiency metrics with network operations: "these
+techniques would have to use as few agents as possible and these agents
+would have to perform as few moves as possible so that the cleaning
+overhead would not be too important compared to the normal load of the
+network."  This example measures exactly that operational overhead:
+
+1. per-host and per-link traffic of each protocol (where do the sweeps
+   concentrate load?), via the telemetry module;
+2. agent waiting time (idle agents are wasted capacity);
+3. the amortized cost of a *periodic* cleaning service (the paper's
+   suggested deployment), with a rotating homebase to spread the wear.
+
+Run:  python examples/overhead_study.py [dimension]
+"""
+
+import sys
+
+from repro.protocols import (
+    run_clean_protocol,
+    run_cloning_protocol,
+    run_visibility_protocol,
+)
+from repro.sim.reinfection import PeriodicCleaning
+from repro.sim.telemetry import analyze_trace
+
+
+def main() -> int:
+    dimension = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    n = 1 << dimension
+
+    print(f"=== one-shot sweep overhead on H_{dimension} ({n} hosts) ===\n")
+    for name, runner in (
+        ("visibility", run_visibility_protocol),
+        ("cloning", run_cloning_protocol),
+        ("clean", run_clean_protocol),
+    ):
+        result = runner(dimension)
+        assert result.ok, result.summary()
+        telemetry = analyze_trace(result.trace)
+        print(f"--- {name} ---")
+        print(telemetry.describe())
+        print(f"overhead      : {telemetry.traffic_overhead_per_node(n):.2f} moves/host")
+        print()
+
+    print(f"=== periodic cleaning service (8 periods, rotating homebase) ===\n")
+    service = PeriodicCleaning(
+        dimension=dimension,
+        strategy="cloning",  # the cheapest sweep: n - 1 moves
+        rotate_homebase=True,
+        seeds_per_period=2,
+        rng_seed=42,
+    )
+    service.run(8)
+    print(service.describe())
+
+    print(
+        "\nTakeaway: the cloning sweep amortizes to < 1 move per host per "
+        "period — the paper's 'cleaning overhead' stays below one traversal "
+        "of the normal per-host load."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Quickstart: clean a hypercube with both of the paper's strategies.
+
+Generates the schedule of Algorithm ``CLEAN`` (the coordinated strategy)
+and of ``CLEAN WITH VISIBILITY`` (the local strategy) on ``H_4``, verifies
+the contiguous/monotone/capture invariants by exact replay, and prints the
+paper's three efficiency measures side by side.
+
+Run:  python examples/quickstart.py [dimension]
+"""
+
+import sys
+
+from repro import compute_metrics, get_strategy, verify_schedule
+
+
+def main() -> int:
+    dimension = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    print(f"Cleaning the {dimension}-dimensional hypercube (n = {1 << dimension} nodes)\n")
+
+    for name in ("clean", "visibility"):
+        strategy = get_strategy(name)
+        schedule = strategy.run(dimension)
+
+        # Replay the schedule against the exact contamination dynamics with
+        # an omniscient intruder co-simulated.
+        report = verify_schedule(schedule)
+        report.raise_if_failed()
+
+        print(f"=== {name} ===")
+        print(compute_metrics(schedule).describe())
+        print(report.summary())
+        print()
+
+    print("Both strategies clean the network monotonically and capture the intruder.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Strategy comparison: the paper's Section 1.3 / Section 5 table, measured.
+
+Generates every strategy (the two algorithms, the two Section 5 variants,
+and our naive level-sweep baseline) across a range of dimensions, verifies
+each schedule, and prints agents / moves / ideal time next to the paper's
+closed forms and asymptotic labels.
+
+Run:  python examples/strategy_comparison.py [max_dimension]
+"""
+
+import sys
+
+from repro import formulas, get_strategy, verify_schedule
+from repro.analysis.asymptotics import fit_growth
+
+
+def main() -> int:
+    max_d = int(sys.argv[1]) if len(sys.argv) > 1 else 9
+    dims = list(range(2, max_d + 1))
+    names = ["clean", "visibility", "cloning", "synchronous", "level-sweep"]
+
+    print(f"{'d':>3} {'n':>5} | " + " | ".join(f"{name:^22}" for name in names))
+    print(f"{'':>3} {'':>5} | " + " | ".join(f"{'agents/moves/steps':^22}" for _ in names))
+    print("-" * (12 + 25 * len(names)))
+
+    measured = {name: {"agents": [], "moves": [], "steps": []} for name in names}
+    for d in dims:
+        cells = []
+        for name in names:
+            schedule = get_strategy(name).run(d)
+            report = verify_schedule(schedule)
+            report.raise_if_failed()
+            measured[name]["agents"].append(schedule.team_size)
+            measured[name]["moves"].append(schedule.total_moves)
+            measured[name]["steps"].append(schedule.makespan)
+            cells.append(
+                f"{schedule.team_size:>6}/{schedule.total_moves:>7}/{schedule.makespan:>6}"
+            )
+        print(f"{d:>3} {1 << d:>5} | " + " | ".join(f"{c:^22}" for c in cells))
+
+    print("\nPaper's predictions (exact closed forms where the paper gives them):")
+    d = dims[-1]
+    print(f"  d={d}: CLEAN agents  = C(d,l+1)+C(d-1,l-1)+1 peak = {formulas.clean_peak_agents(d)}")
+    print(f"        CLEAN agent moves = (n/2)(log n + 1)     = {formulas.clean_agent_moves_exact(d)}")
+    print(f"        visibility agents = n/2                  = {formulas.visibility_agents(d)}")
+    print(f"        visibility steps  = log n                = {formulas.visibility_time_steps(d)}")
+    print(f"        visibility moves  = (n/4)(log n + 1)     = {formulas.visibility_moves_exact(d)}")
+    print(f"        cloning moves     = n - 1                = {formulas.cloning_moves(d)}")
+
+    print("\nEmpirical growth fits (value ~ c * n^a * (log n)^b):")
+    for name in names:
+        fit = fit_growth(dims, measured[name]["moves"])
+        print(f"  {name:<12} moves  ~ {fit.describe()}")
+    for name in ("clean", "visibility"):
+        fit = fit_growth(dims, measured[name]["agents"])
+        print(f"  {name:<12} agents ~ {fit.describe()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

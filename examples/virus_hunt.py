@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Virus hunt: chase a concrete adversarial intruder through a real
+asynchronous network simulation.
+
+This is the paper's motivating scenario (Section 1.1): a hostile piece of
+software moves arbitrarily fast between hosts, always fleeing toward the
+contaminated region farthest from the pursuing agents.  We run the
+``CLEAN WITH VISIBILITY`` protocol — genuine autonomous agents on the
+discrete-event engine, with random per-action delays — against a
+:class:`~repro.sim.intruder.WalkerIntruder`, and print the chase as it
+unfolds.
+
+Run:  python examples/virus_hunt.py [dimension] [seed]
+"""
+
+import sys
+
+from repro.sim.engine import Engine
+from repro.sim.intruder import WalkerIntruder
+from repro.sim.scheduling import RandomDelay
+from repro.analysis.formulas import visibility_agents
+from repro.protocols.visibility_protocol import visibility_agent
+from repro.topology.hypercube import Hypercube
+
+
+def main() -> int:
+    dimension = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    h = Hypercube(dimension)
+    team = visibility_agents(dimension)
+    print(
+        f"Hunting a virus in H_{dimension} ({h.n} hosts) with {team} agents, "
+        f"random delays (seed {seed})\n"
+    )
+
+    engine = Engine(
+        h,
+        [visibility_agent] * team,
+        delay=RandomDelay(seed=seed),
+        visibility=True,
+        intruder="walker",
+        intruder_seed=seed,
+    )
+    # Peek at the walker to narrate the chase.
+    walker: WalkerIntruder = engine.intruder
+    print(f"The intruder starts hiding at host {walker.position} "
+          f"[{h.bitstring(walker.position)}]")
+
+    result = engine.run()
+
+    print(f"\nIntruder trajectory ({len(walker.trajectory)} hops):")
+    trail = " -> ".join(str(x) for x in walker.trajectory)
+    print(f"  {trail}")
+    print(f"\nCaptured: {walker.captured}")
+    print(result.summary())
+    if not result.ok:
+        raise SystemExit("the hunt failed -- this should be impossible (Theorem 6)")
+
+    print(
+        f"\nThe sweep visited all {h.n} hosts in {result.makespan:.2f} time units "
+        f"and {result.total_moves} moves; the virus had nowhere left to hide."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""repro — reproduction of *Contiguous Search in the Hypercube for
+Capturing an Intruder* (Flocchini, Huang, Luccio; IPPS 2005).
+
+A team of asynchronous software agents, starting from one homebase, must
+decontaminate a hypercube network so that an arbitrarily fast, omniscient
+intruder can never re-enter cleaned territory.  This package implements the
+paper's two strategies (the coordinated ``CLEAN`` and the local
+``CLEAN WITH VISIBILITY``), its two Section 5 variants (cloning,
+synchronous), the full substrate they run on (hypercube topology, broadcast
+tree, whiteboards, an asynchronous discrete-event agent engine, exact
+contamination dynamics and intruder), the closed-form complexity results,
+verification of the contiguous/monotone/capture invariants, and baselines
+for comparison.
+
+Quickstart
+----------
+>>> from repro import Hypercube, get_strategy, verify_schedule
+>>> schedule = get_strategy("visibility").run(dimension=4)
+>>> report = verify_schedule(schedule)
+>>> report.ok
+True
+>>> (schedule.team_size, schedule.total_moves, schedule.makespan)
+(8, 20, 4)
+"""
+
+from repro.analysis import formulas
+from repro.analysis.verify import ScheduleVerifier, VerificationReport, verify_schedule
+from repro.core import (
+    CleanStrategy,
+    CloningStrategy,
+    Move,
+    MoveKind,
+    Schedule,
+    Strategy,
+    StrategyMetrics,
+    SynchronousStrategy,
+    VisibilityStrategy,
+    available_strategies,
+    compute_metrics,
+    get_strategy,
+)
+from repro.core.states import AgentRole, NodeState
+from repro.errors import ReproError
+from repro.sim import (
+    AdversarialSlowestDelay,
+    ContaminationMap,
+    Engine,
+    RandomDelay,
+    SimResult,
+    UnitDelay,
+)
+from repro.topology import BroadcastTree, HeapQueue, Hypercube
+
+__version__ = "1.0.0"
+__paper__ = (
+    "Flocchini, Huang, Luccio — Contiguous Search in the Hypercube for "
+    "Capturing an Intruder (IPPS 2005)"
+)
+
+__all__ = [
+    "Hypercube",
+    "BroadcastTree",
+    "HeapQueue",
+    "NodeState",
+    "AgentRole",
+    "Move",
+    "MoveKind",
+    "Schedule",
+    "Strategy",
+    "get_strategy",
+    "available_strategies",
+    "CleanStrategy",
+    "VisibilityStrategy",
+    "CloningStrategy",
+    "SynchronousStrategy",
+    "StrategyMetrics",
+    "compute_metrics",
+    "ScheduleVerifier",
+    "VerificationReport",
+    "verify_schedule",
+    "ContaminationMap",
+    "Engine",
+    "SimResult",
+    "UnitDelay",
+    "RandomDelay",
+    "AdversarialSlowestDelay",
+    "formulas",
+    "ReproError",
+    "__version__",
+    "__paper__",
+]

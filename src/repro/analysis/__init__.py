@@ -1,0 +1,40 @@
+"""Analysis layer: the paper's closed forms, verification, asymptotics.
+
+* :mod:`~repro.analysis.counting` — binomial identities and censuses the
+  proofs rely on.
+* :mod:`~repro.analysis.formulas` — every numbered result of the paper
+  (Lemma 3 through Theorem 8 and the Section 5 observations) as a callable
+  closed form.
+* :mod:`~repro.analysis.verify` — the schedule verifier: replays a
+  schedule against the contamination dynamics and checks the contiguous
+  monotone node-search invariants plus intruder capture.
+* :mod:`~repro.analysis.asymptotics` — empirical growth-rate fitting used
+  by the benches to check the paper's ``O(...)`` claims by shape.
+"""
+
+from repro.analysis.asymptotics import fit_growth, growth_ratio_table
+from repro.analysis.formulas import (
+    clean_agent_moves_exact,
+    clean_peak_agents,
+    extra_agents_for_level,
+    visibility_agents,
+    visibility_moves_exact,
+    visibility_time_steps,
+)
+from repro.analysis.lower_bounds import monotone_agents_lower_bound
+from repro.analysis.verify import ScheduleVerifier, VerificationReport, verify_schedule
+
+__all__ = [
+    "ScheduleVerifier",
+    "VerificationReport",
+    "verify_schedule",
+    "clean_peak_agents",
+    "extra_agents_for_level",
+    "clean_agent_moves_exact",
+    "visibility_agents",
+    "visibility_time_steps",
+    "visibility_moves_exact",
+    "fit_growth",
+    "growth_ratio_table",
+    "monotone_agents_lower_bound",
+]

@@ -1,0 +1,105 @@
+"""Binomial identities and censuses underlying the paper's proofs.
+
+These are the arithmetic facts the complexity proofs lean on (Section 3.2.1
+cites them as "known results"); each is implemented directly so the tests
+can confirm the identity on every small instance rather than trusting it.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Dict, List
+
+__all__ = [
+    "binomial",
+    "level_sizes",
+    "sum_of_level_sizes",
+    "leaves_at_level",
+    "total_leaves",
+    "weighted_leaf_sum",
+    "type_count_at_level",
+    "nodes_of_type_census",
+    "vandermonde_sum",
+    "central_binomial",
+]
+
+
+def binomial(n: int, k: int) -> int:
+    """``C(n, k)`` with the usual convention ``C(n, k) = 0`` for ``k < 0``
+    or ``k > n`` (the proofs use this convention explicitly)."""
+    if k < 0 or n < 0 or k > n:
+        return 0
+    return comb(n, k)
+
+
+def level_sizes(d: int) -> List[int]:
+    """``[C(d, l) for l in 0..d]`` — nodes per level of :math:`H_d`."""
+    return [binomial(d, l) for l in range(d + 1)]
+
+
+def sum_of_level_sizes(d: int) -> int:
+    """:math:`\\sum_l C(d, l) = 2^d` (the identity used in Theorem 3)."""
+    return sum(level_sizes(d))
+
+
+def leaves_at_level(d: int, level: int) -> int:
+    """``C(d-1, level-1)`` — broadcast-tree leaves at ``level`` (Property 2).
+
+    For ``d == 0``, the single node is a leaf at level 0.
+    """
+    if d == 0:
+        return 1 if level == 0 else 0
+    return binomial(d - 1, level - 1)
+
+
+def total_leaves(d: int) -> int:
+    """:math:`\\sum_l C(d-1, l-1) = 2^{d-1}` leaves in total (``1`` for d=0)."""
+    return sum(leaves_at_level(d, l) for l in range(d + 1))
+
+
+def weighted_leaf_sum(d: int) -> int:
+    """:math:`\\sum_l l \\cdot C(d-1, l-1) = (d+1) 2^{d-2}` (Theorem 3).
+
+    This is half the exact agent-move count of Algorithm ``CLEAN`` and the
+    exact move count of the visibility strategy (Theorem 8).  For ``d < 2``
+    the closed form ``(d+1)*2**(d-2)`` is fractional, so the sum is
+    returned directly (d=0: 0, d=1: 1).
+    """
+    return sum(l * leaves_at_level(d, l) for l in range(d + 1))
+
+
+def type_count_at_level(d: int, k: int, level: int) -> int:
+    """Number of type-``T(k)`` broadcast-tree nodes at ``level`` (Property 1).
+
+    ``C(d-k-1, level-1)`` for ``level > 0``; level 0 holds the unique
+    ``T(d)`` root.
+    """
+    if level == 0:
+        return 1 if k == d else 0
+    return binomial(d - k - 1, level - 1)
+
+
+def nodes_of_type_census(d: int, level: int) -> Dict[int, int]:
+    """``{k: count}`` of node types at ``level`` (nonzero entries only)."""
+    if level == 0:
+        return {d: 1}
+    out = {}
+    for k in range(0, d - level + 1):
+        c = type_count_at_level(d, k, level)
+        if c:
+            out[k] = c
+    return out
+
+
+def vandermonde_sum(d: int, L: int) -> int:
+    """:math:`\\sum_i C(i, 1) C(d-2-i, L) = C(d-1, L+2)` (Lemma 3's (4)).
+
+    Returns the left-hand side computed directly; the test suite checks it
+    equals ``C(d-1, L+2)``.
+    """
+    return sum(binomial(i, 1) * binomial(d - 2 - i, L) for i in range(0, d - 1))
+
+
+def central_binomial(d: int) -> int:
+    """``C(d, ceil(d/2))`` — the dominant term of Theorem 2's agent count."""
+    return binomial(d, (d + 1) // 2)

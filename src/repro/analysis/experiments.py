@@ -1,0 +1,365 @@
+"""Programmatic experiment registry: every EXPERIMENTS.md entry as a call.
+
+``run_experiment("E4")`` regenerates one paper artifact and returns an
+:class:`ExperimentResult` with the rendered rows and a pass/fail verdict;
+``run_all()`` sweeps the lot.  This is the library-level twin of the bench
+suite (the benches add wall-clock timing on top), used by the CLI's
+``experiment`` subcommand and handy for notebooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis import formulas
+from repro.analysis.asymptotics import fit_growth, is_bounded_ratio
+from repro.analysis.verify import verify_schedule
+from repro.core.states import AgentRole
+from repro.core.strategy import get_strategy
+from repro.errors import ReproError
+
+__all__ = ["ExperimentResult", "run_experiment", "run_all", "experiment_ids"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of regenerating one paper artifact."""
+
+    experiment_id: str
+    title: str
+    passed: bool
+    lines: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable verdict block (header + indented rows)."""
+        head = f"[{'PASS' if self.passed else 'FAIL'}] {self.experiment_id} — {self.title}"
+        return "\n".join([head] + [f"  {line}" for line in self.lines])
+
+
+Runner = Callable[[], Tuple[List[str], bool]]
+_REGISTRY: Dict[str, Tuple[str, Runner]] = {}
+
+
+def _register(exp_id: str, title: str):
+    def deco(fn: Runner) -> Runner:
+        _REGISTRY[exp_id] = (title, fn)
+        return fn
+
+    return deco
+
+
+# ---------------------------------------------------------------------- #
+# figures
+# ---------------------------------------------------------------------- #
+
+
+@_register("F1", "Figure 1: broadcast tree T(6) of H_6")
+def _f1():
+    from repro.topology.broadcast_tree import BroadcastTree
+    from repro.topology.heap_queue import HeapQueue
+
+    tree = BroadcastTree(6)
+    tree.validate()
+    ok = HeapQueue(6).isomorphic_to_broadcast_tree(tree)
+    lines = [f"level {l}: {tree.type_census(l)}" for l in range(7)]
+    return lines, ok and len(tree.leaves()) == 32
+
+
+@_register("F2", "Figure 2: CLEAN's cleaning order on H_4")
+def _f2():
+    from repro.topology.hypercube import Hypercube
+
+    schedule = get_strategy("clean").run(4)
+    order = schedule.first_visit_order()
+    h = Hypercube(4)
+    levels = [h.level(x) for x in order]
+    ok = levels == sorted(levels) and order[1:5] == [1, 2, 4, 8]
+    return [f"visit order: {order}"], ok and verify_schedule(schedule).ok
+
+
+@_register("F3", "Figure 3: classes C_i of H_4")
+def _f3():
+    from repro.topology.hypercube import Hypercube
+
+    h = Hypercube(4)
+    classes = h.classes()
+    ok = [len(c) for c in classes] == [1, 1, 2, 4, 8]
+    return [f"C_{i}: {members}" for i, members in enumerate(classes)], ok
+
+
+@_register("F4", "Figure 4: visibility cleaning order on H_4")
+def _f4():
+    from repro.topology.broadcast_tree import BroadcastTree
+    from repro.topology.hypercube import Hypercube
+
+    schedule = get_strategy("visibility").run(4)
+    h, tree = Hypercube(4), BroadcastTree(4)
+    times = schedule.visit_time()
+    ok = True
+    lines = []
+    for t in range(4):
+        arrivals = sorted(x for x, w in times.items() if w == t + 1)
+        expected = sorted(
+            c for p in h.class_members(t) for c in tree.children(p)
+        )
+        ok = ok and arrivals == expected
+        lines.append(f"wave {t} -> arrivals {arrivals}")
+    return lines, ok and verify_schedule(schedule).ok
+
+
+# ---------------------------------------------------------------------- #
+# table + theorems
+# ---------------------------------------------------------------------- #
+
+
+@_register("T1", "Section 1.3 strategy comparison table")
+def _t1():
+    lines, ok = [], True
+    for d in (2, 4, 6, 8):
+        row = []
+        for name in ("clean", "visibility", "cloning", "synchronous"):
+            s = get_strategy(name).run(d)
+            ok = ok and verify_schedule(s).ok
+            row.append(f"{name}={s.team_size}/{s.total_moves}/{s.makespan}")
+        lines.append(f"d={d}: " + "  ".join(row))
+    return lines, ok
+
+
+@_register("E1", "Theorem 2: CLEAN team size (exact formula)")
+def _e1():
+    lines, ok = [], True
+    for d in range(1, 10):
+        team = get_strategy("clean").run(d).team_size
+        expected = formulas.clean_peak_agents(d)
+        ok = ok and team == expected
+        lines.append(f"d={d}: team {team} (formula {expected})")
+    dims = list(range(4, 16))
+    fit = fit_growth(dims, [formulas.clean_peak_agents(d) for d in dims])
+    lines.append(f"growth {fit.describe()} — Θ(n/sqrt(log n)); paper label O(n/log n)")
+    return lines, ok and -0.8 < fit.exponent_log < -0.3
+
+
+@_register("E2", "Theorem 3: CLEAN move decomposition")
+def _e2():
+    lines, ok = [], True
+    for d in range(2, 10):
+        s = get_strategy("clean").run(d)
+        agent = s.moves_by_role()[AgentRole.AGENT]
+        sync = s.moves_by_role()[AgentRole.SYNCHRONIZER]
+        ok = ok and agent == formulas.clean_agent_moves_exact(d)
+        ok = ok and sync <= formulas.clean_sync_moves_upper_bound(d)
+        lines.append(f"d={d}: agent {agent} (exact), sync {sync} (bounded)")
+    return lines, ok
+
+
+@_register("E3", "Theorem 4: CLEAN ideal time O(n log n)")
+def _e3():
+    dims = list(range(2, 10))
+    spans = [get_strategy("clean").run(d).makespan for d in dims]
+    ok = is_bounded_ratio(dims, spans, lambda d: (1 << d) * d)
+    return [f"makespans {dict(zip(dims, spans))}"], ok
+
+
+@_register("E4", "Theorem 5: visibility uses n/2 agents")
+def _e4():
+    lines, ok = [], True
+    for d in range(1, 10):
+        team = get_strategy("visibility").run(d).team_size
+        ok = ok and team == (1 << d) // 2
+        lines.append(f"d={d}: {team} agents (n/2 = {(1 << d) // 2})")
+    return lines, ok
+
+
+@_register("E5", "Theorem 7: visibility cleans in log n steps")
+def _e5():
+    lines, ok = [], True
+    for d in range(1, 10):
+        steps = get_strategy("visibility").run(d).makespan
+        ok = ok and steps == d
+        lines.append(f"d={d}: {steps} steps")
+    return lines, ok
+
+
+@_register("E6", "Theorem 8: visibility moves (n/4)(log n + 1)")
+def _e6():
+    lines, ok = [], True
+    for d in range(1, 11):
+        moves = get_strategy("visibility").run(d).total_moves
+        ok = ok and moves == formulas.visibility_moves_exact(d)
+        lines.append(f"d={d}: {moves} moves (formula {formulas.visibility_moves_exact(d)})")
+    return lines, ok
+
+
+@_register("E7", "Section 5: cloning variant (n/2 agents, n-1 moves)")
+def _e7():
+    lines, ok = [], True
+    for d in range(1, 10):
+        s = get_strategy("cloning").run(d)
+        ok = ok and (s.team_size, s.total_moves, s.makespan) == (
+            (1 << d) // 2,
+            (1 << d) - 1,
+            d,
+        )
+        lines.append(f"d={d}: {s.team_size} agents / {s.total_moves} moves / {s.makespan} steps")
+    return lines, ok
+
+
+@_register("E8", "Section 5: synchronous variant ≡ visibility")
+def _e8():
+    lines, ok = [], True
+    for d in range(1, 9):
+        a = get_strategy("synchronous").run(d)
+        b = get_strategy("visibility").run(d)
+        same = (a.team_size, a.total_moves, a.makespan) == (
+            b.team_size,
+            b.total_moves,
+            b.makespan,
+        )
+        ok = ok and same
+        lines.append(f"d={d}: {'identical' if same else 'DIFFER'}")
+    return lines, ok
+
+
+@_register("E9", "Theorems 1 & 6: correctness under asynchrony")
+def _e9():
+    from repro.protocols import run_clean_protocol, run_visibility_protocol
+    from repro.sim.scheduling import RandomDelay
+
+    lines, ok = [], True
+    for seed in (0, 1):
+        r = run_visibility_protocol(4, delay=RandomDelay(seed=seed))
+        ok = ok and r.ok
+        lines.append(f"visibility seed {seed}: {'OK' if r.ok else 'FAILED'}")
+    r = run_clean_protocol(3, delay=RandomDelay(seed=0))
+    ok = ok and r.ok
+    lines.append(f"clean seed 0: {'OK' if r.ok else 'FAILED'}")
+    return lines, ok
+
+
+@_register("A1", "Ablation: optimality gap and reuse choreography")
+def _a1():
+    from repro.search.optimal import optimal_search_number
+    from repro.topology.generic import hypercube_graph
+
+    lines, ok = [], True
+    for d in (1, 2, 3):
+        opt = optimal_search_number(hypercube_graph(d))
+        vis = get_strategy("visibility").run(d).team_size
+        lines.append(f"H_{d}: optimal {opt}, visibility {vis}")
+        ok = ok and opt <= vis
+    return lines, ok
+
+
+@_register("A2", "Ablation: O(log n) whiteboard memory")
+def _a2():
+    from repro.protocols import run_visibility_protocol
+
+    peaks = {}
+    for d in (3, 4, 5):
+        peaks[d] = run_visibility_protocol(d).peak_whiteboard_bits
+    deltas = [peaks[4] - peaks[3], peaks[5] - peaks[4]]
+    ok = all(delta <= 8 for delta in deltas)
+    return [f"peak whiteboard bits: {peaks}"], ok
+
+
+@_register("A3", "Ablation: contiguous vs classical search models")
+def _a3():
+    from repro.search.classical import node_cleaning_search_number, node_search_number
+    from repro.search.optimal import optimal_search_number
+    from repro.topology.generic import hypercube_graph, path_graph, tree_graph
+
+    lines, ok = [], True
+    for g in (path_graph(6), tree_graph([0, 0, 1, 1, 2, 2]), hypercube_graph(3)):
+        ns = node_search_number(g)
+        free = node_cleaning_search_number(g)
+        cont = optimal_search_number(g)
+        ok = ok and free <= cont
+        lines.append(f"{g.name}: edge-ns {ns}, free-node {free}, contiguous {cont}")
+    return lines, ok
+
+
+@_register("A4", "Ablation: generic BFS frontier sweep")
+def _a4():
+    from repro.search.frontier_sweep import frontier_sweep_schedule
+    from repro.topology.generic import grid_graph, hypercube_graph
+    from repro.analysis.verify import ScheduleVerifier
+
+    lines, ok = [], True
+    for d in (4, 5, 6):
+        g = hypercube_graph(d)
+        sweep = frontier_sweep_schedule(g)
+        ok = ok and ScheduleVerifier(g).verify(sweep).ok
+        clean_team = formulas.clean_peak_agents(d)
+        ok = ok and sweep.team_size <= clean_team
+        lines.append(f"H_{d}: frontier team {sweep.team_size} <= CLEAN team {clean_team}")
+    grid = grid_graph(4, 4)
+    sweep = frontier_sweep_schedule(grid)
+    ok = ok and ScheduleVerifier(grid).verify(sweep).ok
+    lines.append(f"grid_4x4: team {sweep.team_size}, moves {sweep.total_moves}")
+    return lines, ok
+
+
+@_register("A5", "Open problem: monotone lower bound vs Harper sweep")
+def _a5():
+    from repro.analysis.lower_bounds import monotone_agents_lower_bound
+    from repro.search.harper import harper_sweep_schedule
+
+    lines, ok = [], True
+    for d in range(2, 9):
+        lb = monotone_agents_lower_bound(d)
+        harper = harper_sweep_schedule(d).team_size
+        clean = formulas.clean_peak_agents(d)
+        ok = ok and lb <= harper <= lb + 1 and lb <= clean
+        lines.append(f"d={d}: LB {lb} <= harper {harper} <= LB+1; clean {clean}")
+    return lines, ok
+
+
+@_register("A6", "Ablation: localized quarantine vs full sweep (§1.1)")
+def _a6():
+    from repro.sim.quarantine import quarantine_and_clean
+    from repro.topology.generic import hypercube_graph
+
+    d = 6
+    graph = hypercube_graph(d)
+    full = get_strategy("clean").run(d).total_moves
+    lines, ok = [], True
+    start = graph.n - 1
+    patch = {start}
+    for size in (2, 4, 8):
+        while len(patch) < size:
+            for node in sorted(patch):
+                for y in graph.neighbors(node):
+                    if y not in patch and len(patch) < size:
+                        patch.add(y)
+        report = quarantine_and_clean(graph, set(patch))
+        ok = ok and report.ok and report.moves < full
+        lines.append(
+            f"|C|={size}: {report.moves} sweep moves vs {full} for a full CLEAN"
+        )
+    return lines, ok
+
+
+# ---------------------------------------------------------------------- #
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, figures first."""
+    return sorted(_REGISTRY)
+
+
+def run_experiment(exp_id: str) -> ExperimentResult:
+    """Regenerate one paper artifact; raises for unknown ids."""
+    try:
+        title, runner = _REGISTRY[exp_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {exp_id!r}; available: {experiment_ids()}"
+        ) from None
+    lines, passed = runner()
+    return ExperimentResult(exp_id, title, passed, lines)
+
+
+def run_all() -> List[ExperimentResult]:
+    """Regenerate every artifact (figures, table, theorems, ablations)."""
+    return [run_experiment(exp_id) for exp_id in experiment_ids()]

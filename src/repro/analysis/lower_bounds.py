@@ -1,0 +1,133 @@
+"""Lower bounds on the team size — the paper's open problem, attacked.
+
+Section 5 ends: "an interesting open problem is to determine whether our
+strategy for the first model is optimal in terms of number of agents; i.e.,
+if the lower bound on the number of agents is Ω(n/log n)."
+
+A monotone strategy (contiguous or not) must, at every instant, guard every
+decontaminated node that still has a contaminated neighbour — otherwise
+that node is recontaminated on the spot.  The decontaminated set ``D``
+grows from one node to all ``n`` one node at a time, so
+
+    ``agents  >=  max_m  min_{|D| = m} |inner boundary of D|``.
+
+The inner minimum is a *vertex-isoperimetric* quantity of the hypercube,
+settled exactly by Harper's theorem (Harper 1966; Bollobás, *Combinatorics*
+§16): initial segments of the **simplicial order** — sort by Hamming
+weight, ties broken by reverse colexicographic (descending integer) order —
+minimize the boundary at every size.  The tests verify this pointwise
+against exhaustive subset search for ``d <= 4``.
+
+Consequences computed here (and reported in EXPERIMENTS.md):
+
+* the lower bound is ``Θ(C(d, d/2)) = Θ(n / sqrt(log n))`` — asymptotically
+  *matching* Algorithm ``CLEAN``'s team, so CLEAN is within a constant
+  factor of optimal among monotone strategies (and the answer to the
+  paper's literal question is: the true bound is even a bit larger than
+  ``Ω(n / log n)``);
+* exact small values: ``H_3 >= 4`` (tight — the visibility strategy and
+  the brute-force optimum both sit at 4), ``H_4 >= 7`` (so the optimum is
+  7 or 8; both of the paper's strategies use 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro._bitops import popcount
+from repro.analysis.counting import central_binomial
+from repro.errors import TopologyError
+
+__all__ = [
+    "simplicial_order",
+    "boundary_profile",
+    "monotone_agents_lower_bound",
+    "exhaustive_boundary_profile",
+    "bound_vs_strategies",
+]
+
+
+def simplicial_order(d: int) -> List[int]:
+    """Harper's boundary-minimizing order: by weight, then descending id.
+
+    >>> simplicial_order(2)
+    [0, 2, 1, 3]
+    """
+    if d < 0:
+        raise TopologyError("dimension must be >= 0")
+    return sorted(range(1 << d), key=lambda x: (popcount(x), -x))
+
+
+def _inner_boundary_size(members: set, d: int) -> int:
+    return sum(
+        1
+        for x in members
+        if any((x ^ (1 << i)) not in members for i in range(d))
+    )
+
+
+def boundary_profile(d: int) -> Dict[int, int]:
+    """``profile[m]`` = minimal inner boundary over all ``m``-subsets.
+
+    Computed as the inner boundary of the simplicial order's initial
+    segments (exact by Harper's theorem; exhaustively verified for
+    ``d <= 4`` in the tests).  ``O(n d)`` time with incremental updates.
+    """
+    if d > 20:
+        raise TopologyError(f"d={d} too large for the boundary profile (max 20)")
+    order = simplicial_order(d)
+    members: set = set()
+    boundary: set = set()
+    profile: Dict[int, int] = {}
+    for m, x in enumerate(order, start=1):
+        members.add(x)
+        # x joins: on the boundary iff it has an outside neighbour
+        if any((x ^ (1 << i)) not in members for i in range(d)):
+            boundary.add(x)
+        # x's inside neighbours may have just lost their last outside one
+        for i in range(d):
+            y = x ^ (1 << i)
+            if y in boundary and all(
+                (y ^ (1 << j)) in members for j in range(d)
+            ):
+                boundary.discard(y)
+        profile[m] = len(boundary)
+    return profile
+
+
+def monotone_agents_lower_bound(d: int) -> int:
+    """``max_m profile[m]``: agents any monotone strategy needs on ``H_d``.
+
+    Applies to the contiguous model (the paper's) *and* to the relaxed
+    place/remove/slide model — monotonicity alone forces the guards.
+    """
+    if d == 0:
+        return 1
+    return max(boundary_profile(d).values())
+
+
+def exhaustive_boundary_profile(d: int) -> Dict[int, int]:
+    """Brute-force ``profile`` over all subsets (test oracle; ``d <= 4``)."""
+    from itertools import combinations
+
+    if d > 4:
+        raise TopologyError("exhaustive profile only feasible for d <= 4")
+    n = 1 << d
+    out = {}
+    for m in range(1, n + 1):
+        out[m] = min(
+            _inner_boundary_size(set(S), d) for S in combinations(range(n), m)
+        )
+    return out
+
+
+def bound_vs_strategies(d: int) -> Dict[str, int]:
+    """The open-problem scoreboard for one dimension."""
+    from repro.analysis.formulas import clean_peak_agents, visibility_agents
+
+    return {
+        "lower_bound": monotone_agents_lower_bound(d),
+        "clean": clean_peak_agents(d),
+        "visibility": visibility_agents(d),
+        "central_binomial": central_binomial(d),
+    }

@@ -1,0 +1,158 @@
+"""Declarative parameter sweeps over strategies and dimensions.
+
+The benches and examples repeatedly build "for each strategy × dimension,
+measure X" tables; this module centralizes that: a :class:`Sweep` runs the
+cross product, verifies every schedule (optionally), collects the standard
+metric columns, and renders to rows / CSV / aligned text.  The CLI's
+``sweep`` verb and the ``examples/overhead_study.py`` script are thin
+wrappers around it.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.verify import verify_schedule
+from repro.core.schedule import Schedule
+from repro.core.strategy import get_strategy
+from repro.errors import ReproError
+
+__all__ = ["SweepRow", "Sweep", "run_sweep"]
+
+#: the standard measured columns, in render order
+STANDARD_COLUMNS = ("agents", "moves", "agent_moves", "sync_moves", "steps")
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One (strategy, dimension) measurement."""
+
+    strategy: str
+    dimension: int
+    n: int
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def as_flat_dict(self) -> Dict[str, object]:
+        """One flat mapping per row (the CSV writer's input)."""
+        out: Dict[str, object] = {
+            "strategy": self.strategy,
+            "d": self.dimension,
+            "n": self.n,
+        }
+        out.update(self.values)
+        return out
+
+
+class Sweep:
+    """A strategies × dimensions measurement grid.
+
+    Parameters
+    ----------
+    strategies:
+        Strategy registry names.
+    dimensions:
+        Hypercube degrees to measure.
+    extra_metrics:
+        Optional ``{name: fn(schedule) -> number}`` columns beyond the
+        standard agents/moves/steps set.
+    verify:
+        Replay-verify every schedule (on by default; the sweep refuses to
+        report numbers from a broken schedule).
+    """
+
+    def __init__(
+        self,
+        strategies: Sequence[str],
+        dimensions: Sequence[int],
+        *,
+        extra_metrics: Optional[Dict[str, Callable[[Schedule], float]]] = None,
+        verify: bool = True,
+    ) -> None:
+        if not strategies or not dimensions:
+            raise ReproError("sweep needs at least one strategy and one dimension")
+        self.strategies = list(strategies)
+        self.dimensions = list(dimensions)
+        self.extra_metrics = dict(extra_metrics or {})
+        self.verify = verify
+
+    def run(self) -> List[SweepRow]:
+        """Execute the grid; returns one row per (strategy, dimension)."""
+        from repro.core.states import AgentRole
+
+        rows = []
+        for name in self.strategies:
+            strategy = get_strategy(name)
+            for d in self.dimensions:
+                schedule = strategy.run(d)
+                if self.verify:
+                    report = verify_schedule(schedule)
+                    if not report.ok:
+                        raise ReproError(
+                            f"sweep aborted: {name} d={d} failed verification: "
+                            f"{report.summary()}"
+                        )
+                roles = schedule.moves_by_role()
+                values: Dict[str, float] = {
+                    "agents": schedule.team_size,
+                    "moves": schedule.total_moves,
+                    "agent_moves": roles[AgentRole.AGENT],
+                    "sync_moves": roles[AgentRole.SYNCHRONIZER],
+                    "steps": schedule.makespan,
+                }
+                for metric, fn in self.extra_metrics.items():
+                    values[metric] = fn(schedule)
+                rows.append(
+                    SweepRow(strategy=name, dimension=d, n=schedule.n, values=values)
+                )
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+
+    def columns(self) -> List[str]:
+        """Metric column names, standard set first."""
+        return list(STANDARD_COLUMNS) + sorted(self.extra_metrics)
+
+    def to_csv(self, rows: Sequence[SweepRow]) -> str:
+        """CSV text with a header row."""
+        fieldnames = ["strategy", "d", "n"] + self.columns()
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row.as_flat_dict())
+        return buffer.getvalue()
+
+    def to_text(self, rows: Sequence[SweepRow]) -> str:
+        """Aligned text table."""
+        cols = self.columns()
+        header = f"{'strategy':<12} {'d':>3} {'n':>6} " + " ".join(
+            f"{c:>12}" for c in cols
+        )
+        lines = [header, "-" * len(header)]
+        for row in rows:
+            cells = " ".join(f"{row.values.get(c, ''):>12}" for c in cols)
+            lines.append(f"{row.strategy:<12} {row.dimension:>3} {row.n:>6} {cells}")
+        return "\n".join(lines)
+
+    def series(self, rows: Sequence[SweepRow], strategy: str, metric: str) -> List[float]:
+        """One metric's values across dimensions for one strategy."""
+        return [
+            row.values[metric]
+            for row in rows
+            if row.strategy == strategy
+        ]
+
+
+def run_sweep(
+    strategies: Sequence[str],
+    dimensions: Sequence[int],
+    **kwargs,
+) -> tuple[Sweep, List[SweepRow]]:
+    """Convenience: build, run, and return ``(sweep, rows)``."""
+    sweep = Sweep(strategies, dimensions, **kwargs)
+    return sweep, sweep.run()

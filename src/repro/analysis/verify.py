@@ -1,0 +1,224 @@
+"""Schedule verification: the paper's correctness claims, checked by replay.
+
+:class:`ScheduleVerifier` replays a :class:`~repro.core.schedule.Schedule`
+move by move against the exact contamination dynamics
+(:class:`~repro.sim.contamination.ContaminationMap`) with an omniscient
+:class:`~repro.sim.intruder.ReachableSetIntruder` co-simulated, and checks:
+
+* **structure** — moves are along edges, agents chain positions, agents
+  start at the homebase (unless cloning);
+* **monotonicity** (Theorems 1 and 6) — no clean node is ever
+  recontaminated;
+* **contiguity** — the decontaminated region stays connected at every time
+  boundary (the defining constraint of contiguous search);
+* **completeness** — the network ends with no contaminated node;
+* **capture** — the intruder's possible-location set is empty at the end.
+
+The verifier returns a :class:`VerificationReport` carrying the per-node
+first-visit and clean times (used by the figure benches) and every violation
+found when run in collecting (non-strict) mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.schedule import Schedule
+from repro.errors import (
+    ContiguityError,
+    IncompleteCleaningError,
+    RecontaminationError,
+    VerificationError,
+)
+from repro.sim.contamination import ContaminationMap
+from repro.sim.intruder import ReachableSetIntruder
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["VerificationReport", "ScheduleVerifier", "verify_schedule"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of replaying one schedule.
+
+    ``visit_times[x]`` is the completion time of the first agent arrival at
+    ``x`` (0 for the homebase); ``clean_times[x]`` is the time ``x``
+    transitioned to clean (guard count reached zero with a safe
+    neighbourhood) — nodes still guarded at the end have no entry.
+    """
+
+    dimension: int
+    strategy: str
+    monotone: bool
+    contiguous: bool
+    complete: bool
+    intruder_captured: bool
+    total_moves: int
+    makespan: int
+    team_size: int
+    visit_times: Dict[int, int] = field(default_factory=dict)
+    clean_times: Dict[int, int] = field(default_factory=dict)
+    first_visit_order: List[int] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """All four correctness predicates hold and nothing was violated."""
+        return (
+            self.monotone
+            and self.contiguous
+            and self.complete
+            and self.intruder_captured
+            and not self.violations
+        )
+
+    def raise_if_failed(self) -> None:
+        """Raise the most specific error if verification failed."""
+        if not self.monotone:
+            raise RecontaminationError(
+                f"{self.strategy}(d={self.dimension}): recontamination occurred"
+            )
+        if not self.contiguous:
+            raise ContiguityError(
+                f"{self.strategy}(d={self.dimension}): decontaminated region disconnected"
+            )
+        if not self.complete:
+            raise IncompleteCleaningError(
+                f"{self.strategy}(d={self.dimension}): contaminated nodes remain"
+            )
+        if not self.intruder_captured:
+            raise VerificationError(
+                f"{self.strategy}(d={self.dimension}): intruder not captured"
+            )
+        if self.violations:
+            raise VerificationError(
+                f"{self.strategy}(d={self.dimension}): {self.violations[0]}"
+            )
+
+    def summary(self) -> str:
+        """One-line verdict used by benches and the CLI."""
+        verdict = "OK" if self.ok else "FAILED"
+        return (
+            f"[{verdict}] {self.strategy}(d={self.dimension}): "
+            f"monotone={self.monotone} contiguous={self.contiguous} "
+            f"complete={self.complete} captured={self.intruder_captured} "
+            f"moves={self.total_moves} makespan={self.makespan} team={self.team_size}"
+        )
+
+
+class ScheduleVerifier:
+    """Replays schedules against the contamination dynamics.
+
+    Parameters
+    ----------
+    topology:
+        The topology to replay on; defaults to ``Hypercube(schedule.dimension)``.
+    check_contiguity_every_move:
+        If true, connectivity is checked after every single move rather
+        than only at time-unit boundaries (slower; used in tests).
+    check_contiguity:
+        If false, the O(n)-per-boundary connectivity BFS is skipped
+        entirely (monotonicity/completeness/capture still checked) — the
+        fast mode for large-dimension stress verification.
+    """
+
+    def __init__(
+        self,
+        topology: Optional[Hypercube] = None,
+        *,
+        check_contiguity_every_move: bool = False,
+        check_contiguity: bool = True,
+    ) -> None:
+        self._topology = topology
+        self._every_move = check_contiguity_every_move
+        self._check_contiguity = check_contiguity
+
+    def verify(self, schedule: Schedule) -> VerificationReport:
+        """Replay ``schedule`` and return a full report (never raises for
+        invariant failures; structural malformation still raises
+        :class:`~repro.errors.ScheduleError`)."""
+        topo = self._topology or Hypercube(schedule.dimension)
+        schedule.validate_structure(topo)
+
+        cmap = ContaminationMap(topo, homebase=schedule.homebase, strict=False)
+        violations: List[str] = []
+
+        # Deploy the team on the homebase. Cloning schedules materialize
+        # agents lazily (place_agent checks they appear on guarded nodes).
+        positions: Dict[int, int] = {}
+        team = max(schedule.team_size, schedule.agents_used(), 1)
+        if schedule.uses_cloning:
+            # one initial agent (id 0 by convention); clones materialize
+            # lazily at their first move
+            cmap.place_agent(schedule.homebase)
+            positions[0] = schedule.homebase
+        else:
+            for _ in range(team):
+                cmap.place_agent(schedule.homebase)
+
+        intruder = ReachableSetIntruder(cmap)
+        clean_times: Dict[int, int] = {}
+        contiguous = cmap.is_contiguous()
+        last_time = 0
+
+        def boundary_checks() -> None:
+            nonlocal contiguous
+            if not self._check_contiguity:
+                return
+            if not cmap.is_contiguous():
+                contiguous = False
+                violations.append(f"region disconnected at time {last_time}")
+
+        for time, group in schedule.by_time():
+            last_time = time
+            if schedule.uses_cloning:
+                # clones exist before anything departs in this time unit:
+                # place every agent making its first move now at its source
+                # (place_agent rejects contaminated placements)
+                for move in group:
+                    if move.agent not in positions:
+                        cmap.place_agent(move.src)
+                        positions[move.agent] = move.src
+            for move in group:
+                was_clean_before = cmap.clean_nodes()
+                cmap.move_agent(move.src, move.dst)
+                positions[move.agent] = move.dst
+                newly_clean = cmap.clean_nodes() - was_clean_before
+                for node in newly_clean:
+                    clean_times.setdefault(node, move.time)
+                intruder.observe(cmap)
+                if self._every_move:
+                    boundary_checks()
+            boundary_checks()
+        boundary_checks()
+
+        monotone = cmap.is_monotone()
+        for node, cause in cmap.recontamination_events:
+            violations.append(f"node {node} recontaminated from {cause}")
+        complete = cmap.all_clean()
+        if not complete:
+            remaining = sorted(cmap.contaminated_nodes())
+            violations.append(f"{len(remaining)} contaminated nodes remain: {remaining[:8]}")
+
+        return VerificationReport(
+            dimension=schedule.dimension,
+            strategy=schedule.strategy,
+            monotone=monotone,
+            contiguous=contiguous,
+            complete=complete,
+            intruder_captured=intruder.captured,
+            total_moves=schedule.total_moves,
+            makespan=schedule.makespan,
+            team_size=team,
+            visit_times=schedule.visit_time(),
+            clean_times=clean_times,
+            first_visit_order=cmap.first_visit_order,
+            violations=violations,
+        )
+
+
+def verify_schedule(schedule: Schedule, **kwargs) -> VerificationReport:
+    """Convenience wrapper: ``ScheduleVerifier(**kwargs).verify(schedule)``."""
+    topology = kwargs.pop("topology", None)
+    return ScheduleVerifier(topology, **kwargs).verify(schedule)

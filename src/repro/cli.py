@@ -1,0 +1,273 @@
+"""Command-line interface: ``repro-search``.
+
+Subcommands::
+
+    repro-search run -d 4 -s visibility          # generate + verify + metrics
+    repro-search table -d 2 4 6 8                # the T1 comparison table
+    repro-search figure fig1 -d 6                # re-render a paper figure
+    repro-search simulate -d 4 -p clean --seed 3 # async protocol on the engine
+    repro-search formulas -d 6                   # every closed form at one d
+
+The CLI is a thin veneer over the library; every command routes through
+the same public API the examples and benches use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import formulas
+from repro.analysis.verify import verify_schedule
+from repro.core.metrics import compute_metrics
+from repro.core.strategy import available_strategies, get_strategy
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-search",
+        description="Contiguous search in the hypercube (IPPS 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="generate, verify and measure one strategy")
+    run.add_argument("-d", "--dimension", type=int, required=True)
+    run.add_argument(
+        "-s", "--strategy", default="visibility", choices=available_strategies()
+    )
+    run.add_argument("--show-order", action="store_true", help="print the cleaning order")
+    run.add_argument("--watch", action="store_true", help="print one frame per time unit")
+    run.add_argument("--homebase", type=int, default=0, help="start node (via XOR automorphism)")
+    run.add_argument("--save", metavar="FILE", default=None, help="write the schedule as JSON")
+
+    table = sub.add_parser("table", help="T1 comparison table across dimensions")
+    table.add_argument("-d", "--dimensions", type=int, nargs="+", default=[2, 4, 6, 8])
+
+    figure = sub.add_parser("figure", help="re-render a paper figure")
+    figure.add_argument(
+        "which", choices=["fig1", "fig2", "fig3", "fig4", "profile", "scoreboard"]
+    )
+    figure.add_argument("-d", "--dimension", type=int, default=None)
+
+    simulate = sub.add_parser("simulate", help="run a protocol on the async engine")
+    simulate.add_argument("-d", "--dimension", type=int, required=True)
+    simulate.add_argument(
+        "-p",
+        "--protocol",
+        default="visibility",
+        choices=["clean", "visibility", "cloning", "synchronous"],
+    )
+    simulate.add_argument("--delays", default="unit", choices=["unit", "random"])
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--walker-intruder", action="store_true")
+
+    forms = sub.add_parser("formulas", help="print every closed form for one d")
+    forms.add_argument("-d", "--dimension", type=int, required=True)
+
+    verify = sub.add_parser("verify", help="verify a schedule JSON file")
+    verify.add_argument("file", help="path to a schedule written with --save")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper artifact (figure/table/theorem)"
+    )
+    experiment.add_argument(
+        "id", nargs="?", default=None, help="experiment id (e.g. E4); omit for all"
+    )
+
+    sweep = sub.add_parser("sweep", help="measure strategies across dimensions")
+    sweep.add_argument("-d", "--dimensions", type=int, nargs="+", default=[2, 4, 6, 8])
+    sweep.add_argument(
+        "-s", "--strategies", nargs="+", default=["clean", "visibility", "cloning"]
+    )
+    sweep.add_argument("--csv", metavar="FILE", default=None, help="also write CSV")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    strategy = get_strategy(args.strategy)
+    schedule = strategy.run(args.dimension)
+    if args.homebase:
+        schedule = schedule.translated(args.homebase)
+    report = verify_schedule(schedule)
+    print(compute_metrics(schedule).describe())
+    print(report.summary())
+    if args.show_order:
+        from repro.viz.order_render import render_cleaning_order
+
+        print(render_cleaning_order(schedule))
+    if args.watch:
+        from repro.viz.state_render import render_frames
+
+        for frame in render_frames(schedule):
+            print(frame)
+            print()
+    if args.save:
+        from pathlib import Path
+
+        Path(args.save).write_text(schedule.to_json())
+        print(f"schedule written to {args.save}")
+    return 0 if report.ok else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import run_all, run_experiment
+
+    results = run_all() if args.id is None else [run_experiment(args.id)]
+    for result in results:
+        print(result.render())
+        print()
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import run_sweep
+
+    sweep, rows = run_sweep(args.strategies, args.dimensions)
+    print(sweep.to_text(rows))
+    if args.csv:
+        from pathlib import Path
+
+        Path(args.csv).write_text(sweep.to_csv(rows))
+        print(f"CSV written to {args.csv}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.schedule import Schedule
+
+    schedule = Schedule.from_json(Path(args.file).read_text())
+    report = verify_schedule(schedule)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    names = ["clean", "visibility", "cloning", "synchronous"]
+    header = f"{'d':>3} {'n':>6} | " + " | ".join(f"{s:^24}" for s in names)
+    sub = f"{'':>3} {'':>6} | " + " | ".join(f"{'agents/moves/steps':^24}" for _ in names)
+    print(header)
+    print(sub)
+    print("-" * len(header))
+    for d in args.dimensions:
+        cells = []
+        for name in names:
+            schedule = get_strategy(name).run(d)
+            cells.append(
+                f"{schedule.team_size:>7}/{schedule.total_moves:>7}/{schedule.makespan:>6}"
+            )
+        print(f"{d:>3} {1 << d:>6} | " + " | ".join(f"{c:^24}" for c in cells))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.which == "fig1":
+        from repro.viz.tree_render import render_broadcast_tree, render_level_table
+
+        d = args.dimension if args.dimension is not None else 6
+        print(render_broadcast_tree(d))
+        print()
+        print(render_level_table(d))
+    elif args.which == "fig3":
+        from repro.viz.class_render import render_classes
+
+        d = args.dimension if args.dimension is not None else 4
+        print(render_classes(d))
+    elif args.which == "profile":
+        from repro.viz.profile_render import render_deployment_profile
+
+        d = args.dimension if args.dimension is not None else 5
+        for name in ("clean", "visibility"):
+            print(render_deployment_profile(get_strategy(name).run(d), max_rows=40))
+            print()
+    elif args.which == "scoreboard":
+        from repro.analysis.lower_bounds import monotone_agents_lower_bound
+        from repro.search.harper import harper_sweep_schedule
+
+        d_max = args.dimension if args.dimension is not None else 9
+        print(f"{'d':>3} {'LB':>6} {'harper':>7} {'clean':>7} {'visibility':>11}")
+        for d in range(1, d_max + 1):
+            print(
+                f"{d:>3} {monotone_agents_lower_bound(d):>6} "
+                f"{harper_sweep_schedule(d).team_size:>7} "
+                f"{formulas.clean_peak_agents(d):>7} "
+                f"{formulas.visibility_agents(d):>11}"
+            )
+    else:
+        from repro.viz.order_render import render_cleaning_order, render_wave_table
+
+        d = args.dimension if args.dimension is not None else 4
+        name = "clean" if args.which == "fig2" else "visibility"
+        schedule = get_strategy(name).run(d)
+        print(render_cleaning_order(schedule))
+        print()
+        print(render_wave_table(schedule))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.protocols import (
+        run_clean_protocol,
+        run_cloning_protocol,
+        run_synchronous_protocol,
+        run_visibility_protocol,
+    )
+    from repro.sim.scheduling import RandomDelay, UnitDelay
+
+    delay = UnitDelay() if args.delays == "unit" else RandomDelay(seed=args.seed)
+    intruder = "walker" if args.walker_intruder else "reachable"
+    runner = {
+        "clean": run_clean_protocol,
+        "visibility": run_visibility_protocol,
+        "cloning": run_cloning_protocol,
+        "synchronous": run_synchronous_protocol,
+    }[args.protocol]
+    result = runner(args.dimension, delay=delay, intruder=intruder)
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def _cmd_formulas(args: argparse.Namespace) -> int:
+    d = args.dimension
+    h = Hypercube(d)
+    print(f"H_{d}: n={h.n}, edges={h.num_edges}")
+    print(f"CLEAN peak agents (Thm 2)         : {formulas.clean_peak_agents(d)}")
+    print(f"CLEAN agent moves (Thm 3)         : {formulas.clean_agent_moves_exact(d)}")
+    print(f"CLEAN sync moves upper bound      : {formulas.clean_sync_moves_upper_bound(d)}")
+    print(f"visibility agents (Thm 5)         : {formulas.visibility_agents(d)}")
+    print(f"visibility steps (Thm 7)          : {formulas.visibility_time_steps(d)}")
+    print(f"visibility moves (Thm 8)          : {formulas.visibility_moves_exact(d)}")
+    print(f"cloning agents / moves (Sec 5)    : {formulas.cloning_agents(d)} / {formulas.cloning_moves(d)}")
+    print(f"CLEAN-with-cloning agents (Sec 5) : {formulas.clean_with_cloning_agents(d)}")
+    for level in range(1, d):
+        print(
+            f"  extras before level {level}->{level + 1} (Lemma 3): "
+            f"{formulas.extra_agents_for_level(d, level)}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-search`` console script."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "table": _cmd_table,
+        "figure": _cmd_figure,
+        "simulate": _cmd_simulate,
+        "formulas": _cmd_formulas,
+        "verify": _cmd_verify,
+        "experiment": _cmd_experiment,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

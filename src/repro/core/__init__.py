@@ -1,0 +1,39 @@
+"""Core contribution: the paper's search strategies and their artifacts.
+
+* :mod:`~repro.core.states` — node/agent state enums shared package-wide.
+* :mod:`~repro.core.schedule` — the :class:`Move`/:class:`Schedule`
+  representation every strategy emits (the "schedule plane").
+* :mod:`~repro.core.strategy` — the :class:`Strategy` abstract base and
+  registry.
+* :mod:`~repro.core.clean` — Algorithm 1 ``CLEAN`` (synchronizer model).
+* :mod:`~repro.core.visibility` — Algorithm 2 ``CLEAN WITH VISIBILITY``.
+* :mod:`~repro.core.cloning` — the Section 5 cloning variant.
+* :mod:`~repro.core.synchronous` — the Section 5 synchronous variant.
+* :mod:`~repro.core.metrics` — agent/move/time accounting.
+"""
+
+from repro.core.clean import CleanStrategy
+from repro.core.cloning import CloningStrategy
+from repro.core.metrics import StrategyMetrics, compute_metrics
+from repro.core.schedule import Move, MoveKind, Schedule
+from repro.core.states import AgentRole, NodeState
+from repro.core.strategy import Strategy, available_strategies, get_strategy
+from repro.core.synchronous import SynchronousStrategy
+from repro.core.visibility import VisibilityStrategy
+
+__all__ = [
+    "NodeState",
+    "AgentRole",
+    "Move",
+    "MoveKind",
+    "Schedule",
+    "Strategy",
+    "get_strategy",
+    "available_strategies",
+    "CleanStrategy",
+    "VisibilityStrategy",
+    "CloningStrategy",
+    "SynchronousStrategy",
+    "StrategyMetrics",
+    "compute_metrics",
+]

@@ -1,0 +1,262 @@
+"""Algorithm 1 — ``CLEAN`` (Section 3.2): synchronizer-coordinated search.
+
+One agent, the *synchronizer*, coordinates the whole process by walking the
+hypercube; the other agents only move when instructed (via whiteboards in
+the distributed implementation, see
+:mod:`repro.protocols.clean_protocol`).  The strategy proceeds level by
+level on the broadcast tree:
+
+1. **Root to level 1** — the synchronizer escorts one agent to each of the
+   root's ``d`` children, returning to the root in between.
+2. **Level ``l`` to ``l+1``** (for ``l = 1 .. d-1``):
+
+   2.1 the synchronizer goes back to the root; the root dispatches ``k-1``
+   extra agents to every level-``l`` node of type ``T(k)``, ``k >= 2``
+   (travelling down the broadcast-tree path);
+
+   2.2 the synchronizer visits the level-``l`` nodes in increasing integer
+   order (= the paper's lexicographic order read from the most significant
+   position — Lemma 1 requires exactly this order), waits until the ``k``
+   agents are present, and escorts one agent down each tree edge;
+
+   2.3 when the synchronizer reaches a *leaf* of level ``l``, the agent on
+   it is released and walks back to the root to become available again.
+
+Timing model: ideal time, one unit per edge; the synchronizer's actions are
+sequential, extra agents travel concurrently with it, and the synchronizer
+waits at a node until the agents it needs have arrived.  Agents are hired
+from the homebase pool on demand, so the resulting ``team_size`` *is* the
+measured Theorem 2 quantity (tests check it equals
+:func:`repro.analysis.formulas.clean_peak_agents`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis import formulas
+from repro.core.schedule import Move, MoveKind, Schedule
+from repro.core.states import AgentRole
+from repro.core.strategy import Strategy, register
+from repro.errors import ReproError
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["CleanStrategy"]
+
+SYNCHRONIZER_ID = 0
+
+
+@dataclass
+class _AgentState:
+    """Book-keeping for one plain agent in the generator."""
+
+    ident: int
+    position: int
+    ready: int  # time at which the agent is settled at `position`
+
+
+class _Pool:
+    """The set of available agents at the root, ordered by readiness.
+
+    ``acquire`` pops the earliest-ready agent or hires a fresh one when the
+    pool is empty — hiring is what measures the team size.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[tuple[int, int]] = []  # (ready, ident)
+        self._agents: Dict[int, _AgentState] = {}
+        self._next_id = 1  # 0 is the synchronizer
+
+    def acquire(self) -> _AgentState:
+        if self._heap:
+            _, ident = heapq.heappop(self._heap)
+            return self._agents[ident]
+        agent = _AgentState(ident=self._next_id, position=0, ready=0)
+        self._next_id += 1
+        self._agents[agent.ident] = agent
+        return agent
+
+    def release(self, agent: _AgentState) -> None:
+        if agent.position != 0:
+            raise ReproError(f"agent {agent.ident} released away from the root")
+        heapq.heappush(self._heap, (agent.ready, agent.ident))
+
+    @property
+    def hired(self) -> int:
+        return self._next_id - 1
+
+
+@register
+class CleanStrategy(Strategy):
+    """Algorithm 1 of the paper (coordinated, whiteboard model)."""
+
+    name = "clean"
+    model = "whiteboard"
+
+    def expected_team_size(self, d: int) -> Optional[int]:
+        return formulas.clean_peak_agents(d)
+
+    def expected_total_moves(self, d: int) -> Optional[int]:
+        return None  # Theorem 3 gives the agent component exactly, rest is a bound
+
+    def expected_makespan(self, d: int) -> Optional[int]:
+        return None  # Theorem 4 is O(n log n)
+
+    # ------------------------------------------------------------------ #
+
+    def generate(self, hypercube: Hypercube) -> Schedule:
+        d = hypercube.d
+        tree = BroadcastTree(hypercube)
+        moves: List[Move] = []
+        pool = _Pool()
+
+        # one guard agent per currently guarded node of the active level
+        guards: Dict[int, List[_AgentState]] = {}
+
+        sync_pos = 0
+        sync_time = 0
+        extras_per_level: Dict[int, int] = {}
+        active_per_level: Dict[int, int] = {}
+
+        def sync_step(dst: int, kind: MoveKind) -> None:
+            nonlocal sync_pos, sync_time
+            sync_time += 1
+            moves.append(
+                Move(
+                    agent=SYNCHRONIZER_ID,
+                    src=sync_pos,
+                    dst=dst,
+                    time=sync_time,
+                    role=AgentRole.SYNCHRONIZER,
+                    kind=kind,
+                )
+            )
+            sync_pos = dst
+
+        def sync_navigate(dst: int) -> None:
+            # Route through the meet: descend into the already-clean levels
+            # before climbing back up, never touching contaminated nodes.
+            path = hypercube.path_via_meet(sync_pos, dst)
+            for node in path[1:]:
+                sync_step(node, MoveKind.NAVIGATE)
+
+        def agent_walk(agent: _AgentState, path: List[int], kind: MoveKind) -> None:
+            """Move an agent along ``path`` starting when it is ready."""
+            t = agent.ready
+            for src, dst in zip(path, path[1:]):
+                t += 1
+                moves.append(Move(agent=agent.ident, src=src, dst=dst, time=t, kind=kind))
+            agent.position = path[-1]
+            agent.ready = t
+
+        if d == 0:
+            schedule = Schedule(dimension=0, strategy=self.name, team_size=1)
+            schedule.metadata.update({"extras_per_level": {}, "active_per_level": {}})
+            return schedule
+
+        # ---------------- Step 1: root to level 1 ---------------------- #
+        # Escort one agent to each of the d children T(d-1) .. T(0); the
+        # synchronizer accompanies each and returns to the root.
+        for child in tree.children(0):
+            agent = pool.acquire()
+            start = max(sync_time, agent.ready)
+            sync_time = start  # synchronizer waits for the agent if needed
+            agent.ready = start
+            agent_walk(agent, [0, child], MoveKind.DEPLOY)
+            sync_step(child, MoveKind.ESCORT)
+            sync_step(0, MoveKind.ESCORT)
+            sync_time = max(sync_time, agent.ready)
+            guards[child] = [agent]
+        active_per_level[0] = d + 1
+
+        # ---------------- Step 2: level l to level l + 1 ---------------- #
+        for level in range(1, d):
+            level_nodes = hypercube.level_nodes(level)
+
+            # 2.1 -- collect and dispatch the extra agents from the root.
+            needs_extras = any(tree.node_type(x) >= 2 for x in level_nodes)
+            if sync_pos != 0:
+                sync_navigate(0)
+            dispatched = 0
+            if needs_extras:
+                for x in level_nodes:
+                    k = tree.node_type(x)
+                    for _ in range(max(0, k - 1)):
+                        agent = pool.acquire()
+                        agent.ready = max(agent.ready, sync_time)
+                        agent_walk(agent, tree.path_from_root(x), MoveKind.DISPATCH)
+                        guards.setdefault(x, []).append(agent)
+                        dispatched += 1
+            extras_per_level[level] = dispatched
+            active_per_level[level] = (
+                sum(len(v) for v in guards.values()) + 1
+            )  # + synchronizer
+
+            # 2.2 / 2.3 -- walk level l in increasing (lexicographic) order.
+            for x in level_nodes:
+                sync_navigate(x)
+                k = tree.node_type(x)
+                squad = guards.pop(x)
+                if len(squad) != max(1, k):
+                    raise ReproError(
+                        f"node {x} (type T({k})) holds {len(squad)} agents, "
+                        f"expected {max(1, k)}"
+                    )
+                # wait until everyone assigned to x has actually arrived
+                sync_time = max(sync_time, max(a.ready for a in squad))
+
+                if k == 0:
+                    # 2.3: leaf reached -- release the agent back to the root
+                    (agent,) = squad
+                    agent.ready = max(agent.ready, sync_time)
+                    agent_walk(agent, tree.path_to_root(x), MoveKind.RETURN)
+                    pool.release(agent)
+                    continue
+
+                # escort one agent down each broadcast-tree edge
+                for child in tree.children(x):
+                    agent = squad.pop()
+                    agent.ready = max(agent.ready, sync_time)
+                    sync_time = agent.ready
+                    agent_walk(agent, [x, child], MoveKind.DEPLOY)
+                    sync_step(child, MoveKind.ESCORT)
+                    sync_step(x, MoveKind.ESCORT)
+                    sync_time = max(sync_time, agent.ready)
+                    guards[child] = [agent]
+                if squad:
+                    raise ReproError(f"agents left behind on {x}")
+
+        # Final tidy-up: the agent guarding the last node (11...1, the only
+        # level-d node) walks home — all its neighbours (the whole of level
+        # d-1) are clean, so the node stays clean.  This matches Theorem
+        # 3's accounting, where every agent's journey ends back at the
+        # root (2l moves per leaf at level l, including l = d).
+        final_node = (1 << d) - 1
+        if final_node in guards:
+            (agent,) = guards.pop(final_node)
+            agent.ready = max(agent.ready, sync_time)
+            agent_walk(agent, tree.path_to_root(final_node), MoveKind.RETURN)
+            pool.release(agent)
+
+        # Stable sort by completion time: concurrent travellers interleave
+        # with the synchronizer's sequential walk.
+        moves.sort(key=lambda m: m.time)
+
+        schedule = Schedule(
+            dimension=d,
+            strategy=self.name,
+            moves=moves,
+            team_size=pool.hired + 1,  # + the synchronizer
+            uses_cloning=False,
+        )
+        schedule.metadata.update(
+            {
+                "extras_per_level": extras_per_level,
+                "active_per_level": active_per_level,
+                "synchronizer_id": SYNCHRONIZER_ID,
+            }
+        )
+        return schedule

@@ -1,0 +1,101 @@
+"""Section 5 cloning variant of the visibility strategy.
+
+"Our second strategy would be particularly suitable if the agents have
+cloning capabilities [...] only one agent would be initially placed at the
+homebase and agents would be cloned when needed.  With this cloning power,
+the second strategy still requires ``n/2`` agents and ``log n`` steps, but
+the number of moves performed by the agents is reduced to ``n - 1``."
+
+Implementation: the wave structure of
+:class:`~repro.core.visibility.VisibilityStrategy` is kept, but each
+broadcast-tree edge is crossed by exactly *one* agent — the resident agent
+moves to the first (largest-subtree) child and freshly cloned agents take
+the remaining children.  Every move extends the guarded frontier, so total
+moves = number of tree edges = ``n - 1``, and total agents created = number
+of leaves = ``n/2``.
+
+The paper also observes cloning would *not* help Algorithm ``CLEAN``
+(agents would grow to ``n/2 + 1``); that claim is checked numerically by
+:func:`repro.analysis.formulas.clean_with_cloning_agents` and the E7 bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis import formulas
+from repro.core.schedule import Move, MoveKind, Schedule
+from repro.core.states import AgentRole
+from repro.core.strategy import Strategy, register
+from repro.errors import ReproError
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["CloningStrategy"]
+
+
+@register
+class CloningStrategy(Strategy):
+    """Visibility strategy with cloning: one initial agent, ``n - 1`` moves."""
+
+    name = "cloning"
+    model = "cloning"
+
+    def expected_team_size(self, d: int) -> Optional[int]:
+        return formulas.cloning_agents(d)
+
+    def expected_total_moves(self, d: int) -> Optional[int]:
+        return formulas.cloning_moves(d)
+
+    def expected_makespan(self, d: int) -> Optional[int]:
+        return formulas.cloning_time_steps(d)
+
+    def generate(self, hypercube: Hypercube) -> Schedule:
+        d = hypercube.d
+        tree = BroadcastTree(hypercube)
+        moves: List[Move] = []
+        next_clone = 1  # agent 0 is the original, placed on the homebase
+        resident: Dict[int, int] = {0: 0}  # node -> agent living there
+        wave_sizes: Dict[int, int] = {}
+
+        # Same wave structure as the visibility strategy (Theorem 7): the
+        # agents on class C_i act at ideal time i.  Each tree edge carries
+        # exactly one agent: the resident walks to the first child, clones
+        # spring to life for the remaining children.
+        for wave in range(d):
+            movers = 0
+            for node in hypercube.class_members(wave):
+                if node not in resident:
+                    raise ReproError(f"no resident agent on {node} at wave {wave}")
+                own = resident.pop(node)
+                for idx, child in enumerate(tree.children(node)):
+                    if idx == 0:
+                        mover = own
+                    else:
+                        mover = next_clone
+                        next_clone += 1
+                    moves.append(
+                        Move(
+                            agent=mover,
+                            src=node,
+                            dst=child,
+                            time=wave + 1,
+                            role=AgentRole.AGENT,
+                            kind=MoveKind.DEPLOY,
+                        )
+                    )
+                    resident[child] = mover
+                    movers += 1
+            wave_sizes[wave] = movers
+
+        schedule = Schedule(
+            dimension=d,
+            strategy=self.name,
+            moves=moves,
+            team_size=next_clone,  # the original plus every clone created
+            uses_cloning=True,
+        )
+        schedule.metadata.update(
+            {"wave_sizes": wave_sizes, "final_leaves": sorted(resident)}
+        )
+        return schedule

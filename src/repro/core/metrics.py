@@ -1,0 +1,105 @@
+"""Strategy accounting: the paper's three efficiency measures, packaged.
+
+The paper measures a strategy by (1) the number of agents involved, (2) the
+traffic — total moves — and (3) ideal time.  :func:`compute_metrics` pulls
+all three out of a schedule (optionally with the verifier's replay data)
+and adds the decomposition used in Theorem 3 (agent vs. synchronizer moves,
+moves by purpose) and the predicted values of the generating strategy for
+side-by-side reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.schedule import Schedule
+from repro.core.strategy import get_strategy
+
+__all__ = ["StrategyMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class StrategyMetrics:
+    """Measured (and, where available, predicted) complexity figures."""
+
+    strategy: str
+    dimension: int
+    n: int
+    team_size: int
+    total_moves: int
+    agent_moves: int
+    synchronizer_moves: int
+    makespan: int
+    moves_by_kind: Dict[str, int] = field(default_factory=dict)
+    predicted_team_size: Optional[int] = None
+    predicted_total_moves: Optional[int] = None
+    predicted_makespan: Optional[int] = None
+
+    @property
+    def matches_predictions(self) -> bool:
+        """Whether every available prediction is met exactly."""
+        checks = [
+            (self.predicted_team_size, self.team_size),
+            (self.predicted_total_moves, self.total_moves),
+            (self.predicted_makespan, self.makespan),
+        ]
+        return all(expected is None or expected == got for expected, got in checks)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table rendering in benches and the CLI."""
+        return {
+            "strategy": self.strategy,
+            "d": self.dimension,
+            "n": self.n,
+            "agents": self.team_size,
+            "moves": self.total_moves,
+            "agent_moves": self.agent_moves,
+            "sync_moves": self.synchronizer_moves,
+            "steps": self.makespan,
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"strategy      : {self.strategy}",
+            f"hypercube     : d={self.dimension} (n={self.n})",
+            f"agents        : {self.team_size}"
+            + (f"  (predicted {self.predicted_team_size})" if self.predicted_team_size else ""),
+            f"moves         : {self.total_moves}"
+            + (f"  (predicted {self.predicted_total_moves})" if self.predicted_total_moves else ""),
+            f"  by agents   : {self.agent_moves}",
+            f"  by sync     : {self.synchronizer_moves}",
+            f"ideal time    : {self.makespan}"
+            + (f"  (predicted {self.predicted_makespan})" if self.predicted_makespan else ""),
+        ]
+        for kind, count in sorted(self.moves_by_kind.items()):
+            if count:
+                lines.append(f"  {kind:<12}: {count}")
+        return "\n".join(lines)
+
+
+def compute_metrics(schedule: Schedule) -> StrategyMetrics:
+    """Measure a schedule and attach the generating strategy's predictions."""
+    try:
+        strategy = get_strategy(schedule.strategy)
+    except Exception:
+        strategy = None
+    d = schedule.dimension
+    roles = schedule.moves_by_role()
+    from repro.core.states import AgentRole
+
+    return StrategyMetrics(
+        strategy=schedule.strategy,
+        dimension=d,
+        n=schedule.n,
+        team_size=schedule.team_size,
+        total_moves=schedule.total_moves,
+        agent_moves=roles[AgentRole.AGENT],
+        synchronizer_moves=roles[AgentRole.SYNCHRONIZER],
+        makespan=schedule.makespan,
+        moves_by_kind={k.value: v for k, v in schedule.moves_by_kind().items()},
+        predicted_team_size=strategy.expected_team_size(d) if strategy else None,
+        predicted_total_moves=strategy.expected_total_moves(d) if strategy else None,
+        predicted_makespan=strategy.expected_makespan(d) if strategy else None,
+    )

@@ -1,0 +1,52 @@
+"""Node and agent state definitions (Section 2 of the paper).
+
+A node is, at any point in time, in exactly one of three states:
+
+* ``GUARDED`` — an agent is currently on the node;
+* ``CLEAN``   — an agent passed by and, when the last agent left, every
+  neighbour was clean or guarded (and no recontamination occurred since);
+* ``CONTAMINATED`` — otherwise.  Initially every node except the guarded
+  homebase is contaminated.
+
+Agent roles distinguish the coordinator of Algorithm 1 from the worker
+agents; every move in a :class:`~repro.core.schedule.Schedule` is tagged
+with the mover's role so the two components of the Theorem 3 move count can
+be reported separately.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["NodeState", "AgentRole"]
+
+
+class NodeState(enum.Enum):
+    """State of a hypercube node during a cleaning strategy."""
+
+    CONTAMINATED = "contaminated"
+    GUARDED = "guarded"
+    CLEAN = "clean"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_safe(self) -> bool:
+        """Clean-or-guarded: the condition on smaller neighbours in both
+        strategies' movement rules."""
+        return self is not NodeState.CONTAMINATED
+
+    def symbol(self) -> str:
+        """Single-character rendering used by the viz module."""
+        return {"contaminated": "#", "guarded": "A", "clean": "."}[self.value]
+
+
+class AgentRole(enum.Enum):
+    """Who performs a move: a plain searcher or the synchronizer."""
+
+    AGENT = "agent"
+    SYNCHRONIZER = "synchronizer"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,110 @@
+"""Strategy abstraction and registry.
+
+A :class:`Strategy` turns a hypercube into a complete
+:class:`~repro.core.schedule.Schedule` (the deterministic "schedule plane").
+Each paper strategy also declares its *model* (what capabilities it
+assumes) and its expected complexity figures from
+:mod:`repro.analysis.formulas`, so tests and benches can compare measured
+vs. predicted uniformly.
+
+The registry maps names to classes; strategies self-register via the
+:func:`register` decorator, and :func:`get_strategy` instantiates by name —
+this is what the CLI and the benches use.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Type
+
+from repro.core.schedule import Schedule
+from repro.errors import ReproError
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["Strategy", "register", "get_strategy", "available_strategies"]
+
+_REGISTRY: Dict[str, Type["Strategy"]] = {}
+
+
+class Strategy(abc.ABC):
+    """Base class for cleaning strategies.
+
+    Subclasses set :attr:`name` (registry key) and :attr:`model` (the
+    capability model: ``"whiteboard"``, ``"visibility"``, ``"cloning"`` or
+    ``"synchronous"``) and implement :meth:`generate`.
+    """
+
+    #: registry key, e.g. ``"clean"``
+    name: str = ""
+    #: capability model the strategy needs
+    model: str = ""
+
+    @abc.abstractmethod
+    def generate(self, hypercube: Hypercube) -> Schedule:
+        """Produce the full cleaning schedule for ``hypercube``."""
+
+    # ------------------------------------------------------------------ #
+    # predicted complexities (None = the paper gives only a bound)
+    # ------------------------------------------------------------------ #
+
+    def expected_team_size(self, d: int) -> Optional[int]:
+        """Exact predicted team size for degree ``d``, if the paper gives one."""
+        return None
+
+    def expected_total_moves(self, d: int) -> Optional[int]:
+        """Exact predicted total move count, if the paper gives one."""
+        return None
+
+    def expected_makespan(self, d: int) -> Optional[int]:
+        """Exact predicted ideal-time, if the paper gives one."""
+        return None
+
+    def run(self, dimension: int) -> Schedule:
+        """Convenience: build the hypercube and generate the schedule."""
+        return self.generate(Hypercube(dimension))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def register(cls: Type[Strategy]) -> Type[Strategy]:
+    """Class decorator adding a strategy to the registry."""
+    if not cls.name:
+        raise ReproError(f"{cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ReproError(f"duplicate strategy name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_strategy(name: str) -> Strategy:
+    """Instantiate a registered strategy by name.
+
+    >>> get_strategy("visibility").model
+    'visibility'
+    """
+    # Import the concrete modules lazily so the registry is populated even
+    # when a caller imports only this module.
+    import repro.core.clean  # noqa: F401
+    import repro.core.cloning  # noqa: F401
+    import repro.core.synchronous  # noqa: F401
+    import repro.core.visibility  # noqa: F401
+    import repro.search.level_sweep  # noqa: F401
+
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ReproError(
+            f"unknown strategy {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_strategies() -> List[str]:
+    """Sorted names of all registered strategies."""
+    import repro.core.clean  # noqa: F401
+    import repro.core.cloning  # noqa: F401
+    import repro.core.synchronous  # noqa: F401
+    import repro.core.visibility  # noqa: F401
+    import repro.search.level_sweep  # noqa: F401
+
+    return sorted(_REGISTRY)

@@ -1,0 +1,34 @@
+"""Section 5 synchronous variant: visibility's schedule without visibility.
+
+"If the agents move synchronously and start simultaneously [...] instead of
+waiting for all smaller neighbors to become clean or guarded, the agents on
+a node wait for the appropriate time to move: the agents on ``x`` can move
+when time ``t = m(x)``.  In this strategy, when ``t = m(x)``, the agents on
+``x`` implicitly know that all the smaller neighbor(s) of ``x`` are clean
+or guarded."
+
+The *moves* are therefore identical to Algorithm 2's wave schedule; what
+changes is the capability model — agents consult a global clock rather
+than their neighbours' states.  The schedule generator subclasses
+:class:`~repro.core.visibility.VisibilityStrategy` and only changes the
+strategy name/model; the distributed implementation in
+:mod:`repro.protocols.sync_protocol` differs for real (agents read the
+round number, never their neighbours), and the protocol tests check both
+reach the same move multiset — which is exactly the paper's equivalence
+claim.
+"""
+
+from __future__ import annotations
+
+from repro.core.strategy import register
+from repro.core.visibility import VisibilityStrategy
+
+__all__ = ["SynchronousStrategy"]
+
+
+@register
+class SynchronousStrategy(VisibilityStrategy):
+    """The synchronous-rounds variant (same waves, no visibility needed)."""
+
+    name = "synchronous"
+    model = "synchronous"

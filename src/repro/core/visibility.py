@@ -1,0 +1,142 @@
+"""Algorithm 2 — ``CLEAN WITH VISIBILITY`` (Section 4.2): local strategy.
+
+Every agent follows the same local rule; no coordinator exists.  The rule
+for the agents on a node ``x`` of type ``T(k)``:
+
+* if fewer than ``2^{k-1}`` agents are on ``x``, wait;
+* once ``2^{k-1}`` agents are present **and** every smaller neighbour of
+  ``x`` is clean or guarded: one agent moves to the bigger neighbour of
+  type ``T(0)`` and ``2^{i-1}`` agents move to each bigger neighbour of
+  type ``T(i)`` (``0 < i < k``); with no bigger neighbours, terminate.
+
+Theorem 7 shows the execution self-organizes into *waves*: the agents
+sitting on the class :math:`C_i` nodes all move exactly at ideal time
+``i``, so the network is clean after ``d = log n`` steps.  The schedule
+generator below produces exactly this wave schedule (the unique ideal-time
+execution); the asynchronous, genuinely local run of the same rule lives in
+:mod:`repro.protocols.visibility_protocol` and is tested to produce the
+same move multiset.
+
+Agent bookkeeping: the ``2^{d-1}`` agents are numbered ``0 .. n/2 - 1``;
+each node forwards contiguous chunks of its arrival list to its children,
+largest subtree first, mirroring how the whiteboard would assign them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis import formulas
+from repro.core.schedule import Move, MoveKind, Schedule
+from repro.core.states import AgentRole
+from repro.core.strategy import Strategy, register
+from repro.errors import ReproError
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["VisibilityStrategy"]
+
+
+@register
+class VisibilityStrategy(Strategy):
+    """Algorithm 2 of the paper (visibility model, fully local)."""
+
+    name = "visibility"
+    model = "visibility"
+
+    def expected_team_size(self, d: int) -> Optional[int]:
+        return formulas.visibility_agents(d)
+
+    def expected_total_moves(self, d: int) -> Optional[int]:
+        return formulas.visibility_moves_exact(d)
+
+    def expected_makespan(self, d: int) -> Optional[int]:
+        return formulas.visibility_time_steps(d)
+
+    # ------------------------------------------------------------------ #
+
+    def _initial_agents(self, team: int) -> List[int]:
+        """Agent ids stationed at the root before the first wave."""
+        return list(range(team))
+
+    def _emit_moves(
+        self,
+        node: int,
+        child: int,
+        squad: List[int],
+        wave: int,
+        moves: List[Move],
+    ) -> List[int]:
+        """Move ``squad`` from ``node`` to ``child`` during ``wave``.
+
+        Returns the agent ids now stationed at ``child``.  Subclasses
+        (cloning) override to create agents instead of forwarding them.
+        """
+        for agent in squad:
+            moves.append(
+                Move(
+                    agent=agent,
+                    src=node,
+                    dst=child,
+                    time=wave + 1,
+                    role=AgentRole.AGENT,
+                    kind=MoveKind.DEPLOY,
+                )
+            )
+        return squad
+
+    def generate(self, hypercube: Hypercube) -> Schedule:
+        d = hypercube.d
+        tree = BroadcastTree(hypercube)
+        team = formulas.visibility_agents(d)
+        moves: List[Move] = []
+        stationed: Dict[int, List[int]] = {0: self._initial_agents(team)}
+        wave_sizes: Dict[int, int] = {}
+
+        # Wave i moves every agent on class C_i; classes are processed in
+        # increasing order, which respects causality (a node's agents all
+        # arrive from its tree parent, whose class index is smaller).
+        for wave in range(d):
+            movers = 0
+            for node in hypercube.class_members(wave):
+                squad = stationed.pop(node, None)
+                if squad is None:
+                    raise ReproError(f"no agents on {node} at wave {wave}")
+                k = tree.node_type(node)
+                if len(squad) != formulas.agents_for_type(k):
+                    raise ReproError(
+                        f"node {node} (type T({k})) holds {len(squad)} agents, "
+                        f"expected {formulas.agents_for_type(k)}"
+                    )
+                offset = 0
+                for child in tree.children(node):
+                    child_k = tree.node_type(child)
+                    take = formulas.agents_for_type(child_k)
+                    chunk = squad[offset : offset + take]
+                    offset += take
+                    stationed[child] = self._emit_moves(node, child, chunk, wave, moves)
+                if offset != len(squad):
+                    raise ReproError(f"agents stranded on {node}")
+                movers += len(squad)
+            wave_sizes[wave] = movers
+
+        # After the last wave every agent sits on a distinct leaf.
+        schedule = Schedule(
+            dimension=d,
+            strategy=self.name,
+            moves=moves,
+            team_size=self._team_size(team, moves),
+            uses_cloning=self._uses_cloning(),
+        )
+        schedule.metadata.update(
+            {"wave_sizes": wave_sizes, "final_leaves": sorted(stationed)}
+        )
+        return schedule
+
+    # hooks overridden by the cloning subclass ------------------------- #
+
+    def _team_size(self, initial_team: int, moves: List[Move]) -> int:
+        return initial_team
+
+    def _uses_cloning(self) -> bool:
+        return False

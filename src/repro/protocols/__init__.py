@@ -1,0 +1,40 @@
+"""Distributed protocol implementations of the paper's strategies.
+
+While :mod:`repro.core` generates deterministic *schedules* (the ideal-time
+executions used for exact counting), this subpackage implements the
+strategies as genuine message-passing agents on the asynchronous
+discrete-event engine of :mod:`repro.sim` — whiteboard counters, orders,
+waits, neighbour observation — exactly at the power level each model
+grants:
+
+* :mod:`~repro.protocols.clean_protocol` — Algorithm 1: a synchronizer
+  agent coordinating followers purely through whiteboards (Section 3
+  model; no visibility, no clock).
+* :mod:`~repro.protocols.visibility_protocol` — Algorithm 2: identical
+  autonomous agents using neighbour visibility (Section 4 model).
+* :mod:`~repro.protocols.cloning_protocol` — the Section 5 cloning
+  variant (visibility + ``CloneSelf``).
+* :mod:`~repro.protocols.sync_protocol` — the Section 5 synchronous
+  variant (global clock, *no* visibility; only correct under unit delays,
+  which the failure-injection tests demonstrate).
+* :mod:`~repro.protocols.frontier_protocol` — the generic-graph frontier
+  sweep as real agents (an extension beyond the paper's hypercube).
+
+The equivalence tests check each protocol produces the same move multiset
+as its schedule-plane counterpart (for the agent moves), under arbitrary
+delay models for the asynchronous protocols.
+"""
+
+from repro.protocols.clean_protocol import run_clean_protocol
+from repro.protocols.cloning_protocol import run_cloning_protocol
+from repro.protocols.frontier_protocol import run_frontier_protocol
+from repro.protocols.sync_protocol import run_synchronous_protocol
+from repro.protocols.visibility_protocol import run_visibility_protocol
+
+__all__ = [
+    "run_clean_protocol",
+    "run_visibility_protocol",
+    "run_cloning_protocol",
+    "run_synchronous_protocol",
+    "run_frontier_protocol",
+]

@@ -1,0 +1,120 @@
+"""Shared plumbing for the protocol agents.
+
+Agents know the topology is a hypercube (Section 2: "The agents know that
+the topology they are searching is a hypercube"), so behaviours may compute
+node types, children and tree paths from a node id and the dimension; the
+cached accessors here keep that cheap.  The whiteboard conventions —
+``count`` of settled agents, ``taken`` departure slots — live here too, as
+small mutator functions, so every protocol stores only ``O(log n)``-bit
+counters (never agent lists), matching the paper's whiteboard bound.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.formulas import agents_for_type
+from repro.core.states import NodeState
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+__all__ = [
+    "cached_hypercube",
+    "cached_tree",
+    "child_for_slot",
+    "increment",
+    "decrement",
+    "take_slot",
+    "smaller_all_safe",
+]
+
+
+@lru_cache(maxsize=None)
+def cached_hypercube(dimension: int) -> Hypercube:
+    """A shared :class:`Hypercube` per dimension (agents' innate knowledge)."""
+    return Hypercube(dimension)
+
+
+@lru_cache(maxsize=None)
+def cached_tree(dimension: int) -> BroadcastTree:
+    """A shared :class:`BroadcastTree` per dimension."""
+    return BroadcastTree(cached_hypercube(dimension))
+
+
+@lru_cache(maxsize=None)
+def _slot_table(dimension: int, node: int) -> List[Tuple[int, int]]:
+    """``(cumulative_end, child)`` rows mapping departure slots to children.
+
+    A node of type ``T(k)`` dispatches ``agents_for_type(i)`` agents to its
+    type-``T(i)`` child, largest subtree first; slot ``s`` (0-based order
+    in which agents claim departures) maps to the child whose cumulative
+    range contains ``s``.
+    """
+    tree = cached_tree(dimension)
+    rows: List[Tuple[int, int]] = []
+    cumulative = 0
+    for child in tree.children(node):
+        cumulative += agents_for_type(tree.node_type(child))
+        rows.append((cumulative, child))
+    return rows
+
+
+def child_for_slot(dimension: int, node: int, slot: int) -> int:
+    """The destination child for departure slot ``slot`` at ``node``."""
+    for end, child in _slot_table(dimension, node):
+        if slot < end:
+            return child
+    raise ValueError(f"slot {slot} out of range at node {node}")
+
+
+def increment(key: str):
+    """Whiteboard mutator: ``wb[key] += 1`` (from 0), returns new value."""
+
+    def mutate(wb: Dict) -> int:
+        wb[key] = wb.get(key, 0) + 1
+        return wb[key]
+
+    return mutate
+
+
+def decrement(key: str):
+    """Whiteboard mutator: ``wb[key] -= 1``, returns new value."""
+
+    def mutate(wb: Dict) -> int:
+        wb[key] = wb.get(key, 0) - 1
+        return wb[key]
+
+    return mutate
+
+
+def take_slot(limit: int, key: str = "taken"):
+    """Whiteboard mutator claiming the next departure slot below ``limit``.
+
+    Returns the claimed 0-based slot, or ``None`` when all are gone (the
+    caller lost the race and should re-wait).
+    """
+
+    def mutate(wb: Dict) -> Optional[int]:
+        current = wb.get(key, 0)
+        if current >= limit:
+            return None
+        wb[key] = current + 1
+        return current
+
+    return mutate
+
+
+def smaller_all_safe(dimension: int, node: int):
+    """Wait predicate: every smaller neighbour of ``node`` clean or guarded.
+
+    Uses the visibility capability (``view.neighbor_states``); vacuously
+    true at the homebase.
+    """
+    smaller = frozenset(cached_hypercube(dimension).smaller_neighbors(node))
+
+    def predicate(view) -> bool:
+        states = view.neighbor_states()
+        return all(states[y] is not NodeState.CONTAMINATED for y in smaller)
+
+    return predicate

@@ -1,0 +1,82 @@
+"""The Section 5 cloning variant as engine agents.
+
+A single agent starts at the homebase.  On a node ``x`` of type ``T(k)``
+(``k >= 1``) the resident agent waits until every smaller neighbour is
+clean or guarded (visibility model), then spawns ``k - 1`` clones — one
+pre-assigned to each non-first child — and itself walks to the first
+(largest-subtree) child.  Each broadcast-tree edge is crossed exactly
+once, so the run performs ``n - 1`` moves with ``n/2`` agents ever alive,
+finishing in ``log n`` waves (the Section 5 claims, asserted by the
+tests under unit *and* random delays — monotonicity is delay-independent
+because clones exist before anyone departs, so a node stays guarded until
+its last departure atomically guards the final child).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.formulas import cloning_agents
+from repro.protocols.base import cached_tree, smaller_all_safe
+from repro.sim.agent import AgentContext, CloneSelf, Move, Terminate, WaitUntil
+from repro.sim.engine import Engine, SimResult
+from repro.sim.scheduling import DelayModel
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["cloning_agent", "run_cloning_protocol"]
+
+
+def _behavior(first_move: Optional[int]):
+    """Behaviour factory; clones get their destination pre-assigned."""
+
+    def behavior(ctx: AgentContext):
+        tree = cached_tree(ctx.dimension)
+        if first_move is not None:
+            # A clone: the parent established safety before spawning us;
+            # walk straight to the assigned child.
+            yield Move(first_move)
+        while True:
+            node = ctx.node
+            k = tree.node_type(node)
+            if k == 0:
+                yield Terminate()
+                return
+            yield WaitUntil(
+                smaller_all_safe(ctx.dimension, node),
+                description=f"smaller neighbours of {node} safe",
+            )
+            children = tree.children(node)
+            for child in children[1:]:
+                yield CloneSelf(_behavior(first_move=child))
+            yield Move(children[0])
+
+    return behavior
+
+
+#: The initial agent's behaviour (starts at the homebase, no pre-move).
+cloning_agent = _behavior(first_move=None)
+cloning_agent.__doc__ = (
+    "Behaviour of the single initial agent: wait for safety, clone one "
+    "agent per extra child, walk to the first child, repeat (Section 5)."
+)
+
+
+def run_cloning_protocol(
+    dimension: int,
+    *,
+    delay: Optional[DelayModel] = None,
+    intruder: Optional[str] = "reachable",
+    check_contiguity: bool = True,
+) -> SimResult:
+    """Run the cloning variant: one initial agent, clones on demand."""
+    h = Hypercube(dimension)
+    engine = Engine(
+        h,
+        [cloning_agent],
+        delay=delay,
+        visibility=True,
+        cloning=True,
+        intruder=intruder,
+        check_contiguity=check_contiguity,
+    )
+    return engine.run()

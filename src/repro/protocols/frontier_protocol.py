@@ -1,0 +1,186 @@
+"""The generic frontier sweep as a distributed protocol (any graph).
+
+Extends the paper's Section 4 model (visibility + whiteboards) beyond the
+hypercube: a *coordinator* escorts followers from the homebase to the next
+node of the visit order, and every guard *releases itself* — with
+visibility, a guard can observe that its whole neighbourhood is
+decontaminated, walk home along its remembered outbound path (each node on
+it was decontaminated earlier and, by monotonicity, stays so), and rejoin
+the idle pool.
+
+Whiteboard usage: at the homebase, ``idle`` counts parked followers and
+``escort_path`` publishes the current escort's route (``O(D log n)`` bits
+on a diameter-``D`` graph); at every other node, ``count``/``arrivals``
+track settled guards.
+
+Unlike the paper's hypercube protocols the followers remember their
+outbound path, costing up to ``O(D log n)`` bits of *agent* memory on a
+diameter-``D`` graph — the price of generality, and exactly the kind of
+trade-off DESIGN.md logs for this extension.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.states import NodeState
+from repro.errors import SimulationError
+from repro.protocols.base import decrement, increment
+from repro.sim.agent import (
+    AgentContext,
+    Move,
+    Terminate,
+    UpdateWhiteboard,
+    WaitUntil,
+)
+from repro.sim.engine import Engine, SimResult
+from repro.sim.scheduling import DelayModel
+from repro.search.frontier_sweep import _bfs_order, bfs_boundary_width
+
+__all__ = ["run_frontier_protocol"]
+
+
+def _post_escort(path: List[int]):
+    def mutate(wb):
+        wb["escort_path"] = list(path)
+        wb["escort_taken"] = False
+        return None
+
+    return mutate
+
+
+def _take_escort(wb):
+    if wb.get("escort_path") is None or wb.get("escort_taken"):
+        return None
+    wb["escort_taken"] = True
+    return list(wb["escort_path"])
+
+
+def _clear_escort(wb):
+    wb["escort_path"] = None
+    wb["escort_taken"] = False
+    return None
+
+
+def _coordinator(graph, order, homebase):
+    """Behaviour factory for the escorting coordinator."""
+
+    def behavior(ctx: AgentContext):
+        visited = {homebase}
+        for target in order:
+            if target == homebase:
+                continue
+            # route from home to the target through the visited prefix
+            from repro.search.frontier_sweep import _path_inside
+
+            path = _path_inside(graph, visited, homebase, target)
+            # wait for an idle follower, publish the escort, and walk it
+            yield WaitUntil(
+                lambda view: (view.wb("idle") or 0) >= 1,
+                description="an idle follower at the homebase",
+            )
+            yield UpdateWhiteboard(_post_escort(path))
+            yield WaitUntil(
+                lambda view: bool(view.wb("escort_taken")),
+                description="escort accepted",
+            )
+            yield UpdateWhiteboard(_clear_escort)
+            # accompany the follower: walk out and back (the coordinator's
+            # own presence keeps the corridor guarded during the escort)
+            for dst in path[1:]:
+                yield Move(dst)
+            # wait on the CUMULATIVE arrival counter: the guard may have
+            # legitimately self-released already (a leaf with a safe
+            # neighbourhood), so the live count can be back at zero
+            yield WaitUntil(
+                lambda view: (view.wb("arrivals") or 0) >= 1,
+                description=f"guard reached {target}",
+            )
+            for dst in list(reversed(path))[1:]:
+                yield Move(dst)
+            visited.add(target)
+        yield UpdateWhiteboard(lambda wb: wb.__setitem__("done", True))
+        yield Terminate()
+
+    return behavior
+
+
+def _follower(graph, homebase):
+    """Behaviour factory for the self-releasing followers."""
+
+    def behavior(ctx: AgentContext):
+        yield UpdateWhiteboard(increment("idle"))
+        while True:
+            yield WaitUntil(
+                lambda view: bool(view.wb("done"))
+                or (
+                    view.wb("escort_path") is not None
+                    and not view.wb("escort_taken")
+                ),
+                description="escort order or done",
+            )
+            path = yield UpdateWhiteboard(_take_escort)
+            if path is None:
+                done = yield UpdateWhiteboard(lambda wb: bool(wb.get("done")))
+                if done:
+                    yield Terminate()
+                    return
+                continue
+            yield UpdateWhiteboard(decrement("idle"))
+            for dst in path[1:]:
+                yield Move(dst)
+            ctx.remember("outbound", path)
+            yield UpdateWhiteboard(increment("count"))
+            yield UpdateWhiteboard(increment("arrivals"))
+
+            # guard duty: self-release when the neighbourhood is safe
+            def neighbourhood_safe(view) -> bool:
+                states = view.neighbor_states()
+                return all(s is not NodeState.CONTAMINATED for s in states.values())
+
+            yield WaitUntil(neighbourhood_safe, description=f"{ctx.node} releasable")
+            yield UpdateWhiteboard(decrement("count"))
+            for dst in list(reversed(ctx.recall("outbound")))[1:]:
+                yield Move(dst)
+            yield UpdateWhiteboard(increment("idle"))
+
+    return behavior
+
+
+def run_frontier_protocol(
+    graph,
+    *,
+    homebase: int = 0,
+    team_size: Optional[int] = None,
+    delay: Optional[DelayModel] = None,
+    intruder: Optional[str] = "reachable",
+    intruder_count: int = 2,
+    check_contiguity: bool = True,
+) -> SimResult:
+    """Run the generic sweep as real agents on any connected graph.
+
+    ``team_size`` defaults to ``boundary_width + 2`` (the guards plus the
+    coordinator plus one escortee in flight) — enough that the homebase
+    always keeps an idle guard while it has contaminated neighbours.
+    Under-provisioned teams both recontaminate (the escort abandons the
+    homebase) and stall; the engine reports both, it never hangs.
+    """
+    order = _bfs_order(graph, homebase)
+    if team_size is None:
+        team_size = bfs_boundary_width(graph, homebase) + 2
+    if team_size < 2:
+        raise SimulationError("the frontier protocol needs a coordinator and a follower")
+    behaviors = [_coordinator(graph, order, homebase)] + [
+        _follower(graph, homebase)
+    ] * (team_size - 1)
+    engine = Engine(
+        graph,
+        behaviors,
+        homebase=homebase,
+        delay=delay,
+        visibility=True,
+        intruder=intruder,
+        intruder_count=intruder_count,
+        check_contiguity=check_contiguity,
+    )
+    return engine.run()

@@ -1,0 +1,86 @@
+"""The Section 5 synchronous variant as clock-driven agents.
+
+"In the synchronous model, the agents on ``x`` can move when time
+``t = m(x)``" — no visibility, no coordinator: each agent consults only
+the global round number and the local whiteboard (for the slot
+assignment).  Under unit delays this is correct by construction (all
+smaller neighbours are implicitly clean or guarded at round ``m(x)``);
+under *asynchronous* delays the implicit-knowledge premise fails and the
+strategy recontaminates — the failure-injection test demonstrates exactly
+that, which is why the paper presents this variant only for the
+synchronous setting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.formulas import agents_for_type, visibility_agents
+from repro.errors import SimulationError
+from repro.protocols.base import (
+    cached_hypercube,
+    cached_tree,
+    child_for_slot,
+    decrement,
+    increment,
+    take_slot,
+)
+from repro.sim.agent import AgentContext, Move, Terminate, UpdateWhiteboard, WaitUntil
+from repro.sim.engine import Engine, SimResult
+from repro.sim.scheduling import DelayModel
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["synchronous_agent", "run_synchronous_protocol"]
+
+
+def synchronous_agent(ctx: AgentContext):
+    """Behaviour: on node ``x``, depart exactly at round ``m(x)``."""
+    h = cached_hypercube(ctx.dimension)
+    tree = cached_tree(ctx.dimension)
+    yield UpdateWhiteboard(increment("count"))
+    while True:
+        node = ctx.node
+        k = tree.node_type(node)
+        if k == 0:
+            yield Terminate()
+            return
+        wave = h.msb(node)  # m(x): the round at which this node's agents move
+        yield WaitUntil(
+            lambda view, wave=wave: view.time >= wave,
+            description=f"round {wave} at {node}",
+            wake_at=float(wave),
+        )
+        slot = yield UpdateWhiteboard(take_slot(agents_for_type(k)))
+        if slot is None:
+            raise SimulationError(f"agent {ctx.agent_id} found no slot at {node}")
+        destination = child_for_slot(ctx.dimension, node, slot)
+        yield UpdateWhiteboard(decrement("count"))
+        yield Move(destination)
+        yield UpdateWhiteboard(increment("count"))
+
+
+def run_synchronous_protocol(
+    dimension: int,
+    *,
+    delay: Optional[DelayModel] = None,
+    intruder: Optional[str] = "reachable",
+    check_contiguity: bool = True,
+) -> SimResult:
+    """Run the synchronous variant (global clock, no visibility).
+
+    Pass a non-unit ``delay`` to demonstrate how the variant *breaks*
+    without synchrony (the returned result will show recontamination).
+    """
+    h = Hypercube(dimension)
+    team = visibility_agents(dimension)
+    behaviors: List = [synchronous_agent] * team
+    engine = Engine(
+        h,
+        behaviors,
+        delay=delay,
+        visibility=False,
+        global_clock=True,
+        intruder=intruder,
+        check_contiguity=check_contiguity,
+    )
+    return engine.run()

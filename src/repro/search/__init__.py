@@ -1,0 +1,52 @@
+"""Baseline searchers for comparison with the paper's strategies.
+
+The contiguous, monotone node-search *problem* is graph-generic (Section
+1.2); this subpackage provides the reference points the ablation bench
+(A1) compares the hypercube strategies against:
+
+* :mod:`~repro.search.contiguous` — the exact state machine of the
+  problem on arbitrary graphs (legal moves, monotonicity, goal test).
+* :mod:`~repro.search.optimal` — brute-force optimal search: the true
+  minimum team size (and minimum moves for that team) on small graphs, by
+  BFS over the state space.
+* :mod:`~repro.search.tree_search` — contiguous search on trees in the
+  style of Barrière et al. [1]: the closed recursion for the minimal team
+  from a fixed homebase plus a strategy generator achieving it.
+* :mod:`~repro.search.level_sweep` — a naive hypercube baseline that
+  guards two full adjacent levels at once; correct but uses ~2x the agents
+  of Algorithm ``CLEAN`` and shows what the broadcast-tree structure buys.
+"""
+
+from repro.search.classical import (
+    node_cleaning_search_number,
+    node_search_number,
+)
+from repro.search.contiguous import SearchState, legal_moves, is_goal
+from repro.search.frontier_sweep import bfs_boundary_width, frontier_sweep_schedule
+from repro.search.harper import harper_sweep_schedule
+from repro.search.level_sweep import LevelSweepStrategy
+from repro.search.optimal import (
+    minimum_moves,
+    optimal_schedule,
+    optimal_search_number,
+    solvable_with,
+)
+from repro.search.tree_search import tree_search_number, tree_strategy_schedule
+
+__all__ = [
+    "SearchState",
+    "legal_moves",
+    "is_goal",
+    "optimal_search_number",
+    "solvable_with",
+    "minimum_moves",
+    "optimal_schedule",
+    "tree_search_number",
+    "tree_strategy_schedule",
+    "LevelSweepStrategy",
+    "node_search_number",
+    "node_cleaning_search_number",
+    "frontier_sweep_schedule",
+    "bfs_boundary_width",
+    "harper_sweep_schedule",
+]

@@ -1,0 +1,177 @@
+"""Classical (non-contiguous) node search, for model comparison (§1.2).
+
+The related-work model the paper contrasts with: searchers may be *placed*
+on any node and *removed* from any node (no walking constraint, no
+homebase), and the objects being decontaminated are the **edges**: an edge
+is cleared when searchers simultaneously occupy both endpoints, and a
+cleared edge is recontaminated if it is connected to a contaminated edge
+through an unguarded vertex.  The minimum number of searchers is the *node
+search number* ``ns(G)`` (= pathwidth + 1).
+
+The brute-force solver below settles ``ns`` exactly on small graphs so the
+A3 bench can put the paper's contiguous numbers side by side with the
+classical ones — demonstrating §1.2's point that "the contiguous assumption
+considerably changes the nature of the problem" in *both* directions: a
+path from its end needs 1 contiguous agent but 2 classical searchers, while
+graphs with a bad homebase can need more contiguous agents than ``ns``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import FrozenSet, Iterator, Tuple
+
+from repro.errors import CapacityError
+
+__all__ = ["node_search_number", "classical_solvable_with"]
+
+_STATE_LIMIT = 1_000_000
+
+Edge = Tuple[int, int]
+
+
+def _edges_of(graph) -> FrozenSet[Edge]:
+    return frozenset(tuple(sorted(e)) for e in graph.edges())
+
+
+def _recontaminate(graph, occupied: FrozenSet[int], contaminated: FrozenSet[Edge]) -> FrozenSet[Edge]:
+    """Close the contaminated edge set under spread through free vertices."""
+    contaminated = set(contaminated)
+    changed = True
+    while changed:
+        changed = False
+        for u, v in _edges_of(graph) - frozenset(contaminated):
+            for w in (u, v):
+                if w in occupied:
+                    continue
+                # w is free; any contaminated edge at w spreads to (u, v)
+                if any(
+                    tuple(sorted((w, y))) in contaminated for y in graph.neighbors(w)
+                ):
+                    contaminated.add((u, v))
+                    changed = True
+                    break
+    return frozenset(contaminated)
+
+
+def _clear(graph, occupied: FrozenSet[int], contaminated: FrozenSet[Edge]) -> FrozenSet[Edge]:
+    """Clear every edge with both endpoints occupied."""
+    return frozenset(
+        e for e in contaminated if not (e[0] in occupied and e[1] in occupied)
+    )
+
+
+def _successors(graph, k: int, state) -> Iterator[Tuple[FrozenSet[int], FrozenSet[Edge]]]:
+    occupied, contaminated = state
+    # place a searcher
+    if len(occupied) < k:
+        for v in graph.nodes():
+            if v not in occupied:
+                occ = occupied | {v}
+                yield occ, _clear(graph, occ, contaminated)
+    # remove a searcher (then evaluate recontamination)
+    for v in occupied:
+        occ = occupied - {v}
+        yield occ, _recontaminate(graph, occ, contaminated)
+
+
+def classical_solvable_with(graph, searchers: int) -> bool:
+    """Whether ``searchers`` suffice for classical node search of ``graph``."""
+    start = (frozenset(), _edges_of(graph))
+    if not start[1]:
+        return searchers >= 0  # no edges: vacuously clean
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        state = queue.popleft()
+        for nxt in _successors(graph, searchers, state):
+            if nxt in seen:
+                continue
+            if len(seen) > _STATE_LIMIT:
+                raise CapacityError("classical node-search state space too large")
+            seen.add(nxt)
+            if not nxt[1]:
+                return True
+            queue.append(nxt)
+    return False
+
+
+def node_search_number(graph, max_searchers: int | None = None) -> int:
+    """The classical node search number ``ns(G)`` by brute force."""
+    limit = max_searchers if max_searchers is not None else graph.n
+    for k in range(1, limit + 1):
+        if classical_solvable_with(graph, k):
+            return k
+    raise CapacityError(f"{graph!r} not searchable with {limit} searchers")
+
+
+# ---------------------------------------------------------------------- #
+# non-contiguous search under the *paper's* node-cleaning semantics
+# ---------------------------------------------------------------------- #
+
+
+def _settle_clean(graph, occupied: FrozenSet[int], clean: set) -> FrozenSet[int]:
+    """Flood recontamination through unguarded clean nodes (paper rules)."""
+    changed = True
+    while changed:
+        changed = False
+        for w in list(clean):
+            if w in occupied:
+                continue
+            for y in graph.neighbors(w):
+                if y not in occupied and y not in clean:
+                    clean.discard(w)
+                    changed = True
+                    break
+    return frozenset(clean)
+
+
+def _node_successors(graph, k: int, state) -> Iterator[Tuple[FrozenSet[int], FrozenSet[int]]]:
+    occupied, clean = state
+    # place a searcher anywhere (teleportation allowed in this model)
+    if len(occupied) < k:
+        for v in graph.nodes():
+            if v not in occupied:
+                yield occupied | {v}, clean - {v}
+    for v in occupied:
+        # remove a searcher entirely
+        occ = occupied - {v}
+        yield occ, _settle_clean(graph, occ, set(clean) | {v})
+        # or slide it atomically along an edge (the contiguous model's only
+        # action; including it makes this model a strict relaxation)
+        for y in graph.neighbors(v):
+            if y not in occupied:
+                occ2 = (occupied - {v}) | {y}
+                yield occ2, _settle_clean(graph, occ2, (set(clean) - {y}) | {v})
+
+
+def node_cleaning_solvable_with(graph, searchers: int) -> bool:
+    """Whether ``searchers`` clean every node with placement/removal allowed
+    — the paper's node semantics *without* the contiguity/walking
+    constraint.  Lower-bounds the contiguous number from any homebase."""
+    start = (frozenset(), frozenset())
+    seen = {start}
+    queue = deque([start])
+    n = graph.n
+    while queue:
+        state = queue.popleft()
+        for nxt in _node_successors(graph, searchers, state):
+            if nxt in seen:
+                continue
+            if len(seen) > _STATE_LIMIT:
+                raise CapacityError("node-cleaning state space too large")
+            seen.add(nxt)
+            occupied, clean = nxt
+            if len(occupied | clean) == n:
+                return True
+            queue.append(nxt)
+    return False
+
+
+def node_cleaning_search_number(graph, max_searchers: int | None = None) -> int:
+    """Minimal searchers for non-contiguous node cleaning (see above)."""
+    limit = max_searchers if max_searchers is not None else graph.n
+    for k in range(1, limit + 1):
+        if node_cleaning_solvable_with(graph, k):
+            return k
+    raise CapacityError(f"{graph!r} not cleanable with {limit} searchers")

@@ -1,0 +1,99 @@
+"""The contiguous monotone node-search problem as an exact state machine.
+
+A *state* is the pair (multiset of guard positions, set of clean nodes);
+everything else is contaminated.  A *move* relocates one agent along an
+edge.  The model's three constraints (Section 1.2 of the paper):
+
+1. agents are never removed from the network — only edge moves;
+2. the decontaminated region stays connected (automatic here: agents only
+   move along edges from the connected start, and a vacated node stays
+   safe only if its neighbourhood is, so the clean region grows around the
+   guards);
+3. no recontamination — a move that would strand a clean node next to a
+   contaminated one is illegal (*monotone* search).
+
+The legality test is local and exact: vacating ``src`` is allowed iff,
+after the agent lands on ``dst``, every neighbour of ``src`` is clean or
+guarded.  These states/moves are the substrate of the brute-force optimal
+searcher in :mod:`~repro.search.optimal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["SearchState", "legal_moves", "is_goal", "initial_state", "apply_move"]
+
+
+@dataclass(frozen=True)
+class SearchState:
+    """Immutable search state: guard positions (sorted) + clean set."""
+
+    guards: Tuple[int, ...]  # sorted multiset of agent positions
+    clean: frozenset  # clean (unguarded, decontaminated) nodes
+
+    def guarded_set(self) -> frozenset:
+        """Set of nodes holding at least one agent."""
+        return frozenset(self.guards)
+
+    def safe(self) -> frozenset:
+        """Clean or guarded nodes."""
+        return self.clean | frozenset(self.guards)
+
+    def contaminated(self, n: int) -> frozenset:
+        """Contaminated nodes of an ``n``-node graph."""
+        return frozenset(range(n)) - self.safe()
+
+
+def initial_state(agents: int, homebase: int = 0) -> SearchState:
+    """All agents stacked on the homebase; nothing clean yet."""
+    if agents < 1:
+        raise ValueError("need at least one agent")
+    return SearchState(guards=(homebase,) * agents, clean=frozenset())
+
+
+def is_goal(state: SearchState, n: int) -> bool:
+    """Whether every node is clean or guarded."""
+    return len(state.safe()) == n
+
+
+def apply_move(graph, state: SearchState, src: int, dst: int) -> SearchState:
+    """The state after moving one agent ``src -> dst`` (assumed legal)."""
+    guards = list(state.guards)
+    guards.remove(src)
+    guards.append(dst)
+    guards.sort()
+    clean = set(state.clean)
+    clean.discard(dst)  # dst is now guarded
+    if src not in guards:
+        clean.add(src)
+    return SearchState(guards=tuple(guards), clean=frozenset(clean))
+
+
+def legal_moves(graph, state: SearchState) -> Iterator[Tuple[int, int]]:
+    """All monotone moves ``(src, dst)`` available in ``state``.
+
+    A move is legal iff ``dst`` is adjacent to ``src`` and, in the
+    successor state, no clean node has a contaminated neighbour (it
+    suffices to check ``src``, the only node that can newly become clean).
+    """
+    safe_now = state.safe()
+    counts = {}
+    for g in state.guards:
+        counts[g] = counts.get(g, 0) + 1
+    for src in sorted(set(state.guards)):
+        for dst in graph.neighbors(src):
+            if counts[src] > 1:
+                yield (src, dst)  # src stays guarded; always monotone
+                continue
+            # src becomes clean: every neighbour must be safe afterwards
+            ok = True
+            for y in graph.neighbors(src):
+                if y == dst:
+                    continue  # dst becomes guarded by this very move
+                if y not in safe_now:
+                    ok = False
+                    break
+            if ok:
+                yield (src, dst)

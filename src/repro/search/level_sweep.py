@@ -1,0 +1,118 @@
+"""Naive hypercube baseline: guard two whole adjacent levels at once.
+
+The obvious level-by-level sweep without the paper's reuse trick: to
+advance the frontier from level ``l`` to ``l+1``, first guard *every*
+level-``l+1`` node with a fresh agent dispatched from the root (walking
+down the broadcast tree through the clean region), and only then release
+the level-``l`` guards back to the root.
+
+This is trivially monotone and contiguous, but it needs
+``max_l [C(d, l) + C(d, l+1)]`` agents — roughly *twice* Algorithm
+``CLEAN``'s ``C(d, l+1) + C(d-1, l-1) + 1`` peak (the paper's strategy
+lets the level-``l`` guards themselves march down tree edges, so only the
+leaf surplus needs replacing).  The A1 ablation bench quantifies exactly
+this gap, which is what the broadcast-tree choreography buys.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from repro.analysis.counting import binomial
+from repro.core.schedule import Move, MoveKind, Schedule
+from repro.core.states import AgentRole
+from repro.core.strategy import Strategy, register
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["LevelSweepStrategy", "level_sweep_peak_agents"]
+
+
+def level_sweep_peak_agents(d: int) -> int:
+    """Team size of the naive sweep.
+
+    Pass ``l >= 1`` holds both full levels deployed — ``C(d,l) + C(d,l+1)``
+    agents; pass 0 needs only the ``d`` level-1 guards (the root is covered
+    by the undeployed pool sitting on it).
+    """
+    if d == 0:
+        return 1
+    candidates = [d]
+    candidates += [binomial(d, l) + binomial(d, l + 1) for l in range(1, d)]
+    return max(candidates)
+
+
+@register
+class LevelSweepStrategy(Strategy):
+    """The naive two-full-levels baseline (whiteboard model)."""
+
+    name = "level-sweep"
+    model = "whiteboard"
+
+    def expected_team_size(self, d: int) -> Optional[int]:
+        return level_sweep_peak_agents(d)
+
+    def generate(self, hypercube: Hypercube) -> Schedule:
+        d = hypercube.d
+        tree = BroadcastTree(hypercube)
+        moves: List[Move] = []
+        # pool of (ready_time, agent_id) at the root; hire on demand
+        pool: List[tuple[int, int]] = []
+        next_id = 0
+        guard_of: Dict[int, int] = {}
+        guard_ready: Dict[int, int] = {}
+        clock = 0
+
+        def acquire() -> tuple[int, int]:
+            nonlocal next_id
+            if pool:
+                return heapq.heappop(pool)
+            agent = next_id
+            next_id += 1
+            return (0, agent)
+
+        def walk(agent: int, path: List[int], start: int, kind: MoveKind) -> int:
+            t = start
+            for src, dst in zip(path, path[1:]):
+                t += 1
+                moves.append(
+                    Move(agent=agent, src=src, dst=dst, time=t, role=AgentRole.AGENT, kind=kind)
+                )
+            return t
+
+        if d == 0:
+            return Schedule(dimension=0, strategy=self.name, team_size=1)
+
+        for level in range(0, d):
+            # guard every level-(l+1) node with a dispatched agent
+            for x in hypercube.level_nodes(level + 1):
+                ready, agent = acquire()
+                start = max(ready, clock)
+                arrival = walk(agent, tree.path_from_root(x), start, MoveKind.DISPATCH)
+                guard_of[x] = agent
+                guard_ready[x] = arrival
+            clock = max(clock, max(guard_ready[x] for x in hypercube.level_nodes(level + 1)))
+            # release every level-l guard back to the root
+            for x in hypercube.level_nodes(level):
+                if x == 0:
+                    continue  # the root has no single guard to release
+                agent = guard_of.pop(x)
+                start = max(guard_ready.pop(x), clock)
+                back = walk(agent, tree.path_to_root(x), start, MoveKind.RETURN)
+                heapq.heappush(pool, (back, agent))
+
+        # finally release the level-d guard
+        top = (1 << d) - 1
+        agent = guard_of.pop(top)
+        walk(agent, tree.path_to_root(top), max(guard_ready.pop(top), clock), MoveKind.RETURN)
+
+        moves.sort(key=lambda m: m.time)
+        schedule = Schedule(
+            dimension=d,
+            strategy=self.name,
+            moves=moves,
+            team_size=next_id,
+        )
+        schedule.metadata["peak_agents_formula"] = level_sweep_peak_agents(d)
+        return schedule

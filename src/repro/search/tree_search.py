@@ -1,0 +1,143 @@
+"""Contiguous search on trees, in the style of Barrière et al. [1].
+
+The paper cites [1] for the fact that contiguous monotone search is
+solvable optimally with a linear number of moves on trees.  For a tree
+rooted at the homebase the minimal team admits a clean recursion:
+
+    ``g(leaf) = 1``
+    ``g(v)    = max(g(c*), 1 + max_{c != c*} g(c))``
+
+where ``c*`` is a child of maximal ``g``.  Rationale: child subtrees are
+cleaned one at a time; while any *other* contaminated child remains, one
+agent must keep guarding ``v`` (else ``v`` is recontaminated), and agents
+used inside a finished subtree walk back through ``v`` and are reused; for
+the final (largest) child no guard must stay because the first agent
+stepping into it protects ``v``'s last contaminated neighbour.  Cleaning
+children in increasing ``g`` order achieves the bound; a pigeonhole
+argument shows no ordering does better, so the recursion is exact for the
+fixed-homebase problem (the brute-force searcher cross-checks this on
+every small tree in the tests).
+
+:func:`tree_strategy_schedule` emits the corresponding move sequence —
+a depth-first sweep with returns — which performs ``O(n)`` moves
+(every edge is traversed at most twice per agent that crosses it, and
+agents cross an edge only to clean the subtree behind it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.schedule import Move, MoveKind, Schedule
+from repro.core.states import AgentRole
+from repro.errors import TopologyError
+from repro.topology.generic import GraphAdapter
+
+__all__ = ["tree_search_number", "tree_strategy_schedule", "rooted_children"]
+
+
+def rooted_children(graph: GraphAdapter, root: int) -> Dict[int, List[int]]:
+    """Children lists of ``graph`` rooted at ``root`` (BFS orientation)."""
+    if not graph.is_tree():
+        raise TopologyError(f"{graph!r} is not a tree")
+    children: Dict[int, List[int]] = {v: [] for v in graph.nodes()}
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for y in graph.neighbors(v):
+                if y not in seen:
+                    seen.add(y)
+                    children[v].append(y)
+                    nxt.append(y)
+        frontier = nxt
+    return children
+
+
+def _g(children: Dict[int, List[int]], v: int) -> int:
+    kids = children[v]
+    if not kids:
+        return 1
+    values = sorted((_g(children, c) for c in kids), reverse=True)
+    best = values[0]
+    second = values[1] if len(values) > 1 else 0
+    # one guard stays on v while any non-final child subtree is cleaned;
+    # ties at the maximum force the guard during the tied sibling too
+    return max(best, 1 + second)
+
+
+def tree_search_number(graph: GraphAdapter, homebase: int = 0) -> int:
+    """Minimal team for contiguous monotone search of a tree from ``homebase``."""
+    children = rooted_children(graph, homebase)
+    return _g(children, homebase)
+
+
+def tree_strategy_schedule(graph: GraphAdapter, homebase: int = 0) -> Schedule:
+    """A schedule achieving :func:`tree_search_number` agents.
+
+    Recursive sweep: at ``v``, clean child subtrees in increasing ``g``
+    order; before entering any non-final child, park one agent on ``v``;
+    agents returning from a finished subtree gather back at ``v``.
+    """
+    children = rooted_children(graph, homebase)
+    team = tree_search_number(graph, homebase)
+    moves: List[Move] = []
+    clock = [0]
+    # agents are a free pool identified by ids; track their positions
+    positions: Dict[int, int] = {i: homebase for i in range(team)}
+
+    def emit(agent: int, src: int, dst: int) -> None:
+        clock[0] += 1
+        moves.append(
+            Move(
+                agent=agent,
+                src=src,
+                dst=dst,
+                time=clock[0],
+                role=AgentRole.AGENT,
+                kind=MoveKind.DEPLOY,
+            )
+        )
+        positions[agent] = dst
+
+    def agents_at(v: int) -> List[int]:
+        return sorted(a for a, p in positions.items() if p == v)
+
+    def clean_subtree(v: int, squad: List[int]) -> None:
+        """Clean the subtree under ``v``; ``squad`` sits on ``v``; at the
+        end the whole squad is back on ``v`` (its subtree all clean)."""
+        kids = sorted(children[v], key=lambda c: _g(children, c))
+        for index, c in enumerate(kids):
+            last = index == len(kids) - 1
+            # how many agents dive into c: everyone except (for non-final
+            # children) one guard left on v
+            divers = squad if last else squad[:-1]
+            need = _g(children, c)
+            divers = divers[:need] if len(divers) > need else divers
+            if not divers:
+                raise TopologyError("internal error: no agents to dive")
+            for a in divers:
+                emit(a, v, c)
+            clean_subtree(c, divers)
+            if not last:
+                for a in divers:
+                    emit(a, c, v)
+            else:
+                # subtree of the last child is clean; bring everyone home
+                for a in divers:
+                    emit(a, c, v)
+
+    # Clean the whole tree, then the team is parked on the homebase again.
+    clean_subtree(homebase, list(range(team)))
+
+    schedule = Schedule(
+        dimension=0,
+        strategy="tree-contiguous",
+        moves=moves,
+        team_size=team,
+        homebase=homebase,
+    )
+    schedule.metadata["graph"] = graph.name
+    schedule.metadata["graph_n"] = graph.n
+    return schedule

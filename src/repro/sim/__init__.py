@@ -1,0 +1,71 @@
+"""Simulation substrate: contamination dynamics, intruder, async engine.
+
+This subpackage is the "system" half of the reproduction: the paper's
+networked environment of hosts, whiteboards and asynchronous mobile agents
+is modelled by
+
+* :mod:`~repro.sim.contamination` — exact monotone node-search state
+  dynamics (guarded / clean / contaminated, recontamination spread),
+* :mod:`~repro.sim.intruder` — the omniscient, arbitrarily fast intruder,
+* :mod:`~repro.sim.whiteboard` — per-node ``O(log n)``-bit whiteboards with
+  fair mutual exclusion,
+* :mod:`~repro.sim.engine` / :mod:`~repro.sim.events` — a discrete-event
+  executor running agent behaviours with unpredictable action durations,
+* :mod:`~repro.sim.scheduling` — delay models (unit, random, adversarial),
+* :mod:`~repro.sim.agent` — the agent action vocabulary and base class,
+* :mod:`~repro.sim.trace` — execution traces for replay and debugging.
+
+Operational extensions beyond the paper: :mod:`~repro.sim.telemetry`
+(traffic/overhead measures), :mod:`~repro.sim.replay` (execute any
+schedule as scripted engine agents), :mod:`~repro.sim.reinfection`
+(periodic cleaning service) and :mod:`~repro.sim.quarantine` (localized
+incident response).
+"""
+
+from repro.sim.contamination import ContaminationMap
+from repro.sim.engine import Engine, SimResult
+from repro.sim.intruder import (
+    Intruder,
+    MultiWalkerIntruder,
+    ReachableSetIntruder,
+    WalkerIntruder,
+)
+from repro.sim.quarantine import QuarantineReport, quarantine_and_clean, quarantine_line
+from repro.sim.reinfection import PeriodicCleaning, PeriodReport
+from repro.sim.replay import execute_schedule_on_engine
+from repro.sim.telemetry import TraceTelemetry, analyze_trace
+from repro.sim.scheduling import (
+    AdversarialSlowestDelay,
+    DelayModel,
+    LayeredDelay,
+    RandomDelay,
+    UnitDelay,
+)
+from repro.sim.trace import Trace, TraceEvent
+from repro.sim.whiteboard import Whiteboard
+
+__all__ = [
+    "ContaminationMap",
+    "Intruder",
+    "ReachableSetIntruder",
+    "WalkerIntruder",
+    "Whiteboard",
+    "Engine",
+    "SimResult",
+    "DelayModel",
+    "UnitDelay",
+    "RandomDelay",
+    "AdversarialSlowestDelay",
+    "LayeredDelay",
+    "Trace",
+    "TraceEvent",
+    "MultiWalkerIntruder",
+    "analyze_trace",
+    "TraceTelemetry",
+    "PeriodicCleaning",
+    "PeriodReport",
+    "quarantine_and_clean",
+    "quarantine_line",
+    "QuarantineReport",
+    "execute_schedule_on_engine",
+]

@@ -1,0 +1,278 @@
+"""Exact monotone node-search state dynamics (Section 2 of the paper).
+
+The :class:`ContaminationMap` tracks, for every node of a topology, whether
+it is *guarded* (at least one agent on it), *clean*, or *contaminated*, and
+evolves the state under atomic agent moves with the standard node-search
+semantics the paper uses:
+
+* a contaminated node becomes guarded the moment an agent arrives;
+* when the last agent leaves a node, the node stays clean only if every
+  neighbour is clean or guarded — otherwise it is *recontaminated*, and
+  recontamination spreads through every unguarded clean node reachable from
+  a contaminated one;
+* moves are atomic: the departure and arrival of a traversal take effect
+  together, then recontamination is evaluated (this is the "move a searcher
+  along an edge" action of the graph-search literature).
+
+The map also answers the two global predicates the paper's definition of a
+*contiguous, monotone* strategy needs: whether the decontaminated region
+(clean + guarded) is connected, and whether any recontamination ever
+happened.  Raising vs. recording is configurable so the verifier can either
+fail fast (``strict=True``) or collect all violations for reporting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.states import NodeState
+from repro.errors import RecontaminationError, SimulationError
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["ContaminationMap"]
+
+
+class ContaminationMap:
+    """Node-search state for one topology.
+
+    Parameters
+    ----------
+    topology:
+        Any object with ``n`` / ``nodes()`` / ``neighbors(x)`` /
+        ``has_edge(x, y)`` — :class:`~repro.topology.hypercube.Hypercube`
+        or :class:`~repro.topology.generic.GraphAdapter`.
+    homebase:
+        Node where the team starts; initially the only non-contaminated
+        node (guard count 0 but *visited*: agents are placed there by
+        :meth:`place_agent` / the first moves).
+    strict:
+        If true, a recontamination raises
+        :class:`~repro.errors.RecontaminationError` immediately; otherwise
+        it is recorded in :attr:`recontamination_events`.
+
+    Notes
+    -----
+    The homebase starts *guarded* conceptually (the team sits on it).  For
+    flexibility the map starts with zero guards everywhere and the caller
+    places agents; :meth:`place_agent` at the homebase marks it visited
+    without a move.
+    """
+
+    def __init__(self, topology, homebase: int = 0, strict: bool = True) -> None:
+        if homebase not in range(topology.n):
+            raise SimulationError(f"homebase {homebase} not a node")
+        self._topo = topology
+        self.homebase = homebase
+        self.strict = strict
+        self._guards: Dict[int, int] = {}
+        self._clean: Set[int] = set()
+        #: list of ``(node, cause_node)`` recontaminations (empty iff monotone)
+        self.recontamination_events: List[tuple[int, int]] = []
+        #: order in which nodes were first decontaminated (visited)
+        self.first_visit_order: List[int] = []
+        self._visited: Set[int] = set()
+        self._moves_applied = 0
+
+    # ------------------------------------------------------------------ #
+    # state queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def topology(self):
+        """The underlying topology object."""
+        return self._topo
+
+    def state(self, node: int) -> NodeState:
+        """Current :class:`~repro.core.states.NodeState` of ``node``."""
+        if self._guards.get(node, 0) > 0:
+            return NodeState.GUARDED
+        if node in self._clean:
+            return NodeState.CLEAN
+        return NodeState.CONTAMINATED
+
+    def guards(self, node: int) -> int:
+        """Number of agents currently on ``node``."""
+        return self._guards.get(node, 0)
+
+    def is_safe(self, node: int) -> bool:
+        """Clean-or-guarded (the rule condition on smaller neighbours)."""
+        return self.state(node) is not NodeState.CONTAMINATED
+
+    def contaminated_nodes(self) -> Set[int]:
+        """The set of currently contaminated nodes."""
+        return {
+            x
+            for x in self._topo.nodes()
+            if x not in self._clean and self._guards.get(x, 0) == 0
+        }
+
+    def clean_nodes(self) -> Set[int]:
+        """The set of currently clean (and unguarded) nodes."""
+        return set(self._clean)
+
+    def guarded_nodes(self) -> Set[int]:
+        """Nodes currently holding at least one agent."""
+        return {x for x, c in self._guards.items() if c > 0}
+
+    def decontaminated_nodes(self) -> Set[int]:
+        """Clean plus guarded nodes (the region the intruder cannot enter)."""
+        return self._clean | self.guarded_nodes()
+
+    def all_clean(self) -> bool:
+        """Whether no contaminated node remains (the strategy's goal)."""
+        return len(self._clean) + len(self.guarded_nodes()) == self._topo.n
+
+    def is_monotone(self) -> bool:
+        """Whether no recontamination has occurred so far."""
+        return not self.recontamination_events
+
+    def is_contiguous(self) -> bool:
+        """Whether the decontaminated region is connected (contains homebase).
+
+        The empty-region edge case (before any placement) counts as
+        contiguous.
+        """
+        region = self.decontaminated_nodes()
+        if not region:
+            return True
+        start = self.homebase if self.homebase in region else next(iter(region))
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            x = frontier.popleft()
+            for y in self._topo.neighbors(x):
+                if y in region and y not in seen:
+                    seen.add(y)
+                    frontier.append(y)
+        return len(seen) == len(region)
+
+    # ------------------------------------------------------------------ #
+    # state evolution
+    # ------------------------------------------------------------------ #
+
+    def place_agent(self, node: int) -> None:
+        """Place an agent on ``node`` without a move (initial deployment).
+
+        Only meaningful at the homebase or on an already-guarded node —
+        contiguous search forbids teleporting searchers; placing an agent on
+        a contaminated node other than the homebase raises.
+        """
+        if node != self.homebase and self.state(node) is NodeState.CONTAMINATED:
+            raise SimulationError(
+                f"cannot place an agent on contaminated node {node} (contiguous model)"
+            )
+        self._guards[node] = self._guards.get(node, 0) + 1
+        self._mark_visited(node)
+
+    def move_agent(self, src: int, dst: int) -> None:
+        """Atomically move one agent along edge ``(src, dst)``.
+
+        Applies departure and arrival together, then evaluates
+        recontamination (standard node-search action semantics).
+        """
+        if self._guards.get(src, 0) <= 0:
+            raise SimulationError(f"no agent on {src} to move")
+        if not self._topo.has_edge(src, dst):
+            raise SimulationError(f"({src}, {dst}) is not an edge")
+        self._guards[src] -= 1
+        self._guards[dst] = self._guards.get(dst, 0) + 1
+        self._mark_visited(dst)
+        self._moves_applied += 1
+        if self._guards[src] == 0:
+            # src is now unguarded; it stays clean only if its whole
+            # neighbourhood is safe, otherwise recontamination spreads.
+            self._clean.add(src)
+            self._evaluate_recontamination(seeds=[src])
+
+    def remove_agent(self, node: int) -> None:
+        """Remove an agent from the network (NOT allowed in the paper's
+        contiguous model; provided only for the classical-search baselines).
+        """
+        if self._guards.get(node, 0) <= 0:
+            raise SimulationError(f"no agent on {node} to remove")
+        self._guards[node] -= 1
+        if self._guards[node] == 0:
+            self._clean.add(node)
+            self._evaluate_recontamination(seeds=[node])
+
+    @classmethod
+    def from_state(
+        cls,
+        topology,
+        guards: Dict[int, int],
+        clean: Set[int],
+        *,
+        homebase: int = 0,
+        strict: bool = True,
+    ) -> "ContaminationMap":
+        """Reconstruct a map mid-search from explicit guard counts and a
+        clean set (replay/cross-validation hook; the caller vouches the
+        state is reachable)."""
+        cmap = cls(topology, homebase=homebase, strict=strict)
+        cmap._guards = {n: c for n, c in guards.items() if c > 0}
+        cmap._clean = set(clean) - set(cmap._guards)
+        cmap._visited = set(cmap._clean) | set(cmap._guards)
+        cmap.first_visit_order = sorted(cmap._visited)
+        return cmap
+
+    def _mark_visited(self, node: int) -> None:
+        if node not in self._visited:
+            self._visited.add(node)
+            self.first_visit_order.append(node)
+        self._clean.discard(node)  # guarded, not merely clean
+
+    def _evaluate_recontamination(self, seeds: Iterable[int]) -> None:
+        """Spread contamination from contaminated nodes into unguarded clean
+        ones, starting the check at ``seeds`` (nodes that just lost guards).
+        """
+        frontier = deque()
+        for node in seeds:
+            if node in self._clean:
+                cause = self._contaminated_neighbor(node)
+                if cause is not None:
+                    self._recontaminate(node, cause)
+                    frontier.append(node)
+        # transitive spread through unguarded clean nodes
+        while frontier:
+            x = frontier.popleft()
+            for y in self._topo.neighbors(x):
+                if y in self._clean:
+                    self._recontaminate(y, x)
+                    frontier.append(y)
+
+    def _contaminated_neighbor(self, node: int) -> Optional[int]:
+        for y in self._topo.neighbors(node):
+            if y not in self._clean and self._guards.get(y, 0) == 0:
+                return y
+        return None
+
+    def _recontaminate(self, node: int, cause: int) -> None:
+        self._clean.discard(node)
+        self.recontamination_events.append((node, cause))
+        if self.strict:
+            raise RecontaminationError(
+                f"node {node} recontaminated from {cause}", node=node
+            )
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def census(self) -> Dict[NodeState, int]:
+        """Node counts per state."""
+        counts = {s: 0 for s in NodeState}
+        for x in self._topo.nodes():
+            counts[self.state(x)] += 1
+        return counts
+
+    def snapshot(self) -> Dict[int, NodeState]:
+        """Full state map (used by traces and the viz module)."""
+        return {x: self.state(x) for x in self._topo.nodes()}
+
+    def __repr__(self) -> str:
+        c = self.census()
+        return (
+            f"ContaminationMap(n={self._topo.n}, guarded={c[NodeState.GUARDED]}, "
+            f"clean={c[NodeState.CLEAN]}, contaminated={c[NodeState.CONTAMINATED]})"
+        )

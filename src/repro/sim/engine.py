@@ -1,0 +1,495 @@
+"""The asynchronous discrete-event executor for agent protocols.
+
+The engine is the substrate standing in for the paper's real network: it
+hosts a team of agent behaviours (generators yielding
+:mod:`~repro.sim.agent` actions), charges every action a duration chosen by
+the adversary (:class:`~repro.sim.scheduling.DelayModel`), serializes
+whiteboard access (fair mutual exclusion via FIFO event ordering), evolves
+the exact contamination dynamics on every move, and co-simulates the
+omniscient intruder.
+
+Capability flags configure which model of the paper is in force:
+
+* default — the Section 3 whiteboard model;
+* ``visibility=True`` — Section 4 ("an agent can see whether its
+  neighbouring nodes are clean or guarded or contaminated");
+* ``cloning=True`` — the Section 5 cloning observation;
+* ``global_clock=True`` — the Section 5 synchronous observation (agents
+  may consult the time; pair with :class:`~repro.sim.scheduling.UnitDelay`).
+
+An action that needs a capability the engine was not given raises
+:class:`~repro.errors.AgentError` — protocols cannot quietly use more
+power than their model grants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import AgentError, SimulationError
+from repro.sim.agent import (
+    AgentContext,
+    CloneSelf,
+    Move,
+    NodeView,
+    ReadWhiteboard,
+    See,
+    Terminate,
+    UpdateWhiteboard,
+    WaitUntil,
+    WriteWhiteboard,
+)
+from repro.sim.contamination import ContaminationMap
+from repro.sim.events import EventQueue
+from repro.sim.intruder import ReachableSetIntruder, WalkerIntruder
+from repro.sim.scheduling import DelayModel, UnitDelay
+from repro.sim.trace import Trace, TraceEvent
+from repro.sim.whiteboard import Whiteboard
+
+__all__ = ["Engine", "SimResult"]
+
+BehaviorFactory = Callable[[AgentContext], Any]
+
+
+@dataclass
+class SimResult:
+    """Outcome of one engine run."""
+
+    n: int
+    delay_model: str
+    trace: Trace
+    all_clean: bool
+    monotone: bool
+    contiguous: bool
+    intruder_captured: bool
+    deadlocked: bool
+    makespan: float
+    total_moves: int
+    team_size: int
+    terminated_agents: int
+    blocked_agents: int
+    event_count: int
+    peak_whiteboard_bits: int
+    peak_agent_memory_bits: int
+    final_states: Dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Cleaning succeeded with all invariants intact."""
+        return (
+            self.all_clean
+            and self.monotone
+            and self.contiguous
+            and self.intruder_captured
+            and not self.deadlocked
+        )
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        verdict = "OK" if self.ok else "FAILED"
+        return (
+            f"[{verdict}] n={self.n} delays={self.delay_model}: "
+            f"moves={self.total_moves} makespan={self.makespan:.2f} "
+            f"team={self.team_size} clean={self.all_clean} "
+            f"monotone={self.monotone} contiguous={self.contiguous} "
+            f"captured={self.intruder_captured} deadlock={self.deadlocked}"
+        )
+
+
+class _AgentRecord:
+    """Engine-internal per-agent state.
+
+    ``token`` is the scheduling generation: every event pushed for this
+    agent carries the token current at push time, and the engine drops
+    events whose token has been superseded (stale wake-ups must not fire
+    once the agent has moved on — literally).
+    """
+
+    __slots__ = ("ctx", "generator", "status", "pending", "wait", "token")
+
+    def __init__(self, ctx: AgentContext, generator) -> None:
+        self.ctx = ctx
+        self.generator = generator
+        self.status = "ready"  # ready | inflight | blocked | terminated
+        self.pending: Optional[Callable[[float], Any]] = None
+        self.wait: Optional[WaitUntil] = None
+        self.token = 0
+
+
+class Engine:
+    """Discrete-event executor for agent protocols on one topology.
+
+    Parameters
+    ----------
+    topology:
+        Hypercube or GraphAdapter to run on.
+    behaviors:
+        One behaviour factory per initial agent; every agent starts at
+        ``homebase`` (the paper's model).
+    delay:
+        The asynchrony adversary; default ideal time.
+    visibility, cloning, global_clock:
+        Capability flags (see module docstring).
+    whiteboard_capacity_bits:
+        Optional per-node whiteboard ceiling (A2 memory bench).
+    intruder:
+        ``"reachable"`` (default, proves capture), ``"walker"`` (a concrete
+        adversarial walker), ``"walkers"`` (``intruder_count`` independent
+        walkers) or ``None``.
+    check_contiguity:
+        Verify the decontaminated region stays connected after every move
+        (O(n) each; disable for large runs).
+    max_events:
+        Hard safety limit on processed events.
+    fault_plan:
+        Crash-stop fault injection: ``{agent_id: action_budget}`` — the
+        agent silently stops acting after that many actions (its body
+        keeps guarding its node, per the model's no-removal rule).  Used
+        by the robustness tests: the paper's strategies stay *safe*
+        (monotone) under crashes but lose liveness (reported deadlock).
+    """
+
+    def __init__(
+        self,
+        topology,
+        behaviors: List[BehaviorFactory],
+        *,
+        homebase: int = 0,
+        delay: Optional[DelayModel] = None,
+        visibility: bool = False,
+        cloning: bool = False,
+        global_clock: bool = False,
+        whiteboard_capacity_bits: Optional[int] = None,
+        intruder: Optional[str] = "reachable",
+        intruder_seed: int = 0,
+        intruder_count: int = 2,
+        check_contiguity: bool = True,
+        max_events: int = 2_000_000,
+        fault_plan: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if not behaviors:
+            raise SimulationError("need at least one agent behaviour")
+        self._topo = topology
+        self._homebase = homebase
+        self._delay = delay or UnitDelay()
+        self._visibility = visibility
+        self._cloning = cloning
+        self._global_clock = global_clock
+        self._wb_capacity = whiteboard_capacity_bits
+        self._check_contiguity = check_contiguity
+        self._max_events = max_events
+        self._fault_plan = dict(fault_plan or {})
+        self._actions_taken: Dict[int, int] = {}
+
+        self._queue = EventQueue()
+        self._trace = Trace()
+        self._boards: Dict[int, Whiteboard] = {}
+        self._agents: Dict[int, _AgentRecord] = {}
+        self._next_agent_id = 0
+        self._time = 0.0
+        self._events_processed = 0
+        self._contiguous_ok = True
+
+        self._cmap = ContaminationMap(topology, homebase=homebase, strict=False)
+        dimension = getattr(topology, "d", 0)
+        for factory in behaviors:
+            self._spawn(factory, homebase, dimension)
+
+        if intruder == "reachable":
+            self._intruder = ReachableSetIntruder(self._cmap)
+        elif intruder == "walker":
+            import random
+
+            self._intruder = WalkerIntruder(self._cmap, rng=random.Random(intruder_seed))
+        elif intruder == "walkers":
+            import random
+
+            from repro.sim.intruder import MultiWalkerIntruder
+
+            self._intruder = MultiWalkerIntruder(
+                self._cmap, count=intruder_count, rng=random.Random(intruder_seed)
+            )
+        elif intruder is None:
+            self._intruder = None
+        else:
+            raise SimulationError(f"unknown intruder kind {intruder!r}")
+
+    # ------------------------------------------------------------------ #
+    # setup helpers
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self, factory: BehaviorFactory, node: int, dimension: int) -> int:
+        agent_id = self._next_agent_id
+        self._next_agent_id += 1
+        ctx = AgentContext(agent_id, node, dimension)
+        self._cmap.place_agent(node)
+        generator = factory(ctx)
+        record = _AgentRecord(ctx, generator)
+        self._agents[agent_id] = record
+        self._schedule(record, self._time)
+        return agent_id
+
+    def _schedule(self, record: "_AgentRecord", time: float) -> None:
+        """Push the next event for an agent, superseding older ones."""
+        record.token += 1
+        self._queue.push(time, record.ctx.agent_id, record.token)
+
+    def board(self, node: int) -> Whiteboard:
+        """The whiteboard of ``node`` (created on first access)."""
+        wb = self._boards.get(node)
+        if wb is None:
+            degree = len(self._topo.neighbors(node))
+            wb = Whiteboard(node, degree, self._wb_capacity)
+            self._boards[node] = wb
+        return wb
+
+    def _view(self, record: _AgentRecord) -> NodeView:
+        node = record.ctx.node
+        see = (lambda: {y: self._cmap.state(y) for y in self._topo.neighbors(node)}) if self._visibility else None
+        clock = (lambda: self._time) if self._global_clock else None
+        return NodeView(node=node, _wb_read=self.board(node).read, _see=see, _clock=clock)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SimResult:
+        """Execute until quiescence and return the :class:`SimResult`."""
+        while self._queue:
+            if self._events_processed >= self._max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self._max_events}; "
+                    "livelock or runaway protocol"
+                )
+            event = self._queue.pop()
+            self._events_processed += 1
+            self._time = max(self._time, event.time)
+            record = self._agents[event.agent_id]
+            if event.token != record.token:
+                continue  # superseded by a newer scheduling decision
+            if record.status == "terminated":
+                continue
+            if record.status == "blocked":
+                # a wake-up: re-check the predicate under mutual exclusion
+                if record.wait is not None and not record.wait.predicate(self._view(record)):
+                    continue
+                record.wait = None
+                record.status = "ready"
+                self._resume(record, True)
+            elif record.pending is not None:
+                completion = record.pending
+                record.pending = None
+                record.status = "ready"
+                value = completion(self._time)
+                self._resume(record, value)
+            else:
+                self._resume(record, None)
+            self._wake_blocked()
+        return self._finish()
+
+    def _resume(self, record: _AgentRecord, value: Any) -> None:
+        """Step the behaviour until it blocks, terminates or yields a timed
+        action."""
+        while True:
+            # zero-delay local actions execute inline, so they must count
+            # against the event budget or a spinning behaviour never yields
+            # control back to the loop's max_events guard
+            self._events_processed += 1
+            if self._events_processed >= self._max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self._max_events}; "
+                    "livelock or runaway protocol"
+                )
+            agent_key = record.ctx.agent_id
+            budget = self._fault_plan.get(agent_key)
+            if budget is not None:
+                taken = self._actions_taken.get(agent_key, 0)
+                if taken >= budget:
+                    # crash-stop: the agent silently halts, body stays put
+                    record.generator.close()
+                    record.status = "terminated"
+                    self._trace.log(
+                        TraceEvent(self._time, "crash", agent_key, record.ctx.node)
+                    )
+                    return
+                self._actions_taken[agent_key] = taken + 1
+            try:
+                action = record.generator.send(value)
+            except StopIteration:
+                record.status = "terminated"
+                self._trace.log(
+                    TraceEvent(self._time, "terminate", record.ctx.agent_id, record.ctx.node)
+                )
+                return
+            value = None
+            agent_id = record.ctx.agent_id
+            node = record.ctx.node
+
+            if isinstance(action, Terminate):
+                record.generator.close()
+                record.status = "terminated"
+                self._trace.log(TraceEvent(self._time, "terminate", agent_id, node))
+                return
+
+            if isinstance(action, Move):
+                dst = action.dst
+                if not self._topo.has_edge(node, dst):
+                    raise AgentError(f"agent {agent_id}: ({node}, {dst}) is not an edge")
+                duration = self._delay.move_delay(agent_id, node, dst)
+                if duration <= 0:
+                    raise SimulationError("move durations must be positive")
+                record.pending = self._make_move_completion(record, node, dst)
+                record.status = "inflight"
+                self._schedule(record, self._time + duration)
+                return
+
+            if isinstance(action, WaitUntil):
+                if action.predicate(self._view(record)):
+                    value = True
+                    continue
+                record.wait = action
+                record.status = "blocked"
+                if action.wake_at is not None and action.wake_at > self._time:
+                    self._schedule(record, action.wake_at)
+                self._trace.log(
+                    TraceEvent(
+                        self._time, "wait", agent_id, node,
+                        {"why": action.description},
+                    )
+                )
+                return
+
+            # local actions: execute now or after the model's local delay
+            executor = self._local_executor(record, action)
+            local = self._delay.local_delay(agent_id, node)
+            if local > 0:
+                record.pending = executor
+                record.status = "inflight"
+                self._schedule(record, self._time + local)
+                return
+            value = executor(self._time)
+
+    def _make_move_completion(self, record: _AgentRecord, src: int, dst: int):
+        def complete(now: float) -> None:
+            self._cmap.move_agent(src, dst)
+            record.ctx.node = dst
+            self._trace.log(
+                TraceEvent(now, "move", record.ctx.agent_id, dst, {"src": src})
+            )
+            if self._intruder is not None:
+                self._intruder.observe(self._cmap)
+            if self._check_contiguity and not self._cmap.is_contiguous():
+                self._contiguous_ok = False
+            return None
+
+        return complete
+
+    def _local_executor(self, record: _AgentRecord, action) -> Callable[[float], Any]:
+        agent_id = record.ctx.agent_id
+
+        if isinstance(action, ReadWhiteboard):
+            return lambda now: self.board(record.ctx.node).read(action.key)
+
+        if isinstance(action, WriteWhiteboard):
+            def write(now: float) -> None:
+                self.board(record.ctx.node).write(action.key, action.value)
+                return None
+
+            return write
+
+        if isinstance(action, UpdateWhiteboard):
+            return lambda now: self.board(record.ctx.node).update(action.mutator)
+
+        if isinstance(action, See):
+            if not self._visibility:
+                raise AgentError(f"agent {agent_id} used See() without the visibility model")
+            return lambda now: {
+                y: self._cmap.state(y) for y in self._topo.neighbors(record.ctx.node)
+            }
+
+        if isinstance(action, CloneSelf):
+            if not self._cloning:
+                raise AgentError(f"agent {agent_id} cloned without the cloning model")
+
+            def clone(now: float) -> int:
+                new_id = self._spawn(
+                    action.behavior, record.ctx.node, record.ctx.dimension
+                )
+                self._trace.log(
+                    TraceEvent(now, "clone", agent_id, record.ctx.node, {"child": new_id})
+                )
+                return new_id
+
+            return clone
+
+        raise AgentError(f"agent {agent_id} yielded unknown action {action!r}")
+
+    def _wake_blocked(self) -> None:
+        """Re-check every blocked agent's predicate; schedule true ones.
+
+        Predicates are pure, so evaluating them here and again at wake-up
+        (under mutual exclusion) is safe; double-waking is prevented by the
+        status transition in :meth:`run`.
+        """
+        for record in self._agents.values():
+            if record.status == "blocked" and record.wait is not None:
+                if record.wait.predicate(self._view(record)):
+                    self._trace.log(
+                        TraceEvent(
+                            self._time, "wake", record.ctx.agent_id, record.ctx.node
+                        )
+                    )
+                    self._schedule(record, self._time)
+
+    # ------------------------------------------------------------------ #
+
+    def _finish(self) -> SimResult:
+        blocked = sum(1 for r in self._agents.values() if r.status == "blocked")
+        terminated = sum(1 for r in self._agents.values() if r.status == "terminated")
+        all_clean = self._cmap.all_clean()
+        deadlocked = blocked > 0 and not all_clean
+        if self._intruder is not None:
+            captured = self._intruder.captured
+        else:
+            captured = all_clean
+        return SimResult(
+            n=self._topo.n,
+            delay_model=self._delay.describe(),
+            trace=self._trace,
+            all_clean=all_clean,
+            monotone=self._cmap.is_monotone(),
+            contiguous=self._contiguous_ok,
+            intruder_captured=captured,
+            deadlocked=deadlocked,
+            makespan=self._trace.makespan(),
+            total_moves=self._trace.move_count(),
+            team_size=self._next_agent_id,
+            terminated_agents=terminated,
+            blocked_agents=blocked,
+            event_count=self._events_processed,
+            peak_whiteboard_bits=max(
+                (wb.peak_bits for wb in self._boards.values()), default=0
+            ),
+            peak_agent_memory_bits=max(
+                (r.ctx.peak_memory_bits for r in self._agents.values()), default=0
+            ),
+            final_states=self._cmap.snapshot(),
+        )
+
+    # exposed for tests and protocols ----------------------------------- #
+
+    @property
+    def contamination(self) -> ContaminationMap:
+        """The live contamination map (read-only use, please)."""
+        return self._cmap
+
+    @property
+    def time(self) -> float:
+        """Current simulation time."""
+        return self._time
+
+    @property
+    def intruder(self):
+        """The co-simulated intruder object (or ``None``)."""
+        return self._intruder

@@ -1,0 +1,248 @@
+"""The intruder: omniscient, arbitrarily fast, hostile (Section 1.1).
+
+The paper's worst-case intruder "moves as if it can see the whereabouts of
+the team of agents, thus avoiding them as much as possible" and can move
+arbitrarily fast — i.e. between any two agent actions it may traverse any
+number of edges, as long as it never steps on a guarded node.
+
+Two equivalent formalizations are provided:
+
+* :class:`ReachableSetIntruder` — the standard graph-search semantics: the
+  intruder "is" the set of nodes it could possibly occupy, namely the set
+  of contaminated nodes.  It is captured exactly when that set becomes
+  empty.  This is the model the verifier uses to prove capture.
+
+* :class:`WalkerIntruder` — a concrete adversarial walker occupying one
+  node, used by the examples and the failure-injection tests: after every
+  agent action it greedily relocates inside its reachable contaminated
+  region (preferring nodes far from agents) and is captured when an agent
+  lands on its node or its region vanishes.
+
+Both share the :class:`Intruder` interface so the engine can host either.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Optional, Set
+
+from repro.errors import SimulationError
+from repro.sim.contamination import ContaminationMap
+
+__all__ = ["Intruder", "ReachableSetIntruder", "WalkerIntruder"]
+
+
+class Intruder:
+    """Interface: something hiding in the contaminated region."""
+
+    def observe(self, cmap: ContaminationMap) -> None:
+        """React (arbitrarily fast) to the new network state."""
+        raise NotImplementedError
+
+    @property
+    def captured(self) -> bool:
+        """Whether the intruder has been caught."""
+        raise NotImplementedError
+
+
+class ReachableSetIntruder(Intruder):
+    """Set semantics: the intruder occupies *every* contaminated node.
+
+    Captured exactly when no contaminated node remains.  Additionally
+    verifies the classic equivalence: the contaminated region can only
+    shrink in a monotone strategy — if it ever grows somewhere that was
+    clean, the underlying map has already recorded a recontamination.
+    """
+
+    def __init__(self, cmap: ContaminationMap) -> None:
+        self._region: Set[int] = set(cmap.contaminated_nodes())
+        self._ever_grew = False
+        self.observe(cmap)
+
+    def observe(self, cmap: ContaminationMap) -> None:
+        new_region = cmap.contaminated_nodes()
+        if new_region - self._region:
+            self._ever_grew = True
+        self._region = new_region
+
+    @property
+    def region(self) -> Set[int]:
+        """The set of nodes the intruder may currently occupy."""
+        return set(self._region)
+
+    @property
+    def captured(self) -> bool:
+        return not self._region
+
+    @property
+    def ever_escaped_into_clean_area(self) -> bool:
+        """True iff the possible-location set ever grew (recontamination)."""
+        return self._ever_grew
+
+
+class WalkerIntruder(Intruder):
+    """A concrete intruder occupying a single node.
+
+    Movement model: after each observation the intruder may traverse any
+    number of edges through nodes that are not guarded (arbitrarily fast),
+    so its options are the nodes of its current connected unguarded region.
+    The policy picks, within the *contaminated* part of that region, a node
+    maximizing distance from the nearest guard (ties broken by the given
+    RNG so runs are reproducible).
+
+    Parameters
+    ----------
+    cmap:
+        The contamination map to live in.
+    start:
+        Starting node; must be contaminated.  If ``None``, the node of the
+        contaminated region farthest from the homebase is chosen.
+    rng:
+        Source of tie-breaking randomness (``random.Random``).
+    """
+
+    def __init__(
+        self,
+        cmap: ContaminationMap,
+        start: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._rng = rng or random.Random(0)
+        self._captured = False
+        contaminated = cmap.contaminated_nodes()
+        if not contaminated:
+            raise SimulationError("nothing is contaminated; no place for an intruder")
+        if start is None:
+            start = max(contaminated, key=lambda x: self._bfs_depth(cmap, x))
+        if start not in contaminated:
+            raise SimulationError(f"intruder start {start} is not contaminated")
+        self.position = start
+        #: every node the intruder has ever occupied, in order
+        self.trajectory = [start]
+
+    @staticmethod
+    def _bfs_depth(cmap: ContaminationMap, node: int) -> int:
+        # distance from homebase, used only for the default start heuristic
+        topo = cmap.topology
+        seen = {cmap.homebase: 0}
+        q = deque([cmap.homebase])
+        while q:
+            x = q.popleft()
+            for y in topo.neighbors(x):
+                if y not in seen:
+                    seen[y] = seen[x] + 1
+                    q.append(y)
+        return seen.get(node, -1)
+
+    def _reachable_region(self, cmap: ContaminationMap) -> Set[int]:
+        """Nodes reachable from the current position avoiding guards."""
+        topo = cmap.topology
+        if cmap.guards(self.position) > 0:
+            return set()
+        seen = {self.position}
+        q = deque([self.position])
+        while q:
+            x = q.popleft()
+            for y in topo.neighbors(x):
+                if y not in seen and cmap.guards(y) == 0:
+                    seen.add(y)
+                    q.append(y)
+        return seen
+
+    def observe(self, cmap: ContaminationMap) -> None:
+        if self._captured:
+            return
+        if cmap.guards(self.position) > 0:
+            # an agent stepped onto the intruder's node
+            self._captured = True
+            return
+        reachable = self._reachable_region(cmap)
+        hideouts = reachable & cmap.contaminated_nodes()
+        if not hideouts:
+            # nowhere contaminated to hide: the intruder is cornered in the
+            # clean region, where it is detected by the sweep (equivalently,
+            # its possible-location set is empty).
+            self._captured = True
+            return
+        # greedy: maximize distance to nearest guard, break ties randomly
+        guard_nodes = cmap.guarded_nodes()
+        if guard_nodes:
+            distances = self._multi_source_distances(cmap, guard_nodes)
+            best = max(distances.get(x, 0) for x in hideouts)
+            candidates = [x for x in hideouts if distances.get(x, 0) == best]
+        else:
+            candidates = sorted(hideouts)
+        target = self._rng.choice(sorted(candidates))
+        if target != self.position:
+            self.position = target
+            self.trajectory.append(target)
+
+    @staticmethod
+    def _multi_source_distances(cmap: ContaminationMap, sources: Set[int]) -> dict:
+        topo = cmap.topology
+        dist = {s: 0 for s in sources}
+        q = deque(sources)
+        while q:
+            x = q.popleft()
+            for y in topo.neighbors(x):
+                if y not in dist:
+                    dist[y] = dist[x] + 1
+                    q.append(y)
+        return dist
+
+    @property
+    def captured(self) -> bool:
+        return self._captured
+
+
+class MultiWalkerIntruder(Intruder):
+    """Several independent adversarial walkers (a botnet, not one virus).
+
+    Each walker flees independently; the pack is captured when every
+    member is.  Walkers may share a node (they do not block each other).
+
+    Parameters
+    ----------
+    cmap:
+        The contamination map to live in.
+    count:
+        Number of walkers; starts are sampled without replacement from the
+        contaminated region (with replacement if the region is smaller).
+    rng:
+        Shared randomness for starts and tie-breaking.
+    """
+
+    def __init__(
+        self,
+        cmap: ContaminationMap,
+        count: int = 2,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if count < 1:
+            raise SimulationError("need at least one walker")
+        self._rng = rng or random.Random(0)
+        contaminated = sorted(cmap.contaminated_nodes())
+        if not contaminated:
+            raise SimulationError("nothing is contaminated; no place for intruders")
+        if count <= len(contaminated):
+            starts = self._rng.sample(contaminated, count)
+        else:
+            starts = [self._rng.choice(contaminated) for _ in range(count)]
+        self.walkers = [
+            WalkerIntruder(cmap, start=s, rng=random.Random(self._rng.random()))
+            for s in starts
+        ]
+
+    def observe(self, cmap: ContaminationMap) -> None:
+        for walker in self.walkers:
+            walker.observe(cmap)
+
+    @property
+    def captured(self) -> bool:
+        return all(w.captured for w in self.walkers)
+
+    @property
+    def positions(self) -> list:
+        """Current positions of the uncaptured walkers."""
+        return [w.position for w in self.walkers if not w.captured]

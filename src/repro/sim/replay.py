@@ -1,0 +1,148 @@
+"""Execute any schedule on the discrete-event engine.
+
+Bridges the two planes in the remaining direction: the protocols show that
+distributed rules *produce* the schedules; this module takes any
+:class:`~repro.core.schedule.Schedule` (a paper strategy, a baseline, a
+hand-written one) and runs it as scripted clock-driven agents on the
+engine, so the engine's independent contamination/intruder bookkeeping
+re-judges it.
+
+Timing: a move stamped ``t`` occupies ``(t-1, t]``, so its agent waits for
+global time ``t - 1`` (synchronous model) and then traverses one edge
+under unit delays, arriving at ``t`` exactly.  The engine's verdict must
+therefore agree with the schedule verifier's — tested over every strategy
+and over fuzzed generic-graph schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.schedule import Move as ScheduleMove
+from repro.core.schedule import Schedule
+from repro.errors import SimulationError
+from repro.sim.agent import AgentContext, CloneSelf, Move, Terminate, WaitUntil
+from repro.sim.engine import Engine, SimResult
+from repro.sim.scheduling import UnitDelay
+
+__all__ = ["execute_schedule_on_engine"]
+
+
+def _scripted(moves: List[ScheduleMove]):
+    """Behaviour factory: follow the timed move script verbatim."""
+
+    def behavior(ctx: AgentContext):
+        for m in moves:
+            yield WaitUntil(
+                lambda view, t=m.time: view.time >= t - 1,
+                wake_at=float(m.time - 1),
+                description=f"scripted move at t={m.time}",
+            )
+            if ctx.node != m.src:
+                raise SimulationError(
+                    f"scripted agent at {ctx.node}, script expects {m.src}"
+                )
+            yield Move(m.dst)
+        yield Terminate()
+
+    return behavior
+
+
+def _terminator(ctx: AgentContext):
+    """An agent that just guards the homebase."""
+    yield Terminate()
+
+
+def execute_schedule_on_engine(
+    schedule: Schedule,
+    topology,
+    *,
+    intruder: Optional[str] = "reachable",
+    check_contiguity: bool = True,
+) -> SimResult:
+    """Run ``schedule`` as scripted agents; returns the engine's verdict.
+
+    Cloning schedules are executed with real ``CloneSelf`` actions: each
+    clone is spawned, just before its first scripted move, by the agent
+    resident on its birth node (the agent whose latest earlier move landed
+    there — the convention of the cloning generator).
+    """
+    per_agent: Dict[int, List[ScheduleMove]] = {}
+    for m in schedule.moves:
+        per_agent.setdefault(m.agent, []).append(m)
+    for moves in per_agent.values():
+        moves.sort(key=lambda m: m.time)
+
+    if not schedule.uses_cloning:
+        idle_agents = max(schedule.team_size - len(per_agent), 0)
+        behaviors = [_scripted(moves) for _, moves in sorted(per_agent.items())]
+        behaviors += [_terminator] * idle_agents
+        engine = Engine(
+            topology,
+            behaviors or [_terminator],
+            homebase=schedule.homebase,
+            delay=UnitDelay(),
+            global_clock=True,
+            intruder=intruder,
+            check_contiguity=check_contiguity,
+        )
+        return engine.run()
+
+    # ---- cloning: build the spawn tree ---------------------------------- #
+    root_agent = min(per_agent) if per_agent else 0
+    birth_node = {a: moves[0].src for a, moves in per_agent.items()}
+    birth_time = {a: moves[0].time for a, moves in per_agent.items()}
+
+    def parent_of(agent: int) -> int:
+        node, when = birth_node[agent], birth_time[agent]
+        if node == schedule.homebase:
+            return root_agent
+        best = None
+        for other, moves in per_agent.items():
+            if other == agent:
+                continue
+            for m in moves:
+                if m.dst == node and m.time < when:
+                    if best is None or m.time > best[0]:
+                        best = (m.time, other)
+        if best is None:
+            raise SimulationError(f"no parent found for clone {agent} at {node}")
+        return best[1]
+
+    children: Dict[int, List[int]] = {}
+    for agent in per_agent:
+        if agent != root_agent:
+            children.setdefault(parent_of(agent), []).append(agent)
+
+    def scripted_with_clones(agent: int):
+        moves = per_agent[agent]
+        kids = sorted(children.get(agent, []), key=lambda a: birth_time[a])
+
+        def behavior(ctx: AgentContext):
+            pending = list(kids)
+            for m in moves:
+                while pending and birth_time[pending[0]] <= m.time:
+                    yield CloneSelf(scripted_with_clones(pending.pop(0)))
+                yield WaitUntil(
+                    lambda view, t=m.time: view.time >= t - 1,
+                    wake_at=float(m.time - 1),
+                    description=f"scripted move at t={m.time}",
+                )
+                yield Move(m.dst)
+            while pending:
+                yield CloneSelf(scripted_with_clones(pending.pop(0)))
+            yield Terminate()
+
+        return behavior
+
+    engine = Engine(
+        topology,
+        [scripted_with_clones(root_agent)],
+        homebase=schedule.homebase,
+        delay=UnitDelay(),
+        global_clock=True,
+        cloning=True,
+        intruder=intruder,
+        check_contiguity=check_contiguity,
+    )
+    return engine.run()

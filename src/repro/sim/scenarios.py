@@ -1,0 +1,83 @@
+"""Canned network scenarios for examples, tests and demos.
+
+Realistic-looking topologies to exercise the generic layer beyond the
+standard graph families: an enterprise LAN (backbone ring + departmental
+stars + a server-room clique), a two-tier datacenter fabric (spines ×
+leaves with hosts), and a campus of bridged clusters.  All return
+:class:`~repro.topology.generic.GraphAdapter` objects and are deliberately
+parameterized so tests can fuzz their sizes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.generic import GraphAdapter
+
+__all__ = ["enterprise_network", "datacenter_fabric", "campus_network"]
+
+
+def enterprise_network(
+    routers: int = 4, hosts_per_department: int = 3, servers: int = 3
+) -> GraphAdapter:
+    """Backbone ring of ``routers``, a star of hosts on each router but the
+    last, and a server clique uplinked to the last router.
+
+    >>> enterprise_network().n
+    16
+    """
+    if routers < 3:
+        raise TopologyError("the backbone ring needs at least 3 routers")
+    if servers < 1 or hosts_per_department < 0:
+        raise TopologyError("servers >= 1 and hosts_per_department >= 0 required")
+    edges = [(r, (r + 1) % routers) for r in range(routers)]
+    nxt = routers
+    for router in range(routers - 1):
+        for _ in range(hosts_per_department):
+            edges.append((router, nxt))
+            nxt += 1
+    server_ids = list(range(nxt, nxt + servers))
+    edges.append((routers - 1, server_ids[0]))
+    for i, u in enumerate(server_ids):
+        for v in server_ids[i + 1 :]:
+            edges.append((u, v))
+    nxt += servers
+    return GraphAdapter(nxt, edges, name="enterprise")
+
+
+def datacenter_fabric(
+    spines: int = 2, leaves: int = 4, hosts_per_leaf: int = 2
+) -> GraphAdapter:
+    """A two-tier Clos-style fabric: every leaf links to every spine, and
+    hosts hang off the leaves."""
+    if spines < 1 or leaves < 1 or hosts_per_leaf < 0:
+        raise TopologyError("spines, leaves >= 1 and hosts_per_leaf >= 0 required")
+    edges = []
+    leaf_ids = list(range(spines, spines + leaves))
+    for spine in range(spines):
+        for leaf in leaf_ids:
+            edges.append((spine, leaf))
+    nxt = spines + leaves
+    for leaf in leaf_ids:
+        for _ in range(hosts_per_leaf):
+            edges.append((leaf, nxt))
+            nxt += 1
+    return GraphAdapter(nxt, edges, name="datacenter")
+
+
+def campus_network(clusters: int = 3, cluster_size: int = 4) -> GraphAdapter:
+    """Cliques of ``cluster_size`` bridged in a chain by single links.
+
+    The narrow bridges make the BFS boundary small — the frontier sweep
+    cleans a campus with a handful of agents regardless of cluster count.
+    """
+    if clusters < 1 or cluster_size < 2:
+        raise TopologyError("clusters >= 1 and cluster_size >= 2 required")
+    edges = []
+    for c in range(clusters):
+        base = c * cluster_size
+        for i in range(cluster_size):
+            for j in range(i + 1, cluster_size):
+                edges.append((base + i, base + j))
+        if c + 1 < clusters:
+            edges.append((base + cluster_size - 1, base + cluster_size))
+    return GraphAdapter(clusters * cluster_size, edges, name="campus")

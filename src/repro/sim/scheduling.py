@@ -1,0 +1,133 @@
+"""Delay models: the adversary controlling asynchrony.
+
+The paper's agents are asynchronous — "every action they perform takes a
+finite but otherwise unpredictable amount of time".  A :class:`DelayModel`
+is the adversary choosing those times.  The engine asks it for the duration
+of every action; correctness (Theorems 1 and 6) must hold for *every*
+model, while the ideal-time results (Theorems 4 and 7) are measured under
+:class:`UnitDelay` (footnote 1: one unit per link traversal).
+
+Models provided:
+
+* :class:`UnitDelay` — every move takes 1, local actions are instantaneous;
+  measures ideal time.
+* :class:`RandomDelay` — i.i.d. uniform move durations in
+  ``[low, high]``; seeded, reproducible.
+* :class:`AdversarialSlowestDelay` — a targeted adversary that slows a
+  chosen subset of agents by a large factor (failure injection: stragglers).
+* :class:`LayeredDelay` — per-node slowdowns (models congested hosts).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Sequence
+
+__all__ = [
+    "DelayModel",
+    "UnitDelay",
+    "RandomDelay",
+    "AdversarialSlowestDelay",
+    "LayeredDelay",
+]
+
+
+class DelayModel:
+    """Interface: durations for agent actions."""
+
+    def move_delay(self, agent_id: int, src: int, dst: int) -> float:
+        """Duration of traversing edge ``(src, dst)`` by ``agent_id``."""
+        raise NotImplementedError
+
+    def local_delay(self, agent_id: int, node: int) -> float:
+        """Duration of a local action (read/write/compute) at ``node``."""
+        return 0.0
+
+    def describe(self) -> str:
+        """Short label for reports."""
+        return type(self).__name__
+
+
+class UnitDelay(DelayModel):
+    """Ideal time: moves take exactly one unit, local actions are free."""
+
+    def move_delay(self, agent_id: int, src: int, dst: int) -> float:
+        return 1.0
+
+
+class RandomDelay(DelayModel):
+    """Uniformly random move durations in ``[low, high]``, seeded.
+
+    Local actions take a small uniform delay in ``[0, local_jitter]`` so
+    whiteboard access interleavings are genuinely shuffled between runs
+    with different seeds.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        low: float = 0.5,
+        high: float = 3.0,
+        local_jitter: float = 0.1,
+    ) -> None:
+        if not 0 < low <= high:
+            raise ValueError(f"need 0 < low <= high, got {low}, {high}")
+        self._rng = random.Random(seed)
+        self.low = low
+        self.high = high
+        self.local_jitter = local_jitter
+        self.seed = seed
+
+    def move_delay(self, agent_id: int, src: int, dst: int) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+    def local_delay(self, agent_id: int, node: int) -> float:
+        return self._rng.uniform(0.0, self.local_jitter) if self.local_jitter else 0.0
+
+    def describe(self) -> str:
+        return f"RandomDelay(seed={self.seed}, [{self.low}, {self.high}])"
+
+
+class AdversarialSlowestDelay(DelayModel):
+    """Slows a chosen set of agents by a large factor.
+
+    Models stragglers: the adversary picks victims (e.g. the synchronizer,
+    or the agents heading to the deepest leaves) and stretches their every
+    action.  Correct strategies must still clean monotonically.
+    """
+
+    def __init__(self, slow_agents: Sequence[int], factor: float = 50.0) -> None:
+        if factor < 1:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self.slow_agents = frozenset(slow_agents)
+        self.factor = factor
+
+    def move_delay(self, agent_id: int, src: int, dst: int) -> float:
+        return self.factor if agent_id in self.slow_agents else 1.0
+
+    def describe(self) -> str:
+        return f"AdversarialSlowest({sorted(self.slow_agents)}, x{self.factor})"
+
+
+class LayeredDelay(DelayModel):
+    """Per-node slowdowns: traversals *into* a slow node take longer.
+
+    ``node_factor`` maps node ids to multipliers (default 1.0); useful for
+    modelling congested hosts in the examples.
+    """
+
+    def __init__(
+        self,
+        node_factor: Optional[Dict[int, float]] = None,
+        base: float = 1.0,
+        fallback: Callable[[int], float] = lambda node: 1.0,
+    ) -> None:
+        self.node_factor = dict(node_factor or {})
+        self.base = base
+        self.fallback = fallback
+
+    def move_delay(self, agent_id: int, src: int, dst: int) -> float:
+        return self.base * self.node_factor.get(dst, self.fallback(dst))
+
+    def describe(self) -> str:
+        return f"LayeredDelay({len(self.node_factor)} slow nodes)"

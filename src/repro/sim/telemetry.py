@@ -1,0 +1,136 @@
+"""Simulation telemetry: the traffic/overhead measures from Section 1.1.
+
+The paper's motivation says cleaning teams "would have to use as few agents
+as possible and these agents would have to perform as few moves as possible
+so that the cleaning overhead would not be too important compared to the
+normal load of the network."  This module extracts exactly those overhead
+measures from an execution trace:
+
+* per-node traffic (how many traversals *enter* each host — hotspots),
+* per-agent work (moves, busy vs waiting time),
+* per-link traffic (directed edge usage),
+* wait statistics (how long agents idle on whiteboard conditions).
+
+Used by the overhead-study example and the telemetry tests; everything is
+computed from the :class:`~repro.sim.trace.Trace` after the run, so the
+engine pays nothing during simulation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sim.trace import Trace
+
+__all__ = ["TraceTelemetry", "analyze_trace"]
+
+
+@dataclass(frozen=True)
+class TraceTelemetry:
+    """Aggregated overhead measures for one run."""
+
+    total_moves: int
+    makespan: float
+    node_traffic: Dict[int, int]  # arrivals per node
+    link_traffic: Dict[Tuple[int, int], int]  # traversals per directed edge
+    agent_moves: Dict[int, int]
+    agent_wait_time: Dict[int, float]  # total blocked time per agent
+    clones_created: int
+    terminations: int
+
+    @property
+    def hottest_node(self) -> Tuple[int, int]:
+        """``(node, arrivals)`` of the most-trafficked host."""
+        if not self.node_traffic:
+            return (0, 0)
+        node = max(self.node_traffic, key=lambda x: (self.node_traffic[x], -x))
+        return node, self.node_traffic[node]
+
+    @property
+    def hottest_link(self) -> Tuple[Tuple[int, int], int]:
+        """``((src, dst), traversals)`` of the busiest directed link."""
+        if not self.link_traffic:
+            return ((0, 0), 0)
+        link = max(self.link_traffic, key=lambda e: (self.link_traffic[e], e))
+        return link, self.link_traffic[link]
+
+    @property
+    def mean_moves_per_agent(self) -> float:
+        if not self.agent_moves:
+            return 0.0
+        return sum(self.agent_moves.values()) / len(self.agent_moves)
+
+    @property
+    def total_wait_time(self) -> float:
+        return sum(self.agent_wait_time.values())
+
+    def traffic_overhead_per_node(self, n: int) -> float:
+        """Average arrivals per host — the §1.1 'cleaning overhead' figure."""
+        return self.total_moves / n if n else 0.0
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        node, arrivals = self.hottest_node
+        link, crossings = self.hottest_link
+        return "\n".join(
+            [
+                f"moves         : {self.total_moves} over {self.makespan:.2f} time units",
+                f"hottest node  : {node} ({arrivals} arrivals)",
+                f"hottest link  : {link[0]} -> {link[1]} ({crossings} traversals)",
+                f"moves/agent   : {self.mean_moves_per_agent:.2f} mean",
+                f"waiting       : {self.total_wait_time:.2f} agent-time blocked",
+                f"clones/terms  : {self.clones_created}/{self.terminations}",
+            ]
+        )
+
+
+def analyze_trace(trace: Trace) -> TraceTelemetry:
+    """Compute :class:`TraceTelemetry` from a finished run's trace.
+
+    Wait time is measured from each ``wait`` event to the same agent's next
+    ``wake`` (or move/terminate) event; an agent still blocked at the end
+    contributes until the trace's makespan.
+    """
+    node_traffic: Counter = Counter()
+    link_traffic: Counter = Counter()
+    agent_moves: Counter = Counter()
+    wait_started: Dict[int, float] = {}
+    agent_wait: defaultdict = defaultdict(float)
+    clones = 0
+    terminations = 0
+
+    for event in trace:
+        if event.kind == "move":
+            node_traffic[event.node] += 1
+            link_traffic[(event.data["src"], event.node)] += 1
+            agent_moves[event.agent] += 1
+            if event.agent in wait_started:
+                agent_wait[event.agent] += event.time - wait_started.pop(event.agent)
+        elif event.kind == "wait":
+            wait_started.setdefault(event.agent, event.time)
+        elif event.kind == "wake":
+            if event.agent in wait_started:
+                agent_wait[event.agent] += event.time - wait_started.pop(event.agent)
+        elif event.kind == "clone":
+            clones += 1
+        elif event.kind == "terminate":
+            terminations += 1
+            if event.agent in wait_started:
+                agent_wait[event.agent] += event.time - wait_started.pop(event.agent)
+
+    makespan = trace.makespan()
+    for agent, started in wait_started.items():
+        agent_wait[agent] += makespan - started
+
+    return TraceTelemetry(
+        total_moves=trace.move_count(),
+        makespan=makespan,
+        node_traffic=dict(node_traffic),
+        link_traffic=dict(link_traffic),
+        agent_moves=dict(agent_moves),
+        agent_wait_time=dict(agent_wait),
+        clones_created=clones,
+        terminations=terminations,
+    )

@@ -1,0 +1,167 @@
+"""Execution traces: everything that happened in one simulation.
+
+A :class:`Trace` is an append-only log of :class:`TraceEvent` records the
+engine emits — moves, clones, terminations, whiteboard writes (optional) —
+with float timestamps.  Traces support the two consumers we have:
+
+* equivalence tests compare the *move multiset* of an asynchronous protocol
+  run against the deterministic schedule plane (the multiset of traversed
+  directed edges, with per-edge counts, is delay-model independent for the
+  paper's protocols);
+* the examples replay traces step by step for visualization.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One logged engine event."""
+
+    time: float
+    kind: str  # "move" | "clone" | "terminate" | "wait" | "wake" | "write"
+    agent: int
+    node: int
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """Append-only event log with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def log(self, event: TraceEvent) -> None:
+        """Append one event (times must be non-decreasing)."""
+        if self._events and event.time < self._events[-1].time - 1e-9:
+            raise ValueError(
+                f"trace event at {event.time} precedes last event "
+                f"at {self._events[-1].time}"
+            )
+        self._events.append(event)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """All events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def moves(self) -> List[TraceEvent]:
+        """All move events in time order."""
+        return self.events("move")
+
+    def move_count(self) -> int:
+        """Total number of edge traversals."""
+        return len(self.moves())
+
+    def move_multiset(self) -> Counter:
+        """Counter of directed edges ``(src, dst)`` traversed.
+
+        For the paper's protocols this multiset is independent of the delay
+        model, which is what the schedule/protocol equivalence tests check.
+        """
+        return Counter((e.data["src"], e.node) for e in self.moves())
+
+    def makespan(self) -> float:
+        """Completion time of the last event (0.0 when empty)."""
+        return self._events[-1].time if self._events else 0.0
+
+    def agents(self) -> List[int]:
+        """Sorted ids of every agent appearing in the trace."""
+        return sorted({e.agent for e in self._events})
+
+    def per_agent_moves(self) -> Dict[int, int]:
+        """Move counts per agent."""
+        out: Dict[int, int] = {}
+        for e in self.moves():
+            out[e.agent] = out.get(e.agent, 0) + 1
+        return out
+
+    def first_visits(self) -> List[Tuple[float, int]]:
+        """``(time, node)`` of each node's first agent arrival, in order."""
+        seen = set()
+        out = []
+        for e in self.moves():
+            if e.node not in seen:
+                seen.add(e.node)
+                out.append((e.time, e.node))
+        return out
+
+    def __repr__(self) -> str:
+        return f"Trace(events={len(self._events)}, moves={self.move_count()})"
+
+    # ------------------------------------------------------------------ #
+    # serialization and integrity
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> str:
+        """Serialize the full event log to a JSON string."""
+        import json
+
+        return json.dumps(
+            [
+                {
+                    "time": e.time,
+                    "kind": e.kind,
+                    "agent": e.agent,
+                    "node": e.node,
+                    "data": e.data,
+                }
+                for e in self._events
+            ]
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "Trace":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        trace = Trace()
+        for raw in json.loads(text):
+            trace.log(
+                TraceEvent(
+                    time=float(raw["time"]),
+                    kind=str(raw["kind"]),
+                    agent=int(raw["agent"]),
+                    node=int(raw["node"]),
+                    data=dict(raw["data"]),
+                )
+            )
+        return trace
+
+    def validate_against(self, topology, homebase: int = 0) -> None:
+        """Integrity check of the move log against a topology.
+
+        Every move must traverse a real edge, and every agent's moves must
+        chain (the ``src`` of each move is where its previous move — or a
+        clone/spawn at the homebase — left it).  Raises ``ValueError`` on
+        violation; the replay tests run saved traces through this before
+        trusting them.
+        """
+        position = {}
+        births = {}  # agent -> node where a clone event created it
+        for e in self._events:
+            if e.kind == "clone":
+                births[e.data.get("child")] = e.node
+        for e in self.moves():
+            src = e.data["src"]
+            if not topology.has_edge(src, e.node):
+                raise ValueError(f"trace move ({src}, {e.node}) is not an edge")
+            expected = position.get(e.agent, births.get(e.agent, homebase))
+            if expected != src:
+                raise ValueError(
+                    f"agent {e.agent} moves from {src} but was at {expected}"
+                )
+            position[e.agent] = e.node

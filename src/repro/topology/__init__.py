@@ -1,0 +1,50 @@
+"""Topology substrate: the hypercube, its broadcast tree, and heap queues.
+
+This subpackage implements everything from Section 2 ("Definitions and
+Terminology") and the structural properties of Sections 3.1 and 4.1 of the
+paper:
+
+* :class:`~repro.topology.hypercube.Hypercube` — the ``d``-dimensional
+  hypercube with the paper's 1-based port labelling ``λ``, levels
+  (popcount), ``m(x)`` (most significant bit), classes :math:`C_i`, and
+  smaller/bigger neighbour classification (Definition 2).
+* :class:`~repro.topology.broadcast_tree.BroadcastTree` — the breadth-first
+  broadcast spanning tree rooted at ``00...0`` whose shape is the heap
+  queue :math:`T(d)` (Definition 1).
+* :mod:`~repro.topology.heap_queue` — the abstract recursive heap-queue
+  structure and the isomorphism with the broadcast tree.
+* :mod:`~repro.topology.properties` — Properties 1, 2, 5, 6, 7 and 8 as
+  executable, testable predicates.
+* :mod:`~repro.topology.generic` — adapters to ``networkx`` and generic
+  graphs used by the baseline searchers.
+"""
+
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.generic import (
+    GraphAdapter,
+    cube_connected_cycles,
+    folded_hypercube,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    ring_graph,
+    star_graph,
+    tree_graph,
+)
+from repro.topology.heap_queue import HeapQueue
+from repro.topology.hypercube import Hypercube
+
+__all__ = [
+    "Hypercube",
+    "BroadcastTree",
+    "HeapQueue",
+    "GraphAdapter",
+    "hypercube_graph",
+    "ring_graph",
+    "path_graph",
+    "star_graph",
+    "tree_graph",
+    "grid_graph",
+    "folded_hypercube",
+    "cube_connected_cycles",
+]

@@ -1,0 +1,299 @@
+"""The broadcast spanning tree of the hypercube (Section 2, Figure 1).
+
+The broadcast tree is the breadth-first spanning tree of :math:`H_d` rooted
+at the homebase ``00...0`` in which node ``x`` is connected to every node of
+the next level that differs from ``x`` in a position *higher* than ``m(x)``
+(the most significant bit of ``x``).  Equivalently: the parent of a nonzero
+node is obtained by clearing its most significant bit, and the children of
+``x`` are its *bigger neighbours* (Definition 2).
+
+The tree is the optimal-broadcast tree of the hypercube ("a node receiving a
+message from dimension ``i`` forwards it to all nodes connected by dimension
+``j > i``") and its shape is the heap queue :math:`T(d)` of Definition 1 —
+a.k.a. the binomial tree :math:`B_d`.
+
+Node *types*: a node with ``k`` children is said to be of type ``T(k)``.
+With bitmask nodes, ``type(x) = d - m(x)`` (and the root is ``T(d)``), so
+the leaves — type ``T(0)`` — are exactly the nodes whose most significant
+bit is in position ``d``, i.e. class :math:`C_d` (Property 6).
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Dict, Iterator, List
+
+from repro._bitops import iter_set_bits, msb_position, popcount
+from repro.errors import TopologyError
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["BroadcastTree"]
+
+
+class BroadcastTree:
+    """The broadcast (heap-queue) spanning tree of a hypercube.
+
+    Parameters
+    ----------
+    hypercube:
+        The underlying :class:`~repro.topology.hypercube.Hypercube`, or an
+        ``int`` dimension as a convenience.
+
+    Examples
+    --------
+    >>> t = BroadcastTree(Hypercube(3))
+    >>> t.children(0)            # the root has d children
+    [1, 2, 4]
+    >>> t.parent(0b101)          # clear the most significant bit
+    1
+    >>> t.node_type(0)           # the root is T(d)
+    3
+    >>> t.is_leaf(0b100)
+    True
+    """
+
+    __slots__ = ("_h",)
+
+    def __init__(self, hypercube: Hypercube | int) -> None:
+        if isinstance(hypercube, int):
+            hypercube = Hypercube(hypercube)
+        if not isinstance(hypercube, Hypercube):
+            raise TopologyError(f"expected Hypercube or int, got {type(hypercube).__name__}")
+        self._h = hypercube
+
+    # ------------------------------------------------------------------ #
+    # shape
+    # ------------------------------------------------------------------ #
+
+    @property
+    def hypercube(self) -> Hypercube:
+        """The underlying hypercube."""
+        return self._h
+
+    @property
+    def root(self) -> int:
+        """The root / homebase, ``00...0``."""
+        return 0
+
+    @property
+    def dimension(self) -> int:
+        """The hypercube degree ``d``; the root's type is ``T(d)``."""
+        return self._h.d
+
+    @property
+    def n(self) -> int:
+        """Number of nodes, ``2**d``."""
+        return self._h.n
+
+    def __repr__(self) -> str:
+        return f"BroadcastTree(Hypercube(dimension={self._h.d}))"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BroadcastTree) and other._h == self._h
+
+    def __hash__(self) -> int:
+        return hash(("BroadcastTree", self._h.d))
+
+    # ------------------------------------------------------------------ #
+    # parent / children
+    # ------------------------------------------------------------------ #
+
+    def parent(self, node: int) -> int:
+        """The tree parent: ``node`` with its most significant bit cleared.
+
+        Raises for the root, which has no parent.
+        """
+        self._h.check_node(node)
+        if node == 0:
+            raise TopologyError("the root has no parent")
+        return node ^ (1 << (node.bit_length() - 1))
+
+    def children(self, node: int) -> List[int]:
+        """Children of ``node`` = its bigger neighbours, in increasing order.
+
+        A child obtained by setting position ``j > m(x)`` is the root of a
+        subtree of type ``T(d - j)``; the first child in the returned list
+        is therefore the largest subtree, matching the ``T(k-1) .. T(0)``
+        enumeration of Definition 1.
+        """
+        return self._h.bigger_neighbors(node)
+
+    def child_types(self, node: int) -> List[int]:
+        """Types ``k`` of each child of ``node``, aligned with :meth:`children`.
+
+        For a node of type ``T(k)`` this is ``[k-1, k-2, ..., 0]``.
+        """
+        return [self._h.d - c.bit_length() for c in self.children(node)]
+
+    def node_type(self, node: int) -> int:
+        """The heap-queue type: ``T(k)`` where ``k`` = number of children.
+
+        ``type(x) = d - m(x)``; the root is ``T(d)`` and leaves are ``T(0)``.
+        """
+        self._h.check_node(node)
+        return self._h.d - msb_position(node)
+
+    def is_leaf(self, node: int) -> bool:
+        """Whether ``node`` is a leaf of the tree (type ``T(0)``)."""
+        return self.node_type(node) == 0
+
+    def leaves(self) -> List[int]:
+        """All ``2**(d-1)`` leaves (class :math:`C_d`, Property 6)."""
+        if self._h.d == 0:
+            return [0]
+        return self._h.class_members(self._h.d)
+
+    def depth(self, node: int) -> int:
+        """Tree depth of ``node`` = its hypercube level (popcount)."""
+        self._h.check_node(node)
+        return popcount(node)
+
+    def subtree_size(self, node: int) -> int:
+        """Number of nodes in the subtree rooted at ``node``: ``2**type``.
+
+        A heap queue :math:`T(k)` has exactly ``2**k`` nodes.
+        """
+        return 1 << self.node_type(node)
+
+    def subtree_nodes(self, node: int) -> List[int]:
+        """All nodes of the subtree rooted at ``node`` (preorder)."""
+        out: List[int] = []
+        stack = [node]
+        while stack:
+            x = stack.pop()
+            out.append(x)
+            stack.extend(reversed(self.children(x)))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # paths and traversal
+    # ------------------------------------------------------------------ #
+
+    def path_from_root(self, node: int) -> List[int]:
+        """The tree path root -> ``node`` (bits set lowest-first)."""
+        return self._h.tree_path_down(node)
+
+    def path_to_root(self, node: int) -> List[int]:
+        """The tree path ``node`` -> root (bits cleared highest-first)."""
+        return list(reversed(self.path_from_root(node)))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """All ``n - 1`` tree edges as ``(parent, child)`` pairs."""
+        for x in range(1, self._h.n):
+            yield (self.parent(x), x)
+
+    def preorder(self) -> Iterator[int]:
+        """Preorder traversal from the root, children in increasing order."""
+        stack = [self.root]
+        while stack:
+            x = stack.pop()
+            yield x
+            stack.extend(reversed(self.children(x)))
+
+    def bfs_order(self) -> Iterator[int]:
+        """Level-by-level traversal, increasing integer order within level."""
+        for level in range(self._h.d + 1):
+            yield from self._h.level_nodes(level)
+
+    # ------------------------------------------------------------------ #
+    # censuses (Properties 1 and 2)
+    # ------------------------------------------------------------------ #
+
+    def type_census(self, level: int) -> Dict[int, int]:
+        """Number of nodes of each type ``T(k)`` at ``level`` (Property 1).
+
+        Property 1: at level 0 there is a unique node of type ``T(d)``; at
+        level ``l > 0`` there are ``C(d - k - 1, l - 1)`` nodes of type
+        ``T(k)`` for ``0 <= k <= d - l``.
+        """
+        d = self._h.d
+        if not 0 <= level <= d:
+            raise TopologyError(f"level must be in 0..{d}, got {level}")
+        census: Dict[int, int] = {}
+        for x in self._h.level_nodes(level):
+            k = self.node_type(x)
+            census[k] = census.get(k, 0) + 1
+        return census
+
+    def type_census_formula(self, level: int) -> Dict[int, int]:
+        """Closed-form of :meth:`type_census` from Property 1."""
+        d = self._h.d
+        if level == 0:
+            return {d: 1}
+        out = {}
+        for k in range(0, d - level + 1):
+            count = comb(d - k - 1, level - 1)
+            if count:
+                out[k] = count
+        return out
+
+    def leaf_count_at_level(self, level: int) -> int:
+        """Number of leaves at ``level``: ``C(d-1, level-1)`` (Property 2)."""
+        d = self._h.d
+        if not 0 <= level <= d:
+            raise TopologyError(f"level must be in 0..{d}, got {level}")
+        if level == 0:
+            return 1 if d == 0 else 0
+        return comb(d - 1, level - 1)
+
+    # ------------------------------------------------------------------ #
+    # validation / export
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Exhaustively validate the tree invariants (test helper).
+
+        Checks: unique parent for every nonzero node, parent at the previous
+        level, children == bigger neighbours, type counts match Property 1,
+        every edge is a hypercube edge with label ``> m(parent)``.
+        """
+        h = self._h
+        for x in range(1, h.n):
+            p = self.parent(x)
+            if popcount(p) != popcount(x) - 1:
+                raise TopologyError(f"parent of {x} not one level up")
+            if not h.has_edge(p, x):
+                raise TopologyError(f"tree edge ({p}, {x}) not a hypercube edge")
+            if h.edge_label(p, x) <= h.msb(p):
+                raise TopologyError(f"tree edge ({p}, {x}) is not a bigger-neighbour edge")
+            if x not in self.children(p):
+                raise TopologyError(f"{x} missing from children of its parent {p}")
+        for level in range(h.d + 1):
+            if self.type_census(level) != self.type_census_formula(level):
+                raise TopologyError(f"Property 1 violated at level {level}")
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` (edges parent -> child)."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=f"T({self._h.d})")
+        g.add_nodes_from(self._h.nodes())
+        for p, c in self.edges():
+            g.add_edge(p, c, label=self._h.edge_label(p, c))
+        return g
+
+    def ancestors(self, node: int) -> List[int]:
+        """Proper ancestors of ``node``, nearest first (empty for root)."""
+        out = []
+        x = node
+        while x:
+            x = self.parent(x)
+            out.append(x)
+        return out
+
+    def is_ancestor(self, anc: int, node: int) -> bool:
+        """Whether ``anc`` is an ancestor of ``node`` (or equal to it).
+
+        In bitmask terms: ``anc`` is the prefix of ``node``'s set bits, i.e.
+        ``anc``'s bits are the lowest set bits of ``node``.
+        """
+        self._h.check_node(anc)
+        self._h.check_node(node)
+        if anc & ~node:
+            return False
+        # anc must consist of the lowest popcount(anc) set bits of node.
+        bits = list(iter_set_bits(node))
+        prefix = 0
+        for i in bits[: popcount(anc)]:
+            prefix |= 1 << i
+        return prefix == anc

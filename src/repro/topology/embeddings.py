@@ -1,0 +1,116 @@
+"""Hypercube structure utilities: walks, decompositions, distances.
+
+Companion facts about the interconnection topology the paper targets,
+used by the examples and the extended tests:
+
+* Gray-code Hamiltonian cycles (every hypercube ``d >= 2`` has one),
+* recursive subcube decompositions ``H_d = H_{d-1} x K_2``,
+* the distance distribution from any node (binomial),
+* antipodes and diameter,
+* matchings between adjacent levels (used implicitly by the level-sweep
+  argument: level ``l`` saturates into level ``l+1`` when ``l < d/2``).
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Dict, List, Tuple
+
+from repro._bitops import gray_code
+from repro.errors import TopologyError
+from repro.topology.hypercube import Hypercube
+
+__all__ = [
+    "hamiltonian_cycle",
+    "split_subcubes",
+    "distance_distribution",
+    "antipode",
+    "diameter",
+    "level_matching",
+]
+
+
+def hamiltonian_cycle(h: Hypercube) -> List[int]:
+    """A Hamiltonian cycle of ``H_d`` (``d >= 2``) via binary reflected Gray
+    codes: consecutive entries (and last-to-first) differ in one bit.
+
+    >>> hamiltonian_cycle(Hypercube(2))
+    [0, 1, 3, 2]
+    """
+    if h.d < 2:
+        raise TopologyError(f"H_{h.d} has no Hamiltonian cycle")
+    return [gray_code(i) for i in range(h.n)]
+
+
+def split_subcubes(h: Hypercube, position: int) -> Tuple[List[int], List[int]]:
+    """Split ``H_d`` into two ``H_{d-1}``'s along ``position`` (1-based).
+
+    Returns ``(zero_side, one_side)``; every cross edge flips exactly that
+    position.  This is the recursive structure underlying the broadcast
+    tree (the subtree of child ``1 << (position-1)`` lives in the one-side).
+    """
+    if not 1 <= position <= h.d:
+        raise TopologyError(f"position must be in 1..{h.d}")
+    bit = 1 << (position - 1)
+    zero = [x for x in h.nodes() if not x & bit]
+    one = [x for x in h.nodes() if x & bit]
+    return zero, one
+
+
+def distance_distribution(h: Hypercube, node: int) -> Dict[int, int]:
+    """``{distance: count}`` from ``node``: binomial, ``C(d, k)`` at k.
+
+    Identical from every node (vertex transitivity), which is why the
+    paper may fix the homebase at ``00...0`` without loss of generality.
+    """
+    h.check_node(node)
+    out: Dict[int, int] = {}
+    for other in h.nodes():
+        k = h.distance(node, other)
+        out[k] = out.get(k, 0) + 1
+    return out
+
+
+def antipode(h: Hypercube, node: int) -> int:
+    """The unique node at maximal distance ``d``: all bits flipped."""
+    h.check_node(node)
+    return node ^ (h.n - 1)
+
+
+def diameter(h: Hypercube) -> int:
+    """The hypercube's diameter: ``d``."""
+    return h.d
+
+
+def level_matching(h: Hypercube, level: int) -> Dict[int, int]:
+    """A perfect matching of level ``level`` into level ``level + 1``.
+
+    Exists exactly when ``C(d, level) <= C(d, level + 1)``, i.e.
+    ``level < d/2`` (the middle-levels bipartite graph satisfies Hall's
+    condition — the normalized matching property of the Boolean lattice).
+    Computed by Hopcroft–Karp via networkx.  Illustrates why a level's
+    guards can always advance, the CLEAN correctness intuition.
+    """
+    if not 0 <= level < h.d:
+        raise TopologyError(f"level must be in 0..{h.d - 1}")
+    if comb(h.d, level) > comb(h.d, level + 1):
+        raise TopologyError(
+            f"level {level} of H_{h.d} is larger than level {level + 1}; "
+            "no injective advance exists"
+        )
+    import networkx as nx
+
+    lower = h.level_nodes(level)
+    upper = set(h.level_nodes(level + 1))
+    bipartite = nx.Graph()
+    bipartite.add_nodes_from(lower, bipartite=0)
+    bipartite.add_nodes_from(upper, bipartite=1)
+    for x in lower:
+        for y in h.neighbors(x):
+            if y in upper:
+                bipartite.add_edge(x, y)
+    pairing = nx.bipartite.maximum_matching(bipartite, top_nodes=lower)
+    matching = {x: pairing[x] for x in lower if x in pairing}
+    if len(matching) != len(lower):
+        raise TopologyError("internal error: Hall's condition violated?")
+    return matching

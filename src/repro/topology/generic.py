@@ -1,0 +1,257 @@
+"""Generic graph adapters used by the baseline searchers and examples.
+
+The paper's strategies are hypercube-specific, but the *problem* —
+contiguous monotone node search — is defined on arbitrary graphs, and the
+baselines in :mod:`repro.search` (brute-force optimal, tree search) operate
+on generic graphs.  :class:`GraphAdapter` gives them a minimal uniform
+interface (nodes as ``0..n-1`` ints, adjacency lists) and the module ships
+constructors for the standard families used in the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import InvalidNodeError, TopologyError
+
+__all__ = [
+    "GraphAdapter",
+    "hypercube_graph",
+    "ring_graph",
+    "path_graph",
+    "star_graph",
+    "tree_graph",
+    "grid_graph",
+    "complete_graph",
+    "from_networkx",
+]
+
+
+class GraphAdapter:
+    """A small immutable undirected graph with integer nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    edges:
+        Iterable of ``(u, v)`` pairs; duplicates and self-loops rejected.
+    name:
+        Optional display name.
+    """
+
+    __slots__ = ("_n", "_adj", "_edges", "name")
+
+    def __init__(self, n: int, edges: Iterable[Tuple[int, int]], name: str = "G") -> None:
+        if n < 1:
+            raise TopologyError(f"graph needs at least one node, got n={n}")
+        self._n = n
+        adj: List[List[int]] = [[] for _ in range(n)]
+        seen = set()
+        edge_list: List[Tuple[int, int]] = []
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise InvalidNodeError(u if not 0 <= u < n else v, n)
+            if u == v:
+                raise TopologyError(f"self-loop at {u}")
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                raise TopologyError(f"duplicate edge {key}")
+            seen.add(key)
+            adj[u].append(v)
+            adj[v].append(u)
+            edge_list.append(key)
+        self._adj = [sorted(nbrs) for nbrs in adj]
+        self._edges = sorted(edge_list)
+        self.name = name
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    def nodes(self) -> range:
+        """Node ids ``0..n-1``."""
+        return range(self._n)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Sorted edge list as ``(low, high)`` pairs."""
+        return list(self._edges)
+
+    def neighbors(self, node: int) -> List[int]:
+        """Sorted adjacency list of ``node``."""
+        if not 0 <= node < self._n:
+            raise InvalidNodeError(node, self._n)
+        return list(self._adj[node])
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        return len(self.neighbors(node))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        if not 0 <= u < self._n:
+            raise InvalidNodeError(u, self._n)
+        return v in self._adj[u]
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (BFS from node 0)."""
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            x = frontier.pop()
+            for y in self._adj[x]:
+                if y not in seen:
+                    seen.add(y)
+                    frontier.append(y)
+        return len(seen) == self._n
+
+    def is_tree(self) -> bool:
+        """Whether the graph is a tree (connected, ``n-1`` edges)."""
+        return len(self._edges) == self._n - 1 and self.is_connected()
+
+    def to_networkx(self):
+        """Export as :class:`networkx.Graph`."""
+        import networkx as nx
+
+        g = nx.Graph(name=self.name)
+        g.add_nodes_from(self.nodes())
+        g.add_edges_from(self._edges)
+        return g
+
+    def __repr__(self) -> str:
+        return f"GraphAdapter(n={self._n}, m={len(self._edges)}, name={self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphAdapter):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, tuple(self._edges)))
+
+
+# ---------------------------------------------------------------------- #
+# constructors
+# ---------------------------------------------------------------------- #
+
+
+def hypercube_graph(dimension: int) -> GraphAdapter:
+    """The hypercube :math:`H_d` as a generic graph (for the baselines)."""
+    from repro.topology.hypercube import Hypercube
+
+    h = Hypercube(dimension)
+    return GraphAdapter(h.n, h.edges(), name=f"H_{dimension}")
+
+
+def ring_graph(n: int) -> GraphAdapter:
+    """A cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise TopologyError(f"ring needs n >= 3, got {n}")
+    return GraphAdapter(n, [(i, (i + 1) % n) for i in range(n)], name=f"ring_{n}")
+
+
+def path_graph(n: int) -> GraphAdapter:
+    """A path on ``n`` nodes."""
+    return GraphAdapter(n, [(i, i + 1) for i in range(n - 1)], name=f"path_{n}")
+
+
+def star_graph(leaves: int) -> GraphAdapter:
+    """A star: centre node 0 and ``leaves`` leaves."""
+    if leaves < 1:
+        raise TopologyError(f"star needs >= 1 leaf, got {leaves}")
+    return GraphAdapter(leaves + 1, [(0, i) for i in range(1, leaves + 1)], name=f"star_{leaves}")
+
+
+def tree_graph(parents: Sequence[int]) -> GraphAdapter:
+    """A rooted tree from a parent array.
+
+    ``parents[i]`` is the parent of node ``i + 1`` (node 0 is the root), so
+    a tree on ``n`` nodes takes a length ``n - 1`` array.
+    """
+    n = len(parents) + 1
+    edges = []
+    for i, p in enumerate(parents):
+        child = i + 1
+        if not 0 <= p < child:
+            raise TopologyError(f"parent of node {child} must be a smaller id, got {p}")
+        edges.append((p, child))
+    return GraphAdapter(n, edges, name=f"tree_{n}")
+
+
+def grid_graph(rows: int, cols: int) -> GraphAdapter:
+    """A ``rows x cols`` grid (mesh)."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid needs rows, cols >= 1")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            if c + 1 < cols:
+                edges.append((i, i + 1))
+            if r + 1 < rows:
+                edges.append((i, i + cols))
+    return GraphAdapter(rows * cols, edges, name=f"grid_{rows}x{cols}")
+
+
+def complete_graph(n: int) -> GraphAdapter:
+    """The complete graph :math:`K_n`."""
+    return GraphAdapter(n, [(i, j) for i in range(n) for j in range(i + 1, n)], name=f"K_{n}")
+
+
+def folded_hypercube(dimension: int) -> GraphAdapter:
+    """The folded hypercube ``FQ_d``: ``H_d`` plus all antipodal edges.
+
+    A classic interconnection network (diameter ``⌈d/2⌉``); the extra
+    chords make the sweep baselines work harder — every node gains a
+    neighbour on the far side of the cube.
+    """
+    from repro.topology.hypercube import Hypercube
+
+    h = Hypercube(dimension)
+    edges = list(h.edges())
+    mask = h.n - 1
+    for x in h.nodes():
+        y = x ^ mask
+        if x < y:
+            edges.append((x, y))
+    return GraphAdapter(h.n, edges, name=f"FQ_{dimension}")
+
+
+def cube_connected_cycles(dimension: int) -> GraphAdapter:
+    """The cube-connected cycles network ``CCC_d`` (``d >= 3``).
+
+    Each hypercube node is replaced by a ``d``-cycle of degree-3 nodes;
+    node ``(x, i)`` (encoded ``x * d + i``) links to its cycle neighbours
+    and across hypercube dimension ``i``.  A bounded-degree relative of
+    the hypercube — good exercise for the generic sweeps.
+    """
+    from repro.topology.hypercube import Hypercube
+
+    if dimension < 3:
+        raise TopologyError(f"CCC needs dimension >= 3, got {dimension}")
+    h = Hypercube(dimension)
+    d = dimension
+
+    def encode(x: int, i: int) -> int:
+        return x * d + i
+
+    edges = []
+    for x in h.nodes():
+        for i in range(d):
+            edges.append((encode(x, i), encode(x, (i + 1) % d)))  # cycle
+            y = x ^ (1 << i)
+            if x < y:
+                edges.append((encode(x, i), encode(y, i)))  # hypercube rung
+    return GraphAdapter(h.n * d, edges, name=f"CCC_{dimension}")
+
+
+def from_networkx(graph) -> GraphAdapter:
+    """Convert a :class:`networkx.Graph`; nodes are relabelled ``0..n-1``.
+
+    Returns the adapter; the relabelling is by sorted node order.
+    """
+    nodes = sorted(graph.nodes())
+    index: Dict[object, int] = {v: i for i, v in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in graph.edges()]
+    return GraphAdapter(len(nodes), edges, name=str(graph.name or "G"))

@@ -1,0 +1,182 @@
+"""The heap queue :math:`T(d)` of Definition 1, as an abstract rooted tree.
+
+Definition 1 (paper):
+
+* ``T(0)`` is a leaf;
+* ``T(1)`` is a node with one child;
+* ``T(k)`` is a node with ``k`` children of type ``T(0), ..., T(k-1)``.
+
+This is exactly the binomial tree :math:`B_k`.  The class below builds the
+abstract structure recursively (independent of the hypercube) and provides
+an isomorphism check against the concrete
+:class:`~repro.topology.broadcast_tree.BroadcastTree`, which is the paper's
+"very well known" fact that the broadcast spanning tree of a hypercube of
+size ``n`` is a heap queue :math:`T(\\log n)`.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import TopologyError
+
+__all__ = ["HeapQueue"]
+
+
+class HeapQueue:
+    """Abstract heap queue :math:`T(k)` (binomial tree), built recursively.
+
+    Parameters
+    ----------
+    order:
+        The type ``k`` of the root.  The tree has ``2**k`` nodes.
+
+    Examples
+    --------
+    >>> t = HeapQueue(3)
+    >>> t.size
+    8
+    >>> [c.order for c in t.children]
+    [2, 1, 0]
+    >>> t.height()
+    3
+    """
+
+    __slots__ = ("order", "children")
+
+    def __init__(self, order: int, _build: bool = True) -> None:
+        if order < 0:
+            raise TopologyError(f"heap queue order must be >= 0, got {order}")
+        if order > 24:
+            raise TopologyError(f"order {order} would allocate 2**{order} nodes; refusing")
+        self.order = order
+        #: children in the order ``T(k-1), T(k-2), ..., T(0)`` of Definition 1.
+        self.children: List[HeapQueue] = (
+            [HeapQueue(i) for i in range(order - 1, -1, -1)] if _build else []
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Number of nodes: ``2**order``."""
+        return 1 << self.order
+
+    def is_leaf(self) -> bool:
+        """Whether this node is a leaf, i.e. ``T(0)``."""
+        return self.order == 0
+
+    def height(self) -> int:
+        """Height of the tree: ``order`` (the deepest leaf is that far)."""
+        if not self.children:
+            return 0
+        return 1 + max(c.height() for c in self.children)
+
+    def count_nodes(self) -> int:
+        """Actual node count by traversal (tested against :attr:`size`)."""
+        return 1 + sum(c.count_nodes() for c in self.children)
+
+    def count_leaves(self) -> int:
+        """Number of leaves: ``2**(order-1)`` for ``order >= 1`` else 1."""
+        if not self.children:
+            return 1
+        return sum(c.count_leaves() for c in self.children)
+
+    def nodes_per_depth(self) -> List[int]:
+        """``out[l]`` = number of nodes at depth ``l``; equals ``C(order, l)``.
+
+        Matches the hypercube's level sizes, as the broadcast tree maps
+        depth to level.
+        """
+        out = [0] * (self.order + 1)
+
+        def walk(t: HeapQueue, depth: int) -> None:
+            out[depth] += 1
+            for c in t.children:
+                walk(c, depth + 1)
+
+        walk(self, 0)
+        return out
+
+    def type_census_at_depth(self, depth: int) -> Dict[int, int]:
+        """Number of nodes of each type at ``depth`` (abstract Property 1)."""
+        census: Dict[int, int] = {}
+
+        def walk(t: HeapQueue, at: int) -> None:
+            if at == depth:
+                census[t.order] = census.get(t.order, 0) + 1
+                return
+            for c in t.children:
+                walk(c, at + 1)
+
+        walk(self, 0)
+        return census
+
+    def preorder_types(self) -> Iterator[int]:
+        """Preorder traversal yielding node types."""
+        yield self.order
+        for c in self.children:
+            yield from c.preorder_types()
+
+    # ------------------------------------------------------------------ #
+    # structural checks
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Check Definition 1 holds recursively."""
+        expected = list(range(self.order - 1, -1, -1))
+        got = [c.order for c in self.children]
+        if got != expected:
+            raise TopologyError(f"T({self.order}) children are {got}, expected {expected}")
+        for c in self.children:
+            c.validate()
+
+    def isomorphic_to_broadcast_tree(self, tree) -> bool:
+        """Whether this heap queue is isomorphic to a ``BroadcastTree``.
+
+        Compares the recursive child-type structure node by node (the
+        broadcast tree lists children largest-subtree-first, matching
+        Definition 1's ``T(k-1) .. T(0)`` order).
+        """
+        from repro.topology.broadcast_tree import BroadcastTree
+
+        if not isinstance(tree, BroadcastTree):
+            raise TopologyError("expected a BroadcastTree")
+
+        def match(hq: HeapQueue, node: int) -> bool:
+            if hq.order != tree.node_type(node):
+                return False
+            kids = tree.children(node)
+            if len(kids) != len(hq.children):
+                return False
+            return all(match(hc, kn) for hc, kn in zip(hq.children, kids))
+
+        return match(self, tree.root)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def expected_depth_census(order: int, depth: int) -> int:
+        """``C(order, depth)`` — closed form for :meth:`nodes_per_depth`."""
+        if not 0 <= depth <= order:
+            return 0
+        return comb(order, depth)
+
+    def __repr__(self) -> str:
+        return f"HeapQueue(order={self.order})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HeapQueue):
+            return NotImplemented
+        return self.order == other.order  # structure is determined by order
+
+    def __hash__(self) -> int:
+        return hash(("HeapQueue", self.order))
+
+    def find_child(self, order: int) -> Optional["HeapQueue"]:
+        """The unique child of the given type, or ``None``."""
+        for c in self.children:
+            if c.order == order:
+                return c
+        return None

@@ -1,0 +1,32 @@
+"""Text renderings of the paper's figures.
+
+* :mod:`~repro.viz.tree_render` — Figure 1: the broadcast tree ``T(d)``.
+* :mod:`~repro.viz.order_render` — Figures 2 and 4: the order nodes get
+  cleaned under each strategy.
+* :mod:`~repro.viz.class_render` — Figure 3: the classes :math:`C_i`.
+* :mod:`~repro.viz.state_render` — frame-by-frame sweep animation.
+* :mod:`~repro.viz.profile_render` — deployment-over-time bar charts.
+* :mod:`~repro.viz.dot_export` — Graphviz DOT output.
+
+Everything renders to plain strings (terminal-friendly); the benches tee
+them into the experiment reports.
+"""
+
+from repro.viz.class_render import render_classes
+from repro.viz.dot_export import broadcast_tree_dot, cleaning_order_dot
+from repro.viz.order_render import render_cleaning_order, render_wave_table
+from repro.viz.profile_render import render_deployment_profile
+from repro.viz.state_render import render_final_state, render_frames
+from repro.viz.tree_render import render_broadcast_tree
+
+__all__ = [
+    "render_broadcast_tree",
+    "render_cleaning_order",
+    "render_wave_table",
+    "render_classes",
+    "render_frames",
+    "render_final_state",
+    "render_deployment_profile",
+    "broadcast_tree_dot",
+    "cleaning_order_dot",
+]

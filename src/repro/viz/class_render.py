@@ -1,0 +1,35 @@
+"""Class-partition rendering (Figure 3 of the paper).
+
+Figure 3 shows the classes :math:`C_i` of ``H_4`` — the groups of nodes
+sharing the position of their most significant bit, which is the wave
+structure of the visibility strategy (all of :math:`C_i` acts at time
+``i``).
+"""
+
+from __future__ import annotations
+
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["render_classes"]
+
+
+def render_classes(hypercube: Hypercube | int, *, max_nodes: int = 512) -> str:
+    """One line per class: ``C_i (size): members`` with paper bit strings.
+
+    >>> print(render_classes(2))  # doctest: +NORMALIZE_WHITESPACE
+    classes C_i of H_2 (most significant bit position)
+    C_0 (1): 0[00]
+    C_1 (1): 1[10]
+    C_2 (2): 2[01], 3[11]
+    """
+    h = Hypercube(hypercube) if isinstance(hypercube, int) else hypercube
+    if h.n > max_nodes:
+        raise ValueError(f"too many nodes to render ({h.n} > {max_nodes})")
+    lines = [f"classes C_i of H_{h.d} (most significant bit position)"]
+    for i in range(h.d + 1):
+        members = h.class_members(i)
+        shown = ", ".join(
+            f"{x}[{h.bitstring(x)}]" if h.d else str(x) for x in members
+        )
+        lines.append(f"C_{i} ({len(members)}): {shown}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Graphviz DOT export of the broadcast tree and cleaning orders.
+
+Produces plain DOT text (no graphviz dependency required to generate it):
+``dot -Tpng`` renders Figure-1-style drawings, and the cleaning-order
+variant colours nodes by first-visit time for Figure-2/4-style views.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schedule import Schedule
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["broadcast_tree_dot", "cleaning_order_dot"]
+
+
+def broadcast_tree_dot(tree: BroadcastTree | int, *, include_non_tree_edges: bool = False) -> str:
+    """DOT source for the broadcast tree (Figure 1).
+
+    Tree edges are solid; with ``include_non_tree_edges`` the remaining
+    hypercube edges are drawn dotted, matching the figure's style.
+    """
+    if isinstance(tree, int):
+        tree = BroadcastTree(Hypercube(tree))
+    h = tree.hypercube
+    lines = [
+        f'graph "T({h.d})" {{',
+        "  rankdir=TB;",
+        '  node [shape=circle, fontsize=10];',
+    ]
+    for x in h.nodes():
+        label = f"{h.bitstring(x)}\\nT({tree.node_type(x)})" if h.d else "0"
+        lines.append(f'  n{x} [label="{label}"];')
+    for parent, child in tree.edges():
+        lines.append(f"  n{parent} -- n{child};")
+    if include_non_tree_edges:
+        tree_edges = set(tree.edges())
+        for x, y in h.edges():
+            if (x, y) not in tree_edges and (y, x) not in tree_edges:
+                lines.append(f"  n{x} -- n{y} [style=dotted, constraint=false];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def cleaning_order_dot(schedule: Schedule, *, max_nodes: int = 512) -> str:
+    """DOT source colouring nodes by first-visit time (Figures 2 and 4).
+
+    Earlier-cleaned nodes are lighter; each label carries the visit rank.
+    """
+    h = Hypercube(schedule.dimension)
+    if h.n > max_nodes:
+        raise ValueError(f"too many nodes to render ({h.n} > {max_nodes})")
+    tree = BroadcastTree(h)
+    times = schedule.visit_time()
+    order = schedule.first_visit_order()
+    rank = {node: i + 1 for i, node in enumerate(order)}
+    horizon: Optional[int] = max(times.values()) or 1
+
+    lines = [
+        f'graph "{schedule.strategy} on H_{h.d}" {{',
+        "  rankdir=TB;",
+        '  node [shape=circle, style=filled, fontsize=10];',
+    ]
+    for x in h.nodes():
+        shade = int(90 - 60 * times[x] / horizon)  # 90% (early) .. 30% (late)
+        lines.append(
+            f'  n{x} [label="{rank[x]}\\n{h.bitstring(x) if h.d else "0"}", '
+            f'fillcolor="gray{shade}"];'
+        )
+    for parent, child in tree.edges():
+        lines.append(f"  n{parent} -- n{child};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Cleaning-order renderings (Figures 2 and 4 of the paper).
+
+Figure 2 numbers the nodes of ``H_4`` in the order Algorithm ``CLEAN``
+decontaminates them (sequential, level by level, lexicographic within a
+level); Figure 4 does the same for ``CLEAN WITH VISIBILITY``, where whole
+groups of nodes are cleaned simultaneously wave by wave.
+
+:func:`render_cleaning_order` prints each node with its first-visit rank
+and time, grouped by hypercube level; :func:`render_wave_table` shows the
+wave structure (which nodes act at each ideal time step), which for the
+visibility strategy is exactly the class partition :math:`C_i`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.schedule import Schedule
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["render_cleaning_order", "render_wave_table"]
+
+
+def render_cleaning_order(schedule: Schedule, *, max_nodes: int = 512) -> str:
+    """Figure 2/4-style table: first-visit rank of every node, by level.
+
+    Each level line lists ``node[bits]#rank@t`` entries in visit order;
+    rank is the position in the global first-visit sequence (the numbers
+    printed in the paper's figures), ``t`` the arrival time.
+    """
+    h = Hypercube(schedule.dimension)
+    if h.n > max_nodes:
+        raise ValueError(f"too many nodes to render ({h.n} > {max_nodes})")
+    order = schedule.first_visit_order()
+    times = schedule.visit_time()
+    rank = {node: i + 1 for i, node in enumerate(order)}
+    lines = [
+        f"cleaning order of {schedule.strategy} on H_{schedule.dimension} "
+        f"(rank: 1..{len(order)}, @ = first-arrival time)"
+    ]
+    for level in range(h.d + 1):
+        nodes = sorted(h.level_nodes(level), key=lambda x: rank.get(x, 10**9))
+        entries = [
+            f"{x}[{h.bitstring(x)}]#{rank[x]}@{times[x]}" for x in nodes if x in rank
+        ]
+        lines.append(f"level {level}: " + "  ".join(entries))
+    return "\n".join(lines)
+
+
+def render_wave_table(schedule: Schedule) -> str:
+    """Which nodes are first visited at each ideal time step.
+
+    For the visibility/cloning/synchronous strategies, the row at time
+    ``t`` contains exactly the nodes whose tree parent is in class
+    :math:`C_{t-1}` — the Theorem 7 wave structure.
+    """
+    h = Hypercube(schedule.dimension)
+    by_time: Dict[int, List[int]] = {}
+    for node, t in sorted(schedule.visit_time().items()):
+        by_time.setdefault(t, []).append(node)
+    lines = [f"wave table of {schedule.strategy} on H_{schedule.dimension}"]
+    for t in sorted(by_time):
+        nodes = ", ".join(
+            f"{x}[{h.bitstring(x)}]" if h.d else str(x) for x in sorted(by_time[t])
+        )
+        lines.append(f"t={t:>3}: {nodes}")
+    return "\n".join(lines)

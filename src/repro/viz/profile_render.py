@@ -1,0 +1,51 @@
+"""ASCII charts of schedule time profiles.
+
+Renders the :mod:`repro.analysis.profiles` series as terminal bar charts:
+the deployment profile shows CLEAN's sawtooth against visibility's single
+pyramid — the shape difference behind the Theorem 4 vs Theorem 7 time
+separation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.profiles import deployed_agents_profile
+from repro.core.schedule import Schedule
+
+__all__ = ["render_deployment_profile"]
+
+
+def render_deployment_profile(
+    schedule: Schedule,
+    *,
+    width: int = 60,
+    max_rows: int = 120,
+) -> str:
+    """Horizontal bar chart of agents-away-from-home over time.
+
+    Long schedules are downsampled to ``max_rows`` rows (each row then
+    shows the maximum over its time bucket, so peaks are never hidden).
+    """
+    profile = deployed_agents_profile(schedule)
+    times = sorted(profile)
+    peak = max(profile.values()) or 1
+
+    # downsample, keeping per-bucket maxima
+    if len(times) > max_rows:
+        bucket_size = (len(times) + max_rows - 1) // max_rows
+        buckets = [
+            times[i : i + bucket_size] for i in range(0, len(times), bucket_size)
+        ]
+        rows = [(b[0], max(profile[t] for t in b)) for b in buckets]
+        note = f" (downsampled x{bucket_size}, bucket maxima)"
+    else:
+        rows = [(t, profile[t]) for t in times]
+        note = ""
+
+    lines = [
+        f"deployed agents over time — {schedule.strategy} on H_{schedule.dimension}"
+        f" (peak {peak}, team {schedule.team_size}){note}"
+    ]
+    for t, value in rows:
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"t={t:>5} |{bar:<{width}}| {value}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Frame-by-frame rendering of a cleaning in progress.
+
+Replays a schedule through the exact contamination dynamics and renders
+each time unit as a text frame: one row per hypercube level, each node
+shown as ``#`` (contaminated), ``A`` (guarded) or ``.`` (clean) — a
+terminal-friendly "animation" of the sweep used by the ``watch_the_sweep``
+example and by the CLI's ``--watch`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.core.schedule import Schedule
+from repro.sim.contamination import ContaminationMap
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["render_frames", "render_final_state"]
+
+
+def _frame(cmap: ContaminationMap, h: Hypercube, caption: str) -> str:
+    lines = [caption]
+    for level in range(h.d + 1):
+        cells = "".join(cmap.state(x).symbol() for x in h.level_nodes(level))
+        lines.append(f"  level {level}: {cells}")
+    return "\n".join(lines)
+
+
+def render_frames(schedule: Schedule, *, max_nodes: int = 1024) -> Iterator[str]:
+    """Yield one rendered frame per time unit of the schedule.
+
+    The first frame shows the initial state (team at the homebase); each
+    subsequent frame shows the network after all moves of one time unit.
+    Nodes within a level are ordered by increasing id.
+    """
+    h = Hypercube(schedule.dimension)
+    if h.n > max_nodes:
+        raise ValueError(f"too many nodes to render ({h.n} > {max_nodes})")
+    cmap = ContaminationMap(h, homebase=schedule.homebase, strict=False)
+    if schedule.uses_cloning:
+        # the original agent (id 0) starts at the homebase; clones are
+        # placed lazily at their first move below
+        cmap.place_agent(schedule.homebase)
+        seen = {0}
+    else:
+        for _ in range(max(schedule.team_size, 1)):
+            cmap.place_agent(schedule.homebase)
+        seen = set()
+
+    yield _frame(cmap, h, f"t=0  ({schedule.strategy} on H_{h.d}, team {schedule.team_size})")
+    for time, group in schedule.by_time():
+        if schedule.uses_cloning:
+            for m in group:
+                if m.agent not in seen:
+                    seen.add(m.agent)
+                    cmap.place_agent(m.src)
+        for m in group:
+            cmap.move_agent(m.src, m.dst)
+        contaminated = len(cmap.contaminated_nodes())
+        yield _frame(cmap, h, f"t={time}  ({contaminated} contaminated left)")
+
+
+def render_final_state(schedule: Schedule) -> str:
+    """Only the last frame (the fully decontaminated network)."""
+    last = ""
+    for frame in render_frames(schedule):
+        last = frame
+    return last

@@ -1,0 +1,79 @@
+"""ASCII rendering of the broadcast tree (Figure 1 of the paper).
+
+Figure 1 shows ``T(6)``, the broadcast tree of ``H_6``, organized by
+levels with each node's heap-queue type.  :func:`render_broadcast_tree`
+draws the same structure as an indented tree (one node per line, children
+beneath their parent) and :func:`render_level_table` as the level-by-level
+census the figure's caption describes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["render_broadcast_tree", "render_level_table"]
+
+
+def render_broadcast_tree(
+    tree: BroadcastTree | int,
+    *,
+    max_nodes: int = 512,
+    show_bitstring: bool = True,
+) -> str:
+    """Indented rendering of the broadcast tree.
+
+    Each line shows ``<node id> [<paper bit string>] T(<type>)``; children
+    are indented beneath their parent, largest subtree first (Definition
+    1's ``T(k-1) .. T(0)`` order).
+
+    >>> print(render_broadcast_tree(2))  # doctest: +NORMALIZE_WHITESPACE
+    broadcast tree T(2) of H_2 (4 nodes)
+    0 [00] T(2)
+    ├── 1 [10] T(1)
+    │   └── 3 [11] T(0)
+    └── 2 [01] T(0)
+    """
+    if isinstance(tree, int):
+        tree = BroadcastTree(Hypercube(tree))
+    h = tree.hypercube
+    if h.n > max_nodes:
+        raise ValueError(f"tree too large to render ({h.n} nodes > {max_nodes})")
+    lines: List[str] = [f"broadcast tree T({h.d}) of H_{h.d} ({h.n} nodes)"]
+
+    def label(x: int) -> str:
+        bits = f" [{h.bitstring(x)}]" if show_bitstring and h.d else ""
+        return f"{x}{bits} T({tree.node_type(x)})"
+
+    def walk(x: int, prefix: str) -> None:
+        kids = tree.children(x)
+        for i, c in enumerate(kids):
+            last = i == len(kids) - 1
+            connector = "└── " if last else "├── "
+            lines.append(prefix + connector + label(c))
+            walk(c, prefix + ("    " if last else "│   "))
+
+    lines.append(label(tree.root))
+    walk(tree.root, "")
+    return "\n".join(lines)
+
+
+def render_level_table(tree: BroadcastTree | int) -> str:
+    """Level census table: nodes, leaves, and the type breakdown per level.
+
+    This is the content Properties 1 and 2 describe for Figure 1.
+    """
+    if isinstance(tree, int):
+        tree = BroadcastTree(Hypercube(tree))
+    h = tree.hypercube
+    lines = [f"{'level':>5} {'nodes':>6} {'leaves':>7}  types"]
+    for level in range(h.d + 1):
+        census = tree.type_census(level)
+        types = ", ".join(f"T({k})x{census[k]}" for k in sorted(census, reverse=True))
+        lines.append(
+            f"{level:>5} {h.level_size(level):>6} "
+            f"{tree.leaf_count_at_level(level):>7}  {types}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Shared test fixtures and hypothesis strategies."""
+
+from hypothesis import strategies as st
+
+from repro.topology.generic import GraphAdapter
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=2, max_nodes=12, max_extra_edges=6):
+    """A random connected graph: a random tree plus random extra edges."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    parents = [draw(st.integers(min_value=0, max_value=i)) for i in range(n - 1)]
+    edges = {(p, i + 1) for i, p in enumerate(parents)}
+    extras = draw(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=max_extra_edges,
+        )
+    )
+    for u, v in extras:
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return GraphAdapter(n, sorted(edges), name="fuzz")

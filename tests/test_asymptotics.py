@@ -1,0 +1,77 @@
+"""Tests for the empirical growth-rate fitting utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis.asymptotics import (
+    GrowthFit,
+    fit_growth,
+    growth_ratio_table,
+    is_bounded_ratio,
+    ratios_to_dict,
+)
+
+
+class TestFitGrowth:
+    def test_recovers_n_log_n(self):
+        dims = list(range(3, 14))
+        values = [(2**d) * d for d in dims]
+        fit = fit_growth(dims, values)
+        assert fit.exponent_n == pytest.approx(1.0, abs=0.02)
+        assert fit.exponent_log == pytest.approx(1.0, abs=0.05)
+        assert fit.residual < 1e-6
+
+    def test_recovers_linear(self):
+        dims = list(range(3, 14))
+        values = [3.5 * 2**d for d in dims]
+        fit = fit_growth(dims, values)
+        assert fit.exponent_n == pytest.approx(1.0, abs=0.02)
+        assert fit.exponent_log == pytest.approx(0.0, abs=0.05)
+        assert fit.constant == pytest.approx(3.5, rel=0.05)
+
+    def test_recovers_n_over_sqrt_log(self):
+        dims = list(range(4, 16))
+        values = [(2**d) / math.sqrt(d) for d in dims]
+        fit = fit_growth(dims, values)
+        assert fit.exponent_n == pytest.approx(1.0, abs=0.02)
+        assert fit.exponent_log == pytest.approx(-0.5, abs=0.05)
+
+    def test_needs_three_samples(self):
+        with pytest.raises(ValueError):
+            fit_growth([2, 3], [4, 8])
+
+    def test_ignores_small_d_and_zeros(self):
+        dims = [0, 1, 2, 3, 4, 5, 6]
+        values = [0, 0] + [2**d for d in dims[2:]]
+        fit = fit_growth(dims, values)
+        assert fit.exponent_n == pytest.approx(1.0, abs=0.05)
+
+    def test_describe(self):
+        fit = GrowthFit(1.0, 0.5, 2.0, 0.001)
+        text = fit.describe()
+        assert "n^1.000" in text and "(log n)^0.500" in text
+
+
+class TestRatios:
+    def test_table_rows(self):
+        rows = growth_ratio_table([2, 3], [8, 24], lambda d: float(2**d * d))
+        assert rows[0] == (2, 8.0, 8.0, 1.0)
+        assert rows[1] == (3, 24.0, 24.0, 1.0)
+
+    def test_ratios_to_dict(self):
+        rows = growth_ratio_table([2, 3], [8, 24], lambda d: float(2**d * d))
+        assert ratios_to_dict(rows) == {2: 1.0, 3: 1.0}
+
+    def test_bounded_accepts_flat(self):
+        dims = list(range(2, 12))
+        values = [2**d * d for d in dims]
+        assert is_bounded_ratio(dims, values, lambda d: 2**d * d)
+
+    def test_bounded_rejects_diverging(self):
+        dims = list(range(2, 12))
+        values = [2**d * d * d for d in dims]  # n log^2 n vs n log n reference
+        assert not is_bounded_ratio(dims, values, lambda d: 2**d * d)
+
+    def test_bounded_with_single_point(self):
+        assert is_bounded_ratio([3], [10], lambda d: 1.0)

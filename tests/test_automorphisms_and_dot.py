@@ -1,0 +1,97 @@
+"""Tests for dimension permutations and the DOT exporter."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import verify_schedule
+from repro.core.strategy import get_strategy
+from repro.errors import ScheduleError
+from repro.viz.dot_export import broadcast_tree_dot, cleaning_order_dot
+
+
+class TestPermutation:
+    @pytest.mark.parametrize("perm", list(itertools.permutations(range(3))))
+    def test_every_permutation_of_h3_verifies(self, perm):
+        for name in ("clean", "visibility", "cloning"):
+            schedule = get_strategy(name).run(3).permuted(list(perm))
+            report = verify_schedule(schedule)
+            assert report.ok, (name, perm, report.summary())
+
+    def test_identity_is_noop(self):
+        base = get_strategy("visibility").run(4)
+        same = base.permuted([0, 1, 2, 3])
+        assert same.moves == base.moves
+
+    def test_counts_invariant(self):
+        base = get_strategy("clean").run(4)
+        perm = base.permuted([3, 2, 1, 0])
+        assert perm.total_moves == base.total_moves
+        assert perm.team_size == base.team_size
+        assert perm.makespan == base.makespan
+        assert perm.homebase == 0  # permutations fix the homebase
+
+    def test_rejects_non_permutation(self):
+        schedule = get_strategy("visibility").run(3)
+        with pytest.raises(ScheduleError):
+            schedule.permuted([0, 0, 1])
+        with pytest.raises(ScheduleError):
+            schedule.permuted([0, 1])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.permutations(list(range(4))), st.integers(min_value=0, max_value=15))
+    def test_composition_with_translation(self, perm, homebase):
+        """Permutation then translation realizes an arbitrary automorphism
+        image of the deployment; the result always verifies."""
+        schedule = get_strategy("visibility").run(4).permuted(list(perm)).translated(homebase)
+        report = verify_schedule(schedule)
+        assert report.ok
+        assert report.first_visit_order[0] == homebase
+
+    def test_metadata_records_permutation(self):
+        schedule = get_strategy("visibility").run(3).permuted([1, 2, 0])
+        assert schedule.metadata["permuted_by"] == [1, 2, 0]
+
+
+class TestDotExport:
+    def test_tree_dot_structure(self):
+        dot = broadcast_tree_dot(3)
+        assert dot.startswith('graph "T(3)"')
+        assert dot.count(" -- ") == 7  # n - 1 tree edges
+        assert "T(0)" in dot and "T(3)" in dot
+
+    def test_non_tree_edges_dotted(self):
+        dot = broadcast_tree_dot(3, include_non_tree_edges=True)
+        # H_3 has 12 edges, 7 in the tree, 5 dotted
+        assert dot.count("style=dotted") == 5
+
+    def test_order_dot_ranks(self):
+        schedule = get_strategy("clean").run(3)
+        dot = cleaning_order_dot(schedule)
+        assert 'label="1\\n' in dot  # the homebase is rank 1
+        assert 'label="8\\n' in dot  # the last node is rank 8
+        assert dot.count("fillcolor") == 8
+
+    def test_order_dot_shades_monotone_with_time(self):
+        schedule = get_strategy("visibility").run(3)
+        dot = cleaning_order_dot(schedule)
+        import re
+
+        shades = [int(m) for m in re.findall(r"gray(\d+)", dot)]
+        assert max(shades) <= 90 and min(shades) >= 30
+
+    def test_size_guard(self):
+        schedule = get_strategy("visibility").run(4)
+        with pytest.raises(ValueError):
+            cleaning_order_dot(schedule, max_nodes=4)
+
+    def test_dot_is_parseable_by_networkx(self):
+        """The emitted DOT at least round-trips through pydot-less parsing:
+        check bracket balance and statement termination."""
+        dot = broadcast_tree_dot(4, include_non_tree_edges=True)
+        assert dot.count("{") == dot.count("}") == 1
+        body = dot[dot.index("{") + 1 : dot.rindex("}")]
+        statements = [s.strip() for s in body.splitlines() if s.strip()]
+        assert all(s.endswith(";") for s in statements)

@@ -1,0 +1,147 @@
+"""Unit tests for the bit-manipulation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._bitops import (
+    bitstring,
+    flip_bit,
+    from_bitstring,
+    gray_code,
+    iter_clear_bits,
+    iter_set_bits,
+    lowest_set_bit,
+    msb_position,
+    msb_position_array,
+    popcount,
+    popcount_array,
+    with_bit,
+    without_bit,
+)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_powers_of_two(self):
+        for i in range(20):
+            assert popcount(1 << i) == 1
+
+    def test_all_ones(self):
+        for width in range(1, 16):
+            assert popcount((1 << width) - 1) == width
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_matches_bin_count(self, x):
+        assert popcount(x) == bin(x).count("1")
+
+
+class TestMsbPosition:
+    def test_zero_is_zero(self):
+        assert msb_position(0) == 0
+
+    def test_one_based(self):
+        assert msb_position(1) == 1
+        assert msb_position(2) == 2
+        assert msb_position(3) == 2
+        assert msb_position(4) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            msb_position(-1)
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_bounds_value(self, x):
+        m = msb_position(x)
+        assert 1 << (m - 1) <= x < 1 << m
+
+
+class TestLowestSetBit:
+    def test_zero(self):
+        assert lowest_set_bit(0) == 0
+
+    def test_odd_numbers(self):
+        for x in (1, 3, 5, 7, 99):
+            assert lowest_set_bit(x) == 1
+
+    @given(st.integers(min_value=1, max_value=2**30))
+    def test_divides(self, x):
+        p = lowest_set_bit(x)
+        assert x % (1 << (p - 1)) == 0
+
+
+class TestBitIteration:
+    def test_set_bits_order(self):
+        assert list(iter_set_bits(0b10110)) == [1, 2, 4]
+
+    def test_clear_bits(self):
+        assert list(iter_clear_bits(0b10110, 5)) == [0, 3]
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_partition(self, x):
+        width = 20
+        set_bits = set(iter_set_bits(x))
+        clear_bits = set(iter_clear_bits(x, width))
+        assert set_bits | clear_bits == set(range(width))
+        assert not set_bits & clear_bits
+
+
+class TestBitEdits:
+    @given(st.integers(min_value=0, max_value=2**20), st.integers(min_value=0, max_value=19))
+    def test_flip_is_involution(self, x, i):
+        assert flip_bit(flip_bit(x, i), i) == x
+
+    @given(st.integers(min_value=0, max_value=2**20), st.integers(min_value=0, max_value=19))
+    def test_with_without(self, x, i):
+        assert (with_bit(x, i) >> i) & 1 == 1
+        assert (without_bit(x, i) >> i) & 1 == 0
+
+
+class TestBitstring:
+    def test_paper_convention_position_one_leftmost(self):
+        # position 1 (bit index 0) is the LEFTMOST character
+        assert bitstring(0b001, 4) == "1000"
+        assert bitstring(0b1000, 4) == "0001"
+
+    def test_round_trip(self):
+        for x in range(32):
+            assert from_bitstring(bitstring(x, 5)) == x
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            bitstring(16, 4)
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(ValueError):
+            from_bitstring("10a1")
+        with pytest.raises(ValueError):
+            from_bitstring("")
+
+
+class TestGrayCode:
+    def test_consecutive_differ_in_one_bit(self):
+        for i in range(255):
+            assert popcount(gray_code(i) ^ gray_code(i + 1)) == 1
+
+    def test_is_permutation(self):
+        codes = {gray_code(i) for i in range(256)}
+        assert codes == set(range(256))
+
+
+class TestVectorized:
+    def test_popcount_array_matches_scalar(self):
+        values = np.arange(1 << 10, dtype=np.uint64)
+        vec = popcount_array(values)
+        assert all(vec[x] == popcount(x) for x in range(1 << 10))
+
+    def test_msb_array_matches_scalar(self):
+        values = np.arange(1 << 10, dtype=np.uint64)
+        vec = msb_position_array(values)
+        assert all(vec[x] == msb_position(x) for x in range(1 << 10))
+
+    def test_empty_arrays(self):
+        assert popcount_array(np.array([], dtype=np.uint64)).size == 0
+        assert msb_position_array(np.array([], dtype=np.uint64)).size == 0

@@ -1,0 +1,168 @@
+"""Unit tests for the broadcast tree (Section 2, Figure 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+
+@pytest.fixture(params=range(1, 8))
+def tree(request):
+    return BroadcastTree(Hypercube(request.param))
+
+
+class TestConstruction:
+    def test_from_int(self):
+        assert BroadcastTree(4).hypercube == Hypercube(4)
+
+    def test_bad_argument(self):
+        with pytest.raises(TopologyError):
+            BroadcastTree("nope")
+
+    def test_equality(self):
+        assert BroadcastTree(3) == BroadcastTree(Hypercube(3))
+        assert BroadcastTree(3) != BroadcastTree(4)
+
+
+class TestParentChild:
+    def test_root_has_no_parent(self, tree):
+        with pytest.raises(TopologyError):
+            tree.parent(0)
+
+    def test_parent_clears_msb(self):
+        t = BroadcastTree(5)
+        assert t.parent(0b10110) == 0b00110
+        assert t.parent(0b00001) == 0
+
+    def test_children_are_bigger_neighbors(self, tree):
+        h = tree.hypercube
+        for x in h.nodes():
+            assert tree.children(x) == h.bigger_neighbors(x)
+
+    def test_parent_child_inverse(self, tree):
+        for x in range(1, tree.n):
+            assert x in tree.children(tree.parent(x))
+
+    def test_every_nonroot_has_unique_parent(self, tree):
+        seen = {}
+        for p, c in tree.edges():
+            assert c not in seen
+            seen[c] = p
+        assert len(seen) == tree.n - 1
+
+    def test_edge_count(self, tree):
+        assert sum(1 for _ in tree.edges()) == tree.n - 1
+
+    def test_child_types_descend(self, tree):
+        for x in range(tree.n):
+            kinds = tree.child_types(x)
+            k = tree.node_type(x)
+            assert kinds == list(range(k - 1, -1, -1))
+
+
+class TestTypes:
+    def test_root_type_is_d(self, tree):
+        assert tree.node_type(0) == tree.dimension
+
+    def test_type_plus_msb_is_d(self, tree):
+        h = tree.hypercube
+        for x in h.nodes():
+            assert tree.node_type(x) + h.msb(x) == tree.dimension
+
+    def test_leaves_are_type_zero(self, tree):
+        for leaf in tree.leaves():
+            assert tree.is_leaf(leaf)
+            assert tree.node_type(leaf) == 0
+            assert tree.children(leaf) == []
+
+    def test_leaf_count_is_half(self, tree):
+        assert len(tree.leaves()) == max(1, tree.n // 2)
+
+    def test_subtree_size_formula(self, tree):
+        for x in range(tree.n):
+            assert tree.subtree_size(x) == len(tree.subtree_nodes(x))
+
+    def test_subtree_nodes_of_root(self, tree):
+        assert sorted(tree.subtree_nodes(0)) == list(range(tree.n))
+
+
+class TestPaths:
+    def test_path_from_root(self, tree):
+        for x in range(tree.n):
+            path = tree.path_from_root(x)
+            assert path[0] == 0 and path[-1] == x
+            for p, c in zip(path, path[1:]):
+                assert tree.parent(c) == p
+
+    def test_path_to_root_reverses(self, tree):
+        for x in range(tree.n):
+            assert tree.path_to_root(x) == list(reversed(tree.path_from_root(x)))
+
+    def test_ancestors(self):
+        t = BroadcastTree(4)
+        assert t.ancestors(0b1010) == [0b0010, 0]
+        assert t.ancestors(0) == []
+
+    def test_is_ancestor(self):
+        t = BroadcastTree(4)
+        assert t.is_ancestor(0b0010, 0b1010)
+        assert t.is_ancestor(0, 0b1010)
+        assert t.is_ancestor(0b1010, 0b1010)
+        assert not t.is_ancestor(0b1000, 0b1010)  # not a bit-prefix
+        assert not t.is_ancestor(0b0100, 0b1010)
+
+    @given(st.integers(min_value=1, max_value=7), st.data())
+    def test_is_ancestor_matches_paths(self, d, data):
+        t = BroadcastTree(d)
+        x = data.draw(st.integers(min_value=0, max_value=t.n - 1))
+        anc_path = set(t.path_from_root(x))
+        for a in range(t.n):
+            assert t.is_ancestor(a, x) == (a in anc_path)
+
+
+class TestTraversals:
+    def test_preorder_covers_all(self, tree):
+        assert sorted(tree.preorder()) == list(range(tree.n))
+
+    def test_bfs_covers_all_by_level(self, tree):
+        order = list(tree.bfs_order())
+        assert sorted(order) == list(range(tree.n))
+        levels = [tree.depth(x) for x in order]
+        assert levels == sorted(levels)
+
+    def test_preorder_parent_before_child(self, tree):
+        position = {x: i for i, x in enumerate(tree.preorder())}
+        for p, c in tree.edges():
+            assert position[p] < position[c]
+
+
+class TestCensusesAndValidation:
+    def test_type_census_matches_formula(self, tree):
+        for level in range(tree.dimension + 1):
+            assert tree.type_census(level) == tree.type_census_formula(level)
+
+    def test_leaf_census(self, tree):
+        for level in range(tree.dimension + 1):
+            measured = sum(
+                1 for x in tree.hypercube.level_nodes(level) if tree.is_leaf(x)
+            )
+            assert measured == tree.leaf_count_at_level(level)
+
+    def test_validate_passes(self, tree):
+        tree.validate()
+
+    def test_to_networkx_is_tree(self, tree):
+        import networkx as nx
+
+        g = tree.to_networkx()
+        assert nx.is_arborescence(g)
+        assert g.number_of_nodes() == tree.n
+
+    def test_degenerate_d0(self):
+        t = BroadcastTree(0)
+        assert t.leaves() == [0]
+        assert t.node_type(0) == 0
+        assert t.is_leaf(0)

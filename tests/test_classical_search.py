@@ -1,0 +1,132 @@
+"""Tests for the classical / non-contiguous search baselines (§1.2)."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.search.classical import (
+    classical_solvable_with,
+    node_cleaning_search_number,
+    node_cleaning_solvable_with,
+    node_search_number,
+)
+from repro.search.optimal import optimal_search_number
+from repro.topology.generic import (
+    complete_graph,
+    hypercube_graph,
+    path_graph,
+    ring_graph,
+    star_graph,
+    tree_graph,
+)
+
+
+class TestClassicalEdgeSearch:
+    """ns(G) = pathwidth + 1; cross-checked against known values."""
+
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(2), 2),
+            (path_graph(7), 2),
+            (ring_graph(4), 3),
+            (ring_graph(7), 3),
+            (star_graph(5), 2),
+            (complete_graph(3), 3),
+            (complete_graph(4), 4),
+            # a caterpillar: pathwidth 1
+            (tree_graph([0, 0, 1, 1, 2, 2]), 2),
+            (hypercube_graph(2), 3),
+        ],
+    )
+    def test_known_node_search_numbers(self, graph, expected):
+        assert node_search_number(graph) == expected
+
+    def test_h3_needs_five(self):
+        """vs(Q_3) = 4, so ns(Q_3) = 5 — more than the paper's node-cleaning
+        optimum of 4: the two models clean different objects."""
+        assert node_search_number(hypercube_graph(3)) == 5
+
+    def test_solvable_with_monotone_in_k(self):
+        g = ring_graph(5)
+        assert not classical_solvable_with(g, 2)
+        assert classical_solvable_with(g, 3)
+        assert classical_solvable_with(g, 4)
+
+    def test_single_node_graph(self):
+        from repro.topology.generic import GraphAdapter
+
+        g = GraphAdapter(1, [])
+        assert classical_solvable_with(g, 0)  # no edges: vacuous
+
+    def test_capacity_guard(self):
+        import repro.search.classical as mod
+
+        old = mod._STATE_LIMIT
+        mod._STATE_LIMIT = 5
+        try:
+            with pytest.raises(CapacityError):
+                node_search_number(ring_graph(5))
+        finally:
+            mod._STATE_LIMIT = old
+
+
+class TestFreeNodeCleaning:
+    """Placement/removal/slide under the paper's node semantics: a strict
+    relaxation of the contiguous model."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(6),
+            ring_graph(6),
+            star_graph(4),
+            hypercube_graph(2),
+            hypercube_graph(3),
+            tree_graph([0, 0, 1, 1, 2, 2]),
+            complete_graph(4),
+        ],
+    )
+    def test_relaxation_lower_bounds_contiguous(self, graph):
+        free = node_cleaning_search_number(graph)
+        contiguous = optimal_search_number(graph)
+        assert free <= contiguous
+
+    def test_path_needs_one(self):
+        assert node_cleaning_search_number(path_graph(8)) == 1
+
+    def test_ring_needs_two(self):
+        assert node_cleaning_search_number(ring_graph(8)) == 2
+
+    def test_contiguity_costs_on_binary_tree(self):
+        """§1.2's claim, quantified: the walking/homebase constraints cost a
+        third agent on the 7-node binary tree."""
+        g = tree_graph([0, 0, 1, 1, 2, 2])
+        assert node_cleaning_search_number(g) == 2
+        assert optimal_search_number(g) == 3
+
+    def test_h3_free_equals_contiguous(self):
+        """On H_3 the homebase constraint happens to be free of charge."""
+        g = hypercube_graph(3)
+        assert node_cleaning_search_number(g) == 4 == optimal_search_number(g)
+
+    def test_monotone_in_k(self):
+        g = hypercube_graph(2)
+        assert not node_cleaning_solvable_with(g, 1)
+        assert node_cleaning_solvable_with(g, 2)
+        assert node_cleaning_solvable_with(g, 3)
+
+
+class TestModelOrdering:
+    """Sanity relations between the three model numbers on a battery of
+    graphs: free-node <= contiguous; all within n."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(4), ring_graph(5), star_graph(3), hypercube_graph(2)],
+    )
+    def test_orderings(self, graph):
+        ns = node_search_number(graph)
+        free = node_cleaning_search_number(graph)
+        cont = optimal_search_number(graph)
+        assert 1 <= free <= cont <= graph.n
+        assert 1 <= ns <= graph.n

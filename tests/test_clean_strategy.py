@@ -1,0 +1,187 @@
+"""Tests for Algorithm 1 CLEAN (schedule plane): Theorems 1-4, Lemmas 1-4."""
+
+import pytest
+
+from repro.analysis import formulas
+from repro.analysis.verify import verify_schedule
+from repro.core.clean import SYNCHRONIZER_ID, CleanStrategy
+from repro.core.schedule import MoveKind
+from repro.core.states import AgentRole
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+DIMS = list(range(0, 9))
+
+
+@pytest.fixture(scope="module")
+def schedules():
+    strategy = CleanStrategy()
+    return {d: strategy.run(d) for d in DIMS}
+
+
+class TestCorrectness:
+    """Theorem 1: all nodes cleaned, no recontamination (plus contiguity
+    and intruder capture, checked by exact replay)."""
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_invariants(self, schedules, d):
+        report = verify_schedule(schedules[d])
+        assert report.monotone
+        assert report.contiguous
+        assert report.complete
+        assert report.intruder_captured
+        assert report.ok
+
+    def test_strict_per_move_contiguity(self, schedules):
+        report = verify_schedule(schedules[5], check_contiguity_every_move=True)
+        assert report.ok
+
+    @pytest.mark.parametrize("d", [3, 4, 5])
+    def test_structure_valid(self, schedules, d):
+        schedules[d].validate_structure(Hypercube(d))
+
+
+class TestTheorem2Agents:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_team_size_matches_formula(self, schedules, d):
+        assert schedules[d].team_size == formulas.clean_peak_agents(d)
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_extras_match_lemma_3(self, schedules, d):
+        extras = schedules[d].metadata["extras_per_level"]
+        for level, count in extras.items():
+            assert count == formulas.extra_agents_for_level(d, level)
+
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_active_agents_match_lemma_4(self, schedules, d):
+        active = schedules[d].metadata["active_per_level"]
+        for level in range(1, d):
+            assert active[level] == formulas.clean_active_agents_during_pass(d, level)
+
+
+class TestTheorem3Moves:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_agent_moves_exact(self, schedules, d):
+        """Agent component: sum over leaves of 2*level = (n/2)(log n + 1)."""
+        measured = schedules[d].moves_by_role()[AgentRole.AGENT]
+        assert measured == formulas.clean_agent_moves_exact(d)
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_sync_moves_within_bound(self, schedules, d):
+        measured = schedules[d].moves_by_role()[AgentRole.SYNCHRONIZER]
+        assert measured <= formulas.clean_sync_moves_upper_bound(d)
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_escort_component_exact(self, schedules, d):
+        """Component 4: every broadcast-tree edge escorted twice = 2(n-1)."""
+        escorts = schedules[d].moves_by_kind()[MoveKind.ESCORT]
+        assert escorts == formulas.clean_sync_escort_moves(d)
+
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_total_moves_O_n_log_n(self, schedules, d):
+        assert schedules[d].total_moves <= formulas.clean_total_moves_upper_bound(d)
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_deploy_moves_one_per_nonroot_node(self, schedules, d):
+        """Each non-root node receives its guard through exactly one tree
+        edge deploy."""
+        deploys = schedules[d].moves_by_kind()[MoveKind.DEPLOY]
+        assert deploys == (1 << d) - 1
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_every_plain_agent_returns_to_root(self, schedules, d):
+        """All worker agents end back at the root (the synchronizer stays
+        wherever its last pass left it)."""
+        positions = schedules[d].final_positions()
+        positions.pop(SYNCHRONIZER_ID, None)
+        assert set(positions.values()) <= {0}
+
+
+class TestTheorem4Time:
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_makespan_O_n_log_n(self, schedules, d):
+        n = 1 << d
+        assert schedules[d].makespan <= 4 * n * d
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_makespan_at_least_sync_moves(self, schedules, d):
+        """The process is sequential: the synchronizer's walk lower-bounds
+        the ideal time."""
+        sync_moves = schedules[d].moves_by_role()[AgentRole.SYNCHRONIZER]
+        assert schedules[d].makespan >= sync_moves
+
+
+class TestCleaningOrder:
+    """Figure 2: level by level, increasing (lexicographic) within level."""
+
+    @pytest.mark.parametrize("d", range(1, 7))
+    def test_levels_cleaned_in_order(self, schedules, d):
+        h = Hypercube(d)
+        order = schedules[d].first_visit_order()
+        levels = [h.level(x) for x in order]
+        assert levels == sorted(levels)
+
+    def test_level_one_visited_in_child_order(self, schedules):
+        h = Hypercube(4)
+        order = schedules[4].first_visit_order()
+        level1 = [x for x in order if h.level(x) == 1]
+        assert level1 == [1, 2, 4, 8]
+
+    def test_all_nodes_visited_exactly_once(self, schedules):
+        order = schedules[5].first_visit_order()
+        assert sorted(order) == list(range(32))
+
+    def test_figure_2_h4_order(self, schedules):
+        """The H_4 cleaning order: root, level 1 in dimension order, then
+        each level in increasing integer order of tree parents."""
+        order = schedules[4].first_visit_order()
+        assert order[0] == 0
+        assert order[1:5] == [1, 2, 4, 8]
+        # level 2 nodes appear grouped by parent in increasing parent order
+        h = Hypercube(4)
+        tree = BroadcastTree(h)
+        level2 = [x for x in order if h.level(x) == 2]
+        parents = [tree.parent(x) for x in level2]
+        assert parents == sorted(parents)
+
+
+class TestSynchronizerBehaviour:
+    def test_synchronizer_is_agent_zero(self, schedules):
+        sync_moves = [m for m in schedules[4].moves if m.role is AgentRole.SYNCHRONIZER]
+        assert all(m.agent == SYNCHRONIZER_ID for m in sync_moves)
+
+    def test_synchronizer_never_enters_contaminated_territory_alone(self, schedules):
+        """The synchronizer's navigate moves only touch already-safe nodes
+        (its meet-routed paths stay at or below the active level)."""
+        d = 5
+        h = Hypercube(d)
+        visited_at = {}
+        for m in schedules[d].moves:
+            if m.dst not in visited_at:
+                visited_at[m.dst] = (m.agent, m.kind)
+        # every node is first reached by a DEPLOY or DISPATCH (a worker
+        # extending the frontier), never by a synchronizer NAVIGATE
+        for node, (agent, kind) in visited_at.items():
+            if node == 0:
+                continue
+            assert kind in (MoveKind.DEPLOY, MoveKind.DISPATCH), (node, kind)
+
+    @pytest.mark.parametrize("d", range(1, 8))
+    def test_intra_level_hops_within_paper_bound(self, d):
+        """Step 3 of the Theorem 3 accounting: consecutive level-l nodes are
+        within 2*min(l, d-l) hops."""
+        h = Hypercube(d)
+        for level in range(1, d):
+            nodes = h.level_nodes(level)
+            for a, b in zip(nodes, nodes[1:]):
+                assert h.distance(a, b) <= 2 * min(level, d - level)
+
+
+class TestDegenerate:
+    def test_d0_empty(self, schedules):
+        assert schedules[0].total_moves == 0
+        assert schedules[0].team_size == 1
+
+    def test_d1_two_agents(self, schedules):
+        assert schedules[1].team_size == 2
+        assert verify_schedule(schedules[1]).ok

@@ -1,0 +1,124 @@
+"""Tests for the repro-search command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "-d", "4"])
+        assert args.strategy == "visibility"
+        assert args.dimension == 4
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "-d", "4", "-s", "nope"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "-d", "3", "-s", "clean"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy      : clean" in out
+        assert "[OK]" in out
+
+    def test_run_show_order(self, capsys):
+        assert main(["run", "-d", "3", "--show-order"]) == 0
+        assert "cleaning order" in capsys.readouterr().out
+
+    def test_table(self, capsys):
+        assert main(["table", "-d", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "visibility" in out and "cloning" in out
+        assert "  8 " in out  # n for d=3
+
+    @pytest.mark.parametrize("which", ["fig1", "fig2", "fig3", "fig4"])
+    def test_figures(self, which, capsys):
+        assert main(["figure", which, "-d", "4"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_figure_default_dimensions(self, capsys):
+        assert main(["figure", "fig1"]) == 0
+        assert "T(6)" in capsys.readouterr().out
+
+    def test_figure_profile(self, capsys):
+        assert main(["figure", "profile", "-d", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "deployed agents over time" in out
+        assert "clean" in out and "visibility" in out
+
+    def test_figure_scoreboard(self, capsys):
+        assert main(["figure", "scoreboard", "-d", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "LB" in out and "harper" in out
+        assert " 13 " in out  # LB(5)
+
+    def test_formulas(self, capsys):
+        assert main(["formulas", "-d", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 2" in out and "Lemma 3" in out
+
+    @pytest.mark.parametrize("protocol", ["visibility", "cloning", "synchronous"])
+    def test_simulate_unit(self, protocol, capsys):
+        assert main(["simulate", "-d", "3", "-p", protocol]) == 0
+        assert "[OK]" in capsys.readouterr().out
+
+    def test_simulate_clean_random(self, capsys):
+        assert main(["simulate", "-d", "3", "-p", "clean", "--delays", "random"]) == 0
+        assert "[OK]" in capsys.readouterr().out
+
+    def test_simulate_walker(self, capsys):
+        assert main(["simulate", "-d", "3", "--walker-intruder"]) == 0
+
+    def test_simulate_broken_synchrony_exits_nonzero(self, capsys):
+        """Synchronous protocol under random delays may fail -> exit 1; we
+        pick a seed known to break it (documented Section 5 limitation)."""
+        code = main(
+            ["simulate", "-d", "4", "-p", "synchronous", "--delays", "random", "--seed", "0"]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "-d", "2", "3", "-s", "visibility", "cloning"]) == 0
+        out = capsys.readouterr().out
+        assert "agents" in out and "cloning" in out
+
+    def test_sweep_csv(self, tmp_path, capsys):
+        target = tmp_path / "out.csv"
+        assert main(["sweep", "-d", "2", "-s", "clean", "--csv", str(target)]) == 0
+        assert "strategy,d,n" in target.read_text()
+
+    def test_run_watch_and_save(self, tmp_path, capsys):
+        target = tmp_path / "schedule.json"
+        code = main(
+            ["run", "-d", "2", "--homebase", "3", "--watch", "--save", str(target)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "contaminated left" in out
+        assert target.exists()
+
+    def test_verify_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "schedule.json"
+        assert main(["run", "-d", "3", "--save", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["verify", str(target)]) == 0
+        assert "[OK]" in capsys.readouterr().out
+
+    def test_verify_rejects_tampered(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "schedule.json"
+        assert main(["run", "-d", "2", "--save", str(target)]) == 0
+        data = json.loads(target.read_text())
+        data["moves"] = data["moves"][:-1]  # drop the last traversal
+        target.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["verify", str(target)]) == 1
+        assert "FAILED" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Tests for the Section 5 variants (schedule plane): cloning, synchronous."""
+
+import pytest
+
+from repro.analysis import formulas
+from repro.analysis.verify import verify_schedule
+from repro.core.cloning import CloningStrategy
+from repro.core.synchronous import SynchronousStrategy
+from repro.core.visibility import VisibilityStrategy
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+DIMS = list(range(0, 10))
+
+
+@pytest.fixture(scope="module")
+def cloning():
+    return {d: CloningStrategy().run(d) for d in DIMS}
+
+
+@pytest.fixture(scope="module")
+def synchronous():
+    return {d: SynchronousStrategy().run(d) for d in DIMS}
+
+
+class TestCloningCorrectness:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_invariants(self, cloning, d):
+        report = verify_schedule(cloning[d])
+        assert report.ok, report.summary()
+
+    def test_strict_contiguity(self, cloning):
+        assert verify_schedule(cloning[6], check_contiguity_every_move=True).ok
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_uses_cloning_flag(self, cloning, d):
+        assert cloning[d].uses_cloning
+
+
+class TestCloningClaims:
+    """Section 5: n/2 agents, n-1 moves, log n steps."""
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_moves_n_minus_one(self, cloning, d):
+        assert cloning[d].total_moves == (1 << d) - 1
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_agents_half_n(self, cloning, d):
+        assert cloning[d].team_size == formulas.cloning_agents(d)
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_steps_log_n(self, cloning, d):
+        assert cloning[d].makespan == d
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_each_edge_crossed_exactly_once(self, cloning, d):
+        tree = BroadcastTree(d)
+        crossed = {(m.src, m.dst) for m in cloning[d].moves}
+        assert crossed == set(tree.edges())
+        assert len(cloning[d].moves) == len(crossed)  # no duplicates
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_agents_end_on_leaves(self, cloning, d):
+        tree = BroadcastTree(d)
+        finals = sorted(cloning[d].final_positions().values())
+        # the original (id 0) moved; clones that never moved... every agent
+        # moves at least once except in d=0; final positions = leaves
+        assert finals == sorted(tree.leaves())
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_original_agent_takes_leftmost_path(self, cloning, d):
+        """Agent 0 follows the first-child chain: 0 -> 1 -> 3 -> 7 -> ..."""
+        moves = cloning[d].moves_of_agent(0)
+        expected = [(1 << i) - 1 for i in range(1, d + 1)]
+        assert [m.dst for m in moves] == expected
+
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_no_more_moves_than_visibility(self, cloning, d):
+        """n - 1 <= (n/4)(log n + 1), strictly for d >= 3."""
+        assert cloning[d].total_moves <= formulas.visibility_moves_exact(d)
+        if d >= 3:
+            assert cloning[d].total_moves < formulas.visibility_moves_exact(d)
+
+
+class TestSynchronousVariant:
+    """Section 5: identical waves to the visibility strategy, no visibility."""
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_invariants(self, synchronous, d):
+        assert verify_schedule(synchronous[d]).ok
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_same_measures_as_visibility(self, synchronous, d):
+        vis = VisibilityStrategy().run(d)
+        syn = synchronous[d]
+        assert syn.team_size == vis.team_size
+        assert syn.total_moves == vis.total_moves
+        assert syn.makespan == vis.makespan
+
+    @pytest.mark.parametrize("d", range(1, 8))
+    def test_identical_move_multiset(self, synchronous, d):
+        from collections import Counter
+
+        vis = VisibilityStrategy().run(d)
+        a = Counter((m.src, m.dst, m.time) for m in vis.moves)
+        b = Counter((m.src, m.dst, m.time) for m in synchronous[d].moves)
+        assert a == b
+
+    def test_registered_separately(self, synchronous):
+        assert synchronous[3].strategy == "synchronous"
+        assert SynchronousStrategy.model == "synchronous"
+
+    @pytest.mark.parametrize("d", range(1, 8))
+    def test_wave_at_msb_time(self, synchronous, d):
+        """Agents on x move at t = m(x), as the Section 5 rule states."""
+        h = Hypercube(d)
+        for m in synchronous[d].moves:
+            assert m.time - 1 == h.msb(m.src)

@@ -1,0 +1,105 @@
+"""Tests for the binomial identities the proofs rely on (Section 3.2.1)."""
+
+from math import comb
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.counting import (
+    binomial,
+    central_binomial,
+    leaves_at_level,
+    level_sizes,
+    nodes_of_type_census,
+    sum_of_level_sizes,
+    total_leaves,
+    type_count_at_level,
+    vandermonde_sum,
+    weighted_leaf_sum,
+)
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+
+class TestBinomial:
+    def test_zero_convention(self):
+        assert binomial(3, 5) == 0
+        assert binomial(3, -1) == 0
+        assert binomial(-1, 0) == 0
+
+    @given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30))
+    def test_matches_math_comb(self, n, k):
+        expected = comb(n, k) if k <= n else 0
+        assert binomial(n, k) == expected
+
+
+class TestLevelIdentities:
+    @pytest.mark.parametrize("d", range(0, 12))
+    def test_levels_sum_to_n(self, d):
+        """sum_l C(d,l) = 2^d (used in Theorem 3)."""
+        assert sum_of_level_sizes(d) == 2**d
+
+    @pytest.mark.parametrize("d", range(1, 10))
+    def test_level_sizes_match_hypercube(self, d):
+        h = Hypercube(d)
+        assert level_sizes(d) == [len(h.level_nodes(l)) for l in range(d + 1)]
+
+
+class TestLeafIdentities:
+    @pytest.mark.parametrize("d", range(0, 12))
+    def test_total_leaves_is_half(self, d):
+        """sum_l C(d-1, l-1) = 2^{d-1} (Theorem 3's first identity)."""
+        assert total_leaves(d) == max(1, 2 ** (d - 1))
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_leaves_match_tree(self, d):
+        tree = BroadcastTree(d)
+        for level in range(d + 1):
+            assert leaves_at_level(d, level) == tree.leaf_count_at_level(level)
+
+    @pytest.mark.parametrize("d", range(2, 14))
+    def test_weighted_leaf_sum_closed_form(self, d):
+        """sum_l l C(d-1,l-1) = (d+1) 2^{d-2} (Theorem 3 and Theorem 8)."""
+        assert weighted_leaf_sum(d) == (d + 1) * 2 ** (d - 2)
+
+    def test_weighted_leaf_sum_degenerate(self):
+        assert weighted_leaf_sum(0) == 0
+        assert weighted_leaf_sum(1) == 1
+
+
+class TestTypeCensus:
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_matches_broadcast_tree(self, d):
+        tree = BroadcastTree(d)
+        for level in range(d + 1):
+            assert nodes_of_type_census(d, level) == tree.type_census(level)
+
+    def test_type_count_level_zero(self):
+        assert type_count_at_level(5, 5, 0) == 1
+        assert type_count_at_level(5, 3, 0) == 0
+
+    @pytest.mark.parametrize("d", range(1, 10))
+    def test_types_sum_to_level_size(self, d):
+        for level in range(1, d + 1):
+            total = sum(nodes_of_type_census(d, level).values())
+            assert total == comb(d, level)
+
+
+class TestVandermonde:
+    """Lemma 3's identity (4): sum_i C(i,1) C(d-2-i, L) = C(d-1, L+2)."""
+
+    @pytest.mark.parametrize("d", range(2, 14))
+    def test_identity(self, d):
+        for L in range(0, d - 1):
+            assert vandermonde_sum(d, L) == binomial(d - 1, L + 2)
+
+
+class TestCentralBinomial:
+    @pytest.mark.parametrize("d", range(0, 14))
+    def test_value(self, d):
+        assert central_binomial(d) == comb(d, (d + 1) // 2)
+
+    def test_even_odd_agree_with_max(self):
+        for d in range(1, 14):
+            assert central_binomial(d) == max(comb(d, k) for k in range(d + 1))

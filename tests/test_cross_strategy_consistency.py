@@ -1,0 +1,131 @@
+"""Cross-strategy consistency: relations that must hold between strategies.
+
+Each test pins a structural relation *between* two strategies or planes —
+the kind of coherence that catches a refactor breaking one generator
+while its own unit tests still pass.
+"""
+
+import pytest
+
+from repro.analysis import formulas
+from repro.core.schedule import MoveKind
+from repro.core.strategy import get_strategy
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+DIMS = [2, 3, 4, 5, 6]
+
+
+class TestVisitOrders:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_clean_and_level_sweep_both_level_ordered(self, d):
+        h = Hypercube(d)
+        for name in ("clean", "level-sweep"):
+            order = get_strategy(name).run(d).first_visit_order()
+            levels = [h.level(x) for x in order]
+            assert levels == sorted(levels), name
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_visibility_and_cloning_share_visit_times(self, d):
+        """Same wave structure: every node is first reached at the same
+        ideal time by both Section 4/5 tree strategies."""
+        vis = get_strategy("visibility").run(d).visit_time()
+        clone = get_strategy("cloning").run(d).visit_time()
+        assert vis == clone
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_all_strategies_visit_root_first(self, d):
+        from repro.core.strategy import available_strategies
+
+        for name in available_strategies():
+            assert get_strategy(name).run(d).first_visit_order()[0] == 0, name
+
+
+class TestFinalConfigurations:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_tree_strategies_end_on_the_leaves(self, d):
+        leaves = sorted(BroadcastTree(d).leaves())
+        for name in ("visibility", "cloning", "synchronous"):
+            finals = sorted(get_strategy(name).run(d).final_positions().values())
+            assert finals == leaves, name
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_pool_strategies_end_at_home(self, d):
+        """CLEAN (minus its synchronizer) and level-sweep park everyone
+        back at the homebase."""
+        clean = get_strategy("clean").run(d).final_positions()
+        clean.pop(0)  # the synchronizer rests where it finished
+        assert set(clean.values()) <= {0}
+        sweep = get_strategy("level-sweep").run(d).final_positions()
+        assert set(sweep.values()) <= {0}
+
+
+class TestMoveStructure:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_clean_escorts_are_twice_the_deploys(self, d):
+        """Every deploy down a tree edge is escorted out and back."""
+        kinds = get_strategy("clean").run(d).moves_by_kind()
+        assert kinds[MoveKind.ESCORT] == 2 * kinds[MoveKind.DEPLOY]
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_clean_dispatch_and_return_balance(self, d):
+        """Lemma 3 flow, globally: total dispatch distance equals total
+        return distance plus the net deployment left in the cube — here
+        everyone returns, so dispatches (root->level walks) plus deploys
+        equal returns plus ... simplest invariant: every agent journey is
+        closed, so RETURN moves equal DISPATCH moves plus first-leg
+        deploys minus the tree deploys (checked as totals)."""
+        schedule = get_strategy("clean").run(d)
+        kinds = schedule.moves_by_kind()
+        agent_moves = schedule.agent_moves()
+        assert (
+            kinds[MoveKind.DEPLOY]
+            + kinds[MoveKind.DISPATCH]
+            + kinds[MoveKind.RETURN]
+            == agent_moves
+        )
+        # closed journeys: downward distance == upward distance
+        assert kinds[MoveKind.DEPLOY] + kinds[MoveKind.DISPATCH] == kinds[MoveKind.RETURN]
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_visibility_moves_split_by_wave_sum_to_total(self, d):
+        schedule = get_strategy("visibility").run(d)
+        waves = schedule.metadata["wave_sizes"]
+        assert sum(waves.values()) == schedule.total_moves
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_cloning_moves_are_visibility_edges(self, d):
+        """Cloning's move *set* equals the set of edges visibility uses —
+        one representative per squad."""
+        vis_edges = {(m.src, m.dst) for m in get_strategy("visibility").run(d).moves}
+        clone_edges = {(m.src, m.dst) for m in get_strategy("cloning").run(d).moves}
+        assert clone_edges == vis_edges
+
+
+class TestTeamRelations:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_lower_bound_under_everything(self, d):
+        from repro.analysis.lower_bounds import monotone_agents_lower_bound
+        from repro.core.strategy import available_strategies
+
+        lb = monotone_agents_lower_bound(d)
+        for name in available_strategies():
+            assert get_strategy(name).run(d).team_size >= lb, name
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_harper_is_the_thriftiest(self, d):
+        from repro.core.strategy import available_strategies
+        from repro.search.harper import harper_sweep_schedule
+
+        harper = harper_sweep_schedule(d).team_size
+        for name in available_strategies():
+            assert harper <= get_strategy(name).run(d).team_size + 1, name
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_makespan_ordering(self, d):
+        """Visibility's log n is the floor among the full-sweep strategies."""
+        from repro.core.strategy import available_strategies
+
+        vis = get_strategy("visibility").run(d).makespan
+        for name in available_strategies():
+            assert get_strategy(name).run(d).makespan >= vis, name

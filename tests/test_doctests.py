@@ -1,0 +1,51 @@
+"""Run the doctest examples embedded in the public-facing modules.
+
+Keeps the README-style snippets in docstrings honest: if an example in a
+docstring drifts from the implementation, this suite fails.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro._bitops
+import repro.analysis.lower_bounds
+import repro.topology.broadcast_tree
+import repro.topology.heap_queue
+import repro.topology.hypercube
+import repro.viz.class_render
+import repro.viz.tree_render
+
+MODULES = [
+    repro._bitops,
+    repro.topology.hypercube,
+    repro.topology.broadcast_tree,
+    repro.topology.heap_queue,
+    repro.viz.tree_render,
+    repro.viz.class_render,
+    repro.analysis.lower_bounds,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module, optionflags=doctest.NORMALIZE_WHITESPACE, verbose=False
+    )
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"
+
+
+def test_package_docstring_example():
+    """The quickstart in repro/__init__.py, executed literally."""
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 3
+
+
+def test_strategy_registry_doctest():
+    import repro.core.strategy as mod
+
+    results = doctest.testmod(mod, verbose=False)
+    assert results.failed == 0

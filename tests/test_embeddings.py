@@ -1,0 +1,102 @@
+"""Tests for the hypercube structure utilities."""
+
+from math import comb
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.embeddings import (
+    antipode,
+    diameter,
+    distance_distribution,
+    hamiltonian_cycle,
+    level_matching,
+    split_subcubes,
+)
+from repro.topology.hypercube import Hypercube
+
+
+class TestHamiltonianCycle:
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_is_hamiltonian(self, d):
+        h = Hypercube(d)
+        cycle = hamiltonian_cycle(h)
+        assert sorted(cycle) == list(h.nodes())
+        for a, b in zip(cycle, cycle[1:]):
+            assert h.has_edge(a, b)
+        assert h.has_edge(cycle[-1], cycle[0])
+
+    def test_small_cubes_rejected(self):
+        with pytest.raises(TopologyError):
+            hamiltonian_cycle(Hypercube(1))
+
+
+class TestSubcubes:
+    @pytest.mark.parametrize("d", range(1, 7))
+    def test_split_halves(self, d):
+        h = Hypercube(d)
+        for position in range(1, d + 1):
+            zero, one = split_subcubes(h, position)
+            assert len(zero) == len(one) == h.n // 2
+            assert sorted(zero + one) == list(h.nodes())
+
+    def test_cross_edges_flip_position(self):
+        h = Hypercube(4)
+        zero, one = split_subcubes(h, 2)
+        zero_set = set(zero)
+        for x in zero:
+            partner = x ^ 0b0010
+            assert partner in one
+            assert h.has_edge(x, partner)
+        # no other cross edges
+        for x in zero:
+            for y in h.neighbors(x):
+                if y not in zero_set:
+                    assert y == x ^ 0b0010
+
+    def test_bad_position(self):
+        with pytest.raises(TopologyError):
+            split_subcubes(Hypercube(3), 0)
+        with pytest.raises(TopologyError):
+            split_subcubes(Hypercube(3), 4)
+
+
+class TestDistances:
+    @given(st.integers(min_value=1, max_value=8), st.data())
+    def test_distribution_is_binomial_everywhere(self, d, data):
+        """Vertex transitivity: the same binomial from every node — why the
+        paper can fix the homebase WLOG."""
+        h = Hypercube(d)
+        node = data.draw(st.integers(min_value=0, max_value=h.n - 1))
+        dist = distance_distribution(h, node)
+        assert dist == {k: comb(d, k) for k in range(d + 1)}
+
+    @pytest.mark.parametrize("d", range(1, 8))
+    def test_antipode(self, d):
+        h = Hypercube(d)
+        for node in (0, h.n - 1, h.n // 2):
+            a = antipode(h, node)
+            assert h.distance(node, a) == d == diameter(h)
+            assert antipode(h, a) == node
+
+
+class TestLevelMatching:
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_matching_valid_below_half(self, d):
+        h = Hypercube(d)
+        for level in range((d + 1) // 2):
+            matching = level_matching(h, level)
+            assert len(matching) == comb(d, level)
+            assert len(set(matching.values())) == len(matching)
+            for x, y in matching.items():
+                assert h.has_edge(x, y)
+                assert h.level(y) == level + 1
+
+    def test_rejected_above_half(self):
+        h = Hypercube(4)
+        with pytest.raises(TopologyError):
+            level_matching(h, 2)  # C(4,2)=6 cannot inject into C(4,3)=4
+        with pytest.raises(TopologyError):
+            level_matching(h, 4)

@@ -1,0 +1,297 @@
+"""Unit tests for the discrete-event engine (capabilities, waits, deadlock)."""
+
+import pytest
+
+from repro.errors import AgentError, SimulationError
+from repro.sim.agent import (
+    CloneSelf,
+    Move,
+    ReadWhiteboard,
+    See,
+    Terminate,
+    UpdateWhiteboard,
+    WaitUntil,
+    WriteWhiteboard,
+)
+from repro.sim.engine import Engine
+from repro.sim.scheduling import RandomDelay, UnitDelay
+from repro.topology.generic import path_graph
+from repro.topology.hypercube import Hypercube
+
+
+def test_single_walker_cleans_path():
+    def walker(ctx):
+        for dst in (1, 2, 3):
+            yield Move(dst)
+        yield Terminate()
+
+    result = Engine(path_graph(4), [walker]).run()
+    assert result.ok
+    assert result.total_moves == 3
+    assert result.makespan == 3.0
+    assert result.terminated_agents == 1
+
+
+def test_generator_exhaustion_counts_as_terminate():
+    def walker(ctx):
+        yield Move(1)
+        # falls off the end
+
+    result = Engine(path_graph(2), [walker]).run()
+    assert result.ok
+    assert result.terminated_agents == 1
+
+
+def test_whiteboard_round_trip():
+    seen = {}
+
+    def writer(ctx):
+        yield WriteWhiteboard("token", 42)
+        value = yield ReadWhiteboard("token")
+        seen["value"] = value
+        count = yield UpdateWhiteboard(lambda wb: wb.get("token", 0) + 1)
+        seen["count"] = count
+        yield Move(1)
+
+    result = Engine(path_graph(2), [writer]).run()
+    assert result.ok
+    assert seen == {"value": 42, "count": 43}
+
+
+def test_wait_until_wakes_on_state_change():
+    order = []
+
+    def early(ctx):
+        yield WaitUntil(lambda view: view.wb("go") is True)
+        order.append("early")
+        yield Move(1)
+
+    def late(ctx):
+        yield WriteWhiteboard("go", True)
+        order.append("late")
+        yield Terminate()
+
+    result = Engine(path_graph(2), [early, late]).run()
+    assert result.ok
+    assert order == ["late", "early"]
+
+
+def test_invalid_move_rejected():
+    def bad(ctx):
+        yield Move(3)  # not adjacent to 0 on a path
+
+    with pytest.raises(AgentError):
+        Engine(path_graph(4), [bad]).run()
+
+
+def test_see_requires_visibility():
+    def peeker(ctx):
+        yield See()
+
+    with pytest.raises(AgentError):
+        Engine(path_graph(2), [peeker], visibility=False).run()
+
+
+def test_see_returns_states():
+    from repro.core.states import NodeState
+
+    seen = {}
+
+    def peeker(ctx):
+        states = yield See()
+        seen.update(states)
+        yield Move(1)
+
+    result = Engine(path_graph(2), [peeker], visibility=True).run()
+    assert result.ok
+    assert seen == {1: NodeState.CONTAMINATED}
+
+
+def test_neighbor_states_in_predicate_requires_visibility():
+    def waiter(ctx):
+        yield WaitUntil(lambda view: bool(view.neighbor_states()))
+
+    with pytest.raises(AgentError):
+        Engine(path_graph(2), [waiter], visibility=False).run()
+
+
+def test_clock_requires_global_clock():
+    def timed(ctx):
+        yield WaitUntil(lambda view: view.time >= 1.0)
+
+    with pytest.raises(AgentError):
+        Engine(path_graph(2), [timed], global_clock=False).run()
+
+
+def test_clock_with_wake_at():
+    times = []
+
+    def timed(ctx):
+        yield WaitUntil(lambda view: view.time >= 2.5, wake_at=2.5)
+        times.append("woke")
+        yield Move(1)
+
+    result = Engine(path_graph(2), [timed], global_clock=True).run()
+    assert result.ok
+    assert times == ["woke"]
+    assert result.makespan == pytest.approx(3.5)
+
+
+def test_clone_requires_capability():
+    def parent(ctx):
+        yield CloneSelf(lambda c: iter(()))
+
+    with pytest.raises(AgentError):
+        Engine(path_graph(2), [parent], cloning=False).run()
+
+
+def test_clone_spawns_working_agent():
+    def child_behavior(ctx):
+        yield Move(1)
+
+    def parent(ctx):
+        child_id = yield CloneSelf(child_behavior)
+        assert child_id == 1
+        yield Terminate()
+
+    result = Engine(path_graph(2), [parent], cloning=True).run()
+    assert result.team_size == 2
+    assert result.total_moves == 1
+    assert result.ok
+
+
+def test_deadlock_detected():
+    def stuck(ctx):
+        yield WaitUntil(lambda view: False)
+
+    result = Engine(path_graph(2), [stuck]).run()
+    assert result.deadlocked
+    assert not result.ok
+    assert result.blocked_agents == 1
+
+
+def test_guarding_forever_is_not_deadlock():
+    """A blocked agent with the network clean is a guard, not a deadlock."""
+
+    def sweep(ctx):
+        yield Move(1)
+        yield WaitUntil(lambda view: False)  # guard node 1 forever
+
+    result = Engine(path_graph(2), [sweep]).run()
+    assert result.all_clean
+    assert not result.deadlocked
+    assert result.ok
+
+
+def test_max_events_guard():
+    def spinner(ctx):
+        while True:
+            yield UpdateWhiteboard(lambda wb: None)
+
+    with pytest.raises(SimulationError):
+        Engine(path_graph(2), [spinner], max_events=100).run()
+
+
+def test_needs_behaviors():
+    with pytest.raises(SimulationError):
+        Engine(path_graph(2), [])
+
+
+def test_unknown_action_rejected():
+    def weird(ctx):
+        yield "not an action"
+
+    with pytest.raises(AgentError):
+        Engine(path_graph(2), [weird]).run()
+
+
+def test_unknown_intruder_kind():
+    with pytest.raises(SimulationError):
+        Engine(path_graph(2), [lambda ctx: iter(())], intruder="ghost")
+
+
+def test_walker_intruder_integration():
+    def walker(ctx):
+        yield Move(1)
+        yield Move(2)
+
+    result = Engine(path_graph(3), [walker], intruder="walker").run()
+    assert result.ok
+    assert result.intruder_captured
+
+
+def test_no_intruder():
+    def walker(ctx):
+        yield Move(1)
+
+    result = Engine(path_graph(2), [walker], intruder=None).run()
+    assert result.ok  # capture defaults to all_clean
+
+
+def test_random_delays_stretch_makespan():
+    def walker(ctx):
+        for dst in (1, 2, 3):
+            yield Move(dst)
+
+    unit = Engine(path_graph(4), [walker], delay=UnitDelay()).run()
+    slow = Engine(path_graph(4), [walker], delay=RandomDelay(seed=0, low=2.0, high=4.0)).run()
+    assert slow.makespan > unit.makespan
+    assert slow.total_moves == unit.total_moves
+
+
+def test_local_delay_charged():
+    def chatty(ctx):
+        yield WriteWhiteboard("a", 1)
+        yield Move(1)
+
+    result = Engine(
+        path_graph(2), [chatty], delay=RandomDelay(seed=1, low=1.0, high=1.0, local_jitter=0.0)
+    ).run()
+    assert result.ok
+    assert result.makespan == pytest.approx(1.0)
+
+
+def test_monotonicity_violation_reported_not_raised():
+    """An agent abandoning the frontier is reported via result flags."""
+
+    def bad(ctx):
+        yield Move(1)
+        yield Move(0)  # vacates 1 next to contaminated 2; recontamination
+        yield Move(1)
+        yield Move(2)
+
+    result = Engine(path_graph(3), [bad]).run()
+    assert result.all_clean
+    assert not result.monotone
+    assert not result.ok
+
+
+def test_peak_whiteboard_bits_recorded():
+    def writer(ctx):
+        yield WriteWhiteboard("counter", 2**16)
+        yield Move(1)
+
+    result = Engine(path_graph(2), [writer]).run()
+    assert result.peak_whiteboard_bits > 0
+
+
+def test_agent_memory_bits_recorded():
+    def rememberer(ctx):
+        ctx.remember("state", 12345)
+        yield Move(1)
+
+    result = Engine(path_graph(2), [rememberer]).run()
+    assert result.peak_agent_memory_bits > 0
+
+
+def test_board_accessor_and_time():
+    h = Hypercube(2)
+
+    def noop(ctx):
+        yield Move(1)
+
+    engine = Engine(h, [noop])
+    board = engine.board(3)
+    assert board.degree == 2
+    engine.run()
+    assert engine.time == 1.0

@@ -1,0 +1,202 @@
+"""Deeper engine edge cases: contention, generic topologies, extension."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import verify_schedule
+from repro.core.schedule import Schedule
+from repro.core.strategy import Strategy
+from repro.errors import ReproError, ScheduleError
+from repro.sim.agent import Move, Terminate, UpdateWhiteboard, WaitUntil
+from repro.sim.engine import Engine
+from repro.sim.scheduling import RandomDelay
+from repro.topology.generic import path_graph, ring_graph
+from repro.topology.hypercube import Hypercube
+
+from .conftest import connected_graphs
+
+
+class TestWhiteboardContention:
+    @pytest.mark.parametrize("agents", [2, 8, 20])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_counter_under_contention(self, agents, seed):
+        """N agents each bump a shared counter 5 times with jittered local
+        delays; mutual exclusion means no lost update, ever."""
+
+        def bumper(ctx):
+            for _ in range(5):
+                yield UpdateWhiteboard(
+                    lambda wb: wb.__setitem__("hits", wb.get("hits", 0) + 1)
+                )
+            yield Terminate()
+
+        engine = Engine(
+            path_graph(2),
+            [bumper] * agents,
+            delay=RandomDelay(seed=seed, local_jitter=0.7),
+            intruder=None,
+            check_contiguity=False,
+        )
+        engine.run()
+        assert engine.board(0).read("hits") == 5 * agents
+
+    def test_take_one_of_n_tokens(self):
+        """Exactly-once consumption under racing takers."""
+
+        def take(wb):
+            if wb.get("tokens", 3) > 0:
+                wb["tokens"] = wb.get("tokens", 3) - 1
+                return True
+            return False
+
+        winners = []
+
+        def taker(ctx):
+            won = yield UpdateWhiteboard(take)
+            if won:
+                winners.append(ctx.agent_id)
+            yield Terminate()
+
+        Engine(path_graph(2), [taker] * 10, intruder=None).run()
+        assert len(winners) == 3
+
+
+class TestGenericTopologyEngine:
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(graph=connected_graphs(max_nodes=9))
+    def test_engine_rejudges_frontier_schedules(self, graph):
+        """Fuzz: the frontier sweep's schedule, executed as real scripted
+        agents, gets the same clean verdict from the engine's independent
+        bookkeeping as from the schedule verifier."""
+        from repro.search.frontier_sweep import frontier_sweep_schedule
+        from repro.sim.replay import execute_schedule_on_engine
+
+        schedule = frontier_sweep_schedule(graph)
+        result = execute_schedule_on_engine(schedule, graph)
+        assert result.ok, result.summary()
+        assert result.total_moves == schedule.total_moves
+
+
+class TestWaitSemantics:
+    def test_predicate_with_exception_propagates(self):
+        def bad(ctx):
+            yield WaitUntil(lambda view: 1 / 0)
+
+        with pytest.raises(ZeroDivisionError):
+            Engine(path_graph(2), [bad]).run()
+
+    def test_many_waiters_single_wake(self):
+        """All waiters on the same condition run exactly once when it turns
+        true (no lost or duplicated wakeups)."""
+        ran = []
+
+        def waiter(ctx):
+            yield WaitUntil(lambda view: bool(view.wb("go")))
+            ran.append(ctx.agent_id)
+            yield Terminate()
+
+        def trigger(ctx):
+            yield UpdateWhiteboard(lambda wb: wb.__setitem__("go", True))
+            yield Terminate()
+
+        Engine(path_graph(2), [waiter] * 6 + [trigger], intruder=None).run()
+        assert sorted(ran) == list(range(6))
+
+    def test_wake_at_in_past_fires_immediately(self):
+        def timed(ctx):
+            yield WaitUntil(lambda view: view.time >= 0.0, wake_at=0.0)
+            yield Move(1)
+
+        result = Engine(path_graph(2), [timed], global_clock=True).run()
+        assert result.ok
+
+
+class TestStrategyExtensionPoint:
+    def test_custom_registration_and_duplicate_rejection(self):
+        from repro.core.strategy import _REGISTRY, register
+
+        class Custom(Strategy):
+            name = "custom-test-strategy"
+            model = "whiteboard"
+
+            def generate(self, hypercube):
+                schedule = Schedule(
+                    dimension=hypercube.d, strategy=self.name, team_size=1
+                )
+                return schedule
+
+        try:
+            register(Custom)
+            from repro.core.strategy import get_strategy
+
+            assert isinstance(get_strategy("custom-test-strategy"), Custom)
+            with pytest.raises(ReproError):
+                register(Custom)  # duplicate name
+        finally:
+            _REGISTRY.pop("custom-test-strategy", None)
+
+    def test_unnamed_strategy_rejected(self):
+        from repro.core.strategy import register
+
+        class NoName(Strategy):
+            model = "whiteboard"
+
+            def generate(self, hypercube):
+                raise NotImplementedError
+
+        with pytest.raises(ReproError):
+            register(NoName)
+
+
+class TestRobustness:
+    def test_malformed_schedule_json(self):
+        with pytest.raises(Exception):
+            Schedule.from_json("{not json")
+        with pytest.raises(Exception):
+            Schedule.from_json('{"dimension": 2}')  # missing fields
+
+    def test_verifier_rejects_wrong_topology_moves(self):
+        schedule = Schedule(
+            dimension=3,
+            strategy="x",
+            moves=[],
+            team_size=1,
+        )
+        # empty schedule on H_3: incomplete but structurally fine
+        report = verify_schedule(schedule)
+        assert not report.complete
+
+    def test_move_time_must_be_integer_like(self):
+        from repro.core.schedule import Move
+
+        with pytest.raises(ScheduleError):
+            Move(agent=0, src=0, dst=1, time=-3)
+
+    def test_ring_engine_default_contiguity(self):
+        """Engine contiguity checking works on generic graphs too."""
+
+        def hopper(ctx):
+            yield Move(1)
+            yield Move(2)
+            yield Move(3)
+
+        def home_guard(ctx):
+            yield Terminate()
+
+        result = Engine(ring_graph(4), [hopper, home_guard]).run()
+        assert result.all_clean
+        assert result.contiguous
+
+    def test_hypercube_engine_dimension_passthrough(self):
+        """Agents on a Hypercube receive the dimension in their context."""
+        seen = {}
+
+        def prober(ctx):
+            seen["d"] = ctx.dimension
+            yield Terminate()
+
+        Engine(Hypercube(5), [prober], intruder=None).run()
+        assert seen["d"] == 5

@@ -1,0 +1,63 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AgentError,
+    CapacityError,
+    ContiguityError,
+    DeadlockError,
+    IncompleteCleaningError,
+    InvalidNodeError,
+    RecontaminationError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    TopologyError,
+    VerificationError,
+    WhiteboardError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TopologyError,
+            ScheduleError,
+            VerificationError,
+            SimulationError,
+            CapacityError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_verification_family(self):
+        for exc in (RecontaminationError, ContiguityError, IncompleteCleaningError):
+            assert issubclass(exc, VerificationError)
+
+    def test_simulation_family(self):
+        for exc in (DeadlockError, WhiteboardError, AgentError):
+            assert issubclass(exc, SimulationError)
+
+    def test_invalid_node_message_and_fields(self):
+        err = InvalidNodeError(9, 8)
+        assert err.node == 9 and err.n == 8
+        assert "9" in str(err) and "8" in str(err)
+        assert isinstance(err, TopologyError)
+
+    def test_verification_error_context(self):
+        err = VerificationError("bad", step=3, node=7)
+        assert "step=3" in str(err) and "node=7" in str(err)
+        assert err.step == 3 and err.node == 7
+
+    def test_verification_error_without_context(self):
+        err = VerificationError("bad")
+        assert str(err) == "bad"
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise RecontaminationError("x")
+        with pytest.raises(ReproError):
+            raise WhiteboardError("y")

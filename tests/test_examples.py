@@ -1,0 +1,81 @@
+"""Integration tests running every example script end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py", "3")
+        assert proc.returncode == 0, proc.stderr
+        assert "=== clean ===" in proc.stdout
+        assert "capture the intruder" in proc.stdout
+
+    def test_virus_hunt(self):
+        proc = run_example("virus_hunt.py", "3", "2")
+        assert proc.returncode == 0, proc.stderr
+        assert "Captured: True" in proc.stdout
+        assert "Intruder trajectory" in proc.stdout
+
+    def test_strategy_comparison(self):
+        proc = run_example("strategy_comparison.py", "6")
+        assert proc.returncode == 0, proc.stderr
+        assert "Empirical growth fits" in proc.stdout
+        assert "level-sweep" in proc.stdout
+
+    def test_figures(self):
+        proc = run_example("figures_from_paper.py")
+        assert proc.returncode == 0, proc.stderr
+        for marker in ("Figure 1", "Figure 2", "Figure 3", "Figure 4"):
+            assert marker in proc.stdout
+
+    def test_optimality_study(self):
+        proc = run_example("optimality_study.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "brute-force check" in proc.stdout
+
+    @pytest.mark.parametrize("strategy", ["visibility", "clean", "cloning"])
+    def test_watch_the_sweep(self, strategy):
+        proc = run_example("watch_the_sweep.py", strategy, "3")
+        assert proc.returncode == 0, proc.stderr
+        assert "0 contaminated left" in proc.stdout
+        assert "done:" in proc.stdout
+
+    def test_overhead_study(self):
+        proc = run_example("overhead_study.py", "3")
+        assert proc.returncode == 0, proc.stderr
+        assert "hottest node" in proc.stdout
+        assert "amortized overhead" in proc.stdout
+
+    def test_arbitrary_network(self):
+        proc = run_example("arbitrary_network.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "enterprise" in proc.stdout
+        assert "every intruder was cornered" in proc.stdout
+
+    def test_incident_response(self):
+        proc = run_example("incident_response.py", "5")
+        assert proc.returncode == 0, proc.stderr
+        assert "Quarantine line" in proc.stdout
+        assert "overhead argument, quantified" in proc.stdout
+
+    def test_custom_strategy(self):
+        proc = run_example("custom_strategy.py", "3")
+        assert proc.returncode == 0, proc.stderr
+        assert "gray-snake" in proc.stdout  # the broken one, caught
+        assert "harper" in proc.stdout
+        assert "validated by the library's own machinery" in proc.stdout

@@ -1,0 +1,65 @@
+"""Tests for the programmatic experiment registry."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    experiment_ids,
+    run_all,
+    run_experiment,
+)
+from repro.errors import ReproError
+
+EXPECTED_IDS = {
+    "F1", "F2", "F3", "F4", "T1",
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+    "A1", "A2", "A3", "A4", "A5", "A6",
+}
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(experiment_ids()) == EXPECTED_IDS
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ReproError):
+            run_experiment("Z9")
+
+    @pytest.mark.parametrize(
+        "exp_id", sorted(EXPECTED_IDS - {"E9", "A1", "A3", "A4", "A5", "A6", "T1", "E3"})
+    )
+    def test_fast_experiments_pass(self, exp_id):
+        result = run_experiment(exp_id)
+        assert result.passed, result.render()
+        assert result.lines
+
+    @pytest.mark.parametrize("exp_id", ["E9", "A1", "A3", "A4", "A5", "A6", "T1", "E3"])
+    def test_slow_experiments_pass(self, exp_id):
+        result = run_experiment(exp_id)
+        assert result.passed, result.render()
+
+    def test_render_format(self):
+        result = ExperimentResult("X1", "demo", True, ["row"])
+        text = result.render()
+        assert text.startswith("[PASS] X1 — demo")
+        assert "  row" in text
+
+    def test_run_all_passes(self):
+        results = run_all()
+        assert len(results) == len(EXPECTED_IDS)
+        assert all(r.passed for r in results)
+
+
+class TestCliExperimentVerb:
+    def test_single(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "E5"]) == 0
+        assert "[PASS] E5" in capsys.readouterr().out
+
+    def test_unknown(self):
+        from repro.cli import main
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["experiment", "nope"])

@@ -1,0 +1,131 @@
+"""Crash-fault robustness and the extra interconnection topologies."""
+
+import pytest
+
+from repro.analysis.verify import ScheduleVerifier
+from repro.errors import TopologyError
+from repro.protocols.clean_protocol import run_clean_protocol
+from repro.protocols.visibility_protocol import visibility_agent
+from repro.search.frontier_sweep import bfs_boundary_width, frontier_sweep_schedule
+from repro.sim.engine import Engine
+from repro.topology.generic import cube_connected_cycles, folded_hypercube
+from repro.topology.hypercube import Hypercube
+
+
+class TestCrashFaults:
+    """The paper assumes reliable agents; under crash-stop faults its
+    strategies keep *safety* (monotone, contiguous) but lose *liveness*
+    (reported deadlock) — measured, not assumed."""
+
+    @pytest.mark.parametrize("victim", [0, 1, 3])
+    def test_visibility_crash_is_safe_but_stuck(self, victim):
+        engine = Engine(
+            Hypercube(3),
+            [visibility_agent] * 4,
+            visibility=True,
+            fault_plan={victim: 3},
+        )
+        result = engine.run()
+        assert not result.ok
+        assert result.deadlocked
+        assert result.monotone  # safety survives the crash
+        assert result.contiguous
+        assert len(result.trace.events("crash")) == 1
+
+    def test_crash_after_completion_is_harmless(self):
+        """A generous budget never triggers: the run completes normally."""
+        engine = Engine(
+            Hypercube(3),
+            [visibility_agent] * 4,
+            visibility=True,
+            fault_plan={0: 10_000},
+        )
+        result = engine.run()
+        assert result.ok
+        assert not result.trace.events("crash")
+
+    def test_clean_synchronizer_crash(self):
+        """Killing the synchronizer freezes Algorithm CLEAN mid-flight —
+        still monotone, still contiguous."""
+        from repro.analysis.formulas import clean_peak_agents
+        from repro.protocols.clean_protocol import follower_agent, synchronizer_agent
+
+        d = 3
+        team = clean_peak_agents(d)
+        engine = Engine(
+            Hypercube(d),
+            [synchronizer_agent] + [follower_agent] * (team - 1),
+            fault_plan={0: 25},
+        )
+        result = engine.run()
+        assert not result.ok
+        assert result.monotone
+        assert result.deadlocked
+
+    def test_multiple_crashes(self):
+        engine = Engine(
+            Hypercube(4),
+            [visibility_agent] * 8,
+            visibility=True,
+            fault_plan={2: 4, 5: 4},
+        )
+        result = engine.run()
+        assert result.monotone
+        assert len(result.trace.events("crash")) == 2
+
+
+class TestFoldedHypercube:
+    def test_shape(self):
+        g = folded_hypercube(4)
+        assert g.n == 16
+        assert all(g.degree(v) == 5 for v in g.nodes())  # d + 1
+        assert g.has_edge(0, 15)  # the antipodal chord
+
+    def test_frontier_sweep_cleans_it(self):
+        g = folded_hypercube(4)
+        schedule = frontier_sweep_schedule(g)
+        report = ScheduleVerifier(g).verify(schedule)
+        assert report.ok
+        # the chords enlarge the boundary: more guards than on plain H_4
+        from repro.topology.generic import hypercube_graph
+
+        assert bfs_boundary_width(g) >= bfs_boundary_width(hypercube_graph(4))
+
+    def test_small_folded_cube_optimum(self):
+        from repro.search.optimal import optimal_search_number
+
+        # FQ_2 is K_4: needs n - 1 = 3 agents
+        assert optimal_search_number(folded_hypercube(2)) == 3
+
+
+class TestCubeConnectedCycles:
+    def test_shape(self):
+        g = cube_connected_cycles(3)
+        assert g.n == 24
+        assert all(g.degree(v) == 3 for v in g.nodes())
+        assert g.is_connected()
+
+    def test_dimension_guard(self):
+        with pytest.raises(TopologyError):
+            cube_connected_cycles(2)
+
+    def test_frontier_sweep_cleans_it(self):
+        g = cube_connected_cycles(3)
+        schedule = frontier_sweep_schedule(g)
+        report = ScheduleVerifier(g).verify(schedule)
+        assert report.ok, report.summary()
+
+    def test_bounded_degree_needs_few_guards(self):
+        """Constant degree keeps the BFS boundary (and hence the generic
+        sweep's team) far below the hypercube's."""
+        from repro.topology.generic import hypercube_graph
+
+        ccc = bfs_boundary_width(cube_connected_cycles(4))
+        cube = bfs_boundary_width(hypercube_graph(6))  # comparable n (64)
+        assert ccc < cube
+
+    def test_protocol_cleans_ccc(self):
+        from repro.protocols.frontier_protocol import run_frontier_protocol
+
+        result = run_frontier_protocol(cube_connected_cycles(3))
+        assert result.ok, result.summary()

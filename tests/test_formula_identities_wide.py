@@ -1,0 +1,98 @@
+"""Hypothesis-widened checks of the pure formula identities (large d).
+
+The parametrized formula tests cover d <= ~15; these push the *pure
+arithmetic* identities (no simulation) to d = 24, where any silent
+float/overflow slip or off-by-one in the binomial bookkeeping would show.
+"""
+
+from math import comb
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+# pure-arithmetic checks, but at d = 24 a single case can exceed the
+# default 200ms hypothesis deadline; correctness, not speed, is under test
+WIDE = settings(deadline=None, max_examples=20)
+
+from repro.analysis import formulas
+from repro.analysis.counting import (
+    binomial,
+    total_leaves,
+    vandermonde_sum,
+    weighted_leaf_sum,
+)
+
+WIDE_D = st.integers(min_value=2, max_value=24)
+
+
+@WIDE
+@given(WIDE_D)
+def test_flow_conservation_everywhere(d):
+    """guards(l) + extras(l) == guards(l+1) + returning leaves(l)."""
+    for level in range(1, d):
+        lhs = comb(d, level) + formulas.extra_agents_for_level(d, level)
+        rhs = comb(d, level + 1) + comb(d - 1, level - 1)
+        assert lhs == rhs
+
+
+@WIDE
+@given(WIDE_D)
+def test_lemma_3_type_sum_identity(d):
+    for level in range(1, d):
+        assert formulas.extra_agents_for_level_by_types(
+            d, level
+        ) == formulas.extra_agents_for_level(d, level)
+
+
+@WIDE
+@given(WIDE_D)
+def test_theorem_8_double_counting(d):
+    assert formulas.visibility_moves_by_edges(d) == formulas.visibility_moves_exact(d)
+
+
+@WIDE
+@given(WIDE_D)
+def test_agent_moves_closed_form(d):
+    assert formulas.clean_agent_moves_exact(d) == (1 << d) * (d + 1) // 2
+
+
+@WIDE
+@given(WIDE_D)
+def test_weighted_leaf_closed_form(d):
+    assert weighted_leaf_sum(d) == (d + 1) * (1 << (d - 2))
+
+
+@WIDE
+@given(WIDE_D)
+def test_vandermonde(d):
+    for L in range(0, d - 1):
+        assert vandermonde_sum(d, L) == binomial(d - 1, L + 2)
+
+
+@WIDE
+@given(WIDE_D)
+def test_squad_flow_theorem_5(d):
+    assert sum(formulas.agents_for_type(i) for i in range(d)) == formulas.agents_for_type(d)
+
+
+@WIDE
+@given(WIDE_D)
+def test_cloning_team_is_leaf_count(d):
+    assert formulas.cloning_agents(d) == total_leaves(d) == 1 << (d - 1)
+
+
+@WIDE
+@given(WIDE_D)
+def test_peak_agents_bracketing(d):
+    """d+1 <= team <= 2*C(d, ceil(d/2)) + 2 for every d."""
+    peak = formulas.clean_peak_agents(d)
+    centre = comb(d, (d + 1) // 2)
+    assert d + 1 <= peak <= 2 * centre + 2
+
+
+@WIDE
+@given(st.integers(min_value=2, max_value=16))
+def test_lower_bound_monotone_in_d(d):
+    from repro.analysis.lower_bounds import monotone_agents_lower_bound
+
+    assert monotone_agents_lower_bound(d) > monotone_agents_lower_bound(d - 1)

@@ -1,0 +1,166 @@
+"""Tests for the paper's closed forms (Lemma 3 through Theorem 8, Section 5)."""
+
+from math import comb
+
+import pytest
+
+from repro.analysis import formulas
+from repro.analysis.counting import total_leaves
+
+
+class TestLemma3:
+    """Extra agents requested before cleaning level l -> l+1."""
+
+    @pytest.mark.parametrize("d", range(2, 14))
+    def test_per_type_sum_equals_closed_form(self, d):
+        for level in range(1, d):
+            assert formulas.extra_agents_for_level_by_types(
+                d, level
+            ) == formulas.extra_agents_for_level(d, level)
+
+    @pytest.mark.parametrize("d", range(2, 12))
+    def test_flow_conservation(self, d):
+        """guards(l) + extras(l) = guards(l+1) + returning leaves(l)."""
+        for level in range(1, d):
+            lhs = comb(d, level) + formulas.extra_agents_for_level(d, level)
+            rhs = comb(d, level + 1) + comb(d - 1, level - 1)
+            assert lhs == rhs
+
+    def test_out_of_range_levels_zero(self):
+        assert formulas.extra_agents_for_level(5, 0) == 0
+        assert formulas.extra_agents_for_level(5, 5) == 0
+
+    def test_extras_never_negative(self):
+        for d in range(2, 14):
+            for level in range(1, d):
+                assert formulas.extra_agents_for_level(d, level) >= 0
+
+
+class TestTheorem2:
+    """Team size of Algorithm CLEAN."""
+
+    def test_degenerate(self):
+        assert formulas.clean_peak_agents(0) == 1
+        assert formulas.clean_peak_agents(1) == 2
+
+    @pytest.mark.parametrize("d", range(4, 14, 2))
+    def test_even_d_maximizers(self, d):
+        """The maximum is at l = d/2 or l = d/2 - 1 (Lemma 4)."""
+        assert set(formulas.clean_peak_agents_maximizers(d)) == {d // 2 - 1, d // 2}
+
+    def test_maximizers_degenerate(self):
+        assert formulas.clean_peak_agents_maximizers(2) == [1]
+        assert formulas.clean_peak_agents_maximizers(1) == []
+
+    @pytest.mark.parametrize("d", range(2, 14))
+    def test_peak_is_max_of_passes(self, d):
+        peak = formulas.clean_peak_agents(d)
+        passes = [
+            formulas.clean_active_agents_during_pass(d, l) for l in range(1, d)
+        ]
+        assert peak == max([d + 1] + passes)
+
+    @pytest.mark.parametrize("d", range(4, 22, 2))
+    def test_growth_is_central_binomial(self, d):
+        """Theta(C(d, d/2)): the ratio to the central binomial is bounded.
+
+        (The paper labels the bound O(n / log n); the true order is
+        n / sqrt(log n) -- see EXPERIMENTS.md.)
+        """
+        peak = formulas.clean_peak_agents(d)
+        central = comb(d, d // 2)
+        assert central <= peak <= 2 * central + 2
+
+    def test_far_below_visibility_team(self):
+        for d in range(6, 16):
+            assert formulas.clean_peak_agents(d) < formulas.visibility_agents(d)
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("d", range(2, 16))
+    def test_agent_moves_closed_form(self, d):
+        """(n/2)(log n + 1) agent moves."""
+        n = 2**d
+        assert formulas.clean_agent_moves_exact(d) == n * (d + 1) // 2
+
+    def test_escort_moves(self):
+        for d in range(0, 10):
+            assert formulas.clean_sync_escort_moves(d) == 2 * (2**d - 1)
+
+    @pytest.mark.parametrize("d", range(2, 16))
+    def test_total_bound_is_n_log_n(self, d):
+        bound = formulas.clean_total_moves_upper_bound(d)
+        n = 2**d
+        assert bound <= 8 * n * d  # comfortably O(n log n)
+        assert bound >= n  # and not trivially small
+
+
+class TestTheorems5and7and8:
+    @pytest.mark.parametrize("d", range(1, 16))
+    def test_agents_n_over_2(self, d):
+        assert formulas.visibility_agents(d) == 2 ** (d - 1)
+
+    def test_agents_degenerate(self):
+        assert formulas.visibility_agents(0) == 1
+        with pytest.raises(ValueError):
+            formulas.visibility_agents(-1)
+
+    @pytest.mark.parametrize("d", range(0, 16))
+    def test_steps_log_n(self, d):
+        assert formulas.visibility_time_steps(d) == d
+
+    @pytest.mark.parametrize("d", range(2, 16))
+    def test_moves_closed_form(self, d):
+        assert formulas.visibility_moves_exact(d) == (d + 1) * 2 ** (d - 2)
+
+    @pytest.mark.parametrize("d", range(0, 12))
+    def test_edge_accounting_identity(self, d):
+        """Per-edge and per-leaf accountings of Theorem 8 agree."""
+        assert formulas.visibility_moves_by_edges(d) == formulas.visibility_moves_exact(d)
+
+    def test_agents_for_type(self):
+        assert formulas.agents_for_type(0) == 1
+        assert formulas.agents_for_type(1) == 1
+        assert formulas.agents_for_type(5) == 16
+        with pytest.raises(ValueError):
+            formulas.agents_for_type(-1)
+
+    @pytest.mark.parametrize("k", range(1, 12))
+    def test_squad_conservation(self, k):
+        """2^{k-1} = 1 + sum_{i=1}^{k-1} 2^{i-1}: arrivals equal departures
+        (the Theorem 5 flow argument)."""
+        incoming = formulas.agents_for_type(k)
+        outgoing = sum(formulas.agents_for_type(i) for i in range(k))
+        assert incoming == outgoing
+
+
+class TestSection5:
+    @pytest.mark.parametrize("d", range(0, 14))
+    def test_cloning_agents_is_leaf_count(self, d):
+        assert formulas.cloning_agents(d) == total_leaves(d)
+
+    @pytest.mark.parametrize("d", range(0, 14))
+    def test_cloning_moves_n_minus_1(self, d):
+        assert formulas.cloning_moves(d) == 2**d - 1
+
+    @pytest.mark.parametrize("d", range(1, 14))
+    def test_clean_with_cloning_is_half_n_plus_one(self, d):
+        """Cloning in Algorithm CLEAN inflates the team to n/2 + 1."""
+        assert formulas.clean_with_cloning_agents(d) == 2 ** (d - 1) + 1
+
+    def test_cloning_worse_than_reuse_for_clean(self):
+        for d in range(4, 14):
+            assert formulas.clean_with_cloning_agents(d) > formulas.clean_peak_agents(d)
+
+
+class TestSummaryTable:
+    def test_contains_all_strategies(self):
+        table = formulas.summary_table(6)
+        assert set(table) == {"clean", "visibility", "cloning", "synchronous"}
+        assert table["visibility"]["agents"] == 32
+        assert table["cloning"]["moves"] == 63
+
+    def test_reference_curves(self):
+        assert formulas.n_over_log_n(0) == 1.0
+        assert formulas.n_over_log_n(4) == 4.0
+        assert formulas.n_log_n(3) == 24.0

@@ -1,0 +1,99 @@
+"""Tests for the generic frontier protocol (real agents on any graph)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.protocols.frontier_protocol import run_frontier_protocol
+from repro.search.frontier_sweep import bfs_boundary_width
+from repro.sim.scheduling import AdversarialSlowestDelay, RandomDelay
+from repro.topology.generic import (
+    GraphAdapter,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    ring_graph,
+    star_graph,
+    tree_graph,
+)
+
+GRAPHS = [
+    path_graph(7),
+    ring_graph(7),
+    star_graph(5),
+    grid_graph(3, 3),
+    hypercube_graph(3),
+    tree_graph([0, 0, 1, 1, 2, 2]),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+    def test_cleans_standard_graphs(self, graph):
+        result = run_frontier_protocol(graph)
+        assert result.ok, (graph.name, result.summary())
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_delays(self, seed):
+        result = run_frontier_protocol(grid_graph(3, 3), delay=RandomDelay(seed=seed))
+        assert result.ok, result.summary()
+
+    def test_straggler_coordinator(self):
+        result = run_frontier_protocol(
+            ring_graph(6), delay=AdversarialSlowestDelay(slow_agents=[0], factor=15)
+        )
+        assert result.ok
+
+    def test_walker_intruder_caught(self):
+        result = run_frontier_protocol(hypercube_graph(3), intruder="walker")
+        assert result.ok
+        assert result.intruder_captured
+
+    @pytest.mark.parametrize("homebase", [0, 4, 8])
+    def test_any_homebase(self, homebase):
+        result = run_frontier_protocol(grid_graph(3, 3), homebase=homebase)
+        assert result.ok
+
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(st.data())
+    def test_random_connected_graphs(self, data):
+        from .conftest import connected_graphs
+
+        g = data.draw(connected_graphs(max_nodes=9, max_extra_edges=4))
+        result = run_frontier_protocol(g)
+        assert result.ok, result.summary()
+
+
+class TestResources:
+    def test_default_team_is_width_plus_two(self):
+        g = grid_graph(3, 3)
+        result = run_frontier_protocol(g)
+        assert result.team_size == bfs_boundary_width(g) + 2
+
+    def test_generous_team_is_harmless(self):
+        result = run_frontier_protocol(ring_graph(6), team_size=8)
+        assert result.ok
+
+    def test_insufficient_team_deadlocks_and_is_flagged(self):
+        """Unlike CLEAN's protocol, the frontier escort assumes the default
+        provisioning: with fewer agents the escort abandons the homebase
+        (recontamination) before stalling — both failures are reported."""
+        g = hypercube_graph(3)
+        result = run_frontier_protocol(g, team_size=2)
+        assert result.deadlocked
+        assert not result.ok
+        assert not result.monotone
+
+    def test_needs_two_agents(self):
+        with pytest.raises(SimulationError):
+            run_frontier_protocol(path_graph(3), team_size=1)
+
+    def test_coordinator_never_deploys(self):
+        """Agent 0 (the coordinator) always returns home: its final node is
+        the homebase."""
+        result = run_frontier_protocol(grid_graph(2, 3))
+        coordinator_moves = [e for e in result.trace.moves() if e.agent == 0]
+        assert coordinator_moves[-1].node == 0

@@ -1,0 +1,121 @@
+"""Unit tests for the generic graph adapters."""
+
+import pytest
+
+from repro.errors import InvalidNodeError, TopologyError
+from repro.topology.generic import (
+    GraphAdapter,
+    complete_graph,
+    from_networkx,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    ring_graph,
+    star_graph,
+    tree_graph,
+)
+
+
+class TestGraphAdapter:
+    def test_basic(self):
+        g = GraphAdapter(3, [(0, 1), (1, 2)], name="P3")
+        assert g.n == 3
+        assert g.neighbors(1) == [0, 2]
+        assert g.degree(0) == 1
+        assert g.has_edge(0, 1) and not g.has_edge(0, 2)
+        assert g.edges() == [(0, 1), (1, 2)]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            GraphAdapter(2, [(0, 0)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(TopologyError):
+            GraphAdapter(2, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidNodeError):
+            GraphAdapter(2, [(0, 5)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            GraphAdapter(0, [])
+
+    def test_neighbors_bad_node(self):
+        g = path_graph(3)
+        with pytest.raises(InvalidNodeError):
+            g.neighbors(3)
+
+    def test_equality_hash(self):
+        assert path_graph(4) == path_graph(4)
+        assert path_graph(4) != ring_graph(4)
+        assert hash(path_graph(4)) == hash(path_graph(4))
+
+    def test_connectivity(self):
+        assert path_graph(5).is_connected()
+        disconnected = GraphAdapter(4, [(0, 1), (2, 3)])
+        assert not disconnected.is_connected()
+
+    def test_is_tree(self):
+        assert path_graph(5).is_tree()
+        assert star_graph(4).is_tree()
+        assert not ring_graph(4).is_tree()
+
+
+class TestConstructors:
+    def test_hypercube_graph_matches_hypercube(self):
+        from repro.topology.hypercube import Hypercube
+
+        g = hypercube_graph(4)
+        h = Hypercube(4)
+        assert g.n == h.n
+        for x in h.nodes():
+            assert g.neighbors(x) == sorted(h.neighbors(x))
+
+    def test_ring(self):
+        g = ring_graph(5)
+        assert all(g.degree(v) == 2 for v in g.nodes())
+        with pytest.raises(TopologyError):
+            ring_graph(2)
+
+    def test_path_endpoints(self):
+        g = path_graph(6)
+        assert g.degree(0) == g.degree(5) == 1
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert all(g.degree(v) == 1 for v in range(1, 8))
+        with pytest.raises(TopologyError):
+            star_graph(0)
+
+    def test_tree_graph(self):
+        g = tree_graph([0, 0, 1, 1])
+        assert g.is_tree()
+        assert g.neighbors(0) == [1, 2]
+        with pytest.raises(TopologyError):
+            tree_graph([1])  # parent must be a smaller id
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.degree(0) == 2  # corner
+        assert g.degree(5) == 4  # interior
+        with pytest.raises(TopologyError):
+            grid_graph(0, 3)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert len(g.edges()) == 10
+
+    def test_from_networkx(self):
+        import networkx as nx
+
+        g = from_networkx(nx.cycle_graph(6))
+        assert g == ring_graph(6)
+
+    def test_to_networkx_round_trip(self):
+        g = grid_graph(2, 3)
+        back = from_networkx(g.to_networkx())
+        assert back == g

@@ -1,0 +1,100 @@
+"""Golden-value regression tables.
+
+Every number here was measured by this reproduction and cross-checked
+against the paper's closed forms (see EXPERIMENTS.md).  Any code change
+that shifts one of these tables is either a bug or a deliberate
+model change that must update EXPERIMENTS.md too — this test makes that
+loud.
+"""
+
+import pytest
+
+from repro.analysis.formulas import (
+    clean_agent_moves_exact,
+    clean_peak_agents,
+    clean_with_cloning_agents,
+    cloning_moves,
+    visibility_agents,
+    visibility_moves_exact,
+)
+from repro.analysis.lower_bounds import monotone_agents_lower_bound
+from repro.core.states import AgentRole
+from repro.core.strategy import get_strategy
+
+# d:                         1   2   3    4    5    6     7     8
+CLEAN_TEAM = [None, 2, 3, 5, 8, 15, 26, 51, 92, 183, 337]
+CLEAN_AGENT_MOVES = [None, 2, 6, 16, 40, 96, 224, 512, 1152, 2560, 5632]
+CLEAN_TOTAL_MOVES = [None, 4, 15, 42, 103, 234, 513, 1102, 2343, 4950, 10417]
+CLEAN_MAKESPAN = [None, 3, 11, 29, 67, 143, 295, 597, 1199, 2399, 4795]
+VIS_TEAM = [None, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+VIS_MOVES = [None, 1, 3, 8, 20, 48, 112, 256, 576, 1280, 2816]
+CLONING_MOVES = [None, 1, 3, 7, 15, 31, 63, 127, 255, 511, 1023]
+LOWER_BOUND = [None, 1, 2, 4, 7, 13, 23, 43, 78, 148, 274]
+CLEAN_CLONING_AGENTS = [None, 2, 3, 5, 9, 17, 33, 65, 129, 257, 513]
+
+DIMS = range(1, 11)
+
+
+class TestFormulasGolden:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_clean_team(self, d):
+        assert clean_peak_agents(d) == CLEAN_TEAM[d]
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_clean_agent_moves(self, d):
+        assert clean_agent_moves_exact(d) == CLEAN_AGENT_MOVES[d]
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_visibility_pair(self, d):
+        assert visibility_agents(d) == VIS_TEAM[d]
+        assert visibility_moves_exact(d) == VIS_MOVES[d]
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_cloning_moves(self, d):
+        assert cloning_moves(d) == CLONING_MOVES[d]
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_lower_bound(self, d):
+        assert monotone_agents_lower_bound(d) == LOWER_BOUND[d]
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_clean_with_cloning(self, d):
+        assert clean_with_cloning_agents(d) == CLEAN_CLONING_AGENTS[d]
+
+
+class TestMeasuredGolden:
+    """Simulation outputs, not just formulas: total moves and makespans of
+    Algorithm CLEAN include the synchronizer's walk, which only the
+    generator (not a closed form) produces."""
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_clean_full_measurements(self, d):
+        schedule = get_strategy("clean").run(d)
+        assert schedule.team_size == CLEAN_TEAM[d]
+        assert schedule.total_moves == CLEAN_TOTAL_MOVES[d]
+        assert schedule.makespan == CLEAN_MAKESPAN[d]
+        assert schedule.moves_by_role()[AgentRole.AGENT] == CLEAN_AGENT_MOVES[d]
+
+    @pytest.mark.parametrize("d", range(1, 7))
+    def test_protocol_plane_matches_where_exact(self, d):
+        """Protocol-plane golden values (kept to d <= 6: larger runs are
+        slow without adding coverage — d = 7+ is formula-tested above)."""
+        from repro.protocols.visibility_protocol import run_visibility_protocol
+
+        result = run_visibility_protocol(d)
+        assert result.total_moves == VIS_MOVES[d]
+        assert result.makespan == float(d)
+
+    def test_harper_scoreboard_row(self):
+        from repro.search.harper import harper_sweep_schedule
+
+        schedule = harper_sweep_schedule(8)
+        assert schedule.team_size == LOWER_BOUND[8] + 1 == 79
+
+    def test_frontier_sweep_h6(self):
+        from repro.search.frontier_sweep import frontier_sweep_schedule
+        from repro.topology.generic import hypercube_graph
+
+        schedule = frontier_sweep_schedule(hypercube_graph(6))
+        assert schedule.team_size == 24
+        assert schedule.total_moves == 384

@@ -1,0 +1,105 @@
+"""Unit tests for the heap queue T(d) (Definition 1)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.heap_queue import HeapQueue
+
+
+class TestDefinition1:
+    def test_t0_is_leaf(self):
+        t = HeapQueue(0)
+        assert t.is_leaf()
+        assert t.size == 1
+        assert t.children == []
+
+    def test_t1_one_child(self):
+        t = HeapQueue(1)
+        assert [c.order for c in t.children] == [0]
+
+    def test_tk_children_types(self):
+        for k in range(6):
+            t = HeapQueue(k)
+            assert [c.order for c in t.children] == list(range(k - 1, -1, -1))
+
+    def test_validate(self):
+        for k in range(7):
+            HeapQueue(k).validate()
+
+    def test_validate_catches_tampering(self):
+        t = HeapQueue(3)
+        t.children.pop()
+        with pytest.raises(TopologyError):
+            t.validate()
+
+    def test_negative_rejected(self):
+        with pytest.raises(TopologyError):
+            HeapQueue(-1)
+
+    def test_huge_rejected(self):
+        with pytest.raises(TopologyError):
+            HeapQueue(25)
+
+
+class TestCounts:
+    def test_size_is_power_of_two(self):
+        for k in range(9):
+            t = HeapQueue(k)
+            assert t.size == 2**k == t.count_nodes()
+
+    def test_leaf_count(self):
+        assert HeapQueue(0).count_leaves() == 1
+        for k in range(1, 9):
+            assert HeapQueue(k).count_leaves() == 2 ** (k - 1)
+
+    def test_height(self):
+        for k in range(8):
+            assert HeapQueue(k).height() == k
+
+    def test_nodes_per_depth_binomial(self):
+        for k in range(8):
+            t = HeapQueue(k)
+            per_depth = t.nodes_per_depth()
+            for depth, count in enumerate(per_depth):
+                assert count == HeapQueue.expected_depth_census(k, depth)
+
+    def test_type_census_at_depth_matches_broadcast_tree(self):
+        hq = HeapQueue(6)
+        bt = BroadcastTree(6)
+        for depth in range(7):
+            assert hq.type_census_at_depth(depth) == bt.type_census(depth)
+
+    def test_preorder_types_count(self):
+        t = HeapQueue(5)
+        types = list(t.preorder_types())
+        assert len(types) == 32
+        assert types[0] == 5
+
+
+class TestIsomorphism:
+    """The paper's 'very well known' fact: the broadcast spanning tree of a
+    hypercube of size n is a heap queue T(log n)."""
+
+    @pytest.mark.parametrize("d", range(0, 9))
+    def test_heap_queue_is_broadcast_tree(self, d):
+        assert HeapQueue(d).isomorphic_to_broadcast_tree(BroadcastTree(d))
+
+    def test_mismatched_orders_fail(self):
+        assert not HeapQueue(3).isomorphic_to_broadcast_tree(BroadcastTree(4))
+
+    def test_requires_broadcast_tree(self):
+        with pytest.raises(TopologyError):
+            HeapQueue(2).isomorphic_to_broadcast_tree("not a tree")
+
+
+class TestMisc:
+    def test_find_child(self):
+        t = HeapQueue(4)
+        assert t.find_child(2).order == 2
+        assert t.find_child(9) is None
+
+    def test_equality(self):
+        assert HeapQueue(3) == HeapQueue(3)
+        assert HeapQueue(3) != HeapQueue(4)
+        assert hash(HeapQueue(3)) == hash(HeapQueue(3))

@@ -1,0 +1,284 @@
+"""Unit tests for the Hypercube topology (Section 2 definitions)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidNodeError, TopologyError
+from repro.topology.hypercube import Hypercube
+
+DIMS = st.integers(min_value=0, max_value=8)
+
+
+class TestShape:
+    def test_sizes(self):
+        for d in range(9):
+            h = Hypercube(d)
+            assert h.n == 2**d
+            assert len(h) == 2**d
+            assert h.num_edges == d * 2 ** (d - 1) if d else h.num_edges == 0
+
+    def test_edge_count_matches_iteration(self):
+        for d in range(7):
+            h = Hypercube(d)
+            assert sum(1 for _ in h.edges()) == h.num_edges
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(-1)
+
+    def test_huge_dimension_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(31)
+
+    def test_equality_and_hash(self):
+        assert Hypercube(3) == Hypercube(3)
+        assert Hypercube(3) != Hypercube(4)
+        assert hash(Hypercube(3)) == hash(Hypercube(3))
+
+    def test_contains(self):
+        h = Hypercube(3)
+        assert 0 in h and 7 in h
+        assert 8 not in h and -1 not in h and "x" not in h
+
+
+class TestAdjacency:
+    def test_neighbors_differ_in_one_bit(self):
+        h = Hypercube(5)
+        for x in h.nodes():
+            for y in h.neighbors(x):
+                diff = x ^ y
+                assert diff and diff & (diff - 1) == 0
+
+    def test_degree_is_d(self):
+        h = Hypercube(6)
+        for x in (0, 13, 63):
+            assert len(h.neighbors(x)) == 6
+
+    def test_neighbor_by_port(self):
+        h = Hypercube(4)
+        assert h.neighbor(0b0000, 1) == 0b0001
+        assert h.neighbor(0b0000, 4) == 0b1000
+        assert h.neighbor(0b1111, 2) == 0b1101
+
+    def test_port_out_of_range(self):
+        h = Hypercube(3)
+        with pytest.raises(TopologyError):
+            h.neighbor(0, 0)
+        with pytest.raises(TopologyError):
+            h.neighbor(0, 4)
+
+    def test_edge_label_symmetric(self):
+        h = Hypercube(5)
+        for x, y in h.edges():
+            assert h.edge_label(x, y) == h.edge_label(y, x)
+
+    def test_edge_label_value(self):
+        h = Hypercube(4)
+        assert h.edge_label(0b0000, 0b0100) == 3
+
+    def test_edge_label_non_edge_rejected(self):
+        h = Hypercube(3)
+        with pytest.raises(TopologyError):
+            h.edge_label(0, 3)
+        with pytest.raises(TopologyError):
+            h.edge_label(5, 5)
+
+    def test_invalid_node(self):
+        h = Hypercube(3)
+        with pytest.raises(InvalidNodeError):
+            h.neighbors(8)
+        with pytest.raises(InvalidNodeError):
+            h.check_node(-1)
+
+    @given(DIMS.filter(lambda d: d >= 1), st.data())
+    def test_neighbor_relation_symmetric(self, d, data):
+        h = Hypercube(d)
+        x = data.draw(st.integers(min_value=0, max_value=h.n - 1))
+        for y in h.neighbors(x):
+            assert x in h.neighbors(y)
+            assert h.has_edge(x, y) and h.has_edge(y, x)
+
+
+class TestLevels:
+    def test_level_is_popcount(self):
+        h = Hypercube(6)
+        assert h.level(0) == 0
+        assert h.level(0b111111) == 6
+        assert h.level(0b1010) == 2
+
+    def test_level_nodes_partition(self):
+        h = Hypercube(5)
+        union = []
+        for level in range(6):
+            nodes = h.level_nodes(level)
+            assert len(nodes) == h.level_size(level) == math.comb(5, level)
+            assert nodes == sorted(nodes)
+            union.extend(nodes)
+        assert sorted(union) == list(h.nodes())
+
+    def test_levels_iterator(self):
+        h = Hypercube(4)
+        levels = list(h.levels())
+        assert len(levels) == 5
+        assert levels[0] == [0]
+        assert levels[4] == [15]
+
+    def test_level_out_of_range(self):
+        h = Hypercube(3)
+        with pytest.raises(TopologyError):
+            h.level_nodes(4)
+        with pytest.raises(TopologyError):
+            h.level_size(-1)
+
+    def test_level_census_vectorized(self):
+        h = Hypercube(7)
+        census = h.level_census()
+        assert list(census) == [math.comb(7, l) for l in range(8)]
+
+
+class TestClassesAndNeighbourKinds:
+    def test_msb_of_homebase(self):
+        assert Hypercube(4).msb(0) == 0
+
+    def test_class_membership(self):
+        h = Hypercube(4)
+        assert h.class_members(0) == [0]
+        assert h.class_members(1) == [1]
+        assert h.class_members(2) == [2, 3]
+        assert h.class_members(3) == [4, 5, 6, 7]
+
+    def test_classes_partition_nodes(self):
+        h = Hypercube(6)
+        union = [x for cls in h.classes() for x in cls]
+        assert sorted(union) == list(h.nodes())
+
+    def test_class_size_formula(self):
+        h = Hypercube(6)
+        for i in range(7):
+            assert len(h.class_members(i)) == h.class_size(i)
+
+    def test_class_out_of_range(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).class_members(4)
+
+    def test_smaller_bigger_partition_neighbors(self):
+        h = Hypercube(6)
+        for x in h.nodes():
+            smaller = h.smaller_neighbors(x)
+            bigger = h.bigger_neighbors(x)
+            assert sorted(smaller + bigger) == sorted(h.neighbors(x))
+
+    def test_definition_2(self):
+        # y smaller iff λ(x,y) <= m(x)
+        h = Hypercube(5)
+        for x in h.nodes():
+            m = h.msb(x)
+            for y in h.smaller_neighbors(x):
+                assert h.edge_label(x, y) <= m
+                assert h.is_smaller_neighbor(x, y)
+            for y in h.bigger_neighbors(x):
+                assert h.edge_label(x, y) > m
+                assert not h.is_smaller_neighbor(x, y)
+
+    def test_bigger_neighbors_increase_level(self):
+        h = Hypercube(5)
+        for x in h.nodes():
+            for y in h.bigger_neighbors(x):
+                assert h.level(y) == h.level(x) + 1
+
+    def test_homebase_has_no_smaller_neighbors(self):
+        h = Hypercube(5)
+        assert h.smaller_neighbors(0) == []
+        assert len(h.bigger_neighbors(0)) == 5
+
+
+class TestMetric:
+    def test_distance_is_hamming(self):
+        h = Hypercube(5)
+        assert h.distance(0b00000, 0b10101) == 3
+        assert h.distance(7, 7) == 0
+
+    @given(st.data())
+    def test_shortest_path_valid(self, data):
+        d = data.draw(st.integers(min_value=1, max_value=7))
+        h = Hypercube(d)
+        x = data.draw(st.integers(min_value=0, max_value=h.n - 1))
+        y = data.draw(st.integers(min_value=0, max_value=h.n - 1))
+        path = h.shortest_path(x, y)
+        assert path[0] == x and path[-1] == y
+        assert len(path) == h.distance(x, y) + 1
+        for a, b in zip(path, path[1:]):
+            assert h.has_edge(a, b)
+
+    @given(st.data())
+    def test_path_via_meet_stays_low(self, data):
+        d = data.draw(st.integers(min_value=1, max_value=7))
+        h = Hypercube(d)
+        x = data.draw(st.integers(min_value=0, max_value=h.n - 1))
+        y = data.draw(st.integers(min_value=0, max_value=h.n - 1))
+        path = h.path_via_meet(x, y)
+        assert path[0] == x and path[-1] == y
+        assert len(path) == h.distance(x, y) + 1
+        cap = max(h.level(x), h.level(y))
+        for node in path:
+            assert h.level(node) <= cap
+        for a, b in zip(path, path[1:]):
+            assert h.has_edge(a, b)
+
+    def test_tree_path_down(self):
+        h = Hypercube(4)
+        assert h.tree_path_down(0b1010) == [0b0000, 0b0010, 0b1010]
+        assert h.tree_path_down(0) == [0]
+
+
+class TestRendering:
+    def test_bitstring_paper_convention(self):
+        h = Hypercube(4)
+        assert h.bitstring(0b0001) == "1000"  # position 1 leftmost
+        assert h.node_from_bitstring("1000") == 1
+
+    def test_bitstring_round_trip(self):
+        h = Hypercube(5)
+        for x in h.nodes():
+            assert h.node_from_bitstring(h.bitstring(x)) == x
+
+    def test_bad_bitstring_length(self):
+        with pytest.raises(TopologyError):
+            Hypercube(4).node_from_bitstring("101")
+
+    def test_to_networkx(self):
+        import networkx as nx
+
+        h = Hypercube(4)
+        g = h.to_networkx()
+        assert g.number_of_nodes() == 16
+        assert g.number_of_edges() == 32
+        assert nx.is_connected(g)
+        # networkx ships its own hypercube for cross-checking
+        assert nx.is_isomorphic(g, nx.hypercube_graph(4))
+
+
+class TestSubcubes:
+    def test_fixing_one_position_halves(self):
+        h = Hypercube(4)
+        sub = h.subcube_nodes([4], 0)
+        assert len(sub) == 8
+        assert all(not (x >> 3) & 1 for x in sub)
+
+    def test_fix_two_positions(self):
+        h = Hypercube(3)
+        sub = h.subcube_nodes([1, 3], 0b11)
+        assert len(sub) == 2
+        for x in sub:
+            assert x & 1 and (x >> 2) & 1
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).subcube_nodes([1, 1], 0)
+
+    def test_position_out_of_range(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).subcube_nodes([4], 0)

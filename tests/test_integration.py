@@ -1,0 +1,175 @@
+"""End-to-end integration tests: the whole stack working together.
+
+Each test exercises a realistic scenario crossing several subsystems —
+strategy generation, verification, the async engine, the intruder, and the
+analysis layer — the way the examples and benches use them.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import (
+    Hypercube,
+    RandomDelay,
+    available_strategies,
+    compute_metrics,
+    formulas,
+    get_strategy,
+    verify_schedule,
+)
+from repro.core.states import AgentRole
+
+
+class TestPublicApi:
+    def test_quickstart_docstring_example(self):
+        schedule = get_strategy("visibility").run(4)
+        report = verify_schedule(schedule)
+        assert report.ok
+        assert (schedule.team_size, schedule.total_moves, schedule.makespan) == (8, 20, 4)
+
+    def test_available_strategies(self):
+        names = available_strategies()
+        assert {"clean", "visibility", "cloning", "synchronous", "level-sweep"} <= set(names)
+
+    def test_version_and_paper(self):
+        import repro
+
+        assert repro.__version__
+        assert "IPPS 2005" in repro.__paper__
+
+    def test_all_public_names_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestFullPipelineAcrossDimensions:
+    @pytest.mark.parametrize("d", range(0, 9))
+    def test_all_strategies_verified_and_measured(self, d):
+        for name in available_strategies():
+            schedule = get_strategy(name).run(d)
+            report = verify_schedule(schedule)
+            assert report.ok, f"{name} d={d}: {report.summary()}"
+            metrics = compute_metrics(schedule)
+            assert metrics.matches_predictions, metrics.describe()
+
+    def test_paper_summary_table_regenerates(self):
+        """The Section 1.3 table, measured end to end for d = 6."""
+        d = 6
+        measured = {}
+        for name in ("clean", "visibility", "cloning", "synchronous"):
+            s = get_strategy(name).run(d)
+            measured[name] = (s.team_size, s.total_moves, s.makespan)
+        assert measured["clean"][0] == formulas.clean_peak_agents(d)
+        assert measured["visibility"] == (32, 112, 6)
+        assert measured["cloning"] == (32, 63, 6)
+        assert measured["synchronous"] == measured["visibility"]
+
+
+class TestScheduleVsProtocolAgreement:
+    """The two execution planes must tell the same story."""
+
+    @pytest.mark.parametrize("d", range(1, 5))
+    def test_visibility_planes_agree(self, d):
+        from repro.protocols.visibility_protocol import run_visibility_protocol
+
+        plane = get_strategy("visibility").run(d)
+        sim = run_visibility_protocol(d, delay=RandomDelay(seed=2024))
+        assert sim.ok
+        assert sim.total_moves == plane.total_moves
+        assert sim.team_size == plane.team_size
+        assert sim.trace.move_multiset() == Counter(
+            (m.src, m.dst) for m in plane.moves
+        )
+
+    @pytest.mark.parametrize("d", range(1, 5))
+    def test_clean_planes_agree_on_follower_moves(self, d):
+        from repro.protocols.clean_protocol import run_clean_protocol
+
+        plane = get_strategy("clean").run(d)
+        sim = run_clean_protocol(d, delay=RandomDelay(seed=7))
+        assert sim.ok
+        plane_agents = Counter(
+            (m.src, m.dst) for m in plane.moves if m.role is AgentRole.AGENT
+        )
+        sim_followers = Counter(
+            (e.data["src"], e.node) for e in sim.trace.moves() if e.agent != 0
+        )
+        assert sim_followers == plane_agents
+        assert sim.team_size == plane.team_size
+
+
+class TestOpenProblemNumbers:
+    """The quantities the paper's conclusion discusses, end to end."""
+
+    def test_agent_growth_rate(self):
+        """CLEAN's team grows like n / sqrt(log n) (the paper says
+        O(n / log n); the measured exponent pins it down)."""
+        from repro.analysis.asymptotics import fit_growth
+
+        dims = list(range(4, 16))
+        teams = [formulas.clean_peak_agents(d) for d in dims]
+        fit = fit_growth(dims, teams)
+        assert fit.exponent_n == pytest.approx(1.0, abs=0.05)
+        assert -0.75 < fit.exponent_log < -0.3  # ~ -0.5: 1/sqrt(log n)
+
+    def test_moves_growth_rate(self):
+        from repro.analysis.asymptotics import fit_growth
+
+        dims = list(range(3, 10))
+        moves = [get_strategy("clean").run(d).total_moves for d in dims]
+        fit = fit_growth(dims, moves)
+        assert fit.exponent_n == pytest.approx(1.0, abs=0.1)
+        assert 0.4 < fit.exponent_log <= 1.3  # O(n log n) family
+
+    def test_visibility_on_small_cubes_is_optimal(self):
+        """On H_2 and H_3 the visibility strategy matches the brute-force
+        optimum exactly — context for the paper's open lower-bound
+        question."""
+        from repro.search.optimal import optimal_search_number
+        from repro.topology.generic import hypercube_graph
+
+        for d in (1, 2, 3):
+            optimal = optimal_search_number(hypercube_graph(d))
+            assert get_strategy("visibility").run(d).team_size == optimal
+
+
+class TestVirusHuntScenario:
+    """The examples' narrative, as an automated test."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_walker_hunt(self, seed):
+        from repro.protocols.visibility_protocol import visibility_agent
+        from repro.sim.engine import Engine
+
+        h = Hypercube(4)
+        engine = Engine(
+            h,
+            [visibility_agent] * formulas.visibility_agents(4),
+            delay=RandomDelay(seed=seed),
+            visibility=True,
+            intruder="walker",
+            intruder_seed=seed,
+        )
+        walker = engine.intruder
+        result = engine.run()
+        assert result.ok
+        assert walker.captured
+        assert walker.trajectory  # it did try to flee
+        # the walker only ever occupied nodes of the hypercube
+        assert all(0 <= x < 16 for x in walker.trajectory)
+
+
+class TestSerialisationPipeline:
+    def test_generate_save_load_verify(self, tmp_path):
+        schedule = get_strategy("clean").run(4)
+        path = tmp_path / "schedule.json"
+        path.write_text(schedule.to_json())
+        from repro.core.schedule import Schedule
+
+        loaded = Schedule.from_json(path.read_text())
+        report = verify_schedule(loaded)
+        assert report.ok
+        assert compute_metrics(loaded).matches_predictions

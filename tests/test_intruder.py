@@ -1,0 +1,137 @@
+"""Unit tests for the intruder models."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.contamination import ContaminationMap
+from repro.sim.intruder import ReachableSetIntruder, WalkerIntruder
+from repro.topology.generic import path_graph, star_graph
+from repro.topology.hypercube import Hypercube
+
+
+def swept_path_map(n):
+    """A path being swept left to right; returns (cmap, sweep_fn)."""
+    g = path_graph(n)
+    cmap = ContaminationMap(g, strict=False)
+    cmap.place_agent(0)
+    return cmap
+
+
+class TestReachableSet:
+    def test_region_is_contaminated_set(self):
+        cmap = swept_path_map(4)
+        intr = ReachableSetIntruder(cmap)
+        assert intr.region == {1, 2, 3}
+        assert not intr.captured
+
+    def test_shrinks_with_sweep(self):
+        cmap = swept_path_map(3)
+        intr = ReachableSetIntruder(cmap)
+        cmap.move_agent(0, 1)
+        intr.observe(cmap)
+        assert intr.region == {2}
+        cmap.move_agent(1, 2)
+        intr.observe(cmap)
+        assert intr.captured
+        assert not intr.ever_escaped_into_clean_area
+
+    def test_detects_escape_into_clean(self):
+        g = star_graph(3)
+        cmap = ContaminationMap(g, strict=False)
+        cmap.place_agent(0)
+        intr = ReachableSetIntruder(cmap)
+        cmap.move_agent(0, 1)  # centre recontaminated from other leaves
+        intr.observe(cmap)
+        assert intr.ever_escaped_into_clean_area
+
+
+class TestWalker:
+    def test_needs_contamination(self):
+        g = path_graph(1)
+        cmap = ContaminationMap(g, strict=False)
+        cmap.place_agent(0)
+        with pytest.raises(SimulationError):
+            WalkerIntruder(cmap)
+
+    def test_default_start_far_from_homebase(self):
+        cmap = ContaminationMap(Hypercube(4), strict=False)
+        cmap.place_agent(0)
+        walker = WalkerIntruder(cmap)
+        assert walker.position == 0b1111  # the antipode
+
+    def test_start_must_be_contaminated(self):
+        cmap = ContaminationMap(Hypercube(2), strict=False)
+        cmap.place_agent(0)
+        with pytest.raises(SimulationError):
+            WalkerIntruder(cmap, start=0)
+
+    def test_captured_when_stepped_on(self):
+        g = path_graph(3)
+        cmap = ContaminationMap(g, strict=False)
+        cmap.place_agent(0)
+        walker = WalkerIntruder(cmap, start=1, rng=random.Random(0))
+        cmap.move_agent(0, 1)
+        cmap.move_agent(1, 2)
+        walker.observe(cmap)
+        assert walker.captured
+
+    def test_flees_along_path(self):
+        g = path_graph(5)
+        cmap = ContaminationMap(g, strict=False)
+        cmap.place_agent(0)
+        walker = WalkerIntruder(cmap, start=1, rng=random.Random(0))
+        walker.observe(cmap)
+        # with a guard at 0 the farthest contaminated node is 4
+        assert walker.position == 4
+
+    def test_cornered_in_clean_region_is_captured(self):
+        g = path_graph(3)
+        cmap = ContaminationMap(g, strict=False)
+        cmap.place_agent(0)
+        cmap.place_agent(0)
+        walker = WalkerIntruder(cmap, start=2, rng=random.Random(1))
+        cmap.move_agent(0, 1)
+        walker.observe(cmap)
+        cmap.move_agent(1, 2)
+        walker.observe(cmap)
+        assert walker.captured
+
+    def test_trajectory_is_recorded(self):
+        cmap = ContaminationMap(Hypercube(3), strict=False)
+        cmap.place_agent(0)
+        walker = WalkerIntruder(cmap, start=1, rng=random.Random(0))
+        walker.observe(cmap)
+        assert walker.trajectory[0] == 1
+        assert len(walker.trajectory) >= 1
+
+    def test_observation_after_capture_is_noop(self):
+        g = path_graph(2)
+        cmap = ContaminationMap(g, strict=False)
+        cmap.place_agent(0)
+        walker = WalkerIntruder(cmap, start=1)
+        cmap.move_agent(0, 1)
+        walker.observe(cmap)
+        assert walker.captured
+        walker.observe(cmap)  # still captured, no crash
+        assert walker.captured
+
+    def test_walker_never_enters_guarded_node(self):
+        """Run a full visibility sweep; the walker's trajectory must avoid
+        every node while it is guarded."""
+        from repro import get_strategy
+
+        cmap = ContaminationMap(Hypercube(3), strict=False)
+        team = 4
+        for _ in range(team):
+            cmap.place_agent(0)
+        walker = WalkerIntruder(cmap, rng=random.Random(3))
+        schedule = get_strategy("visibility").run(3)
+        for move in schedule.moves:
+            cmap.move_agent(move.src, move.dst)
+            was = walker.position
+            walker.observe(cmap)
+            if not walker.captured:
+                assert cmap.guards(walker.position) == 0, (was, walker.position)
+        assert walker.captured

@@ -1,0 +1,136 @@
+"""The paper's proof-internal lemmas, instrumented during replay.
+
+Beyond the end-state verdicts (clean? monotone?), these tests check the
+*intermediate* statements the correctness proofs assert — Lemma 2 for
+Algorithm CLEAN, the Theorem 7 induction for the visibility strategy — at
+the exact moments the proofs talk about.
+"""
+
+import pytest
+
+from repro.core.schedule import MoveKind
+from repro.core.states import AgentRole, NodeState
+from repro.core.strategy import get_strategy
+from repro.sim.contamination import ContaminationMap
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+
+def replay_with_probe(schedule, probe):
+    """Replay a schedule, calling ``probe(cmap, move)`` after each move."""
+    h = Hypercube(schedule.dimension)
+    cmap = ContaminationMap(h, strict=True)
+    for _ in range(schedule.team_size):
+        cmap.place_agent(0)
+    for move in schedule.moves:
+        cmap.move_agent(move.src, move.dst)
+        probe(cmap, move)
+    return cmap
+
+
+class TestLemma2Clean:
+    """Lemma 2: while the synchronizer works at node y of level l,
+
+    * after y's children are escorted, each is guarded;
+    * when y is vacated, every neighbour of y is clean or guarded;
+    * when a leaf's agent is released, its level-(l+1) neighbours are
+      guarded and its level-(l-1) neighbours are clean.
+    """
+
+    @pytest.mark.parametrize("d", [3, 4, 5])
+    def test_departures_leave_safe_neighbourhoods(self, d):
+        schedule = get_strategy("clean").run(d)
+        h = Hypercube(d)
+
+        def probe(cmap, move):
+            # whenever any node has just been vacated, Lemma 2 promises its
+            # whole neighbourhood is safe; strict=True would have raised on
+            # violation, but check the exact statement explicitly:
+            if cmap.guards(move.src) == 0:
+                for y in h.neighbors(move.src):
+                    assert cmap.state(y) is not NodeState.CONTAMINATED, (
+                        move.src,
+                        y,
+                    )
+
+        replay_with_probe(schedule, probe)
+
+    @pytest.mark.parametrize("d", [3, 4])
+    def test_leaf_release_preconditions(self, d):
+        """At the completion of a RETURN's first move (the leaf being
+        vacated), upper neighbours are guarded and lower ones clean."""
+        schedule = get_strategy("clean").run(d)
+        h = Hypercube(d)
+        tree = BroadcastTree(h)
+        leaves = set(tree.leaves())
+        first_return_seen = set()
+
+        def probe(cmap, move):
+            if (
+                move.kind is MoveKind.RETURN
+                and move.src in leaves
+                and move.src not in first_return_seen
+            ):
+                first_return_seen.add(move.src)
+                level = h.level(move.src)
+                for y in h.neighbors(move.src):
+                    if h.level(y) == level + 1:
+                        assert cmap.state(y) is NodeState.GUARDED
+                    elif h.level(y) == level - 1:
+                        assert cmap.state(y) in (NodeState.CLEAN, NodeState.GUARDED)
+
+        replay_with_probe(schedule, probe)
+        assert first_return_seen  # the probe actually fired
+
+    @pytest.mark.parametrize("d", [3, 4, 5])
+    def test_escort_guards_child_immediately(self, d):
+        """Each broadcast-tree child is guarded the moment its deploying
+        agent arrives (step 2.2's invariant)."""
+        schedule = get_strategy("clean").run(d)
+
+        def probe(cmap, move):
+            if move.kind is MoveKind.DEPLOY and move.role is AgentRole.AGENT:
+                assert cmap.guards(move.dst) >= 1
+
+        replay_with_probe(schedule, probe)
+
+
+class TestTheorem7Induction:
+    """At time i, all of C_i is clean and only C_{i+1}'s agents may move."""
+
+    @pytest.mark.parametrize("d", [3, 4, 5, 6])
+    def test_wave_i_cleans_class_i(self, d):
+        schedule = get_strategy("visibility").run(d)
+        h = Hypercube(d)
+        tree = BroadcastTree(h)
+        state_at_wave_end = {}
+
+        h_probe = Hypercube(d)
+        cmap = ContaminationMap(h_probe, strict=True)
+        for _ in range(schedule.team_size):
+            cmap.place_agent(0)
+        for time, group in schedule.by_time():
+            for move in group:
+                cmap.move_agent(move.src, move.dst)
+            state_at_wave_end[time] = cmap.snapshot()
+
+        for wave in range(1, d + 1):
+            snapshot = state_at_wave_end[wave]
+            # classes up to wave-1 are clean (their agents left)
+            for i in range(wave):
+                for x in h.class_members(i):
+                    if not tree.is_leaf(x):
+                        assert snapshot[x] is NodeState.CLEAN, (wave, i, x)
+            # classes above the wave are guarded or still contaminated,
+            # never clean (their agents have not moved yet)
+            for i in range(wave + 1, d + 1):
+                for x in h.class_members(i):
+                    assert snapshot[x] is not NodeState.CLEAN, (wave, i, x)
+
+    @pytest.mark.parametrize("d", [3, 4, 5])
+    def test_only_one_class_moves_per_wave(self, d):
+        schedule = get_strategy("visibility").run(d)
+        h = Hypercube(d)
+        for time, group in schedule.by_time():
+            sources = {h.class_index(m.src) for m in group}
+            assert sources == {time - 1}

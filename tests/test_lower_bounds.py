@@ -1,0 +1,145 @@
+"""Tests for the monotone lower bound (Harper) and the Harper sweep."""
+
+import pytest
+
+from repro.analysis.formulas import clean_peak_agents, visibility_agents
+from repro.analysis.lower_bounds import (
+    bound_vs_strategies,
+    boundary_profile,
+    exhaustive_boundary_profile,
+    monotone_agents_lower_bound,
+    simplicial_order,
+)
+from repro.analysis.verify import ScheduleVerifier
+from repro.errors import TopologyError
+from repro.search.harper import harper_sweep_schedule
+from repro.topology.generic import hypercube_graph
+
+
+class TestSimplicialOrder:
+    def test_small(self):
+        assert simplicial_order(2) == [0, 2, 1, 3]
+
+    @pytest.mark.parametrize("d", range(0, 8))
+    def test_is_permutation(self, d):
+        order = simplicial_order(d)
+        assert sorted(order) == list(range(1 << d))
+
+    @pytest.mark.parametrize("d", range(1, 8))
+    def test_weight_monotone(self, d):
+        from repro._bitops import popcount
+
+        weights = [popcount(x) for x in simplicial_order(d)]
+        assert weights == sorted(weights)
+
+    def test_every_prefix_connected(self):
+        """Prefixes are valid sweep orders: each node has an earlier
+        neighbour (needed by the Harper sweep's routing)."""
+        h = hypercube_graph(5)
+        seen = set()
+        for x in simplicial_order(5):
+            if x != 0:
+                assert any(y in seen for y in h.neighbors(x))
+            seen.add(x)
+
+
+class TestBoundaryProfile:
+    @pytest.mark.parametrize("d", range(1, 5))
+    def test_matches_exhaustive_minimum(self, d):
+        """Harper's theorem, checked against brute force for d <= 4: the
+        simplicial prefixes attain the minimal inner boundary pointwise."""
+        assert boundary_profile(d) == exhaustive_boundary_profile(d)
+
+    @pytest.mark.parametrize("d", range(1, 10))
+    def test_profile_shape(self, d):
+        profile = boundary_profile(d)
+        n = 1 << d
+        assert profile[1] == 1
+        assert profile[n] == 0
+        assert len(profile) == n
+
+    def test_incremental_matches_direct(self):
+        """The O(n d) incremental boundary tracking equals a direct
+        recount on every prefix (d = 6 spot check)."""
+        from repro.analysis.lower_bounds import _inner_boundary_size
+
+        d = 6
+        members = set()
+        profile = boundary_profile(d)
+        for m, x in enumerate(simplicial_order(d), start=1):
+            members.add(x)
+            assert profile[m] == _inner_boundary_size(members, d)
+
+
+class TestLowerBound:
+    def test_known_values(self):
+        assert [monotone_agents_lower_bound(d) for d in range(0, 9)] == [
+            1, 1, 2, 4, 7, 13, 23, 43, 78,
+        ]
+
+    def test_tight_on_h3(self):
+        """LB(3) = 4 equals the brute-force contiguous optimum."""
+        from repro.search.optimal import optimal_search_number
+
+        assert monotone_agents_lower_bound(3) == 4
+        assert optimal_search_number(hypercube_graph(3)) == 4
+
+    @pytest.mark.parametrize("d", range(1, 12))
+    def test_bounds_every_strategy(self, d):
+        lb = monotone_agents_lower_bound(d)
+        assert lb <= clean_peak_agents(d)
+        if d >= 2:
+            assert lb <= visibility_agents(d)
+
+    @pytest.mark.parametrize("d", range(4, 14))
+    def test_asymptotics_central_binomial(self, d):
+        """LB = Θ(C(d, d/2)): stronger than the paper's conjectured
+        Ω(n / log n)."""
+        from repro.analysis.counting import central_binomial
+
+        lb = monotone_agents_lower_bound(d)
+        assert central_binomial(d) <= lb <= 2 * central_binomial(d)
+
+    def test_scoreboard(self):
+        board = bound_vs_strategies(6)
+        assert board["lower_bound"] == 23
+        assert board["clean"] == 26
+        assert board["visibility"] == 32
+
+    def test_dimension_guards(self):
+        with pytest.raises(TopologyError):
+            boundary_profile(21)
+        with pytest.raises(TopologyError):
+            exhaustive_boundary_profile(5)
+        with pytest.raises(TopologyError):
+            simplicial_order(-1)
+
+
+class TestHarperSweep:
+    @pytest.mark.parametrize("d", range(1, 7))
+    def test_verifies(self, d):
+        schedule = harper_sweep_schedule(d)
+        report = ScheduleVerifier(hypercube_graph(d)).verify(schedule)
+        assert report.ok, (d, report.summary())
+
+    @pytest.mark.parametrize("d", range(1, 10))
+    def test_team_within_one_of_lower_bound(self, d):
+        """The open-problem pincer: LB <= optimum <= team <= LB + 1."""
+        schedule = harper_sweep_schedule(d)
+        lb = monotone_agents_lower_bound(d)
+        assert lb <= schedule.team_size <= lb + 1
+
+    @pytest.mark.parametrize("d", range(3, 10))
+    def test_beats_clean_team(self, d):
+        assert harper_sweep_schedule(d).team_size <= clean_peak_agents(d)
+
+    def test_metadata_records_bound(self):
+        schedule = harper_sweep_schedule(4)
+        assert schedule.metadata["monotone_lower_bound"] == 7
+        assert schedule.strategy == "harper-sweep"
+
+    def test_degenerate(self):
+        schedule = harper_sweep_schedule(0)
+        assert schedule.total_moves == 0
+        with pytest.raises(TopologyError):
+            harper_sweep_schedule(-1)

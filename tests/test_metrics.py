@@ -1,0 +1,57 @@
+"""Tests for the metrics accounting."""
+
+import pytest
+
+from repro.core.metrics import StrategyMetrics, compute_metrics
+from repro.core.strategy import get_strategy
+
+
+class TestComputeMetrics:
+    @pytest.mark.parametrize("name", ["clean", "visibility", "cloning", "synchronous"])
+    def test_predictions_met(self, name):
+        schedule = get_strategy(name).run(5)
+        metrics = compute_metrics(schedule)
+        assert metrics.matches_predictions, metrics.describe()
+
+    def test_fields(self):
+        schedule = get_strategy("clean").run(4)
+        m = compute_metrics(schedule)
+        assert m.strategy == "clean"
+        assert m.dimension == 4
+        assert m.n == 16
+        assert m.total_moves == m.agent_moves + m.synchronizer_moves
+        assert sum(m.moves_by_kind.values()) == m.total_moves
+
+    def test_as_row(self):
+        m = compute_metrics(get_strategy("visibility").run(3))
+        row = m.as_row()
+        assert row["agents"] == 4
+        assert row["steps"] == 3
+
+    def test_describe_mentions_predictions(self):
+        m = compute_metrics(get_strategy("visibility").run(4))
+        text = m.describe()
+        assert "predicted" in text
+        assert "H" not in text.split("\n")[0]  # first line names the strategy
+
+    def test_unknown_strategy_has_no_predictions(self):
+        from repro.core.schedule import Schedule
+
+        schedule = Schedule(dimension=1, strategy="mystery", team_size=1)
+        m = compute_metrics(schedule)
+        assert m.predicted_team_size is None
+        assert m.matches_predictions  # vacuously
+
+    def test_mismatch_detected(self):
+        m = StrategyMetrics(
+            strategy="x",
+            dimension=2,
+            n=4,
+            team_size=3,
+            total_moves=10,
+            agent_moves=10,
+            synchronizer_moves=0,
+            makespan=5,
+            predicted_team_size=2,
+        )
+        assert not m.matches_predictions

@@ -1,0 +1,63 @@
+"""Focused tests for odd hypercube degrees.
+
+The paper assumes even ``d`` "for the ease of discussion — minor technical
+modifications are required for odd degrees".  This module pins down what
+those modifications amount to in our implementation: the same formulas
+with ``ceil``/``floor`` at the central levels, and identical correctness.
+"""
+
+import pytest
+
+from repro.analysis import formulas
+from repro.analysis.counting import binomial
+from repro.analysis.verify import verify_schedule
+from repro.core.strategy import available_strategies, get_strategy
+
+ODD = [1, 3, 5, 7, 9]
+
+
+class TestCorrectnessAtOddD:
+    @pytest.mark.parametrize("d", ODD)
+    def test_all_strategies_verify(self, d):
+        for name in available_strategies():
+            schedule = get_strategy(name).run(d)
+            report = verify_schedule(schedule)
+            assert report.ok, (name, d, report.summary())
+
+
+class TestOddFormulas:
+    @pytest.mark.parametrize("d", [3, 5, 7, 9, 11])
+    def test_clean_peak_maximizers_straddle_center(self, d):
+        """For odd d the unique maximizing pass is l = (d-1)/2: the two
+        even-d maximizers collapse into one."""
+        maximizers = formulas.clean_peak_agents_maximizers(d)
+        assert maximizers == [(d - 1) // 2]
+
+    @pytest.mark.parametrize("d", [3, 5, 7, 9])
+    def test_team_formula_odd(self, d):
+        """Peak = C(d, (d+1)/2) + C(d-1, (d-3)/2) + 1 for odd d >= 3."""
+        l = (d - 1) // 2
+        expected = binomial(d, l + 1) + binomial(d - 1, l - 1) + 1
+        assert formulas.clean_peak_agents(d) == expected
+        assert get_strategy("clean").run(d).team_size == expected
+
+    @pytest.mark.parametrize("d", ODD)
+    def test_visibility_formulas_parity_free(self, d):
+        s = get_strategy("visibility").run(d)
+        assert s.team_size == formulas.visibility_agents(d)
+        assert s.total_moves == formulas.visibility_moves_exact(d)
+        assert s.makespan == d
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_agent_moves_parity_free(self, d):
+        from repro.core.states import AgentRole
+
+        s = get_strategy("clean").run(d)
+        assert s.moves_by_role()[AgentRole.AGENT] == formulas.clean_agent_moves_exact(d)
+
+    def test_odd_vs_even_team_growth_interleaves(self):
+        """Team sizes are strictly increasing across parities — no parity
+        anomaly in the sequence."""
+        teams = [formulas.clean_peak_agents(d) for d in range(1, 14)]
+        assert teams == sorted(teams)
+        assert all(a < b for a, b in zip(teams, teams[1:]))

@@ -1,0 +1,45 @@
+"""Tests for the deployment-profile chart rendering."""
+
+from repro.core.strategy import get_strategy
+from repro.viz.profile_render import render_deployment_profile
+
+
+class TestProfileRender:
+    def test_visibility_flat_top(self):
+        text = render_deployment_profile(get_strategy("visibility").run(4), width=20)
+        lines = text.splitlines()
+        assert "peak 8" in lines[0]
+        assert lines[1].endswith(" 0")  # t=0 row
+        # all post-wave rows at peak
+        assert all(line.endswith(" 8") for line in lines[2:])
+
+    def test_clean_sawtooth_comes_down(self):
+        text = render_deployment_profile(get_strategy("clean").run(4), width=20)
+        last = text.splitlines()[-1]
+        value = int(last.rsplit(" ", 1)[1])
+        assert value <= 2  # everyone's home except the tail
+
+    def test_downsampling_preserves_peak(self):
+        schedule = get_strategy("clean").run(6)
+        full = render_deployment_profile(schedule, max_rows=10_000)
+        sampled = render_deployment_profile(schedule, max_rows=10)
+        assert "downsampled" in sampled
+
+        def peak_of(text):
+            return int(text.splitlines()[0].split("(peak ")[1].split(",")[0])
+
+        assert peak_of(full) == peak_of(sampled)
+        assert len(sampled.splitlines()) <= 12
+
+    def test_bar_widths_scale(self):
+        text = render_deployment_profile(get_strategy("visibility").run(3), width=10)
+        peak_rows = [l for l in text.splitlines()[1:] if l.endswith(" 4")]
+        assert all(l.count("#") == 10 for l in peak_rows)
+
+    def test_empty_schedule(self):
+        from repro.core.schedule import Schedule
+
+        text = render_deployment_profile(
+            Schedule(dimension=0, strategy="noop", team_size=1)
+        )
+        assert "peak 0" in text or "peak" in text

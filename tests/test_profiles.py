@@ -1,0 +1,87 @@
+"""Tests for the schedule time profiles."""
+
+import pytest
+
+from repro.analysis import formulas
+from repro.analysis.profiles import (
+    deployed_agents_profile,
+    guards_per_level_profile,
+    peak_deployed,
+)
+from repro.core.strategy import get_strategy
+
+
+class TestDeployedProfile:
+    def test_starts_at_zero(self):
+        schedule = get_strategy("visibility").run(4)
+        assert deployed_agents_profile(schedule)[0] == 0
+
+    def test_visibility_pyramid(self):
+        """One wave empties the homebase; afterwards everyone stays out."""
+        d = 5
+        schedule = get_strategy("visibility").run(d)
+        profile = deployed_agents_profile(schedule)
+        # after wave 1 all n/2 agents have left home, and none return
+        for t in range(1, d + 1):
+            assert profile[t] == formulas.visibility_agents(d)
+
+    def test_clean_sawtooth_peaks_at_lemma_4(self):
+        """CLEAN's peak simultaneous deployment equals the Lemma 4 maximum
+        over passes (the synchronizer counted, minus the homebase pool)."""
+        d = 6
+        schedule = get_strategy("clean").run(d)
+        peak = peak_deployed(schedule)
+        lemma_4_peak = max(
+            formulas.clean_active_agents_during_pass(d, l) for l in range(1, d)
+        )
+        # peak deployment can't exceed the team and tracks the lemma value
+        assert peak <= schedule.team_size
+        assert lemma_4_peak - 2 <= peak <= lemma_4_peak
+
+    def test_clean_profile_returns_to_low(self):
+        """Leaves retire to the root: the deployment count comes back down
+        near the end (only the final guard and synchronizer remain out)."""
+        schedule = get_strategy("clean").run(5)
+        profile = deployed_agents_profile(schedule)
+        assert profile[max(profile)] <= 2
+
+    def test_cloning_profile_counts_creations(self):
+        d = 4
+        schedule = get_strategy("cloning").run(d)
+        profile = deployed_agents_profile(schedule)
+        assert profile[d] == formulas.cloning_agents(d)
+
+
+class TestLevelProfile:
+    def test_clean_levels_fill_in_order(self):
+        """The first time any level-l node is guarded comes after the first
+        time level l-1 was (the level-by-level narrative)."""
+        schedule = get_strategy("clean").run(5)
+        snapshots = guards_per_level_profile(schedule)
+        first_seen = {}
+        for t, census in enumerate(snapshots, start=1):
+            for level in census:
+                first_seen.setdefault(level, t)
+        levels = sorted(first_seen)
+        times = [first_seen[l] for l in levels]
+        assert times == sorted(times)
+
+    def test_visibility_final_snapshot_is_leaf_census(self):
+        """At the end every agent guards a distinct broadcast-tree leaf:
+        the level census equals the Property 2 leaf counts."""
+        from repro.analysis.counting import leaves_at_level
+
+        d = 5
+        schedule = get_strategy("visibility").run(d)
+        final = guards_per_level_profile(schedule)[-1]
+        for level, count in final.items():
+            assert count == leaves_at_level(d, level)
+
+    @pytest.mark.parametrize("name", ["clean", "visibility", "cloning"])
+    def test_census_totals_match_deployment(self, name):
+        schedule = get_strategy(name).run(4)
+        deploys = deployed_agents_profile(schedule)
+        censuses = guards_per_level_profile(schedule)
+        times = sorted(t for t in deploys if t > 0)
+        for t, census in zip(times, censuses):
+            assert sum(census.values()) == deploys[t]

@@ -1,0 +1,157 @@
+"""Tests for the paper's Properties 1-8 and Lemma 1 (Sections 3.1, 4.1)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+from repro.topology.properties import (
+    PROPERTY_8_EXCEPTIONS,
+    check_all_properties,
+    lemma_1,
+    property_1,
+    property_2,
+    property_5,
+    property_6,
+    property_7,
+    property_8,
+)
+
+DIMENSIONS = list(range(0, 9))
+
+
+@pytest.mark.parametrize("d", DIMENSIONS)
+def test_all_properties_hold(d):
+    check_all_properties(d)
+
+
+class TestProperty1:
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_census_structure(self, d):
+        censuses = property_1(BroadcastTree(d))
+        assert censuses[0] == {d: 1}  # the unique root T(d)
+        # level 1 holds one node of each type T(0) .. T(d-1)
+        assert censuses[1] == {k: 1 for k in range(d)}
+
+    def test_total_per_level_is_binomial(self):
+        import math
+
+        d = 7
+        censuses = property_1(BroadcastTree(d))
+        for level, census in censuses.items():
+            assert sum(census.values()) == math.comb(d, level)
+
+
+class TestProperty2:
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_leaf_total_is_half(self, d):
+        leaves = property_2(BroadcastTree(d))
+        assert sum(leaves.values()) == 2 ** (d - 1)
+
+    def test_level_zero_has_no_leaf_for_positive_d(self):
+        assert property_2(BroadcastTree(3))[0] == 0
+
+
+class TestProperty5:
+    @pytest.mark.parametrize("d", range(0, 9))
+    def test_sizes(self, d):
+        sizes = property_5(Hypercube(d))
+        assert sizes[0] == 1
+        for i in range(1, d + 1):
+            assert sizes[i] == 2 ** (i - 1)
+
+    def test_sizes_sum_to_n(self):
+        assert sum(property_5(Hypercube(7))) == 128
+
+
+class TestProperty6:
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_leaves_equal_cd(self, d):
+        tree = BroadcastTree(d)
+        assert property_6(tree) == Hypercube(d).class_members(d)
+
+
+class TestProperty7:
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_holds(self, d):
+        property_7(Hypercube(d))
+
+    def test_exactly_one_lower_class_neighbor(self):
+        h = Hypercube(5)
+        for x in range(1, h.n):
+            i = h.class_index(x)
+            lower = [y for y in h.smaller_neighbors(x) if h.class_index(y) < i]
+            assert len(lower) == 1
+            # ... and that neighbour is x with its msb cleared
+            assert lower[0] == x ^ (1 << (i - 1))
+
+
+class TestProperty8:
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_witnesses_valid(self, d):
+        h = Hypercube(d)
+        witnesses = property_8(h)
+        for x, (y, z) in witnesses.items():
+            i = h.class_index(x)
+            assert y in h.smaller_neighbors(x)
+            assert h.class_index(y) == i
+            assert z in h.smaller_neighbors(y)
+            assert h.class_index(z) == i - 1
+
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_node_three_is_the_only_exception(self, d):
+        """Documented paper erratum: node 3 (bits {1,2}) has no witness
+        chain, and it is the only such node."""
+        h = Hypercube(d)
+        witnesses = property_8(h)
+        eligible = {x for x in h.nodes() if h.class_index(x) > 1}
+        missing = eligible - set(witnesses)
+        assert missing == PROPERTY_8_EXCEPTIONS
+
+    def test_node_three_really_has_no_witness(self):
+        h = Hypercube(4)
+        x = 3
+        for y in h.smaller_neighbors(x):
+            if h.class_index(y) != h.class_index(x):
+                continue
+            assert all(
+                h.class_index(z) != h.class_index(x) - 1
+                for z in h.smaller_neighbors(y)
+            )
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_holds_in_integer_order(self, d):
+        lemma_1(BroadcastTree(d))
+
+    def test_statement_explicitly(self):
+        """z in N(y) - NT(y) at level l+1 implies tree-parent(z) < y."""
+        d = 6
+        h = Hypercube(d)
+        tree = BroadcastTree(h)
+        checked = 0
+        for y in h.nodes():
+            children = set(tree.children(y))
+            for z in h.neighbors(y):
+                if h.level(z) == h.level(y) + 1 and z not in children:
+                    assert tree.parent(z) < y
+                    checked += 1
+        assert checked > 0
+
+    def test_string_lex_order_would_fail(self):
+        """Reading strings position-1-first (LSB first) breaks Lemma 1 —
+        evidence that the paper's lexicographic order is MSB-first, i.e.
+        integer order."""
+        d = 4
+        h = Hypercube(d)
+        tree = BroadcastTree(h)
+        violations = 0
+        for y in h.nodes():
+            children = set(tree.children(y))
+            for z in h.neighbors(y):
+                if h.level(z) == h.level(y) + 1 and z not in children:
+                    x = tree.parent(z)
+                    if not h.bitstring(x) < h.bitstring(y):  # LSB-first strings
+                        violations += 1
+        assert violations > 0

@@ -1,0 +1,216 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The paper's claims are universally quantified — over dimensions, over
+asynchronous schedules, over intruder behaviour.  These tests sample that
+space: random dimensions, random delay seeds, random walker intruders,
+random tamperings (which must be caught).
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import formulas
+from repro.analysis.verify import verify_schedule
+from repro.core.schedule import Move, Schedule
+from repro.core.strategy import get_strategy
+from repro.errors import ScheduleError
+from repro.sim.scheduling import RandomDelay
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+STRATEGIES = ["clean", "visibility", "cloning", "synchronous", "level-sweep"]
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+@st.composite
+def strategy_and_dim(draw):
+    name = draw(st.sampled_from(STRATEGIES))
+    d = draw(st.integers(min_value=0, max_value=7))
+    return name, d
+
+
+class TestUniversalInvariants:
+    @SLOW
+    @given(strategy_and_dim())
+    def test_every_schedule_is_monotone_contiguous_complete(self, pair):
+        name, d = pair
+        schedule = get_strategy(name).run(d)
+        report = verify_schedule(schedule)
+        assert report.ok, report.summary()
+
+    @SLOW
+    @given(strategy_and_dim())
+    def test_schedules_are_deterministic(self, pair):
+        name, d = pair
+        a = get_strategy(name).run(d)
+        b = get_strategy(name).run(d)
+        assert a.moves == b.moves
+        assert a.team_size == b.team_size
+
+    @SLOW
+    @given(st.integers(min_value=0, max_value=7))
+    def test_team_size_ordering(self, d):
+        """Section 1.3 comparisons: CLEAN's whole point is fewer agents
+        than n/2 (true from d >= 4 on); the naive sweep always needs at
+        least as many as CLEAN (d >= 2); cloning == visibility."""
+        clean = get_strategy("clean").run(d).team_size
+        vis = get_strategy("visibility").run(d).team_size
+        sweep = get_strategy("level-sweep").run(d).team_size
+        if d >= 4:
+            assert vis >= clean
+        if d >= 2:
+            assert sweep >= clean
+        assert get_strategy("cloning").run(d).team_size == vis
+
+    @SLOW
+    @given(st.integers(min_value=1, max_value=7))
+    def test_visibility_strictly_faster(self, d):
+        """log n steps vs the synchronizer's sequential walk."""
+        clean = get_strategy("clean").run(d).makespan
+        vis = get_strategy("visibility").run(d).makespan
+        assert vis <= clean
+
+    @SLOW
+    @given(st.integers(min_value=0, max_value=7))
+    def test_every_node_visited_once_per_strategy(self, d):
+        for name in STRATEGIES:
+            schedule = get_strategy(name).run(d)
+            order = schedule.first_visit_order()
+            assert sorted(order) == list(range(1 << d)), name
+
+
+class TestScheduleJsonRoundTrip:
+    @SLOW
+    @given(strategy_and_dim())
+    def test_round_trip_preserves_everything(self, pair):
+        name, d = pair
+        schedule = get_strategy(name).run(min(d, 5))
+        back = Schedule.from_json(schedule.to_json())
+        assert back.moves == schedule.moves
+        assert back.team_size == schedule.team_size
+        assert back.uses_cloning == schedule.uses_cloning
+        assert verify_schedule(back).ok == verify_schedule(schedule).ok
+
+
+class TestTamperDetection:
+    """Mutate a correct schedule; the verifier (or structure check) must
+    notice every mutation that matters."""
+
+    @SLOW
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_dropping_a_deploy_breaks_completeness(self, d, rng):
+        schedule = get_strategy("visibility").run(d)
+        moves = list(schedule.moves)
+        victim = rng.randrange(len(moves))
+        tampered = Schedule(
+            dimension=d,
+            strategy="tampered",
+            moves=moves[:victim] + moves[victim + 1 :],
+            team_size=schedule.team_size,
+        )
+        try:
+            report = verify_schedule(tampered)
+        except ScheduleError:
+            return  # structurally invalid: caught even earlier
+        assert not report.ok  # a missing traversal must break something
+
+    @SLOW
+    @given(st.integers(min_value=2, max_value=5), st.randoms(use_true_random=False))
+    def test_redirecting_a_move_is_caught(self, d, rng):
+        h = Hypercube(d)
+        schedule = get_strategy("visibility").run(d)
+        moves = list(schedule.moves)
+        victim = rng.randrange(len(moves))
+        m = moves[victim]
+        others = [y for y in h.neighbors(m.src) if y != m.dst]
+        moves[victim] = Move(
+            agent=m.agent, src=m.src, dst=rng.choice(others), time=m.time,
+            role=m.role, kind=m.kind,
+        )
+        tampered = Schedule(
+            dimension=d, strategy="tampered", moves=moves, team_size=schedule.team_size
+        )
+        try:
+            report = verify_schedule(tampered)
+        except ScheduleError:
+            return
+        assert not report.ok
+
+
+class TestAsynchronyInvariance:
+    """Theorem 6 / Theorem 1: delay models never change correctness or the
+    move multiset of the asynchronous protocols."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_visibility_protocol_random_delays(self, seed):
+        from repro.protocols.visibility_protocol import run_visibility_protocol
+
+        result = run_visibility_protocol(3, delay=RandomDelay(seed=seed))
+        assert result.ok, result.summary()
+        assert result.total_moves == formulas.visibility_moves_exact(3)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_cloning_protocol_random_delays(self, seed):
+        from repro.protocols.cloning_protocol import run_cloning_protocol
+
+        result = run_cloning_protocol(3, delay=RandomDelay(seed=seed))
+        assert result.ok
+        assert result.total_moves == formulas.cloning_moves(3)
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_clean_protocol_random_delays(self, seed):
+        from repro.protocols.clean_protocol import run_clean_protocol
+
+        result = run_clean_protocol(3, delay=RandomDelay(seed=seed))
+        assert result.ok, result.summary()
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_walker_intruder_always_captured(self, seed):
+        from repro.protocols.visibility_protocol import run_visibility_protocol
+
+        result = run_visibility_protocol(
+            4, delay=RandomDelay(seed=seed), intruder="walker"
+        )
+        assert result.intruder_captured
+
+
+class TestStructuralProperties:
+    @SLOW
+    @given(st.integers(min_value=1, max_value=10))
+    def test_tree_edges_partition_crossings(self, d):
+        """In the visibility schedule, the multiset of crossed edges is
+        exactly {tree edge -> squad size}."""
+        schedule = get_strategy("visibility").run(min(d, 8))
+        dd = schedule.dimension
+        tree = BroadcastTree(dd)
+        crossings = Counter((m.src, m.dst) for m in schedule.moves)
+        expected = Counter()
+        for parent, child in tree.edges():
+            expected[(parent, child)] = formulas.agents_for_type(tree.node_type(child))
+        assert crossings == expected
+
+    @SLOW
+    @given(st.integers(min_value=0, max_value=8))
+    def test_exact_formula_triplet(self, d):
+        vis = get_strategy("visibility").run(d)
+        assert vis.team_size == formulas.visibility_agents(d)
+        assert vis.total_moves == formulas.visibility_moves_exact(d)
+        assert vis.makespan == formulas.visibility_time_steps(d)
+        clone = get_strategy("cloning").run(d)
+        assert clone.team_size == formulas.cloning_agents(d)
+        assert clone.total_moves == formulas.cloning_moves(d)

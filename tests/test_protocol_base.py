@@ -1,0 +1,98 @@
+"""Tests for the shared protocol plumbing (slot mapping, mutators)."""
+
+import pytest
+
+from repro.analysis.formulas import agents_for_type
+from repro.core.states import NodeState
+from repro.protocols.base import (
+    cached_hypercube,
+    cached_tree,
+    child_for_slot,
+    decrement,
+    increment,
+    smaller_all_safe,
+    take_slot,
+)
+
+
+class TestCaches:
+    def test_cached_objects_are_shared(self):
+        assert cached_hypercube(4) is cached_hypercube(4)
+        assert cached_tree(4) is cached_tree(4)
+        assert cached_tree(4).hypercube is cached_hypercube(4)
+
+
+class TestSlotMapping:
+    def test_root_slots_cover_all_children_with_right_sizes(self):
+        d = 5
+        tree = cached_tree(d)
+        counts = {}
+        total = agents_for_type(d)
+        for slot in range(total):
+            child = child_for_slot(d, 0, slot)
+            counts[child] = counts.get(child, 0) + 1
+        assert counts == {
+            c: agents_for_type(tree.node_type(c)) for c in tree.children(0)
+        }
+
+    def test_slots_are_contiguous_chunks(self):
+        d = 4
+        seen = []
+        for slot in range(agents_for_type(d)):
+            seen.append(child_for_slot(d, 0, slot))
+        # chunks: same child repeated, largest subtree first
+        assert seen == sorted(seen, key=seen.index)  # grouped
+        assert seen[0] == 1  # largest child (type T(d-1)) first
+
+    def test_slot_out_of_range(self):
+        with pytest.raises(ValueError):
+            child_for_slot(3, 0, agents_for_type(3))
+
+    def test_internal_node_slots(self):
+        d = 4
+        node = 0b0001  # type T(3): children 3, 5, 9 of types 2, 1, 0
+        assignments = [child_for_slot(d, node, s) for s in range(4)]
+        assert assignments == [3, 3, 5, 9]
+
+
+class TestMutators:
+    def test_increment_decrement(self):
+        wb = {}
+        assert increment("count")(wb) == 1
+        assert increment("count")(wb) == 2
+        assert decrement("count")(wb) == 1
+
+    def test_take_slot_sequence(self):
+        wb = {}
+        taker = take_slot(2)
+        assert taker(wb) == 0
+        assert taker(wb) == 1
+        assert taker(wb) is None  # exhausted
+
+    def test_take_slot_custom_key(self):
+        wb = {}
+        assert take_slot(1, key="departures")(wb) == 0
+        assert wb == {"departures": 1}
+
+
+class TestSafetyPredicate:
+    class _View:
+        def __init__(self, states):
+            self._states = states
+
+        def neighbor_states(self):
+            return self._states
+
+    def test_all_safe(self):
+        pred = smaller_all_safe(3, 0b011)  # smaller neighbours: 0b010, 0b001
+        view = self._View({1: NodeState.CLEAN, 2: NodeState.GUARDED, 7: NodeState.CONTAMINATED})
+        assert pred(view)  # 7 is a bigger neighbour; irrelevant
+
+    def test_contaminated_smaller_blocks(self):
+        pred = smaller_all_safe(3, 0b011)
+        view = self._View({1: NodeState.CONTAMINATED, 2: NodeState.GUARDED, 7: NodeState.CLEAN})
+        assert not pred(view)
+
+    def test_homebase_vacuous(self):
+        pred = smaller_all_safe(3, 0)
+        assert pred(self._View({1: NodeState.CONTAMINATED, 2: NodeState.CONTAMINATED, 4: NodeState.CONTAMINATED}))

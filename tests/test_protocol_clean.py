@@ -1,0 +1,105 @@
+"""Tests for the Algorithm 1 whiteboard protocol on the async engine."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import formulas
+from repro.core.clean import CleanStrategy
+from repro.core.states import AgentRole
+from repro.protocols.clean_protocol import run_clean_protocol
+from repro.sim.scheduling import AdversarialSlowestDelay, RandomDelay
+
+DIMS = list(range(0, 5))
+
+
+class TestUnitDelays:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_correct(self, d):
+        result = run_clean_protocol(d)
+        assert result.ok, result.summary()
+        assert result.team_size == formulas.clean_peak_agents(d)
+
+    @pytest.mark.parametrize("d", range(1, 5))
+    def test_follower_moves_match_schedule_plane(self, d):
+        """The follower (non-synchronizer) move multiset equals the schedule
+        plane's plain-agent moves exactly."""
+        result = run_clean_protocol(d)
+        plane = Counter(
+            (m.src, m.dst)
+            for m in CleanStrategy().run(d).moves
+            if m.role is AgentRole.AGENT
+        )
+        measured = Counter(
+            (e.data["src"], e.node) for e in result.trace.moves() if e.agent != 0
+        )
+        assert measured == plane
+
+    def test_follower_move_total_is_theorem_3(self):
+        d = 4
+        result = run_clean_protocol(d)
+        follower_moves = sum(
+            1 for e in result.trace.moves() if e.agent != 0
+        )
+        assert follower_moves == formulas.clean_agent_moves_exact(d)
+
+    def test_everyone_parks_or_terminates(self):
+        result = run_clean_protocol(3)
+        # synchronizer + all followers terminate after 'done'
+        assert result.terminated_agents == result.team_size
+        assert result.blocked_agents == 0
+
+
+class TestAsynchrony:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_delays(self, seed):
+        result = run_clean_protocol(4, delay=RandomDelay(seed=seed))
+        assert result.ok, result.summary()
+
+    def test_slow_synchronizer(self):
+        result = run_clean_protocol(
+            3, delay=AdversarialSlowestDelay(slow_agents=[0], factor=20)
+        )
+        assert result.ok
+
+    def test_slow_followers(self):
+        result = run_clean_protocol(
+            3, delay=AdversarialSlowestDelay(slow_agents=[1, 2], factor=20)
+        )
+        assert result.ok
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_walker_intruder_caught(self, seed):
+        result = run_clean_protocol(3, delay=RandomDelay(seed=seed), intruder="walker")
+        assert result.ok
+        assert result.intruder_captured
+
+
+class TestResourceDiscipline:
+    def test_whiteboards_stay_logarithmic(self):
+        """O(log n) whiteboard content: a fixed key-name overhead plus a
+        few counters of <= log n bits each."""
+        peaks = {}
+        for d in (3, 4, 5):
+            budget = 280 + 8 * d  # fixed key overhead + c * log n
+            result = run_clean_protocol(d, whiteboard_capacity_bits=budget)
+            assert result.ok
+            peaks[d] = result.peak_whiteboard_bits
+            assert result.peak_whiteboard_bits <= budget
+        # doubling n adds only O(1) bits (counter width), not O(n)
+        assert peaks[5] - peaks[3] <= 16
+
+    def test_insufficient_team_deadlocks_cleanly(self):
+        """With fewer agents than Theorem 2 requires, the run stalls and the
+        engine reports a deadlock instead of hanging or recontaminating."""
+        d = 3
+        needed = formulas.clean_peak_agents(d)
+        result = run_clean_protocol(d, team_size=needed - 1)
+        assert result.deadlocked
+        assert not result.all_clean
+        assert result.monotone  # it stalls safely, never recontaminates
+
+    def test_extra_agents_are_harmless(self):
+        d = 3
+        result = run_clean_protocol(d, team_size=formulas.clean_peak_agents(d) + 3)
+        assert result.ok

@@ -1,0 +1,94 @@
+"""Tests for the Algorithm 2 protocol on the asynchronous engine.
+
+These check the distributed implementation (genuine local rule, neighbour
+observation, whiteboard slot claiming) against the paper's theorems and
+against the schedule plane, under unit, random and adversarial delays.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import formulas
+from repro.core.visibility import VisibilityStrategy
+from repro.protocols.visibility_protocol import run_visibility_protocol
+from repro.sim.scheduling import AdversarialSlowestDelay, LayeredDelay, RandomDelay
+
+DIMS = list(range(0, 6))
+
+
+class TestUnitDelays:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_correct_and_exact(self, d):
+        result = run_visibility_protocol(d)
+        assert result.ok, result.summary()
+        assert result.total_moves == formulas.visibility_moves_exact(d)
+        assert result.makespan == pytest.approx(formulas.visibility_time_steps(d))
+        assert result.team_size == formulas.visibility_agents(d)
+
+    @pytest.mark.parametrize("d", range(1, 6))
+    def test_matches_schedule_plane_multiset(self, d):
+        result = run_visibility_protocol(d)
+        plane = Counter((m.src, m.dst) for m in VisibilityStrategy().run(d).moves)
+        assert result.trace.move_multiset() == plane
+
+    def test_all_agents_terminate_on_leaves(self):
+        result = run_visibility_protocol(4)
+        assert result.terminated_agents == result.team_size
+        assert result.blocked_agents == 0
+
+
+class TestAsynchrony:
+    """Theorem 6 must hold under every delay model."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_delays(self, seed):
+        result = run_visibility_protocol(4, delay=RandomDelay(seed=seed))
+        assert result.ok, result.summary()
+        assert result.total_moves == formulas.visibility_moves_exact(4)
+
+    def test_extreme_jitter(self):
+        result = run_visibility_protocol(
+            4, delay=RandomDelay(seed=9, low=0.01, high=50.0, local_jitter=5.0)
+        )
+        assert result.ok, result.summary()
+
+    def test_straggler_agents(self):
+        result = run_visibility_protocol(
+            4, delay=AdversarialSlowestDelay(slow_agents=[0, 1], factor=100)
+        )
+        assert result.ok
+        assert result.makespan >= 100  # the stragglers stretch the run
+
+    def test_slow_nodes(self):
+        result = run_visibility_protocol(4, delay=LayeredDelay({15: 30.0}))
+        assert result.ok
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_walker_intruder_always_caught(self, seed):
+        result = run_visibility_protocol(
+            4, delay=RandomDelay(seed=seed), intruder="walker"
+        )
+        assert result.ok
+        assert result.intruder_captured
+
+
+class TestModelDiscipline:
+    def test_whiteboards_stay_logarithmic(self):
+        """The protocol uses counters only: O(log n) whiteboard bits."""
+        d = 5
+        budget = 16 * (d + 2)  # generous constant * log n
+        result = run_visibility_protocol(d, whiteboard_capacity_bits=budget)
+        assert result.ok
+        assert 0 < result.peak_whiteboard_bits <= budget
+
+    def test_wave_structure_under_unit_delays(self):
+        """Agents on class C_i depart at time i (Theorem 7's waves)."""
+        from repro.topology.hypercube import Hypercube
+
+        d = 4
+        h = Hypercube(d)
+        result = run_visibility_protocol(d)
+        for event in result.trace.moves():
+            src = event.data["src"]
+            assert event.time == pytest.approx(h.class_index(src) + 1)

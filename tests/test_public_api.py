@@ -1,0 +1,95 @@
+"""Pin the public API surface: exports resolve and stay stable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.topology",
+    "repro.core",
+    "repro.sim",
+    "repro.protocols",
+    "repro.analysis",
+    "repro.search",
+    "repro.viz",
+]
+
+
+class TestRootExports:
+    def test_all_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_key_entry_points_present(self):
+        for name in (
+            "Hypercube",
+            "BroadcastTree",
+            "get_strategy",
+            "verify_schedule",
+            "compute_metrics",
+            "Engine",
+            "Schedule",
+            "formulas",
+        ):
+            assert name in repro.__all__
+
+    def test_version_format(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+
+@pytest.mark.parametrize("package", SUBPACKAGES)
+class TestSubpackageExports:
+    def test_all_declared_and_resolvable(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} lacks __all__"
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, f"{package}.{name}"
+
+    def test_no_duplicate_exports(self, package):
+        module = importlib.import_module(package)
+        assert len(module.__all__) == len(set(module.__all__))
+
+
+class TestStrategyRegistryStability:
+    def test_builtin_strategy_names(self):
+        from repro.core.strategy import available_strategies
+
+        assert set(available_strategies()) >= {
+            "clean",
+            "visibility",
+            "cloning",
+            "synchronous",
+            "level-sweep",
+        }
+
+    def test_models_declared(self):
+        from repro.core.strategy import available_strategies, get_strategy
+
+        for name in available_strategies():
+            strategy = get_strategy(name)
+            assert strategy.model in {
+                "whiteboard",
+                "visibility",
+                "cloning",
+                "synchronous",
+            }, name
+
+
+class TestExperimentIdsStability:
+    def test_every_design_md_experiment_has_a_runner(self):
+        """The experiment ids promised in DESIGN.md's index exist in the
+        registry (keeps docs and code from drifting apart)."""
+        from pathlib import Path
+
+        from repro.analysis.experiments import experiment_ids
+
+        design = Path(__file__).parent.parent / "DESIGN.md"
+        text = design.read_text()
+        import re
+
+        promised = set(re.findall(r"^\| (F\d|T\d|E\d|A\d) \|", text, re.MULTILINE))
+        assert promised  # the table is still there
+        assert promised <= set(experiment_ids())

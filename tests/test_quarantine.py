@@ -1,0 +1,114 @@
+"""Tests for localized quarantine-and-clean operations."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError, TopologyError
+from repro.sim.quarantine import quarantine_and_clean, quarantine_line
+from repro.topology.generic import grid_graph, hypercube_graph, path_graph, ring_graph
+from repro.topology.hypercube import Hypercube
+
+from .conftest import connected_graphs
+
+
+class TestQuarantineLine:
+    def test_line_of_a_subcube(self):
+        g = hypercube_graph(3)
+        infected = {6, 7}  # an edge of the cube
+        line = quarantine_line(g, infected)
+        assert line == {2, 3, 4, 5}
+
+    def test_line_of_everything_is_empty(self):
+        g = path_graph(3)
+        assert quarantine_line(g, {0, 1, 2}) == set()
+
+
+class TestOperations:
+    def test_single_infected_host(self):
+        g = hypercube_graph(4)
+        report = quarantine_and_clean(g, {9})
+        assert report.ok
+        assert report.moves <= 4  # in and out (plus pathing slack)
+        assert report.sweep_team <= 2
+
+    def test_infected_subcube(self):
+        g = hypercube_graph(4)
+        infected = {x for x in range(16) if x & 0b1100 == 0b1100}  # a 2-subcube
+        report = quarantine_and_clean(g, infected)
+        assert report.ok
+        assert set(report.contaminated) == infected
+
+    def test_locality_payoff(self):
+        """Cleaning a small incident is far cheaper than a full sweep."""
+        from repro.core.strategy import get_strategy
+
+        d = 6
+        g = hypercube_graph(d)
+        incident = {7, 15, 31}  # a three-host chain up one corner
+        report = quarantine_and_clean(g, incident)
+        assert report.ok
+        full = get_strategy("clean").run(d).total_moves
+        assert report.moves < full / 10
+
+    def test_homebase_choice(self):
+        g = ring_graph(8)
+        infected = {3, 4}
+        line = quarantine_line(g, infected)
+        for homebase in line:
+            report = quarantine_and_clean(g, infected, homebase=homebase)
+            assert report.ok
+
+    def test_bad_homebase_rejected(self):
+        g = ring_graph(8)
+        with pytest.raises(SimulationError):
+            quarantine_and_clean(g, {3, 4}, homebase=0)
+
+    def test_empty_infection_rejected(self):
+        with pytest.raises(SimulationError):
+            quarantine_and_clean(ring_graph(5), set())
+
+    def test_total_infection_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(SimulationError):
+            quarantine_and_clean(g, {0, 1, 2, 3})
+
+    def test_disconnected_infection_rejected(self):
+        g = path_graph(7)
+        with pytest.raises(TopologyError):
+            quarantine_and_clean(g, {0, 6})  # two far-apart components
+
+    def test_grid_incident(self):
+        g = grid_graph(4, 4)
+        infected = {5, 6, 9, 10}  # the centre block
+        report = quarantine_and_clean(g, infected)
+        assert report.ok
+        assert report.total_agents == len(report.quarantine_guards) + report.sweep_team
+
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(st.data())
+    def test_random_incidents(self, data):
+        """Fuzz: a random connected infected patch of a random graph is
+        always contained and cleaned."""
+        g = data.draw(connected_graphs(min_nodes=4, max_nodes=12))
+        start = data.draw(st.integers(min_value=0, max_value=g.n - 1))
+        size = data.draw(st.integers(min_value=1, max_value=max(1, g.n - 2)))
+        # grow a connected patch from `start`
+        patch = {start}
+        frontier = [start]
+        while frontier and len(patch) < size:
+            node = frontier.pop(0)
+            for y in g.neighbors(node):
+                if y not in patch and len(patch) < size:
+                    patch.add(y)
+                    frontier.append(y)
+        if patch >= set(g.nodes()):
+            return  # no quarantine line possible
+        report = quarantine_and_clean(g, patch)
+        assert report.ok
+
+    def test_hypercube_object_works_too(self):
+        report = quarantine_and_clean(Hypercube(3), {6, 7})
+        assert report.ok

@@ -1,0 +1,106 @@
+"""Tests for the schedule-on-engine executor (repro.sim.replay)."""
+
+import pytest
+
+from repro.core.strategy import available_strategies, get_strategy
+from repro.errors import SimulationError
+from repro.sim.replay import execute_schedule_on_engine
+from repro.topology.generic import hypercube_graph, tree_graph
+from repro.topology.hypercube import Hypercube
+
+
+class TestAllStrategiesReJudged:
+    @pytest.mark.parametrize("name", sorted(set(available_strategies())))
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_engine_verdict_matches(self, name, d):
+        schedule = get_strategy(name).run(d)
+        result = execute_schedule_on_engine(schedule, Hypercube(d))
+        assert result.ok, (name, d, result.summary())
+        assert result.total_moves == schedule.total_moves
+        assert result.makespan == pytest.approx(schedule.makespan)
+
+    def test_cloning_spawn_tree(self):
+        schedule = get_strategy("cloning").run(4)
+        result = execute_schedule_on_engine(schedule, Hypercube(4))
+        assert result.ok
+        assert result.team_size == schedule.team_size
+        clones = result.trace.events("clone")
+        assert len(clones) == schedule.team_size - 1
+
+    def test_walker_intruder_through_executor(self):
+        schedule = get_strategy("visibility").run(4)
+        result = execute_schedule_on_engine(schedule, Hypercube(4), intruder="walker")
+        assert result.intruder_captured
+
+
+class TestGenericSchedules:
+    def test_tree_schedule(self):
+        from repro.search.tree_search import tree_strategy_schedule
+
+        g = tree_graph([0, 0, 1, 1, 2, 2])
+        schedule = tree_strategy_schedule(g)
+        result = execute_schedule_on_engine(schedule, g)
+        assert result.ok
+
+    def test_harper_schedule(self):
+        from repro.search.harper import harper_sweep_schedule
+
+        g = hypercube_graph(4)
+        result = execute_schedule_on_engine(harper_sweep_schedule(4), g)
+        assert result.ok
+
+    def test_optimal_schedule(self):
+        from repro.search.optimal import optimal_schedule, optimal_search_number
+
+        g = hypercube_graph(3)
+        schedule = optimal_schedule(g, optimal_search_number(g))
+        result = execute_schedule_on_engine(schedule, g)
+        assert result.ok
+
+
+class TestFaithfulness:
+    def test_broken_script_detected(self):
+        """A tampered script (wrong src) raises inside the engine rather
+        than silently desyncing."""
+        from repro.core.schedule import Move, Schedule
+
+        schedule = Schedule(
+            dimension=2,
+            strategy="bad-script",
+            moves=[
+                Move(agent=0, src=0, dst=1, time=1),
+                Move(agent=0, src=2, dst=3, time=2),  # agent is actually at 1
+            ],
+            team_size=1,
+        )
+        with pytest.raises(SimulationError):
+            execute_schedule_on_engine(schedule, Hypercube(2))
+
+    def test_empty_schedule(self):
+        from repro.core.schedule import Schedule
+
+        schedule = Schedule(dimension=0, strategy="noop", team_size=1)
+        result = execute_schedule_on_engine(schedule, Hypercube(0))
+        assert result.all_clean
+
+    def test_failing_schedule_gets_failing_verdict(self):
+        """The executor is honest: a recontaminating schedule is executed
+        and the engine flags it, matching the schedule verifier."""
+        from repro.analysis.verify import verify_schedule
+        from repro.core.schedule import Move, Schedule
+
+        schedule = Schedule(
+            dimension=2,
+            strategy="zigzag",
+            moves=[
+                Move(agent=0, src=0, dst=1, time=1),
+                Move(agent=0, src=1, dst=0, time=2),
+                Move(agent=0, src=0, dst=2, time=3),
+                Move(agent=0, src=2, dst=3, time=4),
+            ],
+            team_size=1,
+        )
+        plane = verify_schedule(schedule)
+        engine = execute_schedule_on_engine(schedule, Hypercube(2))
+        assert not plane.ok and not engine.ok
+        assert plane.monotone == engine.monotone == False  # noqa: E712

@@ -1,0 +1,127 @@
+"""Scenario builders + networkx-oracle cross-checks of the dynamics."""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import ScheduleVerifier
+from repro.errors import TopologyError
+from repro.protocols.frontier_protocol import run_frontier_protocol
+from repro.search.frontier_sweep import frontier_sweep_schedule
+from repro.sim.contamination import ContaminationMap
+from repro.sim.quarantine import quarantine_and_clean
+from repro.sim.scenarios import campus_network, datacenter_fabric, enterprise_network
+
+from .conftest import connected_graphs
+
+
+class TestScenarioBuilders:
+    def test_enterprise_shape(self):
+        g = enterprise_network()
+        assert g.n == 16
+        assert g.is_connected()
+
+    def test_datacenter_shape(self):
+        g = datacenter_fabric(spines=2, leaves=4, hosts_per_leaf=2)
+        assert g.n == 2 + 4 + 8
+        # leaves see every spine
+        for leaf in range(2, 6):
+            assert set(g.neighbors(leaf)) >= {0, 1}
+
+    def test_campus_bridges_are_narrow(self):
+        from repro.search.frontier_sweep import bfs_boundary_width
+
+        small = bfs_boundary_width(campus_network(clusters=2, cluster_size=4))
+        large = bfs_boundary_width(campus_network(clusters=6, cluster_size=4))
+        assert large <= small + 1  # boundary does not grow with campus length
+
+    @pytest.mark.parametrize(
+        "builder", [enterprise_network, datacenter_fabric, campus_network]
+    )
+    def test_all_cleanable(self, builder):
+        g = builder()
+        schedule = frontier_sweep_schedule(g)
+        assert ScheduleVerifier(g).verify(schedule).ok
+        result = run_frontier_protocol(g)
+        assert result.ok, (g.name, result.summary())
+
+    def test_quarantine_a_department(self):
+        g = enterprise_network()
+        infected = {4, 5, 6, 0}  # department 0 and its router
+        report = quarantine_and_clean(g, infected)
+        assert report.ok
+
+    def test_parameter_guards(self):
+        with pytest.raises(TopologyError):
+            enterprise_network(routers=2)
+        with pytest.raises(TopologyError):
+            datacenter_fabric(spines=0)
+        with pytest.raises(TopologyError):
+            campus_network(cluster_size=1)
+
+
+class TestNetworkxOracles:
+    """The dynamics' reachability predicates against networkx's algorithms
+    — an independent implementation as the oracle."""
+
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(graph=connected_graphs(max_nodes=10), data=st.data())
+    def test_contiguity_matches_nx_connectivity(self, graph, data):
+        cmap = ContaminationMap(graph, strict=False)
+        agents = data.draw(st.integers(min_value=1, max_value=3))
+        for _ in range(agents):
+            cmap.place_agent(0)
+        # random legal-ish walk (non-strict: recontamination allowed)
+        for _ in range(data.draw(st.integers(min_value=0, max_value=15))):
+            guarded = sorted(cmap.guarded_nodes())
+            if not guarded:
+                break
+            src = data.draw(st.sampled_from(guarded))
+            dst = data.draw(st.sampled_from(sorted(graph.neighbors(src))))
+            cmap.move_agent(src, dst)
+
+        region = cmap.decontaminated_nodes()
+        if region:
+            induced = graph.to_networkx().subgraph(region)
+            assert cmap.is_contiguous() == nx.is_connected(induced)
+        else:
+            assert cmap.is_contiguous()
+
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(graph=connected_graphs(max_nodes=10), data=st.data())
+    def test_contamination_state_is_flood_stable(self, graph, data):
+        """After any walk, the state is a fixed point of the flood rule:
+        states partition V, no clean node borders contamination (else the
+        flood would have taken it), and the intruder region — the union of
+        the free components containing contamination, per networkx — holds
+        no clean node."""
+        cmap = ContaminationMap(graph, strict=False)
+        for _ in range(data.draw(st.integers(min_value=1, max_value=3))):
+            cmap.place_agent(0)
+        for _ in range(data.draw(st.integers(min_value=0, max_value=15))):
+            guarded = sorted(cmap.guarded_nodes())
+            if not guarded:
+                break
+            src = data.draw(st.sampled_from(guarded))
+            dst = data.draw(st.sampled_from(sorted(graph.neighbors(src))))
+            cmap.move_agent(src, dst)
+
+        g = graph.to_networkx()
+        contaminated = cmap.contaminated_nodes()
+        # partition
+        assert contaminated | cmap.decontaminated_nodes() == set(g.nodes)
+        assert not contaminated & cmap.decontaminated_nodes()
+        # flood fixed point
+        for v in cmap.clean_nodes():
+            assert all(y not in contaminated for y in graph.neighbors(v)), v
+        # networkx oracle: within the guard-free subgraph, any connected
+        # component touching contamination is entirely contaminated
+        free = g.subgraph([v for v in g.nodes if cmap.guards(v) == 0])
+        for component in nx.connected_components(free):
+            if component & contaminated:
+                assert component <= contaminated

@@ -1,0 +1,156 @@
+"""Unit tests for the Move/Schedule representation."""
+
+import pytest
+
+from repro.core.schedule import Move, MoveKind, Schedule
+from repro.core.states import AgentRole
+from repro.errors import ScheduleError
+from repro.topology.hypercube import Hypercube
+
+
+def mk(agent, src, dst, time, role=AgentRole.AGENT, kind=MoveKind.DEPLOY):
+    return Move(agent=agent, src=src, dst=dst, time=time, role=role, kind=kind)
+
+
+class TestMove:
+    def test_rejects_zero_time(self):
+        with pytest.raises(ScheduleError):
+            mk(0, 0, 1, 0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ScheduleError):
+            mk(0, 3, 3, 1)
+
+    def test_rejects_negative_agent(self):
+        with pytest.raises(ScheduleError):
+            mk(-1, 0, 1, 1)
+
+    def test_dict_round_trip(self):
+        m = mk(2, 0, 4, 3, role=AgentRole.SYNCHRONIZER, kind=MoveKind.ESCORT)
+        assert Move.from_dict(m.as_dict()) == m
+
+
+class TestScheduleMetrics:
+    def make(self):
+        return Schedule(
+            dimension=2,
+            strategy="test",
+            moves=[
+                mk(0, 0, 1, 1),
+                mk(1, 0, 2, 1),
+                mk(2, 0, 1, 2, role=AgentRole.SYNCHRONIZER, kind=MoveKind.NAVIGATE),
+                mk(0, 1, 3, 3),
+            ],
+            team_size=3,
+        )
+
+    def test_counts(self):
+        s = self.make()
+        assert s.total_moves == 4
+        assert s.makespan == 3
+        assert s.n == 4
+        assert s.agents_used() == 3
+        assert s.agent_moves() == 3
+        assert s.synchronizer_moves() == 1
+
+    def test_moves_by_kind(self):
+        s = self.make()
+        kinds = s.moves_by_kind()
+        assert kinds[MoveKind.DEPLOY] == 3
+        assert kinds[MoveKind.NAVIGATE] == 1
+
+    def test_peak_traveling(self):
+        s = self.make()
+        assert s.peak_traveling_agents() == 2  # agents 0 and 1 at time 1
+
+    def test_first_visit_order(self):
+        s = self.make()
+        assert s.first_visit_order() == [0, 1, 2, 3]
+
+    def test_visit_time(self):
+        s = self.make()
+        times = s.visit_time()
+        assert times[0] == 0 and times[1] == 1 and times[3] == 3
+
+    def test_moves_of_agent(self):
+        s = self.make()
+        assert len(s.moves_of_agent(0)) == 2
+
+    def test_final_positions(self):
+        s = self.make()
+        assert s.final_positions() == {0: 3, 1: 2, 2: 1}
+
+    def test_by_time_groups(self):
+        s = self.make()
+        groups = list(s.by_time())
+        assert [t for t, _ in groups] == [1, 2, 3]
+        assert len(groups[0][1]) == 2
+
+    def test_empty_schedule(self):
+        s = Schedule(dimension=0, strategy="noop", team_size=1)
+        assert s.total_moves == 0
+        assert s.makespan == 0
+        assert s.peak_traveling_agents() == 0
+        assert list(s.by_time()) == []
+
+
+class TestValidation:
+    def test_valid(self):
+        s = TestScheduleMetrics().make()
+        s.validate_structure(Hypercube(2))
+
+    def test_rejects_time_regression(self):
+        s = Schedule(dimension=2, strategy="t", moves=[mk(0, 0, 1, 2), mk(1, 0, 2, 1)], team_size=2)
+        with pytest.raises(ScheduleError):
+            s.validate_structure()
+
+    def test_rejects_position_jump(self):
+        s = Schedule(dimension=2, strategy="t", moves=[mk(0, 0, 1, 1), mk(0, 2, 3, 2)], team_size=1)
+        with pytest.raises(ScheduleError):
+            s.validate_structure()
+
+    def test_rejects_double_move_same_time(self):
+        s = Schedule(dimension=2, strategy="t", moves=[mk(0, 0, 1, 1), mk(0, 1, 3, 1)], team_size=1)
+        with pytest.raises(ScheduleError):
+            s.validate_structure()
+
+    def test_rejects_non_homebase_start(self):
+        s = Schedule(dimension=2, strategy="t", moves=[mk(0, 1, 3, 1)], team_size=1)
+        with pytest.raises(ScheduleError):
+            s.validate_structure()
+
+    def test_cloning_allows_remote_first_appearance(self):
+        s = Schedule(
+            dimension=2,
+            strategy="t",
+            moves=[mk(0, 0, 1, 1), mk(1, 1, 3, 2)],
+            team_size=2,
+            uses_cloning=True,
+        )
+        s.validate_structure(Hypercube(2))
+
+    def test_rejects_non_edge_with_topology(self):
+        s = Schedule(dimension=2, strategy="t", moves=[mk(0, 0, 3, 1)], team_size=1)
+        with pytest.raises(ScheduleError):
+            s.validate_structure(Hypercube(2))
+
+    def test_rejects_team_overflow(self):
+        s = Schedule(dimension=2, strategy="t", moves=[mk(0, 0, 1, 1), mk(1, 0, 2, 1)], team_size=1)
+        with pytest.raises(ScheduleError):
+            s.validate_structure()
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        s = TestScheduleMetrics().make()
+        s.metadata["note"] = "hello"
+        back = Schedule.from_json(s.to_json())
+        assert back.moves == s.moves
+        assert back.team_size == s.team_size
+        assert back.metadata == s.metadata
+        assert back.strategy == s.strategy
+
+    def test_summary_text(self):
+        s = TestScheduleMetrics().make()
+        text = s.summary()
+        assert "test(d=2)" in text and "moves=4" in text

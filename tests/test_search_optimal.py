@@ -1,0 +1,202 @@
+"""Tests for the exact contiguous-search state machine and brute force."""
+
+import pytest
+
+from repro.analysis.verify import ScheduleVerifier
+from repro.errors import CapacityError
+from repro.search.contiguous import (
+    SearchState,
+    apply_move,
+    initial_state,
+    is_goal,
+    legal_moves,
+)
+from repro.search.optimal import (
+    minimum_moves,
+    optimal_schedule,
+    optimal_search_number,
+    solvable_with,
+)
+from repro.topology.generic import (
+    complete_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    ring_graph,
+    star_graph,
+    tree_graph,
+)
+
+
+class TestStateMachine:
+    def test_initial_state(self):
+        s = initial_state(3, homebase=0)
+        assert s.guards == (0, 0, 0)
+        assert s.clean == frozenset()
+        assert s.guarded_set() == {0}
+
+    def test_initial_needs_agent(self):
+        with pytest.raises(ValueError):
+            initial_state(0)
+
+    def test_goal_detection(self):
+        g = path_graph(2)
+        s = SearchState(guards=(1,), clean=frozenset({0}))
+        assert is_goal(s, g.n)
+        assert not is_goal(initial_state(1), g.n)
+
+    def test_apply_move(self):
+        g = path_graph(3)
+        s = initial_state(1)
+        s2 = apply_move(g, s, 0, 1)
+        assert s2.guards == (1,)
+        assert s2.clean == frozenset({0})
+
+    def test_apply_move_keeps_guard_on_stacked(self):
+        g = path_graph(3)
+        s = initial_state(2)
+        s2 = apply_move(g, s, 0, 1)
+        assert s2.guards == (0, 1)
+        assert s2.clean == frozenset()
+
+    def test_legal_moves_forbid_recontamination(self):
+        g = star_graph(3)
+        s = initial_state(1)  # one agent at the centre
+        moves = list(legal_moves(g, s))
+        assert moves == []  # leaving the centre abandons it to other leaves
+
+    def test_legal_moves_allow_stacked_departure(self):
+        g = star_graph(3)
+        s = initial_state(2)
+        moves = set(legal_moves(g, s))
+        assert (0, 1) in moves
+
+    def test_contaminated_helper(self):
+        g = path_graph(3)
+        s = apply_move(g, initial_state(1), 0, 1)
+        assert s.contaminated(g.n) == frozenset({2})
+
+
+class TestBruteForce:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(2), 1),
+            (path_graph(8), 1),
+            (ring_graph(3), 2),
+            (ring_graph(8), 2),
+            # star_2 is a 3-path searched from its MIDDLE: one agent cannot
+            # leave the centre without abandoning it to the other leaf
+            (star_graph(2), 2),
+            (star_graph(3), 2),
+            (star_graph(5), 2),
+            (hypercube_graph(1), 1),
+            (hypercube_graph(2), 2),
+            (hypercube_graph(3), 4),
+            (complete_graph(4), 3),
+            (grid_graph(2, 3), 2),
+        ],
+    )
+    def test_known_optima(self, graph, expected):
+        assert optimal_search_number(graph) == expected
+
+    def test_star_needs_two_because_one_fails(self):
+        assert not solvable_with(star_graph(3), 1)
+        assert solvable_with(star_graph(3), 2)
+
+    def test_minimum_moves_path(self):
+        # sweeping a path of n nodes with 1 agent takes exactly n-1 moves
+        assert minimum_moves(path_graph(6), 1) == 5
+
+    def test_minimum_moves_unsolvable(self):
+        assert minimum_moves(star_graph(3), 1) is None
+
+    def test_more_agents_never_hurt(self):
+        g = ring_graph(6)
+        k = optimal_search_number(g)
+        assert solvable_with(g, k + 1)
+        assert solvable_with(g, k + 2)
+
+    def test_homebase_can_matter_on_trees(self):
+        # a path searched from an end needs 1 agent; from the middle of a
+        # spider, more can be needed
+        g = tree_graph([0, 0, 0, 1, 2, 3])  # three legs of length 2
+        from_center = optimal_search_number(g, homebase=0)
+        from_leaf = optimal_search_number(g, homebase=4)
+        assert from_center == 2
+        assert from_leaf == 2  # still 2: one guards the branch point
+
+    def test_capacity_guard(self):
+        import repro.search.optimal as mod
+
+        old = mod._STATE_LIMIT
+        mod._STATE_LIMIT = 10
+        try:
+            with pytest.raises(CapacityError):
+                optimal_search_number(hypercube_graph(3))
+        finally:
+            mod._STATE_LIMIT = old
+
+
+class TestOptimalSchedule:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(5), ring_graph(5), star_graph(4), hypercube_graph(2), hypercube_graph(3)],
+    )
+    def test_schedule_verifies(self, graph):
+        k = optimal_search_number(graph)
+        schedule = optimal_schedule(graph, k)
+        assert schedule is not None
+        report = ScheduleVerifier(graph).verify(schedule)
+        assert report.ok, report.summary()
+        assert schedule.team_size == k
+
+    def test_schedule_move_count_is_minimum(self):
+        g = ring_graph(6)
+        k = optimal_search_number(g)
+        schedule = optimal_schedule(g, k)
+        assert schedule.total_moves == minimum_moves(g, k)
+
+    def test_unsolvable_returns_none(self):
+        assert optimal_schedule(star_graph(3), 1) is None
+
+    def test_metadata(self):
+        schedule = optimal_schedule(path_graph(4), 1)
+        assert schedule.metadata["graph"] == "path_4"
+        assert schedule.metadata["graph_n"] == 4
+
+
+class TestAgainstPaperStrategies:
+    """The paper's strategies use more agents than the small-case optimum —
+    the open-problem gap the A1 bench quantifies."""
+
+    def test_h3_gap(self):
+        from repro.core.strategy import get_strategy
+
+        optimal = optimal_search_number(hypercube_graph(3))
+        clean = get_strategy("clean").run(3).team_size
+        visibility = get_strategy("visibility").run(3).team_size
+        assert optimal == 4
+        assert clean == 5
+        assert visibility == 4  # visibility is optimal on H_3!
+
+    def test_h2_gap(self):
+        from repro.core.strategy import get_strategy
+
+        assert optimal_search_number(hypercube_graph(2)) == 2
+        assert get_strategy("clean").run(2).team_size == 3
+        assert get_strategy("visibility").run(2).team_size == 2
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_visibility_is_also_move_optimal_small(self, d):
+        """Measured finding: on H_1..H_3 the visibility strategy is optimal
+        in BOTH metrics at once — its agent count equals the brute-force
+        optimum AND its move count equals the minimum-move solution for
+        that team size."""
+        from repro.core.strategy import get_strategy
+
+        g = hypercube_graph(d)
+        schedule = get_strategy("visibility").run(d)
+        k = optimal_search_number(g)
+        assert schedule.team_size == k
+        assert schedule.total_moves == minimum_moves(g, k)

@@ -1,0 +1,148 @@
+"""Cross-validation of the two node-search semantics implementations.
+
+``repro.sim.contamination.ContaminationMap`` (imperative, used by the
+engine and verifier) and ``repro.search.contiguous`` (functional state
+machine, used by the brute-force searcher) implement the *same* semantics
+independently.  These fuzz tests drive both with identical random legal
+move sequences and require identical clean sets, guard multisets and
+legality judgements at every step — a strong guard against a semantics bug
+slipping into either implementation.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.search.contiguous import apply_move, initial_state, is_goal, legal_moves
+from repro.sim.contamination import ContaminationMap
+from repro.topology.generic import (
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    ring_graph,
+    star_graph,
+    tree_graph,
+)
+
+GRAPHS = [
+    path_graph(6),
+    ring_graph(6),
+    star_graph(4),
+    grid_graph(2, 3),
+    hypercube_graph(2),
+    hypercube_graph(3),
+    tree_graph([0, 0, 1, 1, 2, 2]),
+]
+
+FUZZ = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def guards_multiset(cmap: ContaminationMap):
+    out = []
+    for node in cmap.topology.nodes():
+        out.extend([node] * cmap.guards(node))
+    return tuple(sorted(out))
+
+
+@FUZZ
+@given(
+    graph=st.sampled_from(GRAPHS),
+    agents=st.integers(min_value=1, max_value=4),
+    steps=st.integers(min_value=0, max_value=40),
+    rng=st.randoms(use_true_random=False),
+)
+def test_random_legal_walks_agree(graph, agents, steps, rng):
+    """Both implementations evolve identically under random legal moves."""
+    state = initial_state(agents, homebase=0)
+    cmap = ContaminationMap(graph, homebase=0, strict=True)
+    for _ in range(agents):
+        cmap.place_agent(0)
+
+    for _ in range(steps):
+        options = sorted(legal_moves(graph, state))
+        if not options:
+            break
+        src, dst = rng.choice(options)
+        state = apply_move(graph, state, src, dst)
+        cmap.move_agent(src, dst)  # strict: raises if the move were illegal
+
+        assert guards_multiset(cmap) == state.guards
+        assert cmap.clean_nodes() == set(state.clean)
+        assert cmap.is_monotone()
+        assert is_goal(state, graph.n) == cmap.all_clean()
+
+
+@FUZZ
+@given(
+    graph=st.sampled_from(GRAPHS),
+    agents=st.integers(min_value=1, max_value=3),
+    rng=st.randoms(use_true_random=False),
+)
+def test_illegal_moves_agree_too(graph, agents, rng):
+    """Moves the state machine rejects are exactly the ones the imperative
+    map flags as recontaminating."""
+    state = initial_state(agents, homebase=0)
+    # walk a few random legal steps first
+    for _ in range(rng.randrange(0, 10)):
+        options = sorted(legal_moves(graph, state))
+        if not options:
+            break
+        state = apply_move(graph, state, *rng.choice(options))
+
+    legal = set(legal_moves(graph, state))
+    # enumerate every physically possible move and compare judgements
+    guard_counts = {}
+    for node in state.guards:
+        guard_counts[node] = guard_counts.get(node, 0) + 1
+    for src in sorted(set(state.guards)):
+        for dst in graph.neighbors(src):
+            cmap = ContaminationMap.from_state(
+                graph, guard_counts, set(state.clean), strict=False
+            )
+            cmap.move_agent(src, dst)
+            judged_safe = cmap.is_monotone()
+            assert judged_safe == ((src, dst) in legal), (src, dst)
+
+
+class TestVerifierFastMode:
+    """The no-contiguity fast path gives the same verdicts on real
+    schedules and enables large-dimension verification."""
+
+    def test_fast_mode_agrees_on_small(self):
+        from repro.analysis.verify import ScheduleVerifier
+        from repro.core.strategy import get_strategy
+
+        for name in ("clean", "visibility", "cloning"):
+            schedule = get_strategy(name).run(4)
+            full = ScheduleVerifier().verify(schedule)
+            fast = ScheduleVerifier(check_contiguity=False).verify(schedule)
+            assert full.ok == fast.ok
+            assert full.clean_times == fast.clean_times
+
+    @pytest.mark.parametrize("name", ["visibility", "cloning"])
+    def test_large_dimension_stress(self, name):
+        """d = 11 (2048 nodes): exact counts and monotone verification at
+        scale (contiguity BFS skipped for speed)."""
+        from repro.analysis import formulas
+        from repro.analysis.verify import ScheduleVerifier
+        from repro.core.strategy import get_strategy
+
+        schedule = get_strategy(name).run(11)
+        report = ScheduleVerifier(check_contiguity=False).verify(schedule)
+        assert report.monotone and report.complete and report.intruder_captured
+        if name == "visibility":
+            assert schedule.total_moves == formulas.visibility_moves_exact(11)
+        else:
+            assert schedule.total_moves == formulas.cloning_moves(11)
+
+    def test_large_clean_stress(self):
+        from repro.analysis import formulas
+        from repro.analysis.verify import ScheduleVerifier
+        from repro.core.strategy import get_strategy
+
+        schedule = get_strategy("clean").run(10)
+        report = ScheduleVerifier(check_contiguity=False).verify(schedule)
+        assert report.monotone and report.complete
+        assert schedule.team_size == formulas.clean_peak_agents(10)

@@ -1,0 +1,103 @@
+"""Hypothesis stateful fuzzing of the contamination dynamics.
+
+A rule-based state machine drives a :class:`ContaminationMap` with random
+placements and random (legal and illegal) moves, holding the global
+invariants after every action:
+
+* the census always partitions the node set;
+* the decontaminated set never shrinks while monotone;
+* recontamination events appear exactly when a vacated node has a
+  contaminated neighbour;
+* the possible-location intruder region is exactly the contaminated set.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.states import NodeState
+from repro.errors import SimulationError
+from repro.sim.contamination import ContaminationMap
+from repro.sim.intruder import ReachableSetIntruder
+from repro.topology.generic import grid_graph, hypercube_graph, ring_graph
+
+GRAPHS = [hypercube_graph(3), ring_graph(6), grid_graph(2, 4)]
+
+
+class ContaminationMachine(RuleBasedStateMachine):
+    @initialize(graph=st.sampled_from(GRAPHS), team=st.integers(min_value=1, max_value=4))
+    def setup(self, graph, team):
+        self.graph = graph
+        self.cmap = ContaminationMap(graph, strict=False)
+        for _ in range(team):
+            self.cmap.place_agent(0)
+        self.intruder = ReachableSetIntruder(self.cmap)
+        self.decontaminated_before = self.cmap.decontaminated_nodes()
+
+    @rule(data=st.data())
+    def move_some_agent(self, data):
+        guarded = sorted(self.cmap.guarded_nodes())
+        if not guarded:
+            return
+        src = data.draw(st.sampled_from(guarded))
+        dst = data.draw(st.sampled_from(sorted(self.graph.neighbors(src))))
+        was_monotone = self.cmap.is_monotone()
+        self.cmap.move_agent(src, dst)
+        self.intruder.observe(self.cmap)
+        # recontamination accounting: events only ever grow, and a fresh
+        # event implies src was left with a contaminated neighbour
+        if was_monotone and not self.cmap.is_monotone():
+            node, cause = self.cmap.recontamination_events[0]
+            assert self.cmap.guards(node) == 0
+
+    @rule()
+    def clone_at_guarded(self):
+        guarded = sorted(self.cmap.guarded_nodes())
+        if guarded:
+            self.cmap.place_agent(guarded[0])
+
+    @rule()
+    def illegal_move_rejected(self):
+        # moving from an empty node must raise, never corrupt state
+        empty = [x for x in self.graph.nodes() if self.cmap.guards(x) == 0]
+        if empty:
+            before = self.cmap.census()
+            with pytest.raises(SimulationError):
+                self.cmap.move_agent(empty[0], self.graph.neighbors(empty[0])[0])
+            assert self.cmap.census() == before
+
+    @invariant()
+    def census_partitions(self):
+        if not hasattr(self, "cmap"):
+            return
+        census = self.cmap.census()
+        assert sum(census.values()) == self.graph.n
+
+    @invariant()
+    def monotone_region_growth(self):
+        if not hasattr(self, "cmap"):
+            return
+        current = self.cmap.decontaminated_nodes()
+        if self.cmap.is_monotone():
+            assert self.decontaminated_before <= current
+        self.decontaminated_before = current
+
+    @invariant()
+    def intruder_region_is_contaminated_set(self):
+        if not hasattr(self, "cmap"):
+            return
+        assert self.intruder.region == self.cmap.contaminated_nodes()
+
+    @invariant()
+    def guard_counts_non_negative(self):
+        if not hasattr(self, "cmap"):
+            return
+        for x in self.graph.nodes():
+            assert self.cmap.guards(x) >= 0
+
+
+ContaminationMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestContaminationMachine = ContaminationMachine.TestCase

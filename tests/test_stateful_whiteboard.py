@@ -1,0 +1,86 @@
+"""Stateful fuzzing of the whiteboard against a model dictionary.
+
+Drives a :class:`Whiteboard` with random writes/updates/deletes while
+mirroring every operation in a plain dict; the board must agree with the
+model at every step, and the bit accounting must track the model's
+estimated size (never undercount, peak never decreases).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.sim.whiteboard import Whiteboard, estimate_bits
+
+KEYS = st.sampled_from(["count", "idle", "order", "done", "arrivals", "x"])
+VALUES = st.one_of(
+    st.integers(min_value=-(2**32), max_value=2**32),
+    st.booleans(),
+    st.text(max_size=8),
+    st.none(),
+    st.lists(st.integers(min_value=0, max_value=255), max_size=4),
+)
+
+
+class WhiteboardMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.board = Whiteboard(node=0, degree=3)
+        self.model = {}
+        self.prev_peak = 0
+
+    @rule(key=KEYS, value=VALUES)
+    def write(self, key, value):
+        self.board.write(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.board.delete(key)
+        self.model.pop(key, None)
+
+    @rule(key=KEYS, bump=st.integers(min_value=-3, max_value=3))
+    def update_counter(self, key, bump):
+        def as_counter(value):
+            return value if isinstance(value, int) and not isinstance(value, bool) else 0
+
+        def mutate(data):
+            data[key] = as_counter(data.get(key)) + bump
+            return data[key]
+
+        self.model[key] = as_counter(self.model.get(key)) + bump
+        result = self.board.update(mutate)
+        assert result == self.model[key]
+
+    @rule(key=KEYS)
+    def read_agrees(self, key):
+        assert self.board.read(key) == self.model.get(key)
+
+    @invariant()
+    def full_read_agrees(self):
+        if not hasattr(self, "board"):
+            return
+        assert self.board.read() == self.model
+
+    @invariant()
+    def bit_accounting_tracks_model(self):
+        if not hasattr(self, "board"):
+            return
+        expected = sum(
+            estimate_bits(k) + estimate_bits(v) for k, v in self.model.items()
+        )
+        assert self.board.used_bits() == expected
+
+    @invariant()
+    def peak_is_monotone(self):
+        if not hasattr(self, "board"):
+            return
+        assert self.board.peak_bits >= self.prev_peak
+        assert self.board.peak_bits >= self.board.used_bits()
+        self.prev_peak = self.board.peak_bits
+
+
+WhiteboardMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestWhiteboardMachine = WhiteboardMachine.TestCase

@@ -1,0 +1,156 @@
+"""Tests for the sweep framework, telemetry, and periodic cleaning."""
+
+import pytest
+
+from repro.analysis.sweeps import Sweep, SweepRow, run_sweep
+from repro.errors import ReproError
+from repro.sim.reinfection import PeriodicCleaning
+from repro.sim.telemetry import analyze_trace
+
+
+class TestSweep:
+    def test_grid_shape(self):
+        sweep, rows = run_sweep(["visibility", "cloning"], [2, 3, 4])
+        assert len(rows) == 6
+        assert {r.strategy for r in rows} == {"visibility", "cloning"}
+
+    def test_standard_columns_present(self):
+        _, rows = run_sweep(["visibility"], [3])
+        row = rows[0]
+        assert row.values["agents"] == 4
+        assert row.values["moves"] == 8
+        assert row.values["steps"] == 3
+        assert row.values["sync_moves"] == 0
+
+    def test_extra_metrics(self):
+        sweep, rows = run_sweep(
+            ["visibility"],
+            [3, 4],
+            extra_metrics={"peak_travel": lambda s: s.peak_traveling_agents()},
+        )
+        assert all("peak_travel" in r.values for r in rows)
+        assert "peak_travel" in sweep.columns()
+
+    def test_csv_round_trips(self):
+        import csv
+        import io
+
+        sweep, rows = run_sweep(["clean"], [2, 3])
+        text = sweep.to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert parsed[0]["strategy"] == "clean"
+        assert int(parsed[1]["agents"]) == 5
+
+    def test_text_render(self):
+        sweep, rows = run_sweep(["visibility"], [2])
+        text = sweep.to_text(rows)
+        assert "visibility" in text and "agents" in text
+
+    def test_series_extraction(self):
+        sweep, rows = run_sweep(["visibility"], [2, 3, 4])
+        assert sweep.series(rows, "visibility", "agents") == [2, 4, 8]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            Sweep([], [3])
+        with pytest.raises(ReproError):
+            Sweep(["visibility"], [])
+
+    def test_flat_dict(self):
+        row = SweepRow("x", 3, 8, {"agents": 4})
+        flat = row.as_flat_dict()
+        assert flat == {"strategy": "x", "d": 3, "n": 8, "agents": 4}
+
+
+class TestTelemetry:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.protocols.visibility_protocol import run_visibility_protocol
+
+        return run_visibility_protocol(4)
+
+    def test_totals_match_trace(self, result):
+        telemetry = analyze_trace(result.trace)
+        assert telemetry.total_moves == result.total_moves
+        assert telemetry.makespan == result.makespan
+        assert telemetry.terminations == result.team_size
+
+    def test_node_traffic_sums_to_moves(self, result):
+        telemetry = analyze_trace(result.trace)
+        assert sum(telemetry.node_traffic.values()) == telemetry.total_moves
+        assert sum(telemetry.link_traffic.values()) == telemetry.total_moves
+
+    def test_hottest_node_is_a_big_subtree_root(self, result):
+        """Traffic concentrates where the squads are largest: node 1, the
+        root of the T(d-1) subtree, receives the largest squad."""
+        telemetry = analyze_trace(result.trace)
+        node, arrivals = telemetry.hottest_node
+        assert node == 1
+        assert arrivals == 4  # agents_for_type(d-1) = 2^{d-2} = 4 at d=4
+
+    def test_agent_moves_bounded_by_depth(self, result):
+        telemetry = analyze_trace(result.trace)
+        assert max(telemetry.agent_moves.values()) <= 4  # root-to-leaf <= d
+
+    def test_wait_time_accrued(self, result):
+        telemetry = analyze_trace(result.trace)
+        # most agents must wait for squads and safety before moving
+        assert telemetry.total_wait_time > 0
+
+    def test_cloning_telemetry(self):
+        from repro.protocols.cloning_protocol import run_cloning_protocol
+
+        result = run_cloning_protocol(4)
+        telemetry = analyze_trace(result.trace)
+        assert telemetry.clones_created == result.team_size - 1
+        assert telemetry.total_moves == 15
+
+    def test_describe(self, result):
+        text = analyze_trace(result.trace).describe()
+        assert "hottest node" in text and "moves/agent" in text
+
+
+class TestPeriodicCleaning:
+    def test_periods_accumulate(self):
+        service = PeriodicCleaning(dimension=3, strategy="visibility", rng_seed=1)
+        history = service.run(4)
+        assert len(history) == 4
+        assert all(p.captured for p in history)
+        assert service.total_moves == 4 * 8
+
+    def test_rotating_homebase(self):
+        service = PeriodicCleaning(
+            dimension=4, strategy="visibility", rotate_homebase=True, rng_seed=3
+        )
+        service.run(6)
+        homebases = {p.homebase for p in service.history}
+        assert len(homebases) > 1  # actually rotates
+
+    def test_seeds_avoid_homebase(self):
+        service = PeriodicCleaning(
+            dimension=3, seeds_per_period=3, rotate_homebase=True, rng_seed=5
+        )
+        for period in service.run(5):
+            assert period.homebase not in period.seeds
+
+    def test_amortized_overhead(self):
+        service = PeriodicCleaning(dimension=4, strategy="cloning", rng_seed=0)
+        service.run(3)
+        # cloning: n-1 moves per period over n hosts
+        assert service.amortized_overhead() == pytest.approx(15 / 16)
+
+    def test_describe(self):
+        service = PeriodicCleaning(dimension=3, rng_seed=0)
+        service.run(2)
+        text = service.describe()
+        assert "2 periods" in text and "amortized overhead" in text
+
+    def test_bad_seeds_rejected(self):
+        with pytest.raises(ReproError):
+            PeriodicCleaning(dimension=3, seeds_per_period=0)
+
+    def test_reproducible(self):
+        a = PeriodicCleaning(dimension=3, rotate_homebase=True, rng_seed=9)
+        b = PeriodicCleaning(dimension=3, rotate_homebase=True, rng_seed=9)
+        assert [p.homebase for p in a.run(5)] == [p.homebase for p in b.run(5)]

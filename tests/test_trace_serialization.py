@@ -1,0 +1,73 @@
+"""Tests for trace serialization and integrity validation."""
+
+import pytest
+
+from repro.protocols.cloning_protocol import run_cloning_protocol
+from repro.protocols.visibility_protocol import run_visibility_protocol
+from repro.sim.trace import Trace, TraceEvent
+from repro.topology.hypercube import Hypercube
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        result = run_visibility_protocol(3)
+        back = Trace.from_json(result.trace.to_json())
+        assert len(back) == len(result.trace)
+        assert back.move_multiset() == result.trace.move_multiset()
+        assert back.makespan() == result.trace.makespan()
+        assert back.per_agent_moves() == result.trace.per_agent_moves()
+
+    def test_empty_trace(self):
+        assert len(Trace.from_json(Trace().to_json())) == 0
+
+    def test_event_fields_survive(self):
+        trace = Trace()
+        trace.log(TraceEvent(1.5, "move", 3, 7, {"src": 5}))
+        back = Trace.from_json(trace.to_json())
+        event = back.events()[0]
+        assert (event.time, event.kind, event.agent, event.node) == (1.5, "move", 3, 7)
+        assert event.data == {"src": 5}
+
+
+class TestValidation:
+    def test_real_traces_validate(self):
+        h = Hypercube(4)
+        run_visibility_protocol(4).trace.validate_against(h)
+        run_cloning_protocol(4).trace.validate_against(h)
+
+    def test_clean_protocol_trace_validates(self):
+        from repro.protocols.clean_protocol import run_clean_protocol
+
+        run_clean_protocol(3).trace.validate_against(Hypercube(3))
+
+    def test_non_edge_rejected(self):
+        trace = Trace()
+        trace.log(TraceEvent(1.0, "move", 0, 3, {"src": 0}))
+        with pytest.raises(ValueError):
+            trace.validate_against(Hypercube(2))
+
+    def test_broken_chain_rejected(self):
+        trace = Trace()
+        trace.log(TraceEvent(1.0, "move", 0, 1, {"src": 0}))
+        trace.log(TraceEvent(2.0, "move", 0, 3, {"src": 2}))  # teleported to 2
+        with pytest.raises(ValueError):
+            trace.validate_against(Hypercube(2))
+
+    def test_clone_birthplace_honoured(self):
+        trace = Trace()
+        trace.log(TraceEvent(1.0, "move", 0, 1, {"src": 0}))
+        trace.log(TraceEvent(1.0, "clone", 0, 1, {"child": 1}))
+        trace.log(TraceEvent(2.0, "move", 1, 3, {"src": 1}))  # clone starts at 1
+        trace.validate_against(Hypercube(2))
+
+    def test_tampered_serialized_trace_caught(self):
+        import json
+
+        result = run_visibility_protocol(3)
+        raw = json.loads(result.trace.to_json())
+        for event in raw:
+            if event["kind"] == "move":
+                event["data"]["src"] = 5  # corrupt one move's source
+                break
+        with pytest.raises(ValueError):
+            Trace.from_json(json.dumps(raw)).validate_against(Hypercube(3))

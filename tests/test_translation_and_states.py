@@ -1,0 +1,87 @@
+"""Tests for homebase translation (XOR automorphisms) and state rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import ScheduleVerifier, verify_schedule
+from repro.core.strategy import get_strategy
+from repro.errors import ScheduleError
+from repro.topology.hypercube import Hypercube
+from repro.viz.state_render import render_final_state, render_frames
+
+
+class TestTranslation:
+    @pytest.mark.parametrize("name", ["clean", "visibility", "cloning", "synchronous"])
+    @pytest.mark.parametrize("homebase", [0, 1, 5, 7])
+    def test_translated_schedule_verifies(self, name, homebase):
+        schedule = get_strategy(name).run(3).translated(homebase)
+        assert schedule.homebase == homebase
+        report = ScheduleVerifier(Hypercube(3)).verify(schedule)
+        assert report.ok, report.summary()
+
+    def test_counts_invariant_under_translation(self):
+        base = get_strategy("visibility").run(4)
+        moved = base.translated(0b1011)
+        assert moved.total_moves == base.total_moves
+        assert moved.team_size == base.team_size
+        assert moved.makespan == base.makespan
+
+    def test_translation_is_involutive(self):
+        base = get_strategy("clean").run(3)
+        there_and_back = base.translated(5).translated(0)
+        assert there_and_back.moves == base.moves
+        assert there_and_back.homebase == 0
+
+    def test_rejects_bad_homebase(self):
+        with pytest.raises(ScheduleError):
+            get_strategy("visibility").run(3).translated(8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=5), st.data())
+    def test_any_homebase_property(self, d, data):
+        homebase = data.draw(st.integers(min_value=0, max_value=(1 << d) - 1))
+        schedule = get_strategy("visibility").run(d).translated(homebase)
+        report = verify_schedule(schedule)
+        assert report.ok
+        assert report.first_visit_order[0] == homebase
+
+    def test_translated_metadata_records_mask(self):
+        moved = get_strategy("visibility").run(3).translated(6)
+        assert moved.metadata["translated_by"] == 6
+
+
+class TestStateRender:
+    def test_frame_count_is_makespan_plus_one(self):
+        schedule = get_strategy("visibility").run(3)
+        frames = list(render_frames(schedule))
+        assert len(frames) == schedule.makespan + 1
+
+    def test_first_frame_all_contaminated(self):
+        schedule = get_strategy("visibility").run(3)
+        first = next(iter(render_frames(schedule)))
+        assert first.count("#") == 7  # everything but the homebase
+        assert "t=0" in first
+
+    def test_last_frame_no_contamination(self):
+        for name in ("visibility", "clean", "cloning"):
+            schedule = get_strategy(name).run(3)
+            final = render_final_state(schedule)
+            assert "#" not in final.split("(", 1)[1], name
+            assert "0 contaminated left" in final
+
+    def test_wave_structure_visible(self):
+        """With visibility on H_3, after t=1 level 1 is fully guarded."""
+        schedule = get_strategy("visibility").run(3)
+        frames = list(render_frames(schedule))
+        assert "level 1: AAA" in frames[1]
+
+    def test_size_guard(self):
+        schedule = get_strategy("visibility").run(4)
+        with pytest.raises(ValueError):
+            list(render_frames(schedule, max_nodes=8))
+
+    def test_translated_schedule_renders(self):
+        schedule = get_strategy("visibility").run(3).translated(7)
+        final = render_final_state(schedule)
+        assert "0 contaminated left" in final

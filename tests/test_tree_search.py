@@ -1,0 +1,127 @@
+"""Tests for contiguous tree search (Barrière et al. style recursion).
+
+The closed recursion is validated against the brute-force optimum on an
+exhaustive family of small trees plus hypothesis-generated random trees.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import ScheduleVerifier
+from repro.errors import TopologyError
+from repro.search.optimal import optimal_search_number
+from repro.search.tree_search import (
+    rooted_children,
+    tree_search_number,
+    tree_strategy_schedule,
+)
+from repro.topology.generic import path_graph, ring_graph, star_graph, tree_graph
+
+
+def random_tree(parents):
+    return tree_graph(parents)
+
+
+# every tree on <= 7 nodes, encoded by parent arrays
+def all_parent_arrays(n):
+    if n == 1:
+        yield []
+        return
+    import itertools
+
+    ranges = [range(i + 1) for i in range(n - 1)]
+    yield from (list(p) for p in itertools.product(*ranges))
+
+
+class TestRecursion:
+    def test_single_node(self):
+        assert tree_search_number(tree_graph([])) == 1
+
+    def test_path_needs_one(self):
+        assert tree_search_number(path_graph(9)) == 1
+
+    def test_star_needs_two(self):
+        assert tree_search_number(star_graph(5)) == 2
+
+    def test_complete_binary_trees(self):
+        # g grows by 1 per level of branching
+        binary2 = tree_graph([0, 0, 1, 1, 2, 2])
+        assert tree_search_number(binary2) == 3
+
+    def test_rejects_non_tree(self):
+        with pytest.raises(TopologyError):
+            tree_search_number(ring_graph(4))
+
+    def test_rooted_children_orientation(self):
+        g = tree_graph([0, 0, 1])
+        children = rooted_children(g, 0)
+        assert children[0] == [1, 2]
+        assert children[1] == [3]
+        children_from_leaf = rooted_children(g, 3)
+        assert children_from_leaf[3] == [1]
+
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_matches_brute_force_exhaustively(self, n):
+        """The recursion equals the true optimum on EVERY tree of <= 6
+        nodes (rooted at node 0)."""
+        for parents in all_parent_arrays(n):
+            g = tree_graph(parents)
+            assert tree_search_number(g) == optimal_search_number(g), parents
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_matches_brute_force_random(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=9))
+        parents = [
+            data.draw(st.integers(min_value=0, max_value=i)) for i in range(n - 1)
+        ]
+        g = tree_graph(parents)
+        assert tree_search_number(g) == optimal_search_number(g)
+
+
+class TestSchedule:
+    @pytest.mark.parametrize(
+        "parents",
+        [
+            [],
+            [0],
+            [0, 0],
+            [0, 0, 0, 0],
+            [0, 1, 2, 3],
+            [0, 0, 1, 1, 2, 2],
+            [0, 1, 1, 0, 3, 5, 5],
+            [0, 0, 0, 1, 1, 2, 2, 3, 3],
+        ],
+    )
+    def test_schedule_verifies_with_recursion_team(self, parents):
+        g = tree_graph(parents)
+        schedule = tree_strategy_schedule(g)
+        assert schedule.team_size == tree_search_number(g)
+        report = ScheduleVerifier(g).verify(schedule)
+        assert report.ok, (parents, report.summary())
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_random_trees_verify(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=12))
+        parents = [
+            data.draw(st.integers(min_value=0, max_value=i)) for i in range(n - 1)
+        ]
+        g = tree_graph(parents)
+        schedule = tree_strategy_schedule(g)
+        report = ScheduleVerifier(g).verify(schedule)
+        assert report.ok
+
+    def test_linear_moves(self):
+        """The tree strategy performs O(n * agents) moves — linear for
+        bounded team, as [1] promises for trees."""
+        for n in (4, 8, 16):
+            g = path_graph(n)
+            schedule = tree_strategy_schedule(g)
+            assert schedule.total_moves <= 2 * n
+
+    def test_everyone_returns_home(self):
+        g = tree_graph([0, 0, 1, 1, 2, 2])
+        schedule = tree_strategy_schedule(g)
+        assert set(schedule.final_positions().values()) == {0}

@@ -1,0 +1,133 @@
+"""Tests that the verifier actually catches violations (seeded failures)."""
+
+import pytest
+
+from repro.analysis.verify import ScheduleVerifier, verify_schedule
+from repro.core.schedule import Move, MoveKind, Schedule
+from repro.core.states import AgentRole
+from repro.errors import (
+    ContiguityError,
+    IncompleteCleaningError,
+    RecontaminationError,
+    ScheduleError,
+)
+from repro.topology.hypercube import Hypercube
+
+
+def mk(agent, src, dst, time):
+    return Move(agent=agent, src=src, dst=dst, time=time, role=AgentRole.AGENT, kind=MoveKind.DEPLOY)
+
+
+def schedule_of(moves, team, d=2, **kwargs):
+    return Schedule(dimension=d, strategy="seeded", moves=moves, team_size=team, **kwargs)
+
+
+class TestCatchesViolations:
+    def test_recontamination_detected(self):
+        # H_2: one agent sweeps 0 -> 1 -> 0: vacating 1 next to contaminated 3
+        s = schedule_of([mk(0, 0, 1, 1), mk(0, 1, 0, 2)], team=1)
+        report = verify_schedule(s)
+        assert not report.monotone
+        assert not report.ok
+        with pytest.raises(RecontaminationError):
+            report.raise_if_failed()
+
+    def test_incomplete_cleaning_detected(self):
+        s = schedule_of([mk(0, 0, 1, 1)], team=2)
+        report = verify_schedule(s)
+        assert report.monotone
+        assert not report.complete
+        assert not report.intruder_captured
+        with pytest.raises(IncompleteCleaningError):
+            report.raise_if_failed()
+
+    def test_complete_schedule_passes(self):
+        # H_1 with one agent: 0 -> 1 cleans everything
+        s = schedule_of([mk(0, 0, 1, 1)], team=1, d=1)
+        report = verify_schedule(s)
+        assert report.ok
+        report.raise_if_failed()  # no exception
+
+    def test_structure_error_raises_immediately(self):
+        s = schedule_of([mk(0, 1, 3, 1)], team=1)  # starts away from homebase
+        with pytest.raises(ScheduleError):
+            verify_schedule(s)
+
+    def test_non_edge_rejected(self):
+        s = schedule_of([mk(0, 0, 3, 1)], team=1)
+        with pytest.raises(ScheduleError):
+            verify_schedule(s)
+
+    def test_violations_recorded_with_causes(self):
+        s = schedule_of([mk(0, 0, 1, 1), mk(0, 1, 0, 2)], team=1)
+        report = verify_schedule(s)
+        assert any("recontaminated" in v for v in report.violations)
+
+
+class TestReportContents:
+    def test_clean_times_and_visit_times(self):
+        # H_1 sweep
+        s = schedule_of([mk(0, 0, 1, 1)], team=2, d=1)
+        report = verify_schedule(s)
+        assert report.visit_times == {0: 0, 1: 1}
+        # node 0 still holds the second agent; node 1 guarded: no clean times
+        assert report.clean_times == {}
+
+    def test_first_visit_order(self):
+        s = schedule_of([mk(0, 0, 1, 1), mk(1, 0, 2, 2), mk(0, 1, 3, 3)], team=3)
+        report = verify_schedule(s)
+        assert report.first_visit_order == [0, 1, 2, 3]
+
+    def test_summary_strings(self):
+        s = schedule_of([mk(0, 0, 1, 1)], team=1, d=1)
+        report = verify_schedule(s)
+        assert "[OK]" in report.summary()
+        bad = verify_schedule(schedule_of([mk(0, 0, 1, 1)], team=2))
+        assert "[FAILED]" in bad.summary()
+
+    def test_explicit_topology(self):
+        from repro.topology.generic import path_graph
+
+        g = path_graph(3)
+        s = Schedule(
+            dimension=0,
+            strategy="path-sweep",
+            moves=[mk(0, 0, 1, 1), mk(0, 1, 2, 2)],
+            team_size=1,
+        )
+        report = ScheduleVerifier(g).verify(s)
+        assert report.ok
+
+
+class TestContiguityDetection:
+    def test_disconnection_detected(self):
+        """A reckless dash to the antipode of H_3 leaves two guarded islands
+        (the abandoned corridor recontaminates), which both the
+        recontamination and the contiguity predicates must flag."""
+        from repro.sim.contamination import ContaminationMap
+
+        h = Hypercube(3)
+        cmap = ContaminationMap(h, strict=False)
+        cmap.place_agent(0)
+        cmap.place_agent(0)
+        for src, dst in [(0, 1), (1, 3), (3, 7)]:
+            cmap.move_agent(src, dst)
+        assert not cmap.is_monotone()
+        assert not cmap.is_contiguous()
+        assert cmap.guarded_nodes() == {0, 7}
+
+    def test_teleport_placement_refused(self):
+        """Placing an agent on a far contaminated node (non-contiguous
+        deployment) is rejected by the model itself."""
+        from repro.errors import SimulationError
+        from repro.sim.contamination import ContaminationMap
+
+        cmap = ContaminationMap(Hypercube(3), strict=False)
+        cmap.place_agent(0)
+        with pytest.raises(SimulationError):
+            cmap.place_agent(4)
+
+    def test_every_move_mode_passes_on_valid(self):
+        s = schedule_of([mk(0, 0, 1, 1)], team=1, d=1)
+        report = verify_schedule(s, check_contiguity_every_move=True)
+        assert report.ok

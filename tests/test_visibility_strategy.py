@@ -1,0 +1,128 @@
+"""Tests for Algorithm 2 CLEAN WITH VISIBILITY (schedule plane): Thms 5-8."""
+
+import pytest
+
+from repro.analysis import formulas
+from repro.analysis.verify import verify_schedule
+from repro.core.visibility import VisibilityStrategy
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.topology.hypercube import Hypercube
+
+DIMS = list(range(0, 10))
+
+
+@pytest.fixture(scope="module")
+def schedules():
+    strategy = VisibilityStrategy()
+    return {d: strategy.run(d) for d in DIMS}
+
+
+class TestCorrectness:
+    """Theorem 6: all nodes cleaned, no recontamination."""
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_invariants(self, schedules, d):
+        report = verify_schedule(schedules[d])
+        assert report.ok, report.summary()
+
+    def test_strict_per_move_contiguity(self, schedules):
+        assert verify_schedule(schedules[6], check_contiguity_every_move=True).ok
+
+
+class TestTheorem5Agents:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_team_is_half_n(self, schedules, d):
+        assert schedules[d].team_size == formulas.visibility_agents(d)
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_every_agent_ends_on_a_distinct_leaf(self, schedules, d):
+        tree = BroadcastTree(d)
+        positions = schedules[d].final_positions()
+        finals = sorted(positions.values())
+        assert finals == sorted(tree.leaves())
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_squad_sizes_respect_type_rule(self, schedules, d):
+        """A type-T(k) node forwards exactly agents_for_type(i) agents to
+        its type-T(i) child."""
+        tree = BroadcastTree(d)
+        crossings = {}
+        for m in schedules[d].moves:
+            crossings[(m.src, m.dst)] = crossings.get((m.src, m.dst), 0) + 1
+        for parent, child in tree.edges():
+            k = tree.node_type(child)
+            assert crossings[(parent, child)] == formulas.agents_for_type(k)
+
+
+class TestTheorem7Time:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_makespan_is_log_n(self, schedules, d):
+        assert schedules[d].makespan == d
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_class_ci_moves_at_wave_i(self, schedules, d):
+        """All departures from a node in C_i complete at time i+1."""
+        h = Hypercube(d)
+        for m in schedules[d].moves:
+            assert m.time == h.class_index(m.src) + 1
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_wave_sizes_metadata(self, schedules, d):
+        """Wave i moves the agents sitting on all of C_i."""
+        h = Hypercube(d)
+        tree = BroadcastTree(d)
+        waves = schedules[d].metadata["wave_sizes"]
+        for i in range(d):
+            expected = sum(
+                formulas.agents_for_type(tree.node_type(x)) for x in h.class_members(i)
+            )
+            assert waves[i] == expected
+
+    def test_nodes_become_clean_at_their_class_index(self, schedules):
+        """Theorem 7's induction: node x in C_i is cleaned during wave i
+        (completion time i + 1); leaves stay guarded."""
+        d = 6
+        h = Hypercube(d)
+        report = verify_schedule(schedules[d])
+        tree = BroadcastTree(d)
+        for x in range(h.n):
+            if tree.is_leaf(x):
+                assert x not in report.clean_times  # guarded forever
+            else:
+                assert report.clean_times[x] == h.class_index(x) + 1
+
+
+class TestTheorem8Moves:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_total_moves_exact(self, schedules, d):
+        assert schedules[d].total_moves == formulas.visibility_moves_exact(d)
+
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_closed_form(self, schedules, d):
+        assert schedules[d].total_moves == (d + 1) * 2 ** (d - 2)
+
+    @pytest.mark.parametrize("d", range(1, 9))
+    def test_each_agent_walks_root_to_leaf(self, schedules, d):
+        """Every agent's move sequence is a root-to-leaf tree path."""
+        tree = BroadcastTree(d)
+        h = Hypercube(d)
+        for agent in range(schedules[d].team_size):
+            path_moves = schedules[d].moves_of_agent(agent)
+            assert path_moves, f"agent {agent} never moved"
+            assert path_moves[0].src == 0
+            for a, b in zip(path_moves, path_moves[1:]):
+                assert a.dst == b.src
+                assert tree.parent(b.dst) == b.src
+            assert tree.is_leaf(path_moves[-1].dst)
+            # moves happen one wave apart: time = class of src + 1
+            for m in path_moves:
+                assert m.time == h.class_index(m.src) + 1
+
+
+class TestConcurrency:
+    def test_many_agents_move_simultaneously(self, schedules):
+        """Unlike CLEAN, whole waves travel at once."""
+        assert schedules[6].peak_traveling_agents() > 8
+
+    def test_no_synchronizer(self, schedules):
+        assert schedules[6].synchronizer_moves() == 0

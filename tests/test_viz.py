@@ -1,0 +1,95 @@
+"""Tests for the figure renderings."""
+
+import pytest
+
+from repro.core.strategy import get_strategy
+from repro.topology.broadcast_tree import BroadcastTree
+from repro.viz.class_render import render_classes
+from repro.viz.order_render import render_cleaning_order, render_wave_table
+from repro.viz.tree_render import render_broadcast_tree, render_level_table
+
+
+class TestTreeRender:
+    def test_contains_every_node(self):
+        text = render_broadcast_tree(4)
+        for x in range(16):
+            assert f"{x} [" in text
+
+    def test_root_line(self):
+        text = render_broadcast_tree(3)
+        assert "broadcast tree T(3) of H_3 (8 nodes)" in text
+        assert "0 [000] T(3)" in text
+
+    def test_figure_1_dimension(self):
+        """Figure 1 is T(6); rendering it lists 64 nodes with their types."""
+        text = render_broadcast_tree(6, show_bitstring=False)
+        assert text.count("T(0)") == 32  # the leaves
+        assert "T(6)" in text  # the root
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            render_broadcast_tree(12)
+
+    def test_accepts_tree_object(self):
+        assert "T(2)" in render_broadcast_tree(BroadcastTree(2))
+
+    def test_level_table(self):
+        text = render_level_table(6)
+        lines = text.splitlines()
+        assert len(lines) == 8  # header + levels 0..6
+        assert "T(6)x1" in lines[1]
+        # level 1 of T(6): one node of each type T(0)..T(5)
+        assert all(f"T({k})x1" in lines[2] for k in range(6))
+
+    def test_doctest_example(self):
+        out = render_broadcast_tree(2)
+        assert "├── 1 [10] T(1)" in out
+        assert "└── 2 [01] T(0)" in out
+
+
+class TestOrderRender:
+    def test_clean_order_mentions_all_ranks(self):
+        schedule = get_strategy("clean").run(4)
+        text = render_cleaning_order(schedule)
+        assert "#1@" in text and "#16@" in text
+        assert "level 0" in text and "level 4" in text
+
+    def test_visibility_wave_table(self):
+        schedule = get_strategy("visibility").run(4)
+        text = render_wave_table(schedule)
+        assert "t=  0" in text and "t=  4" in text
+        # wave 1 delivers the root's children
+        assert "1[1000]" in text
+
+    def test_size_guard(self):
+        schedule = get_strategy("visibility").run(4)
+        with pytest.raises(ValueError):
+            render_cleaning_order(schedule, max_nodes=4)
+
+    def test_ranks_are_a_permutation(self):
+        schedule = get_strategy("visibility").run(3)
+        text = render_cleaning_order(schedule)
+        import re
+
+        ranks = sorted(int(m) for m in re.findall(r"#(\d+)@", text))
+        assert ranks == list(range(1, 9))
+
+
+class TestClassRender:
+    def test_lists_classes(self):
+        text = render_classes(4)
+        assert "C_0 (1): 0[0000]" in text
+        assert "C_4 (8):" in text
+
+    def test_class_sizes_property_5(self):
+        text = render_classes(5)
+        for i in range(1, 6):
+            assert f"C_{i} ({2 ** (i - 1)}):" in text
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            render_classes(11)
+
+    def test_doctest_example(self):
+        out = render_classes(2)
+        assert "C_2 (2): 2[01], 3[11]" in out

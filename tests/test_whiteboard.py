@@ -1,0 +1,93 @@
+"""Unit tests for whiteboards and bit accounting."""
+
+import pytest
+
+from repro.errors import WhiteboardError
+from repro.sim.whiteboard import Whiteboard, estimate_bits
+
+
+class TestEstimateBits:
+    def test_scalars(self):
+        assert estimate_bits(None) == 1
+        assert estimate_bits(True) == 1
+        assert estimate_bits(0) == 1
+        assert estimate_bits(255) == 9  # 8 bits + sign
+        assert estimate_bits(1.5) == 64
+        assert estimate_bits("ab") == 16
+
+    def test_containers(self):
+        assert estimate_bits([]) == 8
+        assert estimate_bits([1, 2]) > estimate_bits([1])
+        assert estimate_bits({"a": 1}) > 8
+
+    def test_unsupported(self):
+        with pytest.raises(WhiteboardError):
+            estimate_bits(object())
+
+    def test_int_grows_logarithmically(self):
+        assert estimate_bits(2**20) < estimate_bits(2**40)
+
+
+class TestWhiteboard:
+    def test_initial_info(self):
+        wb = Whiteboard(node=5, degree=3)
+        info = wb.initial_info
+        assert info["id"] == 5
+        assert info["ports"] == [1, 2, 3]
+
+    def test_read_write(self):
+        wb = Whiteboard(0, 2)
+        wb.write("count", 3)
+        assert wb.read("count") == 3
+        assert wb.read() == {"count": 3}
+        assert wb.read("missing") is None
+
+    def test_update_atomic(self):
+        wb = Whiteboard(0, 2)
+
+        def bump(data):
+            data["count"] = data.get("count", 0) + 1
+            return data["count"]
+
+        assert wb.update(bump) == 1
+        assert wb.update(bump) == 2
+
+    def test_delete(self):
+        wb = Whiteboard(0, 2)
+        wb.write("x", 1)
+        wb.delete("x")
+        assert wb.read("x") is None
+        wb.delete("x")  # idempotent
+
+    def test_non_string_key_rejected(self):
+        wb = Whiteboard(0, 2)
+        with pytest.raises(WhiteboardError):
+            wb.write(3, "x")
+
+    def test_capacity_enforced(self):
+        wb = Whiteboard(0, 2, capacity_bits=32)
+        with pytest.raises(WhiteboardError):
+            wb.write("big", "a very long string exceeding the budget")
+
+    def test_peak_tracks_high_water(self):
+        wb = Whiteboard(0, 2)
+        wb.write("x", 2**30)
+        peak = wb.peak_bits
+        wb.delete("x")
+        wb.write("x", 1)
+        assert wb.peak_bits == peak  # high-water mark survives shrinking
+
+    def test_access_counter(self):
+        wb = Whiteboard(0, 2)
+        wb.write("a", 1)
+        wb.read("a")
+        wb.update(lambda d: None)
+        assert wb.access_count == 3
+
+    def test_counter_protocol_stays_logarithmic(self):
+        """A counter-based protocol keeps O(log n) bits even for huge counts;
+        the paper's bound is about exactly this usage pattern."""
+        wb = Whiteboard(0, 10, capacity_bits=256)
+        for value in (1, 100, 2**20, 2**60):
+            wb.write("count", value)
+        assert wb.peak_bits <= 256
