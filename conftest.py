@@ -1,0 +1,15 @@
+"""Repo-root pytest bootstrap: make ``pytest`` work from a bare checkout.
+
+The documented path is ``pip install -e .`` followed by plain ``pytest``
+(what CI runs).  For a source tree that has not been installed yet, this
+shim prepends ``src/`` to ``sys.path`` so ``import repro`` resolves to the
+checkout — no manual ``PYTHONPATH=src`` needed for ``pytest``,
+``pytest benchmarks/`` or ``pytest --doctest-modules``.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -7,6 +7,7 @@ Subcommands::
     repro-search figure fig1 -d 6                # re-render a paper figure
     repro-search simulate -d 4 -p clean --seed 3 # async protocol on the engine
     repro-search formulas -d 6                   # every closed form at one d
+    repro-search lint --self --strict            # model-compliance analyzer
 
 The CLI is a thin veneer over the library; every command routes through
 the same public API the examples and benches use.
@@ -78,6 +79,17 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "id", nargs="?", default=None, help="experiment id (e.g. E4); omit for all"
     )
+
+    lint = sub.add_parser(
+        "lint", help="statically check protocols against their declared model"
+    )
+    lint.add_argument("paths", nargs="*", help="protocol files or directories")
+    lint.add_argument(
+        "--self", dest="self_check", action="store_true", help="lint the built-in protocols"
+    )
+    lint.add_argument("--strict", action="store_true", help="exit 1 on any finding")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--list-rules", action="store_true", help="print the rule registry")
 
     sweep = sub.add_parser("sweep", help="measure strategies across dimensions")
     sweep.add_argument("-d", "--dimensions", type=int, nargs="+", default=[2, 4, 6, 8])
@@ -233,6 +245,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_formulas(args: argparse.Namespace) -> int:
     d = args.dimension
     h = Hypercube(d)
@@ -262,6 +280,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "simulate": _cmd_simulate,
         "formulas": _cmd_formulas,
+        "lint": _cmd_lint,
         "verify": _cmd_verify,
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,

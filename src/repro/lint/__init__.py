@@ -1,0 +1,35 @@
+"""``repro.lint`` — static model-compliance analysis for agent protocols.
+
+The engine rejects capability misuse at *runtime* (``See`` without
+``visibility=True`` raises :class:`~repro.errors.AgentError`); this
+package catches the same contract violations *before* a simulation runs,
+by walking the AST of protocol behaviour generators.  Each protocol
+module declares the model it claims with
+``MODEL = ProtocolModel(...)`` (:mod:`repro.protocols.base`), and the
+analyzer cross-checks the declaration against every capability the
+module's code can reach — including uses routed through the shared
+helpers of ``protocols/base.py``.
+
+Entry points: the ``repro-lint`` console script and the ``repro-search
+lint`` subcommand (:mod:`repro.lint.cli`); programmatically,
+:func:`analyze_source` / :func:`analyze_paths`.  Rule codes are stable
+``RPR1xx`` identifiers documented in ``docs/LINTING.md``.
+"""
+
+from repro.lint.analyzer import analyze_path, analyze_paths, analyze_source
+from repro.lint.cli import main
+from repro.lint.reporters import json_payload, render_json, render_text
+from repro.lint.rules import RULES, Finding, Rule
+
+__all__ = [
+    "analyze_source",
+    "analyze_path",
+    "analyze_paths",
+    "Finding",
+    "Rule",
+    "RULES",
+    "render_text",
+    "render_json",
+    "json_payload",
+    "main",
+]

@@ -1,0 +1,519 @@
+"""AST analysis behind ``repro-lint``: nothing here executes user code.
+
+The analyzer parses protocol modules, finds their *behaviour generators*
+(generator functions yielding engine :class:`~repro.sim.agent.Action`
+values, by convention taking a ``ctx`` parameter), infers which engine
+capabilities the module's code can reach — directly (``See``,
+``CloneSelf``, ``view.time``, ``WaitUntil(wake_at=...)``) or through the
+shared helpers of :mod:`repro.protocols.base` (``smaller_all_safe`` needs
+visibility) — and cross-checks that against the module's declared
+``MODEL = ProtocolModel(...)``.  It also enforces the communication
+vocabulary (no out-of-band whiteboard or agent-memory mutation) and that
+behaviours only yield actions.
+
+Conventions the inference relies on (all five shipped protocols follow
+them, and fixtures/user code must too):
+
+* the :class:`~repro.sim.agent.NodeView` parameter of a wait predicate is
+  named ``view``;
+* the :class:`~repro.sim.agent.AgentContext` parameter of a behaviour is
+  named ``ctx``;
+* actions are referenced by their class names (possibly via an aliased
+  module attribute, e.g. ``agent.CloneSelf``).
+
+Everything is resolved lexically; the analyzer is deliberately
+conservative — a yield of an unresolvable call is assumed fine — so a
+clean report is a static guarantee only for the patterns it understands.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.rules import Finding
+
+__all__ = [
+    "ACTION_NAMES",
+    "analyze_source",
+    "analyze_path",
+    "analyze_paths",
+    "helper_requirements",
+    "protocols_dir",
+]
+
+#: The engine's complete action vocabulary (see :mod:`repro.sim.agent`).
+ACTION_NAMES: FrozenSet[str] = frozenset(
+    {
+        "Move",
+        "ReadWhiteboard",
+        "WriteWhiteboard",
+        "UpdateWhiteboard",
+        "See",
+        "WaitUntil",
+        "CloneSelf",
+        "Terminate",
+    }
+)
+
+#: Builtins that can never produce an ``Action`` — yielded calls to these
+#: are reported instead of being given the benefit of the doubt.
+_NON_ACTION_BUILTINS: FrozenSet[str] = frozenset(
+    {"bool", "dict", "float", "frozenset", "int", "len", "list", "range", "set", "str", "tuple"}
+)
+
+#: Method calls that mutate a dict in place (out-of-band board/memory writes).
+_MUTATING_METHODS: FrozenSet[str] = frozenset(
+    {"clear", "pop", "popitem", "setdefault", "update", "__delitem__", "__setitem__"}
+)
+
+#: Module names under which the shared protocol helpers may be imported.
+_BASE_MODULE_NAMES: FrozenSet[str] = frozenset(
+    {"base", "protocols.base", "repro.protocols.base"}
+)
+
+_CAP_TO_CODE = {"visibility": "RPR101", "cloning": "RPR102", "global_clock": "RPR103"}
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+_AnyFunction = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def protocols_dir() -> Path:
+    """The installed location of :mod:`repro.protocols` (for ``--self``)."""
+    return Path(__file__).resolve().parent.parent / "protocols"
+
+
+# --------------------------------------------------------------------- #
+# capability triggers
+# --------------------------------------------------------------------- #
+
+
+def _call_name(func: ast.expr) -> Optional[str]:
+    """The terminal name of a call target (``See`` for ``agent.See``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _capability_triggers(root: ast.AST) -> Iterator[Tuple[str, ast.AST, str]]:
+    """Yield ``(capability, node, why)`` for every direct use under ``root``."""
+    for node in ast.walk(root):
+        if isinstance(node, ast.Call):
+            name = _call_name(node.func)
+            if name == "See":
+                yield "visibility", node, "yields a `See` action"
+            elif name == "CloneSelf":
+                yield "cloning", node, "yields a `CloneSelf` action"
+            elif name == "WaitUntil":
+                for kw in node.keywords:
+                    if kw.arg == "wake_at" and not (
+                        isinstance(kw.value, ast.Constant) and kw.value.value is None
+                    ):
+                        yield "global_clock", kw.value, "schedules a timed `WaitUntil` wake-up"
+        elif isinstance(node, ast.Attribute):
+            if node.attr == "neighbor_states":
+                yield "visibility", node, "reads `view.neighbor_states`"
+            elif node.attr == "time" and isinstance(node.value, ast.Name) and node.value.id == "view":
+                yield "global_clock", node, "reads `view.time`"
+
+
+@lru_cache(maxsize=1)
+def helper_requirements() -> Dict[str, FrozenSet[str]]:
+    """Capability needs of each ``repro.protocols.base`` helper, inferred
+    from its own AST (so new helpers are picked up without touching lint)."""
+    source = (protocols_dir() / "base.py").read_text()
+    tree = ast.parse(source)
+    table: Dict[str, FrozenSet[str]] = {}
+    for node in tree.body:
+        if isinstance(node, _FunctionNode):
+            caps = frozenset(cap for cap, _, _ in _capability_triggers(node))
+            table[node.name] = caps
+    return table
+
+
+# --------------------------------------------------------------------- #
+# module analysis
+# --------------------------------------------------------------------- #
+
+
+def _iter_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node``'s subtree, stopping at nested function boundaries."""
+    for child in ast.iter_child_nodes(node):
+        yield child
+        if not isinstance(child, (*_FunctionNode, ast.Lambda)):
+            yield from _iter_scope(child)
+
+
+def _own_yields(func: _AnyFunction) -> List[ast.expr]:
+    """The yield expressions belonging to ``func`` itself."""
+    return [n for n in _iter_scope(func) if isinstance(n, (ast.Yield, ast.YieldFrom))]
+
+
+def _takes_ctx(func: _AnyFunction) -> bool:
+    args = func.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args)]
+    return "ctx" in names
+
+
+def _is_action_call(value: Optional[ast.expr]) -> bool:
+    return (
+        isinstance(value, ast.Call) and _call_name(value.func) in ACTION_NAMES
+    )
+
+
+class _Module:
+    """One parsed module plus the lexical facts the rules consume."""
+
+    def __init__(self, source: str, path: str) -> None:
+        self.path = path
+        self.tree = ast.parse(source, filename=path)
+        self.symbols: Dict[ast.AST, str] = {}
+        self._map_symbols(self.tree, "")
+        self.functions = [n for n in ast.walk(self.tree) if isinstance(n, _FunctionNode)]
+        self.behaviours = [
+            f
+            for f in self.functions
+            if _own_yields(f)
+            and (
+                _takes_ctx(f)
+                or any(_is_action_call(getattr(y, "value", None)) for y in _own_yields(f))
+                or any(isinstance(y, ast.YieldFrom) for y in _own_yields(f))
+            )
+        ]
+        self.model_node, self.declared = self._find_model()
+        self.helper_aliases, self.base_module_aliases = self._find_imports()
+
+    # -- construction helpers ----------------------------------------- #
+
+    def _map_symbols(self, node: ast.AST, current: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.symbols[child] = current
+            if isinstance(child, _FunctionNode):
+                self._map_symbols(child, child.name)
+            else:
+                self._map_symbols(child, current)
+
+    def _find_model(self) -> Tuple[Optional[ast.AST], Optional[FrozenSet[str]]]:
+        """The module-level ``MODEL = ProtocolModel(...)`` declaration."""
+        for node in self.tree.body:
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            if not (isinstance(target, ast.Name) and target.id == "MODEL"):
+                continue
+            if isinstance(value, ast.Call) and _call_name(value.func) == "ProtocolModel":
+                declared = frozenset(
+                    kw.arg
+                    for kw in value.keywords
+                    if kw.arg is not None
+                    and kw.arg in _CAP_TO_CODE
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                )
+                return node, declared
+            return node, None  # declared, but not statically readable
+        return None, None
+
+    def _find_imports(self) -> Tuple[Dict[str, str], Set[str]]:
+        """Local names bound to base helpers, and to the base module itself."""
+        helpers: Dict[str, str] = {}
+        modules: Set[str] = set()
+        known = helper_requirements()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module in _BASE_MODULE_NAMES or (node.level and module == "base"):
+                    for alias in node.names:
+                        if alias.name in known:
+                            helpers[alias.asname or alias.name] = alias.name
+                elif module in {"repro.protocols", "protocols"} or (
+                    node.level and module == ""
+                ):
+                    for alias in node.names:
+                        if alias.name == "base":
+                            modules.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _BASE_MODULE_NAMES:
+                        modules.add(alias.asname or alias.name.split(".")[0])
+        return helpers, modules
+
+    # -- shared accessors ---------------------------------------------- #
+
+    def symbol(self, node: ast.AST) -> str:
+        """The enclosing function name of ``node`` ("" at module level)."""
+        return self.symbols.get(node, "")
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        """Anchor a finding at ``node``."""
+        return Finding(
+            code=code,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            symbol=self.symbol(node),
+        )
+
+
+# --------------------------------------------------------------------- #
+# the rules
+# --------------------------------------------------------------------- #
+
+
+def _capability_usages(mod: _Module) -> List[Tuple[str, ast.AST, str]]:
+    """Every reachable capability use: direct triggers plus helper calls."""
+    usages = list(_capability_triggers(mod.tree))
+    known = helper_requirements()
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        helper: Optional[str] = None
+        if isinstance(node.func, ast.Name) and node.func.id in mod.helper_aliases:
+            helper = mod.helper_aliases[node.func.id]
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in mod.base_module_aliases
+            and node.func.attr in known
+        ):
+            helper = node.func.attr
+        if helper:
+            for cap in sorted(known[helper]):
+                usages.append((cap, node, f"calls `{helper}`, which needs {cap}"))
+    return usages
+
+
+def _check_model(mod: _Module) -> List[Finding]:
+    """RPR100–RPR104: declaration present, sufficient, and not inflated."""
+    findings: List[Finding] = []
+    if not mod.behaviours:
+        return findings  # a helper module; requirements surface at call sites
+    if mod.model_node is None:
+        anchor = mod.behaviours[0]
+        findings.append(
+            mod.finding(
+                "RPR100",
+                anchor,
+                "module defines behaviour generators but no module-level "
+                "`MODEL = ProtocolModel(...)` declaration",
+            )
+        )
+        return findings
+    if mod.declared is None:
+        return findings  # MODEL exists but is not statically readable
+    usages = _capability_usages(mod)
+    seen: Set[Tuple[str, int]] = set()
+    used_caps: Set[str] = set()
+    for cap, node, why in usages:
+        used_caps.add(cap)
+        key = (cap, getattr(node, "lineno", 1))
+        if cap not in mod.declared and key not in seen:
+            seen.add(key)
+            findings.append(
+                mod.finding(
+                    _CAP_TO_CODE[cap],
+                    node,
+                    f"{why}, but `MODEL` does not declare `{cap}=True`",
+                )
+            )
+    for cap in sorted(mod.declared - used_caps):
+        findings.append(
+            mod.finding(
+                "RPR104",
+                mod.model_node,
+                f"`MODEL` declares `{cap}=True` but no behaviour in this "
+                "module can reach that capability",
+            )
+        )
+    return findings
+
+
+def _check_board_mutation(mod: _Module) -> List[Finding]:
+    """RPR110: mutating board snapshots instead of yielding mutators."""
+    findings: List[Finding] = []
+    for func in mod.functions:
+        snapshots: Set[str] = set()
+        nodes = list(_iter_scope(func))
+        for node in nodes:  # first pass: names bound to board reads
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+                if not isinstance(target, ast.Name):
+                    continue
+                if isinstance(value, ast.Yield) and isinstance(value.value, ast.Call):
+                    if _call_name(value.value.func) == "ReadWhiteboard":
+                        snapshots.add(target.id)
+                elif isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+                    if value.func.attr == "wb":
+                        snapshots.add(target.id)
+
+        def _is_snapshot(expr: ast.expr) -> bool:
+            if isinstance(expr, ast.Name) and expr.id in snapshots:
+                return True
+            return (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "wb"
+            )
+
+        for node in nodes:  # second pass: mutations of those names
+            bad: Optional[ast.AST] = None
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = node.targets if isinstance(node, (ast.Assign, ast.Delete)) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and _is_snapshot(target.value):
+                        bad = target
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATING_METHODS and _is_snapshot(node.func.value):
+                    bad = node
+            if bad is not None:
+                findings.append(
+                    mod.finding(
+                        "RPR110",
+                        bad,
+                        "whiteboard snapshot mutated in place; changes are "
+                        "invisible to other agents — yield `WriteWhiteboard` "
+                        "or `UpdateWhiteboard` instead",
+                    )
+                )
+    return findings
+
+
+def _check_yields(mod: _Module) -> List[Finding]:
+    """RPR120: behaviour generators must yield ``Action`` values."""
+    findings: List[Finding] = []
+    literal = (
+        ast.Constant,
+        ast.Tuple,
+        ast.List,
+        ast.Dict,
+        ast.Set,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.BinOp,
+        ast.BoolOp,
+        ast.Compare,
+        ast.UnaryOp,
+        ast.JoinedStr,
+    )
+    for func in mod.behaviours:
+        for node in _own_yields(func):
+            value = node.value
+            if isinstance(node, ast.YieldFrom):
+                if isinstance(value, literal):
+                    findings.append(
+                        mod.finding(
+                            "RPR120",
+                            node,
+                            "`yield from` of a non-generator literal in a "
+                            "behaviour; delegate to an action-yielding generator",
+                        )
+                    )
+                continue
+            non_action = (
+                value is None
+                or isinstance(value, literal)
+                or (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in _NON_ACTION_BUILTINS
+                )
+            )
+            if non_action:
+                what = "a bare `yield`" if value is None else "a non-`Action` value"
+                findings.append(
+                    mod.finding(
+                        "RPR120",
+                        node,
+                        f"behaviour yields {what}; the engine only accepts "
+                        "the `Action` vocabulary and raises `AgentError` on "
+                        "anything else",
+                    )
+                )
+    return findings
+
+
+def _check_memory(mod: _Module) -> List[Finding]:
+    """RPR130: agent memory writes must go through ``remember``."""
+    findings: List[Finding] = []
+
+    def _is_foreign_memory(expr: ast.expr) -> bool:
+        """``<obj>.memory`` for any object except ``self`` (the accounted
+        implementation inside :class:`AgentContext` itself)."""
+        return (
+            isinstance(expr, ast.Attribute)
+            and expr.attr == "memory"
+            and not (isinstance(expr.value, ast.Name) and expr.value.id == "self")
+        )
+
+    message = (
+        "direct agent-memory write bypasses `AgentContext.remember` and "
+        "its `O(log n)`-bit accounting (`estimate_bits`)"
+    )
+    for node in ast.walk(mod.tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = node.targets if isinstance(node, (ast.Assign, ast.Delete)) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) and _is_foreign_memory(target.value):
+                    findings.append(mod.finding("RPR130", target, message))
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in {"memory", "peak_memory_bits"}
+                    and not (isinstance(target.value, ast.Name) and target.value.id == "self")
+                ):
+                    findings.append(
+                        mod.finding(
+                            "RPR130",
+                            target,
+                            f"rebinding `{ast.unparse(target)}` defeats the "
+                            "agent-memory bit accounting",
+                        )
+                    )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_METHODS and _is_foreign_memory(node.func.value):
+                findings.append(mod.finding("RPR130", node, message))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# public entry points
+# --------------------------------------------------------------------- #
+
+
+def analyze_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Analyze one module given as source text; returns sorted findings."""
+    mod = _Module(source, path)
+    findings = (
+        _check_model(mod)
+        + _check_board_mutation(mod)
+        + _check_yields(mod)
+        + _check_memory(mod)
+    )
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))
+
+
+def analyze_path(path: Path) -> List[Finding]:
+    """Analyze one ``.py`` file."""
+    return analyze_source(path.read_text(), str(path))
+
+
+def analyze_paths(paths: Sequence[Path]) -> List[Finding]:
+    """Analyze files and/or directories (recursively, ``*.py`` only)."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    findings: List[Finding] = []
+    for file in files:
+        findings.extend(analyze_path(file))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))

@@ -1,0 +1,100 @@
+"""The ``repro-lint`` command line: model-compliance checks, no execution.
+
+Usage::
+
+    repro-lint path/to/protocol.py other/dir/   # lint user protocols
+    repro-lint --self                           # lint this repo's protocols
+    repro-lint --self --strict                  # ... failing CI on findings
+    repro-lint --format json my_protocol.py     # machine-readable report
+    repro-lint --list-rules                     # print the rule registry
+
+Exit codes: ``0`` clean (or findings without ``--strict`` — advisory
+mode), ``1`` findings under ``--strict``, ``2`` bad invocation or
+unparseable input.  The same checks are reachable as ``repro-search
+lint ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.analyzer import analyze_paths, protocols_dir
+from repro.lint.reporters import render_json, render_rules, render_text
+
+__all__ = ["main", "build_parser", "run_lint"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static model-compliance analyzer for repro agent protocols "
+            "(see docs/LINTING.md for the rule codes)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="protocol files or directories to analyze"
+    )
+    parser.add_argument(
+        "--self",
+        dest="self_check",
+        action="store_true",
+        help="analyze this repository's own protocol implementations",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any finding is reported (CI gate mode)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule registry and exit"
+    )
+    return parser
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation (shared with ``repro-search lint``)."""
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    paths: List[Path] = [Path(p) for p in args.paths]
+    if args.self_check:
+        paths.append(protocols_dir())
+    if not paths:
+        print("repro-lint: no paths given (try --self or --list-rules)", file=sys.stderr)
+        return 2
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"repro-lint: no such path: {p}", file=sys.stderr)
+        return 2
+    try:
+        findings = analyze_paths(paths)
+    except SyntaxError as exc:
+        print(f"repro-lint: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}", file=sys.stderr)
+        return 2
+    files_scanned = sum(
+        len(list(p.rglob("*.py"))) if p.is_dir() else 1 for p in paths
+    )
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, files_scanned))
+    return 1 if (findings and args.strict) else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-lint`` console script."""
+    return run_lint(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

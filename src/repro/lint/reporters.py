@@ -1,0 +1,87 @@
+"""Finding reporters for ``repro-lint``: human text and machine JSON.
+
+The text form is the classic one-line-per-finding ``file:line:col: CODE
+message`` (clickable in editors and CI logs) followed by a summary.  The
+JSON form is a stable schema (``version`` bumps on breaking change) for
+tooling::
+
+    {
+      "version": 1,
+      "files_scanned": 5,
+      "findings": [
+        {"code": "RPR101", "rule": "undeclared-visibility",
+         "path": "...", "line": 12, "column": 5,
+         "symbol": "my_agent", "message": "..."},
+        ...
+      ],
+      "summary": {"total": 1, "by_code": {"RPR101": 1}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.rules import RULES, Finding
+
+__all__ = ["render_text", "render_json", "json_payload", "render_rules"]
+
+
+def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
+    """The human report: one anchored line per finding plus a summary."""
+    lines = [
+        f"{f.anchor()}: {f.code} [{f.rule.name}] {f.message}"
+        + (f"  (in `{f.symbol}`)" if f.symbol else "")
+        for f in findings
+    ]
+    noun = "file" if files_scanned == 1 else "files"
+    if findings:
+        counts = Counter(f.code for f in findings)
+        breakdown = ", ".join(f"{code} x{n}" for code, n in sorted(counts.items()))
+        lines.append(
+            f"{len(findings)} finding(s) in {files_scanned} {noun}: {breakdown}"
+        )
+    else:
+        lines.append(f"clean: no findings in {files_scanned} {noun}")
+    return "\n".join(lines)
+
+
+def json_payload(findings: Sequence[Finding], files_scanned: int) -> Dict[str, Any]:
+    """The JSON report as a plain dict (schema above)."""
+    return {
+        "version": 1,
+        "files_scanned": files_scanned,
+        "findings": [
+            {
+                "code": f.code,
+                "rule": f.rule.name,
+                "path": f.path,
+                "line": f.line,
+                "column": f.column,
+                "symbol": f.symbol,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "summary": {
+            "total": len(findings),
+            "by_code": dict(sorted(Counter(f.code for f in findings).items())),
+        },
+    }
+
+
+def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
+    """The JSON report, serialized with stable key order."""
+    return json.dumps(json_payload(findings, files_scanned), indent=2)
+
+
+def render_rules() -> str:
+    """The registry listing behind ``repro-lint --list-rules``."""
+    lines: List[str] = []
+    for code in sorted(RULES):
+        r = RULES[code]
+        lines.append(f"{code}  {r.name}")
+        lines.append(f"        {r.summary}")
+    return "\n".join(lines)

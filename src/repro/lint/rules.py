@@ -1,0 +1,136 @@
+"""The ``repro-lint`` rule registry: stable codes, one invariant each.
+
+Every rule guards one clause of the engine's model contract (see
+:mod:`repro.sim.engine`): capabilities must be declared before they are
+used, communication must go through the action vocabulary, and the
+``O(log n)``-bit accounting must not be bypassed.  Codes are stable —
+reporters, suppressions and CI configuration refer to them — so a rule is
+never renumbered, only retired.
+
+The registry is data, not behaviour: the detection logic lives in
+:mod:`repro.lint.analyzer`, keyed by these codes.  Keeping them apart
+means a later PR can add a rule by registering a code here and one
+detection hook there, without touching the reporters or the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["Rule", "Finding", "RULES", "rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable clause of the model contract.
+
+    ``code`` is the stable identifier (``RPR`` + number); ``capability``
+    names the engine flag involved for the declaration rules (``None``
+    for the vocabulary/accounting rules).
+    """
+
+    code: str
+    name: str
+    summary: str
+    capability: Optional[str] = None
+
+
+_RULE_TABLE: Tuple[Rule, ...] = (
+    Rule(
+        code="RPR100",
+        name="missing-model-declaration",
+        summary=(
+            "a module defining behaviour generators must declare its model "
+            "with a module-level `MODEL = ProtocolModel(...)`"
+        ),
+    ),
+    Rule(
+        code="RPR101",
+        name="undeclared-visibility",
+        summary=(
+            "`See` / `NodeView.neighbor_states` (directly or through a "
+            "helper such as `smaller_all_safe`) requires "
+            "`MODEL = ProtocolModel(visibility=True)`"
+        ),
+        capability="visibility",
+    ),
+    Rule(
+        code="RPR102",
+        name="undeclared-cloning",
+        summary="`CloneSelf` requires `MODEL = ProtocolModel(cloning=True)`",
+        capability="cloning",
+    ),
+    Rule(
+        code="RPR103",
+        name="undeclared-global-clock",
+        summary=(
+            "`NodeView.time` / a timed `WaitUntil(wake_at=...)` requires "
+            "`MODEL = ProtocolModel(global_clock=True)`"
+        ),
+        capability="global_clock",
+    ),
+    Rule(
+        code="RPR104",
+        name="unused-capability",
+        summary=(
+            "a capability declared in `MODEL` is never reachable from the "
+            "module's behaviours — declare only the power the model grants"
+        ),
+    ),
+    Rule(
+        code="RPR110",
+        name="whiteboard-mutation-outside-vocabulary",
+        summary=(
+            "whiteboards may only change through `WriteWhiteboard` / "
+            "`UpdateWhiteboard` mutators; mutating a snapshot returned by "
+            "`ReadWhiteboard` or `NodeView.wb` changes nothing atomically"
+        ),
+    ),
+    Rule(
+        code="RPR120",
+        name="non-action-yield",
+        summary=(
+            "a behaviour generator must yield `Action` values only; the "
+            "engine raises `AgentError` on anything else"
+        ),
+    ),
+    Rule(
+        code="RPR130",
+        name="unaccounted-local-memory-write",
+        summary=(
+            "agent memory must go through `AgentContext.remember`, which "
+            "feeds the `O(log n)`-bit accounting; writing `ctx.memory` or "
+            "`ctx.peak_memory_bits` directly defeats `estimate_bits`"
+        ),
+    ),
+)
+
+#: The registry, keyed by stable code.
+RULES: Dict[str, Rule] = {r.code: r for r in _RULE_TABLE}
+
+
+def rule(code: str) -> Rule:
+    """Look up a rule by its stable code (raises ``KeyError`` if retired)."""
+    return RULES[code]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored to a source location."""
+
+    code: str
+    path: str
+    line: int
+    column: int
+    message: str
+    symbol: str = ""
+
+    @property
+    def rule(self) -> Rule:
+        """The violated :class:`Rule`."""
+        return RULES[self.code]
+
+    def anchor(self) -> str:
+        """``file:line:col`` — the clickable location prefix."""
+        return f"{self.path}:{self.line}:{self.column}"

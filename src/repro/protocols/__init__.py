@@ -25,6 +25,7 @@ as its schedule-plane counterpart (for the agent moves), under arbitrary
 delay models for the asynchronous protocols.
 """
 
+from repro.protocols.base import ProtocolModel
 from repro.protocols.clean_protocol import run_clean_protocol
 from repro.protocols.cloning_protocol import run_cloning_protocol
 from repro.protocols.frontier_protocol import run_frontier_protocol
@@ -32,6 +33,7 @@ from repro.protocols.sync_protocol import run_synchronous_protocol
 from repro.protocols.visibility_protocol import run_visibility_protocol
 
 __all__ = [
+    "ProtocolModel",
     "run_clean_protocol",
     "run_visibility_protocol",
     "run_cloning_protocol",

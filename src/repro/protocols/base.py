@@ -11,15 +11,20 @@ counters (never agent lists), matching the paper's whiteboard bound.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.formulas import agents_for_type
 from repro.core.states import NodeState
 from repro.topology.broadcast_tree import BroadcastTree
 from repro.topology.hypercube import Hypercube
 
+if TYPE_CHECKING:
+    from repro.sim.agent import NodeView
+
 __all__ = [
+    "ProtocolModel",
     "cached_hypercube",
     "cached_tree",
     "child_for_slot",
@@ -28,6 +33,39 @@ __all__ = [
     "take_slot",
     "smaller_all_safe",
 ]
+
+
+@dataclass(frozen=True)
+class ProtocolModel:
+    """Capability declaration of one protocol module.
+
+    Every protocol module assigns a module-level ``MODEL = ProtocolModel(...)``
+    naming exactly the engine capabilities its behaviours rely on — the same
+    flags :class:`~repro.sim.engine.Engine` takes.  The declaration is the
+    contract that ``repro-lint`` (:mod:`repro.lint`) cross-checks statically
+    against the actions the module's AST can reach: a behaviour yielding
+    :class:`~repro.sim.agent.See` in a module whose model does not declare
+    ``visibility`` is flagged before any simulation runs, instead of raising
+    :class:`~repro.errors.AgentError` at runtime in whichever rarely-taken
+    branch exercises it.
+    """
+
+    #: Section 4 power: agents may observe neighbour states (``See`` /
+    #: ``NodeView.neighbor_states``).
+    visibility: bool = False
+    #: Section 5 power: agents may spawn copies of themselves (``CloneSelf``).
+    cloning: bool = False
+    #: Section 5 synchronous power: agents may consult the global time
+    #: (``NodeView.time`` / timed ``WaitUntil`` wake-ups).
+    global_clock: bool = False
+
+    def capabilities(self) -> FrozenSet[str]:
+        """The declared capability names, as a frozen set."""
+        return frozenset(
+            name
+            for name in ("visibility", "cloning", "global_clock")
+            if getattr(self, name)
+        )
 
 
 @lru_cache(maxsize=None)
@@ -68,34 +106,34 @@ def child_for_slot(dimension: int, node: int, slot: int) -> int:
     raise ValueError(f"slot {slot} out of range at node {node}")
 
 
-def increment(key: str):
+def increment(key: str) -> Callable[[Dict[str, Any]], int]:
     """Whiteboard mutator: ``wb[key] += 1`` (from 0), returns new value."""
 
-    def mutate(wb: Dict) -> int:
+    def mutate(wb: Dict[str, Any]) -> int:
         wb[key] = wb.get(key, 0) + 1
         return wb[key]
 
     return mutate
 
 
-def decrement(key: str):
+def decrement(key: str) -> Callable[[Dict[str, Any]], int]:
     """Whiteboard mutator: ``wb[key] -= 1``, returns new value."""
 
-    def mutate(wb: Dict) -> int:
+    def mutate(wb: Dict[str, Any]) -> int:
         wb[key] = wb.get(key, 0) - 1
         return wb[key]
 
     return mutate
 
 
-def take_slot(limit: int, key: str = "taken"):
+def take_slot(limit: int, key: str = "taken") -> Callable[[Dict[str, Any]], Optional[int]]:
     """Whiteboard mutator claiming the next departure slot below ``limit``.
 
     Returns the claimed 0-based slot, or ``None`` when all are gone (the
     caller lost the race and should re-wait).
     """
 
-    def mutate(wb: Dict) -> Optional[int]:
+    def mutate(wb: Dict[str, Any]) -> Optional[int]:
         current = wb.get(key, 0)
         if current >= limit:
             return None
@@ -105,7 +143,7 @@ def take_slot(limit: int, key: str = "taken"):
     return mutate
 
 
-def smaller_all_safe(dimension: int, node: int):
+def smaller_all_safe(dimension: int, node: int) -> Callable[["NodeView"], bool]:
     """Wait predicate: every smaller neighbour of ``node`` clean or guarded.
 
     Uses the visibility capability (``view.neighbor_states``); vacuously
@@ -113,7 +151,7 @@ def smaller_all_safe(dimension: int, node: int):
     """
     smaller = frozenset(cached_hypercube(dimension).smaller_neighbors(node))
 
-    def predicate(view) -> bool:
+    def predicate(view: "NodeView") -> bool:
         states = view.neighbor_states()
         return all(states[y] is not NodeState.CONTAMINATED for y in smaller)
 

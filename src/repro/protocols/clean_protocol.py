@@ -37,7 +37,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.formulas import clean_peak_agents
-from repro.protocols.base import cached_hypercube, cached_tree, decrement, increment
+from repro.protocols.base import (
+    ProtocolModel,
+    cached_hypercube,
+    cached_tree,
+    decrement,
+    increment,
+)
 from repro.sim.agent import (
     AgentContext,
     Move,
@@ -49,7 +55,10 @@ from repro.sim.engine import Engine, SimResult
 from repro.sim.scheduling import DelayModel
 from repro.topology.hypercube import Hypercube
 
-__all__ = ["synchronizer_agent", "follower_agent", "run_clean_protocol"]
+__all__ = ["MODEL", "synchronizer_agent", "follower_agent", "run_clean_protocol"]
+
+#: Section 3 model: whiteboards only — no visibility, no cloning, no clock.
+MODEL = ProtocolModel()
 
 
 # ---------------------------------------------------------------------- #

@@ -17,13 +17,16 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.formulas import cloning_agents
-from repro.protocols.base import cached_tree, smaller_all_safe
+from repro.protocols.base import ProtocolModel, cached_tree, smaller_all_safe
 from repro.sim.agent import AgentContext, CloneSelf, Move, Terminate, WaitUntil
 from repro.sim.engine import Engine, SimResult
 from repro.sim.scheduling import DelayModel
 from repro.topology.hypercube import Hypercube
 
-__all__ = ["cloning_agent", "run_cloning_protocol"]
+__all__ = ["MODEL", "cloning_agent", "run_cloning_protocol"]
+
+#: Section 5 cloning model: visibility plus ``CloneSelf``.
+MODEL = ProtocolModel(visibility=True, cloning=True)
 
 
 def _behavior(first_move: Optional[int]):

@@ -25,7 +25,7 @@ from typing import List, Optional
 
 from repro.core.states import NodeState
 from repro.errors import SimulationError
-from repro.protocols.base import decrement, increment
+from repro.protocols.base import ProtocolModel, decrement, increment
 from repro.sim.agent import (
     AgentContext,
     Move,
@@ -37,7 +37,10 @@ from repro.sim.engine import Engine, SimResult
 from repro.sim.scheduling import DelayModel
 from repro.search.frontier_sweep import _bfs_order, bfs_boundary_width
 
-__all__ = ["run_frontier_protocol"]
+__all__ = ["MODEL", "run_frontier_protocol"]
+
+#: Section 4 model on generic graphs: visibility (guards self-release).
+MODEL = ProtocolModel(visibility=True)
 
 
 def _post_escort(path: List[int]):

@@ -18,6 +18,7 @@ from typing import List, Optional
 from repro.analysis.formulas import agents_for_type, visibility_agents
 from repro.errors import SimulationError
 from repro.protocols.base import (
+    ProtocolModel,
     cached_hypercube,
     cached_tree,
     child_for_slot,
@@ -30,7 +31,10 @@ from repro.sim.engine import Engine, SimResult
 from repro.sim.scheduling import DelayModel
 from repro.topology.hypercube import Hypercube
 
-__all__ = ["synchronous_agent", "run_synchronous_protocol"]
+__all__ = ["MODEL", "synchronous_agent", "run_synchronous_protocol"]
+
+#: Section 5 synchronous model: global clock, no visibility, no cloning.
+MODEL = ProtocolModel(global_clock=True)
 
 
 def synchronous_agent(ctx: AgentContext):

@@ -27,6 +27,7 @@ from typing import List, Optional
 from repro.analysis.formulas import agents_for_type, visibility_agents
 from repro.errors import SimulationError
 from repro.protocols.base import (
+    ProtocolModel,
     cached_tree,
     child_for_slot,
     decrement,
@@ -39,7 +40,10 @@ from repro.sim.engine import Engine, SimResult
 from repro.sim.scheduling import DelayModel
 from repro.topology.hypercube import Hypercube
 
-__all__ = ["visibility_agent", "run_visibility_protocol"]
+__all__ = ["MODEL", "visibility_agent", "run_visibility_protocol"]
+
+#: Section 4 model: whiteboards plus neighbour visibility.
+MODEL = ProtocolModel(visibility=True)
 
 
 def visibility_agent(ctx: AgentContext):

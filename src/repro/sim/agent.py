@@ -128,12 +128,14 @@ class NodeView:
     """
 
     node: int
-    _wb_read: Callable[[Optional[str]], Any] = field(repr=False, default=None)
+    _wb_read: Optional[Callable[[Optional[str]], Any]] = field(repr=False, default=None)
     _see: Optional[Callable[[], Dict[int, Any]]] = field(repr=False, default=None)
     _clock: Optional[Callable[[], float]] = field(repr=False, default=None)
 
     def wb(self, key: Optional[str] = None) -> Any:
         """Read the local whiteboard."""
+        if self._wb_read is None:
+            raise AgentError("this view has no whiteboard attached")
         return self._wb_read(key)
 
     def neighbor_states(self) -> Dict[int, Any]:

@@ -1,0 +1,28 @@
+"""A well-formed Section 4 protocol: the clean fixture for ``repro-lint``.
+
+Declares exactly the capabilities it reaches (visibility, through the
+``smaller_all_safe`` helper), communicates only through the action
+vocabulary, and stores memory through the accounted ``ctx.remember``.
+"""
+
+from repro.protocols.base import (
+    ProtocolModel,
+    increment,
+    smaller_all_safe,
+)
+from repro.sim.agent import Move, Terminate, UpdateWhiteboard, WaitUntil
+
+MODEL = ProtocolModel(visibility=True)
+
+
+def tidy_agent(ctx):
+    """Registers, waits for safety, walks one edge, and guards there."""
+    yield UpdateWhiteboard(increment("count"))
+    yield WaitUntil(
+        smaller_all_safe(ctx.dimension, ctx.node),
+        description="smaller neighbours safe",
+    )
+    ctx.remember("hops", 1)
+    yield Move(ctx.node ^ 1)
+    yield UpdateWhiteboard(increment("count"))
+    yield Terminate()

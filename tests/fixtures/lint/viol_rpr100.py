@@ -1,0 +1,9 @@
+"""RPR100 fixture: behaviour generators, but no ``MODEL`` declaration."""
+
+from repro.sim.agent import Move, Terminate
+
+
+def wandering_agent(ctx):
+    """Walks one edge and stops — without declaring any model at all."""
+    yield Move(ctx.node ^ 1)
+    yield Terminate()

@@ -1,0 +1,14 @@
+"""RPR101 fixture: yields ``See`` without declaring ``visibility``."""
+
+from repro.protocols.base import ProtocolModel
+from repro.sim.agent import Move, See, Terminate
+
+MODEL = ProtocolModel()
+
+
+def peeking_agent(ctx):
+    """Looks at the neighbours in a model that grants no visibility."""
+    states = yield See()
+    if states:
+        yield Move(ctx.node ^ 1)
+    yield Terminate()

@@ -1,0 +1,14 @@
+"""RPR102 fixture: yields ``CloneSelf`` without declaring ``cloning``."""
+
+from repro.protocols.base import ProtocolModel, smaller_all_safe
+from repro.sim.agent import CloneSelf, Move, Terminate, WaitUntil
+
+MODEL = ProtocolModel(visibility=True)
+
+
+def budding_agent(ctx):
+    """Clones itself although the declared model only grants visibility."""
+    yield WaitUntil(smaller_all_safe(ctx.dimension, ctx.node))
+    yield CloneSelf(budding_agent)
+    yield Move(ctx.node ^ 1)
+    yield Terminate()

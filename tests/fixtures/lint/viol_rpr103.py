@@ -1,0 +1,15 @@
+"""RPR103 fixture: consults the clock without declaring ``global_clock``."""
+
+from repro.protocols.base import ProtocolModel
+from repro.sim.agent import Move, Terminate, WaitUntil
+
+MODEL = ProtocolModel()
+
+ROUND = 2
+
+
+def punctual_agent(ctx):
+    """Waits for a global round in a model with no global clock."""
+    yield WaitUntil(lambda view: view.time >= ROUND, wake_at=float(ROUND))
+    yield Move(ctx.node ^ 1)
+    yield Terminate()

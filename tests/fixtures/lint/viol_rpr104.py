@@ -1,0 +1,12 @@
+"""RPR104 fixture: declares ``cloning`` but never reaches ``CloneSelf``."""
+
+from repro.protocols.base import ProtocolModel
+from repro.sim.agent import Move, Terminate
+
+MODEL = ProtocolModel(cloning=True)
+
+
+def modest_agent(ctx):
+    """Only ever walks — the declared cloning power is dead weight."""
+    yield Move(ctx.node ^ 1)
+    yield Terminate()

@@ -1,0 +1,14 @@
+"""RPR110 fixture: mutates a whiteboard snapshot outside the vocabulary."""
+
+from repro.protocols.base import ProtocolModel
+from repro.sim.agent import Move, ReadWhiteboard, Terminate
+
+MODEL = ProtocolModel()
+
+
+def scribbling_agent(ctx):
+    """Writes into a ``ReadWhiteboard`` snapshot — invisible to everyone."""
+    wb = yield ReadWhiteboard()
+    wb["count"] = 99
+    yield Move(ctx.node ^ 1)
+    yield Terminate()

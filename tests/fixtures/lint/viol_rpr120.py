@@ -1,0 +1,13 @@
+"""RPR120 fixture: a behaviour that yields a non-``Action`` value."""
+
+from repro.protocols.base import ProtocolModel
+from repro.sim.agent import Move, Terminate
+
+MODEL = ProtocolModel()
+
+
+def chatty_agent(ctx):
+    """Yields a plain number, which the engine would reject at runtime."""
+    yield 42
+    yield Move(ctx.node ^ 1)
+    yield Terminate()

@@ -1,0 +1,13 @@
+"""RPR130 fixture: writes agent memory without the bit accounting."""
+
+from repro.protocols.base import ProtocolModel
+from repro.sim.agent import Move, Terminate
+
+MODEL = ProtocolModel()
+
+
+def hoarding_agent(ctx):
+    """Stores an O(n) trail directly in ``ctx.memory`` — unaccounted."""
+    ctx.memory["trail"] = list(range(1 << ctx.dimension))
+    yield Move(ctx.node ^ 1)
+    yield Terminate()

@@ -1,5 +1,6 @@
 """Integration tests running every example script end to end."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,14 +8,22 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+SRC = Path(__file__).parent.parent / "src"
 
 
 def run_example(script: str, *args: str) -> subprocess.CompletedProcess:
+    # prepend the checkout's src/ so the examples run from a bare tree the
+    # same way they do from an installed package (mirrors the root conftest)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / script), *args],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
 
 

@@ -1,0 +1,251 @@
+"""Tests for the ``repro-lint`` model-compliance static analyzer.
+
+One fixture protocol per rule code under ``tests/fixtures/lint/``, each
+deliberately violating exactly one rule; a clean fixture proving the
+analyzer stays silent on well-formed protocols; the self-check over the
+repo's own five protocol implementations; and the reporter/CLI contract
+(file:line anchors, JSON schema, exit codes).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, analyze_path, analyze_paths, analyze_source
+from repro.lint.analyzer import helper_requirements, protocols_dir
+from repro.lint.cli import main as lint_main
+from repro.lint.reporters import json_payload, render_rules, render_text
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+#: fixture file -> (expected code, expected line, expected symbol)
+VIOLATIONS = {
+    "viol_rpr100.py": ("RPR100", 6, ""),
+    "viol_rpr101.py": ("RPR101", 11, "peeking_agent"),
+    "viol_rpr102.py": ("RPR102", 12, "budding_agent"),
+    "viol_rpr103.py": ("RPR103", 13, "punctual_agent"),
+    "viol_rpr104.py": ("RPR104", 6, ""),
+    "viol_rpr110.py": ("RPR110", 12, "scribbling_agent"),
+    "viol_rpr120.py": ("RPR120", 11, "chatty_agent"),
+    "viol_rpr130.py": ("RPR130", 11, "hoarding_agent"),
+}
+
+
+class TestRegistry:
+    def test_every_code_has_a_fixture(self):
+        covered = {code for code, _, _ in VIOLATIONS.values()}
+        assert covered == set(RULES), "each shipped rule needs a violating fixture"
+
+    def test_codes_are_stable_rpr1xx(self):
+        for code, r in RULES.items():
+            assert code == r.code
+            assert code.startswith("RPR1") and len(code) == 6
+
+    def test_rules_listing_mentions_every_code(self):
+        listing = render_rules()
+        for code in RULES:
+            assert code in listing
+
+    def test_docs_document_every_code(self):
+        docs = (Path(__file__).parent.parent / "docs" / "LINTING.md").read_text()
+        for code in RULES:
+            assert code in docs, f"{code} missing from docs/LINTING.md"
+
+
+class TestViolatingFixtures:
+    @pytest.mark.parametrize("fixture", sorted(VIOLATIONS))
+    def test_exact_code_line_and_symbol(self, fixture):
+        code, line, symbol = VIOLATIONS[fixture]
+        findings = analyze_path(FIXTURES / fixture)
+        assert [f.code for f in findings] == [code], findings
+        found = findings[0]
+        assert found.line == line
+        assert found.column >= 1
+        assert found.symbol == symbol
+        assert found.path.endswith(fixture)
+
+    @pytest.mark.parametrize("fixture", sorted(VIOLATIONS))
+    def test_anchor_format(self, fixture):
+        found = analyze_path(FIXTURES / fixture)[0]
+        path, line, col = found.anchor().rsplit(":", 2)
+        assert path.endswith(fixture)
+        assert int(line) == found.line and int(col) == found.column
+
+
+class TestCleanFixture:
+    def test_no_findings(self):
+        assert analyze_path(FIXTURES / "clean_fixture.py") == []
+
+    def test_directory_scan_finds_all_and_only_violations(self):
+        findings = analyze_paths([FIXTURES])
+        by_file = {Path(f.path).name for f in findings}
+        assert by_file == set(VIOLATIONS)
+        assert len(findings) == len(VIOLATIONS)
+
+
+class TestInference:
+    def test_helper_requirements_from_base_ast(self):
+        reqs = helper_requirements()
+        assert reqs["smaller_all_safe"] == frozenset({"visibility"})
+        assert reqs["increment"] == frozenset()
+        assert reqs["take_slot"] == frozenset()
+
+    def test_helper_call_propagates_visibility(self):
+        source = (
+            "from repro.protocols.base import ProtocolModel, smaller_all_safe\n"
+            "from repro.sim.agent import Move, WaitUntil\n"
+            "MODEL = ProtocolModel()\n"
+            "def agent(ctx):\n"
+            "    yield WaitUntil(smaller_all_safe(ctx.dimension, ctx.node))\n"
+            "    yield Move(ctx.node ^ 1)\n"
+        )
+        findings = analyze_source(source, "helper_user.py")
+        assert [f.code for f in findings] == ["RPR101"]
+        assert "smaller_all_safe" in findings[0].message
+
+    def test_module_attribute_helper_call(self):
+        source = (
+            "from repro.protocols import base\n"
+            "MODEL = base.ProtocolModel()\n"
+            "def agent(ctx):\n"
+            "    yield base.smaller_all_safe(ctx.dimension, ctx.node)\n"
+        )
+        # resolved through the module alias, same requirement
+        assert [f.code for f in analyze_source(source)] == ["RPR101"]
+
+    def test_predicate_neighbor_states_needs_visibility(self):
+        source = (
+            "MODEL = ProtocolModel()\n"
+            "def agent(ctx):\n"
+            "    def ready(view):\n"
+            "        return bool(view.neighbor_states())\n"
+            "    yield WaitUntil(ready)\n"
+        )
+        assert [f.code for f in analyze_source(source)] == ["RPR101"]
+
+    def test_helper_module_without_behaviours_needs_no_model(self):
+        source = (
+            "def increment(key):\n"
+            "    def mutate(wb):\n"
+            "        wb[key] = wb.get(key, 0) + 1\n"
+            "        return wb[key]\n"
+            "    return mutate\n"
+        )
+        assert analyze_source(source) == []
+
+    def test_declared_and_used_is_clean(self):
+        source = (
+            "MODEL = ProtocolModel(visibility=True, cloning=True)\n"
+            "def agent(ctx):\n"
+            "    states = yield See()\n"
+            "    yield CloneSelf(agent)\n"
+            "    yield Terminate()\n"
+        )
+        assert analyze_source(source) == []
+
+
+class TestSelfCheck:
+    def test_own_protocols_are_clean(self):
+        assert analyze_paths([protocols_dir()]) == []
+
+    def test_cli_self_strict_exits_zero(self, capsys):
+        assert lint_main(["--self", "--strict"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_every_shipped_protocol_declares_a_model(self):
+        import repro.protocols as protocols
+        from repro.protocols.base import ProtocolModel
+
+        for name in (
+            "clean_protocol",
+            "visibility_protocol",
+            "cloning_protocol",
+            "sync_protocol",
+            "frontier_protocol",
+        ):
+            module = __import__(f"repro.protocols.{name}", fromlist=["MODEL"])
+            assert isinstance(module.MODEL, ProtocolModel), name
+        assert protocols.ProtocolModel is ProtocolModel
+
+    def test_declarations_match_engine_flags(self):
+        from repro.protocols import cloning_protocol, sync_protocol, visibility_protocol
+
+        assert visibility_protocol.MODEL.capabilities() == {"visibility"}
+        assert cloning_protocol.MODEL.capabilities() == {"visibility", "cloning"}
+        assert sync_protocol.MODEL.capabilities() == {"global_clock"}
+
+
+class TestReporters:
+    def test_text_report_has_anchors_and_summary(self):
+        findings = analyze_path(FIXTURES / "viol_rpr101.py")
+        text = render_text(findings, files_scanned=1)
+        assert "viol_rpr101.py:11:" in text
+        assert "RPR101" in text and "undeclared-visibility" in text
+        assert "1 finding(s) in 1 file" in text
+
+    def test_text_report_clean(self):
+        assert "clean: no findings" in render_text([], files_scanned=3)
+
+    def test_json_schema(self):
+        findings = analyze_paths([FIXTURES])
+        payload = json_payload(findings, files_scanned=9)
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 9
+        assert payload["summary"]["total"] == len(VIOLATIONS)
+        assert payload["summary"]["by_code"] == {
+            code: 1 for code, _, _ in VIOLATIONS.values()
+        }
+        for entry in payload["findings"]:
+            assert set(entry) == {
+                "code", "rule", "path", "line", "column", "symbol", "message",
+            }
+            assert isinstance(entry["line"], int) and entry["line"] >= 1
+            assert isinstance(entry["column"], int) and entry["column"] >= 1
+            assert entry["code"] in RULES
+            assert entry["rule"] == RULES[entry["code"]].name
+        # round-trips through real JSON
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestCli:
+    def test_strict_fails_on_violations(self, capsys):
+        assert lint_main(["--strict", str(FIXTURES / "viol_rpr102.py")]) == 1
+        assert "RPR102" in capsys.readouterr().out
+
+    def test_advisory_mode_reports_but_exits_zero(self, capsys):
+        assert lint_main([str(FIXTURES / "viol_rpr102.py")]) == 0
+        assert "RPR102" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert lint_main(["--format", "json", str(FIXTURES / "viol_rpr120.py")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["by_code"] == {"RPR120": 1}
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        assert "RPR130" in capsys.readouterr().out
+
+    def test_no_paths_is_an_error(self, capsys):
+        assert lint_main([]) == 2
+
+    def test_missing_path_is_an_error(self, capsys):
+        assert lint_main(["no/such/file.py"]) == 2
+
+    def test_unparseable_input_is_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        assert lint_main([str(bad)]) == 2
+
+    def test_repro_search_lint_subcommand(self, capsys):
+        from repro.cli import main as search_main
+
+        assert search_main(["lint", "--self", "--strict"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_repro_search_lint_violation(self, capsys):
+        from repro.cli import main as search_main
+
+        path = str(FIXTURES / "viol_rpr130.py")
+        assert search_main(["lint", "--strict", path]) == 1
+        assert "RPR130" in capsys.readouterr().out
