@@ -60,6 +60,33 @@ def test_correctness_sweep(benchmark, report):
     report("correctness_sweep", "\n".join(lines))
 
 
+@pytest.mark.parametrize("strategy", ["clean", "visibility"])
+def test_incremental_matches_reference_sweep(benchmark, strategy):
+    """Node-for-node cross-check: the bitset state layer's predicates must
+    equal the ``slow_`` reference (set-based BFS) path after every single
+    move of a genuine strategy schedule."""
+    from repro.core.strategy import get_strategy
+    from repro.sim.contamination import ContaminationMap
+    from repro.topology.hypercube import Hypercube
+
+    def replay_and_compare(dimension: int):
+        schedule = get_strategy(strategy).run(dimension)
+        cmap = ContaminationMap(Hypercube(dimension), strict=False)
+        for _ in range(max(schedule.team_size, 1)):
+            cmap.place_agent(0)
+        checks = 0
+        for move in schedule.moves:
+            cmap.move_agent(move.src, move.dst)
+            assert cmap.is_contiguous() == cmap.slow_is_contiguous(), move
+            assert cmap.contaminated_nodes() == cmap.slow_contaminated_nodes(), move
+            checks += 1
+        assert cmap.all_clean()
+        return checks
+
+    checks = benchmark.pedantic(replay_and_compare, args=(5,), rounds=1, iterations=1)
+    assert checks > 0
+
+
 @pytest.mark.parametrize("seed", [11, 22, 33])
 def test_walker_intruder_sweep(benchmark, seed):
     """A concrete fleeing intruder is always captured, whatever the delays

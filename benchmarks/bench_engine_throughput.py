@@ -3,11 +3,57 @@
 Not a paper artifact: tracks the simulator's own performance so substrate
 regressions show up in the benchmark history.  Measures events/second on
 the visibility protocol (the wake-heavy worst case: every agent blocks on
-a squad predicate) and on the cloning protocol (spawn-heavy).
+a squad predicate) and on the cloning protocol (spawn-heavy), plus the
+state layer's per-move cost: replaying the CLEAN strategy's schedule on a
+:class:`~repro.sim.contamination.ContaminationMap` with a contiguity check
+after every move, incremental (bitset) vs. reference (per-move BFS) paths.
+
+Run ``python benchmarks/bench_engine_throughput.py`` to sweep d=6..13 and
+record before/after moves/sec into ``BENCH_engine_throughput.json`` at the
+repo root.
 """
 
+import json
+import time
+from pathlib import Path
+
+from repro.core.strategy import get_strategy
 from repro.protocols.cloning_protocol import run_cloning_protocol
 from repro.protocols.visibility_protocol import run_visibility_protocol
+from repro.sim.contamination import ContaminationMap
+from repro.topology.hypercube import Hypercube
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine_throughput.json"
+
+#: move budget for the reference (per-move BFS) path — at d=13 the slow
+#: path manages only a few hundred moves/sec, so it is sampled, not run to
+#: completion; throughput extrapolates linearly (every move pays the BFS).
+SLOW_PATH_MOVE_BUDGET = 1500
+
+
+def contiguity_checked_replay(dimension: int, incremental: bool, max_moves=None):
+    """Replay the CLEAN schedule with ``is_contiguous()`` after every move.
+
+    Returns ``(moves_replayed, seconds)``.  This is exactly the engine's
+    per-move hot path (state evolution + contiguity predicate) without the
+    event-loop overhead masking the state layer's cost.
+    """
+    schedule = get_strategy("clean").run(dimension)
+    cmap = ContaminationMap(
+        Hypercube(dimension), strict=False, incremental=incremental
+    )
+    for _ in range(max(schedule.team_size, 1)):
+        cmap.place_agent(0)
+    moves = schedule.moves
+    if max_moves is not None:
+        moves = moves[:max_moves]
+    start = time.perf_counter()
+    for move in moves:
+        cmap.move_agent(move.src, move.dst)
+        cmap.is_contiguous()
+    elapsed = time.perf_counter() - start
+    assert cmap.is_contiguous()
+    return len(moves), elapsed
 
 
 def test_engine_throughput_visibility(benchmark):
@@ -30,3 +76,68 @@ def test_engine_throughput_random_delays(benchmark):
 
     result = benchmark(run)
     assert result.ok
+
+
+def test_incremental_contiguity_throughput(benchmark):
+    """The incremental path replays a full d=9 run with per-move checks."""
+    moves, _ = benchmark.pedantic(
+        contiguity_checked_replay, args=(9, True), rounds=1, iterations=1
+    )
+    assert moves > 0
+
+
+def test_incremental_beats_reference_at_d10():
+    """Acceptance gate: >= 5x moves/sec over the per-move BFS at d >= 10."""
+    sample = 1000
+    fast_moves, fast_time = contiguity_checked_replay(10, True)
+    slow_moves, slow_time = contiguity_checked_replay(10, False, max_moves=sample)
+    fast_rate = fast_moves / fast_time
+    slow_rate = slow_moves / slow_time
+    assert fast_rate >= 5 * slow_rate, (
+        f"incremental {fast_rate:,.0f} moves/s vs reference {slow_rate:,.0f}"
+    )
+
+
+def main() -> None:
+    """Sweep d=6..13 and write before/after numbers to the JSON artifact."""
+    records = []
+    for dimension in range(6, 14):
+        fast_moves, fast_time = contiguity_checked_replay(dimension, True)
+        slow_moves, slow_time = contiguity_checked_replay(
+            dimension, False, max_moves=SLOW_PATH_MOVE_BUDGET
+        )
+        fast_rate = fast_moves / fast_time
+        slow_rate = slow_moves / slow_time
+        records.append(
+            {
+                "dimension": dimension,
+                "nodes": 1 << dimension,
+                "total_moves": fast_moves,
+                "before_moves_per_sec": round(slow_rate, 1),
+                "before_sampled_moves": slow_moves,
+                "after_moves_per_sec": round(fast_rate, 1),
+                "speedup": round(fast_rate / slow_rate, 2),
+            }
+        )
+        print(
+            f"d={dimension:>2} n={1 << dimension:>5} moves={fast_moves:>6} "
+            f"before={slow_rate:>10,.0f}/s after={fast_rate:>10,.0f}/s "
+            f"speedup={fast_rate / slow_rate:>7.1f}x"
+        )
+    payload = {
+        "benchmark": "engine_throughput_contiguity",
+        "description": (
+            "CLEAN-schedule replay with is_contiguous() after every move: "
+            "reference per-move BFS (before) vs incremental bitset state "
+            "(after); before-rates sampled over the first "
+            f"{SLOW_PATH_MOVE_BUDGET} moves"
+        ),
+        "check_contiguity": True,
+        "results": records,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,7 @@ paths (censuses over ``2^d`` nodes).
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -33,6 +33,9 @@ __all__ = [
     "gray_code",
     "popcount_array",
     "msb_position_array",
+    "mask_from_nodes",
+    "nodes_from_mask",
+    "lowest_set_index",
 ]
 
 
@@ -130,6 +133,45 @@ def gray_code(i: int) -> int:
     hypercube; used to build Hamiltonian walks for the baseline strategies.
     """
     return i ^ (i >> 1)
+
+
+def mask_from_nodes(nodes: Iterable[int]) -> int:
+    """Pack an iterable of node ids into a node-set bitmask.
+
+    Node sets over a topology with ``n`` nodes are represented as plain
+    Python integers with bit ``i`` set iff node ``i`` is in the set — the
+    convention the simulation state layer uses throughout.
+
+    >>> mask_from_nodes([0, 2, 5])
+    37
+    """
+    mask = 0
+    for node in nodes:
+        mask |= 1 << node
+    return mask
+
+
+def nodes_from_mask(mask: int) -> set:
+    """Unpack a node-set bitmask into a ``set`` of node ids.
+
+    >>> sorted(nodes_from_mask(37))
+    [0, 2, 5]
+    """
+    return set(iter_set_bits(mask))
+
+
+def lowest_set_index(mask: int) -> int:
+    """0-based index of the least significant set bit (``min`` of the set).
+
+    Raises :class:`ValueError` on an empty mask — callers must handle the
+    empty-set case themselves.
+
+    >>> lowest_set_index(0b101000)
+    3
+    """
+    if mask == 0:
+        raise ValueError("empty mask has no set bit")
+    return (mask & -mask).bit_length() - 1
 
 
 def popcount_array(values: np.ndarray) -> np.ndarray:

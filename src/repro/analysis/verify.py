@@ -118,9 +118,10 @@ class ScheduleVerifier:
         If true, connectivity is checked after every single move rather
         than only at time-unit boundaries (slower; used in tests).
     check_contiguity:
-        If false, the O(n)-per-boundary connectivity BFS is skipped
-        entirely (monotonicity/completeness/capture still checked) — the
-        fast mode for large-dimension stress verification.
+        If false, the connectivity check is skipped entirely
+        (monotonicity/completeness/capture still checked).  With the
+        incrementally maintained bitset state this check is amortized
+        O(1) per boundary, so skipping it is rarely worth it anymore.
     """
 
     def __init__(

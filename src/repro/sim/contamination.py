@@ -19,6 +19,31 @@ The map also answers the two global predicates the paper's definition of a
 (clean + guarded) is connected, and whether any recontamination ever
 happened.  Raising vs. recording is configurable so the verifier can either
 fail fast (``strict=True``) or collect all violations for reporting.
+
+Representation
+--------------
+Node sets are stored as integer bitmasks (bit ``i`` set iff node ``i`` is
+in the set — see :mod:`repro._bitops`): :attr:`clean_mask`,
+:attr:`guard_mask` and :attr:`visited_mask` are the primary state, and the
+derived :attr:`contaminated_mask` / :attr:`decontaminated_mask` are single
+big-integer expressions.  The departure rule ("every neighbour of the
+vacated node is clean or guarded") and the recontamination trigger are
+each one mask intersection against the topology's precomputed per-node
+neighbour masks, so a move costs O(1) word-parallel operations instead of
+a Python-level neighbourhood scan.
+
+Contiguity is maintained *incrementally*.  Under the paper's model the
+decontaminated region only ever grows (it shrinks exactly on
+recontamination), and almost every growth event extends a connected region
+by a node adjacent to it — which provably keeps it connected and is
+verified with one mask test.  Only the rare non-extending event (an
+arrival not adjacent to the current region, growth while the region is
+already disconnected, or any recontamination) invalidates the cached
+verdict; :meth:`is_contiguous` then re-derives it with a bitset BFS
+(:meth:`~repro.topology.hypercube.Hypercube.spread_mask` expands a whole
+frontier per step) and re-caches.  The original set-based predicates
+survive as the ``slow_``-prefixed reference path used by the cross-check
+tests and benches.
 """
 
 from __future__ import annotations
@@ -26,9 +51,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Set
 
+from repro._bitops import iter_set_bits, nodes_from_mask
 from repro.core.states import NodeState
 from repro.errors import RecontaminationError, SimulationError
-from repro.topology.hypercube import Hypercube
 
 __all__ = ["ContaminationMap"]
 
@@ -41,7 +66,10 @@ class ContaminationMap:
     topology:
         Any object with ``n`` / ``nodes()`` / ``neighbors(x)`` /
         ``has_edge(x, y)`` — :class:`~repro.topology.hypercube.Hypercube`
-        or :class:`~repro.topology.generic.GraphAdapter`.
+        or :class:`~repro.topology.generic.GraphAdapter`.  Topologies that
+        additionally provide ``neighbor_mask(x)`` / ``spread_mask(m)`` get
+        the word-parallel fast paths; others fall back to an adjacency
+        table built once at construction.
     homebase:
         Node where the team starts; initially the only non-contaminated
         node (guard count 0 but *visited*: agents are placed there by
@@ -50,6 +78,11 @@ class ContaminationMap:
         If true, a recontamination raises
         :class:`~repro.errors.RecontaminationError` immediately; otherwise
         it is recorded in :attr:`recontamination_events`.
+    incremental:
+        If true (default), :meth:`is_contiguous` answers from the
+        incrementally maintained cache; if false it recomputes the
+        reference BFS on every call (the pre-bitset behaviour, kept for
+        benchmarking and cross-checks).
 
     Notes
     -----
@@ -59,20 +92,43 @@ class ContaminationMap:
     without a move.
     """
 
-    def __init__(self, topology, homebase: int = 0, strict: bool = True) -> None:
+    def __init__(
+        self,
+        topology,
+        homebase: int = 0,
+        strict: bool = True,
+        *,
+        incremental: bool = True,
+    ) -> None:
         if homebase not in range(topology.n):
             raise SimulationError(f"homebase {homebase} not a node")
         self._topo = topology
         self.homebase = homebase
         self.strict = strict
+        self._incremental = incremental
+        self._n = topology.n
+        self._full = (1 << self._n) - 1
         self._guards: Dict[int, int] = {}
-        self._clean: Set[int] = set()
+        self._guard_mask = 0
+        self._clean_mask = 0
+        self._visited_mask = 0
         #: list of ``(node, cause_node)`` recontaminations (empty iff monotone)
         self.recontamination_events: List[tuple[int, int]] = []
         #: order in which nodes were first decontaminated (visited)
         self.first_visit_order: List[int] = []
-        self._visited: Set[int] = set()
         self._moves_applied = 0
+        # cached contiguity verdict; None means "stale, recompute via BFS"
+        self._contig_cache: Optional[bool] = True
+        # per-node neighbour masks: native topology support, or a table
+        # derived once from neighbors() for duck-typed topologies
+        nbr_mask = getattr(topology, "neighbor_mask", None)
+        if nbr_mask is None:
+            table = tuple(
+                sum(1 << y for y in topology.neighbors(x)) for x in topology.nodes()
+            )
+            nbr_mask = table.__getitem__
+        self._nbr_mask = nbr_mask
+        self._spread = getattr(topology, "spread_mask", None)
 
     # ------------------------------------------------------------------ #
     # state queries
@@ -83,11 +139,37 @@ class ContaminationMap:
         """The underlying topology object."""
         return self._topo
 
+    @property
+    def clean_mask(self) -> int:
+        """Bitmask of clean (decontaminated, unguarded) nodes."""
+        return self._clean_mask
+
+    @property
+    def guard_mask(self) -> int:
+        """Bitmask of nodes holding at least one agent."""
+        return self._guard_mask
+
+    @property
+    def visited_mask(self) -> int:
+        """Bitmask of nodes ever decontaminated (visited by an agent)."""
+        return self._visited_mask
+
+    @property
+    def decontaminated_mask(self) -> int:
+        """Bitmask of clean-or-guarded nodes (the protected region)."""
+        return self._clean_mask | self._guard_mask
+
+    @property
+    def contaminated_mask(self) -> int:
+        """Bitmask of contaminated nodes (everything else)."""
+        return self._full & ~(self._clean_mask | self._guard_mask)
+
     def state(self, node: int) -> NodeState:
         """Current :class:`~repro.core.states.NodeState` of ``node``."""
-        if self._guards.get(node, 0) > 0:
+        bit = 1 << node
+        if self._guard_mask & bit:
             return NodeState.GUARDED
-        if node in self._clean:
+        if self._clean_mask & bit:
             return NodeState.CLEAN
         return NodeState.CONTAMINATED
 
@@ -97,31 +179,27 @@ class ContaminationMap:
 
     def is_safe(self, node: int) -> bool:
         """Clean-or-guarded (the rule condition on smaller neighbours)."""
-        return self.state(node) is not NodeState.CONTAMINATED
+        return bool((self._clean_mask | self._guard_mask) & (1 << node))
 
     def contaminated_nodes(self) -> Set[int]:
         """The set of currently contaminated nodes."""
-        return {
-            x
-            for x in self._topo.nodes()
-            if x not in self._clean and self._guards.get(x, 0) == 0
-        }
+        return nodes_from_mask(self.contaminated_mask)
 
     def clean_nodes(self) -> Set[int]:
         """The set of currently clean (and unguarded) nodes."""
-        return set(self._clean)
+        return nodes_from_mask(self._clean_mask)
 
     def guarded_nodes(self) -> Set[int]:
         """Nodes currently holding at least one agent."""
-        return {x for x, c in self._guards.items() if c > 0}
+        return nodes_from_mask(self._guard_mask)
 
     def decontaminated_nodes(self) -> Set[int]:
         """Clean plus guarded nodes (the region the intruder cannot enter)."""
-        return self._clean | self.guarded_nodes()
+        return nodes_from_mask(self.decontaminated_mask)
 
     def all_clean(self) -> bool:
         """Whether no contaminated node remains (the strategy's goal)."""
-        return len(self._clean) + len(self.guarded_nodes()) == self._topo.n
+        return (self._clean_mask | self._guard_mask) == self._full
 
     def is_monotone(self) -> bool:
         """Whether no recontamination has occurred so far."""
@@ -131,12 +209,63 @@ class ContaminationMap:
         """Whether the decontaminated region is connected (contains homebase).
 
         The empty-region edge case (before any placement) counts as
-        contiguous.
+        contiguous.  With ``incremental=True`` the answer comes from the
+        maintained cache; a stale cache (non-extending arrival or
+        recontamination since the last verdict) triggers one bitset BFS.
+        """
+        if not self._incremental:
+            return self.slow_is_contiguous()
+        region = self._clean_mask | self._guard_mask
+        if not region:
+            return True
+        if self._contig_cache is None:
+            self._contig_cache = self._mask_region_connected(region)
+        return self._contig_cache
+
+    def _mask_region_connected(self, region: int) -> bool:
+        """Bitset BFS over ``region``; the fallback for non-extending events.
+
+        The search starts at the homebase when it is in the region;
+        otherwise (the homebase-evicted case, reachable only through the
+        classical ``remove_agent`` model or hand-built ``from_state``
+        snapshots) it starts at ``min(region)`` — the lowest set bit — so
+        the verdict never depends on set iteration order.
+        """
+        home_bit = 1 << self.homebase
+        frontier = home_bit if region & home_bit else region & -region
+        reached = frontier
+        if self._spread is not None:
+            while frontier:
+                frontier = self._spread(frontier) & region & ~reached
+                reached |= frontier
+        else:
+            while frontier:
+                grown = 0
+                for x in iter_set_bits(frontier):
+                    grown |= self._nbr_mask(x)
+                frontier = grown & region & ~reached
+                reached |= frontier
+        return reached == region
+
+    # ------------------------------------------------------------------ #
+    # slow reference path (pre-bitset semantics, kept for cross-checks)
+    # ------------------------------------------------------------------ #
+
+    def slow_is_contiguous(self) -> bool:
+        """Reference contiguity predicate: set-based BFS from scratch.
+
+        Semantically identical to :meth:`is_contiguous`; costs O(n) per
+        call.  Kept as the oracle the incremental path is cross-checked
+        against (``tests/test_incremental_state.py``,
+        ``benchmarks/bench_correctness_sweep.py``).
         """
         region = self.decontaminated_nodes()
         if not region:
             return True
-        start = self.homebase if self.homebase in region else next(iter(region))
+        # min(region), not next(iter(region)): the BFS start must be
+        # deterministic in the homebase-evicted case (see
+        # _mask_region_connected) or verdicts become run-dependent.
+        start = self.homebase if self.homebase in region else min(region)
         seen = {start}
         frontier = deque([start])
         while frontier:
@@ -146,6 +275,14 @@ class ContaminationMap:
                     seen.add(y)
                     frontier.append(y)
         return len(seen) == len(region)
+
+    def slow_contaminated_nodes(self) -> Set[int]:
+        """Reference contaminated set: per-node scan over the topology."""
+        return {
+            x
+            for x in self._topo.nodes()
+            if not (self._clean_mask >> x) & 1 and self._guards.get(x, 0) == 0
+        }
 
     # ------------------------------------------------------------------ #
     # state evolution
@@ -162,7 +299,9 @@ class ContaminationMap:
             raise SimulationError(
                 f"cannot place an agent on contaminated node {node} (contiguous model)"
             )
+        self._note_region_arrival(node)
         self._guards[node] = self._guards.get(node, 0) + 1
+        self._guard_mask |= 1 << node
         self._mark_visited(node)
 
     def move_agent(self, src: int, dst: int) -> None:
@@ -175,14 +314,18 @@ class ContaminationMap:
             raise SimulationError(f"no agent on {src} to move")
         if not self._topo.has_edge(src, dst):
             raise SimulationError(f"({src}, {dst}) is not an edge")
+        self._note_region_arrival(dst)
         self._guards[src] -= 1
         self._guards[dst] = self._guards.get(dst, 0) + 1
+        self._guard_mask |= 1 << dst
         self._mark_visited(dst)
         self._moves_applied += 1
         if self._guards[src] == 0:
             # src is now unguarded; it stays clean only if its whole
             # neighbourhood is safe, otherwise recontamination spreads.
-            self._clean.add(src)
+            del self._guards[src]
+            self._guard_mask &= ~(1 << src)
+            self._clean_mask |= 1 << src
             self._evaluate_recontamination(seeds=[src])
 
     def remove_agent(self, node: int) -> None:
@@ -193,7 +336,9 @@ class ContaminationMap:
             raise SimulationError(f"no agent on {node} to remove")
         self._guards[node] -= 1
         if self._guards[node] == 0:
-            self._clean.add(node)
+            del self._guards[node]
+            self._guard_mask &= ~(1 << node)
+            self._clean_mask |= 1 << node
             self._evaluate_recontamination(seeds=[node])
 
     @classmethod
@@ -211,44 +356,65 @@ class ContaminationMap:
         state is reachable)."""
         cmap = cls(topology, homebase=homebase, strict=strict)
         cmap._guards = {n: c for n, c in guards.items() if c > 0}
-        cmap._clean = set(clean) - set(cmap._guards)
-        cmap._visited = set(cmap._clean) | set(cmap._guards)
-        cmap.first_visit_order = sorted(cmap._visited)
+        cmap._guard_mask = sum(1 << n for n in cmap._guards)
+        cmap._clean_mask = sum(1 << n for n in set(clean) - set(cmap._guards))
+        cmap._visited_mask = cmap._clean_mask | cmap._guard_mask
+        cmap.first_visit_order = sorted(nodes_from_mask(cmap._visited_mask))
+        cmap._contig_cache = None  # arbitrary snapshot: verdict unknown
         return cmap
 
+    def _note_region_arrival(self, node: int) -> None:
+        """Incremental contiguity bookkeeping for an arrival at ``node``.
+
+        Called *before* the masks change.  Extending a connected region by
+        a node adjacent to it keeps it connected (O(1) verify); anything
+        else — first node, non-adjacent arrival, or growth of an already
+        non-connected region — marks the cache stale for the BFS fallback.
+        """
+        bit = 1 << node
+        region = self._clean_mask | self._guard_mask
+        if region & bit:
+            return  # already decontaminated: region shape unchanged
+        if not region:
+            self._contig_cache = True  # singleton region is connected
+        elif self._contig_cache is True and self._nbr_mask(node) & region:
+            pass  # connected + adjacent extension stays connected
+        else:
+            self._contig_cache = None
+
     def _mark_visited(self, node: int) -> None:
-        if node not in self._visited:
-            self._visited.add(node)
+        bit = 1 << node
+        if not self._visited_mask & bit:
+            self._visited_mask |= bit
             self.first_visit_order.append(node)
-        self._clean.discard(node)  # guarded, not merely clean
+        self._clean_mask &= ~bit  # guarded, not merely clean
 
     def _evaluate_recontamination(self, seeds: Iterable[int]) -> None:
         """Spread contamination from contaminated nodes into unguarded clean
         ones, starting the check at ``seeds`` (nodes that just lost guards).
+
+        The no-recontamination fast path is one mask intersection per seed;
+        the flood itself (rare, and terminal in strict mode) walks nodes to
+        record ``(node, cause)`` pairs.
         """
+        contaminated = self.contaminated_mask
         frontier = deque()
         for node in seeds:
-            if node in self._clean:
-                cause = self._contaminated_neighbor(node)
-                if cause is not None:
-                    self._recontaminate(node, cause)
+            if (self._clean_mask >> node) & 1:
+                causes = self._nbr_mask(node) & contaminated
+                if causes:
+                    self._recontaminate(node, (causes & -causes).bit_length() - 1)
                     frontier.append(node)
         # transitive spread through unguarded clean nodes
         while frontier:
             x = frontier.popleft()
-            for y in self._topo.neighbors(x):
-                if y in self._clean:
-                    self._recontaminate(y, x)
-                    frontier.append(y)
-
-    def _contaminated_neighbor(self, node: int) -> Optional[int]:
-        for y in self._topo.neighbors(node):
-            if y not in self._clean and self._guards.get(y, 0) == 0:
-                return y
-        return None
+            for y in iter_set_bits(self._nbr_mask(x) & self._clean_mask):
+                self._recontaminate(y, x)
+                frontier.append(y)
 
     def _recontaminate(self, node: int, cause: int) -> None:
-        self._clean.discard(node)
+        self._clean_mask &= ~(1 << node)
+        self._contig_cache = None  # region shrank: verdict unknown
         self.recontamination_events.append((node, cause))
         if self.strict:
             raise RecontaminationError(
@@ -260,11 +426,14 @@ class ContaminationMap:
     # ------------------------------------------------------------------ #
 
     def census(self) -> Dict[NodeState, int]:
-        """Node counts per state."""
-        counts = {s: 0 for s in NodeState}
-        for x in self._topo.nodes():
-            counts[self.state(x)] += 1
-        return counts
+        """Node counts per state (three popcounts)."""
+        guarded = self._guard_mask.bit_count()
+        clean = self._clean_mask.bit_count()
+        return {
+            NodeState.GUARDED: guarded,
+            NodeState.CLEAN: clean,
+            NodeState.CONTAMINATED: self._n - guarded - clean,
+        }
 
     def snapshot(self) -> Dict[int, NodeState]:
         """Full state map (used by traces and the viz module)."""

@@ -138,8 +138,10 @@ class Engine:
         adversarial walker), ``"walkers"`` (``intruder_count`` independent
         walkers) or ``None``.
     check_contiguity:
-        Verify the decontaminated region stays connected after every move
-        (O(n) each; disable for large runs).
+        Verify the decontaminated region stays connected after every move.
+        The map maintains contiguity incrementally (amortized O(1) per
+        move; a bitset BFS only on the rare non-extending event), so this
+        stays on even for large runs.
     max_events:
         Hard safety limit on processed events.
     fault_plan:
@@ -231,7 +233,18 @@ class Engine:
         return agent_id
 
     def _schedule(self, record: "_AgentRecord", time: float) -> None:
-        """Push the next event for an agent, superseding older ones."""
+        """Push the next event for an agent, superseding older ones.
+
+        Scheduling into the past is rejected here (the queue itself only
+        checks ``time >= 0``): an event before the current time would be
+        popped immediately but silently reorder history around every event
+        already queued at earlier times.
+        """
+        if time < self._time:
+            raise SimulationError(
+                f"agent {record.ctx.agent_id}: event scheduled at {time} "
+                f"is before current time {self._time}"
+            )
         record.token += 1
         self._queue.push(time, record.ctx.agent_id, record.token)
 
@@ -338,7 +351,10 @@ class Engine:
                     raise AgentError(f"agent {agent_id}: ({node}, {dst}) is not an edge")
                 duration = self._delay.move_delay(agent_id, node, dst)
                 if duration <= 0:
-                    raise SimulationError("move durations must be positive")
+                    raise SimulationError(
+                        f"agent {agent_id}: delay model returned non-positive "
+                        f"move duration {duration}"
+                    )
                 record.pending = self._make_move_completion(record, node, dst)
                 record.status = "inflight"
                 self._schedule(record, self._time + duration)
@@ -363,6 +379,11 @@ class Engine:
             # local actions: execute now or after the model's local delay
             executor = self._local_executor(record, action)
             local = self._delay.local_delay(agent_id, node)
+            if local < 0:
+                raise SimulationError(
+                    f"agent {agent_id}: delay model returned negative "
+                    f"local duration {local}"
+                )
             if local > 0:
                 record.pending = executor
                 record.status = "inflight"

@@ -39,7 +39,13 @@ class EventQueue:
         self._sequence = 0
 
     def push(self, time: float, agent_id: int, token: int = 0) -> Event:
-        """Schedule ``agent_id`` to resume at ``time``; returns the event."""
+        """Schedule ``agent_id`` to resume at ``time``; returns the event.
+
+        Only ``time >= 0`` is validated here — the queue has no notion of
+        "now".  Rejecting events scheduled before the current simulation
+        time is the engine's job (``Engine._schedule``), which knows the
+        clock and the offending agent.
+        """
         if time < 0:
             raise ValueError(f"event time must be >= 0, got {time}")
         event = Event(time=time, sequence=self._sequence, agent_id=agent_id, token=token)

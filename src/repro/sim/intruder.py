@@ -27,6 +27,7 @@ import random
 from collections import deque
 from typing import Optional, Set
 
+from repro._bitops import nodes_from_mask
 from repro.errors import SimulationError
 from repro.sim.contamination import ContaminationMap
 
@@ -53,27 +54,38 @@ class ReachableSetIntruder(Intruder):
     verifies the classic equivalence: the contaminated region can only
     shrink in a monotone strategy — if it ever grows somewhere that was
     clean, the underlying map has already recorded a recontamination.
+
+    The region is tracked as a node-set bitmask read straight off the
+    map's :attr:`~repro.sim.contamination.ContaminationMap.contaminated_mask`
+    delta — per observation this is a couple of big-integer operations, not
+    an O(n) set rebuild, so co-simulating the intruder no longer dominates
+    large runs.
     """
 
     def __init__(self, cmap: ContaminationMap) -> None:
-        self._region: Set[int] = set(cmap.contaminated_nodes())
+        self._region_mask: int = cmap.contaminated_mask
         self._ever_grew = False
         self.observe(cmap)
 
     def observe(self, cmap: ContaminationMap) -> None:
-        new_region = cmap.contaminated_nodes()
-        if new_region - self._region:
+        new_mask = cmap.contaminated_mask
+        if new_mask & ~self._region_mask:
             self._ever_grew = True
-        self._region = new_region
+        self._region_mask = new_mask
 
     @property
     def region(self) -> Set[int]:
         """The set of nodes the intruder may currently occupy."""
-        return set(self._region)
+        return nodes_from_mask(self._region_mask)
+
+    @property
+    def region_mask(self) -> int:
+        """The possible-location set as a node bitmask."""
+        return self._region_mask
 
     @property
     def captured(self) -> bool:
-        return not self._region
+        return self._region_mask == 0
 
     @property
     def ever_escaped_into_clean_area(self) -> bool:
@@ -136,10 +148,24 @@ class WalkerIntruder(Intruder):
         return seen.get(node, -1)
 
     def _reachable_region(self, cmap: ContaminationMap) -> Set[int]:
-        """Nodes reachable from the current position avoiding guards."""
+        """Nodes reachable from the current position avoiding guards.
+
+        A bitset BFS over the unguarded node set when the topology supports
+        whole-frontier expansion (``spread_mask``); otherwise the plain
+        set-based walk.
+        """
         topo = cmap.topology
         if cmap.guards(self.position) > 0:
             return set()
+        spread = getattr(topo, "spread_mask", None)
+        if spread is not None:
+            unguarded = ((1 << topo.n) - 1) & ~cmap.guard_mask
+            frontier = 1 << self.position
+            reached = frontier
+            while frontier:
+                frontier = spread(frontier) & unguarded & ~reached
+                reached |= frontier
+            return nodes_from_mask(reached)
         seen = {self.position}
         q = deque([self.position])
         while q:
@@ -229,8 +255,12 @@ class MultiWalkerIntruder(Intruder):
             starts = self._rng.sample(contaminated, count)
         else:
             starts = [self._rng.choice(contaminated) for _ in range(count)]
+        # Seed sub-walkers from getrandbits(64), not random(): a float seed
+        # quantizes the stream to 53 bits and two walkers could collide on
+        # identical seeds; 64 fresh bits keep packs reproducible per seed
+        # and the sub-streams distinct.
         self.walkers = [
-            WalkerIntruder(cmap, start=s, rng=random.Random(self._rng.random()))
+            WalkerIntruder(cmap, start=s, rng=random.Random(self._rng.getrandbits(64)))
             for s in starts
         ]
 

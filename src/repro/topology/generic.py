@@ -40,7 +40,7 @@ class GraphAdapter:
         Optional display name.
     """
 
-    __slots__ = ("_n", "_adj", "_edges", "name")
+    __slots__ = ("_n", "_adj", "_edges", "_nbr_masks", "name")
 
     def __init__(self, n: int, edges: Iterable[Tuple[int, int]], name: str = "G") -> None:
         if n < 1:
@@ -61,8 +61,9 @@ class GraphAdapter:
             adj[u].append(v)
             adj[v].append(u)
             edge_list.append(key)
-        self._adj = [sorted(nbrs) for nbrs in adj]
+        self._adj = tuple(tuple(sorted(nbrs)) for nbrs in adj)
         self._edges = sorted(edge_list)
+        self._nbr_masks: Tuple[int, ...] = ()
         self.name = name
 
     @property
@@ -83,6 +84,33 @@ class GraphAdapter:
         if not 0 <= node < self._n:
             raise InvalidNodeError(node, self._n)
         return list(self._adj[node])
+
+    def neighbor_mask(self, node: int) -> int:
+        """Bitmask of the neighbours of ``node`` (bit ``y`` set iff ``y``
+        is adjacent); the whole table is built once on first use so the
+        simulation hot path never rebuilds adjacency structures."""
+        if not self._nbr_masks:
+            self._nbr_masks = tuple(
+                sum(1 << y for y in nbrs) for nbrs in self._adj
+            )
+        if not 0 <= node < self._n:
+            raise InvalidNodeError(node, self._n)
+        return self._nbr_masks[node]
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask with every node's bit set (the whole node set)."""
+        return (1 << self._n) - 1
+
+    def spread_mask(self, mask: int) -> int:
+        """One-step neighbourhood of a node set given as a bitmask: the
+        union of the neighbour masks of every node in ``mask``."""
+        out = 0
+        while mask:
+            low = mask & -mask
+            out |= self.neighbor_mask(low.bit_length() - 1)
+            mask ^= low
+        return out
 
     def degree(self, node: int) -> int:
         """Degree of ``node``."""

@@ -61,7 +61,11 @@ class Hypercube:
     3
     """
 
-    __slots__ = ("_d", "_n")
+    __slots__ = ("_d", "_n", "_adj", "_nbr_masks", "_dim_low")
+
+    #: largest node count for which the adjacency table is materialized;
+    #: beyond it (d > 17) neighbour lists/masks are computed on the fly.
+    _ADJACENCY_TABLE_MAX_NODES = 1 << 17
 
     def __init__(self, dimension: int) -> None:
         if dimension < 0:
@@ -72,6 +76,9 @@ class Hypercube:
             )
         self._d = dimension
         self._n = 1 << dimension
+        self._adj: tuple = ()
+        self._nbr_masks: tuple = ()
+        self._dim_low: tuple = ()
 
     # ------------------------------------------------------------------ #
     # basic shape
@@ -132,10 +139,74 @@ class Hypercube:
     # adjacency and labels
     # ------------------------------------------------------------------ #
 
-    def neighbors(self, node: int) -> List[int]:
-        """The ``d`` neighbours of ``node`` (differ in exactly one bit)."""
+    def neighbors(self, node: int) -> Sequence[int]:
+        """The ``d`` neighbours of ``node`` (differ in exactly one bit).
+
+        Returns a cached immutable tuple: the full adjacency table is
+        precomputed on first use (for ``d <= 17``), so hot-path callers —
+        the simulation state layer touches neighbourhoods on every agent
+        move — never rebuild lists or re-validate node ids.
+        """
+        if not self._adj:
+            if self._n <= self._ADJACENCY_TABLE_MAX_NODES:
+                self._adj = tuple(
+                    tuple(x ^ (1 << i) for i in range(self._d)) for x in range(self._n)
+                )
+            else:
+                self.check_node(node)
+                return tuple(node ^ (1 << i) for i in range(self._d))
         self.check_node(node)
-        return [node ^ (1 << i) for i in range(self._d)]
+        return self._adj[node]
+
+    def neighbor_mask(self, node: int) -> int:
+        """Bitmask of the neighbours of ``node`` (bit ``y`` set iff
+        ``y`` is adjacent to ``node``); cached like :meth:`neighbors`."""
+        if not self._nbr_masks:
+            if self._n <= self._ADJACENCY_TABLE_MAX_NODES:
+                self._nbr_masks = tuple(
+                    sum(1 << (x ^ (1 << i)) for i in range(self._d)) for x in range(self._n)
+                )
+            else:
+                self.check_node(node)
+                return sum(1 << (node ^ (1 << i)) for i in range(self._d))
+        self.check_node(node)
+        return self._nbr_masks[node]
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask with every node's bit set (the whole node set)."""
+        return (1 << self._n) - 1
+
+    def spread_mask(self, mask: int) -> int:
+        """One-step neighbourhood of a node *set* given as a bitmask.
+
+        Returns the union of the neighbour sets of every node in ``mask``
+        (the input nodes themselves are not automatically included).  For
+        the hypercube this is ``d`` big-integer shifts — per-dimension, the
+        nodes with bit ``i`` clear swap places with those where it is set —
+        so whole-frontier BFS expansion costs O(d) word-parallel operations
+        instead of touching nodes one by one.
+        """
+        out = 0
+        for shift, low in self._dimension_low_masks():
+            out |= (mask & low) << shift
+            out |= (mask >> shift) & low
+        return out
+
+    def _dimension_low_masks(self) -> tuple:
+        """Per-dimension ``(shift, low)`` pairs where ``low`` masks the
+        nodes whose bit ``i`` is clear (cached helper for :meth:`spread_mask`)."""
+        if not self._dim_low:
+            pairs = []
+            all_nodes = (1 << self._n) - 1
+            for i in range(self._d):
+                shift = 1 << i
+                period = shift << 1
+                # runs of ``shift`` set bits every ``period`` bits
+                low = ((1 << shift) - 1) * (all_nodes // ((1 << period) - 1))
+                pairs.append((shift, low))
+            self._dim_low = tuple(pairs)
+        return self._dim_low
 
     def neighbor(self, node: int, position: int) -> int:
         """The neighbour of ``node`` across the port labelled ``position``.

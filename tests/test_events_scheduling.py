@@ -2,14 +2,19 @@
 
 import pytest
 
+from repro.errors import SimulationError
+from repro.sim.agent import Move, WriteWhiteboard
+from repro.sim.engine import Engine
 from repro.sim.events import EventQueue
 from repro.sim.scheduling import (
     AdversarialSlowestDelay,
+    DelayModel,
     LayeredDelay,
     RandomDelay,
     UnitDelay,
 )
 from repro.sim.trace import Trace, TraceEvent
+from repro.topology.hypercube import Hypercube
 
 
 class TestEventQueue:
@@ -83,6 +88,54 @@ class TestDelayModels:
         assert "seed=1" in RandomDelay(seed=1).describe()
         assert "x10" in AdversarialSlowestDelay([1], 10).describe()
         assert "slow nodes" in LayeredDelay({1: 2.0}).describe()
+
+
+class TestMisbehavingDelayModels:
+    """A DelayModel returning negative durations must be caught, not let
+    the engine silently schedule events into the past and reorder history."""
+
+    class NegativeMoveDelay(DelayModel):
+        def move_delay(self, agent_id, src, dst):
+            return -1.0
+
+    class NegativeLocalDelay(DelayModel):
+        def move_delay(self, agent_id, src, dst):
+            return 1.0
+
+        def local_delay(self, agent_id, node):
+            return -0.5
+
+    @staticmethod
+    def mover(ctx):
+        yield Move(1)
+
+    @staticmethod
+    def writer(ctx):
+        yield WriteWhiteboard("k", 1)
+
+    def test_negative_move_duration_rejected(self):
+        engine = Engine(
+            Hypercube(1), [self.mover], delay=self.NegativeMoveDelay(), intruder=None
+        )
+        with pytest.raises(SimulationError, match="agent 0"):
+            engine.run()
+
+    def test_negative_local_duration_rejected(self):
+        engine = Engine(
+            Hypercube(1), [self.writer], delay=self.NegativeLocalDelay(), intruder=None
+        )
+        with pytest.raises(SimulationError, match="agent 0"):
+            engine.run()
+
+    def test_past_event_rejected_at_schedule_site(self):
+        """The queue only checks time >= 0; the engine's _schedule rejects
+        anything before the current clock, naming the agent."""
+        engine = Engine(Hypercube(1), [self.mover], intruder=None)
+        engine.run()
+        record = engine._agents[0]
+        engine._time = 5.0
+        with pytest.raises(SimulationError, match="agent 0"):
+            engine._schedule(record, 4.0)
 
 
 class TestTrace:

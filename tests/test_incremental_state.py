@@ -1,0 +1,157 @@
+"""Cross-checks: bitset state layer vs. the ``slow_`` reference predicates.
+
+The incremental :class:`~repro.sim.contamination.ContaminationMap` claims
+to give exactly the answers of the original set-based implementation while
+paying amortized O(1) per move.  Here random move sequences — legal and
+deliberately messy (recontaminating) — drive maps on hypercubes d=3..6 and
+on :class:`~repro.topology.generic.GraphAdapter` families, asserting after
+*every* step that the fast predicates (``is_contiguous``,
+``contaminated_nodes``, masks) agree node-for-node with the reference BFS
+path (``slow_is_contiguous``, ``slow_contaminated_nodes``).
+"""
+
+import random
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.sim.contamination import ContaminationMap
+from repro.topology.generic import (
+    GraphAdapter,
+    grid_graph,
+    hypercube_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.topology.hypercube import Hypercube
+
+TOPOLOGIES = (
+    [Hypercube(d) for d in range(3, 7)]
+    + [hypercube_graph(3), ring_graph(7), grid_graph(3, 3), star_graph(5)]
+)
+
+
+def assert_fast_equals_slow(cmap: ContaminationMap) -> None:
+    """The node-for-node agreement the tentpole promises."""
+    assert cmap.is_contiguous() == cmap.slow_is_contiguous()
+    assert cmap.contaminated_nodes() == cmap.slow_contaminated_nodes()
+    # mask/set coherence
+    assert cmap.clean_mask & cmap.guard_mask == 0
+    assert cmap.decontaminated_mask == cmap.clean_mask | cmap.guard_mask
+    assert cmap.guarded_nodes() == set(cmap._guards)
+    assert sum(cmap.census().values()) == cmap.topology.n
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=lambda t: getattr(t, "name", repr(t)))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_walk_crosscheck(topology, seed):
+    """Random guarded-node moves (recontamination allowed) keep the fast
+    and reference predicates in lockstep at every step."""
+    rng = random.Random(seed)
+    cmap = ContaminationMap(topology, strict=False)
+    for _ in range(rng.randint(1, 3)):
+        cmap.place_agent(0)
+    assert_fast_equals_slow(cmap)
+    for _ in range(80):
+        guarded = sorted(cmap.guarded_nodes())
+        src = rng.choice(guarded)
+        dst = rng.choice(sorted(topology.neighbors(src)))
+        cmap.move_agent(src, dst)
+        assert_fast_equals_slow(cmap)
+
+
+@pytest.mark.parametrize("dimension", [3, 4, 5])
+def test_monotone_schedule_crosscheck(dimension):
+    """A genuine CLEAN-strategy replay: the common case the incremental
+    fast path (adjacent extension, no BFS) must get right move-for-move."""
+    from repro.core.strategy import get_strategy
+
+    schedule = get_strategy("clean").run(dimension)
+    cmap = ContaminationMap(Hypercube(dimension), strict=False)
+    for _ in range(max(schedule.team_size, 1)):
+        cmap.place_agent(0)
+    for move in schedule.moves:
+        cmap.move_agent(move.src, move.dst)
+        assert_fast_equals_slow(cmap)
+    assert cmap.all_clean()
+    assert cmap.is_monotone()
+    assert cmap.is_contiguous()
+
+
+class TestBfsFallbackStart:
+    """The rare homebase-evicted fallback must be deterministic: both code
+    paths start their BFS at ``min(region)``, never at set-iteration order."""
+
+    def test_homebase_evicted_disconnected_region(self):
+        g = GraphAdapter(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)], name="P7")
+        # hand-built snapshot: homebase 0 contaminated, region {2, 5} split
+        cmap = ContaminationMap.from_state(g, {2: 1, 5: 1}, set(), strict=False)
+        for _ in range(10):
+            assert cmap.is_contiguous() is False
+            assert cmap.slow_is_contiguous() is False
+
+    def test_homebase_evicted_connected_region(self):
+        g = GraphAdapter(5, [(0, 1), (1, 2), (2, 3), (3, 4)], name="P5")
+        cmap = ContaminationMap.from_state(g, {2: 1, 3: 1}, {4}, strict=False)
+        assert cmap.is_contiguous() is True
+        assert cmap.slow_is_contiguous() is True
+
+    def test_homebase_evicted_by_recontamination(self):
+        # ring: the lone agent abandons the homebase next to a contaminated
+        # node; the region collapses to the agent's node, sans homebase
+        cmap = ContaminationMap(ring_graph(5), strict=False)
+        cmap.place_agent(0)
+        cmap.move_agent(0, 1)
+        assert not cmap.is_monotone()
+        assert cmap.decontaminated_nodes() == {1}
+        assert_fast_equals_slow(cmap)
+
+
+class IncrementalCrosscheckMachine(RuleBasedStateMachine):
+    """Hypothesis-driven version of the random-walk cross-check, mixing
+    moves with placements and the classical remove_agent shrink events."""
+
+    @initialize(
+        topology=st.sampled_from(TOPOLOGIES),
+        team=st.integers(min_value=1, max_value=3),
+    )
+    def setup(self, topology, team):
+        self.topology = topology
+        self.cmap = ContaminationMap(topology, strict=False)
+        for _ in range(team):
+            self.cmap.place_agent(0)
+
+    @rule(data=st.data())
+    def move_some_agent(self, data):
+        guarded = sorted(self.cmap.guarded_nodes())
+        if not guarded:
+            return
+        src = data.draw(st.sampled_from(guarded))
+        dst = data.draw(st.sampled_from(sorted(self.topology.neighbors(src))))
+        self.cmap.move_agent(src, dst)
+
+    @rule()
+    def clone_at_guarded(self):
+        guarded = sorted(self.cmap.guarded_nodes())
+        if guarded:
+            self.cmap.place_agent(guarded[0])
+
+    @rule(data=st.data())
+    def remove_some_agent(self, data):
+        # region-shrinking event: exercises the cache-invalidation path
+        guarded = sorted(self.cmap.guarded_nodes())
+        if len(guarded) > 1:
+            self.cmap.remove_agent(data.draw(st.sampled_from(guarded)))
+
+    @invariant()
+    def fast_equals_slow(self):
+        if hasattr(self, "cmap"):
+            assert_fast_equals_slow(self.cmap)
+
+
+IncrementalCrosscheckMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)
+TestIncrementalCrosscheckMachine = IncrementalCrosscheckMachine.TestCase
