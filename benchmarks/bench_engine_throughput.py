@@ -124,6 +124,8 @@ def main() -> None:
             f"before={slow_rate:>10,.0f}/s after={fast_rate:>10,.0f}/s "
             f"speedup={fast_rate / slow_rate:>7.1f}x"
         )
+    from repro.obs import build_manifest
+
     payload = {
         "benchmark": "engine_throughput_contiguity",
         "description": (
@@ -133,6 +135,10 @@ def main() -> None:
             f"{SLOW_PATH_MOVE_BUDGET} moves"
         ),
         "check_contiguity": True,
+        "manifest": build_manifest(
+            delay=None,
+            extra={"benchmark": "engine_throughput_contiguity"},
+        ),
         "results": records,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,143 @@
+"""Perf — instrumentation overhead of the engine's event bus.
+
+Not a paper artifact: quantifies what observation costs.  Four
+configurations of the same visibility-protocol run are timed:
+
+* ``baseline``      — no subscribers (the bus guard is a single falsy
+  check per emission site; this must stay within noise of the
+  pre-instrumentation engine),
+* ``noop``          — one subscriber that discards every event (pays event
+  construction + dispatch),
+* ``metrics``       — a full :class:`~repro.obs.SimMetricsCollector`,
+* ``probes``        — the three standard invariant probes (lenient mode).
+
+Run ``python benchmarks/bench_obs_overhead.py`` to sweep and write
+``BENCH_obs_overhead.json`` at the repo root.  Set ``OBS_BENCH_SMOKE=1``
+for the CI smoke mode (small dimension, single repeat).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.protocols.visibility_protocol import run_visibility_protocol
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+
+SMOKE = bool(os.environ.get("OBS_BENCH_SMOKE"))
+
+
+def _noop(event) -> None:
+    pass
+
+
+def _configs():
+    from repro.obs import SimMetricsCollector, standard_probes
+
+    return {
+        "baseline": lambda: None,
+        "noop": lambda: [_noop],
+        "metrics": lambda: [SimMetricsCollector()],
+        "probes": lambda: standard_probes(mode="lenient"),
+    }
+
+
+def timed_run(dimension: int, make_subscribers, repeats: int = 3):
+    """Best-of-``repeats`` wall time of one protocol run; returns
+    ``(seconds, events_processed)``."""
+    best = float("inf")
+    events = 0
+    for _ in range(repeats):
+        subscribers = make_subscribers()
+        start = time.perf_counter()
+        result = run_visibility_protocol(dimension, subscribers=subscribers)
+        elapsed = time.perf_counter() - start
+        assert result.ok
+        best = min(best, elapsed)
+        events = result.event_count
+    return best, events
+
+
+def measure(dimension: int, repeats: int = 3):
+    """Time every configuration at one dimension; returns the record dict."""
+    rows = {}
+    base_time = None
+    for name, make in _configs().items():
+        seconds, events = timed_run(dimension, make, repeats=repeats)
+        if name == "baseline":
+            base_time = seconds
+        rows[name] = {
+            "seconds": round(seconds, 6),
+            "events_per_sec": round(events / seconds, 1) if seconds else None,
+            "overhead_vs_baseline": (
+                round(seconds / base_time, 3) if base_time else None
+            ),
+        }
+    return {"dimension": dimension, "nodes": 1 << dimension, "configs": rows}
+
+
+def test_unobserved_overhead_is_small():
+    """The bus guard must be nearly free: an unobserved run stays within a
+    generous factor of itself run twice (a pure-noise sanity bound that
+    still catches accidental per-event allocation on the unobserved path).
+    """
+    d = 5 if SMOKE else 6
+    first, _ = timed_run(d, lambda: None, repeats=2)
+    second, _ = timed_run(d, lambda: None, repeats=2)
+    ratio = max(first, second) / min(first, second)
+    assert ratio < 3.0, f"unobserved runs diverge by {ratio:.2f}x — timer noise?"
+
+
+def test_full_instrumentation_overhead_is_bounded():
+    """Full metrics collection may cost real time but must stay within an
+    order of magnitude of the bare engine (lenient: CI timers are noisy)."""
+    d = 5 if SMOKE else 6
+    record = measure(d, repeats=1 if SMOKE else 2)
+    overhead = record["configs"]["metrics"]["overhead_vs_baseline"]
+    assert overhead is not None and overhead < 10.0, (
+        f"metrics overhead {overhead}x exceeds the 10x sanity bound"
+    )
+
+
+def test_probe_overhead_is_bounded():
+    d = 5 if SMOKE else 6
+    record = measure(d, repeats=1 if SMOKE else 2)
+    overhead = record["configs"]["probes"]["overhead_vs_baseline"]
+    assert overhead is not None and overhead < 10.0
+
+
+def main() -> None:
+    """Sweep dimensions and write the overhead table to the JSON artifact."""
+    from repro.obs import build_manifest
+
+    dimensions = [4, 5] if SMOKE else [5, 6, 7, 8]
+    repeats = 1 if SMOKE else 3
+    records = [measure(d, repeats=repeats) for d in dimensions]
+    for record in records:
+        cfg = record["configs"]
+        print(
+            f"d={record['dimension']} "
+            + " ".join(
+                f"{name}={row['seconds'] * 1000:.1f}ms"
+                f"({row['overhead_vs_baseline']}x)"
+                for name, row in cfg.items()
+            )
+        )
+    payload = {
+        "benchmark": "obs_overhead",
+        "description": (
+            "visibility-protocol wall time under four instrumentation "
+            "configurations; overhead_vs_baseline is relative to the "
+            "unobserved engine (bus attached, zero subscribers)"
+        ),
+        "smoke": SMOKE,
+        "manifest": build_manifest(extra={"benchmark": "obs_overhead"}),
+        "results": records,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

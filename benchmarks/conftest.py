@@ -5,21 +5,29 @@ quantity), asserts the paper's claim about it (exact where the paper is
 exact, shape where the paper is asymptotic), times the underlying
 computation with pytest-benchmark, and writes the rendered artifact to
 ``benchmarks/reports/<name>.txt`` so EXPERIMENTS.md can quote it.
+
+Every artifact now gets a ``<name>.manifest.json`` sidecar (schema
+``repro-manifest/v1``) stamping the git revision and python version that
+produced it — two reports are comparable iff their manifests match.
 """
 
 from pathlib import Path
 
 import pytest
 
+from repro.obs import build_manifest, write_manifest
+
 REPORT_DIR = Path(__file__).parent / "reports"
 
 
 @pytest.fixture()
 def report():
-    """Write a rendered artifact to benchmarks/reports/<name>.txt."""
+    """Write a rendered artifact (plus manifest sidecar) to benchmarks/reports/."""
     REPORT_DIR.mkdir(exist_ok=True)
 
     def write(name: str, text: str) -> None:
         (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+        manifest = build_manifest(extra={"artifact": name})
+        write_manifest(REPORT_DIR / f"{name}.manifest.json", manifest)
 
     return write

@@ -1,11 +1,16 @@
 #!/usr/bin/env python
-"""Watch the decontamination sweep frame by frame.
+"""Watch the decontamination sweep frame by frame — live, off the event bus.
 
-Replays a strategy's schedule through the exact contamination dynamics and
-prints one text frame per time unit: ``#`` contaminated, ``A`` guarded,
-``.`` clean, one row per hypercube level.  With the visibility strategy you
-can *see* Theorem 7's waves: one whole class C_i turns from ``A`` to ``.``
-per step.
+Runs the chosen protocol on the asynchronous engine with a subscriber
+attached to the engine's event bus, and prints one text frame per time
+unit: ``#`` contaminated, ``A`` guarded, ``.`` clean, one row per
+hypercube level.  With the visibility strategy you can *see* Theorem 7's
+waves: one whole class C_i turns from ``A`` to ``.`` per step.
+
+This is the canonical subscriber example: frames are rendered purely from
+the state masks each :class:`~repro.obs.events.MoveEvent` carries — the
+renderer never touches the engine's internals, and the engine pays nothing
+for the bus when nobody is watching.
 
 Run:  python examples/watch_the_sweep.py [strategy] [dimension]
       python examples/watch_the_sweep.py clean 3
@@ -13,25 +18,87 @@ Run:  python examples/watch_the_sweep.py [strategy] [dimension]
 
 import sys
 
-from repro import get_strategy, verify_schedule
-from repro.viz.state_render import render_frames
+from repro.topology.hypercube import Hypercube
+
+RUNNERS = {
+    "visibility": "run_visibility_protocol",
+    "clean": "run_clean_protocol",
+    "cloning": "run_cloning_protocol",
+}
+
+
+class FrameRenderer:
+    """Bus subscriber that prints one frame per completed time unit.
+
+    Frames are built from the bitmasks on each move event: a node is ``A``
+    when guarded, ``.`` when decontaminated, ``#`` otherwise.  Moves of the
+    same time unit are coalesced — the frame is flushed when simulation
+    time advances past them (and once more at run end).
+    """
+
+    def __init__(self, strategy: str) -> None:
+        self._strategy = strategy
+        self._h = None
+        self._time = None
+        self._clean = 0
+        self._guard = 0
+
+    def __call__(self, event) -> None:
+        if event.kind == "run-start":
+            self._h = Hypercube(event.dimension)
+            # initial frame: homebase guarded, everything else contaminated
+            self._print_frame(
+                1 << event.homebase,
+                1 << event.homebase,
+                f"t=0  ({self._strategy} on H_{event.dimension}, "
+                f"{event.team_size} initial agents)",
+            )
+        elif event.kind == "move":
+            if self._time is not None and event.time > self._time:
+                self._flush()
+            self._time = event.time
+            self._clean = event.clean_mask
+            self._guard = event.guard_mask
+        elif event.kind == "run-end":
+            self._time = event.time
+            self._clean = event.clean_mask
+            self._guard = event.guard_mask
+            self._flush()
+
+    def _flush(self) -> None:
+        # clean_mask excludes guarded nodes: contaminated = outside clean|guard
+        left = self._h.n - bin(self._clean | self._guard).count("1")
+        self._print_frame(
+            self._clean, self._guard, f"t={self._time:g}  ({left} contaminated left)"
+        )
+
+    def _print_frame(self, clean: int, guard: int, caption: str) -> None:
+        print(caption)
+        for level in range(self._h.d + 1):
+            cells = "".join(
+                "A" if guard >> x & 1 else "." if clean >> x & 1 else "#"
+                for x in self._h.level_nodes(level)
+            )
+            print(f"  level {level}: {cells}")
+        print()
 
 
 def main() -> int:
     strategy = sys.argv[1] if len(sys.argv) > 1 else "visibility"
     dimension = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    if strategy not in RUNNERS:
+        print(f"unknown strategy {strategy!r}; pick one of {sorted(RUNNERS)}")
+        return 2
 
-    schedule = get_strategy(strategy).run(dimension)
-    verify_schedule(schedule).raise_if_failed()
+    import repro.protocols as protocols
 
-    for frame in render_frames(schedule):
-        print(frame)
-        print()
+    runner = getattr(protocols, RUNNERS[strategy])
+    result = runner(dimension, subscribers=[FrameRenderer(strategy)])
     print(
-        f"done: {schedule.team_size} agents, {schedule.total_moves} moves, "
-        f"{schedule.makespan} ideal-time steps"
+        f"done: {result.team_size} agents, {result.total_moves} moves, "
+        f"makespan {result.makespan:g}"
     )
-    return 0
+    return 0 if result.ok else 1
 
 
 if __name__ == "__main__":

@@ -8,6 +8,8 @@ Subcommands::
     repro-search simulate -d 4 -p clean --seed 3 # async protocol on the engine
     repro-search formulas -d 6                   # every closed form at one d
     repro-search lint --self --strict            # model-compliance analyzer
+    repro-search report -d 8 -p clean            # metrics snapshot + sparklines
+    repro-search watch -d 4 -p visibility        # stream engine events as JSONL
 
 The CLI is a thin veneer over the library; every command routes through
 the same public API the examples and benches use.
@@ -90,6 +92,50 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--strict", action="store_true", help="exit 1 on any finding")
     lint.add_argument("--format", choices=["text", "json"], default="text")
     lint.add_argument("--list-rules", action="store_true", help="print the rule registry")
+
+    report = sub.add_parser(
+        "report", help="run a protocol with live metrics and render the snapshot"
+    )
+    report.add_argument("-d", "--dimension", type=int, required=True)
+    report.add_argument(
+        "-p",
+        "--protocol",
+        default="clean",
+        choices=["clean", "visibility", "cloning", "synchronous"],
+    )
+    report.add_argument("--delays", default="unit", choices=["unit", "random"])
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--probes",
+        default="lenient",
+        choices=["off", "lenient", "strict"],
+        help="attach the standard invariant probes (default: lenient)",
+    )
+    report.add_argument(
+        "--json", metavar="FILE", default=None, help="also write the snapshot as JSON"
+    )
+
+    watch = sub.add_parser(
+        "watch", help="stream engine events as JSONL (manifest as final record)"
+    )
+    watch.add_argument("-d", "--dimension", type=int, required=True)
+    watch.add_argument(
+        "-p",
+        "--protocol",
+        default="visibility",
+        choices=["clean", "visibility", "cloning", "synchronous"],
+    )
+    watch.add_argument("--delays", default="unit", choices=["unit", "random"])
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument(
+        "-o", "--output", metavar="FILE", default=None, help="write JSONL here instead of stdout"
+    )
+    watch.add_argument(
+        "--masks", action="store_true", help="include hex state masks in move records"
+    )
+    watch.add_argument(
+        "--kinds", nargs="+", default=None, help="only stream these event kinds"
+    )
 
     sweep = sub.add_parser("sweep", help="measure strategies across dimensions")
     sweep.add_argument("-d", "--dimensions", type=int, nargs="+", default=[2, 4, 6, 8])
@@ -223,25 +269,104 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _protocol_runner(name: str):
+    """Map a CLI protocol name to its runner function."""
     from repro.protocols import (
         run_clean_protocol,
         run_cloning_protocol,
         run_synchronous_protocol,
         run_visibility_protocol,
     )
-    from repro.sim.scheduling import RandomDelay, UnitDelay
 
-    delay = UnitDelay() if args.delays == "unit" else RandomDelay(seed=args.seed)
-    intruder = "walker" if args.walker_intruder else "reachable"
-    runner = {
+    return {
         "clean": run_clean_protocol,
         "visibility": run_visibility_protocol,
         "cloning": run_cloning_protocol,
         "synchronous": run_synchronous_protocol,
-    }[args.protocol]
+    }[name]
+
+
+def _make_delay(kind: str, seed: int):
+    from repro.sim.scheduling import RandomDelay, UnitDelay
+
+    return UnitDelay() if kind == "unit" else RandomDelay(seed=seed)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    delay = _make_delay(args.delays, args.seed)
+    intruder = "walker" if args.walker_intruder else "reachable"
+    runner = _protocol_runner(args.protocol)
     result = runner(args.dimension, delay=delay, intruder=intruder)
     print(result.summary())
+    return 0 if result.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import SimMetricsCollector, render_report, standard_probes
+
+    collector = SimMetricsCollector()
+    subscribers = [collector]
+    probes = []
+    if args.probes != "off":
+        probes = standard_probes(mode=args.probes)
+        subscribers.extend(probes)
+
+    runner = _protocol_runner(args.protocol)
+    result = runner(
+        args.dimension,
+        delay=_make_delay(args.delays, args.seed),
+        subscribers=subscribers,
+    )
+    snapshot = collector.snapshot()
+    title = f"{args.protocol} protocol, d={args.dimension} (n={1 << args.dimension})"
+    print(render_report(snapshot, title=title))
+    print()
+    print(result.summary())
+    violations = [v for probe in probes for v in probe.violations]
+    for violation in violations:
+        print(f"PROBE: {violation.describe()}")
+    git = result.manifest.get("git") or "unknown"
+    print(f"manifest: {result.manifest.get('schema')} @ {git}")
+    if args.json:
+        import json
+        from pathlib import Path
+
+        payload = {"manifest": result.manifest, "metrics": snapshot}
+        Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"snapshot written to {args.json}")
+    return 0 if result.ok and not violations else 1
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from repro.obs import JsonlStreamer
+
+    runner = _protocol_runner(args.protocol)
+    with contextlib.ExitStack() as stack:
+        if args.output:
+            fh = stack.enter_context(open(args.output, "w"))
+        else:
+            fh = sys.stdout
+        streamer = JsonlStreamer(fh, mask_fields=args.masks)
+        subscriber = streamer
+        if args.kinds:
+            wanted = frozenset(args.kinds)
+
+            def subscriber(event, _streamer=streamer, _wanted=wanted):
+                if event.kind in _wanted:
+                    _streamer(event)
+
+        # events leave via the streamer; keep only a small trace window
+        result = runner(
+            args.dimension,
+            delay=_make_delay(args.delays, args.seed),
+            subscribers=[subscriber],
+            trace_maxlen=64,
+        )
+        streamer.write_record({"record": "manifest", **result.manifest})
+    if args.output:
+        print(f"{streamer.count} events -> {args.output}")
     return 0 if result.ok else 1
 
 
@@ -284,6 +409,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": _cmd_verify,
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
+        "report": _cmd_report,
+        "watch": _cmd_watch,
     }
     return handlers[args.command](args)
 

@@ -41,6 +41,7 @@ __all__ = [
     "analyze_path",
     "analyze_paths",
     "helper_requirements",
+    "obs_dir",
     "protocols_dir",
 ]
 
@@ -83,6 +84,11 @@ _AnyFunction = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 def protocols_dir() -> Path:
     """The installed location of :mod:`repro.protocols` (for ``--self``)."""
     return Path(__file__).resolve().parent.parent / "protocols"
+
+
+def obs_dir() -> Path:
+    """The installed location of :mod:`repro.obs` (for ``--self``)."""
+    return Path(__file__).resolve().parent.parent / "obs"
 
 
 # --------------------------------------------------------------------- #
@@ -441,6 +447,60 @@ def _check_yields(mod: _Module) -> List[Finding]:
     return findings
 
 
+#: Package prefixes the observability layer must never import (the engine
+#: imports ``repro.obs``; the reverse direction would be a cycle).
+_OBS_FORBIDDEN_PREFIXES: Tuple[str, ...] = ("repro.sim", "repro.protocols")
+
+
+def _is_obs_module(path: str) -> bool:
+    """Whether ``path`` lies inside an ``obs`` package directory."""
+    parts = Path(path).parts
+    return "obs" in parts
+
+
+def _check_obs_layering(mod: _Module) -> List[Finding]:
+    """RPR200: ``repro.obs`` modules must not import the simulation layer.
+
+    Applies only to files inside an ``obs`` package; both absolute imports
+    (``import repro.sim.x`` / ``from repro.sim import y``) and relative
+    imports that escape the package (``from ..sim import y``) are flagged.
+    """
+    if not _is_obs_module(mod.path):
+        return []
+    findings: List[Finding] = []
+
+    def _forbidden(name: str) -> bool:
+        return any(
+            name == p or name.startswith(p + ".") for p in _OBS_FORBIDDEN_PREFIXES
+        )
+
+    def _flag(node: ast.AST, imported: str) -> None:
+        findings.append(
+            mod.finding(
+                "RPR200",
+                node,
+                f"`repro.obs` imports `{imported}`: the engine imports the "
+                "observability layer, so this is an import cycle — pass "
+                "state through event payloads instead",
+            )
+        )
+
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _forbidden(alias.name):
+                    _flag(node, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and _forbidden(module):
+                _flag(node, module)
+            elif node.level >= 2:  # `from ..sim import x` escapes repro/obs/
+                target = module.split(".", 1)[0]
+                if target in {"sim", "protocols"}:
+                    _flag(node, f"{'.' * node.level}{module}")
+    return findings
+
+
 def _check_memory(mod: _Module) -> List[Finding]:
     """RPR130: agent memory writes must go through ``remember``."""
     findings: List[Finding] = []
@@ -496,6 +556,7 @@ def analyze_source(source: str, path: str = "<string>") -> List[Finding]:
         + _check_board_mutation(mod)
         + _check_yields(mod)
         + _check_memory(mod)
+        + _check_obs_layering(mod)
     )
     return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))
 

@@ -21,7 +21,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.lint.analyzer import analyze_paths, protocols_dir
+from repro.lint.analyzer import analyze_paths, obs_dir, protocols_dir
 from repro.lint.reporters import render_json, render_rules, render_text
 
 __all__ = ["main", "build_parser", "run_lint"]
@@ -43,7 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--self",
         dest="self_check",
         action="store_true",
-        help="analyze this repository's own protocol implementations",
+        help=(
+            "analyze this repository's own protocol implementations and "
+            "the observability layer's import hygiene"
+        ),
     )
     parser.add_argument(
         "--strict",
@@ -70,6 +73,7 @@ def run_lint(args: argparse.Namespace) -> int:
     paths: List[Path] = [Path(p) for p in args.paths]
     if args.self_check:
         paths.append(protocols_dir())
+        paths.append(obs_dir())
     if not paths:
         print("repro-lint: no paths given (try --self or --list-rules)", file=sys.stderr)
         return 2

@@ -104,6 +104,16 @@ _RULE_TABLE: Tuple[Rule, ...] = (
             "`ctx.peak_memory_bits` directly defeats `estimate_bits`"
         ),
     ),
+    Rule(
+        code="RPR200",
+        name="obs-imports-sim",
+        summary=(
+            "observability modules (`repro.obs`) must not import the "
+            "simulation layer (`repro.sim`, `repro.protocols`): the engine "
+            "imports `obs`, so the reverse direction is an import cycle — "
+            "consumers get state via event payloads, not engine objects"
+        ),
+    ),
 )
 
 #: The registry, keyed by stable code.

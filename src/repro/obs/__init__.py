@@ -1,0 +1,109 @@
+"""Live instrumentation layer: event bus, metrics, probes, manifests.
+
+The :mod:`repro.obs` package turns the discrete-event engine from a black
+box (all measurement post-hoc on the final :class:`~repro.sim.trace.Trace`)
+into an instrumented system: the engine publishes typed events
+(:mod:`~repro.obs.events`) to any number of subscribers through a tiny
+pub/sub bus (:mod:`~repro.obs.bus`), and this package provides the three
+standard consumers:
+
+* :mod:`~repro.obs.metrics` — a counters/gauges/time-series registry with a
+  built-in collector for the paper's quantities (live clean/contaminated/
+  guard counts, frontier size, moves per level, blocked agents);
+* :mod:`~repro.obs.probes` — invariant probes that diagnose monotonicity,
+  contiguity and guard-coverage violations *at the violating event*, naming
+  the agent, node, event kind and simulation time;
+* :mod:`~repro.obs.stream` — JSONL event streaming for live tailing
+  (``repro-search watch``).
+
+:mod:`~repro.obs.manifest` stamps every run and benchmark with an
+attributable record (seed, topology, protocol model, delay model, git
+revision, metric snapshot — schema ``repro-manifest/v1``), and
+:mod:`~repro.obs.report` renders metric snapshots as sparkline text
+reports (``repro-search report``).
+
+Layering
+--------
+``obs`` sits *below* the simulation core: :mod:`repro.sim.engine` imports
+the event types from here, and nothing in this package may import
+``repro.sim`` (enforced statically by ``repro-lint`` rule ``RPR200``).
+Consumers that need simulation state receive it through the event payloads
+(bitmasks and scalars), never through an import.
+"""
+
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    CloneEvent,
+    ContiguityLostEvent,
+    CrashEvent,
+    EngineEvent,
+    MoveEvent,
+    PhaseEvent,
+    RecontaminationEvent,
+    RunEndEvent,
+    RunStartEvent,
+    SpawnEvent,
+    TerminateEvent,
+    WaitEvent,
+    WakeEvent,
+    WhiteboardEvent,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    git_revision,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    SimMetricsCollector,
+    TimeSeries,
+)
+from repro.obs.probes import (
+    ContiguityProbe,
+    GuardCoverageProbe,
+    InvariantViolation,
+    MonotonicityProbe,
+    ProbeViolation,
+    standard_probes,
+)
+from repro.obs.report import render_report, sparkline
+from repro.obs.stream import JsonlStreamer
+
+__all__ = [
+    "EventBus",
+    "EngineEvent",
+    "RunStartEvent",
+    "RunEndEvent",
+    "SpawnEvent",
+    "MoveEvent",
+    "CloneEvent",
+    "WaitEvent",
+    "WakeEvent",
+    "WhiteboardEvent",
+    "TerminateEvent",
+    "CrashEvent",
+    "RecontaminationEvent",
+    "ContiguityLostEvent",
+    "PhaseEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "TimeSeries",
+    "SimMetricsCollector",
+    "ProbeViolation",
+    "InvariantViolation",
+    "MonotonicityProbe",
+    "ContiguityProbe",
+    "GuardCoverageProbe",
+    "standard_probes",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "git_revision",
+    "write_manifest",
+    "render_report",
+    "sparkline",
+    "JsonlStreamer",
+]

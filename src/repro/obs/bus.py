@@ -1,0 +1,67 @@
+"""The engine's pub/sub: a list of callables and one publish loop.
+
+Deliberately minimal — the zero-overhead contract lives in the *engine*,
+which keeps a reference to :attr:`EventBus.subscribers` (the live list
+object) and guards every emission site with a single truthiness check on
+it.  When no subscriber is attached the engine never constructs an event,
+never calls :meth:`EventBus.publish`, and the hot path pays one pointer
+test per emission point (measured in ``BENCH_obs_overhead.json``).
+
+Subscriber exceptions propagate to the engine's caller on purpose: strict
+invariant probes (:mod:`repro.obs.probes`) *are* subscribers, and their
+diagnostics must abort the run at the violating event, not after it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.obs.events import EngineEvent
+
+__all__ = ["EventBus", "Subscriber"]
+
+#: A subscriber is any callable taking one event; return value is ignored.
+Subscriber = Callable[[EngineEvent], object]
+
+
+class EventBus:
+    """Ordered fan-out of :class:`~repro.obs.events.EngineEvent` objects."""
+
+    __slots__ = ("subscribers",)
+
+    def __init__(self) -> None:
+        #: The live subscriber list.  The engine aliases this exact object
+        #: for its hot-path guard — replace its *contents*, never the list.
+        self.subscribers: List[Subscriber] = []
+
+    def subscribe(self, fn: Subscriber) -> Subscriber:
+        """Attach ``fn``; returns it (handy for decorator use)."""
+        if not callable(fn):
+            raise TypeError(f"subscriber must be callable, got {fn!r}")
+        self.subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        """Detach ``fn`` (no-op if it was never attached)."""
+        try:
+            self.subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    def publish(self, event: EngineEvent) -> None:
+        """Deliver ``event`` to every subscriber in attach order.
+
+        Iterates over a snapshot so a subscriber may unsubscribe itself
+        (or attach others) mid-delivery without skipping anyone.
+        """
+        for fn in tuple(self.subscribers):
+            fn(event)
+
+    def __len__(self) -> int:
+        return len(self.subscribers)
+
+    def __bool__(self) -> bool:
+        return bool(self.subscribers)
+
+    def __repr__(self) -> str:
+        return f"EventBus(subscribers={len(self.subscribers)})"

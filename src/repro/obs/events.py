@@ -1,0 +1,296 @@
+"""Typed engine events — the vocabulary of the instrumentation layer.
+
+Every event the engine can publish is a small frozen dataclass with a
+stable ``kind`` string.  The kinds deliberately coincide with the
+:class:`~repro.sim.trace.TraceEvent` kinds where both exist (``"move"``,
+``"clone"``, ``"wait"``, ``"wake"``, ``"terminate"``, ``"crash"``,
+``"write"``), and every event exposes the same record shape the trace
+uses — ``time`` / ``kind`` / ``agent`` / ``node`` / ``data`` — so one
+consumer (e.g. :func:`repro.sim.telemetry.analyze_trace`) can read either
+a post-hoc trace or a live event stream without translation.
+
+State-carrying events (:class:`MoveEvent`, :class:`RunEndEvent`) embed the
+engine's node-set *bitmasks* (bit ``i`` set iff node ``i`` is in the set).
+Masks are plain ``int`` references, so attaching them costs O(1); they are
+what lets metric collectors and invariant probes live entirely in this
+package without importing — or holding — any simulation object.
+
+This module must not import anything from ``repro.sim`` (lint rule
+``RPR200``): the engine imports *us*, never the other way around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, Optional, Tuple
+
+__all__ = [
+    "EngineEvent",
+    "RunStartEvent",
+    "RunEndEvent",
+    "SpawnEvent",
+    "MoveEvent",
+    "CloneEvent",
+    "WaitEvent",
+    "WakeEvent",
+    "WhiteboardEvent",
+    "TerminateEvent",
+    "CrashEvent",
+    "RecontaminationEvent",
+    "ContiguityLostEvent",
+    "PhaseEvent",
+    "EVENT_KINDS",
+]
+
+#: Sentinel agent/node id for events not attributable to one agent.
+_SYSTEM = -1
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """Base of every published event.
+
+    ``agent`` and ``node`` are ``-1`` for system-level events (run start /
+    end, phase marks) that no single agent caused.
+    """
+
+    time: float
+    agent: int = _SYSTEM
+    node: int = _SYSTEM
+
+    #: Stable kind string; subclasses override.
+    kind: ClassVar[str] = "event"
+
+    @property
+    def data(self) -> Dict[str, Any]:
+        """Trace-compatible payload dict (subclasses add their extras)."""
+        return {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable record (the JSONL stream line)."""
+        out: Dict[str, Any] = {
+            "time": self.time,
+            "kind": self.kind,
+            "agent": self.agent,
+            "node": self.node,
+        }
+        out.update(self.data)
+        return out
+
+
+@dataclass(frozen=True)
+class RunStartEvent(EngineEvent):
+    """Published once when :meth:`Engine.run` begins."""
+
+    kind: ClassVar[str] = "run-start"
+    n: int = 0
+    dimension: int = 0
+    homebase: int = 0
+    team_size: int = 0
+    delay_model: str = ""
+
+    @property
+    def data(self) -> Dict[str, Any]:
+        return {
+            "n": self.n,
+            "dimension": self.dimension,
+            "homebase": self.homebase,
+            "team_size": self.team_size,
+            "delay_model": self.delay_model,
+        }
+
+
+@dataclass(frozen=True)
+class RunEndEvent(EngineEvent):
+    """Published once when the engine reaches quiescence."""
+
+    kind: ClassVar[str] = "run-end"
+    all_clean: bool = False
+    monotone: bool = True
+    contiguous: bool = True
+    total_moves: int = 0
+    events_processed: int = 0
+    clean_mask: int = 0
+    guard_mask: int = 0
+
+    @property
+    def data(self) -> Dict[str, Any]:
+        return {
+            "all_clean": self.all_clean,
+            "monotone": self.monotone,
+            "contiguous": self.contiguous,
+            "total_moves": self.total_moves,
+            "events_processed": self.events_processed,
+        }
+
+
+@dataclass(frozen=True)
+class SpawnEvent(EngineEvent):
+    """An agent entered the system (initial deployment or clone birth)."""
+
+    kind: ClassVar[str] = "spawn"
+    parent: Optional[int] = None
+
+    @property
+    def data(self) -> Dict[str, Any]:
+        return {"parent": self.parent}
+
+
+@dataclass(frozen=True)
+class MoveEvent(EngineEvent):
+    """An agent completed an edge traversal; ``node`` is the destination.
+
+    The post-move state rides along: ``src_vacated`` says the source lost
+    its last guard, ``recontaminations`` lists any ``(node, cause)`` pairs
+    the departure triggered, ``contiguous`` is the post-move contiguity
+    verdict (``None`` when the engine runs with ``check_contiguity=False``)
+    and the three masks are the live node sets *after* the move.
+    ``frontier_mask`` is the decontaminated nodes that still touch
+    contamination — the paper's moving boundary.
+    """
+
+    kind: ClassVar[str] = "move"
+    src: int = 0
+    src_vacated: bool = False
+    recontaminations: Tuple[Tuple[int, int], ...] = field(default=())
+    contiguous: Optional[bool] = None
+    clean_mask: int = 0
+    guard_mask: int = 0
+    frontier_mask: int = 0
+
+    @property
+    def data(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"src": self.src}
+        if self.recontaminations:
+            out["recontaminations"] = list(map(list, self.recontaminations))
+        return out
+
+
+@dataclass(frozen=True)
+class CloneEvent(EngineEvent):
+    """An agent cloned itself; ``child`` is the new agent's id."""
+
+    kind: ClassVar[str] = "clone"
+    child: int = 0
+
+    @property
+    def data(self) -> Dict[str, Any]:
+        return {"child": self.child}
+
+
+@dataclass(frozen=True)
+class WaitEvent(EngineEvent):
+    """An agent blocked on a :class:`~repro.sim.agent.WaitUntil` predicate."""
+
+    kind: ClassVar[str] = "wait"
+    why: str = ""
+
+    @property
+    def data(self) -> Dict[str, Any]:
+        return {"why": self.why}
+
+
+@dataclass(frozen=True)
+class WakeEvent(EngineEvent):
+    """A blocked agent's predicate turned true (wake-up scheduled)."""
+
+    kind: ClassVar[str] = "wake"
+
+
+@dataclass(frozen=True)
+class WhiteboardEvent(EngineEvent):
+    """A whiteboard mutation (``WriteWhiteboard`` or ``UpdateWhiteboard``).
+
+    ``key`` is ``None`` for opaque read-modify-write mutators.
+    """
+
+    kind: ClassVar[str] = "write"
+    key: Optional[str] = None
+
+    @property
+    def data(self) -> Dict[str, Any]:
+        return {"key": self.key}
+
+
+@dataclass(frozen=True)
+class TerminateEvent(EngineEvent):
+    """An agent stopped acting (it keeps guarding its final node)."""
+
+    kind: ClassVar[str] = "terminate"
+
+
+@dataclass(frozen=True)
+class CrashEvent(EngineEvent):
+    """Fault injection stopped an agent (crash-stop; body stays put)."""
+
+    kind: ClassVar[str] = "crash"
+
+
+@dataclass(frozen=True)
+class RecontaminationEvent(EngineEvent):
+    """A clean node was recontaminated — the monotonicity invariant broke.
+
+    ``node`` is the recontaminated node, ``cause`` the contaminated
+    neighbour it caught the intruder's reach from, and ``agent`` / ``src``
+    / ``dst`` identify the move whose departure opened the breach.
+    """
+
+    kind: ClassVar[str] = "recontaminated"
+    cause: int = 0
+    src: int = 0
+    dst: int = 0
+
+    @property
+    def data(self) -> Dict[str, Any]:
+        return {"cause": self.cause, "src": self.src, "dst": self.dst}
+
+
+@dataclass(frozen=True)
+class ContiguityLostEvent(EngineEvent):
+    """The decontaminated region disconnected — contiguity broke.
+
+    ``agent`` / ``src`` / ``dst`` identify the move after which the region
+    first failed the connectivity check.
+    """
+
+    kind: ClassVar[str] = "contiguity-lost"
+    src: int = 0
+    dst: int = 0
+
+    @property
+    def data(self) -> Dict[str, Any]:
+        return {"src": self.src, "dst": self.dst}
+
+
+@dataclass(frozen=True)
+class PhaseEvent(EngineEvent):
+    """A named phase transition (:meth:`Engine.mark_phase`).
+
+    Protocol drivers and tests use this to delimit strategy phases (e.g.
+    level sweeps); the metrics collector keys per-phase counters off it.
+    """
+
+    kind: ClassVar[str] = "phase"
+    name: str = ""
+
+    @property
+    def data(self) -> Dict[str, Any]:
+        return {"name": self.name}
+
+
+#: Every published kind, for consumers that dispatch on strings.
+EVENT_KINDS: Tuple[str, ...] = (
+    RunStartEvent.kind,
+    RunEndEvent.kind,
+    SpawnEvent.kind,
+    MoveEvent.kind,
+    CloneEvent.kind,
+    WaitEvent.kind,
+    WakeEvent.kind,
+    WhiteboardEvent.kind,
+    TerminateEvent.kind,
+    CrashEvent.kind,
+    RecontaminationEvent.kind,
+    ContiguityLostEvent.kind,
+    PhaseEvent.kind,
+)

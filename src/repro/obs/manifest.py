@@ -1,0 +1,119 @@
+"""Run manifests: attributable records for runs and benchmarks (schema v1).
+
+A manifest answers "what exactly produced this number?" for every
+``BENCH_*.json`` entry, benchmark report and engine run: the seed, the
+topology, the protocol's capability model, the delay model, the git
+revision of the code and (optionally) a metric snapshot.  Two artifacts
+with the same manifest fields are comparable; two with different ones are
+not — which is the whole point of stamping them.
+
+Schema ``repro-manifest/v1`` (all keys always present; ``None`` when
+unknown)::
+
+    {
+      "schema":   "repro-manifest/v1",
+      "git":      "<git describe --always --dirty>" | null,
+      "python":   "3.12.1",
+      "seed":     0 | null,
+      "topology": {"type": "Hypercube", "n": 256, "dimension": 8} | null,
+      "model":    {"visibility": true, "cloning": false,
+                   "global_clock": false} | null,
+      "delay":    "unit" | null,
+      "metrics":  {...snapshot...} | null,
+      "extra":    {...caller keys...}        # only when provided
+    }
+
+``git`` is resolved once per process (subprocess call, cached) and is
+``None`` outside a git checkout — manifests never fail to build.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["MANIFEST_SCHEMA", "git_revision", "describe_topology", "build_manifest", "write_manifest"]
+
+#: The schema identifier stamped into every manifest.
+MANIFEST_SCHEMA = "repro-manifest/v1"
+
+
+@lru_cache(maxsize=1)
+def git_revision() -> Optional[str]:
+    """``git describe --always --dirty`` of this checkout, or ``None``.
+
+    Cached for the process lifetime: manifests are built per run and per
+    benchmark row, and the revision cannot change under a running process.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = out.stdout.strip()
+    return revision if out.returncode == 0 and revision else None
+
+
+def describe_topology(topology: Any) -> Optional[Dict[str, Any]]:
+    """A JSON-able description of a duck-typed topology object.
+
+    Records the class name, node count and — when present — the hypercube
+    dimension ``d``.  Accepts ``None`` (returns ``None``).
+    """
+    if topology is None:
+        return None
+    out: Dict[str, Any] = {
+        "type": type(topology).__name__,
+        "n": getattr(topology, "n", None),
+    }
+    dimension = getattr(topology, "d", None)
+    if dimension is not None:
+        out["dimension"] = dimension
+    return out
+
+
+def build_manifest(
+    *,
+    seed: Optional[int] = None,
+    topology: Any = None,
+    model: Optional[Dict[str, bool]] = None,
+    delay: Optional[str] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a schema-v1 manifest dict.
+
+    Parameters mirror the schema keys; ``topology`` may be the live
+    topology object (described via :func:`describe_topology`) or an
+    already-built dict.  ``extra`` is appended verbatim for caller-specific
+    keys (benchmark names, artifact ids).
+    """
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "git": git_revision(),
+        "python": platform.python_version(),
+        "seed": seed,
+        "topology": topology if isinstance(topology, dict) else describe_topology(topology),
+        "model": dict(model) if model is not None else None,
+        "delay": delay,
+        "metrics": metrics,
+    }
+    if extra:
+        manifest["extra"] = dict(extra)
+    return manifest
+
+
+def write_manifest(path: Union[str, Path], manifest: Dict[str, Any]) -> Path:
+    """Write ``manifest`` as pretty JSON to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return target

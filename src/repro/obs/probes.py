@@ -1,0 +1,200 @@
+"""Invariant probes: first-failure diagnostics at the violating event.
+
+The paper's definition of a successful strategy is three invariants —
+*monotone* (no recontamination), *contiguous* (the decontaminated region
+stays connected) and the guard-coverage condition behind both (no merely
+clean node may touch contamination).  Before this layer existed a
+violation surfaced only as a terse end-state verdict ("final state is
+contaminated"); a probe is a bus subscriber that checks its invariant *at
+the event that breaks it* and produces a :class:`ProbeViolation` naming
+the agent, node, event kind and simulation time::
+
+    monotonicity: agent 3 vacated node 5 at t=12.25 -> node 5
+    recontaminated from contaminated neighbour 13 (during move 5->7)
+
+Probes run in one of two modes:
+
+* ``strict`` (default) — raise :class:`InvariantViolation` immediately,
+  aborting the run at the first bad event (the exception carries the
+  structured diagnostic);
+* ``lenient`` — record every violation in :attr:`InvariantProbe.violations`
+  and let the run continue (post-mortem over a full failing run).
+
+Probes read only event payloads (masks and scalars) — no simulation
+object, no ``repro.sim`` import (lint rule ``RPR200``).  Because the
+engine's own dynamics repair guard-coverage breaches by immediately
+recontaminating the exposed node, :class:`GuardCoverageProbe` doubles as a
+cross-check on the state layer itself: it fires only if the dynamics and
+the invariant disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.obs.events import EngineEvent, MoveEvent
+
+__all__ = [
+    "ProbeViolation",
+    "InvariantViolation",
+    "InvariantProbe",
+    "MonotonicityProbe",
+    "ContiguityProbe",
+    "GuardCoverageProbe",
+    "standard_probes",
+]
+
+
+@dataclass(frozen=True)
+class ProbeViolation:
+    """One structured invariant diagnostic."""
+
+    probe: str  # "monotonicity" | "contiguity" | "guard-coverage"
+    agent: int
+    node: int
+    event_kind: str
+    time: float
+    message: str
+
+    def describe(self) -> str:
+        """The one-line diagnostic (probe prefix + message)."""
+        return f"{self.probe}: {self.message}"
+
+
+class InvariantViolation(ReproError):
+    """Raised by a strict probe at the violating event."""
+
+    def __init__(self, violation: ProbeViolation) -> None:
+        super().__init__(violation.describe())
+        self.violation = violation
+
+
+class InvariantProbe:
+    """Base class: mode handling and the violation log."""
+
+    #: Probe name used in diagnostics; subclasses override.
+    name = "invariant"
+
+    def __init__(self, mode: str = "strict") -> None:
+        if mode not in ("strict", "lenient"):
+            raise ValueError(f"probe mode must be 'strict' or 'lenient', got {mode!r}")
+        self.mode = mode
+        #: Violations recorded so far (lenient mode accumulates here;
+        #: strict mode records the first, then raises).
+        self.violations: List[ProbeViolation] = []
+
+    @property
+    def ok(self) -> bool:
+        """Whether the invariant has held so far."""
+        return not self.violations
+
+    def _report(self, event: EngineEvent, message: str) -> None:
+        violation = ProbeViolation(
+            probe=self.name,
+            agent=event.agent,
+            node=event.node,
+            event_kind=event.kind,
+            time=event.time,
+            message=message,
+        )
+        self.violations.append(violation)
+        if self.mode == "strict":
+            raise InvariantViolation(violation)
+
+    def __call__(self, event: EngineEvent) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class MonotonicityProbe(InvariantProbe):
+    """No node may ever be recontaminated (the paper's monotone condition).
+
+    Fires on the move whose departure triggered the recontamination,
+    naming the vacating agent, the vacated node and every node the breach
+    flooded.
+    """
+
+    name = "monotonicity"
+
+    def __call__(self, event: EngineEvent) -> None:
+        if event.kind != "move":
+            return
+        assert isinstance(event, MoveEvent)
+        if not event.recontaminations:
+            return
+        first_node, first_cause = event.recontaminations[0]
+        flooded = ", ".join(str(n) for n, _ in event.recontaminations)
+        self._report(
+            event,
+            f"agent {event.agent} vacated node {event.src} at t={event.time:g} "
+            f"-> node {first_node} recontaminated from contaminated neighbour "
+            f"{first_cause} (during move {event.src}->{event.node}; "
+            f"flooded: {flooded})",
+        )
+
+
+class ContiguityProbe(InvariantProbe):
+    """The decontaminated region must stay connected after every move.
+
+    Uses the engine's post-move verdict carried on the event; a move made
+    with ``check_contiguity=False`` carries no verdict and is skipped.
+    Only the *transition* into disconnection fires (one diagnostic per
+    breach, not one per subsequent move).
+    """
+
+    name = "contiguity"
+
+    def __init__(self, mode: str = "strict") -> None:
+        super().__init__(mode)
+        self._was_contiguous = True
+
+    def __call__(self, event: EngineEvent) -> None:
+        if event.kind != "move":
+            return
+        assert isinstance(event, MoveEvent)
+        if event.contiguous is None:
+            return
+        if event.contiguous:
+            self._was_contiguous = True
+            return
+        if not self._was_contiguous:
+            return  # still broken; already diagnosed at the transition
+        self._was_contiguous = False
+        self._report(
+            event,
+            f"decontaminated region disconnected after agent {event.agent} "
+            f"moved {event.src}->{event.node} at t={event.time:g}",
+        )
+
+
+class GuardCoverageProbe(InvariantProbe):
+    """No merely clean (unguarded) node may touch contamination.
+
+    This is the pointwise condition that implies monotonicity under the
+    paper's dynamics; the engine's state layer enforces it by immediately
+    recontaminating any exposed node, so this probe firing means the
+    dynamics themselves mis-evolved a mask — a state-layer cross-check.
+    """
+
+    name = "guard-coverage"
+
+    def __call__(self, event: EngineEvent) -> None:
+        if event.kind != "move":
+            return
+        assert isinstance(event, MoveEvent)
+        exposed = event.frontier_mask & event.clean_mask & ~event.guard_mask
+        if not exposed:
+            return
+        node = (exposed & -exposed).bit_length() - 1
+        self._report(
+            event,
+            f"clean unguarded node {node} touches contamination after agent "
+            f"{event.agent} moved {event.src}->{event.node} at t={event.time:g} "
+            f"(exposed mask {exposed:#x})",
+        )
+
+
+def standard_probes(mode: str = "strict") -> List[InvariantProbe]:
+    """The three built-in probes, ready to pass as engine subscribers."""
+    return [MonotonicityProbe(mode), ContiguityProbe(mode), GuardCoverageProbe(mode)]

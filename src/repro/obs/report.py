@@ -1,0 +1,104 @@
+"""Sparkline text reports over metric snapshots (``repro-search report``).
+
+Renders a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (or a
+:meth:`~repro.obs.metrics.SimMetricsCollector.snapshot`, which adds the
+per-agent table) as a compact terminal report: counters and gauges as
+aligned key/value rows, every time series as a unicode sparkline spanning
+the run.  Pure string formatting over plain dicts — usable on snapshots
+loaded back from JSON just as well as on live registries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["sparkline", "render_report"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 48) -> str:
+    """``values`` as a fixed-width unicode sparkline.
+
+    Longer sequences are resampled down to ``width`` points (bucket means);
+    shorter ones are rendered as-is.  A flat series renders at the lowest
+    bar so changes, not absolute levels, stand out.
+    """
+    if not values:
+        return ""
+    points = _resample([float(v) for v in values], width)
+    lo, hi = min(points), max(points)
+    if hi <= lo:
+        return _BARS[0] * len(points)
+    scale = (len(_BARS) - 1) / (hi - lo)
+    return "".join(_BARS[round((v - lo) * scale)] for v in points)
+
+
+def _resample(values: List[float], width: int) -> List[float]:
+    if len(values) <= width:
+        return values
+    out: List[float] = []
+    for i in range(width):
+        lo = i * len(values) // width
+        hi = max((i + 1) * len(values) // width, lo + 1)
+        bucket = values[lo:hi]
+        out.append(sum(bucket) / len(bucket))
+    return out
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return str(int(value))
+
+
+def _kv_rows(table: Dict[str, float], indent: str = "  ") -> List[str]:
+    if not table:
+        return [f"{indent}(none)"]
+    pad = max(len(name) for name in table)
+    return [f"{indent}{name:<{pad}} : {_format_value(value)}" for name, value in table.items()]
+
+
+def render_report(snapshot: Dict[str, Any], *, title: str = "metrics", width: int = 48) -> str:
+    """Multi-line text report for one metric snapshot.
+
+    ``snapshot`` is the dict shape produced by
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`; the optional
+    ``per_agent`` key (added by
+    :meth:`~repro.obs.metrics.SimMetricsCollector.snapshot`) renders as a
+    summary row per agent state.
+    """
+    lines: List[str] = [f"=== {title} ==="]
+
+    counters: Dict[str, float] = snapshot.get("counters", {})
+    gauges: Dict[str, float] = snapshot.get("gauges", {})
+    series: Dict[str, List[Tuple[float, float]]] = snapshot.get("series", {})
+
+    lines.append("counters:")
+    lines.extend(_kv_rows(counters))
+    lines.append("gauges:")
+    lines.extend(_kv_rows(gauges))
+
+    if series:
+        lines.append("series (start -> end over sim time):")
+        pad = max(len(name) for name in series)
+        for name, samples in series.items():
+            values = [v for _, v in samples]
+            if not values:
+                continue
+            lines.append(
+                f"  {name:<{pad}} {sparkline(values, width)} "
+                f"[{_format_value(values[0])} -> {_format_value(values[-1])}, "
+                f"peak {_format_value(max(values))}]"
+            )
+
+    per_agent: Optional[Dict[str, Dict[str, Any]]] = snapshot.get("per_agent")
+    if per_agent:
+        states: Dict[str, int] = {}
+        for info in per_agent.values():
+            state = str(info.get("state", "active"))
+            states[state] = states.get(state, 0) + 1
+        total_moves = sum(int(info.get("moves", 0)) for info in per_agent.values())
+        summary = ", ".join(f"{count} {state}" for state, count in sorted(states.items()))
+        lines.append(f"agents: {len(per_agent)} ({summary}); {total_moves} moves total")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""JSONL event streaming: write each engine event as one JSON line.
+
+:class:`JsonlStreamer` is a bus subscriber that serializes events with
+:meth:`~repro.obs.events.EngineEvent.to_dict` and writes them to any
+text-file-like object as they happen — the live-tailing path behind
+``repro-search watch``.  Unlike the :class:`~repro.sim.trace.Trace`, a
+streamer holds O(1) state no matter how long the run is: events leave the
+process as they occur instead of accumulating.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, TextIO
+
+from repro.obs.events import EngineEvent
+
+__all__ = ["JsonlStreamer"]
+
+
+class JsonlStreamer:
+    """Subscriber writing one JSON line per event to ``fh``.
+
+    Parameters
+    ----------
+    fh:
+        Any object with ``write(str)`` (an open text file, ``sys.stdout``,
+        an ``io.StringIO`` in tests).
+    flush_every:
+        Flush the handle every N events (1 = after each line, the live
+        tailing default; larger values batch for throughput).  ``0``
+        disables explicit flushing entirely.
+    mask_fields:
+        When true, include the bitmask payload fields of state-carrying
+        events (as hex strings — they can be thousands of bits at high
+        dimension); default omits them to keep lines small.
+    """
+
+    def __init__(self, fh: TextIO, *, flush_every: int = 1, mask_fields: bool = False) -> None:
+        self._fh = fh
+        self._flush_every = flush_every
+        self._mask_fields = mask_fields
+        #: Events written so far.
+        self.count = 0
+
+    def __call__(self, event: EngineEvent) -> None:
+        record = event.to_dict()
+        if self._mask_fields:
+            for name in ("clean_mask", "guard_mask", "frontier_mask"):
+                mask = getattr(event, name, None)
+                if mask is not None:
+                    record[name] = hex(mask)
+        self._fh.write(json.dumps(record) + "\n")
+        self.count += 1
+        if self._flush_every and self.count % self._flush_every == 0:
+            self._maybe_flush()
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        """Write one extra non-event record (e.g. the closing manifest)."""
+        self._fh.write(json.dumps(record) + "\n")
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        flush = getattr(self._fh, "flush", None)
+        if flush is not None:
+            try:
+                flush()
+            except OSError:  # pragma: no cover - closed pipe during teardown
+                pass
+
+    def __repr__(self) -> str:
+        return f"JsonlStreamer(count={self.count})"

@@ -262,6 +262,8 @@ def run_clean_protocol(
     intruder: Optional[str] = "reachable",
     check_contiguity: bool = True,
     whiteboard_capacity_bits: Optional[int] = None,
+    subscribers: Optional[List] = None,
+    trace_maxlen: Optional[int] = None,
 ) -> SimResult:
     """Run Algorithm 1 on the engine (whiteboard model, no visibility).
 
@@ -282,5 +284,7 @@ def run_clean_protocol(
         intruder=intruder,
         check_contiguity=check_contiguity,
         whiteboard_capacity_bits=whiteboard_capacity_bits,
+        subscribers=subscribers,
+        trace_maxlen=trace_maxlen,
     )
     return engine.run()

@@ -70,6 +70,8 @@ def run_cloning_protocol(
     delay: Optional[DelayModel] = None,
     intruder: Optional[str] = "reachable",
     check_contiguity: bool = True,
+    subscribers: Optional[List] = None,
+    trace_maxlen: Optional[int] = None,
 ) -> SimResult:
     """Run the cloning variant: one initial agent, clones on demand."""
     h = Hypercube(dimension)
@@ -81,5 +83,7 @@ def run_cloning_protocol(
         cloning=True,
         intruder=intruder,
         check_contiguity=check_contiguity,
+        subscribers=subscribers,
+        trace_maxlen=trace_maxlen,
     )
     return engine.run()

@@ -69,6 +69,8 @@ def run_synchronous_protocol(
     delay: Optional[DelayModel] = None,
     intruder: Optional[str] = "reachable",
     check_contiguity: bool = True,
+    subscribers: Optional[List] = None,
+    trace_maxlen: Optional[int] = None,
 ) -> SimResult:
     """Run the synchronous variant (global clock, no visibility).
 
@@ -86,5 +88,7 @@ def run_synchronous_protocol(
         global_clock=True,
         intruder=intruder,
         check_contiguity=check_contiguity,
+        subscribers=subscribers,
+        trace_maxlen=trace_maxlen,
     )
     return engine.run()

@@ -84,6 +84,8 @@ def run_visibility_protocol(
     intruder: Optional[str] = "reachable",
     check_contiguity: bool = True,
     whiteboard_capacity_bits: Optional[int] = None,
+    subscribers: Optional[List] = None,
+    trace_maxlen: Optional[int] = None,
 ) -> SimResult:
     """Run Algorithm 2 on the engine with ``n/2`` agents; returns the result.
 
@@ -101,5 +103,7 @@ def run_visibility_protocol(
         intruder=intruder,
         check_contiguity=check_contiguity,
         whiteboard_capacity_bits=whiteboard_capacity_bits,
+        subscribers=subscribers,
+        trace_maxlen=trace_maxlen,
     )
     return engine.run()

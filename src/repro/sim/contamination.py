@@ -205,6 +205,27 @@ class ContaminationMap:
         """Whether no recontamination has occurred so far."""
         return not self.recontamination_events
 
+    def frontier_mask(self) -> int:
+        """Bitmask of decontaminated nodes adjacent to contamination.
+
+        This is the search's moving boundary — the nodes that must stay
+        guarded for the region to be safe.  One whole-frontier
+        ``spread_mask`` pass when the topology supports it (O(d) bigint
+        shifts on the hypercube), otherwise a per-node scan of the
+        decontaminated set.  Zero once the network is fully clean.
+        """
+        contaminated = self.contaminated_mask
+        if not contaminated:
+            return 0
+        region = self._clean_mask | self._guard_mask
+        if self._spread is not None:
+            return self._spread(contaminated) & region
+        out = 0
+        for x in iter_set_bits(region):
+            if self._nbr_mask(x) & contaminated:
+                out |= 1 << x
+        return out
+
     def is_contiguous(self) -> bool:
         """Whether the decontaminated region is connected (contains homebase).
 

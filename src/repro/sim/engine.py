@@ -20,14 +20,45 @@ Capability flags configure which model of the paper is in force:
 An action that needs a capability the engine was not given raises
 :class:`~repro.errors.AgentError` — protocols cannot quietly use more
 power than their model grants.
+
+Instrumentation
+---------------
+The engine carries an :class:`~repro.obs.bus.EventBus`: subscribers
+(metric collectors, invariant probes, JSONL streamers — see
+:mod:`repro.obs`) receive typed events for every move, clone, wait/wake,
+whiteboard write, recontamination, contiguity break and phase transition.
+The contract is *zero overhead when unobserved*: every emission site is
+guarded by one ``if self._subscribers:`` truthiness test on the live
+subscriber list, so with no subscriber attached the engine never
+constructs an event object (``BENCH_obs_overhead.json`` tracks both the
+unobserved and the fully-instrumented cost).  Every run also stamps its
+:class:`SimResult` with a :mod:`~repro.obs.manifest` record (seed,
+topology, capability model, delay model, git revision).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.errors import AgentError, SimulationError
+from repro.obs.bus import EventBus, Subscriber
+from repro.obs.events import (
+    CloneEvent,
+    ContiguityLostEvent,
+    CrashEvent,
+    MoveEvent,
+    PhaseEvent,
+    RecontaminationEvent,
+    RunEndEvent,
+    RunStartEvent,
+    SpawnEvent,
+    TerminateEvent,
+    WaitEvent,
+    WakeEvent,
+    WhiteboardEvent,
+)
+from repro.obs.manifest import build_manifest
 from repro.sim.agent import (
     AgentContext,
     CloneSelf,
@@ -73,6 +104,8 @@ class SimResult:
     peak_whiteboard_bits: int
     peak_agent_memory_bits: int
     final_states: Dict[int, Any] = field(default_factory=dict)
+    #: Attribution record for this run (see :mod:`repro.obs.manifest`).
+    manifest: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -150,6 +183,15 @@ class Engine:
         keeps guarding its node, per the model's no-removal rule).  Used
         by the robustness tests: the paper's strategies stay *safe*
         (monotone) under crashes but lose liveness (reported deadlock).
+    subscribers:
+        Event-bus subscribers attached before the initial agents spawn
+        (so they observe the deployment); see :mod:`repro.obs`.  More can
+        be attached later via :meth:`subscribe`.
+    trace_maxlen:
+        Optional bound on the in-memory :class:`~repro.sim.trace.Trace`
+        (ring mode: oldest events are dropped once full).  Use together
+        with a streaming subscriber for long runs; ``None`` (default)
+        keeps the full log.
     """
 
     def __init__(
@@ -169,6 +211,8 @@ class Engine:
         check_contiguity: bool = True,
         max_events: int = 2_000_000,
         fault_plan: Optional[Dict[int, int]] = None,
+        subscribers: Optional[Iterable[Subscriber]] = None,
+        trace_maxlen: Optional[int] = None,
     ) -> None:
         if not behaviors:
             raise SimulationError("need at least one agent behaviour")
@@ -183,20 +227,32 @@ class Engine:
         self._max_events = max_events
         self._fault_plan = dict(fault_plan or {})
         self._actions_taken: Dict[int, int] = {}
+        self._intruder_kind = intruder
+        self._intruder_seed = intruder_seed
 
         self._queue = EventQueue()
-        self._trace = Trace()
+        self._trace = Trace(maxlen=trace_maxlen)
         self._boards: Dict[int, Whiteboard] = {}
         self._agents: Dict[int, _AgentRecord] = {}
         self._next_agent_id = 0
         self._time = 0.0
         self._events_processed = 0
         self._contiguous_ok = True
+        self._was_contiguous = True  # previous per-move verdict (bus edge detect)
+
+        # the bus's subscriber list is aliased so every emission site pays
+        # exactly one truthiness test when nobody is listening
+        self._bus = EventBus()
+        self._subscribers = self._bus.subscribers
+        for fn in subscribers or ():
+            self._bus.subscribe(fn)
 
         self._cmap = ContaminationMap(topology, homebase=homebase, strict=False)
         dimension = getattr(topology, "d", 0)
         for factory in behaviors:
-            self._spawn(factory, homebase, dimension)
+            # spawn events for the initial team are deferred to run(), so
+            # subscribers see them after the run-start bracket
+            self._spawn(factory, homebase, dimension, publish=False)
 
         if intruder == "reachable":
             self._intruder = ReachableSetIntruder(self._cmap)
@@ -221,7 +277,14 @@ class Engine:
     # setup helpers
     # ------------------------------------------------------------------ #
 
-    def _spawn(self, factory: BehaviorFactory, node: int, dimension: int) -> int:
+    def _spawn(
+        self,
+        factory: BehaviorFactory,
+        node: int,
+        dimension: int,
+        parent: Optional[int] = None,
+        publish: bool = True,
+    ) -> int:
         agent_id = self._next_agent_id
         self._next_agent_id += 1
         ctx = AgentContext(agent_id, node, dimension)
@@ -230,6 +293,10 @@ class Engine:
         record = _AgentRecord(ctx, generator)
         self._agents[agent_id] = record
         self._schedule(record, self._time)
+        if publish and self._subscribers:
+            self._bus.publish(
+                SpawnEvent(time=self._time, agent=agent_id, node=node, parent=parent)
+            )
         return agent_id
 
     def _schedule(self, record: "_AgentRecord", time: float) -> None:
@@ -269,6 +336,21 @@ class Engine:
 
     def run(self) -> SimResult:
         """Execute until quiescence and return the :class:`SimResult`."""
+        if self._subscribers:
+            self._bus.publish(
+                RunStartEvent(
+                    time=self._time,
+                    n=self._topo.n,
+                    dimension=getattr(self._topo, "d", 0),
+                    homebase=self._homebase,
+                    team_size=len(self._agents),
+                    delay_model=self._delay.describe(),
+                )
+            )
+            for agent_id, record in self._agents.items():
+                self._bus.publish(
+                    SpawnEvent(time=0.0, agent=agent_id, node=record.ctx.node)
+                )
         while self._queue:
             if self._events_processed >= self._max_events:
                 raise SimulationError(
@@ -325,6 +407,10 @@ class Engine:
                     self._trace.log(
                         TraceEvent(self._time, "crash", agent_key, record.ctx.node)
                     )
+                    if self._subscribers:
+                        self._bus.publish(
+                            CrashEvent(self._time, agent_key, record.ctx.node)
+                        )
                     return
                 self._actions_taken[agent_key] = taken + 1
             try:
@@ -334,6 +420,10 @@ class Engine:
                 self._trace.log(
                     TraceEvent(self._time, "terminate", record.ctx.agent_id, record.ctx.node)
                 )
+                if self._subscribers:
+                    self._bus.publish(
+                        TerminateEvent(self._time, record.ctx.agent_id, record.ctx.node)
+                    )
                 return
             value = None
             agent_id = record.ctx.agent_id
@@ -343,6 +433,8 @@ class Engine:
                 record.generator.close()
                 record.status = "terminated"
                 self._trace.log(TraceEvent(self._time, "terminate", agent_id, node))
+                if self._subscribers:
+                    self._bus.publish(TerminateEvent(self._time, agent_id, node))
                 return
 
             if isinstance(action, Move):
@@ -374,6 +466,10 @@ class Engine:
                         {"why": action.description},
                     )
                 )
+                if self._subscribers:
+                    self._bus.publish(
+                        WaitEvent(self._time, agent_id, node, why=action.description)
+                    )
                 return
 
             # local actions: execute now or after the model's local delay
@@ -393,6 +489,8 @@ class Engine:
 
     def _make_move_completion(self, record: _AgentRecord, src: int, dst: int):
         def complete(now: float) -> None:
+            observed = bool(self._subscribers)
+            recon_before = len(self._cmap.recontamination_events) if observed else 0
             self._cmap.move_agent(src, dst)
             record.ctx.node = dst
             self._trace.log(
@@ -400,11 +498,63 @@ class Engine:
             )
             if self._intruder is not None:
                 self._intruder.observe(self._cmap)
-            if self._check_contiguity and not self._cmap.is_contiguous():
-                self._contiguous_ok = False
+            contiguous: Optional[bool] = None
+            if self._check_contiguity:
+                contiguous = self._cmap.is_contiguous()
+                if not contiguous:
+                    self._contiguous_ok = False
+            if observed:
+                self._publish_move(
+                    record.ctx.agent_id, src, dst, now, recon_before, contiguous
+                )
             return None
 
         return complete
+
+    def _publish_move(
+        self,
+        agent_id: int,
+        src: int,
+        dst: int,
+        now: float,
+        recon_before: int,
+        contiguous: Optional[bool],
+    ) -> None:
+        """Emit the move event cluster (move, recontaminations, contiguity).
+
+        Only called with subscribers attached; the masks ride along as
+        plain int references, and the frontier is one spread-mask pass.
+        """
+        cmap = self._cmap
+        recons = tuple(cmap.recontamination_events[recon_before:])
+        self._bus.publish(
+            MoveEvent(
+                time=now,
+                agent=agent_id,
+                node=dst,
+                src=src,
+                src_vacated=cmap.guards(src) == 0,
+                recontaminations=recons,
+                contiguous=contiguous,
+                clean_mask=cmap.clean_mask,
+                guard_mask=cmap.guard_mask,
+                frontier_mask=cmap.frontier_mask(),
+            )
+        )
+        for node, cause in recons:
+            self._bus.publish(
+                RecontaminationEvent(
+                    time=now, agent=agent_id, node=node, cause=cause, src=src, dst=dst
+                )
+            )
+        if contiguous is not None:
+            if self._was_contiguous and not contiguous:
+                self._bus.publish(
+                    ContiguityLostEvent(
+                        time=now, agent=agent_id, node=dst, src=src, dst=dst
+                    )
+                )
+            self._was_contiguous = contiguous
 
     def _local_executor(self, record: _AgentRecord, action) -> Callable[[float], Any]:
         agent_id = record.ctx.agent_id
@@ -415,12 +565,24 @@ class Engine:
         if isinstance(action, WriteWhiteboard):
             def write(now: float) -> None:
                 self.board(record.ctx.node).write(action.key, action.value)
+                if self._subscribers:
+                    self._bus.publish(
+                        WhiteboardEvent(now, agent_id, record.ctx.node, key=action.key)
+                    )
                 return None
 
             return write
 
         if isinstance(action, UpdateWhiteboard):
-            return lambda now: self.board(record.ctx.node).update(action.mutator)
+            def update(now: float) -> Any:
+                result = self.board(record.ctx.node).update(action.mutator)
+                if self._subscribers:
+                    self._bus.publish(
+                        WhiteboardEvent(now, agent_id, record.ctx.node, key=None)
+                    )
+                return result
+
+            return update
 
         if isinstance(action, See):
             if not self._visibility:
@@ -435,11 +597,16 @@ class Engine:
 
             def clone(now: float) -> int:
                 new_id = self._spawn(
-                    action.behavior, record.ctx.node, record.ctx.dimension
+                    action.behavior, record.ctx.node, record.ctx.dimension,
+                    parent=agent_id,
                 )
                 self._trace.log(
                     TraceEvent(now, "clone", agent_id, record.ctx.node, {"child": new_id})
                 )
+                if self._subscribers:
+                    self._bus.publish(
+                        CloneEvent(now, agent_id, record.ctx.node, child=new_id)
+                    )
                 return new_id
 
             return clone
@@ -461,6 +628,10 @@ class Engine:
                             self._time, "wake", record.ctx.agent_id, record.ctx.node
                         )
                     )
+                    if self._subscribers:
+                        self._bus.publish(
+                            WakeEvent(self._time, record.ctx.agent_id, record.ctx.node)
+                        )
                     self._schedule(record, self._time)
 
     # ------------------------------------------------------------------ #
@@ -474,17 +645,56 @@ class Engine:
             captured = self._intruder.captured
         else:
             captured = all_clean
+        monotone = self._cmap.is_monotone()
+        total_moves = self._trace.move_count()
+        if self._subscribers:
+            self._bus.publish(
+                RunEndEvent(
+                    time=self._time,
+                    all_clean=all_clean,
+                    monotone=monotone,
+                    contiguous=self._contiguous_ok,
+                    total_moves=total_moves,
+                    events_processed=self._events_processed,
+                    clean_mask=self._cmap.clean_mask,
+                    guard_mask=self._cmap.guard_mask,
+                )
+            )
+        manifest = build_manifest(
+            seed=self._intruder_seed,
+            topology=self._topo,
+            model={
+                "visibility": self._visibility,
+                "cloning": self._cloning,
+                "global_clock": self._global_clock,
+            },
+            delay=self._delay.describe(),
+            metrics={
+                "total_moves": total_moves,
+                "makespan": self._trace.makespan(),
+                "event_count": self._events_processed,
+                "team_size": self._next_agent_id,
+                "all_clean": all_clean,
+                "monotone": monotone,
+                "contiguous": self._contiguous_ok,
+            },
+            extra={
+                "homebase": self._homebase,
+                "intruder": self._intruder_kind,
+                "check_contiguity": self._check_contiguity,
+            },
+        )
         return SimResult(
             n=self._topo.n,
             delay_model=self._delay.describe(),
             trace=self._trace,
             all_clean=all_clean,
-            monotone=self._cmap.is_monotone(),
+            monotone=monotone,
             contiguous=self._contiguous_ok,
             intruder_captured=captured,
             deadlocked=deadlocked,
             makespan=self._trace.makespan(),
-            total_moves=self._trace.move_count(),
+            total_moves=total_moves,
             team_size=self._next_agent_id,
             terminated_agents=terminated,
             blocked_agents=blocked,
@@ -496,7 +706,33 @@ class Engine:
                 (r.ctx.peak_memory_bits for r in self._agents.values()), default=0
             ),
             final_states=self._cmap.snapshot(),
+            manifest=manifest,
         )
+
+    # instrumentation ---------------------------------------------------- #
+
+    @property
+    def bus(self) -> EventBus:
+        """The engine's event bus (see :mod:`repro.obs`)."""
+        return self._bus
+
+    def subscribe(self, fn: Subscriber) -> Subscriber:
+        """Attach an event subscriber; returns ``fn`` (for unsubscribe)."""
+        return self._bus.subscribe(fn)
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        """Detach a previously attached subscriber."""
+        self._bus.unsubscribe(fn)
+
+    def mark_phase(self, name: str) -> None:
+        """Publish a named :class:`~repro.obs.events.PhaseEvent`.
+
+        Protocol drivers and tests call this to delimit strategy phases
+        (e.g. one hypercube level of the sweep); with no subscriber
+        attached it is a no-op.
+        """
+        if self._subscribers:
+            self._bus.publish(PhaseEvent(time=self._time, name=name))
 
     # exposed for tests and protocols ----------------------------------- #
 

@@ -38,6 +38,16 @@ class EventQueue:
         self._heap: list[Event] = []
         self._sequence = 0
 
+    @property
+    def total_pushed(self) -> int:
+        """Events ever pushed (the sequence counter; never decreases).
+
+        Instrumentation reads this for scheduler-pressure accounting —
+        superseded-token drops are ``total_pushed`` minus the events the
+        engine actually processed.
+        """
+        return self._sequence
+
     def push(self, time: float, agent_id: int, token: int = 0) -> Event:
         """Schedule ``agent_id`` to resume at ``time``; returns the event.
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.trace import Trace
 
@@ -41,18 +41,25 @@ class TraceTelemetry:
     terminations: int
 
     @property
-    def hottest_node(self) -> Tuple[int, int]:
-        """``(node, arrivals)`` of the most-trafficked host."""
+    def hottest_node(self) -> Optional[Tuple[int, int]]:
+        """``(node, arrivals)`` of the most-trafficked host.
+
+        ``None`` when no traffic was recorded — previously this returned
+        ``(0, 0)``, indistinguishable from "node 0 had 0 arrivals".
+        """
         if not self.node_traffic:
-            return (0, 0)
+            return None
         node = max(self.node_traffic, key=lambda x: (self.node_traffic[x], -x))
         return node, self.node_traffic[node]
 
     @property
-    def hottest_link(self) -> Tuple[Tuple[int, int], int]:
-        """``((src, dst), traversals)`` of the busiest directed link."""
+    def hottest_link(self) -> Optional[Tuple[Tuple[int, int], int]]:
+        """``((src, dst), traversals)`` of the busiest directed link.
+
+        ``None`` when no link was ever traversed (see :attr:`hottest_node`).
+        """
         if not self.link_traffic:
-            return ((0, 0), 0)
+            return None
         link = max(self.link_traffic, key=lambda e: (self.link_traffic[e], e))
         return link, self.link_traffic[link]
 
@@ -72,13 +79,21 @@ class TraceTelemetry:
 
     def describe(self) -> str:
         """Multi-line human-readable report."""
-        node, arrivals = self.hottest_node
-        link, crossings = self.hottest_link
+        if self.hottest_node is not None:
+            node, arrivals = self.hottest_node
+            node_line = f"hottest node  : {node} ({arrivals} arrivals)"
+        else:
+            node_line = "hottest node  : none (no traffic)"
+        if self.hottest_link is not None:
+            link, crossings = self.hottest_link
+            link_line = f"hottest link  : {link[0]} -> {link[1]} ({crossings} traversals)"
+        else:
+            link_line = "hottest link  : none (no traffic)"
         return "\n".join(
             [
                 f"moves         : {self.total_moves} over {self.makespan:.2f} time units",
-                f"hottest node  : {node} ({arrivals} arrivals)",
-                f"hottest link  : {link[0]} -> {link[1]} ({crossings} traversals)",
+                node_line,
+                link_line,
                 f"moves/agent   : {self.mean_moves_per_agent:.2f} mean",
                 f"waiting       : {self.total_wait_time:.2f} agent-time blocked",
                 f"clones/terms  : {self.clones_created}/{self.terminations}",
@@ -115,8 +130,10 @@ def analyze_trace(trace: Trace) -> TraceTelemetry:
                 agent_wait[event.agent] += event.time - wait_started.pop(event.agent)
         elif event.kind == "clone":
             clones += 1
-        elif event.kind == "terminate":
-            terminations += 1
+        elif event.kind in ("terminate", "crash"):
+            if event.kind == "terminate":
+                terminations += 1
+            # either way the agent is gone: close any open wait interval
             if event.agent in wait_started:
                 agent_wait[event.agent] += event.time - wait_started.pop(event.agent)
 

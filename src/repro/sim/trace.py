@@ -9,13 +9,26 @@ with float timestamps.  Traces support the two consumers we have:
   directed edges, with per-edge counts, is delay-model independent for the
   paper's protocols);
 * the examples replay traces step by step for visualization.
+
+Memory
+------
+By default the log is unbounded, which at ``d >= 13`` (hundreds of
+thousands of moves) dominates a run's footprint.  Passing ``maxlen`` turns
+the trace into a *ring*: only the newest ``maxlen`` events are retained
+(oldest dropped first), while :meth:`move_count` and :meth:`sizes` keep
+exact totals of everything ever logged.  Ring mode trades the replay /
+multiset queries (which see only the retained window) for O(maxlen)
+memory — pair it with a streaming subscriber
+(:class:`repro.obs.stream.JsonlStreamer`) when the full event history is
+needed outside the process.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+import sys
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple, Union
 
 __all__ = ["TraceEvent", "Trace"]
 
@@ -32,18 +45,39 @@ class TraceEvent:
 
 
 class Trace:
-    """Append-only event log with query helpers."""
+    """Append-only event log with query helpers.
 
-    def __init__(self) -> None:
-        self._events: List[TraceEvent] = []
+    ``maxlen`` bounds the retained window (ring mode, see the module
+    docstring); ``None`` keeps every event.
+    """
+
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"trace maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self._events: Union[List[TraceEvent], Deque[TraceEvent]] = (
+            [] if maxlen is None else deque(maxlen=maxlen)
+        )
+        self._total_logged = 0
+        self._total_moves = 0
+        self._dropped = 0
 
     def log(self, event: TraceEvent) -> None:
-        """Append one event (times must be non-decreasing)."""
+        """Append one event (times must be non-decreasing).
+
+        In ring mode a full trace silently evicts its oldest event; the
+        running totals (:meth:`move_count`, :meth:`sizes`) still count it.
+        """
         if self._events and event.time < self._events[-1].time - 1e-9:
             raise ValueError(
                 f"trace event at {event.time} precedes last event "
                 f"at {self._events[-1].time}"
             )
+        if self.maxlen is not None and len(self._events) == self.maxlen:
+            self._dropped += 1
+        self._total_logged += 1
+        if event.kind == "move":
+            self._total_moves += 1
         self._events.append(event)
 
     def __iter__(self) -> Iterator[TraceEvent]:
@@ -59,12 +93,32 @@ class Trace:
         return [e for e in self._events if e.kind == kind]
 
     def moves(self) -> List[TraceEvent]:
-        """All move events in time order."""
+        """All *retained* move events in time order."""
         return self.events("move")
 
     def move_count(self) -> int:
-        """Total number of edge traversals."""
-        return len(self.moves())
+        """Total edge traversals ever logged (eviction-proof counter)."""
+        return self._total_moves
+
+    def sizes(self) -> Dict[str, Any]:
+        """Memory/retention accounting for this trace.
+
+        ``retained`` / ``dropped`` / ``total_logged`` are event counts
+        (``retained + dropped == total_logged``); ``approx_bytes`` is a
+        shallow estimate of the retained window's footprint (event objects
+        plus their payload dicts, not deep payload values).
+        """
+        approx = sys.getsizeof(self._events)
+        for event in self._events:
+            approx += sys.getsizeof(event) + sys.getsizeof(event.data)
+        return {
+            "retained": len(self._events),
+            "dropped": self._dropped,
+            "total_logged": self._total_logged,
+            "total_moves": self._total_moves,
+            "maxlen": self.maxlen,
+            "approx_bytes": approx,
+        }
 
     def move_multiset(self) -> Counter:
         """Counter of directed edges ``(src, dst)`` traversed.

@@ -1,0 +1,8 @@
+"""RPR200 fixture: an observability module importing the simulation layer."""
+
+from repro.sim.trace import Trace
+
+
+def describe(trace: Trace) -> str:
+    """Summarize a trace (the import above is the violation, not this)."""
+    return f"{len(trace)} events"

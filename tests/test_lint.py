@@ -29,6 +29,7 @@ VIOLATIONS = {
     "viol_rpr110.py": ("RPR110", 12, "scribbling_agent"),
     "viol_rpr120.py": ("RPR120", 11, "chatty_agent"),
     "viol_rpr130.py": ("RPR130", 11, "hoarding_agent"),
+    "obs/viol_rpr200.py": ("RPR200", 3, ""),
 }
 
 
@@ -37,10 +38,11 @@ class TestRegistry:
         covered = {code for code, _, _ in VIOLATIONS.values()}
         assert covered == set(RULES), "each shipped rule needs a violating fixture"
 
-    def test_codes_are_stable_rpr1xx(self):
+    def test_codes_are_stable(self):
         for code, r in RULES.items():
             assert code == r.code
-            assert code.startswith("RPR1") and len(code) == 6
+            # RPR1xx: model-compliance; RPR2xx: layering/import hygiene
+            assert code.startswith(("RPR1", "RPR2")) and len(code) == 6
 
     def test_rules_listing_mentions_every_code(self):
         listing = render_rules()
@@ -80,7 +82,7 @@ class TestCleanFixture:
     def test_directory_scan_finds_all_and_only_violations(self):
         findings = analyze_paths([FIXTURES])
         by_file = {Path(f.path).name for f in findings}
-        assert by_file == set(VIOLATIONS)
+        assert by_file == {Path(k).name for k in VIOLATIONS}
         assert len(findings) == len(VIOLATIONS)
 
 
@@ -249,3 +251,40 @@ class TestCli:
         path = str(FIXTURES / "viol_rpr130.py")
         assert search_main(["lint", "--strict", path]) == 1
         assert "RPR130" in capsys.readouterr().out
+
+class TestObsLayering:
+    """RPR200: the observability layer must not import the simulation layer."""
+
+    def test_absolute_imports_flagged(self):
+        source = (
+            "import repro.sim.engine\n"
+            "from repro.protocols import base\n"
+        )
+        findings = analyze_source(source, "src/repro/obs/bad.py")
+        assert [f.code for f in findings] == ["RPR200", "RPR200"]
+        assert [f.line for f in findings] == [1, 2]
+
+    def test_relative_escape_flagged(self):
+        source = "from ..sim import trace\n"
+        findings = analyze_source(source, "src/repro/obs/bad.py")
+        assert [f.code for f in findings] == ["RPR200"]
+
+    def test_prefix_is_a_package_boundary(self):
+        # `repro.simulator` is not `repro.sim`
+        source = "import repro.simulator\n"
+        assert analyze_source(source, "src/repro/obs/ok.py") == []
+
+    def test_rule_only_applies_inside_obs(self):
+        source = "from repro.sim.engine import Engine\n"
+        assert analyze_source(source, "src/repro/viz/fine.py") == []
+
+    def test_shipped_obs_package_is_clean(self):
+        from repro.lint.analyzer import obs_dir
+
+        assert analyze_paths([obs_dir()]) == []
+
+    def test_self_check_covers_obs(self, tmp_path, capsys):
+        assert lint_main(["--self", "--strict"]) == 0
+        out = capsys.readouterr().out
+        # self scan now includes the obs package's files
+        assert "clean" in out

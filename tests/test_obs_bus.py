@@ -1,0 +1,220 @@
+"""Tests for the engine event bus: subscription, taxonomy, zero-overhead."""
+
+import pytest
+
+from repro.obs import EventBus
+from repro.obs.events import (
+    EVENT_KINDS,
+    CloneEvent,
+    MoveEvent,
+    RunEndEvent,
+    RunStartEvent,
+    SpawnEvent,
+    TerminateEvent,
+    WaitEvent,
+    WakeEvent,
+    WhiteboardEvent,
+)
+from repro.protocols.cloning_protocol import run_cloning_protocol
+from repro.protocols.visibility_protocol import run_visibility_protocol
+from repro.sim.agent import Move, Terminate, WriteWhiteboard
+from repro.sim.engine import Engine
+from repro.topology.generic import path_graph
+
+
+class TestEventBus:
+    def test_publish_reaches_all_subscribers(self):
+        bus = EventBus()
+        got_a, got_b = [], []
+        bus.subscribe(got_a.append)
+        bus.subscribe(got_b.append)
+        event = WaitEvent(time=1.0, agent=0, node=2)
+        bus.publish(event)
+        assert got_a == [event] and got_b == [event]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append)
+        bus.unsubscribe(got.append)
+        bus.publish(WaitEvent(time=0.0))
+        assert got == []
+        bus.unsubscribe(got.append)  # tolerant of double-removal
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            EventBus().subscribe("not a function")
+
+    def test_len_and_bool(self):
+        bus = EventBus()
+        assert not bus and len(bus) == 0
+        bus.subscribe(lambda e: None)
+        assert bus and len(bus) == 1
+
+    def test_subscriber_exceptions_propagate(self):
+        """Strict probes must be able to abort the run — errors are not
+        swallowed by the bus."""
+
+        def boom(event):
+            raise RuntimeError("probe says no")
+
+        bus = EventBus()
+        bus.subscribe(boom)
+        with pytest.raises(RuntimeError):
+            bus.publish(WaitEvent(time=0.0))
+
+
+class TestEngineEmission:
+    def test_unobserved_engine_has_empty_bus(self):
+        def walker(ctx):
+            yield Move(1)
+
+        engine = Engine(path_graph(2), [walker])
+        assert not engine.bus
+        assert engine.run().ok
+
+    def test_event_taxonomy_on_real_run(self):
+        events = []
+        result = run_visibility_protocol(3, subscribers=[events.append])
+        assert result.ok
+        kinds = {e.kind for e in events}
+        # every kind the protocol can produce appears
+        for expected in ("run-start", "spawn", "move", "wait", "wake", "write",
+                        "terminate", "run-end"):
+            assert expected in kinds, f"missing {expected} in {sorted(kinds)}"
+        assert kinds <= set(EVENT_KINDS)
+
+    def test_run_brackets_and_ordering(self):
+        events = []
+        run_visibility_protocol(3, subscribers=[events.append])
+        assert isinstance(events[0], RunStartEvent)
+        assert isinstance(events[-1], RunEndEvent)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_move_events_match_result_totals(self):
+        moves = []
+
+        def tap(event):
+            if event.kind == "move":
+                moves.append(event)
+
+        result = run_visibility_protocol(3, subscribers=[tap])
+        assert len(moves) == result.total_moves
+        assert all(isinstance(e, MoveEvent) for e in moves)
+
+    def test_move_event_payload(self):
+        moves = []
+
+        def tap(event):
+            if isinstance(event, MoveEvent):
+                moves.append(event)
+
+        result = run_visibility_protocol(3, subscribers=[tap])
+        assert result.ok
+        last = moves[-1]
+        # a successful monotone run: final masks cover the network, no
+        # recontaminations anywhere
+        n = 8
+        assert (last.clean_mask | last.guard_mask).bit_count() == n
+        assert all(e.recontaminations == () for e in moves)
+        assert all(e.contiguous is True for e in moves)
+        # frontier empties exactly at the end
+        assert last.frontier_mask == 0
+
+    def test_clone_events(self):
+        clones = []
+
+        def tap(event):
+            if isinstance(event, CloneEvent):
+                clones.append(event)
+
+        result = run_cloning_protocol(3, subscribers=[tap])
+        assert len(clones) == result.team_size - 1
+        assert all(e.child >= 0 and e.agent >= 0 for e in clones)
+
+    def test_spawn_terminate_counts(self):
+        spawns, terms = [], []
+
+        def tap(event):
+            if isinstance(event, SpawnEvent):
+                spawns.append(event)
+            elif isinstance(event, TerminateEvent):
+                terms.append(event)
+
+        result = run_visibility_protocol(3, subscribers=[tap])
+        assert len(spawns) == result.team_size
+        assert len(terms) == result.terminated_agents
+
+    def test_whiteboard_events_carry_key(self):
+        writes = []
+
+        def tap(event):
+            if isinstance(event, WhiteboardEvent):
+                writes.append(event)
+
+        def writer(ctx):
+            yield WriteWhiteboard("flag", 1)
+            yield Move(1)
+            yield Terminate()
+
+        Engine(path_graph(2), [writer], subscribers=[tap]).run()
+        assert writes and writes[0].key == "flag"
+        assert writes[0].kind == "write"
+
+    def test_wait_wake_pairing(self):
+        waits, wakes = [], []
+
+        def tap(event):
+            if isinstance(event, WaitEvent):
+                waits.append(event)
+            elif isinstance(event, WakeEvent):
+                wakes.append(event)
+
+        run_visibility_protocol(3, subscribers=[tap])
+        assert waits, "visibility protocol must block on squads"
+        assert wakes, "blocked agents must wake"
+
+    def test_subscribe_after_construction(self):
+        def walker(ctx):
+            yield Move(1)
+
+        events = []
+        engine = Engine(path_graph(2), [walker])
+        engine.subscribe(events.append)
+        engine.run()
+        assert any(e.kind == "move" for e in events)
+        engine.unsubscribe(events.append)
+
+    def test_mark_phase(self):
+        def walker(ctx):
+            yield Move(1)
+
+        events = []
+        engine = Engine(path_graph(2), [walker], subscribers=[events.append])
+        engine.mark_phase("deploy")
+        engine.run()
+        phases = [e for e in events if e.kind == "phase"]
+        assert phases and phases[0].data["name"] == "deploy"
+
+    def test_events_are_serializable(self):
+        import json
+
+        events = []
+        run_visibility_protocol(3, subscribers=[events.append])
+        for event in events:
+            record = event.to_dict()
+            assert record["kind"] == event.kind
+            json.dumps(record)  # every payload JSON-safe
+
+    def test_strict_subscriber_error_aborts_run(self):
+        def walker(ctx):
+            yield Move(1)
+            yield Move(0)
+
+        def bomb(event):
+            if event.kind == "move":
+                raise RuntimeError("stop right there")
+
+        with pytest.raises(RuntimeError):
+            Engine(path_graph(2), [walker], subscribers=[bomb]).run()

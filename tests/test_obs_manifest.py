@@ -1,0 +1,106 @@
+"""Tests for run manifests: schema, engine integration, benchmark payloads."""
+
+import json
+
+from repro.obs import MANIFEST_SCHEMA, build_manifest, git_revision, write_manifest
+from repro.obs.manifest import describe_topology
+from repro.protocols.visibility_protocol import run_visibility_protocol
+from repro.sim.scheduling import RandomDelay
+from repro.topology.hypercube import Hypercube
+
+
+class TestBuildManifest:
+    def test_schema_keys_always_present(self):
+        manifest = build_manifest()
+        for key in ("schema", "git", "python", "seed", "topology", "model", "delay", "metrics"):
+            assert key in manifest
+        assert manifest["schema"] == MANIFEST_SCHEMA
+
+    def test_topology_description(self):
+        desc = describe_topology(Hypercube(4))
+        assert desc == {"type": "Hypercube", "n": 16, "dimension": 4}
+        assert describe_topology(None) is None
+
+    def test_topology_dict_passthrough(self):
+        given = {"type": "Custom", "n": 5}
+        assert build_manifest(topology=given)["topology"] == given
+
+    def test_extra_only_when_provided(self):
+        assert "extra" not in build_manifest()
+        manifest = build_manifest(extra={"benchmark": "x"})
+        assert manifest["extra"] == {"benchmark": "x"}
+
+    def test_git_revision_in_checkout(self):
+        # this test runs inside the repo, so a revision must resolve —
+        # and the manifest must carry the same cached value
+        revision = git_revision()
+        assert revision
+        assert build_manifest()["git"] == revision
+
+    def test_json_serializable(self):
+        manifest = build_manifest(
+            seed=3,
+            topology=Hypercube(3),
+            model={"visibility": True},
+            delay="unit",
+            metrics={"moves": 8},
+        )
+        json.dumps(manifest)
+
+    def test_write_manifest(self, tmp_path):
+        path = write_manifest(tmp_path / "m.json", build_manifest(seed=1))
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == MANIFEST_SCHEMA
+        assert loaded["seed"] == 1
+
+
+class TestEngineManifest:
+    def test_every_run_carries_a_manifest(self):
+        result = run_visibility_protocol(3)
+        manifest = result.manifest
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["topology"] == {"type": "Hypercube", "n": 8, "dimension": 3}
+        assert manifest["model"] == {
+            "visibility": True,
+            "cloning": False,
+            "global_clock": False,
+        }
+        assert manifest["delay"] == "UnitDelay"
+
+    def test_manifest_metrics_match_result(self):
+        result = run_visibility_protocol(3)
+        metrics = result.manifest["metrics"]
+        assert metrics["total_moves"] == result.total_moves
+        assert metrics["makespan"] == result.makespan
+        assert metrics["team_size"] == result.team_size
+        assert metrics["all_clean"] is True
+        assert metrics["monotone"] is True
+        assert metrics["contiguous"] is True
+
+    def test_manifest_records_delay_model(self):
+        result = run_visibility_protocol(3, delay=RandomDelay(seed=7))
+        assert "Random" in result.manifest["delay"]
+
+    def test_manifest_extra_records_run_inputs(self):
+        result = run_visibility_protocol(3)
+        extra = result.manifest["extra"]
+        assert extra["homebase"] == 0
+        assert extra["intruder"] == "reachable"
+        assert extra["check_contiguity"] is True
+
+
+class TestBenchmarkManifests:
+    def test_throughput_payload_has_manifest_block(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "BENCH_engine_throughput.json"
+        payload = json.loads(path.read_text())
+        assert payload["manifest"]["schema"] == MANIFEST_SCHEMA
+
+    def test_obs_overhead_payload_has_manifest_block(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+        payload = json.loads(path.read_text())
+        assert payload["manifest"]["schema"] == MANIFEST_SCHEMA
+        assert payload["results"], "overhead table must not be empty"

@@ -1,0 +1,173 @@
+"""Tests for the invariant probes, including an injected violation.
+
+The acceptance case: a deliberately broken protocol that abandons a guard
+early must produce a monotonicity diagnostic naming the agent, the node,
+the event kind and the simulation time — at the violating event, not at
+the end of the run.
+"""
+
+import pytest
+
+from repro.obs import (
+    ContiguityProbe,
+    GuardCoverageProbe,
+    InvariantViolation,
+    MonotonicityProbe,
+    standard_probes,
+)
+from repro.obs.events import MoveEvent, WaitEvent
+from repro.protocols.visibility_protocol import run_visibility_protocol
+from repro.sim.agent import Move, Terminate
+from repro.sim.engine import Engine
+from repro.topology.generic import path_graph
+
+
+def abandoning_walker(ctx):
+    """Fixture protocol: cleans 0->1 then retreats, abandoning the guard on
+    node 1 while node 2 is still contaminated — a monotonicity breach."""
+    yield Move(1)
+    yield Move(0)  # vacates node 1; node 2 recontaminates it
+    yield Terminate()
+
+
+class TestMonotonicityProbe:
+    def test_clean_run_is_ok(self):
+        probe = MonotonicityProbe(mode="strict")
+        result = run_visibility_protocol(3, subscribers=[probe])
+        assert result.ok and probe.ok
+        assert probe.violations == []
+
+    def test_injected_violation_strict_aborts_run(self):
+        probe = MonotonicityProbe(mode="strict")
+        engine = Engine(path_graph(3), [abandoning_walker], subscribers=[probe])
+        with pytest.raises(InvariantViolation) as exc:
+            engine.run()
+        violation = exc.value.violation
+        assert violation.probe == "monotonicity"
+        assert violation.agent == 0
+        assert violation.node == 0  # destination of the abandoning move
+        assert violation.event_kind == "move"
+        assert violation.time == 2.0  # second unit-delay move completes at t=2
+
+    def test_injected_violation_diagnostic_names_everything(self):
+        """The acceptance criterion: the diagnostic string itself carries
+        agent, node, event context and sim-time."""
+        probe = MonotonicityProbe(mode="lenient")
+        result = Engine(
+            path_graph(3), [abandoning_walker], subscribers=[probe]
+        ).run()
+        assert not result.monotone  # the engine agrees post-hoc
+        assert len(probe.violations) == 1
+        text = probe.violations[0].describe()
+        assert "monotonicity:" in text
+        assert "agent 0" in text
+        assert "node 1" in text  # the vacated/recontaminated node
+        assert "t=2" in text
+        assert "move 1->0" in text
+        assert "neighbour 2" in text  # the contamination source
+
+    def test_lenient_mode_keeps_running(self):
+        probe = MonotonicityProbe(mode="lenient")
+        result = Engine(
+            path_graph(3), [abandoning_walker], subscribers=[probe]
+        ).run()
+        # run completed (agent terminated) despite the recorded breach
+        assert result.terminated_agents == 1
+        assert not probe.ok
+
+    def test_ignores_non_move_events(self):
+        probe = MonotonicityProbe(mode="strict")
+        probe(WaitEvent(time=1.0, agent=0, node=0))
+        assert probe.ok
+
+
+class TestContiguityProbe:
+    def test_clean_run_is_ok(self):
+        probe = ContiguityProbe(mode="strict")
+        result = run_visibility_protocol(3, subscribers=[probe])
+        assert result.ok and probe.ok
+
+    def test_fires_on_transition_only(self):
+        probe = ContiguityProbe(mode="lenient")
+        base = dict(agent=1, node=4, src=5)
+        probe(MoveEvent(time=1.0, contiguous=True, **base))
+        probe(MoveEvent(time=2.0, contiguous=False, **base))
+        probe(MoveEvent(time=3.0, contiguous=False, **base))  # still broken
+        probe(MoveEvent(time=4.0, contiguous=True, **base))  # repaired
+        probe(MoveEvent(time=5.0, contiguous=False, **base))  # breaks again
+        assert len(probe.violations) == 2
+        assert [v.time for v in probe.violations] == [2.0, 5.0]
+        assert "disconnected" in probe.violations[0].message
+
+    def test_skips_unverified_moves(self):
+        probe = ContiguityProbe(mode="strict")
+        probe(MoveEvent(time=1.0, agent=0, node=1, src=0, contiguous=None))
+        assert probe.ok
+
+
+class TestGuardCoverageProbe:
+    def test_clean_run_is_ok(self):
+        probe = GuardCoverageProbe(mode="strict")
+        result = run_visibility_protocol(4, subscribers=[probe])
+        assert result.ok and probe.ok
+
+    def test_fires_on_inconsistent_masks(self):
+        """Synthetic mis-evolved state: node 1 clean, unguarded, and on the
+        frontier — the dynamics should never produce this."""
+        probe = GuardCoverageProbe(mode="strict")
+        with pytest.raises(InvariantViolation) as exc:
+            probe(
+                MoveEvent(
+                    time=3.5,
+                    agent=2,
+                    node=4,
+                    src=0,
+                    clean_mask=0b0010,
+                    guard_mask=0b10000,
+                    frontier_mask=0b0010,
+                )
+            )
+        violation = exc.value.violation
+        assert violation.probe == "guard-coverage"
+        assert "node 1" in violation.message
+        assert violation.time == 3.5
+
+    def test_guarded_frontier_is_fine(self):
+        probe = GuardCoverageProbe(mode="strict")
+        probe(
+            MoveEvent(
+                time=1.0,
+                agent=0,
+                node=1,
+                src=0,
+                clean_mask=0b0001,
+                guard_mask=0b0010,
+                frontier_mask=0b0010,
+            )
+        )
+        assert probe.ok
+
+
+class TestProbeMachinery:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            MonotonicityProbe(mode="ignore")
+
+    def test_standard_probes(self):
+        probes = standard_probes(mode="lenient")
+        assert len(probes) == 3
+        assert {p.name for p in probes} == {
+            "monotonicity",
+            "contiguity",
+            "guard-coverage",
+        }
+        assert all(p.mode == "lenient" for p in probes)
+
+    def test_full_panel_on_violating_run(self):
+        probes = standard_probes(mode="lenient")
+        Engine(path_graph(3), [abandoning_walker], subscribers=probes).run()
+        by_name = {p.name: p for p in probes}
+        assert not by_name["monotonicity"].ok
+        # the retreat keeps the region connected and the masks consistent
+        assert by_name["contiguity"].ok
+        assert by_name["guard-coverage"].ok

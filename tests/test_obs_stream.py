@@ -1,0 +1,107 @@
+"""Tests for JSONL event streaming and the report/watch CLI subcommands."""
+
+import io
+import json
+
+from repro.cli import main as cli_main
+from repro.obs import JsonlStreamer
+from repro.obs.events import MoveEvent, WaitEvent
+from repro.protocols.visibility_protocol import run_visibility_protocol
+
+
+class TestJsonlStreamer:
+    def test_one_line_per_event(self):
+        buf = io.StringIO()
+        streamer = JsonlStreamer(buf)
+        streamer(WaitEvent(time=1.0, agent=0, node=2, why="squad"))
+        streamer(MoveEvent(time=2.0, agent=0, node=3, src=2))
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 2 == streamer.count
+        first = json.loads(lines[0])
+        assert first["kind"] == "wait" and first["why"] == "squad"
+        second = json.loads(lines[1])
+        assert second["kind"] == "move" and second["src"] == 2
+
+    def test_mask_fields_hex(self):
+        buf = io.StringIO()
+        streamer = JsonlStreamer(buf, mask_fields=True)
+        streamer(MoveEvent(time=1.0, agent=0, node=1, src=0, clean_mask=5, guard_mask=2))
+        record = json.loads(buf.getvalue())
+        assert record["clean_mask"] == "0x5"
+        assert record["guard_mask"] == "0x2"
+
+    def test_masks_omitted_by_default(self):
+        buf = io.StringIO()
+        JsonlStreamer(buf)(MoveEvent(time=1.0, agent=0, node=1, src=0, clean_mask=5))
+        record = json.loads(buf.getvalue())
+        assert "clean_mask" not in record
+
+    def test_write_record(self):
+        buf = io.StringIO()
+        streamer = JsonlStreamer(buf)
+        streamer.write_record({"record": "manifest", "schema": "x"})
+        assert json.loads(buf.getvalue()) == {"record": "manifest", "schema": "x"}
+
+    def test_streaming_a_live_run(self):
+        buf = io.StringIO()
+        streamer = JsonlStreamer(buf, flush_every=0)
+        result = run_visibility_protocol(3, subscribers=[streamer], trace_maxlen=8)
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert streamer.count == len(lines)
+        moves = [r for r in lines if r["kind"] == "move"]
+        assert len(moves) == result.total_moves
+        # the streamer saw everything even though the trace kept a window
+        assert len(result.trace) == 8
+
+
+class TestWatchCli:
+    def test_watch_writes_jsonl_with_manifest_tail(self, tmp_path):
+        out = tmp_path / "events.jsonl"
+        code = cli_main(
+            ["watch", "-d", "3", "-p", "visibility", "-o", str(out)]
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines[0]["kind"] == "run-start"
+        assert lines[-1]["record"] == "manifest"
+        assert lines[-1]["schema"] == "repro-manifest/v1"
+        assert lines[-2]["kind"] == "run-end"
+
+    def test_watch_kind_filter(self, tmp_path, capsys):
+        out = tmp_path / "moves.jsonl"
+        code = cli_main(
+            ["watch", "-d", "3", "-p", "clean", "-o", str(out), "--kinds", "move"]
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        kinds = {r.get("kind") for r in lines[:-1]}
+        assert kinds == {"move"}
+
+    def test_watch_stdout(self, capsys):
+        code = cli_main(["watch", "-d", "2", "-p", "visibility"])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert json.loads(lines[0])["kind"] == "run-start"
+
+
+class TestReportCli:
+    def test_report_renders_snapshot(self, capsys):
+        code = cli_main(["report", "-d", "4", "-p", "clean"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "moves_total" in out
+        assert "clean_nodes" in out
+        assert "manifest: repro-manifest/v1" in out
+
+    def test_report_json_export(self, tmp_path, capsys):
+        target = tmp_path / "snap.json"
+        code = cli_main(
+            ["report", "-d", "3", "-p", "visibility", "--json", str(target)]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["manifest"]["schema"] == "repro-manifest/v1"
+        assert payload["metrics"]["counters"]["moves_total"] == 8
+
+    def test_report_probes_off(self, capsys):
+        assert cli_main(["report", "-d", "3", "-p", "clean", "--probes", "off"]) == 0

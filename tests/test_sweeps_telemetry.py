@@ -85,6 +85,7 @@ class TestTelemetry:
         """Traffic concentrates where the squads are largest: node 1, the
         root of the T(d-1) subtree, receives the largest squad."""
         telemetry = analyze_trace(result.trace)
+        assert telemetry.hottest_node is not None
         node, arrivals = telemetry.hottest_node
         assert node == 1
         assert arrivals == 4  # agents_for_type(d-1) = 2^{d-2} = 4 at d=4
@@ -109,6 +110,104 @@ class TestTelemetry:
     def test_describe(self, result):
         text = analyze_trace(result.trace).describe()
         assert "hottest node" in text and "moves/agent" in text
+
+
+class TestTelemetryEdgeCases:
+    """analyze_trace on synthetic traces: empty traffic, write/wake events,
+    overlapping waits, crashes."""
+
+    @staticmethod
+    def _trace(events):
+        from repro.sim.trace import Trace, TraceEvent
+
+        trace = Trace()
+        for time, kind, agent, node, data in events:
+            trace.log(TraceEvent(time=time, kind=kind, agent=agent, node=node, data=data))
+        return trace
+
+    def test_empty_trace_hottest_is_none(self):
+        """Regression: empty traffic used to read as (0, 0) — i.e. 'node 0
+        had 0 arrivals' — instead of 'no traffic at all'."""
+        from repro.sim.trace import Trace
+
+        telemetry = analyze_trace(Trace())
+        assert telemetry.hottest_node is None
+        assert telemetry.hottest_link is None
+        assert telemetry.total_moves == 0
+        text = telemetry.describe()
+        assert "none (no traffic)" in text
+
+    def test_no_moves_but_events_hottest_is_none(self):
+        trace = self._trace(
+            [
+                (0.0, "wait", 0, 0, {"why": "squad"}),
+                (1.0, "terminate", 0, 0, {}),
+            ]
+        )
+        telemetry = analyze_trace(trace)
+        assert telemetry.hottest_node is None
+        assert telemetry.hottest_link is None
+        assert telemetry.agent_wait_time == {0: 1.0}
+
+    def test_write_events_do_not_affect_traffic(self):
+        trace = self._trace(
+            [
+                (0.5, "write", 0, 0, {"key": "state"}),
+                (1.0, "move", 0, 1, {"src": 0}),
+                (1.5, "write", 0, 1, {"key": "state"}),
+            ]
+        )
+        telemetry = analyze_trace(trace)
+        assert telemetry.total_moves == 1
+        assert telemetry.node_traffic == {1: 1}
+        assert telemetry.link_traffic == {(0, 1): 1}
+
+    def test_wake_closes_wait_interval(self):
+        trace = self._trace(
+            [
+                (1.0, "wait", 3, 5, {"why": "guard"}),
+                (4.0, "wake", 3, 5, {}),
+                (9.0, "move", 3, 7, {"src": 5}),
+            ]
+        )
+        telemetry = analyze_trace(trace)
+        # blocked 1.0 -> 4.0 only; the wake ends the interval, not the move
+        assert telemetry.agent_wait_time == {3: 3.0}
+
+    def test_overlapping_waits_counted_once(self):
+        """A second wait before the wake must not restart (or stack) the
+        interval: setdefault keeps the first wait's start time."""
+        trace = self._trace(
+            [
+                (1.0, "wait", 2, 4, {"why": "squad"}),
+                (2.0, "wait", 2, 4, {"why": "safety"}),
+                (5.0, "wake", 2, 4, {}),
+            ]
+        )
+        telemetry = analyze_trace(trace)
+        assert telemetry.agent_wait_time == {2: 4.0}
+
+    def test_unclosed_wait_accrues_to_makespan(self):
+        trace = self._trace(
+            [
+                (1.0, "wait", 0, 0, {"why": "squad"}),
+                (6.0, "move", 1, 2, {"src": 0}),
+            ]
+        )
+        telemetry = analyze_trace(trace)
+        assert telemetry.agent_wait_time == {0: 5.0}
+
+    def test_crash_closes_wait_without_termination(self):
+        trace = self._trace(
+            [
+                (1.0, "wait", 0, 3, {"why": "squad"}),
+                (2.5, "crash", 0, 3, {}),
+                (9.0, "terminate", 1, 0, {}),
+            ]
+        )
+        telemetry = analyze_trace(trace)
+        assert telemetry.agent_wait_time == {0: 1.5}
+        assert telemetry.terminations == 1
 
 
 class TestPeriodicCleaning:

@@ -71,3 +71,64 @@ class TestValidation:
                 break
         with pytest.raises(ValueError):
             Trace.from_json(json.dumps(raw)).validate_against(Hypercube(3))
+
+class TestRingMode:
+    """Bounded traces: only the newest maxlen events are retained, but the
+    running totals stay exact."""
+
+    def test_maxlen_validation(self):
+        with pytest.raises(ValueError):
+            Trace(maxlen=0)
+        with pytest.raises(ValueError):
+            Trace(maxlen=-5)
+
+    def test_unbounded_sizes(self):
+        trace = Trace()
+        trace.log(TraceEvent(0.0, "move", 0, 1, {"src": 0}))
+        sizes = trace.sizes()
+        assert sizes["retained"] == 1
+        assert sizes["dropped"] == 0
+        assert sizes["total_logged"] == 1
+        assert sizes["maxlen"] is None
+        assert sizes["approx_bytes"] > 0
+
+    def test_ring_evicts_oldest(self):
+        trace = Trace(maxlen=3)
+        for i in range(7):
+            trace.log(TraceEvent(float(i), "move", 0, i + 1, {"src": i}))
+        assert len(trace) == 3
+        assert [e.node for e in trace] == [5, 6, 7]
+        sizes = trace.sizes()
+        assert sizes["retained"] == 3
+        assert sizes["dropped"] == 4
+        assert sizes["total_logged"] == 7
+
+    def test_move_count_survives_eviction(self):
+        trace = Trace(maxlen=2)
+        for i in range(10):
+            trace.log(TraceEvent(float(i), "move", 0, i + 1, {"src": i}))
+        assert trace.move_count() == 10  # eviction-proof counter
+        assert len(trace.moves()) == 2  # retained window only
+
+    def test_non_move_events_counted_separately(self):
+        trace = Trace(maxlen=4)
+        trace.log(TraceEvent(0.0, "wait", 0, 0, {}))
+        trace.log(TraceEvent(1.0, "move", 0, 1, {"src": 0}))
+        trace.log(TraceEvent(2.0, "wake", 1, 0, {}))
+        assert trace.move_count() == 1
+        assert trace.sizes()["total_logged"] == 3
+        assert trace.sizes()["dropped"] == 0
+
+    def test_engine_respects_trace_maxlen(self):
+        result_full = run_visibility_protocol(4)
+        result_ring = run_visibility_protocol(4, trace_maxlen=10)
+        assert len(result_ring.trace) == 10
+        # exact totals are preserved despite eviction
+        assert result_ring.trace.move_count() == result_full.trace.move_count()
+        assert result_ring.total_moves == result_full.total_moves
+
+    def test_time_ordering_still_enforced_in_ring(self):
+        trace = Trace(maxlen=2)
+        trace.log(TraceEvent(5.0, "move", 0, 1, {"src": 0}))
+        with pytest.raises(ValueError):
+            trace.log(TraceEvent(1.0, "move", 0, 2, {"src": 1}))
