@@ -10,7 +10,7 @@ suite (the benches add wall-clock timing on top), used by the CLI's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis import formulas
 from repro.analysis.asymptotics import fit_growth, is_bounded_ratio
@@ -19,7 +19,13 @@ from repro.core.states import AgentRole
 from repro.core.strategy import get_strategy
 from repro.errors import ReproError
 
-__all__ = ["ExperimentResult", "run_experiment", "run_all", "experiment_ids"]
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "run_all",
+    "experiment_ids",
+    "experiment_title",
+]
 
 
 @dataclass
@@ -346,6 +352,12 @@ def _a6():
 def experiment_ids() -> List[str]:
     """All registered experiment ids, figures first."""
     return sorted(_REGISTRY)
+
+
+def experiment_title(exp_id: str) -> Optional[str]:
+    """The registered title for ``exp_id`` (``None`` for unknown ids)."""
+    entry = _REGISTRY.get(exp_id)
+    return entry[0] if entry else None
 
 
 def run_experiment(exp_id: str) -> ExperimentResult:

@@ -28,21 +28,39 @@ STANDARD_COLUMNS = ("agents", "moves", "agent_moves", "sync_moves", "steps")
 
 @dataclass(frozen=True)
 class SweepRow:
-    """One (strategy, dimension) measurement."""
+    """One (strategy, dimension) measurement.
+
+    ``status`` is ``"ok"`` for a measured cell; the parallel executor
+    (:mod:`repro.exec`) reports a permanently failing cell as a row with
+    ``status="failed"`` and no metric values, which the renderers print
+    as ``FAILED`` — a broken cell degrades to a table entry, never to a
+    traceback or a hole in the grid.
+    """
 
     strategy: str
     dimension: int
     n: int
     values: Dict[str, float] = field(default_factory=dict)
+    status: str = "ok"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def as_flat_dict(self) -> Dict[str, object]:
-        """One flat mapping per row (the CSV writer's input)."""
+        """One flat mapping per row (the CSV writer's input).
+
+        The ``status`` key is present only on non-ok rows, keeping the
+        serial sweep's flat shape (and its CSV) unchanged.
+        """
         out: Dict[str, object] = {
             "strategy": self.strategy,
             "d": self.dimension,
             "n": self.n,
         }
         out.update(self.values)
+        if not self.ok:
+            out["status"] = self.status
         return out
 
 
@@ -118,24 +136,38 @@ class Sweep:
         return list(STANDARD_COLUMNS) + sorted(self.extra_metrics)
 
     def to_csv(self, rows: Sequence[SweepRow]) -> str:
-        """CSV text with a header row."""
+        """CSV text with a header row and a trailing newline.
+
+        A ``status`` column is appended only when some row is non-ok, so
+        fully successful sweeps keep the historical column set.
+        """
         fieldnames = ["strategy", "d", "n"] + self.columns()
+        if any(not row.ok for row in rows):
+            fieldnames.append("status")
         buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+        writer = csv.DictWriter(
+            buffer, fieldnames=fieldnames, restval="", lineterminator="\n"
+        )
         writer.writeheader()
         for row in rows:
-            writer.writerow(row.as_flat_dict())
+            flat = row.as_flat_dict()
+            if "status" in fieldnames:
+                flat.setdefault("status", "ok")
+            writer.writerow(flat)
         return buffer.getvalue()
 
     def to_text(self, rows: Sequence[SweepRow]) -> str:
-        """Aligned text table."""
+        """Aligned text table; failed cells render as ``FAILED``."""
         cols = self.columns()
         header = f"{'strategy':<12} {'d':>3} {'n':>6} " + " ".join(
             f"{c:>12}" for c in cols
         )
         lines = [header, "-" * len(header)]
         for row in rows:
-            cells = " ".join(f"{row.values.get(c, ''):>12}" for c in cols)
+            if row.ok:
+                cells = " ".join(f"{row.values.get(c, ''):>12}" for c in cols)
+            else:
+                cells = " ".join(f"{'FAILED':>12}" for _ in cols)
             lines.append(f"{row.strategy:<12} {row.dimension:>3} {row.n:>6} {cells}")
         return "\n".join(lines)
 

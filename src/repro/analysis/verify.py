@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro._bitops import iter_set_bits
 from repro.core.schedule import Schedule
 from repro.errors import (
     ContiguityError,
@@ -182,11 +183,13 @@ class ScheduleVerifier:
                         cmap.place_agent(move.src)
                         positions[move.agent] = move.src
             for move in group:
-                was_clean_before = cmap.clean_nodes()
+                clean_before = cmap.clean_mask
                 cmap.move_agent(move.src, move.dst)
                 positions[move.agent] = move.dst
-                newly_clean = cmap.clean_nodes() - was_clean_before
-                for node in newly_clean:
+                # mask delta, not set difference: materializing the full
+                # clean set twice per move made verification O(moves * n)
+                # and dominated every d >= 10 sweep
+                for node in iter_set_bits(cmap.clean_mask & ~clean_before):
                     clean_times.setdefault(node, move.time)
                 intruder.observe(cmap)
                 if self._every_move:

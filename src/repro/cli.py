@@ -81,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "id", nargs="?", default=None, help="experiment id (e.g. E4); omit for all"
     )
+    _add_executor_flags(experiment)
 
     lint = sub.add_parser(
         "lint", help="statically check protocols against their declared model"
@@ -143,7 +144,41 @@ def build_parser() -> argparse.ArgumentParser:
         "-s", "--strategies", nargs="+", default=["clean", "visibility", "cloning"]
     )
     sweep.add_argument("--csv", metavar="FILE", default=None, help="also write CSV")
+    _add_executor_flags(sweep)
     return parser
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``repro.exec`` knobs (see docs/EXECUTION.md)."""
+    group = parser.add_argument_group("parallel execution")
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; >1 runs cells through the fault-tolerant "
+        "executor (default: 1, serial in-process)",
+    )
+    group.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell attempt budget; a timed-out cell is retried, then FAILED",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts after a crash or timeout (default: 2)",
+    )
+    group.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="checkpoint file: finished cells are reloaded from it and new "
+        "ones appended, so an interrupted run restarts only unfinished cells "
+        "(a merged manifest is written alongside)",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -172,7 +207,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _executor_requested(args: argparse.Namespace) -> bool:
+    """Whether the parallel-execution flags ask for the executor path."""
+    return args.jobs != 1 or args.resume is not None or args.timeout is not None
+
+
+def _executor_config(args: argparse.Namespace):
+    from repro.exec import ExecutorConfig
+
+    return ExecutorConfig(jobs=args.jobs, timeout=args.timeout, retries=args.retries)
+
+
+def _executor_epilogue(outcomes) -> None:
+    """One summary line per retried/failed cell (the failure contract:
+    errors surface as table rows plus these notes, never tracebacks)."""
+    for outcome in outcomes:
+        if not outcome.ok:
+            print(f"FAILED {outcome.key} after {outcome.attempts} attempt(s): {outcome.error}")
+        elif outcome.attempts > 1:
+            print(f"retried {outcome.key}: ok on attempt {outcome.attempts}")
+
+
+def _write_merged_manifest_for(resume: str, outcomes, kind: str) -> None:
+    from pathlib import Path
+
+    from repro.exec import write_merged_manifest
+
+    target = Path(resume).with_suffix(".manifest.json")
+    write_merged_manifest(target, outcomes, extra={"batch": kind})
+    print(f"merged manifest written to {target}")
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+
+    if _executor_requested(args):
+        from repro.exec import parallel_experiments
+
+        ids = None if args.id is None else [args.id]
+        try:
+            results, outcomes = parallel_experiments(
+                ids, _executor_config(args), checkpoint=args.resume
+            )
+        except ReproError as exc:
+            print(f"repro-search experiment: {exc}", file=sys.stderr)
+            return 2
+        for result in results:
+            print(result.render())
+            print()
+        _executor_epilogue(outcomes)
+        if args.resume:
+            _write_merged_manifest_for(args.resume, outcomes, "experiment")
+        return 0 if all(r.passed for r in results) else 1
+
     from repro.analysis.experiments import run_all, run_experiment
 
     results = run_all() if args.id is None else [run_experiment(args.id)]
@@ -183,16 +270,51 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis.sweeps import run_sweep
+    from repro.errors import ReproError
 
-    sweep, rows = run_sweep(args.strategies, args.dimensions)
+    outcomes = None
+    if _executor_requested(args):
+        from repro.exec import parallel_sweep
+
+        try:
+            sweep, rows, outcomes = parallel_sweep(
+                args.strategies, args.dimensions, _executor_config(args), checkpoint=args.resume
+            )
+        except ReproError as exc:
+            print(f"repro-search sweep: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.analysis.sweeps import run_sweep
+
+        sweep, rows = run_sweep(args.strategies, args.dimensions)
     print(sweep.to_text(rows))
+    if outcomes is not None:
+        _executor_epilogue(outcomes)
+        if args.resume:
+            _write_merged_manifest_for(args.resume, outcomes, "sweep")
     if args.csv:
-        from pathlib import Path
+        if not _write_text_file(args.csv, sweep.to_csv(rows), "CSV"):
+            return 2
+    return 0 if all(row.ok for row in rows) else 1
 
-        Path(args.csv).write_text(sweep.to_csv(rows))
-        print(f"CSV written to {args.csv}")
-    return 0
+
+def _write_text_file(target: str, text: str, label: str) -> bool:
+    """Write ``text`` (newline-terminated, parents created); ``False`` +
+    a clean stderr message instead of a traceback when the path is
+    unwritable."""
+    from pathlib import Path
+
+    path = Path(target)
+    if not text.endswith("\n"):
+        text += "\n"
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    except OSError as exc:
+        print(f"repro-search: cannot write {label} to {target}: {exc}", file=sys.stderr)
+        return False
+    print(f"{label} written to {target}")
+    return True
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:

@@ -22,6 +22,8 @@ __all__ = [
     "WhiteboardError",
     "AgentError",
     "CapacityError",
+    "ExecutionError",
+    "CheckpointError",
 ]
 
 
@@ -91,3 +93,11 @@ class AgentError(SimulationError):
 
 class CapacityError(ReproError):
     """A resource bound (agents, memory bits) was exceeded."""
+
+
+class ExecutionError(ReproError):
+    """The parallel job executor was misused or misconfigured."""
+
+
+class CheckpointError(ExecutionError):
+    """An executor checkpoint file is unreadable or inconsistent."""

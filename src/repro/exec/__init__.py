@@ -1,0 +1,64 @@
+"""Fault-tolerant parallel execution of sweep / experiment / benchmark cells.
+
+The :mod:`repro.exec` package shards independent cells of work — the
+(strategy, dimension) grid of a sweep, the experiment registry, a
+benchmark's measurement points — across a pool of worker *processes*
+with per-job timeouts, bounded retry with exponential backoff, crash
+isolation (a worker SIGKILLed mid-job gets its job requeued on a fresh
+worker), and resumable on-disk checkpoints keyed by the run's
+``repro-manifest/v1`` record.  Results merge in deterministic cell
+order regardless of completion order, and permanent failures degrade to
+``FAILED`` rows instead of tracebacks.
+
+Layering: ``exec`` sits *above* the analysis and simulation layers (its
+tasks call into them) and *below* the CLI — nothing here may import
+``repro.cli`` or ``repro.viz`` (enforced statically by ``repro-lint``
+rule ``RPR210``).
+
+See ``docs/EXECUTION.md`` for the pool model, the retry/checkpoint
+semantics, and the failure-reporting contract.
+"""
+
+from repro.exec.checkpoint import CHECKPOINT_SCHEMA, Checkpoint, fingerprint_jobs
+from repro.exec.jobs import (
+    Job,
+    JobOutcome,
+    JobStatus,
+    TaskContext,
+    get_task,
+    register_task,
+    registered_tasks,
+)
+from repro.exec.pool import ExecutorConfig, ParallelExecutor, run_jobs
+from repro.exec.runner import (
+    experiment_jobs,
+    merged_manifest,
+    parallel_experiments,
+    parallel_sweep,
+    sweep_jobs,
+    write_merged_manifest,
+)
+from repro.exec.tasks import CRASH_ENV
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CRASH_ENV",
+    "Checkpoint",
+    "ExecutorConfig",
+    "Job",
+    "JobOutcome",
+    "JobStatus",
+    "ParallelExecutor",
+    "TaskContext",
+    "experiment_jobs",
+    "fingerprint_jobs",
+    "get_task",
+    "merged_manifest",
+    "parallel_experiments",
+    "parallel_sweep",
+    "register_task",
+    "registered_tasks",
+    "run_jobs",
+    "sweep_jobs",
+    "write_merged_manifest",
+]

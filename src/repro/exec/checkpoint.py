@@ -1,0 +1,176 @@
+"""Resumable on-disk checkpoints for the parallel executor.
+
+A checkpoint is an append-only JSONL file (schema
+``repro-exec-checkpoint/v1``): a header record followed by one record
+per finished job, flushed as each job completes so an interrupted run
+loses at most the jobs still in flight.
+
+The header keys the file to a *specific* piece of work: a fingerprint
+over the full job list (keys, task names, payloads) combined with the
+identity fields of the run's ``repro-manifest/v1`` record (git revision,
+python version).  On resume the fingerprint must match — a checkpoint
+from different cells, a different code revision or a different
+interpreter is silently *not* reused (the run starts fresh and rewrites
+the file), because merging results produced by different code into one
+table is exactly the confusion manifests exist to prevent.
+
+Only ``OK`` outcomes are reused on resume: a resumed run re-attempts
+cells that previously failed (the operator re-running with ``--resume``
+is usually retrying after fixing the cause), while finished cells are
+served from disk without re-execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import CheckpointError
+from repro.exec.jobs import Job, JobOutcome, JobStatus
+
+__all__ = ["CHECKPOINT_SCHEMA", "Checkpoint", "fingerprint_jobs"]
+
+#: Schema identifier stamped into every checkpoint header.
+CHECKPOINT_SCHEMA = "repro-exec-checkpoint/v1"
+
+#: Manifest keys that participate in the fingerprint (the volatile keys —
+#: metrics, seeds chosen per cell — do not).
+_MANIFEST_IDENTITY_KEYS = ("schema", "git", "python")
+
+
+def fingerprint_jobs(jobs: Sequence[Job], manifest: Optional[Dict[str, Any]] = None) -> str:
+    """A stable digest of *what* is being computed and *by which code*."""
+    identity: Dict[str, Any] = {
+        "jobs": [job.spec() for job in sorted(jobs, key=lambda j: j.key)],
+        "manifest": {k: (manifest or {}).get(k) for k in _MANIFEST_IDENTITY_KEYS},
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class Checkpoint:
+    """One resumable run's on-disk record.
+
+    Usage (the executor drives this)::
+
+        ckpt = Checkpoint(path)
+        done = ckpt.open(jobs, manifest)   # {} on a fresh/invalid file
+        ...
+        ckpt.record(outcome)               # append + flush per finished job
+        ckpt.close()
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = None
+        self._fingerprint: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    def load_reusable(
+        self, jobs: Sequence[Job], manifest: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, JobOutcome]:
+        """Outcomes reusable for ``jobs``: ``OK`` records under a matching
+        header fingerprint.  An absent, truncated, corrupt or mismatching
+        file yields ``{}`` — resume never fails, it just starts over."""
+        records = self._read_records()
+        if not records:
+            return {}
+        header = records[0]
+        if header.get("record") != "header" or header.get("schema") != CHECKPOINT_SCHEMA:
+            return {}
+        if header.get("fingerprint") != fingerprint_jobs(jobs, manifest):
+            return {}
+        keys = {job.key for job in jobs}
+        reusable: Dict[str, JobOutcome] = {}
+        for record in records[1:]:
+            if record.get("record") != "outcome":
+                continue
+            try:
+                outcome = JobOutcome.from_json_dict(record)
+            except (KeyError, ValueError):
+                continue  # torn tail write from an interrupted run
+            if outcome.key in keys and outcome.status is JobStatus.OK:
+                reusable[outcome.key] = outcome
+        return reusable
+
+    def _read_records(self) -> List[Dict[str, Any]]:
+        if not self.path.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        try:
+            text = self.path.read_text()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail from a crash mid-append: keep the prefix
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+
+    def open(
+        self,
+        jobs: Sequence[Job],
+        manifest: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, JobOutcome]:
+        """Load reusable outcomes, then (re)open the file for appending.
+
+        The file is rewritten with a fresh header plus the reused records,
+        so it is always a single consistent run — never an interleaving of
+        two generations of results.
+        """
+        reusable = self.load_reusable(jobs, manifest)
+        self._fingerprint = fingerprint_jobs(jobs, manifest)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._fh = self.path.open("w")
+        except OSError as exc:
+            raise CheckpointError(f"cannot write checkpoint {self.path}: {exc}") from exc
+        header = {
+            "record": "header",
+            "schema": CHECKPOINT_SCHEMA,
+            "fingerprint": self._fingerprint,
+            "jobs": len(jobs),
+            "manifest": manifest,
+        }
+        self._append(header)
+        for outcome in reusable.values():
+            self._append({"record": "outcome", **outcome.to_json_dict()})
+        return reusable
+
+    def record(self, outcome: JobOutcome) -> None:
+        """Append one finished job (flushed immediately for crash safety)."""
+        if self._fh is None:
+            raise CheckpointError("checkpoint not opened for writing")
+        self._append({"record": "outcome", **outcome.to_json_dict()})
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Close the append handle (idempotent; records are already flushed)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Checkpoint":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

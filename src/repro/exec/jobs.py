@@ -1,0 +1,164 @@
+"""The executor's job vocabulary: specs, outcomes, and the task registry.
+
+A :class:`Job` is one independent cell of work — "(strategy, dimension)
+sweep cell", "experiment E4" — described entirely by JSON-able data: a
+*task name* resolved through the registry in the worker process plus a
+*payload* dict.  Keeping jobs data-only (no closures, no callables) is
+what makes them safe to ship to a fresh worker process under any
+multiprocessing start method, to write into checkpoints, and to compare
+across runs for resume.
+
+A :class:`JobOutcome` is what comes back: a terminal :class:`JobStatus`
+(``OK`` or ``FAILED``), the task's JSON-able return value, the error
+text for failures, and the attempt/timing/provenance record (including
+the worker's ``repro-manifest/v1`` manifest).  Outcomes are merged in
+job-definition order regardless of completion order — the executor's
+determinism contract.
+
+Tasks are registered at import time with :func:`register_task`; the
+worker entry point resolves them by name via :func:`get_task`.  A task
+is ``fn(payload, ctx) -> dict`` where ``ctx`` is a :class:`TaskContext`
+naming the job and the attempt number (used by the crash-injection
+hooks and by retry-aware test tasks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ExecutionError
+
+__all__ = [
+    "Job",
+    "JobOutcome",
+    "JobStatus",
+    "TaskContext",
+    "TaskFn",
+    "get_task",
+    "register_task",
+    "registered_tasks",
+]
+
+
+class JobStatus(enum.Enum):
+    """Terminal state of one job."""
+
+    OK = "ok"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent, JSON-able cell of work.
+
+    Attributes
+    ----------
+    key:
+        Unique, stable identifier (e.g. ``"sweep:clean:d=12"``); the
+        checkpoint and the crash-injection hook address jobs by key.
+    task:
+        Registry name of the function to run (see :func:`register_task`).
+    payload:
+        JSON-able keyword data for the task.
+    index:
+        Position in the submission order; outcomes are merged sorted by
+        this, so the result table is deterministic no matter which worker
+        finishes first.
+    """
+
+    key: str
+    task: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    index: int = 0
+
+    def spec(self) -> Dict[str, Any]:
+        """The JSON-able identity used for checkpoint fingerprinting."""
+        return {"key": self.key, "task": self.task, "payload": self.payload}
+
+
+@dataclass
+class JobOutcome:
+    """Terminal record for one job (one per job, however many attempts)."""
+
+    key: str
+    status: JobStatus
+    value: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    attempts: int = 1
+    duration: float = 0.0
+    worker_pid: Optional[int] = None
+    manifest: Optional[Dict[str, Any]] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status is JobStatus.OK
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The checkpoint serialization (see :mod:`repro.exec.checkpoint`)."""
+        return {
+            "key": self.key,
+            "status": self.status.value,
+            "value": self.value,
+            "error": self.error,
+            "attempts": self.attempts,
+            "duration": round(self.duration, 6),
+            "worker_pid": self.worker_pid,
+            "manifest": self.manifest,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "JobOutcome":
+        return cls(
+            key=str(data["key"]),
+            status=JobStatus(data["status"]),
+            value=data.get("value"),
+            error=data.get("error"),
+            attempts=int(data.get("attempts", 1)),
+            duration=float(data.get("duration", 0.0)),
+            worker_pid=data.get("worker_pid"),
+            manifest=data.get("manifest"),
+            cached=True,
+        )
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """What a task may know about its own execution."""
+
+    key: str
+    attempt: int  # 0-based: 0 on the first try, 1 on the first retry, ...
+
+
+TaskFn = Callable[[Dict[str, Any], TaskContext], Dict[str, Any]]
+
+_TASKS: Dict[str, TaskFn] = {}
+
+
+def register_task(name: str) -> Callable[[TaskFn], TaskFn]:
+    """Register ``fn`` under ``name``; names must be unique."""
+
+    def deco(fn: TaskFn) -> TaskFn:
+        if name in _TASKS:
+            raise ExecutionError(f"task {name!r} registered twice")
+        _TASKS[name] = fn
+        return fn
+
+    return deco
+
+
+def get_task(name: str) -> TaskFn:
+    """Resolve a registered task; raises :class:`ExecutionError` for unknowns."""
+    try:
+        return _TASKS[name]
+    except KeyError:
+        raise ExecutionError(
+            f"unknown task {name!r}; registered: {sorted(_TASKS)}"
+        ) from None
+
+
+def registered_tasks() -> Dict[str, TaskFn]:
+    """A snapshot of the registry (for the tests and the docs)."""
+    return dict(_TASKS)

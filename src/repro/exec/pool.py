@@ -1,0 +1,415 @@
+"""The fault-tolerant worker pool: process-per-job with requeue-on-crash.
+
+Design
+------
+Each in-flight job runs in its **own** child process (up to
+``ExecutorConfig.jobs`` concurrently), talking back over a one-way pipe.
+Process-per-job is deliberate: a worker that segfaults, is OOM-killed or
+SIGKILLed mid-job takes down nothing but itself — the parent observes a
+dead process with no result on the pipe and requeues the job on a fresh
+worker, with exponential backoff, up to the retry cap.  A long-lived
+pool (``concurrent.futures``-style) would instead wedge or poison every
+queued job when one worker dies.
+
+Failure taxonomy (what consumes a retry):
+
+* **crash** — the process died without delivering a result; retried.
+* **timeout** — the attempt exceeded ``config.timeout``; the process is
+  SIGKILLed and the job retried (transient load is indistinguishable
+  from a hang, so timeouts get the benefit of the backoff).
+* **task error** — the task raised; *not* retried by default (a
+  deterministic exception will just raise again; set
+  ``retry_errors=True`` for flaky-by-nature tasks).
+
+A job whose attempts are exhausted becomes a ``FAILED``
+:class:`~repro.exec.jobs.JobOutcome` carrying the last error text —
+failures degrade to table rows, never to tracebacks in the parent.
+
+Determinism: outcomes are merged in job-definition order regardless of
+completion order, so ``--jobs 8`` and ``--jobs 1`` produce byte-identical
+result tables.
+
+Observability: pass a :class:`~repro.obs.MetricsRegistry` to count
+ok/failed/retried/crashed/timed-out jobs and sample per-job wall time;
+every outcome carries the worker-built ``repro-manifest/v1`` record.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ExecutionError
+from repro.exec.checkpoint import Checkpoint
+from repro.exec.jobs import Job, JobOutcome, JobStatus, TaskContext, get_task
+from repro.obs import MetricsRegistry, build_manifest
+
+__all__ = ["ExecutorConfig", "ParallelExecutor", "run_jobs"]
+
+#: Upper bound on one poll cycle so deadline/backoff bookkeeping stays live.
+_POLL_SECONDS = 0.05
+
+
+def _worker_main(
+    task_name: str,
+    payload: Dict[str, Any],
+    key: str,
+    attempt: int,
+    conn: multiprocessing.connection.Connection,
+) -> None:
+    """Child-process entry point: run one task attempt, report, exit."""
+    import repro.exec.tasks as tasks  # registers the built-in tasks
+
+    try:
+        tasks.maybe_inject_crash(key, attempt)
+        fn = get_task(task_name)
+        value = fn(payload, TaskContext(key=key, attempt=attempt))
+        manifest = build_manifest(
+            extra={"job": key, "task": task_name, "attempt": attempt}
+        )
+        conn.send(("ok", value, manifest))
+    except BaseException as exc:  # noqa: BLE001 - the pipe is the error channel
+        detail = traceback.format_exc(limit=8)
+        conn.send(("error", f"{type(exc).__name__}: {exc}", detail))
+    finally:
+        conn.close()
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Pool sizing and fault policy.
+
+    Attributes
+    ----------
+    jobs:
+        Maximum concurrently running worker processes (>= 1).
+    timeout:
+        Per-*attempt* wall-clock budget in seconds; ``None`` disables.
+    retries:
+        Extra attempts after the first (total attempts = ``retries + 1``).
+    backoff_base / backoff_factor / backoff_max:
+        Attempt ``k`` (0-based) is requeued no earlier than
+        ``min(backoff_base * backoff_factor**k, backoff_max)`` seconds
+        after its failure.
+    retry_errors:
+        Also retry deterministic task exceptions (default: only crashes
+        and timeouts are retried).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` (cheap
+        on POSIX — no re-import of numpy/networkx per job) and falls back
+        to the platform default.
+    """
+
+    jobs: int = 1
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    retry_errors: bool = False
+    start_method: Optional[str] = None
+
+    def validate(self) -> None:
+        """Reject configurations the pool cannot honour (raises
+        :class:`~repro.errors.ExecutionError`)."""
+        if self.jobs < 1:
+            raise ExecutionError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ExecutionError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ExecutionError(f"timeout must be positive, got {self.timeout}")
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_max < 0:
+            raise ExecutionError("backoff parameters must be non-negative (factor >= 1)")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before requeueing after failed attempt ``attempt``."""
+        return min(self.backoff_base * (self.backoff_factor**attempt), self.backoff_max)
+
+
+@dataclass
+class _Running:
+    job: Job
+    attempt: int  # 0-based attempt currently executing
+    process: multiprocessing.process.BaseProcess
+    conn: multiprocessing.connection.Connection
+    started: float
+    deadline: Optional[float]
+
+
+class ParallelExecutor:
+    """Run a batch of :class:`~repro.exec.jobs.Job` under the fault policy.
+
+    Parameters
+    ----------
+    config:
+        Pool sizing and retry/timeout policy.
+    metrics:
+        Optional registry receiving the ``exec.*`` counters and the
+        per-job duration series.
+    on_outcome:
+        Optional callback fired as each job reaches a terminal state
+        (progress reporting; called in completion order).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExecutorConfig] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        on_outcome: Optional[Callable[[Job, JobOutcome], None]] = None,
+    ) -> None:
+        self.config = config or ExecutorConfig()
+        self.config.validate()
+        self.metrics = metrics
+        self.on_outcome = on_outcome
+        method = self.config.start_method
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        self._ctx = multiprocessing.get_context(method)
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        *,
+        checkpoint: Optional[Union[str, Path, Checkpoint]] = None,
+        manifest: Optional[Dict[str, Any]] = None,
+    ) -> List[JobOutcome]:
+        """Execute ``jobs``; returns outcomes in job-definition order.
+
+        With ``checkpoint`` set, previously finished ``OK`` cells (same
+        fingerprint — same cells, same code revision) are served from
+        disk and every newly finished cell is appended as it completes.
+        """
+        ordered = self._validate_jobs(jobs)
+        manifest = manifest if manifest is not None else build_manifest()
+        ckpt = Checkpoint(checkpoint) if isinstance(checkpoint, (str, Path)) else checkpoint
+
+        done: Dict[str, JobOutcome] = {}
+        if ckpt is not None:
+            done = ckpt.open(ordered, manifest)
+            for job in ordered:
+                if job.key in done:
+                    self._note_outcome(job, done[job.key], from_cache=True)
+
+        pending: List[Job] = [job for job in ordered if job.key not in done]
+        attempts: Dict[str, int] = {job.key: 0 for job in pending}
+        errors: Dict[str, str] = {}
+        delayed: List[Tuple[float, int, Job]] = []  # (ready_at, seq, job)
+        running: Dict[str, _Running] = {}
+        seq = itertools.count()
+        try:
+            while pending or delayed or running:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    pending.append(heapq.heappop(delayed)[2])
+                while pending and len(running) < self.config.jobs:
+                    self._launch(pending.pop(0), attempts, running)
+                self._wait(running, delayed)
+                now = time.monotonic()
+                for slot in list(running.values()):
+                    outcome = self._reap(slot, now, attempts, errors)
+                    if outcome is None:
+                        continue
+                    del running[slot.job.key]
+                    if outcome is _RETRY:
+                        ready = now + self.config.backoff(slot.attempt)
+                        heapq.heappush(delayed, (ready, next(seq), slot.job))
+                    else:
+                        assert isinstance(outcome, JobOutcome)
+                        done[slot.job.key] = outcome
+                        if ckpt is not None:
+                            ckpt.record(outcome)
+                        self._note_outcome(slot.job, outcome)
+        finally:
+            for slot in running.values():
+                if slot.process.is_alive():
+                    slot.process.kill()
+                slot.process.join()
+                slot.conn.close()
+            if ckpt is not None:
+                ckpt.close()
+
+        return [done[job.key] for job in ordered]
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _validate_jobs(self, jobs: Sequence[Job]) -> List[Job]:
+        ordered = sorted(jobs, key=lambda j: j.index)
+        seen: Dict[str, Job] = {}
+        for job in ordered:
+            if job.key in seen:
+                raise ExecutionError(f"duplicate job key {job.key!r}")
+            seen[job.key] = job
+            get_task(job.task)  # fail fast on unknown tasks, before any fork
+        return ordered
+
+    def _launch(self, job: Job, attempts: Dict[str, int], running: Dict[str, _Running]) -> None:
+        attempt = attempts[job.key]
+        recv, send = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(job.task, job.payload, job.key, attempt, send),
+            name=f"repro-exec:{job.key}:a{attempt}",
+            daemon=True,
+        )
+        process.start()
+        send.close()  # the child owns the send end now
+        now = time.monotonic()
+        deadline = now + self.config.timeout if self.config.timeout is not None else None
+        running[job.key] = _Running(job, attempt, process, recv, now, deadline)
+        if self.metrics is not None:
+            self.metrics.gauge("exec.workers_busy").set(len(running))
+
+    def _wait(self, running: Dict[str, _Running], delayed: List[Tuple[float, int, Job]]) -> None:
+        """Block until something is likely actionable (result, death,
+        deadline or backoff expiry), bounded by :data:`_POLL_SECONDS`."""
+        if not running:
+            if delayed:
+                now = time.monotonic()
+                time.sleep(max(0.0, min(delayed[0][0] - now, _POLL_SECONDS)))
+            return
+        timeout = _POLL_SECONDS
+        now = time.monotonic()
+        horizons = [slot.deadline for slot in running.values() if slot.deadline is not None]
+        if delayed:
+            horizons.append(delayed[0][0])
+        if horizons:
+            timeout = min(timeout, max(0.0, min(horizons) - now))
+        multiprocessing.connection.wait(
+            [slot.conn for slot in running.values()], timeout=timeout
+        )
+
+    def _reap(
+        self,
+        slot: _Running,
+        now: float,
+        attempts: Dict[str, int],
+        errors: Dict[str, str],
+    ) -> Optional[object]:
+        """Inspect one running slot; returns ``None`` (still running), the
+        ``_RETRY`` sentinel, or the terminal :class:`JobOutcome`."""
+        key = slot.job.key
+        if slot.conn.poll():
+            try:
+                message = slot.conn.recv()
+            except (EOFError, OSError):
+                message = None  # died while writing: treat as a crash
+            slot.process.join()
+            slot.conn.close()
+            if message is not None and message[0] == "ok":
+                _, value, worker_manifest = message
+                return self._finish_ok(slot, now, value, worker_manifest)
+            if message is not None:
+                _, error, detail = message
+                errors[key] = error
+                self._count("exec.task_errors")
+                if self.config.retry_errors and self._retries_left(slot):
+                    return self._note_retry(slot, attempts)
+                return self._finish_failed(slot, now, error, attempts)
+            # EOF on the pipe with no message: the worker died mid-report —
+            # indistinguishable from any other crash, and counted as one.
+            code = slot.process.exitcode
+            errors[key] = f"worker crashed (exit code {code})"
+            self._count("exec.crashes")
+        elif not slot.process.is_alive():
+            slot.process.join()
+            slot.conn.close()
+            code = slot.process.exitcode
+            errors[key] = f"worker crashed (exit code {code})"
+            self._count("exec.crashes")
+        elif slot.deadline is not None and now >= slot.deadline:
+            slot.process.kill()
+            slot.process.join()
+            slot.conn.close()
+            assert self.config.timeout is not None
+            errors[key] = f"timed out after {self.config.timeout:g}s"
+            self._count("exec.timeouts")
+        else:
+            return None  # still running
+        # crash / timeout path: requeue on a fresh worker if budget remains
+        if self._retries_left(slot):
+            return self._note_retry(slot, attempts)
+        return self._finish_failed(slot, now, errors[key], attempts)
+
+    def _retries_left(self, slot: _Running) -> bool:
+        return slot.attempt < self.config.retries
+
+    def _note_retry(self, slot: _Running, attempts: Dict[str, int]) -> object:
+        attempts[slot.job.key] = slot.attempt + 1
+        self._count("exec.retries")
+        return _RETRY
+
+    def _finish_ok(
+        self,
+        slot: _Running,
+        now: float,
+        value: Optional[Dict[str, Any]],
+        worker_manifest: Optional[Dict[str, Any]],
+    ) -> JobOutcome:
+        self._count("exec.jobs_ok")
+        return JobOutcome(
+            key=slot.job.key,
+            status=JobStatus.OK,
+            value=value,
+            attempts=slot.attempt + 1,
+            duration=now - slot.started,
+            worker_pid=slot.process.pid,
+            manifest=worker_manifest,
+        )
+
+    def _finish_failed(
+        self, slot: _Running, now: float, error: str, attempts: Dict[str, int]
+    ) -> JobOutcome:
+        self._count("exec.jobs_failed")
+        return JobOutcome(
+            key=slot.job.key,
+            status=JobStatus.FAILED,
+            error=error,
+            attempts=slot.attempt + 1,
+            duration=now - slot.started,
+            worker_pid=slot.process.pid,
+        )
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _note_outcome(self, job: Job, outcome: JobOutcome, *, from_cache: bool = False) -> None:
+        if self.metrics is not None:
+            if from_cache:
+                self.metrics.counter("exec.jobs_cached").inc()
+            else:
+                self.metrics.series("exec.job_seconds").sample(
+                    float(job.index), outcome.duration
+                )
+        if self.on_outcome is not None:
+            self.on_outcome(job, outcome)
+
+
+#: Internal sentinel: the attempt failed but the job was requeued.
+_RETRY: object = object()
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    config: Optional[ExecutorConfig] = None,
+    *,
+    checkpoint: Optional[Union[str, Path]] = None,
+    manifest: Optional[Dict[str, Any]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    on_outcome: Optional[Callable[[Job, JobOutcome], None]] = None,
+) -> List[JobOutcome]:
+    """Convenience wrapper: build a :class:`ParallelExecutor` and run."""
+    executor = ParallelExecutor(config, metrics=metrics, on_outcome=on_outcome)
+    return executor.run(jobs, checkpoint=checkpoint, manifest=manifest)

@@ -1,0 +1,228 @@
+"""Shared high-level runners: sweeps and experiment batches on the pool.
+
+These are the entry points the CLI (``repro-search sweep/experiment
+--jobs N``) and the benchmark suite share.  Each builds the job list in
+the *serial* iteration order, runs it through
+:class:`~repro.exec.pool.ParallelExecutor`, and merges the outcomes back
+into the exact shapes the serial code paths produce
+(:class:`~repro.analysis.sweeps.SweepRow` lists,
+:class:`~repro.analysis.experiments.ExperimentResult` lists) — so every
+renderer downstream works unchanged and a parallel run is
+row-for-row comparable with a serial one.
+
+Failure contract: a cell whose job permanently fails (crashes/timeouts
+beyond the retry cap, or a task error) becomes a ``FAILED`` row/result
+carrying the error text — the batch always completes and always renders
+a full table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.experiments import ExperimentResult, experiment_ids, experiment_title
+from repro.analysis.sweeps import Sweep, SweepRow
+from repro.exec.jobs import Job, JobOutcome
+from repro.exec.pool import ExecutorConfig, ParallelExecutor
+from repro.obs import MetricsRegistry, build_manifest
+
+__all__ = [
+    "experiment_jobs",
+    "merged_manifest",
+    "parallel_experiments",
+    "parallel_sweep",
+    "sweep_jobs",
+    "write_merged_manifest",
+]
+
+OutcomeHook = Callable[[Job, JobOutcome], None]
+
+
+# --------------------------------------------------------------------- #
+# sweeps
+# --------------------------------------------------------------------- #
+
+
+def sweep_jobs(
+    strategies: Sequence[str], dimensions: Sequence[int], *, verify: bool = True
+) -> List[Job]:
+    """One ``sweep_cell`` job per (strategy, dimension), serial order."""
+    jobs: List[Job] = []
+    for name in strategies:
+        for d in dimensions:
+            jobs.append(
+                Job(
+                    key=f"sweep:{name}:d={d}",
+                    task="sweep_cell",
+                    payload={"strategy": name, "dimension": int(d), "verify": verify},
+                    index=len(jobs),
+                )
+            )
+    return jobs
+
+
+def parallel_sweep(
+    strategies: Sequence[str],
+    dimensions: Sequence[int],
+    config: Optional[ExecutorConfig] = None,
+    *,
+    verify: bool = True,
+    checkpoint: Optional[Union[str, Path]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    on_outcome: Optional[OutcomeHook] = None,
+) -> Tuple[Sweep, List[SweepRow], List[JobOutcome]]:
+    """The parallel twin of :func:`repro.analysis.sweeps.run_sweep`.
+
+    Returns ``(sweep, rows, outcomes)`` with one row per cell in serial
+    order; permanently failed cells appear as rows with
+    ``status="failed"`` and no metric values (the renderers print
+    ``FAILED``).  Only the standard metric columns are supported —
+    ``extra_metrics`` callables cannot be shipped to workers.
+    """
+    sweep = Sweep(strategies, dimensions, verify=verify)
+    jobs = sweep_jobs(strategies, dimensions, verify=verify)
+    executor = ParallelExecutor(config, metrics=metrics, on_outcome=on_outcome)
+    outcomes = executor.run(jobs, checkpoint=checkpoint, manifest=_batch_manifest(jobs))
+
+    rows: List[SweepRow] = []
+    for job, outcome in zip(jobs, outcomes):
+        dimension = int(job.payload["dimension"])
+        if outcome.ok and outcome.value is not None:
+            rows.append(
+                SweepRow(
+                    strategy=str(outcome.value["strategy"]),
+                    dimension=int(outcome.value["dimension"]),
+                    n=int(outcome.value["n"]),
+                    values=dict(outcome.value["values"]),
+                )
+            )
+        else:
+            rows.append(
+                SweepRow(
+                    strategy=str(job.payload["strategy"]),
+                    dimension=dimension,
+                    n=1 << dimension,
+                    values={},
+                    status="failed",
+                )
+            )
+    return sweep, rows, outcomes
+
+
+# --------------------------------------------------------------------- #
+# experiments
+# --------------------------------------------------------------------- #
+
+
+def experiment_jobs(ids: Optional[Sequence[str]] = None) -> List[Job]:
+    """One ``experiment_cell`` job per experiment id (registry order)."""
+    wanted = list(ids) if ids is not None else experiment_ids()
+    return [
+        Job(
+            key=f"experiment:{exp_id}",
+            task="experiment_cell",
+            payload={"id": exp_id},
+            index=index,
+        )
+        for index, exp_id in enumerate(wanted)
+    ]
+
+
+def parallel_experiments(
+    ids: Optional[Sequence[str]] = None,
+    config: Optional[ExecutorConfig] = None,
+    *,
+    checkpoint: Optional[Union[str, Path]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    on_outcome: Optional[OutcomeHook] = None,
+) -> Tuple[List[ExperimentResult], List[JobOutcome]]:
+    """The parallel twin of :func:`repro.analysis.experiments.run_all`.
+
+    A permanently failed cell becomes a failed
+    :class:`~repro.analysis.experiments.ExperimentResult` whose lines
+    carry the executor's error text (``EXECUTOR FAILED: ...``).
+    """
+    jobs = experiment_jobs(ids)
+    executor = ParallelExecutor(config, metrics=metrics, on_outcome=on_outcome)
+    outcomes = executor.run(jobs, checkpoint=checkpoint, manifest=_batch_manifest(jobs))
+
+    results: List[ExperimentResult] = []
+    for job, outcome in zip(jobs, outcomes):
+        exp_id = str(job.payload["id"])
+        if outcome.ok and outcome.value is not None:
+            results.append(
+                ExperimentResult(
+                    experiment_id=str(outcome.value["id"]),
+                    title=str(outcome.value["title"]),
+                    passed=bool(outcome.value["passed"]),
+                    lines=[str(line) for line in outcome.value["lines"]],
+                )
+            )
+        else:
+            results.append(
+                ExperimentResult(
+                    experiment_id=exp_id,
+                    title=experiment_title(exp_id) or "(unknown experiment)",
+                    passed=False,
+                    lines=[f"EXECUTOR FAILED: {outcome.error or 'unknown error'}"],
+                )
+            )
+    return results, outcomes
+
+
+# --------------------------------------------------------------------- #
+# merged manifests
+# --------------------------------------------------------------------- #
+
+
+def merged_manifest(
+    outcomes: Sequence[JobOutcome], *, extra: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """One ``repro-manifest/v1`` record summarizing a whole batch.
+
+    The per-cell provenance (key, status, attempts, duration, cache hit)
+    is folded into ``extra["cells"]`` so a single artifact answers both
+    "what produced this table?" and "which cells were retried or
+    failed?".
+    """
+    cells = [
+        {
+            "key": o.key,
+            "status": o.status.value,
+            "attempts": o.attempts,
+            "duration": round(o.duration, 6),
+            "cached": o.cached,
+            "error": o.error,
+        }
+        for o in outcomes
+    ]
+    merged_extra: Dict[str, Any] = {
+        "cells": cells,
+        "failed": sum(1 for o in outcomes if not o.ok),
+        "retried": sum(1 for o in outcomes if o.attempts > 1),
+    }
+    if extra:
+        merged_extra.update(extra)
+    return build_manifest(extra=merged_extra)
+
+
+def write_merged_manifest(
+    path: Union[str, Path],
+    outcomes: Sequence[JobOutcome],
+    *,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write :func:`merged_manifest` as pretty JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(merged_manifest(outcomes, extra=extra), indent=2, sort_keys=True) + "\n"
+    )
+    return target
+
+
+def _batch_manifest(jobs: Sequence[Job]) -> Dict[str, Any]:
+    """The run-level manifest a checkpoint is keyed by."""
+    return build_manifest(extra={"jobs": [job.key for job in jobs]})

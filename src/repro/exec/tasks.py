@@ -1,0 +1,137 @@
+"""Built-in executor tasks: sweep cells, experiment cells, test probes.
+
+Every task is a top-level function taking ``(payload, ctx)`` and
+returning a JSON-able dict, registered by name so a worker process can
+resolve it without unpickling closures (see :mod:`repro.exec.jobs`).
+
+The two production tasks mirror the serial code paths exactly:
+
+* ``sweep_cell`` runs one (strategy, dimension) measurement the same way
+  :meth:`repro.analysis.sweeps.Sweep.run` does — generate, optionally
+  verify, collect the standard metric columns;
+* ``experiment_cell`` regenerates one EXPERIMENTS.md artifact via
+  :func:`repro.analysis.experiments.run_experiment`.
+
+The remaining tasks exist for the fault-tolerance tests and the CI crash
+drill: ``sleep`` (timeout handling), ``crash`` (a worker that SIGKILLs
+itself for the first ``crash_times`` attempts, then succeeds — the
+canonical "worker dies mid-job" probe), ``fail`` (a deterministic task
+exception) and ``echo``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Any, Dict
+
+from repro.exec.jobs import TaskContext, register_task
+
+__all__ = [
+    "experiment_cell",
+    "sweep_cell",
+]
+
+#: Environment hook for fault drills: ``REPRO_EXEC_INJECT_CRASH=<job key>``
+#: makes the worker SIGKILL itself on the *first* attempt of that job (an
+#: optional ``::<k>`` suffix crashes the first ``k`` attempts).  Used by the
+#: CI smoke run to prove a killed cell is requeued and retried.
+CRASH_ENV = "REPRO_EXEC_INJECT_CRASH"
+
+
+def maybe_inject_crash(key: str, attempt: int) -> None:
+    """Honour :data:`CRASH_ENV` — called by the worker before every task."""
+    spec = os.environ.get(CRASH_ENV)
+    if not spec:
+        return
+    target, _, times = spec.partition("::")
+    crash_until = int(times) if times else 1
+    if key == target and attempt < crash_until:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+@register_task("sweep_cell")
+def sweep_cell(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]:
+    """One (strategy, dimension) cell of a sweep grid.
+
+    Payload: ``strategy`` (registry name), ``dimension`` (int), ``verify``
+    (bool, default true).  Returns the flat row data the serial
+    :class:`~repro.analysis.sweeps.Sweep` would produce for this cell.
+    A verification failure raises (→ a ``FAILED`` outcome), matching the
+    serial sweep's refusal to report numbers from a broken schedule.
+    """
+    from repro.analysis.verify import verify_schedule
+    from repro.core.states import AgentRole
+    from repro.core.strategy import get_strategy
+    from repro.errors import ReproError
+
+    name = str(payload["strategy"])
+    dimension = int(payload["dimension"])
+    schedule = get_strategy(name).run(dimension)
+    if payload.get("verify", True):
+        report = verify_schedule(schedule)
+        if not report.ok:
+            raise ReproError(
+                f"{name} d={dimension} failed verification: {report.summary()}"
+            )
+    roles = schedule.moves_by_role()
+    return {
+        "strategy": name,
+        "dimension": dimension,
+        "n": schedule.n,
+        "values": {
+            "agents": schedule.team_size,
+            "moves": schedule.total_moves,
+            "agent_moves": roles[AgentRole.AGENT],
+            "sync_moves": roles[AgentRole.SYNCHRONIZER],
+            "steps": schedule.makespan,
+        },
+    }
+
+
+@register_task("experiment_cell")
+def experiment_cell(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]:
+    """Regenerate one paper artifact (payload: ``id``)."""
+    from repro.analysis.experiments import run_experiment
+
+    result = run_experiment(str(payload["id"]))
+    return {
+        "id": result.experiment_id,
+        "title": result.title,
+        "passed": result.passed,
+        "lines": list(result.lines),
+    }
+
+
+@register_task("echo")
+def echo(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]:
+    """Return the payload unchanged (plus the attempt that served it)."""
+    return {**payload, "attempt": ctx.attempt}
+
+
+@register_task("sleep")
+def sleep(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]:
+    """Sleep ``seconds`` then echo — the timeout-handling probe."""
+    time.sleep(float(payload.get("seconds", 0.0)))
+    return {"slept": payload.get("seconds", 0.0), "attempt": ctx.attempt}
+
+
+@register_task("fail")
+def fail(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]:
+    """Raise deterministically (payload: ``message``)."""
+    raise RuntimeError(str(payload.get("message", "task failed")))
+
+
+@register_task("crash")
+def crash(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]:
+    """SIGKILL the worker for the first ``crash_times`` attempts.
+
+    The parent sees a dead worker with no result — exactly what a real
+    mid-job crash looks like — and must requeue the job on a fresh
+    worker.  From attempt ``crash_times`` onward the task succeeds.
+    """
+    crash_times = int(payload.get("crash_times", 1))
+    if ctx.attempt < crash_times:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"survived_after": ctx.attempt, **{k: v for k, v in payload.items() if k != "crash_times"}}

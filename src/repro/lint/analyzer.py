@@ -40,6 +40,7 @@ __all__ = [
     "analyze_source",
     "analyze_path",
     "analyze_paths",
+    "exec_dir",
     "helper_requirements",
     "obs_dir",
     "protocols_dir",
@@ -89,6 +90,11 @@ def protocols_dir() -> Path:
 def obs_dir() -> Path:
     """The installed location of :mod:`repro.obs` (for ``--self``)."""
     return Path(__file__).resolve().parent.parent / "obs"
+
+
+def exec_dir() -> Path:
+    """The installed location of :mod:`repro.exec` (for ``--self``)."""
+    return Path(__file__).resolve().parent.parent / "exec"
 
 
 # --------------------------------------------------------------------- #
@@ -501,6 +507,60 @@ def _check_obs_layering(mod: _Module) -> List[Finding]:
     return findings
 
 
+#: Package prefixes the executor layer must never import (the CLI imports
+#: ``repro.exec``; the reverse direction would be a cycle — and workers
+#: must stay renderer-free so their results remain JSON-able data).
+_EXEC_FORBIDDEN_PREFIXES: Tuple[str, ...] = ("repro.cli", "repro.viz")
+
+
+def _is_exec_module(path: str) -> bool:
+    """Whether ``path`` lies inside an ``exec`` package directory."""
+    return "exec" in Path(path).parts
+
+
+def _check_exec_layering(mod: _Module) -> List[Finding]:
+    """RPR210: ``repro.exec`` modules must not import the CLI/viz layers.
+
+    Applies only to files inside an ``exec`` package; flags absolute
+    imports and relative imports that escape the package (``from ..cli
+    import main``, ``from ..viz import x``).
+    """
+    if not _is_exec_module(mod.path):
+        return []
+    findings: List[Finding] = []
+
+    def _forbidden(name: str) -> bool:
+        return any(
+            name == p or name.startswith(p + ".") for p in _EXEC_FORBIDDEN_PREFIXES
+        )
+
+    def _flag(node: ast.AST, imported: str) -> None:
+        findings.append(
+            mod.finding(
+                "RPR210",
+                node,
+                f"`repro.exec` imports `{imported}`: the CLI imports the "
+                "executor, so this is an import cycle — return JSON-able "
+                "values from tasks and let the frontend render them",
+            )
+        )
+
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _forbidden(alias.name):
+                    _flag(node, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and _forbidden(module):
+                _flag(node, module)
+            elif node.level >= 2:  # `from ..cli import x` escapes repro/exec/
+                target = module.split(".", 1)[0]
+                if target in {"cli", "viz"}:
+                    _flag(node, f"{'.' * node.level}{module}")
+    return findings
+
+
 def _check_memory(mod: _Module) -> List[Finding]:
     """RPR130: agent memory writes must go through ``remember``."""
     findings: List[Finding] = []
@@ -557,6 +617,7 @@ def analyze_source(source: str, path: str = "<string>") -> List[Finding]:
         + _check_yields(mod)
         + _check_memory(mod)
         + _check_obs_layering(mod)
+        + _check_exec_layering(mod)
     )
     return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))
 

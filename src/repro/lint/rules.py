@@ -114,6 +114,16 @@ _RULE_TABLE: Tuple[Rule, ...] = (
             "consumers get state via event payloads, not engine objects"
         ),
     ),
+    Rule(
+        code="RPR210",
+        name="exec-imports-frontend",
+        summary=(
+            "executor modules (`repro.exec`) must not import the CLI or "
+            "rendering layers (`repro.cli`, `repro.viz`): the CLI imports "
+            "`exec`, so the reverse direction is an import cycle — workers "
+            "return JSON-able values and the frontend renders them"
+        ),
+    ),
 )
 
 #: The registry, keyed by stable code.

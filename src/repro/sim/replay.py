@@ -25,7 +25,7 @@ from repro.sim.agent import AgentContext, CloneSelf, Move, Terminate, WaitUntil
 from repro.sim.engine import Engine, SimResult
 from repro.sim.scheduling import UnitDelay
 
-__all__ = ["execute_schedule_on_engine"]
+__all__ = ["clone_parentage", "execute_schedule_on_engine"]
 
 
 def _scripted(moves: List[ScheduleMove]):
@@ -51,6 +51,51 @@ def _scripted(moves: List[ScheduleMove]):
 def _terminator(ctx: AgentContext):
     """An agent that just guards the homebase."""
     yield Terminate()
+
+
+def clone_parentage(schedule: Schedule) -> Dict[int, int]:
+    """Map every non-root agent of a cloning schedule to its parent.
+
+    A clone's parent is the agent resident on its birth node: the agent
+    whose latest move *strictly before* the clone's first move landed
+    there (the cloning generator's convention); clones born on the
+    homebase descend from the root agent.  When several agents arrived
+    at the birth node at that same latest time, the **lowest agent id**
+    wins — dict iteration order must never decide the spawn tree, or the
+    same schedule could replay differently across runs.
+    """
+    per_agent: Dict[int, List[ScheduleMove]] = {}
+    for m in schedule.moves:
+        per_agent.setdefault(m.agent, []).append(m)
+    for moves in per_agent.values():
+        moves.sort(key=lambda m: m.time)
+
+    if not per_agent:
+        return {}
+    root_agent = min(per_agent)
+
+    def parent_of(agent: int) -> int:
+        moves = per_agent[agent]
+        node, when = moves[0].src, moves[0].time
+        if node == schedule.homebase:
+            return root_agent
+        best: Optional[tuple[int, int]] = None  # (arrival time, agent id)
+        for other, other_moves in per_agent.items():
+            if other == agent:
+                continue
+            for m in other_moves:
+                if m.dst == node and m.time < when:
+                    if (
+                        best is None
+                        or m.time > best[0]
+                        or (m.time == best[0] and other < best[1])
+                    ):
+                        best = (m.time, other)
+        if best is None:
+            raise SimulationError(f"no parent found for clone {agent} at {node}")
+        return best[1]
+
+    return {agent: parent_of(agent) for agent in sorted(per_agent) if agent != root_agent}
 
 
 def execute_schedule_on_engine(
@@ -90,29 +135,12 @@ def execute_schedule_on_engine(
 
     # ---- cloning: build the spawn tree ---------------------------------- #
     root_agent = min(per_agent) if per_agent else 0
-    birth_node = {a: moves[0].src for a, moves in per_agent.items()}
     birth_time = {a: moves[0].time for a, moves in per_agent.items()}
 
-    def parent_of(agent: int) -> int:
-        node, when = birth_node[agent], birth_time[agent]
-        if node == schedule.homebase:
-            return root_agent
-        best = None
-        for other, moves in per_agent.items():
-            if other == agent:
-                continue
-            for m in moves:
-                if m.dst == node and m.time < when:
-                    if best is None or m.time > best[0]:
-                        best = (m.time, other)
-        if best is None:
-            raise SimulationError(f"no parent found for clone {agent} at {node}")
-        return best[1]
-
+    parentage = clone_parentage(schedule)
     children: Dict[int, List[int]] = {}
-    for agent in per_agent:
-        if agent != root_agent:
-            children.setdefault(parent_of(agent), []).append(agent)
+    for agent, parent in parentage.items():
+        children.setdefault(parent, []).append(agent)
 
     def scripted_with_clones(agent: int):
         moves = per_agent[agent]

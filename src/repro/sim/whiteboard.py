@@ -17,6 +17,7 @@ excludes the fixed initial content, as the paper's count does).
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, Optional
 
 from repro.errors import WhiteboardError
@@ -81,11 +82,18 @@ class Whiteboard:
         return {"id": self.node, "ports": list(range(1, self.degree + 1))}
 
     def read(self, key: Optional[str] = None) -> Any:
-        """Read one key (or a copy of everything when ``key`` is None)."""
+        """Read one key (or everything when ``key`` is None), as a deep copy.
+
+        Returning the stored object itself would hand the caller a live
+        alias into the board: mutating a returned list/dict would change
+        node state outside :meth:`write`/:meth:`update`, silently
+        bypassing the bit accounting and the ``capacity_bits`` ceiling.
+        Mutation must go through :meth:`update`.
+        """
         self.access_count += 1
         if key is None:
-            return dict(self._data)
-        return self._data.get(key)
+            return copy.deepcopy(self._data)
+        return copy.deepcopy(self._data.get(key))
 
     def write(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` (atomic; engine serializes access)."""
@@ -107,9 +115,12 @@ class Whiteboard:
         return result
 
     def delete(self, key: str) -> None:
-        """Remove ``key`` if present."""
+        """Remove ``key`` if present (and refresh the bit accounting —
+        a board over capacity through an aliasing bug must be caught at
+        the delete, not silently at the next unrelated write)."""
         self.access_count += 1
         self._data.pop(key, None)
+        self._account()
 
     def used_bits(self) -> int:
         """Current user-stored bits (excludes the fixed initial content)."""

@@ -1,0 +1,8 @@
+"""RPR210 fixture: an executor module importing the CLI frontend."""
+
+from repro.cli import main
+
+
+def render_table(rows) -> int:
+    """Render via the CLI (the import above is the violation, not this)."""
+    return main(["sweep", "-d", "3"])

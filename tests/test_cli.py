@@ -122,3 +122,92 @@ class TestCommands:
         capsys.readouterr()
         assert main(["verify", str(target)]) == 1
         assert "FAILED" in capsys.readouterr().out
+
+
+class TestSweepCsvWriting:
+    def test_missing_parent_dirs_are_created(self, tmp_path, capsys):
+        target = tmp_path / "deep" / "nested" / "out.csv"
+        assert main(["sweep", "-d", "3", "-s", "clean", "--csv", str(target)]) == 0
+        assert target.exists()
+        assert f"CSV written to {target}" in capsys.readouterr().out
+
+    def test_csv_ends_with_newline(self, tmp_path):
+        target = tmp_path / "out.csv"
+        main(["sweep", "-d", "3", "-s", "clean", "--csv", str(target)])
+        text = target.read_text()
+        assert text.endswith("\n") and not text.endswith("\n\n")
+        assert text.splitlines()[0] == "strategy,d,n,agents,moves,agent_moves,sync_moves,steps"
+
+    def test_unwritable_path_is_a_clean_error(self, capsys):
+        code = main(
+            ["sweep", "-d", "3", "-s", "clean", "--csv", "/proc/nonexistent/out.csv"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot write CSV to /proc/nonexistent/out.csv" in err
+        assert "Traceback" not in err
+
+
+class TestParallelFlags:
+    def test_defaults_keep_the_serial_path(self):
+        args = build_parser().parse_args(["sweep", "-d", "3"])
+        assert args.jobs == 1 and args.resume is None and args.timeout is None
+
+    def test_parallel_sweep_matches_serial_output(self, capsys):
+        assert main(["sweep", "-d", "3", "4", "-s", "clean", "visibility"]) == 0
+        serial = capsys.readouterr().out
+        code = main(
+            ["sweep", "-d", "3", "4", "-s", "clean", "visibility", "--jobs", "2"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == serial
+
+    def test_crash_injected_sweep_recovers(self, tmp_path, capsys, monkeypatch):
+        from repro.exec import CRASH_ENV
+
+        monkeypatch.setenv(CRASH_ENV, "sweep:clean:d=3")
+        ckpt = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "sweep", "-d", "3", "-s", "clean", "visibility",
+                "--jobs", "2", "--resume", str(ckpt),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "retried sweep:clean:d=3: ok on attempt 2" in out
+        assert ckpt.exists()
+        manifest = tmp_path / "run.manifest.json"
+        assert manifest.exists()
+        assert "merged manifest written to" in out
+
+    def test_permanently_failed_cell_exits_one(self, capsys, monkeypatch):
+        from repro.exec import CRASH_ENV
+
+        monkeypatch.setenv(CRASH_ENV, "sweep:clean:d=3::99")
+        code = main(
+            ["sweep", "-d", "3", "-s", "clean", "visibility",
+             "--jobs", "2", "--retries", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out  # both the table cell and the epilogue line
+        assert "FAILED sweep:clean:d=3 after 2 attempt(s)" in out
+
+    def test_resume_serves_cached_cells(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.jsonl"
+        argv = ["sweep", "-d", "3", "-s", "clean", "--resume", str(ckpt)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert second.splitlines()[:4] == first.splitlines()[:4]  # same table
+
+    def test_parallel_experiment(self, capsys):
+        from repro.analysis.experiments import experiment_ids
+
+        exp = experiment_ids()[0]
+        code = main(["experiment", exp, "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert exp in out

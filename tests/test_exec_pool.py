@@ -1,0 +1,259 @@
+"""Tests for the fault-tolerant worker pool (``repro.exec.pool``).
+
+The fault drills run real child processes: workers that SIGKILL
+themselves mid-job, workers that hang past the timeout, workers that
+raise.  Each drill asserts the contract from the module docstring —
+crashes and timeouts consume retries and get fresh workers, task errors
+fail fast, exhausted jobs degrade to ``FAILED`` outcomes, and the merged
+outcome list is in job-definition order no matter who finished first.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec import (
+    CRASH_ENV,
+    Checkpoint,
+    ExecutorConfig,
+    Job,
+    JobOutcome,
+    JobStatus,
+    ParallelExecutor,
+    fingerprint_jobs,
+    get_task,
+    registered_tasks,
+    run_jobs,
+)
+from repro.obs import MetricsRegistry
+
+#: Fast-retry policy for the drills: no real backoff waiting in tests.
+FAST = dict(backoff_base=0.0, backoff_factor=1.0, backoff_max=0.0)
+
+
+def echo_jobs(count):
+    return [
+        Job(key=f"echo:{i}", task="echo", payload={"i": i}, index=i)
+        for i in range(count)
+    ]
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ExecutorConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"jobs": 0},
+            {"retries": -1},
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+            {"backoff_factor": 0.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ExecutionError):
+            ExecutorConfig(**kwargs).validate()
+
+    def test_backoff_is_capped_exponential(self):
+        cfg = ExecutorConfig(backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3)
+        assert cfg.backoff(0) == pytest.approx(0.1)
+        assert cfg.backoff(1) == pytest.approx(0.2)
+        assert cfg.backoff(5) == pytest.approx(0.3)  # capped
+
+
+class TestRegistry:
+    def test_builtin_tasks_registered(self):
+        import repro.exec.tasks  # noqa: F401 - registration side effect
+
+        names = set(registered_tasks())
+        assert {"sweep_cell", "experiment_cell", "echo", "sleep", "fail", "crash"} <= names
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(ExecutionError, match="unknown task"):
+            get_task("no-such-task")
+
+    def test_unknown_task_fails_before_any_fork(self):
+        with pytest.raises(ExecutionError, match="unknown task"):
+            run_jobs([Job(key="x", task="no-such-task")])
+
+    def test_duplicate_keys_rejected(self):
+        jobs = [Job(key="dup", task="echo"), Job(key="dup", task="echo", index=1)]
+        with pytest.raises(ExecutionError, match="duplicate job key"):
+            run_jobs(jobs)
+
+
+class TestHappyPath:
+    def test_outcomes_in_submission_order(self):
+        outcomes = run_jobs(echo_jobs(6), ExecutorConfig(jobs=3))
+        assert [o.key for o in outcomes] == [f"echo:{i}" for i in range(6)]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+        assert [o.value["i"] for o in outcomes] == list(range(6))
+
+    def test_parallel_matches_serial(self):
+        serial = run_jobs(echo_jobs(5), ExecutorConfig(jobs=1))
+        parallel = run_jobs(echo_jobs(5), ExecutorConfig(jobs=4))
+        assert [o.value for o in serial] == [o.value for o in parallel]
+
+    def test_outcome_carries_provenance(self):
+        (outcome,) = run_jobs(echo_jobs(1))
+        assert outcome.worker_pid is not None
+        assert outcome.manifest is not None
+        assert outcome.manifest["schema"] == "repro-manifest/v1"
+        assert outcome.manifest["extra"]["job"] == "echo:0"
+
+
+class TestCrashIsolation:
+    def test_killed_worker_is_requeued_and_succeeds(self):
+        job = Job(key="crash:1", task="crash", payload={"crash_times": 1})
+        (outcome,) = run_jobs([job], ExecutorConfig(retries=2, **FAST))
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.value["survived_after"] == 1
+
+    def test_crash_does_not_poison_neighbours(self):
+        jobs = echo_jobs(4) + [
+            Job(key="crash:mid", task="crash", payload={"crash_times": 1}, index=4)
+        ]
+        outcomes = run_jobs(jobs, ExecutorConfig(jobs=2, retries=2, **FAST))
+        assert all(o.ok for o in outcomes)
+        assert [o.key for o in outcomes] == [j.key for j in jobs]
+
+    def test_persistent_crasher_degrades_to_failed(self):
+        job = Job(key="crash:always", task="crash", payload={"crash_times": 99})
+        (outcome,) = run_jobs([job], ExecutorConfig(retries=1, **FAST))
+        assert outcome.status is JobStatus.FAILED
+        assert outcome.attempts == 2  # 1 + retries
+        assert "crashed" in outcome.error
+
+    def test_injected_crash_via_environment(self, monkeypatch):
+        monkeypatch.setenv(CRASH_ENV, "echo:1::1")
+        outcomes = run_jobs(echo_jobs(3), ExecutorConfig(jobs=2, retries=2, **FAST))
+        assert all(o.ok for o in outcomes)
+        by_key = {o.key: o for o in outcomes}
+        assert by_key["echo:1"].attempts == 2  # crashed once, retried
+        assert by_key["echo:0"].attempts == 1
+        assert by_key["echo:2"].attempts == 1
+
+
+class TestTimeouts:
+    def test_hung_worker_is_killed_and_fails(self):
+        job = Job(key="sleep:long", task="sleep", payload={"seconds": 60.0})
+        (outcome,) = run_jobs([job], ExecutorConfig(timeout=0.2, retries=1, **FAST))
+        assert outcome.status is JobStatus.FAILED
+        assert outcome.attempts == 2
+        assert "timed out" in outcome.error
+
+    def test_fast_jobs_unaffected_by_timeout(self):
+        outcomes = run_jobs(echo_jobs(3), ExecutorConfig(jobs=2, timeout=30.0))
+        assert all(o.ok for o in outcomes)
+
+
+class TestTaskErrors:
+    def test_not_retried_by_default(self):
+        job = Job(key="fail:1", task="fail", payload={"message": "boom"})
+        (outcome,) = run_jobs([job], ExecutorConfig(retries=3, **FAST))
+        assert outcome.status is JobStatus.FAILED
+        assert outcome.attempts == 1  # deterministic error: no retry burned
+        assert outcome.error == "RuntimeError: boom"
+
+    def test_retried_when_opted_in(self):
+        job = Job(key="fail:2", task="fail", payload={"message": "boom"})
+        (outcome,) = run_jobs([job], ExecutorConfig(retries=2, retry_errors=True, **FAST))
+        assert outcome.status is JobStatus.FAILED
+        assert outcome.attempts == 3
+
+
+class TestMetrics:
+    def test_counters_and_series(self):
+        registry = MetricsRegistry()
+        jobs = echo_jobs(2) + [
+            Job(key="crash:m", task="crash", payload={"crash_times": 1}, index=2),
+            Job(key="fail:m", task="fail", index=3),
+        ]
+        run_jobs(jobs, ExecutorConfig(jobs=2, retries=2, **FAST), metrics=registry)
+        snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters["exec.jobs_ok"] == 3
+        assert counters["exec.jobs_failed"] == 1
+        assert counters["exec.crashes"] == 1
+        assert counters["exec.retries"] == 1
+        assert counters["exec.task_errors"] == 1
+        assert len(snap["series"]["exec.job_seconds"]) == 4
+
+
+class TestCheckpointResume:
+    def test_second_run_serves_from_cache(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        jobs = echo_jobs(3)
+        first = run_jobs(jobs, checkpoint=path)
+        assert all(not o.cached for o in first)
+        second = run_jobs(jobs, checkpoint=path)
+        assert all(o.cached for o in second)
+        assert [o.value for o in second] == [o.value for o in first]
+
+    def test_failed_cells_are_reattempted_on_resume(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        jobs = echo_jobs(2) + [Job(key="fail:r", task="fail", index=2)]
+        first = run_jobs(jobs, ExecutorConfig(**FAST), checkpoint=path)
+        assert [o.ok for o in first] == [True, True, False]
+        second = run_jobs(jobs, ExecutorConfig(**FAST), checkpoint=path)
+        assert [o.cached for o in second] == [True, True, False]  # FAILED re-ran
+
+    def test_fingerprint_mismatch_starts_fresh(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_jobs(echo_jobs(2), checkpoint=path)
+        different = [
+            Job(key="echo:0", task="echo", payload={"i": 99}, index=0),
+            Job(key="echo:1", task="echo", payload={"i": 1}, index=1),
+        ]
+        outcomes = run_jobs(different, checkpoint=path)
+        assert all(not o.cached for o in outcomes)
+        assert outcomes[0].value["i"] == 99
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        jobs = echo_jobs(3)
+        run_jobs(jobs, checkpoint=path)
+        with path.open("a") as fh:
+            fh.write('{"record": "outcome", "key": "echo:9"')  # interrupted append
+        outcomes = run_jobs(jobs, checkpoint=path)
+        assert all(o.cached for o in outcomes)
+
+    def test_header_fingerprint_covers_code_identity(self):
+        jobs = echo_jobs(2)
+        a = fingerprint_jobs(jobs, {"schema": "v1", "git": "abc", "python": "3.11"})
+        b = fingerprint_jobs(jobs, {"schema": "v1", "git": "def", "python": "3.11"})
+        assert a != b
+
+    def test_checkpoint_file_is_valid_jsonl(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_jobs(echo_jobs(2), checkpoint=path)
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["record"] == "header"
+        assert records[0]["schema"] == "repro-exec-checkpoint/v1"
+        assert {r["key"] for r in records[1:]} == {"echo:0", "echo:1"}
+
+    def test_checkpoint_context_manager(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        jobs = echo_jobs(1)
+        with Checkpoint(path) as ckpt:
+            assert ckpt.open(jobs, None) == {}
+            ckpt.record(
+                JobOutcome(key="echo:0", status=JobStatus.OK, value={"i": 0})
+            )
+        reloaded = Checkpoint(path).load_reusable(jobs, None)
+        assert reloaded["echo:0"].value == {"i": 0}
+
+
+class TestCompletionHook:
+    def test_on_outcome_fires_for_every_job(self):
+        seen = []
+        executor = ParallelExecutor(
+            ExecutorConfig(jobs=2), on_outcome=lambda job, o: seen.append((job.key, o.ok))
+        )
+        executor.run(echo_jobs(4))
+        assert sorted(seen) == [(f"echo:{i}", True) for i in range(4)]

@@ -1,0 +1,148 @@
+"""Tests for the shared parallel runners (``repro.exec.runner``).
+
+The contract under test: a parallel sweep/experiment batch is
+row-for-row identical to its serial twin, a crashed cell is retried to
+the same numbers, a permanently failed cell degrades to a rendered
+``FAILED`` entry (complete table, exit path decided by the caller), and
+the merged manifest records per-cell provenance.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+from repro.analysis.sweeps import run_sweep
+from repro.exec import (
+    CRASH_ENV,
+    ExecutorConfig,
+    experiment_jobs,
+    merged_manifest,
+    parallel_experiments,
+    parallel_sweep,
+    sweep_jobs,
+    write_merged_manifest,
+)
+
+FAST = ExecutorConfig(jobs=2, retries=2, backoff_base=0.0, backoff_max=0.0)
+
+STRATEGIES = ["clean", "visibility"]
+DIMS = [3, 4]
+
+
+class TestSweepJobs:
+    def test_serial_cell_order(self):
+        jobs = sweep_jobs(STRATEGIES, DIMS)
+        assert [j.key for j in jobs] == [
+            "sweep:clean:d=3",
+            "sweep:clean:d=4",
+            "sweep:visibility:d=3",
+            "sweep:visibility:d=4",
+        ]
+        assert [j.index for j in jobs] == [0, 1, 2, 3]
+        assert all(j.task == "sweep_cell" for j in jobs)
+
+    def test_payloads_are_json_able(self):
+        for job in sweep_jobs(STRATEGIES, DIMS, verify=False):
+            json.dumps(job.spec())  # must not raise
+
+
+class TestParallelSweep:
+    def test_matches_serial_rows(self):
+        _, serial_rows = run_sweep(STRATEGIES, DIMS)
+        _, rows, outcomes = parallel_sweep(STRATEGIES, DIMS, FAST)
+        assert [r.as_flat_dict() for r in rows] == [
+            r.as_flat_dict() for r in serial_rows
+        ]
+        assert all(o.ok for o in outcomes)
+
+    def test_crashed_cell_is_retried_to_the_same_table(self, monkeypatch):
+        """SIGKILL one worker mid-job: the final table must still be
+        byte-identical to the serial sweep, with the killed cell retried."""
+        monkeypatch.setenv(CRASH_ENV, "sweep:clean:d=4")
+        sweep, rows, outcomes = parallel_sweep(STRATEGIES, DIMS, FAST)
+        _, serial_rows = run_sweep(STRATEGIES, DIMS)
+        assert sweep.to_text(rows) == sweep.to_text(serial_rows)
+        by_key = {o.key: o for o in outcomes}
+        assert by_key["sweep:clean:d=4"].attempts == 2
+        assert all(o.ok for o in outcomes)
+
+    def test_failed_cell_degrades_to_failed_row(self, monkeypatch):
+        monkeypatch.setenv(CRASH_ENV, "sweep:clean:d=3::99")  # out-crash the cap
+        sweep, rows, outcomes = parallel_sweep(STRATEGIES, DIMS, FAST)
+        assert len(rows) == len(DIMS) * len(STRATEGIES)  # complete grid
+        failed = [r for r in rows if not r.ok]
+        assert [(r.strategy, r.dimension) for r in failed] == [("clean", 3)]
+        assert failed[0].values == {}
+        text = sweep.to_text(rows)
+        assert "FAILED" in text and "Traceback" not in text
+        csv_text = sweep.to_csv(rows)
+        assert csv_text.splitlines()[0].endswith(",status")
+
+    def test_unknown_strategy_is_a_failed_row_not_a_crash(self):
+        sweep, rows, outcomes = parallel_sweep(["no-such-strategy"], [3], FAST)
+        assert not rows[0].ok
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 1  # deterministic error: no retries
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        _, first, _ = parallel_sweep(STRATEGIES, DIMS, FAST, checkpoint=path)
+        _, second, outcomes = parallel_sweep(STRATEGIES, DIMS, FAST, checkpoint=path)
+        assert [r.as_flat_dict() for r in second] == [r.as_flat_dict() for r in first]
+        assert all(o.cached for o in outcomes)
+
+
+class TestParallelExperiments:
+    def test_single_experiment_matches_serial(self):
+        ids = [experiment_jobs()[0].payload["id"]]
+        serial = run_experiment(ids[0])
+        results, outcomes = parallel_experiments(ids, FAST)
+        assert len(results) == 1
+        assert results[0].experiment_id == serial.experiment_id
+        assert results[0].title == serial.title
+        assert results[0].passed == serial.passed
+        assert results[0].lines == serial.lines
+        assert outcomes[0].ok
+
+    def test_failed_experiment_degrades(self, monkeypatch):
+        ids = [experiment_jobs()[0].payload["id"]]
+        monkeypatch.setenv(CRASH_ENV, f"experiment:{ids[0]}::99")
+        results, outcomes = parallel_experiments(ids, FAST)
+        assert not results[0].passed
+        assert results[0].lines[0].startswith("EXECUTOR FAILED:")
+        assert results[0].title  # resolved from the registry, not a placeholder
+        assert not outcomes[0].ok
+
+
+class TestMergedManifest:
+    def test_per_cell_provenance(self, monkeypatch):
+        monkeypatch.setenv(CRASH_ENV, "sweep:clean:d=4")
+        _, _, outcomes = parallel_sweep(STRATEGIES, DIMS, FAST)
+        manifest = merged_manifest(outcomes, extra={"kind": "sweep"})
+        assert manifest["schema"] == "repro-manifest/v1"
+        extra = manifest["extra"]
+        assert extra["kind"] == "sweep"
+        assert extra["failed"] == 0
+        assert extra["retried"] == 1
+        cells = {c["key"]: c for c in extra["cells"]}
+        assert cells["sweep:clean:d=4"]["attempts"] == 2
+        assert all(c["status"] == "ok" for c in cells.values())
+
+    def test_write_creates_parents(self, tmp_path):
+        _, _, outcomes = parallel_sweep(["clean"], [3], FAST)
+        target = tmp_path / "deep" / "nested" / "merged.json"
+        written = write_merged_manifest(target, outcomes)
+        assert written == target
+        data = json.loads(target.read_text())
+        assert data["extra"]["failed"] == 0
+        assert target.read_text().endswith("\n")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_worker_count_never_changes_the_table(self, jobs):
+        config = ExecutorConfig(jobs=jobs, retries=0)
+        sweep, rows, _ = parallel_sweep(STRATEGIES, DIMS, config)
+        _, serial_rows = run_sweep(STRATEGIES, DIMS)
+        assert sweep.to_csv(rows) == sweep.to_csv(serial_rows)

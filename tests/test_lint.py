@@ -30,6 +30,7 @@ VIOLATIONS = {
     "viol_rpr120.py": ("RPR120", 11, "chatty_agent"),
     "viol_rpr130.py": ("RPR130", 11, "hoarding_agent"),
     "obs/viol_rpr200.py": ("RPR200", 3, ""),
+    "exec/viol_rpr210.py": ("RPR210", 3, ""),
 }
 
 
@@ -288,3 +289,43 @@ class TestObsLayering:
         out = capsys.readouterr().out
         # self scan now includes the obs package's files
         assert "clean" in out
+
+
+class TestExecLayering:
+    """RPR210: the executor layer must not import the CLI/rendering layers."""
+
+    def test_absolute_imports_flagged(self):
+        source = (
+            "import repro.cli\n"
+            "from repro.viz import plots\n"
+        )
+        findings = analyze_source(source, "src/repro/exec/bad.py")
+        assert [f.code for f in findings] == ["RPR210", "RPR210"]
+        assert [f.line for f in findings] == [1, 2]
+
+    def test_relative_escape_flagged(self):
+        source = "from ..cli import main\n"
+        findings = analyze_source(source, "src/repro/exec/bad.py")
+        assert [f.code for f in findings] == ["RPR210"]
+
+    def test_prefix_is_a_package_boundary(self):
+        # `repro.climate` is not `repro.cli`
+        source = "import repro.climate\n"
+        assert analyze_source(source, "src/repro/exec/ok.py") == []
+
+    def test_rule_only_applies_inside_exec(self):
+        # the CLI importing itself is obviously fine
+        source = "from repro.cli import main\n"
+        assert analyze_source(source, "src/repro/analysis/fine.py") == []
+
+    def test_exec_may_import_sim_and_analysis(self):
+        source = (
+            "from repro.analysis.sweeps import run_sweep\n"
+            "from repro.sim.engine import Engine\n"
+        )
+        assert analyze_source(source, "src/repro/exec/tasks.py") == []
+
+    def test_shipped_exec_package_is_clean(self):
+        from repro.lint.analyzer import exec_dir
+
+        assert analyze_paths([exec_dir()]) == []

@@ -104,3 +104,76 @@ class TestFaithfulness:
         engine = execute_schedule_on_engine(schedule, Hypercube(2))
         assert not plane.ok and not engine.ok
         assert plane.monotone == engine.monotone == False  # noqa: E712
+
+
+class TestCloneParentage:
+    def test_tie_broken_by_lowest_agent_id(self):
+        """Two agents arrive at the clone's birth node at the same time:
+        the lowest agent id must win, not whichever dict order yields."""
+        from repro.core.schedule import Move, Schedule
+        from repro.sim.replay import clone_parentage
+
+        moves = [
+            Move(agent=0, src=0, dst=1, time=1),
+            Move(agent=0, src=1, dst=3, time=2),
+            Move(agent=1, src=0, dst=2, time=1),
+            Move(agent=1, src=2, dst=3, time=2),  # ties agent 0 at node 3, t=2
+            Move(agent=2, src=3, dst=1, time=3),  # clone born at node 3
+        ]
+        schedule = Schedule(
+            dimension=2, strategy="tie", moves=moves, team_size=3, uses_cloning=True
+        )
+        assert clone_parentage(schedule) == {1: 0, 2: 0}
+
+    def test_tie_break_ignores_move_insertion_order(self):
+        """Same schedule with the move list (and hence the internal
+        per-agent dict) built in reverse order: identical spawn tree."""
+        from repro.core.schedule import Move, Schedule
+        from repro.sim.replay import clone_parentage
+
+        moves = [
+            Move(agent=2, src=3, dst=1, time=3),
+            Move(agent=1, src=0, dst=2, time=1),
+            Move(agent=1, src=2, dst=3, time=2),
+            Move(agent=0, src=0, dst=1, time=1),
+            Move(agent=0, src=1, dst=3, time=2),
+        ]
+        schedule = Schedule(
+            dimension=2, strategy="tie", moves=moves, team_size=3, uses_cloning=True
+        )
+        assert clone_parentage(schedule) == {1: 0, 2: 0}
+
+    def test_strict_latest_arrival_wins_over_earlier(self):
+        from repro.core.schedule import Move, Schedule
+        from repro.sim.replay import clone_parentage
+
+        moves = [
+            Move(agent=0, src=0, dst=1, time=1),  # arrives at 1 early...
+            Move(agent=0, src=1, dst=3, time=2),  # ...then leaves
+            Move(agent=1, src=0, dst=1, time=2),  # latest arrival at node 1
+            Move(agent=2, src=1, dst=3, time=3),  # clone born at node 1
+        ]
+        schedule = Schedule(
+            dimension=2, strategy="latest", moves=moves, team_size=3, uses_cloning=True
+        )
+        assert clone_parentage(schedule)[2] == 1
+
+    def test_tied_schedule_replays_on_engine(self):
+        """The tie-broken spawn tree is executable: the engine accepts the
+        CloneSelf at node 3 because agent 0 (the chosen parent) is there."""
+        from repro.core.schedule import Move, Schedule
+
+        moves = [
+            Move(agent=0, src=0, dst=1, time=1),
+            Move(agent=0, src=1, dst=3, time=2),
+            Move(agent=1, src=0, dst=2, time=1),
+            Move(agent=1, src=2, dst=3, time=2),
+            Move(agent=2, src=3, dst=1, time=3),
+        ]
+        schedule = Schedule(
+            dimension=2, strategy="tie", moves=moves, team_size=3, uses_cloning=True
+        )
+        result = execute_schedule_on_engine(
+            schedule, Hypercube(2), intruder=None, check_contiguity=False
+        )
+        assert result.all_clean

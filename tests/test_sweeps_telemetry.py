@@ -253,3 +253,41 @@ class TestPeriodicCleaning:
         a = PeriodicCleaning(dimension=3, rotate_homebase=True, rng_seed=9)
         b = PeriodicCleaning(dimension=3, rotate_homebase=True, rng_seed=9)
         assert [p.homebase for p in a.run(5)] == [p.homebase for p in b.run(5)]
+
+
+class TestFailedRows:
+    """Rendering of executor-degraded cells (status="failed")."""
+
+    def _mixed_rows(self):
+        sweep = Sweep(["clean"], [3, 4])
+        ok = SweepRow(
+            strategy="clean", dimension=3, n=8,
+            values={"agents": 4, "moves": 10, "agent_moves": 10, "sync_moves": 0, "steps": 5},
+        )
+        bad = SweepRow(strategy="clean", dimension=4, n=16, values={}, status="failed")
+        return sweep, [ok, bad]
+
+    def test_ok_rows_keep_the_historical_flat_shape(self):
+        ok = SweepRow(strategy="x", dimension=3, n=8, values={"agents": 4})
+        assert ok.as_flat_dict() == {"strategy": "x", "d": 3, "n": 8, "agents": 4}
+        assert ok.ok
+
+    def test_failed_row_flat_dict_carries_status(self):
+        bad = SweepRow(strategy="x", dimension=3, n=8, values={}, status="failed")
+        assert bad.as_flat_dict()["status"] == "failed"
+        assert not bad.ok
+
+    def test_text_renders_failed_cells(self):
+        sweep, rows = self._mixed_rows()
+        text = sweep.to_text(rows)
+        assert "FAILED" in text
+        assert len(text.splitlines()) == 4  # header, rule, two rows
+
+    def test_csv_adds_status_column_only_when_needed(self):
+        sweep, rows = self._mixed_rows()
+        with_failure = sweep.to_csv(rows)
+        assert with_failure.splitlines()[0].endswith(",status")
+        assert ",ok" in with_failure.splitlines()[1]
+        assert ",failed" in with_failure.splitlines()[2]
+        clean_only = sweep.to_csv(rows[:1])
+        assert not clean_only.splitlines()[0].endswith(",status")

@@ -91,3 +91,52 @@ class TestWhiteboard:
         for value in (1, 100, 2**20, 2**60):
             wb.write("count", value)
         assert wb.peak_bits <= 256
+
+
+class TestReadIsolation:
+    """Reads return snapshots: mutating them must never bypass the
+    capacity ceiling or change node state outside the action vocabulary."""
+
+    def test_read_returns_deep_copies(self):
+        wb = Whiteboard(0, 2)
+        wb.write("arrivals", [1, 2])
+        snapshot = wb.read("arrivals")
+        snapshot.append(3)
+        assert wb.read("arrivals") == [1, 2]
+
+    def test_read_all_returns_deep_copies(self):
+        wb = Whiteboard(0, 2)
+        wb.write("nested", {"ids": [7]})
+        snapshot = wb.read()
+        snapshot["nested"]["ids"].append(8)
+        snapshot["extra"] = "smuggled"
+        assert wb.read() == {"nested": {"ids": [7]}}
+
+    def test_aliased_mutation_cannot_exceed_capacity_unnoticed(self):
+        # Regression: read() used to return the live list, so growing it
+        # in place inflated the stored bits without any write/update ever
+        # running _account() — the capacity ceiling never fired.
+        wb = Whiteboard(0, 2, capacity_bits=128)
+        wb.write("trail", [1])
+        alias = wb.read("trail")
+        alias.extend(range(1000))  # would blow the 128-bit budget if live
+        assert wb.used_bits() <= 128
+        wb.write("ok", 1)  # accounting still passes: the board never grew
+
+    def test_delete_reruns_accounting(self):
+        # Regression: delete() skipped _account(), so a board pushed over
+        # capacity by an aliasing bug sailed through deletes silently.
+        wb = Whiteboard(0, 2, capacity_bits=64)
+        wb.write("a", 1)
+        wb._data["smuggled"] = "x" * 50  # simulate an accounting bypass
+        with pytest.raises(WhiteboardError):
+            wb.delete("a")
+
+    def test_delete_then_read_accounting(self):
+        wb = Whiteboard(0, 2, capacity_bits=64)
+        wb.write("a", 2**40)
+        used_before = wb.used_bits()
+        wb.delete("a")
+        assert wb.used_bits() < used_before
+        assert wb.read() == {}
+        assert wb.peak_bits == used_before  # high-water mark survives
