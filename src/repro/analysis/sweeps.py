@@ -19,8 +19,9 @@ from repro.analysis.verify import verify_schedule
 from repro.core.schedule import Schedule
 from repro.core.strategy import get_strategy
 from repro.errors import ReproError
+from repro.fastpath import CompiledSchedule, ScheduleCache, batch_verify, measure_schedule
 
-__all__ = ["SweepRow", "Sweep", "run_sweep"]
+__all__ = ["SweepRow", "Sweep", "run_sweep", "measure_cell"]
 
 #: the standard measured columns, in render order
 STANDARD_COLUMNS = ("agents", "moves", "agent_moves", "sync_moves", "steps")
@@ -64,6 +65,63 @@ class SweepRow:
         return out
 
 
+def measure_cell(
+    name: str,
+    dimension: int,
+    *,
+    verify: bool = True,
+    cache: Optional[ScheduleCache] = None,
+) -> tuple[Dict[str, float], object, Dict[str, object]]:
+    """One (strategy, dimension) measurement — the single cell kernel.
+
+    Shared by the serial :meth:`Sweep.run` loop and the executor's
+    ``sweep_cell`` task, so the two paths cannot drift.  Returns
+    ``(values, schedule_like, provenance)``:
+
+    * ``values`` — the :data:`STANDARD_COLUMNS` metric dict,
+    * ``schedule_like`` — a :class:`~repro.core.schedule.Schedule` on the
+      cache-less path, a :class:`~repro.fastpath.CompiledSchedule` on the
+      cached one (callers needing real moves decompile on demand),
+    * ``provenance`` — empty without a cache; with one, the entry
+      fingerprint and whether it was served from ``"cache"`` or
+      ``"generated"``.
+
+    With a cache, verification uses the columnar batch verifier on both
+    the cold and warm paths (same verdict either way, and re-verifying a
+    warm entry guards against anything the CRC cannot see); without one,
+    the classic replay verifier runs exactly as before.  A verification
+    failure raises :class:`~repro.errors.ReproError` — a sweep refuses
+    to report numbers from a broken schedule.
+    """
+    strategy = get_strategy(name)
+    if cache is not None:
+        fp, compiled = cache.load_compiled(strategy, dimension)
+        provenance: Dict[str, object] = {"fingerprint": fp, "source": "cache"}
+        if compiled is None:
+            provenance["source"] = "generated"
+            from repro.topology.hypercube import Hypercube
+
+            compiled = CompiledSchedule.from_schedule(
+                strategy.generate(Hypercube(dimension))
+            )
+            cache.store(fp, compiled)
+        if verify:
+            report = batch_verify(compiled)
+            if not report.ok:
+                raise ReproError(
+                    f"{name} d={dimension} failed verification: {report.summary()}"
+                )
+        return measure_schedule(compiled), compiled, provenance
+    schedule = strategy.run(dimension)
+    if verify:
+        report = verify_schedule(schedule)
+        if not report.ok:
+            raise ReproError(
+                f"{name} d={dimension} failed verification: {report.summary()}"
+            )
+    return measure_schedule(schedule), schedule, {}
+
+
 class Sweep:
     """A strategies × dimensions measurement grid.
 
@@ -79,6 +137,11 @@ class Sweep:
     verify:
         Replay-verify every schedule (on by default; the sweep refuses to
         report numbers from a broken schedule).
+    cache:
+        Optional :class:`~repro.fastpath.ScheduleCache`; when given,
+        cells are served from it (compiling and storing on miss) and
+        verified with the columnar batch verifier.  A warm cell is pure
+        deserialize-and-measure.
     """
 
     def __init__(
@@ -88,6 +151,7 @@ class Sweep:
         *,
         extra_metrics: Optional[Dict[str, Callable[[Schedule], float]]] = None,
         verify: bool = True,
+        cache: Optional[ScheduleCache] = None,
     ) -> None:
         if not strategies or not dimensions:
             raise ReproError("sweep needs at least one strategy and one dimension")
@@ -95,35 +159,36 @@ class Sweep:
         self.dimensions = list(dimensions)
         self.extra_metrics = dict(extra_metrics or {})
         self.verify = verify
+        self.cache = cache
 
     def run(self) -> List[SweepRow]:
         """Execute the grid; returns one row per (strategy, dimension)."""
-        from repro.core.states import AgentRole
-
         rows = []
         for name in self.strategies:
-            strategy = get_strategy(name)
             for d in self.dimensions:
-                schedule = strategy.run(d)
-                if self.verify:
-                    report = verify_schedule(schedule)
-                    if not report.ok:
-                        raise ReproError(
-                            f"sweep aborted: {name} d={d} failed verification: "
-                            f"{report.summary()}"
-                        )
-                roles = schedule.moves_by_role()
-                values: Dict[str, float] = {
-                    "agents": schedule.team_size,
-                    "moves": schedule.total_moves,
-                    "agent_moves": roles[AgentRole.AGENT],
-                    "sync_moves": roles[AgentRole.SYNCHRONIZER],
-                    "steps": schedule.makespan,
-                }
-                for metric, fn in self.extra_metrics.items():
-                    values[metric] = fn(schedule)
+                try:
+                    values, schedule_like, _ = measure_cell(
+                        name, d, verify=self.verify, cache=self.cache
+                    )
+                except ReproError as exc:
+                    if "failed verification" in str(exc):
+                        raise ReproError(f"sweep aborted: {exc}") from exc
+                    raise
+                if self.extra_metrics:
+                    schedule = (
+                        schedule_like.to_schedule()
+                        if isinstance(schedule_like, CompiledSchedule)
+                        else schedule_like
+                    )
+                    for metric, fn in self.extra_metrics.items():
+                        values[metric] = fn(schedule)
                 rows.append(
-                    SweepRow(strategy=name, dimension=d, n=schedule.n, values=values)
+                    SweepRow(
+                        strategy=name,
+                        dimension=d,
+                        n=1 << d,
+                        values=values,
+                    )
                 )
         return rows
 

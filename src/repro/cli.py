@@ -82,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
         "id", nargs="?", default=None, help="experiment id (e.g. E4); omit for all"
     )
     _add_executor_flags(experiment)
+    _add_cache_flags(experiment)
 
     lint = sub.add_parser(
         "lint", help="statically check protocols against their declared model"
@@ -145,6 +146,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--csv", metavar="FILE", default=None, help="also write CSV")
     _add_executor_flags(sweep)
+    _add_cache_flags(sweep)
+
+    cache = sub.add_parser("cache", help="inspect or clear the schedule cache")
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default: $REPRO_SCHEDULE_CACHE or .repro-cache/schedules)",
+    )
     return parser
 
 
@@ -178,6 +189,55 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         help="checkpoint file: finished cells are reloaded from it and new "
         "ones appended, so an interrupted run restarts only unfinished cells "
         "(a merged manifest is written alongside)",
+    )
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared schedule-cache knobs (see docs/EXECUTION.md)."""
+    group = parser.add_argument_group("schedule cache")
+    group.add_argument(
+        "--cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="serve schedules from a content-addressed on-disk cache "
+        "(compile+store on miss, deserialize on hit); DIR defaults to "
+        "$REPRO_SCHEDULE_CACHE or .repro-cache/schedules",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the schedule cache even if $REPRO_SCHEDULE_CACHE is set",
+    )
+
+
+def _resolve_cache_dir(args: argparse.Namespace):
+    """The cache directory the flags/environment select, or ``None``.
+
+    ``--no-cache`` beats everything; ``--cache [DIR]`` enables with an
+    explicit or default directory; otherwise the cache is on exactly
+    when ``$REPRO_SCHEDULE_CACHE`` names a directory.
+    """
+    import os
+    from pathlib import Path
+
+    from repro.fastpath import CACHE_DIR_ENV, default_cache_dir
+
+    if getattr(args, "no_cache", False):
+        return None
+    flag = getattr(args, "cache", None)
+    if flag is None:
+        return default_cache_dir() if os.environ.get(CACHE_DIR_ENV) else None
+    return Path(flag) if flag else default_cache_dir()
+
+
+def _cache_epilogue(cache) -> None:
+    """One provenance line so cache behaviour is visible in run logs."""
+    stats = cache.stats
+    print(
+        f"schedule cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+        f"{stats.corrupt} corrupt in {cache.root}"
     )
 
 
@@ -241,13 +301,14 @@ def _write_merged_manifest_for(resume: str, outcomes, kind: str) -> None:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
 
+    cache_dir = _resolve_cache_dir(args)
     if _executor_requested(args):
         from repro.exec import parallel_experiments
 
         ids = None if args.id is None else [args.id]
         try:
             results, outcomes = parallel_experiments(
-                ids, _executor_config(args), checkpoint=args.resume
+                ids, _executor_config(args), checkpoint=args.resume, cache_dir=cache_dir
             )
         except ReproError as exc:
             print(f"repro-search experiment: {exc}", file=sys.stderr)
@@ -261,33 +322,64 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 0 if all(r.passed for r in results) else 1
 
     from repro.analysis.experiments import run_all, run_experiment
+    from repro.core.strategy import set_active_cache
 
-    results = run_all() if args.id is None else [run_experiment(args.id)]
+    cache = None
+    if cache_dir is not None:
+        from repro.fastpath import ScheduleCache
+
+        cache = ScheduleCache(cache_dir)
+    previous = set_active_cache(cache)
+    try:
+        results = run_all() if args.id is None else [run_experiment(args.id)]
+    finally:
+        set_active_cache(previous)
     for result in results:
         print(result.render())
         print()
+    if cache is not None:
+        _cache_epilogue(cache)
     return 0 if all(r.passed for r in results) else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
 
+    cache_dir = _resolve_cache_dir(args)
     outcomes = None
+    cache = None
     if _executor_requested(args):
         from repro.exec import parallel_sweep
 
         try:
             sweep, rows, outcomes = parallel_sweep(
-                args.strategies, args.dimensions, _executor_config(args), checkpoint=args.resume
+                args.strategies,
+                args.dimensions,
+                _executor_config(args),
+                checkpoint=args.resume,
+                cache_dir=cache_dir,
             )
         except ReproError as exc:
             print(f"repro-search sweep: {exc}", file=sys.stderr)
             return 2
     else:
         from repro.analysis.sweeps import run_sweep
+        from repro.fastpath import ScheduleCache
 
-        sweep, rows = run_sweep(args.strategies, args.dimensions)
+        if cache_dir is not None:
+            cache = ScheduleCache(cache_dir)
+        try:
+            sweep, rows = run_sweep(args.strategies, args.dimensions, cache=cache)
+        except ReproError as exc:
+            print(f"repro-search sweep: {exc}", file=sys.stderr)
+            return 2
     print(sweep.to_text(rows))
+    if cache is not None:
+        _cache_epilogue(cache)
+    elif cache_dir is not None:
+        # parallel path: the counters live in the workers; per-cell
+        # provenance lands in the merged manifest instead
+        print(f"schedule cache: shared directory {cache_dir}")
     if outcomes is not None:
         _executor_epilogue(outcomes)
         if args.resume:
@@ -492,6 +584,29 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ScheduleCacheError
+    from repro.fastpath import ScheduleCache, default_cache_dir
+
+    root = Path(args.dir) if args.dir else default_cache_dir()
+    try:
+        cache = ScheduleCache(root)
+    except ScheduleCacheError as exc:
+        print(f"repro-search cache: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "info":
+        info = cache.info()
+        print(f"root        : {info['root']}")
+        print(f"entries     : {info['entries']}")
+        print(f"total bytes : {info['total_bytes']}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} file(s) from {cache.root}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_lint
 
@@ -531,6 +646,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": _cmd_verify,
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
+        "cache": _cmd_cache,
         "report": _cmd_report,
         "watch": _cmd_watch,
     }

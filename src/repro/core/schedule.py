@@ -25,12 +25,12 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.states import AgentRole
 from repro.errors import ScheduleError
 
-__all__ = ["MoveKind", "Move", "Schedule"]
+__all__ = ["MoveKind", "Move", "Schedule", "ScheduleAggregates", "scan_moves"]
 
 
 class MoveKind(enum.Enum):
@@ -109,6 +109,104 @@ class Move:
         )
 
 
+@dataclass(frozen=True)
+class ScheduleAggregates:
+    """Every aggregate measurement of a move list, from one pass.
+
+    ``Sweep.run`` reads four different aggregates per cell; computing them
+    independently re-walked the full move list four times.  This block is
+    produced by a single :func:`scan_moves` pass and memoized on the
+    :class:`Schedule`; it is also the stats header of the columnar
+    :class:`~repro.fastpath.CompiledSchedule`, so a cached schedule can be
+    measured without touching its move columns at all.
+    """
+
+    total_moves: int
+    makespan: int
+    role_counts: Dict[AgentRole, int]
+    kind_counts: Dict[MoveKind, int]
+    agents_used: int
+    peak_traveling_agents: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (enum keys become their string values)."""
+        return {
+            "total_moves": self.total_moves,
+            "makespan": self.makespan,
+            "role_counts": {role.value: c for role, c in self.role_counts.items()},
+            "kind_counts": {kind.value: c for kind, c in self.kind_counts.items()},
+            "agents_used": self.agents_used,
+            "peak_traveling_agents": self.peak_traveling_agents,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "ScheduleAggregates":
+        """Inverse of :meth:`as_dict`."""
+        roles: Dict[str, int] = dict(data["role_counts"])  # type: ignore[arg-type]
+        kinds: Dict[str, int] = dict(data["kind_counts"])  # type: ignore[arg-type]
+        return ScheduleAggregates(
+            total_moves=int(data["total_moves"]),  # type: ignore[call-overload]
+            makespan=int(data["makespan"]),  # type: ignore[call-overload]
+            role_counts={AgentRole(k): int(v) for k, v in roles.items()},
+            kind_counts={MoveKind(k): int(v) for k, v in kinds.items()},
+            agents_used=int(data["agents_used"]),  # type: ignore[call-overload]
+            peak_traveling_agents=int(data["peak_traveling_agents"]),  # type: ignore[call-overload]
+        )
+
+
+def scan_moves(moves: Sequence[Move]) -> ScheduleAggregates:
+    """Compute every :class:`ScheduleAggregates` field in one pass.
+
+    ``peak_traveling_agents`` (max distinct agents moving within one time
+    unit) is computed *streaming* over runs of equal completion time — one
+    reusable set instead of a per-time dict of sets — relying on the
+    documented replay-order invariant (non-decreasing times).  Should the
+    move list turn out unsorted, a dict-based second pass restores the
+    order-independent answer, so the value matches the historical
+    semantics for any input.
+    """
+    role_counts = {role: 0 for role in AgentRole}
+    kind_counts = {kind: 0 for kind in MoveKind}
+    agents: set = set()
+    makespan = 0
+    peak = 0
+    sorted_times = True
+    prev_time = 0
+    run_time: Optional[int] = None
+    run_agents: set = set()
+    for m in moves:
+        t = m.time
+        role_counts[m.role] += 1
+        kind_counts[m.kind] += 1
+        agents.add(m.agent)
+        if t > makespan:
+            makespan = t
+        if t < prev_time:
+            sorted_times = False
+        prev_time = t
+        if t != run_time:
+            if len(run_agents) > peak:
+                peak = len(run_agents)
+            run_agents.clear()
+            run_time = t
+        run_agents.add(m.agent)
+    if len(run_agents) > peak:
+        peak = len(run_agents)
+    if not sorted_times:
+        per_time: Dict[int, set] = {}
+        for m in moves:
+            per_time.setdefault(m.time, set()).add(m.agent)
+        peak = max((len(v) for v in per_time.values()), default=0)
+    return ScheduleAggregates(
+        total_moves=len(moves),
+        makespan=makespan,
+        role_counts=role_counts,
+        kind_counts=kind_counts,
+        agents_used=len(agents),
+        peak_traveling_agents=peak,
+    )
+
+
 @dataclass
 class Schedule:
     """A complete cleaning schedule for one hypercube.
@@ -142,6 +240,15 @@ class Schedule:
     homebase: int = 0
     uses_cloning: bool = False
     metadata: Dict[str, object] = field(default_factory=dict)
+    # memoized aggregate block (see aggregates()); the key tracks
+    # (len(moves), last move) so the append-only generator pattern
+    # invalidates naturally.  Excluded from equality and repr.
+    _agg: Optional[ScheduleAggregates] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _agg_key: Optional[Tuple[int, Optional[Move]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # measurements
@@ -152,6 +259,27 @@ class Schedule:
         """Number of hypercube nodes, ``2**dimension``."""
         return 1 << self.dimension
 
+    def aggregates(self) -> ScheduleAggregates:
+        """The memoized one-pass aggregate block (see :func:`scan_moves`).
+
+        Every aggregate measurement below answers from this cache, so a
+        sweep cell that reads four different aggregates walks the move
+        list once, not four times.  The cache keys on ``(len(moves),
+        moves[-1])`` — appending moves (the generator pattern) or
+        replacing the list invalidates it; after in-place surgery that
+        preserves both, call :meth:`invalidate_caches` explicitly.
+        """
+        key = (len(self.moves), self.moves[-1] if self.moves else None)
+        if self._agg is None or self._agg_key != key:
+            self._agg = scan_moves(self.moves)
+            self._agg_key = key
+        return self._agg
+
+    def invalidate_caches(self) -> None:
+        """Drop the memoized aggregates (after in-place move edits)."""
+        self._agg = None
+        self._agg_key = None
+
     @property
     def total_moves(self) -> int:
         """Total number of edge traversals (the paper's "moves" metric)."""
@@ -160,33 +288,27 @@ class Schedule:
     @property
     def makespan(self) -> int:
         """Ideal time: the largest completion time (0 for empty schedules)."""
-        return max((m.time for m in self.moves), default=0)
+        return self.aggregates().makespan
 
     def moves_by_role(self) -> Dict[AgentRole, int]:
         """Move counts split by mover role (Theorem 3's two components)."""
-        out = {role: 0 for role in AgentRole}
-        for m in self.moves:
-            out[m.role] += 1
-        return out
+        return dict(self.aggregates().role_counts)
 
     def moves_by_kind(self) -> Dict[MoveKind, int]:
         """Move counts split by :class:`MoveKind`."""
-        out = {kind: 0 for kind in MoveKind}
-        for m in self.moves:
-            out[m.kind] += 1
-        return out
+        return dict(self.aggregates().kind_counts)
 
     def agent_moves(self) -> int:
         """Moves performed by plain agents."""
-        return self.moves_by_role()[AgentRole.AGENT]
+        return self.aggregates().role_counts[AgentRole.AGENT]
 
     def synchronizer_moves(self) -> int:
         """Moves performed by the synchronizer (0 for local strategies)."""
-        return self.moves_by_role()[AgentRole.SYNCHRONIZER]
+        return self.aggregates().role_counts[AgentRole.SYNCHRONIZER]
 
     def agents_used(self) -> int:
         """Number of distinct agent ids appearing in the schedule."""
-        return len({m.agent for m in self.moves})
+        return self.aggregates().agents_used
 
     def moves_of_agent(self, agent: int) -> List[Move]:
         """All moves of one agent, in replay order."""
@@ -194,10 +316,7 @@ class Schedule:
 
     def peak_traveling_agents(self) -> int:
         """Maximum number of agents moving within the same time unit."""
-        per_time: Dict[int, set] = {}
-        for m in self.moves:
-            per_time.setdefault(m.time, set()).add(m.agent)
-        return max((len(v) for v in per_time.values()), default=0)
+        return self.aggregates().peak_traveling_agents
 
     def first_visit_order(self) -> List[int]:
         """Nodes in order of first agent arrival (the figures' numbering).

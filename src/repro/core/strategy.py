@@ -21,9 +21,42 @@ from repro.core.schedule import Schedule
 from repro.errors import ReproError
 from repro.topology.hypercube import Hypercube
 
-__all__ = ["Strategy", "register", "get_strategy", "available_strategies"]
+__all__ = [
+    "Strategy",
+    "register",
+    "get_strategy",
+    "available_strategies",
+    "set_active_cache",
+    "get_active_cache",
+]
 
 _REGISTRY: Dict[str, Type["Strategy"]] = {}
+
+#: process-wide schedule cache consulted by :meth:`Strategy.run`.
+#:
+#: Duck-typed on purpose (anything with ``schedule_for(strategy,
+#: dimension)`` works) so this module never imports
+#: :mod:`repro.fastpath` — the dependency points the other way.
+_ACTIVE_CACHE: Optional[object] = None
+
+
+def set_active_cache(cache: Optional[object]) -> Optional[object]:
+    """Install (or clear, with ``None``) the process-wide schedule cache.
+
+    Returns the previous cache so callers can restore it.  The cache is
+    consulted by every :meth:`Strategy.run`, which is how sweeps,
+    experiments and executor workers all get the warm path without
+    threading a cache handle through each call site.
+    """
+    global _ACTIVE_CACHE
+    previous = _ACTIVE_CACHE
+    _ACTIVE_CACHE = cache
+    return previous
+
+
+def get_active_cache() -> Optional[object]:
+    """The currently installed process-wide schedule cache, if any."""
+    return _ACTIVE_CACHE
 
 
 class Strategy(abc.ABC):
@@ -38,6 +71,19 @@ class Strategy(abc.ABC):
     name: str = ""
     #: capability model the strategy needs
     model: str = ""
+    #: generator version tag; bump whenever :meth:`generate` changes its
+    #: output for the same inputs, so content-addressed cache entries
+    #: built from the old generator stop matching.
+    version: str = "1"
+
+    def cache_params(self) -> Dict[str, object]:
+        """Parameters that change the generated schedule (cache key part).
+
+        The base strategies are parameter-free; a parameterised subclass
+        must return every knob that affects :meth:`generate` output here,
+        or stale cache entries will be served across configurations.
+        """
+        return {}
 
     @abc.abstractmethod
     def generate(self, hypercube: Hypercube) -> Schedule:
@@ -60,7 +106,15 @@ class Strategy(abc.ABC):
         return None
 
     def run(self, dimension: int) -> Schedule:
-        """Convenience: build the hypercube and generate the schedule."""
+        """Convenience: build the hypercube and generate the schedule.
+
+        When a process-wide cache is installed (:func:`set_active_cache`)
+        the schedule is served from it — a warm hit skips generation
+        entirely, which is what makes repeat sweeps cheap.
+        """
+        cache = _ACTIVE_CACHE
+        if cache is not None:
+            return cache.schedule_for(self, dimension)  # type: ignore[attr-defined]
         return self.generate(Hypercube(dimension))
 
     def __repr__(self) -> str:

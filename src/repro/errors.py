@@ -24,6 +24,8 @@ __all__ = [
     "CapacityError",
     "ExecutionError",
     "CheckpointError",
+    "CompiledScheduleError",
+    "ScheduleCacheError",
 ]
 
 
@@ -101,3 +103,17 @@ class ExecutionError(ReproError):
 
 class CheckpointError(ExecutionError):
     """An executor checkpoint file is unreadable or inconsistent."""
+
+
+class CompiledScheduleError(ReproError):
+    """A compiled-schedule byte blob is malformed, truncated or corrupt.
+
+    Raised by :meth:`repro.fastpath.CompiledSchedule.from_bytes` on any
+    format-level problem (bad magic, unsupported version, length mismatch,
+    checksum failure).  The schedule cache treats this as "entry missing"
+    and regenerates — it never propagates to callers.
+    """
+
+
+class ScheduleCacheError(ReproError):
+    """The schedule cache was misused (unwritable root, bad fingerprint)."""

@@ -46,17 +46,34 @@ OutcomeHook = Callable[[Job, JobOutcome], None]
 
 
 def sweep_jobs(
-    strategies: Sequence[str], dimensions: Sequence[int], *, verify: bool = True
+    strategies: Sequence[str],
+    dimensions: Sequence[int],
+    *,
+    verify: bool = True,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> List[Job]:
-    """One ``sweep_cell`` job per (strategy, dimension), serial order."""
+    """One ``sweep_cell`` job per (strategy, dimension), serial order.
+
+    ``cache_dir`` names a shared :class:`~repro.fastpath.ScheduleCache`
+    directory; every worker opens the same directory (safe: entries are
+    published via atomic renames) so one cell's miss becomes every later
+    run's hit.
+    """
     jobs: List[Job] = []
     for name in strategies:
         for d in dimensions:
+            payload: Dict[str, Any] = {
+                "strategy": name,
+                "dimension": int(d),
+                "verify": verify,
+            }
+            if cache_dir is not None:
+                payload["cache_dir"] = str(cache_dir)
             jobs.append(
                 Job(
                     key=f"sweep:{name}:d={d}",
                     task="sweep_cell",
-                    payload={"strategy": name, "dimension": int(d), "verify": verify},
+                    payload=payload,
                     index=len(jobs),
                 )
             )
@@ -69,6 +86,7 @@ def parallel_sweep(
     config: Optional[ExecutorConfig] = None,
     *,
     verify: bool = True,
+    cache_dir: Optional[Union[str, Path]] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     metrics: Optional[MetricsRegistry] = None,
     on_outcome: Optional[OutcomeHook] = None,
@@ -82,7 +100,7 @@ def parallel_sweep(
     ``extra_metrics`` callables cannot be shipped to workers.
     """
     sweep = Sweep(strategies, dimensions, verify=verify)
-    jobs = sweep_jobs(strategies, dimensions, verify=verify)
+    jobs = sweep_jobs(strategies, dimensions, verify=verify, cache_dir=cache_dir)
     executor = ParallelExecutor(config, metrics=metrics, on_outcome=on_outcome)
     outcomes = executor.run(jobs, checkpoint=checkpoint, manifest=_batch_manifest(jobs))
 
@@ -116,24 +134,39 @@ def parallel_sweep(
 # --------------------------------------------------------------------- #
 
 
-def experiment_jobs(ids: Optional[Sequence[str]] = None) -> List[Job]:
-    """One ``experiment_cell`` job per experiment id (registry order)."""
+def experiment_jobs(
+    ids: Optional[Sequence[str]] = None,
+    *,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> List[Job]:
+    """One ``experiment_cell`` job per experiment id (registry order).
+
+    ``cache_dir`` makes each worker install a shared
+    :class:`~repro.fastpath.ScheduleCache` as the process-wide active
+    cache for the duration of its cell.
+    """
     wanted = list(ids) if ids is not None else experiment_ids()
-    return [
-        Job(
-            key=f"experiment:{exp_id}",
-            task="experiment_cell",
-            payload={"id": exp_id},
-            index=index,
+    jobs = []
+    for index, exp_id in enumerate(wanted):
+        payload: Dict[str, Any] = {"id": exp_id}
+        if cache_dir is not None:
+            payload["cache_dir"] = str(cache_dir)
+        jobs.append(
+            Job(
+                key=f"experiment:{exp_id}",
+                task="experiment_cell",
+                payload=payload,
+                index=index,
+            )
         )
-        for index, exp_id in enumerate(wanted)
-    ]
+    return jobs
 
 
 def parallel_experiments(
     ids: Optional[Sequence[str]] = None,
     config: Optional[ExecutorConfig] = None,
     *,
+    cache_dir: Optional[Union[str, Path]] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     metrics: Optional[MetricsRegistry] = None,
     on_outcome: Optional[OutcomeHook] = None,
@@ -144,7 +177,7 @@ def parallel_experiments(
     :class:`~repro.analysis.experiments.ExperimentResult` whose lines
     carry the executor's error text (``EXECUTOR FAILED: ...``).
     """
-    jobs = experiment_jobs(ids)
+    jobs = experiment_jobs(ids, cache_dir=cache_dir)
     executor = ParallelExecutor(config, metrics=metrics, on_outcome=on_outcome)
     outcomes = executor.run(jobs, checkpoint=checkpoint, manifest=_batch_manifest(jobs))
 
@@ -187,8 +220,9 @@ def merged_manifest(
     "what produced this table?" and "which cells were retried or
     failed?".
     """
-    cells = [
-        {
+    cells = []
+    for o in outcomes:
+        cell = {
             "key": o.key,
             "status": o.status.value,
             "attempts": o.attempts,
@@ -196,8 +230,11 @@ def merged_manifest(
             "cached": o.cached,
             "error": o.error,
         }
-        for o in outcomes
-    ]
+        if isinstance(o.value, dict) and "cache" in o.value:
+            # schedule-cache provenance reported by the task itself
+            # (fingerprint, hit-or-generated, worker-local counters)
+            cell["schedule_cache"] = o.value["cache"]
+        cells.append(cell)
     merged_extra: Dict[str, Any] = {
         "cells": cells,
         "failed": sum(1 for o in outcomes if not o.ok),

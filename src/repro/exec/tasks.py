@@ -56,52 +56,75 @@ def sweep_cell(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]:
     """One (strategy, dimension) cell of a sweep grid.
 
     Payload: ``strategy`` (registry name), ``dimension`` (int), ``verify``
-    (bool, default true).  Returns the flat row data the serial
-    :class:`~repro.analysis.sweeps.Sweep` would produce for this cell.
+    (bool, default true), ``cache_dir`` (optional path to a shared
+    :class:`~repro.fastpath.ScheduleCache` directory — safe across
+    concurrent workers thanks to its atomic writes).  Returns the flat
+    row data the serial :class:`~repro.analysis.sweeps.Sweep` would
+    produce for this cell — both paths call the same
+    :func:`~repro.analysis.sweeps.measure_cell` kernel, so they cannot
+    drift — plus cache provenance and counters when a cache is in play.
     A verification failure raises (→ a ``FAILED`` outcome), matching the
     serial sweep's refusal to report numbers from a broken schedule.
     """
-    from repro.analysis.verify import verify_schedule
-    from repro.core.states import AgentRole
-    from repro.core.strategy import get_strategy
-    from repro.errors import ReproError
+    from pathlib import Path
+
+    from repro.analysis.sweeps import measure_cell
+    from repro.fastpath import ScheduleCache
 
     name = str(payload["strategy"])
     dimension = int(payload["dimension"])
-    schedule = get_strategy(name).run(dimension)
-    if payload.get("verify", True):
-        report = verify_schedule(schedule)
-        if not report.ok:
-            raise ReproError(
-                f"{name} d={dimension} failed verification: {report.summary()}"
-            )
-    roles = schedule.moves_by_role()
-    return {
+    cache_dir = payload.get("cache_dir")
+    cache = ScheduleCache(Path(str(cache_dir))) if cache_dir else None
+    values, _, provenance = measure_cell(
+        name, dimension, verify=bool(payload.get("verify", True)), cache=cache
+    )
+    out: Dict[str, Any] = {
         "strategy": name,
         "dimension": dimension,
-        "n": schedule.n,
-        "values": {
-            "agents": schedule.team_size,
-            "moves": schedule.total_moves,
-            "agent_moves": roles[AgentRole.AGENT],
-            "sync_moves": roles[AgentRole.SYNCHRONIZER],
-            "steps": schedule.makespan,
-        },
+        "n": 1 << dimension,
+        "values": values,
     }
+    if cache is not None:
+        out["cache"] = {**provenance, "stats": cache.stats.as_dict()}
+    return out
 
 
 @register_task("experiment_cell")
 def experiment_cell(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]:
-    """Regenerate one paper artifact (payload: ``id``)."""
+    """Regenerate one paper artifact (payload: ``id``).
+
+    An optional ``cache_dir`` installs a shared
+    :class:`~repro.fastpath.ScheduleCache` as the worker's active cache
+    for the duration of the cell, so every ``Strategy.run`` inside the
+    experiment is served warm when possible.
+    """
     from repro.analysis.experiments import run_experiment
 
-    result = run_experiment(str(payload["id"]))
-    return {
+    cache_dir = payload.get("cache_dir")
+    cache = None
+    if cache_dir:
+        from pathlib import Path
+
+        from repro.core.strategy import set_active_cache
+        from repro.fastpath import ScheduleCache
+
+        cache = ScheduleCache(Path(str(cache_dir)))
+        previous = set_active_cache(cache)
+        try:
+            result = run_experiment(str(payload["id"]))
+        finally:
+            set_active_cache(previous)
+    else:
+        result = run_experiment(str(payload["id"]))
+    out: Dict[str, Any] = {
         "id": result.experiment_id,
         "title": result.title,
         "passed": result.passed,
         "lines": list(result.lines),
     }
+    if cache is not None:
+        out["cache"] = {"stats": cache.stats.as_dict()}
+    return out
 
 
 @register_task("echo")

@@ -1,0 +1,59 @@
+"""Fast-path plane: columnar schedules, content-addressed caching, batch
+verification.
+
+The paper's strategies emit ``O(n log n)`` moves (Theorems 3/8), so at
+large ``d`` a schedule is a sea of Python ``Move`` objects; this package
+makes re-measuring and re-verifying them cheap:
+
+* :class:`CompiledSchedule` — a lossless struct-of-arrays twin of
+  :class:`~repro.core.schedule.Schedule` (six int64 columns plus the
+  one-pass aggregate-stats block) with a versioned, CRC-protected binary
+  form;
+* :class:`ScheduleCache` — a content-addressed on-disk store of compiled
+  schedules, fingerprinted by (strategy, version tag, dimension, params,
+  schema versions), with atomic writes so parallel executor workers can
+  share one directory and corrupt entries silently regenerating;
+* :func:`batch_verify` — a per-time-unit replay of the columnar form
+  with O(1)-per-move integer kernels, verdict-equivalent to
+  :class:`~repro.analysis.verify.ScheduleVerifier`;
+* :func:`measure_schedule` — the single metric-collection helper behind
+  both the serial sweep and the executor's ``sweep_cell`` task.
+
+Layering: this package sits between the core schedule plane and the
+analysis/exec consumers — it imports ``core``/``topology``/``errors``
+only, never the simulation, protocol or CLI layers (lint rule RPR220).
+"""
+
+from repro.fastpath.batchverify import BatchVerificationReport, batch_verify
+from repro.fastpath.cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    ScheduleCache,
+    default_cache_dir,
+    fingerprint,
+)
+from repro.fastpath.compiled import (
+    FORMAT_VERSION,
+    SCHEMA_VERSION,
+    CompiledSchedule,
+    decode_metadata,
+    encode_metadata,
+)
+from repro.fastpath.measure import Measurable, measure_schedule
+
+__all__ = [
+    "BatchVerificationReport",
+    "batch_verify",
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "ScheduleCache",
+    "default_cache_dir",
+    "fingerprint",
+    "FORMAT_VERSION",
+    "SCHEMA_VERSION",
+    "CompiledSchedule",
+    "decode_metadata",
+    "encode_metadata",
+    "Measurable",
+    "measure_schedule",
+]

@@ -1,0 +1,368 @@
+"""Mask-kernel batch verification of compiled schedules.
+
+:func:`batch_verify` replays a :class:`~repro.fastpath.CompiledSchedule`
+one *time unit* at a time directly on the int64 columns, evolving the
+same bigint node-set masks the simulation layer uses
+(:meth:`~repro.topology.hypercube.Hypercube.neighbor_mask` /
+:meth:`~repro.topology.hypercube.Hypercube.spread_mask`), and checks the
+same predicates as :class:`~repro.analysis.verify.ScheduleVerifier`:
+structure, monotonicity, contiguity (at time-unit boundaries),
+completeness and intruder capture.  No ``Move`` objects, no per-move
+contamination-map dispatch: the per-move work is a handful of int ops on
+plain columns, and the expensive checks (departure rule, recontamination
+flood, connectivity BFS) run once per time unit on whole masks.
+
+Verdict equivalence
+-------------------
+For every schedule the generators emit, the verdict (``monotone``,
+``contiguous``, ``complete``, ``intruder_captured``, ``ok``) equals the
+classic verifier's.  The one semantic difference is *intra-unit* timing:
+the classic verifier evaluates the departure rule after each move, while
+the batch kernel evaluates each unit with all of the unit's arrivals in
+effect.  The schedule plane's documented replay-order convention (moves
+whose safety depends on another move of the same unit are ordered after
+it, and each unit is internally consistent) makes the two equivalent on
+generator output; a hand-built schedule that is only transiently unsafe
+*within* one unit can pass here and fail there.  The equivalence tests
+therefore exercise injected violations with one move per unit, where the
+two replays are exactly the same computation.
+
+Capture note: the omniscient reachable-set intruder is captured exactly
+when no contaminated node remains (see
+:class:`~repro.sim.intruder.ReachableSetIntruder`), so
+``intruder_captured == complete`` by construction in both verifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    ContiguityError,
+    IncompleteCleaningError,
+    RecontaminationError,
+    ScheduleError,
+    SimulationError,
+    VerificationError,
+)
+from repro.fastpath.compiled import CompiledSchedule
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["BatchVerificationReport", "batch_verify"]
+
+
+@dataclass
+class BatchVerificationReport:
+    """Verdict of one batch replay (mirrors ``VerificationReport``).
+
+    Carries the same predicate fields and the same ``ok`` /
+    ``raise_if_failed`` / ``summary`` surface as
+    :class:`~repro.analysis.verify.VerificationReport`, so callers can
+    treat the two interchangeably; the per-node timing maps the classic
+    report collects for the figure benches are deliberately absent — the
+    batch path exists to *not* do per-node Python bookkeeping.
+    """
+
+    dimension: int
+    strategy: str
+    monotone: bool
+    contiguous: bool
+    complete: bool
+    intruder_captured: bool
+    total_moves: int
+    makespan: int
+    team_size: int
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """All four correctness predicates hold and nothing was violated."""
+        return (
+            self.monotone
+            and self.contiguous
+            and self.complete
+            and self.intruder_captured
+            and not self.violations
+        )
+
+    def raise_if_failed(self) -> None:
+        """Raise the most specific error if verification failed."""
+        if not self.monotone:
+            raise RecontaminationError(
+                f"{self.strategy}(d={self.dimension}): recontamination occurred"
+            )
+        if not self.contiguous:
+            raise ContiguityError(
+                f"{self.strategy}(d={self.dimension}): decontaminated region disconnected"
+            )
+        if not self.complete:
+            raise IncompleteCleaningError(
+                f"{self.strategy}(d={self.dimension}): contaminated nodes remain"
+            )
+        if not self.intruder_captured:
+            raise VerificationError(
+                f"{self.strategy}(d={self.dimension}): intruder not captured"
+            )
+        if self.violations:
+            raise VerificationError(
+                f"{self.strategy}(d={self.dimension}): {self.violations[0]}"
+            )
+
+    def summary(self) -> str:
+        """One-line verdict in the classic report's format."""
+        verdict = "OK" if self.ok else "FAILED"
+        return (
+            f"[{verdict}] {self.strategy}(d={self.dimension}): "
+            f"monotone={self.monotone} contiguous={self.contiguous} "
+            f"complete={self.complete} captured={self.intruder_captured} "
+            f"moves={self.total_moves} makespan={self.makespan} team={self.team_size}"
+        )
+
+
+def _region_connected(region: int, homebase: int, topo: Hypercube) -> bool:
+    """Bitset BFS: is ``region`` connected?  Start at the homebase when it
+    is in the region, else at the lowest set bit (deterministic)."""
+    if not region:
+        return True
+    home_bit = 1 << homebase
+    frontier = home_bit if region & home_bit else region & -region
+    reached = frontier
+    while frontier:
+        frontier = topo.spread_mask(frontier) & region & ~reached
+        reached |= frontier
+    return reached == region
+
+
+def _region_mask_from(in_region: bytearray) -> int:
+    """Pack the 0/1 per-node region table into a node bitmask."""
+    out = 0
+    for x, flag in enumerate(in_region):
+        if flag:
+            out |= 1 << x
+    return out
+
+
+def batch_verify(
+    compiled: CompiledSchedule, topology: Optional[Hypercube] = None
+) -> BatchVerificationReport:
+    """Replay ``compiled`` per time unit with O(1)-per-move kernels.
+
+    The hot loop touches no Python objects beyond flat integer tables:
+    guard counts, agent positions/clocks, a 0/1 decontaminated-region
+    table, and — the key trick — a per-node *contaminated-neighbour
+    counter*.  Decontamination is monotone outside the (rare) violation
+    path, so each node's counter is decremented exactly once per
+    neighbour over the whole replay: O(n·d) total maintenance, and the
+    departure rule collapses to ``counter[v] != 0`` — one list index per
+    vacated node instead of a neighbourhood mask intersection whose cost
+    grows with ``n``.  The bigint mask machinery
+    (:meth:`~repro.topology.hypercube.Hypercube.spread_mask` BFS) only
+    runs on the paths where whole-region work is unavoidable: the
+    contiguity re-derivation after a non-extending event and the
+    recontamination flood, both of which never fire on a valid schedule.
+
+    Structure malformation raises :class:`~repro.errors.ScheduleError`
+    (and illegal clone placement :class:`~repro.errors.SimulationError`),
+    matching the classic verifier; invariant failures never raise — they
+    are recorded on the returned report.
+    """
+    topo = topology or Hypercube(compiled.dimension)
+    if topo.n != compiled.n:
+        raise ScheduleError(
+            f"topology has {topo.n} nodes but schedule is d={compiled.dimension}"
+        )
+    d, n = compiled.dimension, topo.n
+    homebase = compiled.homebase
+    times = compiled.times.tolist()
+    agents = compiled.agents.tolist()
+    srcs = compiled.srcs.tolist()
+    dsts = compiled.dsts.tolist()
+    total = len(times)
+    uses_cloning = compiled.uses_cloning
+
+    # neighbour ids come from on-the-fly XOR with these single-bit masks
+    # (an eager per-node adjacency table would cost O(n·d) to build —
+    # more than the whole replay for sparse schedules)
+    bits = [1 << p for p in range(d)]
+
+    # --- initial deployment -------------------------------------------- #
+    team = max(compiled.team_size, compiled.stats.agents_used, 1)
+    guard_count = [0] * n
+    guard_count[homebase] = 1 if uses_cloning else team
+    in_region = bytearray(n)
+    in_region[homebase] = 1
+    region_size = 1
+    # contam_count[x] = number of contaminated neighbours of x; the
+    # departure rule and the "arrival adjacent to region?" test both
+    # become O(1) reads of this table
+    contam_count = [d] * n
+    for b in bits:
+        contam_count[homebase ^ b] -= 1
+    position: Dict[int, int] = {}
+    clock: Dict[int, int] = {}
+    if uses_cloning:
+        position[0] = homebase
+
+    violations: List[str] = []
+    recontaminated = False
+    contiguous = True
+    # incremental contiguity cache, same trichotomy as ContaminationMap:
+    # True = known connected, False = known verdict already recorded,
+    # None = stale (non-extending growth or recontamination) -> BFS
+    contig_cache: Optional[bool] = True
+
+    def flood_from(v: int, first_cause: int) -> None:
+        """Violation path: recontaminate ``v`` and spread through every
+        unguarded clean node reachable from it (never fires on valid
+        schedules, so clarity over speed)."""
+        nonlocal region_size, recontaminated, contig_cache
+        recontaminated = True
+        contig_cache = None
+        stack = [(v, first_cause)]
+        while stack:
+            x, cause = stack.pop()
+            if not in_region[x]:
+                continue
+            in_region[x] = 0
+            region_size -= 1
+            violations.append(f"node {x} recontaminated from {cause}")
+            for b in bits:
+                u = x ^ b
+                contam_count[u] += 1
+                if in_region[u] and guard_count[u] == 0:
+                    stack.append((u, x))
+
+    vacated: List[int] = []
+    last_time = 0
+    i = 0
+    while i < total:
+        unit_time = times[i]
+        if unit_time < last_time:
+            raise ScheduleError(
+                f"move #{i} goes back in time ({unit_time} < {last_time})"
+            )
+        if unit_time < 1:
+            raise ScheduleError(f"move time must be >= 1, got {unit_time}")
+        last_time = unit_time
+        j = i
+        # one time unit: columns [i, j)
+        while j < total and times[j] == unit_time:
+            j += 1
+
+        del vacated[:]
+        for k in range(i, j):
+            agent, src, dst = agents[k], srcs[k], dsts[k]
+            # structure: chained positions, homebase starts, one move per
+            # unit per agent, edges only (fused into the replay scan so
+            # the columns are walked exactly once)
+            prev = position.get(agent)
+            if prev is None:
+                if uses_cloning:
+                    # clone materializes at src; placement must not touch
+                    # contaminated ground away from the homebase
+                    if not 0 <= src < n:
+                        raise ScheduleError(f"move #{k}: node {src} out of range")
+                    if not in_region[src]:
+                        if src != homebase:
+                            raise SimulationError(
+                                f"cannot place an agent on contaminated node {src} "
+                                f"(contiguous model)"
+                            )
+                        if region_size == 0:
+                            contig_cache = True
+                        elif not (contig_cache is True and contam_count[src] < d):
+                            contig_cache = None
+                        in_region[src] = 1
+                        region_size += 1
+                        for b in bits:
+                            contam_count[src ^ b] -= 1
+                    guard_count[src] += 1
+                elif src != homebase:
+                    raise ScheduleError(
+                        f"move #{k}: agent {agent} first appears at {src}, "
+                        f"not the homebase {homebase}"
+                    )
+            else:
+                if prev != src:
+                    raise ScheduleError(
+                        f"move #{k}: agent {agent} moves from {src} but is at {prev}"
+                    )
+                if clock.get(agent, 0) >= unit_time:
+                    raise ScheduleError(
+                        f"move #{k}: agent {agent} moves twice within one time unit"
+                    )
+            edge = src ^ dst
+            if src == dst or edge & (edge - 1) or edge >= n or not 0 <= dst < n:
+                raise ScheduleError(f"move #{k} ({src}->{dst}) is not an edge")
+            if guard_count[src] <= 0:
+                raise SimulationError(f"no agent on {src} to move")
+            position[agent] = dst
+            clock[agent] = unit_time
+            # apply departure+arrival on the guard counts; the departure
+            # rule itself is settled once per unit below
+            guard_count[src] -= 1
+            if guard_count[src] == 0:
+                vacated.append(src)
+            guard_count[dst] += 1
+            if not in_region[dst]:
+                # incremental contiguity bookkeeping, in arrival order:
+                # extending a connected region by an adjacent node keeps
+                # it connected; anything else goes stale for the BFS
+                if region_size == 0:
+                    contig_cache = True
+                elif not (contig_cache is True and contam_count[dst] < d):
+                    contig_cache = None
+                in_region[dst] = 1
+                region_size += 1
+                for b in bits:
+                    contam_count[dst ^ b] -= 1
+
+        # --- settle the unit: departure rule on every vacated node ----- #
+        if region_size < n:
+            for v in vacated:
+                # still unguarded (not re-arrived within the unit), now
+                # clean: it stays clean iff no neighbour is contaminated
+                if guard_count[v] == 0 and in_region[v] and contam_count[v]:
+                    for b in bits:
+                        if not in_region[v ^ b]:
+                            flood_from(v, v ^ b)
+                            break
+
+        # --- boundary contiguity check --------------------------------- #
+        if contig_cache is None:
+            contig_cache = (
+                region_size == 0
+                or _region_connected(_region_mask_from(in_region), homebase, topo)
+            )
+        if contig_cache is False:
+            contiguous = False
+            violations.append(f"region disconnected at time {unit_time}")
+            contig_cache = None  # re-derive at the next boundary
+
+        i = j
+
+    if compiled.team_size and compiled.stats.agents_used > compiled.team_size:
+        raise ScheduleError(
+            f"{compiled.stats.agents_used} agents appear in moves but "
+            f"team_size={compiled.team_size}"
+        )
+
+    complete = region_size == n
+    if not complete:
+        remaining = [x for x in range(n) if not in_region[x]]
+        violations.append(
+            f"{len(remaining)} contaminated nodes remain: {remaining[:8]}"
+        )
+    return BatchVerificationReport(
+        dimension=compiled.dimension,
+        strategy=compiled.strategy,
+        monotone=not recontaminated,
+        contiguous=contiguous,
+        complete=complete,
+        intruder_captured=complete,
+        total_moves=compiled.stats.total_moves,
+        makespan=compiled.stats.makespan,
+        team_size=team,
+        violations=violations,
+    )

@@ -1,0 +1,285 @@
+"""Content-addressed on-disk cache of compiled schedules.
+
+A :class:`ScheduleCache` maps a *fingerprint* — the SHA-256 of
+(cache schema version, compiled-format version, strategy name, strategy
+version tag, dimension, strategy params) — to one
+:class:`~repro.fastpath.compiled.CompiledSchedule` blob on disk.  The
+fingerprint is the file name, so a cache directory is safe to share:
+
+* **between runs** — any input that changes the generated schedule
+  (generator code via the strategy ``version`` tag, parameters, the byte
+  format itself) changes the fingerprint, so stale entries are never
+  *served*, they are simply never addressed again;
+* **between processes** — writes go to a unique tmp file in the same
+  directory followed by :func:`os.replace`, which is atomic on POSIX and
+  Windows, so parallel executor workers racing on the same entry each
+  publish a complete blob and the last one wins (they are byte-identical
+  anyway: generation is deterministic);
+* **against corruption** — a torn, truncated or bit-flipped entry fails
+  the blob's CRC/length checks
+  (:class:`~repro.errors.CompiledScheduleError`), is deleted, counted as
+  ``corrupt`` and regenerated; it never crashes a run and never
+  propagates garbage.
+
+Hit/miss/corrupt counts are mirrored into the process-wide
+:class:`~repro.obs.metrics.MetricsRegistry` (``fastpath.cache.*``
+counters) for run manifests, without this module importing any
+higher layer — the registry is injected by the caller via
+:meth:`ScheduleCache.bind_metrics`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.core.schedule import Schedule
+from repro.core.strategy import Strategy
+from repro.errors import CompiledScheduleError, ScheduleCacheError
+from repro.fastpath.compiled import FORMAT_VERSION, SCHEMA_VERSION, CompiledSchedule
+
+__all__ = ["ScheduleCache", "CacheStats", "default_cache_dir", "fingerprint"]
+
+#: bump to orphan every existing cache entry at once
+CACHE_SCHEMA = "schedule-cache/v1"
+
+#: environment variable naming the default cache directory
+CACHE_DIR_ENV = "REPRO_SCHEDULE_CACHE"
+
+_DEFAULT_DIR = Path(".repro-cache") / "schedules"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_SCHEDULE_CACHE`` if set, else ``.repro-cache/schedules``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    return Path(env) if env else _DEFAULT_DIR
+
+
+def fingerprint(
+    strategy_name: str,
+    strategy_version: str,
+    dimension: int,
+    params: Optional[Dict[str, object]] = None,
+) -> str:
+    """Content address of one (strategy, dimension, params) cell.
+
+    Hashes the canonical JSON of every input that determines generator
+    output, plus both format versions, so any incompatibility surfaces
+    as a clean miss.
+    """
+    key = json.dumps(
+        {
+            "cache_schema": CACHE_SCHEMA,
+            "format_version": FORMAT_VERSION,
+            "blob_schema": SCHEMA_VERSION,
+            "strategy": strategy_name,
+            "strategy_version": strategy_version,
+            "dimension": dimension,
+            "params": params or {},
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+class CacheStats:
+    """Mutable hit/miss/corrupt counters, optionally mirrored to a
+    :class:`~repro.obs.metrics.MetricsRegistry`."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stores = 0
+        self._metrics: Optional[Any] = None
+
+    def bind(self, metrics: Any) -> None:
+        """Mirror every future count into ``metrics`` counters."""
+        self._metrics = metrics
+
+    def count(self, what: str) -> None:
+        """Bump counter ``what`` (``hits``/``misses``/``corrupt``/``stores``)."""
+        setattr(self, what, getattr(self, what) + 1)
+        if self._metrics is not None:
+            self._metrics.counter(f"fastpath.cache.{what}").inc()
+
+    def as_dict(self) -> Dict[str, int]:
+        """The four counters as a JSON-able dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "stores": self.stores,
+        }
+
+
+class ScheduleCache:
+    """Content-addressed schedule store rooted at one directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first store).  Safe to share
+        between concurrent processes; see the module docstring.
+    """
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        if self.root.exists() and not self.root.is_dir():
+            raise ScheduleCacheError(f"cache root {self.root} is not a directory")
+        self.stats = CacheStats()
+
+    def bind_metrics(self, metrics: Any) -> None:
+        """Mirror the counters into ``metrics`` (``fastpath.cache.*``)."""
+        self.stats.bind(metrics)
+
+    # ------------------------------------------------------------------ #
+    # addressing
+    # ------------------------------------------------------------------ #
+
+    def path_for(self, fp: str) -> Path:
+        """On-disk location of the entry with fingerprint ``fp``."""
+        if len(fp) != 64 or not all(c in "0123456789abcdef" for c in fp):
+            raise ScheduleCacheError(f"malformed fingerprint {fp!r}")
+        return self.root / f"{fp}.rprc"
+
+    @staticmethod
+    def fingerprint_of(strategy: Strategy, dimension: int) -> str:
+        """Fingerprint of one strategy instance at one dimension."""
+        return fingerprint(
+            strategy.name, strategy.version, dimension, strategy.cache_params()
+        )
+
+    # ------------------------------------------------------------------ #
+    # load / store
+    # ------------------------------------------------------------------ #
+
+    def load(self, fp: str) -> Optional[CompiledSchedule]:
+        """The cached compiled schedule for ``fp``, or ``None``.
+
+        A missing entry counts as a miss; an unreadable or corrupt entry
+        is deleted, counted as both ``corrupt`` and a miss, and reported
+        as ``None`` so the caller regenerates.
+        """
+        path = self.path_for(fp)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.count("misses")
+            return None
+        except OSError:
+            self.stats.count("corrupt")
+            self.stats.count("misses")
+            return None
+        try:
+            compiled = CompiledSchedule.from_bytes(blob)
+        except CompiledScheduleError:
+            self.stats.count("corrupt")
+            self.stats.count("misses")
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+            return None
+        self.stats.count("hits")
+        return compiled
+
+    def store(self, fp: str, compiled: CompiledSchedule) -> Path:
+        """Atomically publish ``compiled`` under fingerprint ``fp``.
+
+        tmp-file + :func:`os.replace` in the same directory: concurrent
+        writers each publish a complete blob, readers never observe a
+        torn one.
+        """
+        path = self.path_for(fp)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{fp[:16]}.", suffix=".tmp", dir=self.root
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(compiled.to_bytes())
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            raise ScheduleCacheError(f"cannot write cache entry {path}: {exc}") from exc
+        self.stats.count("stores")
+        return path
+
+    # ------------------------------------------------------------------ #
+    # the warm path
+    # ------------------------------------------------------------------ #
+
+    def load_compiled(
+        self, strategy: Strategy, dimension: int
+    ) -> Tuple[str, Optional[CompiledSchedule]]:
+        """(fingerprint, cached compiled schedule or ``None``)."""
+        fp = self.fingerprint_of(strategy, dimension)
+        return fp, self.load(fp)
+
+    def schedule_for(self, strategy: Strategy, dimension: int) -> Schedule:
+        """The strategy's schedule, served warm when possible.
+
+        This is the hook :meth:`repro.core.strategy.Strategy.run`
+        consults when this cache is installed as the process-wide active
+        cache: a hit decompiles the stored columns (no generation), a
+        miss generates, compiles and publishes.
+        """
+        fp, compiled = self.load_compiled(strategy, dimension)
+        if compiled is None:
+            from repro.topology.hypercube import Hypercube
+
+            schedule = strategy.generate(Hypercube(dimension))
+            self.store(fp, CompiledSchedule.from_schedule(schedule))
+            return schedule
+        return compiled.to_schedule()
+
+    # ------------------------------------------------------------------ #
+    # maintenance (the ``repro-search cache`` subcommand)
+    # ------------------------------------------------------------------ #
+
+    def entries(self) -> Iterator[Path]:
+        """Every entry file currently in the cache directory."""
+        if not self.root.is_dir():
+            return iter(())
+        return iter(sorted(self.root.glob("*.rprc")))
+
+    def info(self) -> Dict[str, object]:
+        """Summary of the on-disk state plus this process's counters."""
+        paths = list(self.entries())
+        total = 0
+        for p in paths:
+            try:
+                total += p.stat().st_size
+            except OSError:  # pragma: no cover - racing delete
+                pass
+        return {
+            "root": str(self.root),
+            "entries": len(paths),
+            "total_bytes": total,
+            "stats": self.stats.as_dict(),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry (and stray tmp file); returns the count."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in list(self.root.glob("*.rprc")) + list(self.root.glob("*.tmp")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing delete
+                pass
+        return removed

@@ -1,0 +1,56 @@
+"""The shared metric-collection kernel for sweep cells.
+
+``Sweep.run`` and the executor's ``sweep_cell`` task used to build the
+standard metric columns with two hand-mirrored copies of the same five
+lines; :func:`measure_schedule` is now the single definition both call,
+so the serial and parallel paths cannot drift.
+
+It accepts either a :class:`~repro.core.schedule.Schedule` or a
+:class:`~repro.fastpath.compiled.CompiledSchedule` — both expose
+``team_size`` and the one-pass ``aggregates()`` block — which is what
+makes the cache's warm path *deserialize-and-measure*: a compiled
+schedule answers every column straight from its stats header without
+materializing a single ``Move``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol
+
+from repro.core.schedule import ScheduleAggregates
+from repro.core.states import AgentRole
+
+__all__ = ["measure_schedule", "Measurable"]
+
+
+class Measurable(Protocol):
+    """What :func:`measure_schedule` needs: ``Schedule`` or
+    ``CompiledSchedule``."""
+
+    team_size: int
+
+    @property
+    def n(self) -> int:
+        """Number of hypercube nodes the schedule covers."""
+        ...
+
+    def aggregates(self) -> ScheduleAggregates:
+        """The memoized one-pass aggregate block."""
+        ...
+
+
+def measure_schedule(schedule: Measurable) -> Dict[str, float]:
+    """The standard sweep metric columns for one schedule.
+
+    Keys match :data:`repro.analysis.sweeps.STANDARD_COLUMNS`: the
+    paper's team size, total/agent/synchronizer move counts (Theorem 3's
+    decomposition) and the ideal-time makespan.
+    """
+    agg = schedule.aggregates()
+    return {
+        "agents": schedule.team_size,
+        "moves": agg.total_moves,
+        "agent_moves": agg.role_counts[AgentRole.AGENT],
+        "sync_moves": agg.role_counts[AgentRole.SYNCHRONIZER],
+        "steps": agg.makespan,
+    }

@@ -41,6 +41,7 @@ __all__ = [
     "analyze_path",
     "analyze_paths",
     "exec_dir",
+    "fastpath_dir",
     "helper_requirements",
     "obs_dir",
     "protocols_dir",
@@ -95,6 +96,11 @@ def obs_dir() -> Path:
 def exec_dir() -> Path:
     """The installed location of :mod:`repro.exec` (for ``--self``)."""
     return Path(__file__).resolve().parent.parent / "exec"
+
+
+def fastpath_dir() -> Path:
+    """The installed location of :mod:`repro.fastpath` (for ``--self``)."""
+    return Path(__file__).resolve().parent.parent / "fastpath"
 
 
 # --------------------------------------------------------------------- #
@@ -561,6 +567,74 @@ def _check_exec_layering(mod: _Module) -> List[Finding]:
     return findings
 
 
+#: Package prefixes the fast path must never import (analysis/exec/CLI all
+#: consume ``repro.fastpath``; the sim/protocol planes are heavyweight and
+#: the compiled form must stay loadable without them).
+_FASTPATH_FORBIDDEN_PREFIXES: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.protocols",
+    "repro.analysis",
+    "repro.exec",
+    "repro.cli",
+    "repro.viz",
+    "repro.obs",
+)
+
+_FASTPATH_FORBIDDEN_TOPS: FrozenSet[str] = frozenset(
+    p.split(".", 1)[1] for p in _FASTPATH_FORBIDDEN_PREFIXES
+)
+
+
+def _is_fastpath_module(path: str) -> bool:
+    """Whether ``path`` lies inside a ``fastpath`` package directory."""
+    return "fastpath" in Path(path).parts
+
+
+def _check_fastpath_layering(mod: _Module) -> List[Finding]:
+    """RPR220: ``repro.fastpath`` imports only core/topology/errors.
+
+    Applies only to files inside a ``fastpath`` package; flags absolute
+    imports of any consumer or simulation layer and relative imports
+    that escape the package toward one (``from ..analysis import x``).
+    """
+    if not _is_fastpath_module(mod.path):
+        return []
+    findings: List[Finding] = []
+
+    def _forbidden(name: str) -> bool:
+        return any(
+            name == p or name.startswith(p + ".")
+            for p in _FASTPATH_FORBIDDEN_PREFIXES
+        )
+
+    def _flag(node: ast.AST, imported: str) -> None:
+        findings.append(
+            mod.finding(
+                "RPR220",
+                node,
+                f"`repro.fastpath` imports `{imported}`: the fast path sits "
+                "below the analysis/exec/CLI planes and must stay importable "
+                "without them — only `repro.core`, `repro.topology` and "
+                "`repro.errors` are allowed",
+            )
+        )
+
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _forbidden(alias.name):
+                    _flag(node, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and _forbidden(module):
+                _flag(node, module)
+            elif node.level >= 2:  # `from ..sim import x` escapes repro/fastpath/
+                target = module.split(".", 1)[0]
+                if target in _FASTPATH_FORBIDDEN_TOPS:
+                    _flag(node, f"{'.' * node.level}{module}")
+    return findings
+
+
 def _check_memory(mod: _Module) -> List[Finding]:
     """RPR130: agent memory writes must go through ``remember``."""
     findings: List[Finding] = []
@@ -618,6 +692,7 @@ def analyze_source(source: str, path: str = "<string>") -> List[Finding]:
         + _check_memory(mod)
         + _check_obs_layering(mod)
         + _check_exec_layering(mod)
+        + _check_fastpath_layering(mod)
     )
     return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))
 

@@ -21,7 +21,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.lint.analyzer import analyze_paths, exec_dir, obs_dir, protocols_dir
+from repro.lint.analyzer import (
+    analyze_paths,
+    exec_dir,
+    fastpath_dir,
+    obs_dir,
+    protocols_dir,
+)
 from repro.lint.reporters import render_json, render_rules, render_text
 
 __all__ = ["main", "build_parser", "run_lint"]
@@ -45,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "analyze this repository's own protocol implementations and "
-            "the observability/executor layers' import hygiene"
+            "the observability/executor/fast-path layers' import hygiene"
         ),
     )
     parser.add_argument(
@@ -75,6 +81,7 @@ def run_lint(args: argparse.Namespace) -> int:
         paths.append(protocols_dir())
         paths.append(obs_dir())
         paths.append(exec_dir())
+        paths.append(fastpath_dir())
     if not paths:
         print("repro-lint: no paths given (try --self or --list-rules)", file=sys.stderr)
         return 2

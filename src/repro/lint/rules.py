@@ -124,6 +124,18 @@ _RULE_TABLE: Tuple[Rule, ...] = (
             "return JSON-able values and the frontend renders them"
         ),
     ),
+    Rule(
+        code="RPR220",
+        name="fastpath-imports-upper-layer",
+        summary=(
+            "fast-path modules (`repro.fastpath`) must import only the "
+            "core/topology/errors planes — never `repro.sim`, "
+            "`repro.protocols`, `repro.analysis`, `repro.exec`, "
+            "`repro.obs`, `repro.cli` or `repro.viz`; those layers "
+            "consume the fast path, so the reverse direction is an "
+            "import cycle"
+        ),
+    ),
 )
 
 #: The registry, keyed by stable code.

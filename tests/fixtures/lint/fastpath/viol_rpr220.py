@@ -1,0 +1,8 @@
+"""RPR220 fixture: a fast-path module importing an upper consumer layer."""
+
+from repro.analysis.verify import verify_schedule
+
+
+def double_check(compiled) -> bool:
+    """Cross-check via the classic verifier (the import is the violation)."""
+    return verify_schedule(compiled.to_schedule()).ok

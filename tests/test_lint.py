@@ -31,6 +31,7 @@ VIOLATIONS = {
     "viol_rpr130.py": ("RPR130", 11, "hoarding_agent"),
     "obs/viol_rpr200.py": ("RPR200", 3, ""),
     "exec/viol_rpr210.py": ("RPR210", 3, ""),
+    "fastpath/viol_rpr220.py": ("RPR220", 3, ""),
 }
 
 
