@@ -7,7 +7,7 @@ Subcommands::
     repro-search figure fig1 -d 6                # re-render a paper figure
     repro-search simulate -d 4 -p clean --seed 3 # async protocol on the engine
     repro-search formulas -d 6                   # every closed form at one d
-    repro-search lint --self --strict            # model-compliance analyzer
+    repro-search lint --self                     # whole-program static analysis
     repro-search report -d 8 -p clean            # metrics snapshot + sparklines
     repro-search watch -d 4 -p visibility        # stream engine events as JSONL
 
@@ -32,6 +32,8 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for the CLI tests)."""
+    from repro.lint.cli import add_lint_arguments
+
     parser = argparse.ArgumentParser(
         prog="repro-search",
         description="Contiguous search in the hypercube (IPPS 2005 reproduction)",
@@ -85,15 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(experiment)
 
     lint = sub.add_parser(
-        "lint", help="statically check protocols against their declared model"
+        "lint",
+        help="static determinism/concurrency/model-compliance analysis",
     )
-    lint.add_argument("paths", nargs="*", help="protocol files or directories")
-    lint.add_argument(
-        "--self", dest="self_check", action="store_true", help="lint the built-in protocols"
-    )
-    lint.add_argument("--strict", action="store_true", help="exit 1 on any finding")
-    lint.add_argument("--format", choices=["text", "json"], default="text")
-    lint.add_argument("--list-rules", action="store_true", help="print the rule registry")
+    add_lint_arguments(lint)  # same flags and exit codes as `repro-lint`
 
     report = sub.add_parser(
         "report", help="run a protocol with live metrics and render the snapshot"

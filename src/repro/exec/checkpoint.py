@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import IO, Any, Dict, List, Optional, Sequence, Union
 
@@ -136,10 +138,6 @@ class Checkpoint:
         reusable = self.load_reusable(jobs, manifest)
         self._fingerprint = fingerprint_jobs(jobs, manifest)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        try:
-            self._fh = self.path.open("w")
-        except OSError as exc:
-            raise CheckpointError(f"cannot write checkpoint {self.path}: {exc}") from exc
         header = {
             "record": "header",
             "schema": CHECKPOINT_SCHEMA,
@@ -147,9 +145,31 @@ class Checkpoint:
             "jobs": len(jobs),
             "manifest": manifest,
         }
-        self._append(header)
-        for outcome in reusable.values():
-            self._append({"record": "outcome", **outcome.to_json_dict()})
+        records = [header] + [
+            {"record": "outcome", **outcome.to_json_dict()} for outcome in reusable.values()
+        ]
+        # Stage the fresh generation in a sibling tmp file and publish it
+        # with one rename: a reader (or a crash) never observes the window
+        # between truncating the old run and finishing the new header.
+        # Appends after that point are torn-tail tolerant (see load()).
+        try:
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{self.path.name}.", suffix=".tmp", dir=self.path.parent
+            )
+            try:
+                with os.fdopen(fd, "w") as staging:
+                    for record in records:
+                        staging.write(json.dumps(record, sort_keys=True) + "\n")
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._fh = self.path.open("a")
+        except OSError as exc:
+            raise CheckpointError(f"cannot write checkpoint {self.path}: {exc}") from exc
         return reusable
 
     def record(self, outcome: JobOutcome) -> None:

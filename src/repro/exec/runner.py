@@ -19,6 +19,8 @@ a full table.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -254,9 +256,20 @@ def write_merged_manifest(
     """Write :func:`merged_manifest` as pretty JSON; returns the path."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(
-        json.dumps(merged_manifest(outcomes, extra=extra), indent=2, sort_keys=True) + "\n"
-    )
+    payload = json.dumps(merged_manifest(outcomes, extra=extra), indent=2, sort_keys=True) + "\n"
+    # Publish atomically: a concurrent reader (or a crash mid-write) sees
+    # either the previous manifest or this one, never a truncated file.
+    fd, tmp = tempfile.mkstemp(prefix=f".{target.name}.", suffix=".tmp", dir=target.parent)
+    try:
+        with os.fdopen(fd, "w") as staging:
+            staging.write(payload)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return target
 
 

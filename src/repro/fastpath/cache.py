@@ -55,7 +55,10 @@ _DEFAULT_DIR = Path(".repro-cache") / "schedules"
 
 def default_cache_dir() -> Path:
     """``$REPRO_SCHEDULE_CACHE`` if set, else ``.repro-cache/schedules``."""
-    env = os.environ.get(CACHE_DIR_ENV)
+    # The variable picks WHERE entries live, never WHAT they contain —
+    # content is keyed by the fingerprint alone, so this read cannot
+    # leak host state into schedule bytes.
+    env = os.environ.get(CACHE_DIR_ENV)  # repro-lint: disable=RPR320
     return Path(env) if env else _DEFAULT_DIR
 
 

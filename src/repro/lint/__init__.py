@@ -1,4 +1,4 @@
-"""``repro.lint`` — static model-compliance analysis for agent protocols.
+"""``repro.lint`` — whole-program static analysis for the repro codebase.
 
 The engine rejects capability misuse at *runtime* (``See`` without
 ``visibility=True`` raises :class:`~repro.errors.AgentError`); this
@@ -10,26 +10,61 @@ analyzer cross-checks the declaration against every capability the
 module's code can reach — including uses routed through the shared
 helpers of ``protocols/base.py``.
 
+Since v2 the analyzer is interprocedural: it builds a module-level call
+graph over ``src/repro``, walks it from every strategy/search entry
+point and registered executor task, and flags reachable determinism
+hazards (RPR300–330: unseeded RNG, wall clock, environment reads,
+unstable iteration order).  In the ``fastpath``/``exec`` layers it also
+enforces crash-safe publication of shared files (RPR340/RPR350) and
+that on-disk layouts never drift without a format-version bump (RPR360,
+against ``schema_baseline.json``).
+
+Findings can be waived narrowly (``# repro-lint: disable=RPR320``
+inline; a committed ``.repro-lint-baseline.json`` for legacy debt) and
+both waivers are ratcheted: unused suppressions and stale baseline
+entries are themselves findings (RPR010/RPR011).  Repeated runs are
+served from a content-addressed cache (:class:`LintCache`), and results
+export as SARIF 2.1.0 for CI code scanning.
+
 Entry points: the ``repro-lint`` console script and the ``repro-search
 lint`` subcommand (:mod:`repro.lint.cli`); programmatically,
-:func:`analyze_source` / :func:`analyze_paths`.  Rule codes are stable
-``RPR1xx`` identifiers documented in ``docs/LINTING.md``.
+:func:`analyze_source` / :func:`analyze_paths` / :func:`run_analysis`.
+Rule codes are stable ``RPRxxx`` identifiers documented in
+``docs/LINTING.md``.
 """
 
-from repro.lint.analyzer import analyze_path, analyze_paths, analyze_source
+from repro.lint.analyzer import (
+    LintRun,
+    analyze_path,
+    analyze_paths,
+    analyze_source,
+    run_analysis,
+    self_paths,
+)
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.cache import LintCache
 from repro.lint.cli import main
 from repro.lint.reporters import json_payload, render_json, render_text
 from repro.lint.rules import RULES, Finding, Rule
+from repro.lint.sarif import render_sarif, sarif_payload
 
 __all__ = [
     "analyze_source",
     "analyze_path",
     "analyze_paths",
+    "run_analysis",
+    "self_paths",
+    "LintRun",
+    "LintCache",
+    "load_baseline",
+    "write_baseline",
     "Finding",
     "Rule",
     "RULES",
     "render_text",
     "render_json",
+    "render_sarif",
     "json_payload",
+    "sarif_payload",
     "main",
 ]

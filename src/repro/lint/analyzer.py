@@ -29,22 +29,39 @@ clean report is a static guarantee only for the patterns it understands.
 from __future__ import annotations
 
 import ast
+from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.lint.baseline import apply_baseline, canonical_path, load_baseline
+from repro.lint.cache import LintCache, content_hash, tree_hash
+from repro.lint.callgraph import build_program_graph
+from repro.lint.concurrency import check_concurrency
+from repro.lint.determinism import check_determinism
 from repro.lint.rules import Finding
+from repro.lint.schema import check_schema_drift
+from repro.lint.suppressions import (
+    SuppressionTable,
+    apply_suppressions,
+    unused_suppression_findings,
+)
 
 __all__ = [
     "ACTION_NAMES",
+    "LintRun",
     "analyze_source",
     "analyze_path",
     "analyze_paths",
+    "collect_files",
     "exec_dir",
     "fastpath_dir",
     "helper_requirements",
     "obs_dir",
+    "parse_trees",
     "protocols_dir",
+    "run_analysis",
+    "self_paths",
 ]
 
 #: The engine's complete action vocabulary (see :mod:`repro.sim.agent`).
@@ -101,6 +118,20 @@ def exec_dir() -> Path:
 def fastpath_dir() -> Path:
     """The installed location of :mod:`repro.fastpath` (for ``--self``)."""
     return Path(__file__).resolve().parent.parent / "fastpath"
+
+
+def self_paths() -> List[Path]:
+    """Everything ``--self`` scans: all of ``repro`` plus, when running
+    from a checkout, ``benchmarks/`` and ``examples/``."""
+    package_root = Path(__file__).resolve().parent.parent  # src/repro
+    roots = [package_root]
+    if package_root.parent.name == "src":
+        repo_root = package_root.parent.parent
+        for extra in ("benchmarks", "examples"):
+            candidate = repo_root / extra
+            if candidate.is_dir():
+                roots.append(candidate)
+    return roots
 
 
 # --------------------------------------------------------------------- #
@@ -192,16 +223,30 @@ class _Module:
         self.symbols: Dict[ast.AST, str] = {}
         self._map_symbols(self.tree, "")
         self.functions = [n for n in ast.walk(self.tree) if isinstance(n, _FunctionNode)]
-        self.behaviours = [
+        # A *strong* behaviour takes a ``ctx`` parameter or directly yields
+        # an action constructor.  ``yield from``-only delegators count as
+        # behaviours too, but only in modules that have a strong behaviour
+        # — otherwise every plain generator pipeline (topology iterators,
+        # the analyzer itself) would be mistaken for a protocol module.
+        strong = [
             f
             for f in self.functions
             if _own_yields(f)
             and (
                 _takes_ctx(f)
                 or any(_is_action_call(getattr(y, "value", None)) for y in _own_yields(f))
-                or any(isinstance(y, ast.YieldFrom) for y in _own_yields(f))
             )
         ]
+        delegators = [
+            f
+            for f in self.functions
+            if f not in strong
+            and _own_yields(f)
+            and any(isinstance(y, ast.YieldFrom) for y in _own_yields(f))
+        ]
+        self.behaviours = (
+            sorted(strong + delegators, key=lambda f: f.lineno) if strong else []
+        )
         self.model_node, self.declared = self._find_model()
         self.helper_aliases, self.base_module_aliases = self._find_imports()
 
@@ -682,10 +727,13 @@ def _check_memory(mod: _Module) -> List[Finding]:
 # --------------------------------------------------------------------- #
 
 
-def analyze_source(source: str, path: str = "<string>") -> List[Finding]:
-    """Analyze one module given as source text; returns sorted findings."""
-    mod = _Module(source, path)
-    findings = (
+def _sort(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))
+
+
+def _per_file_findings(mod: _Module) -> List[Finding]:
+    """Every single-module rule (RPR100–RPR220, RPR340/RPR350)."""
+    return (
         _check_model(mod)
         + _check_board_mutation(mod)
         + _check_yields(mod)
@@ -693,8 +741,37 @@ def analyze_source(source: str, path: str = "<string>") -> List[Finding]:
         + _check_obs_layering(mod)
         + _check_exec_layering(mod)
         + _check_fastpath_layering(mod)
+        + check_concurrency(mod.tree, mod.path)
     )
-    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))
+
+
+def _analyze_module(
+    source: str, path: str
+) -> Tuple[List[Finding], SuppressionTable, Set[int], ast.AST]:
+    """One module's per-file pass: suppressed findings stay out, and the
+    suppression table travels with the result so the whole-program pass
+    (and the unused-suppression report) can consult it."""
+    mod = _Module(source, path)
+    table = SuppressionTable.from_source(source)
+    findings, used = apply_suppressions(_sort(_per_file_findings(mod)), table, path)
+    return findings, table, used, mod.tree
+
+
+def analyze_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Analyze one module given as source text; returns sorted findings.
+
+    Runs the per-file rules plus the whole-program passes restricted to
+    this single module (a ``Strategy`` defined here with a reachable
+    hazard is still reported), honours inline suppressions, and reports
+    unused ones (RPR010).
+    """
+    findings, table, used, tree = _analyze_module(source, path)
+    project = check_determinism(build_program_graph({path: tree}))
+    project += check_schema_drift({path: tree})
+    kept, project_used = apply_suppressions(_sort(project), table, path)
+    findings = findings + kept
+    findings += unused_suppression_findings(table, used | project_used, path)
+    return _sort(findings)
 
 
 def analyze_path(path: Path) -> List[Finding]:
@@ -702,15 +779,154 @@ def analyze_path(path: Path) -> List[Finding]:
     return analyze_source(path.read_text(), str(path))
 
 
-def analyze_paths(paths: Sequence[Path]) -> List[Finding]:
-    """Analyze files and/or directories (recursively, ``*.py`` only)."""
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files and/or directories into ``.py`` files (recursively)."""
     files: List[Path] = []
     for path in paths:
         if path.is_dir():
             files.extend(sorted(path.rglob("*.py")))
         else:
             files.append(path)
-    findings: List[Finding] = []
+    return files
+
+
+def parse_trees(paths: Sequence[Path]) -> Dict[str, ast.AST]:
+    """``{path: parsed tree}`` for every readable, parseable file."""
+    trees: Dict[str, ast.AST] = {}
+    for file in collect_files(paths):
+        try:
+            trees[str(file)] = ast.parse(file.read_text(), filename=str(file))
+        except (OSError, SyntaxError, UnicodeDecodeError):
+            continue
+    return trees
+
+
+def analyze_paths(paths: Sequence[Path]) -> List[Finding]:
+    """Analyze files/directories: per-file rules plus the whole-program
+    determinism and schema passes over the combined module set."""
+    return run_analysis(paths).findings
+
+
+@dataclass
+class LintRun:
+    """One full analysis: findings plus the accounting the CLI reports."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    files_analyzed: int = 0
+    files_cached: int = 0
+    baselined: int = 0
+    tree_cache_hit: bool = False
+    #: ``(path, message)`` per unreadable/unparseable input — exit code 2
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    *,
+    cache: Optional[LintCache] = None,
+    baseline_path: Optional[Path] = None,
+    schema_baseline: Optional[Path] = None,
+) -> LintRun:
+    """The full driver behind the CLI: incremental cache, suppressions,
+    whole-program passes, findings baseline.
+
+    Per-file results are served from ``cache`` by content hash; the
+    whole-program pass is served by the hash of the entire file set, so
+    a warm run over an unchanged tree parses nothing at all.
+    """
+    run = LintRun()
+    files = collect_files(paths)
+    run.files_scanned = len(files)
+
+    contents: Dict[str, bytes] = {}
     for file in files:
-        findings.extend(analyze_path(file))
-    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))
+        try:
+            contents[str(file)] = file.read_bytes()
+        except OSError as exc:
+            run.errors.append((str(file), f"cannot read: {exc}"))
+
+    hashes = {path: content_hash(data) for path, data in contents.items()}
+    per_file: Dict[str, Tuple[List[Finding], SuppressionTable, Set[int]]] = {}
+    trees: Dict[str, ast.AST] = {}
+    for path, data in contents.items():
+        key = hashes[path]
+        if cache is not None:
+            hit = cache.load_file(key, path)
+            if hit is not None:
+                findings, table, used = hit
+                per_file[path] = (findings, table, set(used))
+                run.files_cached += 1
+                continue
+        try:
+            source = data.decode("utf-8")
+            findings, table, used, tree = _analyze_module(source, path)
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            message = getattr(exc, "msg", None) or str(exc)
+            lineno = getattr(exc, "lineno", None)
+            where = f"line {lineno}: " if lineno else ""
+            run.errors.append((path, f"cannot parse: {where}{message}"))
+            continue
+        run.files_analyzed += 1
+        per_file[path] = (findings, table, used)
+        trees[path] = tree
+        if cache is not None:
+            cache.store_file(key, findings, table, sorted(used))
+
+    # ---- whole-program passes (determinism walk + schema drift) ------- #
+    canonical = {path: canonical_path(path) for path in per_file}
+    tree_key = tree_hash([(canonical[p], hashes[p]) for p in per_file])
+    project_findings: List[Finding] = []
+    project_used: Dict[str, Set[int]] = {}
+    served = None
+    if cache is not None:
+        reverse = {canon: path for path, canon in canonical.items()}
+        served = cache.load_tree(tree_key, reverse)
+    if served is not None:
+        project_findings, used_by_canon = served
+        run.tree_cache_hit = True
+        reverse = {canon: path for path, canon in canonical.items()}
+        for canon, lines in used_by_canon.items():
+            project_used[reverse.get(canon, canon)] = set(lines)
+    else:
+        for path in per_file:
+            if path not in trees:  # per-file cache hit: parse for the graph
+                try:
+                    trees[path] = ast.parse(contents[path].decode("utf-8"), filename=path)
+                except (SyntaxError, UnicodeDecodeError, ValueError):  # pragma: no cover
+                    continue  # cached as parseable; racing edit — skip
+        graph_trees = {path: tree for path, tree in trees.items() if path in per_file}
+        raw = check_determinism(build_program_graph(graph_trees))
+        raw += check_schema_drift(graph_trees, schema_baseline)
+        for finding in _sort(raw):
+            entry = per_file.get(finding.path)
+            table = entry[1] if entry else SuppressionTable({})
+            kept, used = apply_suppressions([finding], table, finding.path)
+            project_findings.extend(kept)
+            if used:
+                project_used.setdefault(finding.path, set()).update(used)
+        if cache is not None:
+            cache.store_tree(
+                tree_key,
+                project_findings,
+                {p: sorted(lines) for p, lines in project_used.items()},
+                canonical,
+            )
+
+    # ---- merge, unused suppressions, baseline ------------------------- #
+    findings: List[Finding] = []
+    for path, (file_findings, table, used) in per_file.items():
+        findings.extend(file_findings)
+        findings.extend(
+            unused_suppression_findings(
+                table, used | project_used.get(path, set()), path
+            )
+        )
+    findings.extend(project_findings)
+
+    if baseline_path is not None:
+        entries = load_baseline(baseline_path)
+        findings, run.baselined = apply_baseline(findings, entries, baseline_path)
+
+    run.findings = _sort(findings)
+    return run

@@ -1,0 +1,377 @@
+"""Module-level call graph for the whole-program determinism pass.
+
+The graph is built from the ASTs of every module in one lint run and
+resolved *lexically* — no imports are executed.  Nodes are qualified
+function names (``repro.core.clean:CleanStrategy.generate``); edges come
+from four call shapes the codebase actually uses:
+
+* ``helper(...)`` — a call to a function defined or imported (``from
+  repro.x import helper``) in the same module, including re-exports
+  chased through package ``__init__`` modules;
+* ``mod.helper(...)`` — an attribute call through an imported module
+  alias (``from repro import analysis`` / ``import repro.analysis as a``);
+* ``self.method(...)`` — a sibling method of the same class;
+* ``Cls(...)`` followed by ``obj.method(...)`` — instantiation edges to
+  ``Cls.__init__`` plus method edges through locals whose single
+  assignment is a resolvable constructor call.
+
+Entry points are the places where nondeterminism poisons shared state:
+``generate``/``run`` methods of ``Strategy`` subclasses, ``run``/
+``search``/``generate`` methods of classes with ``Search`` in the name,
+and functions registered as executor tasks via ``@register_task(...)``.
+
+Unresolvable calls (duck-typed receivers, higher-order dispatch) simply
+contribute no edge — the walk is conservative in the *under-approximate*
+direction, which is the right default for a linter: a finding is always
+anchored to a reachable hazard, never to a guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleGraph",
+    "ProgramGraph",
+    "build_program_graph",
+    "module_name_for",
+]
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Method names that make a ``Strategy`` subclass an analysis root.
+_STRATEGY_ENTRY_METHODS: FrozenSet[str] = frozenset({"generate", "run"})
+
+#: Method names that make a ``*Search*`` class an analysis root.
+_SEARCH_ENTRY_METHODS: FrozenSet[str] = frozenset({"generate", "run", "search"})
+
+
+def module_name_for(path: Path) -> str:
+    """A stable dotted name for ``path`` (graph node prefix).
+
+    Files under a ``repro`` package get their real import path
+    (``repro.core.clean``); anything else (benchmarks, examples,
+    fixtures) gets ``<parent-dir>.<stem>``, which is unique enough for
+    lexical resolution within one run.
+    """
+    parts = path.parts
+    if "repro" in parts:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = list(parts[start:])
+    else:
+        dotted = list(parts[-2:]) if len(parts) >= 2 else list(parts)
+    if dotted and dotted[-1].endswith(".py"):
+        dotted[-1] = dotted[-1][:-3]
+    if dotted and dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method: its AST plus the class context it lives in."""
+
+    qualname: str  # ``Cls.method`` or ``helper``
+    node: ast.AST
+    class_name: str = ""  # enclosing class, "" for module level
+    decorators: Tuple[str, ...] = ()
+
+
+@dataclass
+class ModuleGraph:
+    """One parsed module's symbols and lexical import environment."""
+
+    path: str
+    name: str
+    tree: ast.AST
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: local alias -> dotted module name (``import x.y as z``)
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local alias -> (dotted module, exported name) for ``from m import n``
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: class name -> base-class name strings (terminal attribute names)
+    class_bases: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, tree: ast.AST, path: str, name: str) -> "ModuleGraph":
+        mod = cls(path=path, name=name, tree=tree)
+        mod._collect_functions(tree, prefix="", class_name="")
+        mod._collect_imports()
+        return mod
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def _collect_functions(self, node: ast.AST, prefix: str, class_name: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FunctionNode):
+                qual = f"{prefix}{child.name}"
+                self.functions[qual] = FunctionInfo(
+                    qualname=qual,
+                    node=child,
+                    class_name=class_name,
+                    decorators=tuple(_decorator_names(child)),
+                )
+                self._collect_functions(child, prefix=f"{qual}.", class_name=class_name)
+            elif isinstance(child, ast.ClassDef):
+                self.class_bases[f"{prefix}{child.name}"] = tuple(
+                    _terminal_name(b) for b in child.bases
+                )
+                self._collect_functions(
+                    child, prefix=f"{prefix}{child.name}.", class_name=f"{prefix}{child.name}"
+                )
+            else:
+                self._collect_functions(child, prefix=prefix, class_name=class_name)
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.module_aliases[local] = alias.name if alias.asname else alias.name
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level:
+                    module = self._resolve_relative(node.level, module)
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (module, alias.name)
+
+    def _resolve_relative(self, level: int, module: str) -> str:
+        """Absolute dotted target of a ``from ...x import y``."""
+        base = self.name.split(".")
+        if Path(self.path).name != "__init__.py":
+            base = base[:-1]
+        base = base[: len(base) - (level - 1)] if level > 1 else base
+        return ".".join(base + ([module] if module else []))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def methods_of(self, class_name: str) -> Iterator[FunctionInfo]:
+        """Every function defined inside class ``class_name``."""
+        for info in self.functions.values():
+            if info.class_name == class_name:
+                yield info
+
+
+def _terminal_name(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Subscript):  # Generic[...] bases
+        return _terminal_name(expr.value)
+    return ""
+
+
+def _decorator_names(func: ast.AST) -> Iterator[str]:
+    for deco in getattr(func, "decorator_list", []):
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = _terminal_name(target)
+        if name:
+            yield name
+
+
+class ProgramGraph:
+    """Every module of one lint run plus the resolved call edges."""
+
+    def __init__(self, modules: Dict[str, ModuleGraph]) -> None:
+        self.modules = modules  # keyed by dotted module name
+        #: node id ``module:qualname`` -> callee node ids
+        self.edges: Dict[str, Set[str]] = {}
+        for mod in modules.values():
+            for info in mod.functions.values():
+                self.edges[self.node_id(mod, info)] = self._edges_of(mod, info)
+
+    @staticmethod
+    def node_id(mod: ModuleGraph, info: FunctionInfo) -> str:
+        return f"{mod.name}:{info.qualname}"
+
+    def function_at(self, node_id: str) -> Optional[Tuple[ModuleGraph, FunctionInfo]]:
+        """Resolve a ``module:qualname`` node id back to its definition."""
+        mod_name, _, qual = node_id.partition(":")
+        mod = self.modules.get(mod_name)
+        if mod is None:
+            return None
+        info = mod.functions.get(qual)
+        return (mod, info) if info is not None else None
+
+    # ------------------------------------------------------------------ #
+    # name resolution
+    # ------------------------------------------------------------------ #
+
+    def resolve_export(self, module: str, name: str) -> Optional[str]:
+        """Node id of ``module.name``, chasing ``__init__`` re-exports."""
+        seen: Set[Tuple[str, str]] = set()
+        while (module, name) not in seen:
+            seen.add((module, name))
+            mod = self.modules.get(module)
+            if mod is None:
+                return None
+            if name in mod.functions:
+                return f"{mod.name}:{name}"
+            if name in mod.class_bases:
+                # constructing/naming a class targets its __init__
+                init = f"{name}.__init__"
+                if init in mod.functions:
+                    return f"{mod.name}:{init}"
+                return f"{mod.name}:{name}"  # marker id; no function node
+            if name in mod.from_imports:
+                module, name = mod.from_imports[name]
+                continue
+            return None
+        return None
+
+    def resolve_class(self, mod: ModuleGraph, name: str) -> Optional[Tuple[ModuleGraph, str]]:
+        """(module, class name) for a class referenced as ``name`` in ``mod``."""
+        if name in mod.class_bases:
+            return mod, name
+        target = mod.from_imports.get(name)
+        seen: Set[Tuple[str, str]] = set()
+        while target is not None and target not in seen:
+            seen.add(target)
+            module, exported = target
+            owner = self.modules.get(module)
+            if owner is None:
+                return None
+            if exported in owner.class_bases:
+                return owner, exported
+            target = owner.from_imports.get(exported)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # edges
+    # ------------------------------------------------------------------ #
+
+    def _edges_of(self, mod: ModuleGraph, info: FunctionInfo) -> Set[str]:
+        edges: Set[str] = set()
+        local_types = _local_constructor_types(info.node)
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                callee = self._resolve_callable(mod, info, func.id)
+                if callee:
+                    edges.add(callee)
+            elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                owner, attr = func.value.id, func.attr
+                if owner == "self" and info.class_name:
+                    sibling = f"{info.class_name}.{attr}"
+                    if sibling in mod.functions:
+                        edges.add(f"{mod.name}:{sibling}")
+                    continue
+                if owner in mod.module_aliases:
+                    callee = self.resolve_export(mod.module_aliases[owner], attr)
+                    if callee:
+                        edges.add(callee)
+                    continue
+                if owner in local_types:
+                    resolved = self.resolve_class(mod, local_types[owner])
+                    if resolved is not None:
+                        owner_mod, cls = resolved
+                        method = f"{cls}.{attr}"
+                        if method in owner_mod.functions:
+                            edges.add(f"{owner_mod.name}:{method}")
+        # a constructor call also runs __init__ of the constructed class
+        for cls_name in set(local_types.values()):
+            resolved = self.resolve_class(mod, cls_name)
+            if resolved is not None:
+                owner_mod, cls = resolved
+                init = f"{cls}.__init__"
+                if init in owner_mod.functions:
+                    edges.add(f"{owner_mod.name}:{init}")
+        return edges
+
+    def _resolve_callable(self, mod: ModuleGraph, info: FunctionInfo, name: str) -> Optional[str]:
+        # nested helper of the same function, then module level
+        nested = f"{info.qualname}.{name}"
+        if nested in mod.functions:
+            return f"{mod.name}:{nested}"
+        if name in mod.functions:
+            return f"{mod.name}:{name}"
+        if name in mod.class_bases:
+            init = f"{name}.__init__"
+            return f"{mod.name}:{init}" if init in mod.functions else None
+        if name in mod.from_imports:
+            module, exported = mod.from_imports[name]
+            return self.resolve_export(module, exported)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # entry points + reachability
+    # ------------------------------------------------------------------ #
+
+    def entry_points(self) -> List[Tuple[str, str]]:
+        """``(node id, human label)`` for every analysis root."""
+        entries: List[Tuple[str, str]] = []
+        for mod in self.modules.values():
+            for cls, bases in mod.class_bases.items():
+                terminal = cls.rsplit(".", 1)[-1]
+                is_strategy = any(b == "Strategy" or b.endswith("Strategy") for b in bases)
+                is_search = "Search" in terminal
+                if not (is_strategy or is_search):
+                    continue
+                wanted = _STRATEGY_ENTRY_METHODS if is_strategy else _SEARCH_ENTRY_METHODS
+                for info in mod.methods_of(cls):
+                    method = info.qualname.rsplit(".", 1)[-1]
+                    if method in wanted:
+                        entries.append(
+                            (self.node_id(mod, info), f"{mod.name}.{info.qualname}")
+                        )
+            for info in mod.functions.values():
+                if "register_task" in info.decorators:
+                    entries.append(
+                        (self.node_id(mod, info), f"task `{info.qualname}` ({mod.name})")
+                    )
+        return sorted(set(entries))
+
+    def reachable_from(self, entries: Sequence[Tuple[str, str]]) -> Dict[str, str]:
+        """``node id -> label of the first entry point that reaches it``."""
+        reached: Dict[str, str] = {}
+        for node_id, label in entries:
+            stack = [node_id]
+            while stack:
+                current = stack.pop()
+                if current in reached:
+                    continue
+                reached[current] = label
+                stack.extend(sorted(self.edges.get(current, ())))
+        return reached
+
+
+def _local_constructor_types(func: ast.AST) -> Dict[str, str]:
+    """Locals whose single assignment is ``Name = ClassLikeName(...)``."""
+    assigned: Dict[str, Optional[str]] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            cls: Optional[str] = None
+            value = node.value
+            if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+                if value.func.id[:1].isupper():
+                    cls = value.func.id
+            if target.id in assigned and assigned[target.id] != cls:
+                assigned[target.id] = None  # conflicting assignments: unknown
+            else:
+                assigned[target.id] = cls
+    return {name: cls for name, cls in assigned.items() if cls}
+
+
+def build_program_graph(trees: Dict[str, ast.AST]) -> ProgramGraph:
+    """Build the graph from ``{file path: parsed tree}``."""
+    modules: Dict[str, ModuleGraph] = {}
+    for path, tree in trees.items():
+        name = module_name_for(Path(path))
+        if name in modules:  # two files mapping to one name: keep the first
+            continue
+        modules[name] = ModuleGraph.parse(tree, path, name)
+    return ProgramGraph(modules)

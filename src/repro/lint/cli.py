@@ -1,17 +1,24 @@
-"""The ``repro-lint`` command line: model-compliance checks, no execution.
+"""The ``repro-lint`` command line: whole-program static analysis.
 
 Usage::
 
     repro-lint path/to/protocol.py other/dir/   # lint user protocols
-    repro-lint --self                           # lint this repo's protocols
-    repro-lint --self --strict                  # ... failing CI on findings
-    repro-lint --format json my_protocol.py     # machine-readable report
+    repro-lint --self                           # lint this repo (src + benchmarks + examples)
+    repro-lint --format sarif --self            # CI code-scanning output
+    repro-lint --self --write-baseline          # accept current findings
+    repro-lint --self --no-cache                # bypass the incremental cache
     repro-lint --list-rules                     # print the rule registry
 
-Exit codes: ``0`` clean (or findings without ``--strict`` — advisory
-mode), ``1`` findings under ``--strict``, ``2`` bad invocation or
-unparseable input.  The same checks are reachable as ``repro-search
-lint ...``.
+Exit codes: ``0`` clean, ``1`` findings reported, ``2`` bad invocation or
+unreadable/unparseable input.  ``repro-search lint`` accepts exactly the
+same flags (both parsers are built by :func:`add_lint_arguments`) and
+returns the same exit codes.
+
+The committed findings baseline (``.repro-lint-baseline.json``) is
+applied automatically under ``--self`` when present; ``--no-baseline``
+shows the raw findings, ``--baseline PATH`` points at a different file.
+The incremental cache (``.repro-cache/lint`` or ``$REPRO_LINT_CACHE``)
+is on by default; a warm run over an unchanged tree analyzes 0 files.
 """
 
 from __future__ import annotations
@@ -21,49 +28,86 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.lint.analyzer import (
-    analyze_paths,
-    exec_dir,
-    fastpath_dir,
-    obs_dir,
-    protocols_dir,
-)
+from repro.lint.analyzer import parse_trees, run_analysis, self_paths
+from repro.lint.baseline import default_baseline_path, write_baseline
+from repro.lint.cache import LintCache
 from repro.lint.reporters import render_json, render_rules, render_text
+from repro.lint.sarif import render_sarif
+from repro.lint.schema import write_schema_baseline
 
-__all__ = ["main", "build_parser", "run_lint"]
+__all__ = ["main", "build_parser", "run_lint", "add_lint_arguments"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The ``repro-lint`` argument parser (exposed for the tests)."""
-    parser = argparse.ArgumentParser(
-        prog="repro-lint",
-        description=(
-            "Static model-compliance analyzer for repro agent protocols "
-            "(see docs/LINTING.md for the rule codes)"
-        ),
-    )
+def add_lint_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the lint flags to ``parser``.
+
+    This is the single definition of the lint interface — ``repro-lint``
+    and ``repro-search lint`` both call it, so the two can never drift.
+    """
     parser.add_argument(
-        "paths", nargs="*", help="protocol files or directories to analyze"
+        "paths", nargs="*", help="files or directories to analyze"
     )
     parser.add_argument(
         "--self",
         dest="self_check",
         action="store_true",
         help=(
-            "analyze this repository's own protocol implementations and "
-            "the observability/executor/fast-path layers' import hygiene"
+            "analyze this repository's own code: all of src/repro plus "
+            "benchmarks/ and examples/"
         ),
     )
     parser.add_argument(
         "--strict",
         action="store_true",
-        help="exit 1 when any finding is reported (CI gate mode)",
+        help=argparse.SUPPRESS,  # deprecated no-op: findings always exit 1
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "findings baseline to apply (default: .repro-lint-baseline.json "
+            "when it exists and --self is given)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report raw findings, ignoring any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings: write them as the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="incremental lint cache directory (default: .repro-cache/lint "
+        "or $REPRO_LINT_CACHE)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="analyze everything from scratch, ignoring the lint cache",
+    )
+    parser.add_argument(
+        "--update-schema-baseline",
+        action="store_true",
+        help=(
+            "refresh src/repro/lint/schema_baseline.json from the current "
+            "format declarations and exit (run after a deliberate layout "
+            "change with its version bump)"
+        ),
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule registry and exit"
@@ -71,36 +115,91 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser (exposed for the tests)."""
+    return add_lint_arguments(
+        argparse.ArgumentParser(
+            prog="repro-lint",
+            description=(
+                "Static determinism, concurrency-safety, and model-compliance "
+                "analyzer for the repro codebase "
+                "(see docs/LINTING.md for the rule codes)"
+            ),
+        )
+    )
+
+
+def _resolve_paths(args: argparse.Namespace) -> Optional[List[Path]]:
+    paths: List[Path] = [Path(p) for p in args.paths]
+    if args.self_check:
+        paths.extend(self_paths())
+    if not paths:
+        print("repro-lint: no paths given (try --self or --list-rules)", file=sys.stderr)
+        return None
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"repro-lint: no such path: {p}", file=sys.stderr)
+        return None
+    return paths
+
+
+def _baseline_for(args: argparse.Namespace) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    default = default_baseline_path()
+    if args.self_check and default.exists():
+        return default
+    return None
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation (shared with ``repro-search lint``)."""
     if args.list_rules:
         print(render_rules())
         return 0
-    paths: List[Path] = [Path(p) for p in args.paths]
-    if args.self_check:
-        paths.append(protocols_dir())
-        paths.append(obs_dir())
-        paths.append(exec_dir())
-        paths.append(fastpath_dir())
-    if not paths:
-        print("repro-lint: no paths given (try --self or --list-rules)", file=sys.stderr)
+    paths = _resolve_paths(args)
+    if paths is None:
         return 2
-    missing = [p for p in paths if not p.exists()]
-    if missing:
-        for p in missing:
-            print(f"repro-lint: no such path: {p}", file=sys.stderr)
+
+    if args.update_schema_baseline:
+        target = write_schema_baseline(parse_trees(paths))
+        print(f"repro-lint: schema baseline updated: {target}")
+        return 0
+
+    cache = None if args.no_cache else LintCache(args.cache_dir)
+
+    if args.write_baseline:
+        # Raw findings (no baseline applied) become the accepted set.
+        run = run_analysis(paths, cache=cache, baseline_path=None)
+        if run.errors:
+            for path, message in run.errors:
+                print(f"repro-lint: {path}: {message}", file=sys.stderr)
+            return 2
+        target = args.baseline if args.baseline is not None else default_baseline_path()
+        write_baseline(run.findings, target)
+        print(
+            f"repro-lint: baseline written: {target} "
+            f"({len(run.findings)} accepted finding(s))"
+        )
+        return 0
+
+    run = run_analysis(paths, cache=cache, baseline_path=_baseline_for(args))
+    for path, message in run.errors:
+        print(f"repro-lint: {path}: {message}", file=sys.stderr)
+
+    if args.format == "sarif":
+        print(render_sarif(run.findings, run.files_scanned))
+    elif args.format == "json":
+        print(render_json(run.findings, run.files_scanned, run=run))
+    else:
+        print(render_text(run.findings, run.files_scanned, run=run))
+
+    if run.errors:
         return 2
-    try:
-        findings = analyze_paths(paths)
-    except SyntaxError as exc:
-        print(f"repro-lint: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}", file=sys.stderr)
-        return 2
-    files_scanned = sum(
-        len(list(p.rglob("*.py"))) if p.is_dir() else 1 for p in paths
-    )
-    render = render_json if args.format == "json" else render_text
-    print(render(findings, files_scanned))
-    return 1 if (findings and args.strict) else 0
+    return 1 if run.findings else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,171 @@
+"""Concurrency-safety rules RPR340/RPR350: the atomic-publish idiom.
+
+The shared-directory stores built in PRs 4–5 — the content-addressed
+:class:`~repro.fastpath.cache.ScheduleCache`, executor checkpoints and
+their merged manifests — are only crash-safe because every *whole-file*
+write goes through ``tempfile.mkstemp(dir=<destination dir>)`` followed
+by ``os.replace``: concurrent workers each publish a complete blob and
+readers never observe a torn one.  Nothing enforced that until now; one
+bare ``open(path, "w")`` on a cache path re-introduces the torn-read
+window on every worker at once.
+
+Both rules are structural and *function-local* (matching how the idiom
+is actually written), and apply only to modules inside ``fastpath``/
+``exec`` package directories — the layers that write shared state:
+
+* **RPR340** — a whole-file write (``open`` with a ``w``/``x`` mode,
+  ``Path.write_bytes``/``write_text``) in a function with no
+  ``os.replace``/``os.rename`` publish step.  Append modes are exempt:
+  JSONL logs are torn-tail tolerant by design (the checkpoint reader
+  proves it).
+* **RPR350** — a staging tmp file (``mkstemp``/``NamedTemporaryFile``/
+  ``TemporaryFile``) created without ``dir=`` in a function that *does*
+  publish via ``os.replace``: ``$TMPDIR`` may live on another
+  filesystem, where the rename raises ``EXDEV`` and any copy fallback
+  is no longer atomic.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import FrozenSet, List, Optional
+
+from repro.lint.rules import Finding
+
+__all__ = ["check_concurrency"]
+
+#: modes that truncate/create — the whole-file writes RPR340 governs
+_WHOLE_FILE_MODES: FrozenSet[str] = frozenset({"w", "wb", "w+", "wb+", "w+b", "x", "xb"})
+
+_TMP_FACTORIES: FrozenSet[str] = frozenset(
+    {"mkstemp", "NamedTemporaryFile", "TemporaryFile", "mktemp"}
+)
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _applies_to(path: str) -> bool:
+    parts = Path(path).parts
+    return "fastpath" in parts or "exec" in parts
+
+
+def _call_attr(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return ""
+
+
+def _literal_mode(call: ast.Call) -> Optional[str]:
+    """The mode argument of an ``open(...)`` call, when statically known."""
+    mode: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    elif isinstance(call.func, ast.Attribute) and call.args:
+        # Path.open(mode) — the receiver is the path
+        mode = call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return "r" if isinstance(call.func, ast.Attribute) or call.args else None
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None  # dynamic mode: give the benefit of the doubt
+
+
+def _is_open_call(call: ast.Call) -> bool:
+    if isinstance(call.func, ast.Name):
+        return call.func.id == "open"
+    return isinstance(call.func, ast.Attribute) and call.func.attr == "open"
+
+
+def _publishes_atomically(func: ast.AST) -> bool:
+    """Whether ``func`` contains an ``os.replace``/``os.rename`` call."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            attr = _call_attr(node)
+            if attr in {"replace", "rename"}:
+                target = node.func
+                if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+                    if target.value.id == "os":
+                        return True
+                if isinstance(target, ast.Name):  # from os import replace
+                    return True
+    return False
+
+
+def _has_dir_kwarg(call: ast.Call) -> bool:
+    return any(kw.arg == "dir" for kw in call.keywords)
+
+
+def check_concurrency(tree: ast.AST, path: str) -> List[Finding]:
+    """RPR340/RPR350 over one ``fastpath``/``exec`` module."""
+    if not _applies_to(path):
+        return []
+    findings: List[Finding] = []
+
+    def finding(code: str, node: ast.AST, message: str, symbol: str) -> Finding:
+        return Finding(
+            code=code,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            symbol=symbol,
+        )
+
+    functions = [n for n in ast.walk(tree) if isinstance(n, _FunctionNode)]
+    for func in functions:
+        atomic = _publishes_atomically(func)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if not atomic:
+                if _is_open_call(node):
+                    mode = _literal_mode(node)
+                    if mode is not None and mode in _WHOLE_FILE_MODES:
+                        findings.append(
+                            finding(
+                                "RPR340",
+                                node,
+                                f"whole-file `open(..., {mode!r})` with no "
+                                "`os.replace` publish in this function — a "
+                                "crash or concurrent reader observes a torn "
+                                "file; write a `tempfile.mkstemp(dir=...)` "
+                                "sibling and `os.replace` it into place",
+                                func.name,
+                            )
+                        )
+                elif isinstance(node.func, ast.Attribute) and node.func.attr in {
+                    "write_bytes",
+                    "write_text",
+                }:
+                    findings.append(
+                        finding(
+                            "RPR340",
+                            node,
+                            f"`{node.func.attr}` rewrites the whole file in "
+                            "place with no `os.replace` publish in this "
+                            "function — stage the bytes in a "
+                            "`tempfile.mkstemp(dir=...)` sibling and "
+                            "`os.replace` it into place",
+                            func.name,
+                        )
+                    )
+            else:
+                if _call_attr(node) in _TMP_FACTORIES and not _has_dir_kwarg(node):
+                    findings.append(
+                        finding(
+                            "RPR350",
+                            node,
+                            f"`{_call_attr(node)}` without `dir=` stages the "
+                            "tmp file in `$TMPDIR`, which may be another "
+                            "filesystem — `os.replace` would raise `EXDEV`; "
+                            "pass `dir=<destination directory>`",
+                            func.name,
+                        )
+                    )
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))

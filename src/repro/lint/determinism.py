@@ -1,0 +1,290 @@
+"""Interprocedural determinism rules RPR300–RPR330.
+
+The content-addressed :class:`~repro.fastpath.cache.ScheduleCache` is
+sound only if schedule generation is a *pure function* of the
+fingerprint inputs (strategy name/version/params, dimension).  One
+unseeded ``random.random()``, one ``time.time()``, one iteration over a
+``set`` on the path from a :class:`~repro.core.strategy.Strategy` entry
+point to the emitted moves, and two workers publish different blobs
+under the same fingerprint — the cache then serves whichever won the
+race, silently, forever.
+
+This pass scans every function for *hazard sites* (the four rule
+families below), builds the lexical call graph
+(:mod:`repro.lint.callgraph`), and reports only the hazards reachable
+from a schedule entry point — a benchmark timing itself with
+``time.perf_counter`` or the CLI reading ``$REPRO_SCHEDULE_CACHE`` is
+not a finding; the same read inside code a ``Strategy.generate`` can
+reach is.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.callgraph import FunctionInfo, ModuleGraph, ProgramGraph
+from repro.lint.rules import Finding
+
+__all__ = ["Hazard", "check_determinism", "scan_function_hazards"]
+
+#: value-producing functions of the process-global ``random`` module
+_RANDOM_FNS: FrozenSet[str] = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "shuffle",
+        "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+    }
+)
+
+_CLOCK_FNS: FrozenSet[str] = frozenset({"time", "time_ns"})
+_DATETIME_FNS: FrozenSet[str] = frozenset({"now", "utcnow", "today"})
+_ORDERING_SORTERS: FrozenSet[str] = frozenset({"sorted", "min", "max", "sort"})
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One potential determinism violation at one AST node."""
+
+    code: str
+    node: ast.AST
+    message: str
+
+
+class _ImportEnv:
+    """Which local names denote ``random``/``time``/``datetime``/``os``."""
+
+    def __init__(self, mod: ModuleGraph) -> None:
+        self.random_modules: Set[str] = set()
+        self.random_names: Dict[str, str] = {}  # local alias -> original name
+        self.time_modules: Set[str] = set()
+        self.time_names: Set[str] = set()
+        self.datetime_modules: Set[str] = set()
+        self.datetime_classes: Set[str] = set()  # datetime/date class aliases
+        self.os_modules: Set[str] = set()
+        self.environ_names: Set[str] = set()
+        self.getenv_names: Set[str] = set()
+        for local, dotted in mod.module_aliases.items():
+            top = dotted.split(".")[0]
+            if top == "random":
+                self.random_modules.add(local)
+            elif top == "time":
+                self.time_modules.add(local)
+            elif top == "datetime":
+                self.datetime_modules.add(local)
+            elif top == "os":
+                self.os_modules.add(local)
+        for local, (module, name) in mod.from_imports.items():
+            if module == "random" and (name in _RANDOM_FNS or name in {"Random", "SystemRandom"}):
+                self.random_names[local] = name
+            elif module == "time" and name in _CLOCK_FNS:
+                self.time_names.add(local)
+            elif module == "datetime" and name in {"datetime", "date"}:
+                self.datetime_classes.add(local)
+            elif module == "os" and name == "environ":
+                self.environ_names.add(local)
+            elif module == "os" and name == "getenv":
+                self.getenv_names.add(local)
+
+    def is_datetime_class(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in self.datetime_classes
+        return (
+            isinstance(expr, ast.Attribute)
+            and expr.attr in {"datetime", "date"}
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in self.datetime_modules
+        )
+
+    def is_environ(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in self.environ_names
+        return (
+            isinstance(expr, ast.Attribute)
+            and expr.attr == "environ"
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in self.os_modules
+        )
+
+
+def _iter_own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func``'s body without descending into nested functions —
+    nested helpers are separate call-graph nodes scanned on their own."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _rng_hazard(call: ast.Call, env: _ImportEnv) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id in env.random_modules:
+            if func.attr in _RANDOM_FNS:
+                return (
+                    f"draws from the process-global RNG (`random.{func.attr}`); "
+                    "every worker holds a differently-seeded copy"
+                )
+            if func.attr == "Random" and not call.args and not call.keywords:
+                return "`random.Random()` without a seed falls back to OS entropy"
+            if func.attr == "SystemRandom":
+                return "`random.SystemRandom` is OS entropy and can never replay"
+    elif isinstance(func, ast.Name) and func.id in env.random_names:
+        original = env.random_names[func.id]
+        if original == "Random":
+            if not call.args and not call.keywords:
+                return "`Random()` without a seed falls back to OS entropy"
+            return None
+        if original == "SystemRandom":
+            return "`SystemRandom` is OS entropy and can never replay"
+        return (
+            f"draws from the process-global RNG (`{original}` imported "
+            "from `random`)"
+        )
+    return None
+
+
+def _clock_hazard(call: ast.Call, env: _ImportEnv) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id in env.time_modules
+            and func.attr in _CLOCK_FNS
+        ):
+            return f"reads the wall clock via `time.{func.attr}`"
+        if func.attr in _DATETIME_FNS and env.is_datetime_class(func.value):
+            return f"reads the wall clock via `datetime.{func.attr}()`"
+    elif isinstance(func, ast.Name) and func.id in env.time_names:
+        return f"reads the wall clock via `{func.id}` imported from `time`"
+    return None
+
+
+def _env_hazards(node: ast.AST, env: _ImportEnv) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "get" and env.is_environ(func.value):
+            return "reads `os.environ.get(...)`"
+        if isinstance(func, ast.Name) and func.id in env.getenv_names:
+            return "reads `os.getenv(...)`"
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "getenv"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in env.os_modules
+        ):
+            return "reads `os.getenv(...)`"
+    elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+        if env.is_environ(node.value):
+            return "reads `os.environ[...]`"
+    return None
+
+
+def _is_set_expr(expr: ast.expr, set_locals: Set[str]) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in {"set", "frozenset"}
+    return isinstance(expr, ast.Name) and expr.id in set_locals
+
+
+def _set_typed_locals(func: ast.AST) -> Set[str]:
+    """Locals every assignment of which is a set expression."""
+    candidates: Dict[str, bool] = {}
+    for node in _iter_own_nodes(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                is_set = _is_set_expr(node.value, set())
+                previous = candidates.get(target.id)
+                candidates[target.id] = is_set if previous is None else (previous and is_set)
+    return {name for name, is_set in candidates.items() if is_set}
+
+
+def _ordering_hazards(func: ast.AST, env: _ImportEnv) -> Iterator[Tuple[ast.AST, str]]:
+    set_locals = _set_typed_locals(func)
+    for node in _iter_own_nodes(func):
+        iters: List[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if _is_set_expr(it, set_locals):
+                yield (
+                    it,
+                    "iterates a `set` — element order varies with "
+                    "PYTHONHASHSEED; wrap the iterable in `sorted(...)`",
+                )
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name) and node.func.id in _ORDERING_SORTERS:
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute) and node.func.attr == "sort":
+                name = "sort"
+            if name:
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "key"
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id in {"id", "hash"}
+                    ):
+                        yield (
+                            kw.value,
+                            f"orders by `{kw.value.id}()` — object identity/"
+                            "hash varies per interpreter run",
+                        )
+
+
+def scan_function_hazards(mod: ModuleGraph, info: FunctionInfo) -> List[Hazard]:
+    """Every determinism hazard site in one function body."""
+    env = _ImportEnv(mod)
+    hazards: List[Hazard] = []
+    for node in _iter_own_nodes(info.node):
+        if isinstance(node, ast.Call):
+            message = _rng_hazard(node, env)
+            if message:
+                hazards.append(Hazard("RPR300", node, message))
+            message = _clock_hazard(node, env)
+            if message:
+                hazards.append(Hazard("RPR310", node, message))
+        message = _env_hazards(node, env)
+        if message:
+            hazards.append(Hazard("RPR320", node, message))
+    for node, message in _ordering_hazards(info.node, env):
+        hazards.append(Hazard("RPR330", node, message))
+    return hazards
+
+
+def check_determinism(graph: ProgramGraph) -> List[Finding]:
+    """RPR300–RPR330 over every entry-point-reachable function."""
+    entries = graph.entry_points()
+    if not entries:
+        return []
+    reached = graph.reachable_from(entries)
+    findings: List[Finding] = []
+    for node_id in sorted(reached):
+        located = graph.function_at(node_id)
+        if located is None:
+            continue
+        mod, info = located
+        for hazard in scan_function_hazards(mod, info):
+            findings.append(
+                Finding(
+                    code=hazard.code,
+                    path=mod.path,
+                    line=getattr(hazard.node, "lineno", 1),
+                    column=getattr(hazard.node, "col_offset", 0) + 1,
+                    message=(
+                        f"{hazard.message} — schedule content must be a pure "
+                        "function of the cache fingerprint (reachable from "
+                        f"{reached[node_id]})"
+                    ),
+                    symbol=info.qualname,
+                )
+            )
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))

@@ -22,14 +22,31 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Any, Dict, List, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.lint.rules import RULES, Finding
+
+if TYPE_CHECKING:  # circular at runtime: analyzer imports nothing from here
+    from repro.lint.analyzer import LintRun
 
 __all__ = ["render_text", "render_json", "json_payload", "render_rules"]
 
 
-def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
+def _cache_note(run: "Optional[LintRun]") -> str:
+    if run is None:
+        return ""
+    note = f" ({run.files_analyzed} analyzed, {run.files_cached} from cache"
+    if run.baselined:
+        note += f", {run.baselined} baselined"
+    return note + ")"
+
+
+def render_text(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    *,
+    run: "Optional[LintRun]" = None,
+) -> str:
     """The human report: one anchored line per finding plus a summary."""
     lines = [
         f"{f.anchor()}: {f.code} [{f.rule.name}] {f.message}"
@@ -42,17 +59,32 @@ def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
         breakdown = ", ".join(f"{code} x{n}" for code, n in sorted(counts.items()))
         lines.append(
             f"{len(findings)} finding(s) in {files_scanned} {noun}: {breakdown}"
+            + _cache_note(run)
         )
     else:
-        lines.append(f"clean: no findings in {files_scanned} {noun}")
+        lines.append(f"clean: no findings in {files_scanned} {noun}" + _cache_note(run))
     return "\n".join(lines)
 
 
-def json_payload(findings: Sequence[Finding], files_scanned: int) -> Dict[str, Any]:
+def json_payload(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    *,
+    run: "Optional[LintRun]" = None,
+) -> Dict[str, Any]:
     """The JSON report as a plain dict (schema above)."""
     return {
         "version": 1,
         "files_scanned": files_scanned,
+        **(
+            {
+                "files_analyzed": run.files_analyzed,
+                "files_cached": run.files_cached,
+                "baselined": run.baselined,
+            }
+            if run is not None
+            else {}
+        ),
         "findings": [
             {
                 "code": f.code,
@@ -72,9 +104,14 @@ def json_payload(findings: Sequence[Finding], files_scanned: int) -> Dict[str, A
     }
 
 
-def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
+def render_json(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    *,
+    run: "Optional[LintRun]" = None,
+) -> str:
     """The JSON report, serialized with stable key order."""
-    return json.dumps(json_payload(findings, files_scanned), indent=2)
+    return json.dumps(json_payload(findings, files_scanned, run=run), indent=2)
 
 
 def render_rules() -> str:

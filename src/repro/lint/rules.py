@@ -16,7 +16,7 @@ detection hook there, without touching the reporters or the CLI.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 __all__ = ["Rule", "Finding", "RULES", "rule"]
 
@@ -37,6 +37,24 @@ class Rule:
 
 
 _RULE_TABLE: Tuple[Rule, ...] = (
+    Rule(
+        code="RPR010",
+        name="unused-suppression",
+        summary=(
+            "an inline `# repro-lint: disable=...` comment suppresses a rule "
+            "that reports nothing on that line — stale suppressions hide "
+            "future regressions, so they are removed when the finding is"
+        ),
+    ),
+    Rule(
+        code="RPR011",
+        name="stale-baseline-entry",
+        summary=(
+            "a baseline entry matches no current finding — the violation was "
+            "fixed, so the entry is deleted (the ratchet only tightens; "
+            "regenerate with `--write-baseline` after removing entries)"
+        ),
+    ),
     Rule(
         code="RPR100",
         name="missing-model-declaration",
@@ -136,6 +154,85 @@ _RULE_TABLE: Tuple[Rule, ...] = (
             "import cycle"
         ),
     ),
+    Rule(
+        code="RPR300",
+        name="nondeterministic-rng",
+        summary=(
+            "code reachable from a schedule entry point (`Strategy.generate`/"
+            "`run`, a `Search`, a registered exec task) draws from the "
+            "process-global `random` module or an unseeded `random.Random()` "
+            "— two workers would compute different schedules for the same "
+            "`ScheduleCache` fingerprint; use `random.Random(seed)` with a "
+            "seed derived from the cache-key params"
+        ),
+    ),
+    Rule(
+        code="RPR310",
+        name="wall-clock-read",
+        summary=(
+            "code reachable from a schedule entry point reads the wall clock "
+            "(`time.time`, `time.time_ns`, bare `datetime.now`/`utcnow`/"
+            "`today`) — schedule content must be a pure function of the "
+            "cache-fingerprint inputs, never of when it was generated"
+        ),
+    ),
+    Rule(
+        code="RPR320",
+        name="env-dependent-value",
+        summary=(
+            "code reachable from a schedule entry point reads `os.environ`/"
+            "`os.getenv` — workers with different environments would publish "
+            "different blobs under one fingerprint; thread configuration "
+            "through explicit parameters that participate in the cache key"
+        ),
+    ),
+    Rule(
+        code="RPR330",
+        name="unstable-iteration-order",
+        summary=(
+            "code reachable from a schedule entry point iterates a `set`/"
+            "`frozenset` or orders by `id()`/`hash()` — both vary between "
+            "interpreter runs (PYTHONHASHSEED, allocation addresses), so "
+            "move order would differ per worker; wrap in `sorted(...)` with "
+            "a value-based key"
+        ),
+    ),
+    Rule(
+        code="RPR340",
+        name="bare-shared-write",
+        summary=(
+            "a `fastpath`/`exec` module writes a whole file with bare "
+            "`open(..., 'w')`/`write_bytes`/`write_text` and no "
+            "`os.replace` publish in the same function — a crash or a "
+            "concurrent reader observes a torn file; write to a "
+            "`tempfile.mkstemp` sibling and `os.replace` it into place "
+            "(append-mode logs are exempt: they are torn-tail tolerant by "
+            "design)"
+        ),
+    ),
+    Rule(
+        code="RPR350",
+        name="tmpfile-not-colocated",
+        summary=(
+            "a `fastpath`/`exec` module creates its staging tmp file "
+            "without `dir=` next to the `os.replace` destination — "
+            "`$TMPDIR` may be another filesystem, where `os.replace` "
+            "raises `EXDEV` and any copy fallback is no longer atomic; "
+            "pass `dir=<destination directory>`"
+        ),
+    ),
+    Rule(
+        code="RPR360",
+        name="schema-drift-without-version-bump",
+        summary=(
+            "the declared `CompiledSchedule` column layout or the "
+            "checkpoint record schema changed but its format-version tag "
+            "did not — old on-disk blobs would decode under the new layout "
+            "(or vice versa) instead of missing cleanly; bump the version "
+            "tag, then refresh the committed schema baseline with "
+            "`--update-schema-baseline`"
+        ),
+    ),
 )
 
 #: The registry, keyed by stable code.
@@ -166,3 +263,31 @@ class Finding:
     def anchor(self) -> str:
         """``file:line:col`` — the clickable location prefix."""
         return f"{self.path}:{self.line}:{self.column}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (the lint cache's on-disk record)."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any], path: Optional[str] = None) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output.
+
+        ``path`` overrides the stored path: cache entries are addressed by
+        file *content*, so the same entry may be replayed for the same
+        bytes reached via a different path spelling.
+        """
+        return Finding(
+            code=str(data["code"]),
+            path=path if path is not None else str(data["path"]),
+            line=int(data["line"]),
+            column=int(data["column"]),
+            message=str(data["message"]),
+            symbol=str(data.get("symbol", "")),
+        )

@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 output: CI code-scanning annotations from ``repro-lint``.
+
+One run object, the full rule registry in ``tool.driver.rules`` (so
+viewers can show rule help for codes with zero current results), one
+``result`` per finding with a physical location.  Paths are emitted
+repo-relative where possible — SARIF consumers resolve
+``artifactLocation.uri`` against the checkout root.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.baseline import canonical_path
+from repro.lint.rules import RULES, Finding
+
+__all__ = ["render_sarif", "sarif_payload"]
+
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: advisory codes annotate as warnings; everything else is an error
+_WARNING_CODES = frozenset({"RPR010", "RPR011", "RPR104"})
+
+
+def _rule_descriptor(code: str) -> Dict[str, Any]:
+    rule = RULES[code]
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name.replace("-", " ")},
+        "fullDescription": {"text": rule.summary},
+        "defaultConfiguration": {
+            "level": "warning" if code in _WARNING_CODES else "error"
+        },
+    }
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.code,
+        "ruleIndex": sorted(RULES).index(finding.code),
+        "level": "warning" if finding.code in _WARNING_CODES else "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": canonical_path(finding.path),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column,
+                    },
+                }
+            }
+        ],
+        **({"logicalLocations": [{"name": finding.symbol}]} if finding.symbol else {}),
+    }
+
+
+def sarif_payload(findings: Sequence[Finding], files_scanned: int) -> Dict[str, Any]:
+    """The SARIF log as a plain dict."""
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [_rule_descriptor(code) for code in sorted(RULES)],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "properties": {"filesScanned": files_scanned},
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding], files_scanned: int) -> str:
+    """The SARIF log, serialized."""
+    return json.dumps(sarif_payload(findings, files_scanned), indent=2)

@@ -1,0 +1,131 @@
+"""Inline suppressions: ``# repro-lint: disable=RPR320[,RPR330]``.
+
+A suppression is an *audited exception*, so it is deliberately narrow:
+it covers exactly one line (the line it sits on, or — for a
+comment-only line — the next line that holds code), and exactly the
+codes it names.  ``disable=all`` is accepted for generated files.
+
+Every suppression must earn its keep: one that masks nothing on its
+line is itself reported (RPR010, *unused-suppression*), so stale
+exceptions are removed the moment the underlying finding is fixed —
+the same ratchet discipline as the findings baseline.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from io import StringIO
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.lint.rules import Finding
+
+__all__ = ["SuppressionTable", "apply_suppressions", "unused_suppression_findings"]
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s*]+)")
+
+
+class SuppressionTable:
+    """Per-file map of ``line -> frozenset of suppressed codes``.
+
+    ``"all"`` (or ``*``) suppresses every code on that line.
+    """
+
+    def __init__(
+        self,
+        by_line: Dict[int, FrozenSet[str]],
+        directive_lines: Dict[int, int] | None = None,
+    ) -> None:
+        self.by_line = by_line
+        #: covered line -> physical line of the directive comment
+        self._directive_lines = directive_lines or {}
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionTable":
+        try:
+            tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return cls({})
+        code_lines: Set[int] = set()
+        directives: List[Tuple[int, FrozenSet[str]]] = []
+        for tok in tokens:
+            line = tok.start[0]
+            if tok.type == tokenize.COMMENT:
+                match = _DIRECTIVE.search(tok.string)
+                if match:
+                    codes = frozenset(
+                        c.strip().upper().replace("*", "ALL")
+                        for c in match.group(1).split(",")
+                        if c.strip()
+                    )
+                    directives.append((line, codes))
+            elif tok.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                code_lines.add(line)
+        by_line: Dict[int, FrozenSet[str]] = {}
+        directive_lines: Dict[int, int] = {}
+        for line, codes in directives:
+            if line in code_lines:
+                anchor = line  # trailing comment: covers its own line
+            else:  # comment-only line: covers the next line holding code
+                anchor = min((c for c in code_lines if c > line), default=line)
+            by_line[anchor] = by_line.get(anchor, frozenset()) | codes
+            directive_lines[anchor] = line
+        return cls(by_line, directive_lines)
+
+    def directive_line(self, covered_line: int) -> int:
+        """The physical line of the directive covering ``covered_line``."""
+        return self._directive_lines.get(covered_line, covered_line)
+
+    def covers(self, line: int, code: str) -> bool:
+        """True when a directive on (or anchored to) ``line`` names ``code``."""
+        codes = self.by_line.get(line)
+        return bool(codes) and (code.upper() in codes or "ALL" in codes)
+
+    def lines(self) -> Iterable[int]:
+        """Every covered line (the anchor, not the physical comment line)."""
+        return self.by_line.keys()
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], table: SuppressionTable, path: str
+) -> Tuple[List[Finding], Set[int]]:
+    """(findings that survive, covered lines whose suppression was used)."""
+    kept: List[Finding] = []
+    used: Set[int] = set()
+    for finding in findings:
+        if finding.path == path and table.covers(finding.line, finding.code):
+            used.add(finding.line)
+        else:
+            kept.append(finding)
+    return kept, used
+
+
+def unused_suppression_findings(
+    table: SuppressionTable, used_lines: Set[int], path: str
+) -> List[Finding]:
+    """RPR010 findings for every directive whose line masked nothing."""
+    findings = []
+    for line in sorted(table.lines()):
+        if line in used_lines:
+            continue
+        codes = ", ".join(sorted(table.by_line[line]))
+        findings.append(
+            Finding(
+                code="RPR010",
+                path=path,
+                line=table.directive_line(line),
+                column=1,
+                message=(
+                    f"suppression `disable={codes}` matches no finding on "
+                    "its line — the violation is gone, so the comment goes "
+                    "too (stale suppressions hide future regressions)"
+                ),
+            )
+        )
+    return findings

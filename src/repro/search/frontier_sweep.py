@@ -56,12 +56,14 @@ def bfs_boundary_width(graph, homebase: int = 0) -> int:
     order = _bfs_order(graph, homebase)
     visited = set()
     width = 0
-    for v in order:
+    for i, v in enumerate(order):
         visited.add(v)
-        boundary = {
-            x for x in visited if any(y not in visited for y in graph.neighbors(x))
-        }
-        width = max(width, len(boundary))
+        boundary = sum(
+            1
+            for x in order[: i + 1]
+            if any(y not in visited for y in graph.neighbors(x))
+        )
+        width = max(width, boundary)
     return width
 
 

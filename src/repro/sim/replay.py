@@ -31,7 +31,9 @@ __all__ = ["clone_parentage", "execute_schedule_on_engine"]
 def _scripted(moves: List[ScheduleMove]):
     """Behaviour factory: follow the timed move script verbatim."""
 
-    def behavior(ctx: AgentContext):
+    # Not a protocol: scripted replay follows a precomputed schedule, so
+    # there is no capability claim for a MODEL declaration to check.
+    def behavior(ctx: AgentContext):  # repro-lint: disable=RPR100
         for m in moves:
             yield WaitUntil(
                 lambda view, t=m.time: view.time >= t - 1,

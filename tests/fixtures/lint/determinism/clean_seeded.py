@@ -1,0 +1,16 @@
+"""Fixture: a deterministic strategy — seeded RNG, sorted iteration."""
+
+import random
+
+from repro.core.strategy import Strategy
+
+
+class SeededStrategy(Strategy):
+    """Every choice is a pure function of the seed parameter."""
+
+    def generate(self, graph, homebase=0, seed=0):
+        rng = random.Random(seed)
+        pending = {homebase ^ bit for bit in (1, 2, 4)}
+        order = sorted(pending)
+        rng.shuffle(order)
+        return order

@@ -1,0 +1,14 @@
+"""Fixture: a strategy drawing from the process-global RNG (RPR300)."""
+
+import random
+
+from repro.core.strategy import Strategy
+
+
+class JitteryStrategy(Strategy):
+    """Shuffles with the global RNG: two workers publish different blobs."""
+
+    def generate(self, graph, homebase=0):
+        order = list(range(graph.n))
+        random.shuffle(order)
+        return order

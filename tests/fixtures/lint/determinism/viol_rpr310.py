@@ -1,0 +1,13 @@
+"""Fixture: a wall-clock read inside schedule generation (RPR310)."""
+
+import time
+
+from repro.core.strategy import Strategy
+
+
+class StampedStrategy(Strategy):
+    """Stamps the schedule with the moment it was generated."""
+
+    def generate(self, graph, homebase=0):
+        stamp = time.time()
+        return [homebase, stamp]

@@ -1,0 +1,13 @@
+"""Fixture: environment-dependent schedule content (RPR320)."""
+
+import os
+
+from repro.core.strategy import Strategy
+
+
+class TunedStrategy(Strategy):
+    """Reads a tuning knob from the environment mid-generation."""
+
+    def generate(self, graph, homebase=0):
+        fan_out = int(os.environ.get("REPRO_FAN_OUT", "2"))
+        return list(range(fan_out))

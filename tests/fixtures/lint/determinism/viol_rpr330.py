@@ -1,0 +1,11 @@
+"""Fixture: set-iteration order decides schedule content (RPR330)."""
+
+from repro.core.strategy import Strategy
+
+
+class UnorderedStrategy(Strategy):
+    """Emits nodes in set-iteration (hash) order."""
+
+    def generate(self, graph, homebase=0):
+        pending = {homebase ^ bit for bit in (1, 2, 4)}
+        return [node for node in pending]

@@ -1,0 +1,9 @@
+"""Fixture: torn-write window publishing a shared result file (RPR340)."""
+
+import json
+
+
+def publish_results(path, rows):
+    """Rewrites the shared file in place — readers can observe a torn file."""
+    with open(path, "w") as fh:
+        json.dump(rows, fh)

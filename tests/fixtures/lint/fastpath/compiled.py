@@ -1,0 +1,11 @@
+"""Fixture: column layout drifted but the format tag did not (RPR360).
+
+The layout below adds a ``phase`` column over the committed
+``schema_baseline.json`` while keeping the version tags unchanged —
+exactly the drift the rule exists to catch.
+"""
+
+SCHEMA_VERSION = "compiled-schedule/v1"
+FORMAT_VERSION = 1
+
+COLUMN_NAMES = ["time", "agent", "src", "dst", "kind", "role", "phase"]

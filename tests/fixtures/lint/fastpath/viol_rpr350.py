@@ -1,0 +1,12 @@
+"""Fixture: tmp file staged outside the destination directory (RPR350)."""
+
+import os
+import tempfile
+
+
+def publish_blob(path, blob):
+    """``mkstemp()`` defaults to ``/tmp`` — ``os.replace`` may cross filesystems."""
+    fd, tmp = tempfile.mkstemp()
+    with os.fdopen(fd, "wb") as fh:
+        fh.write(blob)
+    os.replace(tmp, path)

@@ -1,0 +1,3 @@
+"""Fixture: a justified suppression masking a real finding (clean)."""
+
+import repro.sim.engine  # repro-lint: disable=RPR200

@@ -1,0 +1,3 @@
+"""Fixture: a suppression whose finding is long gone (RPR010)."""
+
+TOTAL = sum(range(10))  # repro-lint: disable=RPR330

@@ -21,6 +21,7 @@ FIXTURES = Path(__file__).parent / "fixtures" / "lint"
 
 #: fixture file -> (expected code, expected line, expected symbol)
 VIOLATIONS = {
+    "viol_rpr010.py": ("RPR010", 3, ""),
     "viol_rpr100.py": ("RPR100", 6, ""),
     "viol_rpr101.py": ("RPR101", 11, "peeking_agent"),
     "viol_rpr102.py": ("RPR102", 12, "budding_agent"),
@@ -32,19 +33,32 @@ VIOLATIONS = {
     "obs/viol_rpr200.py": ("RPR200", 3, ""),
     "exec/viol_rpr210.py": ("RPR210", 3, ""),
     "fastpath/viol_rpr220.py": ("RPR220", 3, ""),
+    "determinism/viol_rpr300.py": ("RPR300", 13, "JitteryStrategy.generate"),
+    "determinism/viol_rpr310.py": ("RPR310", 12, "StampedStrategy.generate"),
+    "determinism/viol_rpr320.py": ("RPR320", 12, "TunedStrategy.generate"),
+    "determinism/viol_rpr330.py": ("RPR330", 11, "UnorderedStrategy.generate"),
+    "exec/viol_rpr340.py": ("RPR340", 8, "publish_results"),
+    "fastpath/viol_rpr350.py": ("RPR350", 9, "publish_blob"),
+    "fastpath/compiled.py": ("RPR360", 11, "compiled_schedule"),
 }
+
+#: rules that need more than one source file to fire; their catch/pass
+#: coverage lives in tests/test_lint_infra.py (baseline round-trips)
+NON_FILE_RULES = {"RPR011"}
 
 
 class TestRegistry:
     def test_every_code_has_a_fixture(self):
-        covered = {code for code, _, _ in VIOLATIONS.values()}
+        covered = {code for code, _, _ in VIOLATIONS.values()} | NON_FILE_RULES
         assert covered == set(RULES), "each shipped rule needs a violating fixture"
 
     def test_codes_are_stable(self):
         for code, r in RULES.items():
             assert code == r.code
-            # RPR1xx: model-compliance; RPR2xx: layering/import hygiene
-            assert code.startswith(("RPR1", "RPR2")) and len(code) == 6
+            # RPR0xx: lint infrastructure; RPR1xx: model-compliance;
+            # RPR2xx: layering/import hygiene; RPR3xx: determinism +
+            # concurrency safety
+            assert code.startswith(("RPR0", "RPR1", "RPR2", "RPR3")) and len(code) == 6
 
     def test_rules_listing_mentions_every_code(self):
         listing = render_rules()
@@ -217,14 +231,23 @@ class TestCli:
         assert lint_main(["--strict", str(FIXTURES / "viol_rpr102.py")]) == 1
         assert "RPR102" in capsys.readouterr().out
 
-    def test_advisory_mode_reports_but_exits_zero(self, capsys):
-        assert lint_main([str(FIXTURES / "viol_rpr102.py")]) == 0
+    def test_violations_exit_one_without_strict(self, capsys):
+        # exit semantics: findings always fail (1); --strict is a no-op
+        assert lint_main([str(FIXTURES / "viol_rpr102.py")]) == 1
         assert "RPR102" in capsys.readouterr().out
 
     def test_json_format(self, capsys):
-        assert lint_main(["--format", "json", str(FIXTURES / "viol_rpr120.py")]) == 0
+        assert lint_main(["--format", "json", str(FIXTURES / "viol_rpr120.py")]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["summary"]["by_code"] == {"RPR120": 1}
+
+    def test_sarif_format(self, capsys):
+        assert lint_main(["--format", "sarif", str(FIXTURES / "viol_rpr120.py")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert [r["ruleId"] for r in run["results"]] == ["RPR120"]
 
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0

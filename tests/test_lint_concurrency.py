@@ -1,0 +1,175 @@
+"""Tests for the concurrency-safety rules (RPR340–RPR360).
+
+The write rules only apply inside ``fastpath``/``exec`` directory
+layers; each has a catching case (torn-write window, mis-located tmp
+file, layout drift without a tag bump) and a passing case (the atomic
+publish idiom, append-mode logs, drift accompanied by a bump).
+"""
+
+import ast
+
+import pytest
+
+from repro.lint import analyze_source
+from repro.lint.concurrency import check_concurrency
+from repro.lint.schema import (
+    check_schema_drift,
+    extract_schemas,
+    write_schema_baseline,
+)
+
+ATOMIC_PUBLISH = (
+    "import json\n"
+    "import os\n"
+    "import tempfile\n"
+    "def publish(path, payload, root):\n"
+    "    fd, tmp = tempfile.mkstemp(dir=root)\n"
+    "    with os.fdopen(fd, 'w') as fh:\n"
+    "        json.dump(payload, fh)\n"
+    "    os.replace(tmp, path)\n"
+)
+
+
+def _codes(source, path="src/repro/fastpath/mod.py"):
+    return [f.code for f in check_concurrency(ast.parse(source), path)]
+
+
+class TestBareSharedWrite:
+    def test_bare_open_w_flagged(self):
+        src = "def save(path, data):\n    with open(path, 'w') as fh:\n        fh.write(data)\n"
+        assert _codes(src) == ["RPR340"]
+
+    def test_write_text_flagged(self):
+        src = "def save(path, data):\n    path.write_text(data)\n"
+        assert _codes(src) == ["RPR340"]
+
+    def test_write_bytes_flagged(self):
+        src = "def save(path, data):\n    path.write_bytes(data)\n"
+        assert _codes(src) == ["RPR340"]
+
+    def test_atomic_publish_is_clean(self):
+        assert _codes(ATOMIC_PUBLISH) == []
+
+    def test_append_mode_is_exempt(self):
+        # append-only JSONL logs are torn-tail tolerant by design
+        src = "def log(path, line):\n    with open(path, 'a') as fh:\n        fh.write(line)\n"
+        assert _codes(src) == []
+
+    def test_read_mode_is_exempt(self):
+        src = "def load(path):\n    with open(path) as fh:\n        return fh.read()\n"
+        assert _codes(src) == []
+
+    def test_dynamic_mode_gets_benefit_of_doubt(self):
+        src = "def save(path, data, mode):\n    with open(path, mode) as fh:\n        fh.write(data)\n"
+        assert _codes(src) == []
+
+    @pytest.mark.parametrize(
+        "path", ["src/repro/core/schedule.py", "examples/custom.py", "tools/gen.py"]
+    )
+    def test_rule_scoped_to_fastpath_and_exec_layers(self, path):
+        src = "def save(path, data):\n    path.write_text(data)\n"
+        assert _codes(src, path=path) == []
+
+    def test_exec_layer_is_covered(self):
+        src = "def save(path, data):\n    path.write_text(data)\n"
+        assert _codes(src, path="src/repro/exec/out.py") == ["RPR340"]
+
+
+class TestTmpfileColocation:
+    def test_mkstemp_without_dir_in_publishing_function_flagged(self):
+        src = (
+            "import os\n"
+            "import tempfile\n"
+            "def publish(path, data):\n"
+            "    fd, tmp = tempfile.mkstemp()\n"
+            "    with os.fdopen(fd, 'w') as fh:\n"
+            "        fh.write(data)\n"
+            "    os.replace(tmp, path)\n"
+        )
+        assert _codes(src) == ["RPR350"]
+
+    def test_mkstemp_with_dir_is_clean(self):
+        assert _codes(ATOMIC_PUBLISH) == []
+
+    def test_mkstemp_without_publish_is_not_this_rule(self):
+        # scratch files that are never renamed into place have no EXDEV risk
+        src = (
+            "import tempfile\n"
+            "def scratch():\n"
+            "    fd, tmp = tempfile.mkstemp()\n"
+            "    return tmp\n"
+        )
+        assert _codes(src) == []
+
+
+class TestSchemaDrift:
+    COMPILED = (
+        "SCHEMA_VERSION = 'compiled-schedule/v1'\n"
+        "FORMAT_VERSION = 1\n"
+        "COLUMN_NAMES = ['time', 'agent', 'src', 'dst']\n"
+    )
+
+    def _trees(self, compiled_src):
+        return {"src/repro/fastpath/compiled.py": ast.parse(compiled_src)}
+
+    def test_extract_reads_columns_and_tags(self):
+        records = extract_schemas(self._trees(self.COMPILED))
+        assert [r["kind"] for r in records] == ["compiled_schedule"]
+        assert records[0]["version_tag"] == "compiled-schedule/v1+format1"
+        assert records[0]["layout"] == ["time", "agent", "src", "dst"]
+
+    def test_drift_without_bump_fires(self, tmp_path):
+        baseline = tmp_path / "schema_baseline.json"
+        write_schema_baseline(self._trees(self.COMPILED), baseline)
+        drifted = self.COMPILED.replace("'dst'", "'dst', 'phase'")
+        findings = check_schema_drift(self._trees(drifted), baseline)
+        assert [f.code for f in findings] == ["RPR360"]
+        assert findings[0].symbol == "compiled_schedule"
+
+    def test_drift_with_bump_is_clean(self, tmp_path):
+        baseline = tmp_path / "schema_baseline.json"
+        write_schema_baseline(self._trees(self.COMPILED), baseline)
+        bumped = self.COMPILED.replace("'dst'", "'dst', 'phase'").replace(
+            "FORMAT_VERSION = 1", "FORMAT_VERSION = 2"
+        )
+        assert check_schema_drift(self._trees(bumped), baseline) == []
+
+    def test_unchanged_layout_is_clean(self, tmp_path):
+        baseline = tmp_path / "schema_baseline.json"
+        write_schema_baseline(self._trees(self.COMPILED), baseline)
+        assert check_schema_drift(self._trees(self.COMPILED), baseline) == []
+
+    def test_missing_baseline_is_clean(self, tmp_path):
+        # a repo without a committed expectation cannot drift from it
+        findings = check_schema_drift(
+            self._trees(self.COMPILED), tmp_path / "nope.json"
+        )
+        assert findings == []
+
+    def test_checkpoint_record_pairing(self, tmp_path):
+        jobs = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class JobOutcome:\n"
+            "    key: str\n"
+            "    status: str\n"
+        )
+        ckpt = "CHECKPOINT_SCHEMA = 'repro-exec-checkpoint/v1'\n"
+        trees = {
+            "src/repro/exec/jobs.py": ast.parse(jobs),
+            "src/repro/exec/checkpoint.py": ast.parse(ckpt),
+        }
+        baseline = tmp_path / "schema_baseline.json"
+        write_schema_baseline(trees, baseline)
+        drifted = dict(trees)
+        drifted["src/repro/exec/jobs.py"] = ast.parse(jobs + "    retries: int\n")
+        findings = check_schema_drift(drifted, baseline)
+        assert [f.code for f in findings] == ["RPR360"]
+        assert findings[0].symbol == "checkpoint_record"
+
+
+class TestSingleModuleEntry:
+    def test_analyze_source_applies_write_rule_by_path(self):
+        src = "def save(path, data):\n    path.write_text(data)\n"
+        assert [f.code for f in analyze_source(src, "src/repro/exec/out.py")] == ["RPR340"]
+        assert analyze_source(src, "src/repro/viz/out.py") == []

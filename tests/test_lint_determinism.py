@@ -1,0 +1,266 @@
+"""Tests for the interprocedural determinism pass (RPR300–RPR330).
+
+Covers the call graph (entry-point detection, reachability through
+helpers, re-export chasing) and each hazard family with both a catching
+and a passing case — the rules must flag reachable nondeterminism and
+stay silent on seeded/sorted/unreachable equivalents.
+"""
+
+import ast
+
+from repro.lint import analyze_source
+from repro.lint.callgraph import build_program_graph, module_name_for
+from repro.lint.determinism import check_determinism
+from pathlib import Path
+
+STRATEGY_PRELUDE = (
+    "from repro.core.strategy import Strategy\n"
+)
+
+
+def _check(sources):
+    """Run the whole-program pass over ``{path: source}``."""
+    trees = {path: ast.parse(text, filename=path) for path, text in sources.items()}
+    return check_determinism(build_program_graph(trees))
+
+
+def _codes(sources):
+    return [f.code for f in _check(sources)]
+
+
+class TestEntryPoints:
+    def test_strategy_generate_is_a_root(self):
+        src = STRATEGY_PRELUDE + (
+            "import random\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        return random.random()\n"
+        )
+        assert _codes({"s.py": src}) == ["RPR300"]
+
+    def test_search_class_is_a_root(self):
+        src = (
+            "import time\n"
+            "class FrontierSearch:\n"
+            "    def search(self, graph):\n"
+            "        return time.time()\n"
+        )
+        assert _codes({"s.py": src}) == ["RPR310"]
+
+    def test_registered_task_is_a_root(self):
+        src = (
+            "import os\n"
+            "from repro.exec.jobs import register_task\n"
+            "@register_task('cell')\n"
+            "def sweep(payload):\n"
+            "    return os.getenv('KNOB')\n"
+        )
+        assert _codes({"t.py": src}) == ["RPR320"]
+
+    def test_plain_function_is_not_a_root(self):
+        src = "import random\ndef helper():\n    return random.random()\n"
+        assert _codes({"h.py": src}) == []
+
+    def test_no_entry_points_means_no_findings(self):
+        src = "import time\nCONST = 1\ndef util():\n    return time.time()\n"
+        assert _codes({"u.py": src}) == []
+
+
+class TestReachability:
+    def test_hazard_through_local_helper(self):
+        src = STRATEGY_PRELUDE + (
+            "import random\n"
+            "def jitter():\n"
+            "    return random.random()\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        return jitter()\n"
+        )
+        findings = _check({"s.py": src})
+        assert [f.code for f in findings] == ["RPR300"]
+        assert findings[0].symbol == "jitter"
+        assert "S.generate" in findings[0].message
+
+    def test_hazard_in_unreachable_helper_is_silent(self):
+        src = STRATEGY_PRELUDE + (
+            "import random\n"
+            "def unused():\n"
+            "    return random.random()\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        return []\n"
+        )
+        assert _codes({"s.py": src}) == []
+
+    def test_cross_module_helper_edge(self):
+        helper = "import random\ndef jitter():\n    return random.random()\n"
+        strat = STRATEGY_PRELUDE + (
+            "from helpers.util import jitter\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        return jitter()\n"
+        )
+        findings = _check({"helpers/util.py": helper, "strat/s.py": strat})
+        assert [f.code for f in findings] == ["RPR300"]
+        assert findings[0].path == "helpers/util.py"
+
+    def test_method_edge_through_constructed_local(self):
+        src = STRATEGY_PRELUDE + (
+            "import random\n"
+            "class Sampler:\n"
+            "    def draw(self):\n"
+            "        return random.random()\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        sampler = Sampler()\n"
+            "        return sampler.draw()\n"
+        )
+        assert _codes({"s.py": src}) == ["RPR300"]
+
+    def test_self_method_edge(self):
+        src = STRATEGY_PRELUDE + (
+            "import time\n"
+            "class S(Strategy):\n"
+            "    def _stamp(self):\n"
+            "        return time.time()\n"
+            "    def generate(self, graph):\n"
+            "        return self._stamp()\n"
+        )
+        assert _codes({"s.py": src}) == ["RPR310"]
+
+
+class TestRngRule:
+    def test_seeded_random_is_clean(self):
+        src = STRATEGY_PRELUDE + (
+            "import random\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph, seed=0):\n"
+            "        rng = random.Random(seed)\n"
+            "        return rng.random()\n"
+        )
+        assert _codes({"s.py": src}) == []
+
+    def test_unseeded_random_instance_flagged(self):
+        src = STRATEGY_PRELUDE + (
+            "import random\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        rng = random.Random()\n"
+            "        return rng.random()\n"
+        )
+        assert _codes({"s.py": src}) == ["RPR300"]
+
+    def test_from_import_alias_flagged(self):
+        src = STRATEGY_PRELUDE + (
+            "from random import shuffle as mix\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        order = [1, 2]\n"
+            "        mix(order)\n"
+            "        return order\n"
+        )
+        assert _codes({"s.py": src}) == ["RPR300"]
+
+    def test_system_random_flagged_even_with_args(self):
+        src = STRATEGY_PRELUDE + (
+            "import random\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        return random.SystemRandom().random()\n"
+        )
+        assert "RPR300" in _codes({"s.py": src})
+
+
+class TestClockRule:
+    def test_perf_counter_is_exempt(self):
+        # timing a computation is fine; stamping content is not
+        src = STRATEGY_PRELUDE + (
+            "import time\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        t0 = time.perf_counter()\n"
+            "        return [t0 - time.perf_counter()]\n"
+        )
+        assert _codes({"s.py": src}) == []
+
+    def test_datetime_now_flagged(self):
+        src = STRATEGY_PRELUDE + (
+            "from datetime import datetime\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        return [datetime.now()]\n"
+        )
+        assert _codes({"s.py": src}) == ["RPR310"]
+
+
+class TestEnvRule:
+    def test_environ_subscript_flagged(self):
+        src = STRATEGY_PRELUDE + (
+            "import os\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        return [os.environ['KNOB']]\n"
+        )
+        assert _codes({"s.py": src}) == ["RPR320"]
+
+    def test_environ_write_is_not_a_read(self):
+        src = STRATEGY_PRELUDE + (
+            "import os\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        os.environ['KNOB'] = 'x'\n"
+            "        return []\n"
+        )
+        assert _codes({"s.py": src}) == []
+
+
+class TestOrderingRule:
+    def test_sorted_set_is_clean(self):
+        src = STRATEGY_PRELUDE + (
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        pending = {1, 2, 3}\n"
+            "        return [x for x in sorted(pending)]\n"
+        )
+        assert _codes({"s.py": src}) == []
+
+    def test_for_over_set_literal_flagged(self):
+        src = STRATEGY_PRELUDE + (
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        out = []\n"
+            "        for x in {1, 2, 3}:\n"
+            "            out.append(x)\n"
+            "        return out\n"
+        )
+        assert _codes({"s.py": src}) == ["RPR330"]
+
+    def test_sort_key_id_flagged(self):
+        src = STRATEGY_PRELUDE + (
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        items = [object(), object()]\n"
+            "        items.sort(key=id)\n"
+            "        return items\n"
+        )
+        assert _codes({"s.py": src}) == ["RPR330"]
+
+
+class TestSingleModuleEntry:
+    def test_analyze_source_runs_the_pass_on_one_module(self):
+        src = STRATEGY_PRELUDE + (
+            "import random\n"
+            "class S(Strategy):\n"
+            "    def generate(self, graph):\n"
+            "        return random.random()\n"
+        )
+        assert [f.code for f in analyze_source(src, "strategy.py")] == ["RPR300"]
+
+
+class TestModuleNames:
+    def test_repro_package_paths_get_import_names(self):
+        assert module_name_for(Path("src/repro/core/clean.py")) == "repro.core.clean"
+        assert module_name_for(Path("src/repro/fastpath/__init__.py")) == "repro.fastpath"
+
+    def test_non_package_paths_stay_unique_per_directory(self):
+        assert module_name_for(Path("benchmarks/bench_lint.py")) == "benchmarks.bench_lint"

@@ -1,0 +1,259 @@
+"""Tests for the lint infrastructure: suppressions, baselines, the
+incremental cache, SARIF output, and the CLI exit-code contract.
+
+The two waiver mechanisms are ratchets — unused suppressions (RPR010)
+and stale baseline entries (RPR011) are themselves findings — and the
+cache must be invisible: a warm run returns byte-identical findings
+while analyzing zero files.
+"""
+
+import json
+from pathlib import Path
+
+from repro.lint import (
+    LintCache,
+    analyze_source,
+    run_analysis,
+    sarif_payload,
+    write_baseline,
+)
+from repro.lint.baseline import apply_baseline, load_baseline
+from repro.lint.cli import build_parser
+from repro.lint.cli import main as lint_main
+from repro.lint.rules import RULES, Finding
+from repro.lint.suppressions import SuppressionTable
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+VIOLATING_OBS = "import repro.sim.engine\n"
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_its_line(self):
+        src = "import repro.sim.engine  # repro-lint: disable=RPR200\n"
+        assert analyze_source(src, "src/repro/obs/mod.py") == []
+
+    def test_comment_only_line_covers_next_code_line(self):
+        src = (
+            "# repro-lint: disable=RPR200\n"
+            "import repro.sim.engine\n"
+        )
+        assert analyze_source(src, "src/repro/obs/mod.py") == []
+
+    def test_disable_all(self):
+        src = "import repro.sim.engine  # repro-lint: disable=all\n"
+        assert analyze_source(src, "src/repro/obs/mod.py") == []
+
+    def test_other_code_does_not_suppress(self):
+        src = "import repro.sim.engine  # repro-lint: disable=RPR210\n"
+        codes = [f.code for f in analyze_source(src, "src/repro/obs/mod.py")]
+        # the RPR200 finding survives AND the directive is reported unused
+        assert codes == ["RPR010", "RPR200"]
+
+    def test_multiple_codes_one_directive(self):
+        src = (
+            "import repro.sim.engine  # repro-lint: disable=RPR200,RPR210\n"
+        )
+        assert analyze_source(src, "src/repro/obs/mod.py") == []
+
+    def test_unused_suppression_reports_directive_line(self):
+        src = "X = 1\n\n# repro-lint: disable=RPR330\nY = 2\n"
+        findings = analyze_source(src, "mod.py")
+        assert [(f.code, f.line) for f in findings] == [("RPR010", 3)]
+
+    def test_table_parses_anchors(self):
+        table = SuppressionTable.from_source(
+            "# repro-lint: disable=RPR100\n\ndef agent(ctx):\n    pass\n"
+        )
+        assert table.covers(3, "RPR100")
+        assert table.directive_line(3) == 1
+
+
+class TestBaseline:
+    def _finding(self, line=5):
+        return Finding(
+            code="RPR200",
+            path="src/repro/obs/mod.py",
+            line=line,
+            column=1,
+            message="obs imports sim",
+        )
+
+    def test_round_trip_absorbs_matching_findings(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        write_baseline([self._finding()], baseline)
+        kept, absorbed = apply_baseline(
+            [self._finding()], load_baseline(baseline), baseline
+        )
+        assert kept == [] and absorbed == 1
+
+    def test_matching_ignores_line_numbers(self, tmp_path):
+        # unrelated edits move lines; the baseline must not churn
+        baseline = tmp_path / "base.json"
+        write_baseline([self._finding(line=5)], baseline)
+        kept, absorbed = apply_baseline(
+            [self._finding(line=99)], load_baseline(baseline), baseline
+        )
+        assert kept == [] and absorbed == 1
+
+    def test_extra_instance_of_old_problem_is_reported(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        write_baseline([self._finding()], baseline)
+        kept, absorbed = apply_baseline(
+            [self._finding(line=5), self._finding(line=9)],
+            load_baseline(baseline),
+            baseline,
+        )
+        assert absorbed == 1
+        assert [f.code for f in kept] == ["RPR200"]
+
+    def test_stale_entry_becomes_rpr011(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        write_baseline([self._finding()], baseline)
+        kept, absorbed = apply_baseline([], load_baseline(baseline), baseline)
+        assert absorbed == 0
+        assert [f.code for f in kept] == ["RPR011"]
+        assert kept[0].path == str(baseline)
+
+    def test_missing_baseline_loads_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+
+class TestSarif:
+    def _payload(self):
+        findings = analyze_source(VIOLATING_OBS, "src/repro/obs/mod.py")
+        return sarif_payload(findings, files_scanned=1)
+
+    def test_log_shape(self):
+        payload = self._payload()
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert [r["ruleId"] for r in run["results"]] == ["RPR200"]
+
+    def test_registry_ships_every_rule(self):
+        (run,) = self._payload()["runs"]
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(RULES)
+
+    def test_locations_are_repo_relative(self):
+        (run,) = self._payload()["runs"]
+        loc = run["results"][0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/obs/mod.py"
+        assert loc["region"]["startLine"] == 1
+
+    def test_advisory_codes_are_warnings(self):
+        (run,) = self._payload()["runs"]
+        levels = {r["id"]: r["defaultConfiguration"]["level"] for r in run["tool"]["driver"]["rules"]}
+        assert levels["RPR010"] == "warning"
+        assert levels["RPR011"] == "warning"
+        assert levels["RPR300"] == "error"
+
+    def test_round_trips_through_json(self):
+        payload = self._payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestIncrementalCache:
+    def _tree(self, tmp_path):
+        root = tmp_path / "proj"
+        (root / "obs").mkdir(parents=True)
+        (root / "obs" / "bad.py").write_text(VIOLATING_OBS)
+        (root / "clean.py").write_text("X = 1\n")
+        return root
+
+    def test_warm_run_analyzes_nothing_with_identical_findings(self, tmp_path):
+        root = self._tree(tmp_path)
+        cache = LintCache(tmp_path / "cache")
+        cold = run_analysis([root], cache=cache)
+        warm = run_analysis([root], cache=LintCache(tmp_path / "cache"))
+        assert cold.files_analyzed == 2 and cold.files_cached == 0
+        assert warm.files_analyzed == 0 and warm.files_cached == 2
+        assert warm.tree_cache_hit
+        assert [
+            (f.code, f.path, f.line, f.column, f.message) for f in warm.findings
+        ] == [(f.code, f.path, f.line, f.column, f.message) for f in cold.findings]
+
+    def test_editing_one_file_reanalyzes_only_it(self, tmp_path):
+        root = self._tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        run_analysis([root], cache=LintCache(cache_dir))
+        (root / "clean.py").write_text("X = 2\n")
+        warm = run_analysis([root], cache=LintCache(cache_dir))
+        assert warm.files_analyzed == 1 and warm.files_cached == 1
+        assert not warm.tree_cache_hit  # the tree changed with the file
+
+    def test_corrupt_cache_entry_degrades_to_miss(self, tmp_path):
+        root = self._tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        run_analysis([root], cache=LintCache(cache_dir))
+        for entry in cache_dir.glob("*.json"):
+            entry.write_text("{not json")
+        rerun = run_analysis([root], cache=LintCache(cache_dir))
+        assert rerun.files_analyzed == 2
+        assert [f.code for f in rerun.findings] == ["RPR200"]
+
+    def test_unreadable_input_is_an_error_not_a_crash(self, tmp_path):
+        root = self._tree(tmp_path)
+        (root / "broken.py").write_text("def broken(:\n")
+        run = run_analysis([root])
+        assert len(run.errors) == 1
+        assert "broken.py" in run.errors[0][0]
+        assert [f.code for f in run.findings] == ["RPR200"]
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        mod = tmp_path / "ok.py"
+        mod.write_text("X = 1\n")
+        assert lint_main([str(mod)]) == 0
+
+    def test_findings_exit_one(self, capsys):
+        assert lint_main([str(FIXTURES / "viol_rpr100.py")]) == 1
+
+    def test_analysis_error_exits_two_even_with_findings(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        (tmp_path / "viol.py").write_text(
+            (FIXTURES / "viol_rpr100.py").read_text()
+        )
+        assert lint_main([str(tmp_path)]) == 2
+        captured = capsys.readouterr()
+        assert "cannot parse" in captured.err
+        assert "RPR100" in captured.out  # findings still reported
+
+    def test_write_baseline_then_rerun_is_clean(self, tmp_path, capsys):
+        viol = tmp_path / "obs" / "bad.py"
+        viol.parent.mkdir()
+        viol.write_text(VIOLATING_OBS)
+        baseline = tmp_path / "base.json"
+        assert lint_main(
+            ["--write-baseline", "--baseline", str(baseline), "--no-cache", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        assert lint_main(
+            ["--baseline", str(baseline), "--no-cache", str(tmp_path)]
+        ) == 0
+        assert "baselined" in capsys.readouterr().out
+
+
+class TestParserParity:
+    def test_repro_search_lint_accepts_the_same_flags(self):
+        from repro.cli import build_parser as search_parser
+
+        lint_options = {
+            opt for a in build_parser()._actions for opt in a.option_strings
+        }
+        sub = next(
+            a for a in search_parser()._actions
+            if hasattr(a, "choices") and a.choices and "lint" in a.choices
+        )
+        search_options = {
+            opt for a in sub.choices["lint"]._actions for opt in a.option_strings
+        }
+        assert lint_options == search_options
+
+    def test_repro_search_lint_mirrors_exit_codes(self, capsys):
+        from repro.cli import main as search_main
+
+        assert search_main(["lint", str(FIXTURES / "viol_rpr100.py")]) == 1
+        capsys.readouterr()
+        assert search_main(["lint", "no/such/path.py"]) == 2
