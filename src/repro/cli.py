@@ -10,6 +10,7 @@ Subcommands::
     repro-search lint --self                     # whole-program static analysis
     repro-search report -d 8 -p clean            # metrics snapshot + sparklines
     repro-search watch -d 4 -p visibility        # stream engine events as JSONL
+    repro-search montecarlo -d 8 --trials 5000   # scenario-batch Monte Carlo
 
 The CLI is a thin veneer over the library; every command routes through
 the same public API the examples and benches use.
@@ -144,6 +145,55 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", metavar="FILE", default=None, help="also write CSV")
     _add_executor_flags(sweep)
     _add_cache_flags(sweep)
+
+    montecarlo = sub.add_parser(
+        "montecarlo",
+        help="scenario-batch Monte Carlo over intruder/delay/homebase scenarios",
+    )
+    montecarlo.add_argument("-d", "--dimension", type=int, default=6)
+    montecarlo.add_argument("-s", "--strategy", default="visibility")
+    montecarlo.add_argument("--trials", type=int, default=1000)
+    montecarlo.add_argument(
+        "--intruder",
+        choices=["reachable", "inert", "walker", "walkers"],
+        default="inert",
+        help="intruder policy scored against the sweep (default: inert)",
+    )
+    montecarlo.add_argument(
+        "--seeds-per-trial",
+        type=int,
+        default=1,
+        help="infection seeds per trial (inert policy only)",
+    )
+    montecarlo.add_argument(
+        "--intruder-count", type=int, default=2, help="walkers in the 'walkers' policy"
+    )
+    montecarlo.add_argument(
+        "--delays",
+        choices=["unit", "random", "adversarial"],
+        default="unit",
+        help="per-unit edge-delay stretch model (default: unit)",
+    )
+    montecarlo.add_argument("--delay-low", type=int, default=1)
+    montecarlo.add_argument("--delay-high", type=int, default=3)
+    montecarlo.add_argument("--delay-factor", type=int, default=4)
+    montecarlo.add_argument("--delay-period", type=int, default=4)
+    montecarlo.add_argument(
+        "--rotate-homebase",
+        action="store_true",
+        help="draw a random homebase per trial (XOR automorphism)",
+    )
+    montecarlo.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    montecarlo.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="trial windows for the parallel path (default: --jobs)",
+    )
+    montecarlo.add_argument(
+        "--json", metavar="FILE", default=None, help="write summary + manifest JSON"
+    )
+    _add_executor_flags(montecarlo)
 
     cache = sub.add_parser("cache", help="inspect or clear the schedule cache")
     cache.add_argument("action", choices=["info", "clear"])
@@ -385,6 +435,74 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if not _write_text_file(args.csv, sweep.to_csv(rows), "CSV"):
             return 2
     return 0 if all(row.ok for row in rows) else 1
+
+
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.fastpath.batchsim import BatchScenarioSpec
+
+    try:
+        spec = BatchScenarioSpec(
+            dimension=args.dimension,
+            strategy=args.strategy,
+            trials=args.trials,
+            intruder=args.intruder,
+            seeds_per_trial=args.seeds_per_trial,
+            intruder_count=args.intruder_count,
+            delay=args.delays,
+            delay_low=args.delay_low,
+            delay_high=args.delay_high,
+            delay_factor=args.delay_factor,
+            delay_period=args.delay_period,
+            rotate_homebase=args.rotate_homebase,
+            rng_seed=args.seed,
+        )
+    except ReproError as exc:
+        print(f"repro-search montecarlo: {exc}", file=sys.stderr)
+        return 2
+
+    outcomes = None
+    if _executor_requested(args):
+        from repro.exec import parallel_montecarlo
+
+        try:
+            result, outcomes = parallel_montecarlo(
+                spec, _executor_config(args), shards=args.shards, checkpoint=args.resume
+            )
+        except ReproError as exc:
+            print(f"repro-search montecarlo: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.fastpath.batchsim import run_batch
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        try:
+            result = run_batch(spec, metrics=registry)
+        except ReproError as exc:
+            print(f"repro-search montecarlo: {exc}", file=sys.stderr)
+            return 2
+    print(result.describe())
+    if outcomes is not None:
+        _executor_epilogue(outcomes)
+        if args.resume:
+            _write_merged_manifest_for(args.resume, outcomes, "montecarlo")
+    if args.json:
+        import json
+
+        from repro.obs import build_manifest
+
+        summary = result.summary()
+        payload = {
+            "manifest": build_manifest(extra={"montecarlo": summary}),
+            "montecarlo": summary,
+        }
+        if not _write_text_file(
+            args.json, json.dumps(payload, indent=2, sort_keys=True), "summary"
+        ):
+            return 2
+    missing = result.counters.get("missing_trials", 0)
+    return 0 if result.count and not missing else 1
 
 
 def _write_text_file(target: str, text: str, label: str) -> bool:
@@ -643,6 +761,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": _cmd_verify,
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
+        "montecarlo": _cmd_montecarlo,
         "cache": _cmd_cache,
         "report": _cmd_report,
         "watch": _cmd_watch,

@@ -33,7 +33,9 @@ from repro.exec.pool import ExecutorConfig, ParallelExecutor, run_jobs
 from repro.exec.runner import (
     experiment_jobs,
     merged_manifest,
+    montecarlo_jobs,
     parallel_experiments,
+    parallel_montecarlo,
     parallel_sweep,
     sweep_jobs,
     write_merged_manifest,
@@ -54,7 +56,9 @@ __all__ = [
     "fingerprint_jobs",
     "get_task",
     "merged_manifest",
+    "montecarlo_jobs",
     "parallel_experiments",
+    "parallel_montecarlo",
     "parallel_sweep",
     "register_task",
     "registered_tasks",

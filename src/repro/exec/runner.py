@@ -33,7 +33,9 @@ from repro.obs import MetricsRegistry, build_manifest
 __all__ = [
     "experiment_jobs",
     "merged_manifest",
+    "montecarlo_jobs",
     "parallel_experiments",
+    "parallel_montecarlo",
     "parallel_sweep",
     "sweep_jobs",
     "write_merged_manifest",
@@ -205,6 +207,84 @@ def parallel_experiments(
                 )
             )
     return results, outcomes
+
+
+# --------------------------------------------------------------------- #
+# Monte Carlo campaigns
+# --------------------------------------------------------------------- #
+
+
+def montecarlo_jobs(spec: Any, shards: int) -> List[Job]:
+    """One ``batch_cell`` job per contiguous trial window, serial order.
+
+    The campaign's trials are split into ``shards`` near-equal windows
+    ``[start, start+count)``.  Because every worker replays the master
+    seed stream and skips to its window
+    (:mod:`repro.fastpath.batchsim`, determinism section), the merged
+    shards equal the serial run regardless of the split or the pool's
+    scheduling.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    trials = int(spec.trials)
+    shards = min(shards, trials) or 1
+    base, remainder = divmod(trials, shards)
+    jobs: List[Job] = []
+    start = 0
+    for index in range(shards):
+        count = base + (1 if index < remainder else 0)
+        jobs.append(
+            Job(
+                key=f"montecarlo:{spec.strategy}:d={spec.dimension}:"
+                f"trials={start}..{start + count}",
+                task="batch_cell",
+                payload={"spec": spec.to_payload(), "start": start, "count": count},
+                index=index,
+            )
+        )
+        start += count
+    return jobs
+
+
+def parallel_montecarlo(
+    spec: Any,
+    config: Optional[ExecutorConfig] = None,
+    *,
+    shards: Optional[int] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    on_outcome: Optional[OutcomeHook] = None,
+) -> Tuple[Any, List[JobOutcome]]:
+    """The parallel twin of :func:`repro.fastpath.batchsim.run_batch`.
+
+    Returns ``(result, outcomes)`` where ``result`` is the merged
+    :class:`~repro.fastpath.batchsim.BatchResult` over the shards that
+    succeeded.  A permanently failed shard degrades instead of crashing
+    the campaign: its trials are absent from the distributions and
+    counted in ``result.counters["missing_trials"]`` (plus a FAILED
+    outcome), so a partial campaign still renders.
+    """
+    from repro.fastpath.batchsim import BatchResult
+
+    config = config or ExecutorConfig()
+    jobs = montecarlo_jobs(spec, shards or max(config.jobs, 1))
+    executor = ParallelExecutor(config, metrics=metrics, on_outcome=on_outcome)
+    outcomes = executor.run(jobs, checkpoint=checkpoint, manifest=_batch_manifest(jobs))
+
+    parts = []
+    missing = 0
+    for job, outcome in zip(jobs, outcomes):
+        if outcome.ok and outcome.value is not None:
+            parts.append(BatchResult.from_payload(outcome.value))
+        else:
+            missing += int(job.payload["count"])
+    if parts:
+        result = BatchResult.merge(parts)
+    else:
+        result = BatchResult(spec=spec, start=0)
+    if missing:
+        result.counters["missing_trials"] = result.counters.get("missing_trials", 0) + missing
+    return result, outcomes
 
 
 # --------------------------------------------------------------------- #

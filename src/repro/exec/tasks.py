@@ -29,6 +29,7 @@ from typing import Any, Dict
 from repro.exec.jobs import TaskContext, register_task
 
 __all__ = [
+    "batch_cell",
     "experiment_cell",
     "sweep_cell",
 ]
@@ -125,6 +126,27 @@ def experiment_cell(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]
     if cache is not None:
         out["cache"] = {"stats": cache.stats.as_dict()}
     return out
+
+
+@register_task("batch_cell")
+def batch_cell(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]:
+    """One shard of a Monte Carlo campaign (payload: ``spec``, ``start``,
+    ``count``).
+
+    Runs trials ``[start, start+count)`` of the
+    :class:`~repro.fastpath.batchsim.BatchScenarioSpec` through
+    :func:`~repro.fastpath.batchsim.run_batch`.  Each worker replays the
+    master seed stream and skips the first ``start`` sub-seeds, so the
+    merged shards equal the serial campaign trial-for-trial no matter
+    how the pool schedules them.  Returns the shard's columnar
+    :class:`~repro.fastpath.batchsim.BatchResult` payload (JSON-able),
+    including the worker-local ``fastpath.batchsim.*`` counters.
+    """
+    from repro.fastpath.batchsim import BatchScenarioSpec, run_batch
+
+    spec = BatchScenarioSpec.from_payload(dict(payload["spec"]))
+    result = run_batch(spec, start=int(payload["start"]), count=int(payload["count"]))
+    return result.to_payload()
 
 
 @register_task("echo")

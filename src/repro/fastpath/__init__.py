@@ -17,13 +17,27 @@ makes re-measuring and re-verifying them cheap:
   with O(1)-per-move integer kernels, verdict-equivalent to
   :class:`~repro.analysis.verify.ScheduleVerifier`;
 * :func:`measure_schedule` — the single metric-collection helper behind
-  both the serial sweep and the executor's ``sweep_cell`` task.
+  both the serial sweep and the executor's ``sweep_cell`` task;
+* :func:`run_batch` — the scenario-batch Monte Carlo engine: one
+  columnar timeline replay per homebase, thousands of intruder/delay
+  scenarios scored against it (see :mod:`repro.fastpath.batchsim`).
 
 Layering: this package sits between the core schedule plane and the
 analysis/exec consumers — it imports ``core``/``topology``/``errors``
 only, never the simulation, protocol or CLI layers (lint rule RPR220).
 """
 
+from repro.fastpath.batchsim import (
+    DELAY_KINDS,
+    INTRUDER_POLICIES,
+    BatchResult,
+    BatchScenarioSpec,
+    BatchStats,
+    ScenarioTimeline,
+    compile_for_spec,
+    replay_order,
+    run_batch,
+)
 from repro.fastpath.batchverify import BatchVerificationReport, batch_verify
 from repro.fastpath.cache import (
     CACHE_DIR_ENV,
@@ -42,8 +56,17 @@ from repro.fastpath.compiled import (
 from repro.fastpath.measure import Measurable, measure_schedule
 
 __all__ = [
+    "BatchResult",
+    "BatchScenarioSpec",
+    "BatchStats",
     "BatchVerificationReport",
+    "DELAY_KINDS",
+    "INTRUDER_POLICIES",
+    "ScenarioTimeline",
     "batch_verify",
+    "compile_for_spec",
+    "replay_order",
+    "run_batch",
     "CACHE_DIR_ENV",
     "CacheStats",
     "ScheduleCache",

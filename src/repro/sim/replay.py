@@ -105,9 +105,15 @@ def execute_schedule_on_engine(
     topology,
     *,
     intruder: Optional[str] = "reachable",
+    intruder_seed: int = 0,
+    intruder_count: int = 2,
     check_contiguity: bool = True,
 ) -> SimResult:
     """Run ``schedule`` as scripted agents; returns the engine's verdict.
+
+    ``intruder_seed`` / ``intruder_count`` parameterize the walker
+    intruders exactly as on :class:`~repro.sim.engine.Engine`, so a
+    scripted replay is a scalar twin for any batch-engine scenario.
 
     Cloning schedules are executed with real ``CloneSelf`` actions: each
     clone is spawned, just before its first scripted move, by the agent
@@ -131,6 +137,8 @@ def execute_schedule_on_engine(
             delay=UnitDelay(),
             global_clock=True,
             intruder=intruder,
+            intruder_seed=intruder_seed,
+            intruder_count=intruder_count,
             check_contiguity=check_contiguity,
         )
         return engine.run()
@@ -173,6 +181,8 @@ def execute_schedule_on_engine(
         global_clock=True,
         cloning=True,
         intruder=intruder,
+        intruder_seed=intruder_seed,
+        intruder_count=intruder_count,
         check_contiguity=check_contiguity,
     )
     return engine.run()

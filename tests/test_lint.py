@@ -353,3 +353,33 @@ class TestExecLayering:
         from repro.lint.analyzer import exec_dir
 
         assert analyze_paths([exec_dir()]) == []
+
+
+class TestFastpathLayering:
+    """RPR220: the fastpath plane imports only core/topology/errors.
+
+    The batch Monte Carlo engine (``batchsim.py``) is the module most
+    tempted to cheat — its semantics mirror ``repro.sim.engine`` — so
+    its coverage is pinned explicitly.
+    """
+
+    def test_shipped_batchsim_is_clean(self):
+        from repro.lint.analyzer import fastpath_dir
+
+        assert analyze_path(fastpath_dir() / "batchsim.py") == []
+
+    def test_engine_import_from_batchsim_would_fire(self):
+        source = (
+            "import repro.sim.engine\n"
+            "from repro.analysis.verify import verify_schedule\n"
+        )
+        findings = analyze_source(source, "src/repro/fastpath/batchsim.py")
+        assert [f.code for f in findings] == ["RPR220", "RPR220"]
+
+    def test_core_imports_stay_allowed(self):
+        source = (
+            "from repro.core.strategy import get_strategy\n"
+            "from repro.topology.hypercube import Hypercube\n"
+            "from repro.errors import SimulationError\n"
+        )
+        assert analyze_source(source, "src/repro/fastpath/batchsim.py") == []

@@ -1,0 +1,136 @@
+"""Regression tests for the re-infection lifecycle's capture accounting.
+
+Three historical bugs are pinned here:
+
+* capture used to be derived from the *schedule's* verification verdict
+  (``complete and monotone``), ignoring the sampled seeds entirely — now
+  every seed hosts an inert fugitive whose seed-dependent capture time
+  is tracked against the period's timeline;
+* every period re-verified the translated schedule even when the
+  homebase repeated — verification and timelines are now memoized per
+  distinct homebase;
+* seed sampling and homebase rotation shared one RNG stream, so
+  toggling ``rotate_homebase`` silently reshuffled every later period's
+  seeds — they now draw from independent sub-streams, and seeds are
+  sampled as homebase-relative offsets.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.reinfection import PeriodicCleaning
+
+
+class TestSeedDependentCapture:
+    def test_capture_times_are_recorded_per_seed(self):
+        service = PeriodicCleaning(dimension=3, seeds_per_period=2, rng_seed=4)
+        for period in service.run(3):
+            assert period.captured
+            assert len(period.capture_times) == len(period.seeds)
+            assert all(t >= 1 for t in period.capture_times)
+
+    def test_homebase_adjacent_seed_is_not_captured_when_cleaned(self):
+        # the worst case the old accounting got wrong: seed 1 sits next
+        # to homebase 0 and its node is cleaned in the very first unit,
+        # but the fugitive FLEES — capture happens at the sweep's last
+        # pocket, not at the node's cleaning time
+        service = PeriodicCleaning(dimension=4, strategy="clean", rng_seed=0)
+        (capture_unit,) = service.score_seeds(0, [1])
+        timeline = service._timeline(0)
+        node_cleaned_unit = next(
+            t
+            for t, clean in zip(timeline.unit_times, timeline.clean_after)
+            if clean >> 1 & 1
+        )
+        assert node_cleaned_unit == 1
+        assert capture_unit == timeline.unit_times[timeline.complete_index]
+        assert capture_unit > node_cleaned_unit
+
+    def test_score_seeds_varies_with_the_seed_region(self):
+        # the two-pocket construction: different seeds, different times
+        import tests.test_batchsim as tb
+
+        service = PeriodicCleaning(dimension=3, rng_seed=0)
+        service._base_schedule = tb.two_pocket_schedule()
+        assert service.score_seeds(0, [1]) < service.score_seeds(0, [6])
+
+    def test_describe_shows_capture_times(self):
+        service = PeriodicCleaning(dimension=3, rng_seed=0)
+        service.run(1)
+        assert "at [" in service.describe()
+
+
+class TestMemoizedVerification:
+    def test_fixed_homebase_verifies_once(self, monkeypatch):
+        import repro.analysis.verify as verify_mod
+
+        calls = []
+        real = verify_mod.verify_schedule
+        monkeypatch.setattr(
+            verify_mod, "verify_schedule", lambda s, **kw: calls.append(1) or real(s, **kw)
+        )
+        service = PeriodicCleaning(dimension=3, rng_seed=2)
+        service.run(5)
+        assert len(calls) == 1
+        assert service.verifications == 1
+
+    def test_rotation_verifies_once_per_distinct_homebase(self):
+        service = PeriodicCleaning(
+            dimension=3, rotate_homebase=True, rng_seed=7
+        )
+        service.run(12)
+        distinct = {p.homebase for p in service.history}
+        assert len(distinct) < 12  # some homebase repeated in 12 draws over 8 nodes
+        assert service.verifications == len(distinct)
+
+
+class TestIndependentStreams:
+    def test_rotation_toggle_leaves_seed_offsets_unchanged(self):
+        fixed = PeriodicCleaning(dimension=4, seeds_per_period=3, rng_seed=11)
+        rotating = PeriodicCleaning(
+            dimension=4, seeds_per_period=3, rotate_homebase=True, rng_seed=11
+        )
+        fixed.run(6)
+        rotating.run(6)
+        for a, b in zip(fixed.history, rotating.history):
+            offsets_fixed = sorted(s ^ a.homebase for s in a.seeds)
+            offsets_rotating = sorted(s ^ b.homebase for s in b.seeds)
+            assert offsets_fixed == offsets_rotating
+
+    def test_pinned_orderings(self):
+        # golden sequences: any change to the draw order is a breaking
+        # change to recorded campaigns and must show up here
+        fixed = PeriodicCleaning(dimension=3, seeds_per_period=2, rng_seed=5)
+        fixed.run(4)
+        assert [p.homebase for p in fixed.history] == [0, 0, 0, 0]
+        fixed_seeds = [p.seeds for p in fixed.history]
+
+        rotating = PeriodicCleaning(
+            dimension=3, seeds_per_period=2, rotate_homebase=True, rng_seed=5
+        )
+        rotating.run(4)
+        homebases = [p.homebase for p in rotating.history]
+        assert len(set(homebases)) > 1
+        for hb, fixed_period, rotated in zip(homebases, fixed_seeds, rotating.history):
+            assert sorted(s ^ hb for s in rotated.seeds) == sorted(fixed_period)
+
+    def test_reproducible_and_seed_sensitive(self):
+        a = PeriodicCleaning(dimension=3, rotate_homebase=True, rng_seed=9)
+        b = PeriodicCleaning(dimension=3, rotate_homebase=True, rng_seed=9)
+        c = PeriodicCleaning(dimension=3, rotate_homebase=True, rng_seed=10)
+        assert a.run(5) == b.run(5)
+        assert a.history != c.run(5)
+
+
+class TestLifecycleContract:
+    def test_bad_seed_count_rejected(self):
+        with pytest.raises(ReproError):
+            PeriodicCleaning(dimension=3, seeds_per_period=0)
+
+    def test_seeds_avoid_homebase_under_rotation(self):
+        service = PeriodicCleaning(
+            dimension=3, seeds_per_period=7, rotate_homebase=True, rng_seed=3
+        )
+        for period in service.run(6):
+            assert period.homebase not in period.seeds
+            assert len(period.seeds) == 7  # capped at n - 1
