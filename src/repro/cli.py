@@ -11,6 +11,8 @@ Subcommands::
     repro-search report -d 8 -p clean            # metrics snapshot + sparklines
     repro-search watch -d 4 -p visibility        # stream engine events as JSONL
     repro-search montecarlo -d 8 --trials 5000   # scenario-batch Monte Carlo
+    repro-search trace .repro-trace              # render a RunLog span tree
+    repro-search metrics --runlog run.jsonl      # Prometheus text exposition
 
 The CLI is a thin veneer over the library; every command routes through
 the same public API the examples and benches use.
@@ -19,6 +21,7 @@ the same public API the examples and benches use.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -29,6 +32,9 @@ from repro.core.strategy import available_strategies, get_strategy
 from repro.topology.hypercube import Hypercube
 
 __all__ = ["main", "build_parser"]
+
+#: Default RunLog directory for ``--trace`` and the ``trace`` subcommand.
+DEFAULT_TRACE_DIR = ".repro-trace"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_flags(experiment)
     _add_cache_flags(experiment)
+    _add_trace_flag(experiment)
 
     lint = sub.add_parser(
         "lint",
@@ -145,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", metavar="FILE", default=None, help="also write CSV")
     _add_executor_flags(sweep)
     _add_cache_flags(sweep)
+    _add_trace_flag(sweep)
 
     montecarlo = sub.add_parser(
         "montecarlo",
@@ -194,6 +202,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", default=None, help="write summary + manifest JSON"
     )
     _add_executor_flags(montecarlo)
+    _add_trace_flag(montecarlo)
+
+    trace = sub.add_parser(
+        "trace", help="render a RunLog span tree (critical path + top self-time)"
+    )
+    trace.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="runlog .jsonl file or trace directory "
+        f"(default: latest run under {DEFAULT_TRACE_DIR})",
+    )
+    trace.add_argument(
+        "--top", type=int, default=5, help="rows in the self-time table (default: 5)"
+    )
+    trace.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="truncate the rendered tree below this depth",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="export metrics in Prometheus text exposition format"
+    )
+    metrics.add_argument(
+        "--runlog",
+        metavar="FILE",
+        default=None,
+        help="export the last metrics sample stored in a RunLog stream",
+    )
+    metrics.add_argument(
+        "-d", "--dimension", type=int, default=None, help="run a protocol live instead"
+    )
+    metrics.add_argument(
+        "-p",
+        "--protocol",
+        default="clean",
+        choices=["clean", "visibility", "cloning", "synchronous"],
+    )
+    metrics.add_argument("--delays", default="unit", choices=["unit", "random"])
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the exposition here instead of stdout",
+    )
 
     cache = sub.add_parser("cache", help="inspect or clear the schedule cache")
     cache.add_argument("action", choices=["info", "clear"])
@@ -257,6 +314,75 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the schedule cache even if $REPRO_SCHEDULE_CACHE is set",
     )
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared RunLog knob (see docs/OBSERVABILITY.md)."""
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="record a RunLog trajectory (spans + merged metrics) for this "
+        f"run; DIR defaults to {DEFAULT_TRACE_DIR}",
+    )
+
+
+class _TraceSession:
+    """Wires a tracer + registry around one CLI command run.
+
+    Entering installs the tracer as the process-wide active tracer (so
+    the serial ``Strategy.run`` / ``Engine.run`` paths pick it up);
+    exiting restores the previous tracer and writes the RunLog stream —
+    ``begin`` (with the run manifest), every finished span, the merged
+    metrics snapshot, and the explicit ``end`` marker.
+    """
+
+    def __init__(self, root: str, kind: str) -> None:
+        from pathlib import Path
+
+        from repro.obs import MetricsRegistry, RunLog, Tracer, new_run_id
+
+        self.runlog = RunLog(Path(root))
+        self.run_id = new_run_id()
+        self.tracer = Tracer(run_id=self.run_id)
+        self.registry = MetricsRegistry()
+        self.kind = kind
+        self.path = self.runlog.root / f"{self.run_id}.jsonl"
+        self._previous = None
+
+    def __enter__(self) -> "_TraceSession":
+        from repro.obs import set_active_tracer
+
+        self._previous = set_active_tracer(self.tracer)
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        from repro.obs import build_manifest, set_active_tracer
+
+        set_active_tracer(self._previous)
+        with self.runlog.writer(self.run_id) as writer:
+            writer.begin(
+                manifest=build_manifest(extra={"command": self.kind}),
+                command=self.kind,
+            )
+            writer.write_spans(self.tracer.to_records())
+            writer.write_metrics(self.registry.snapshot())
+            writer.end(status="ok" if exc_type is None else "error")
+
+
+def _trace_session(args: argparse.Namespace, kind: str):
+    """A :class:`_TraceSession` when ``--trace`` was given, else ``None``."""
+    flag = getattr(args, "trace", None)
+    if flag is None:
+        return None
+    return _TraceSession(flag or DEFAULT_TRACE_DIR, kind)
+
+
+def _trace_epilogue(trace) -> None:
+    if trace is not None:
+        print(f"trace written to {trace.path} (run {trace.run_id})")
 
 
 def _resolve_cache_dir(args: argparse.Namespace):
@@ -346,17 +472,26 @@ def _write_merged_manifest_for(resume: str, outcomes, kind: str) -> None:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.errors import ReproError
 
     cache_dir = _resolve_cache_dir(args)
+    trace = _trace_session(args, "experiment")
     if _executor_requested(args):
         from repro.exec import parallel_experiments
 
         ids = None if args.id is None else [args.id]
         try:
-            results, outcomes = parallel_experiments(
-                ids, _executor_config(args), checkpoint=args.resume, cache_dir=cache_dir
-            )
+            with trace or nullcontext():
+                results, outcomes = parallel_experiments(
+                    ids,
+                    _executor_config(args),
+                    checkpoint=args.resume,
+                    cache_dir=cache_dir,
+                    metrics=trace.registry if trace else None,
+                    tracer=trace.tracer if trace else None,
+                )
         except ReproError as exc:
             print(f"repro-search experiment: {exc}", file=sys.stderr)
             return 2
@@ -366,6 +501,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         _executor_epilogue(outcomes)
         if args.resume:
             _write_merged_manifest_for(args.resume, outcomes, "experiment")
+        _trace_epilogue(trace)
         return 0 if all(r.passed for r in results) else 1
 
     from repro.analysis.experiments import run_all, run_experiment
@@ -376,9 +512,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from repro.fastpath import ScheduleCache
 
         cache = ScheduleCache(cache_dir)
+        if trace is not None:
+            cache.bind_metrics(trace.registry)
+            cache.bind_tracer(trace.tracer)
     previous = set_active_cache(cache)
     try:
-        results = run_all() if args.id is None else [run_experiment(args.id)]
+        with trace or nullcontext():
+            results = run_all() if args.id is None else [run_experiment(args.id)]
     finally:
         set_active_cache(previous)
     for result in results:
@@ -386,26 +526,33 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print()
     if cache is not None:
         _cache_epilogue(cache)
+    _trace_epilogue(trace)
     return 0 if all(r.passed for r in results) else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.errors import ReproError
 
     cache_dir = _resolve_cache_dir(args)
+    trace = _trace_session(args, "sweep")
     outcomes = None
     cache = None
     if _executor_requested(args):
         from repro.exec import parallel_sweep
 
         try:
-            sweep, rows, outcomes = parallel_sweep(
-                args.strategies,
-                args.dimensions,
-                _executor_config(args),
-                checkpoint=args.resume,
-                cache_dir=cache_dir,
-            )
+            with trace or nullcontext():
+                sweep, rows, outcomes = parallel_sweep(
+                    args.strategies,
+                    args.dimensions,
+                    _executor_config(args),
+                    checkpoint=args.resume,
+                    cache_dir=cache_dir,
+                    metrics=trace.registry if trace else None,
+                    tracer=trace.tracer if trace else None,
+                )
         except ReproError as exc:
             print(f"repro-search sweep: {exc}", file=sys.stderr)
             return 2
@@ -415,8 +562,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         if cache_dir is not None:
             cache = ScheduleCache(cache_dir)
+            if trace is not None:
+                cache.bind_metrics(trace.registry)
+                cache.bind_tracer(trace.tracer)
         try:
-            sweep, rows = run_sweep(args.strategies, args.dimensions, cache=cache)
+            with trace or nullcontext():
+                sweep, rows = run_sweep(args.strategies, args.dimensions, cache=cache)
         except ReproError as exc:
             print(f"repro-search sweep: {exc}", file=sys.stderr)
             return 2
@@ -434,6 +585,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         if not _write_text_file(args.csv, sweep.to_csv(rows), "CSV"):
             return 2
+    _trace_epilogue(trace)
     return 0 if all(row.ok for row in rows) else 1
 
 
@@ -461,14 +613,23 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         print(f"repro-search montecarlo: {exc}", file=sys.stderr)
         return 2
 
+    from contextlib import nullcontext
+
+    trace = _trace_session(args, "montecarlo")
     outcomes = None
     if _executor_requested(args):
         from repro.exec import parallel_montecarlo
 
         try:
-            result, outcomes = parallel_montecarlo(
-                spec, _executor_config(args), shards=args.shards, checkpoint=args.resume
-            )
+            with trace or nullcontext():
+                result, outcomes = parallel_montecarlo(
+                    spec,
+                    _executor_config(args),
+                    shards=args.shards,
+                    checkpoint=args.resume,
+                    metrics=trace.registry if trace else None,
+                    tracer=trace.tracer if trace else None,
+                )
         except ReproError as exc:
             print(f"repro-search montecarlo: {exc}", file=sys.stderr)
             return 2
@@ -476,9 +637,12 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         from repro.fastpath.batchsim import run_batch
         from repro.obs import MetricsRegistry
 
-        registry = MetricsRegistry()
+        registry = trace.registry if trace else MetricsRegistry()
         try:
-            result = run_batch(spec, metrics=registry)
+            with trace or nullcontext():
+                result = run_batch(
+                    spec, metrics=registry, tracer=trace.tracer if trace else None
+                )
         except ReproError as exc:
             print(f"repro-search montecarlo: {exc}", file=sys.stderr)
             return 2
@@ -501,6 +665,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             args.json, json.dumps(payload, indent=2, sort_keys=True), "summary"
         ):
             return 2
+    _trace_epilogue(trace)
     missing = result.counters.get("missing_trials", 0)
     return 0 if result.count and not missing else 1
 
@@ -660,7 +825,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         import json
         from pathlib import Path
 
-        payload = {"manifest": result.manifest, "metrics": snapshot}
+        from repro.obs import report_payload
+
+        payload = {
+            "manifest": result.manifest,
+            "metrics": snapshot,
+            "report": report_payload(snapshot),
+        }
         Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"snapshot written to {args.json}")
     return 0 if result.ok and not violations else 1
@@ -697,6 +868,93 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     if args.output:
         print(f"{streamer.count} events -> {args.output}")
     return 0 if result.ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import RunLog, read_runlog, render_trace
+
+    target = Path(args.path) if args.path else Path(DEFAULT_TRACE_DIR)
+    if target.is_dir():
+        latest = RunLog(target).latest()
+        if latest is None:
+            print(
+                f"repro-search trace: no runs indexed under {target}", file=sys.stderr
+            )
+            return 2
+        target = latest
+    try:
+        data = read_runlog(target)
+    except OSError as exc:
+        print(f"repro-search trace: cannot read {target}: {exc}", file=sys.stderr)
+        return 2
+    status = (data.end or {}).get("status", "incomplete")
+    print(f"run {data.run_id or '?'}  [{data.schema or '?'}]  status: {status}")
+    if data.manifest:
+        git = data.manifest.get("git") or "unknown"
+        print(f"manifest: {data.manifest.get('schema')} @ {git}")
+    print()
+    if data.spans:
+        print(render_trace(data.spans, top=args.top, max_depth=args.max_depth))
+    else:
+        print("(no spans recorded)")
+    counters = data.counters
+    if counters:
+        print()
+        print("counters:")
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]:g}")
+    if data.events:
+        print(f"{len(data.events)} event record(s)")
+    return 0 if data.complete else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import to_prometheus
+
+    if args.runlog:
+        from repro.obs import read_runlog
+
+        try:
+            data = read_runlog(args.runlog)
+        except OSError as exc:
+            print(
+                f"repro-search metrics: cannot read {args.runlog}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        if not data.metrics:
+            print(
+                f"repro-search metrics: no metrics records in {args.runlog}",
+                file=sys.stderr,
+            )
+            return 2
+        snapshot = data.metrics[-1]
+    elif args.dimension is not None:
+        from repro.obs import SimMetricsCollector
+
+        collector = SimMetricsCollector()
+        runner = _protocol_runner(args.protocol)
+        runner(
+            args.dimension,
+            delay=_make_delay(args.delays, args.seed),
+            subscribers=[collector],
+        )
+        snapshot = collector.snapshot()
+    else:
+        print(
+            "repro-search metrics: pass --runlog FILE or -d DIMENSION",
+            file=sys.stderr,
+        )
+        return 2
+    text = to_prometheus(snapshot)
+    if args.output:
+        if not _write_text_file(args.output, text, "metrics"):
+            return 2
+    else:
+        print(text, end="")
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -749,7 +1007,24 @@ def _cmd_formulas(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for the ``repro-search`` console script."""
+    """Entry point for the ``repro-search`` console script.
+
+    A downstream pipe closing early (``repro-search trace | head``) is a
+    normal way to consume the streaming subcommands, not an error: the
+    resulting ``BrokenPipeError`` exits quietly with the conventional
+    SIGPIPE status instead of a traceback.
+    """
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # reopen stdout on devnull so the interpreter's shutdown flush
+        # does not raise a second BrokenPipeError over the first
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 128 + 13
+
+
+def _dispatch(argv: Optional[List[str]]) -> int:
+    """Parse ``argv`` and invoke the matching subcommand handler."""
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
@@ -765,6 +1040,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache": _cmd_cache,
         "report": _cmd_report,
         "watch": _cmd_watch,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)
 

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Type
 
 from repro.core.schedule import Schedule
 from repro.errors import ReproError
+from repro.obs.trace import get_active_tracer
 from repro.topology.hypercube import Hypercube
 
 __all__ = [
@@ -110,8 +111,22 @@ class Strategy(abc.ABC):
 
         When a process-wide cache is installed (:func:`set_active_cache`)
         the schedule is served from it — a warm hit skips generation
-        entirely, which is what makes repeat sweeps cheap.
+        entirely, which is what makes repeat sweeps cheap.  When a
+        process-wide tracer is active
+        (:func:`repro.obs.trace.set_active_tracer`) the call is wrapped in
+        a ``strategy.run`` span; disabled tracing costs one global read.
         """
+        tracer = get_active_tracer()
+        if tracer is None:
+            return self._run(dimension)
+        with tracer.span(
+            "strategy.run", strategy=self.name, dimension=dimension
+        ) as span:
+            schedule = self._run(dimension)
+            span.attrs["moves"] = len(schedule.moves)
+            return schedule
+
+    def _run(self, dimension: int) -> Schedule:
         cache = _ACTIVE_CACHE
         if cache is not None:
             return cache.schedule_for(self, dimension)  # type: ignore[attr-defined]

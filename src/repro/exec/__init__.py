@@ -29,7 +29,12 @@ from repro.exec.jobs import (
     register_task,
     registered_tasks,
 )
-from repro.exec.pool import ExecutorConfig, ParallelExecutor, run_jobs
+from repro.exec.pool import (
+    ExecutorConfig,
+    ParallelExecutor,
+    merge_outcome_telemetry,
+    run_jobs,
+)
 from repro.exec.runner import (
     experiment_jobs,
     merged_manifest,
@@ -55,6 +60,7 @@ __all__ = [
     "experiment_jobs",
     "fingerprint_jobs",
     "get_task",
+    "merge_outcome_telemetry",
     "merged_manifest",
     "montecarlo_jobs",
     "parallel_experiments",

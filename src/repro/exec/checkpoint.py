@@ -1,7 +1,7 @@
 """Resumable on-disk checkpoints for the parallel executor.
 
 A checkpoint is an append-only JSONL file (schema
-``repro-exec-checkpoint/v1``): a header record followed by one record
+``repro-exec-checkpoint/v2``): a header record followed by one record
 per finished job, flushed as each job completes so an interrupted run
 loses at most the jobs still in flight.
 
@@ -31,11 +31,15 @@ from typing import IO, Any, Dict, List, Optional, Sequence, Union
 
 from repro.errors import CheckpointError
 from repro.exec.jobs import Job, JobOutcome, JobStatus
+from repro.obs.stream import read_jsonl_records
 
 __all__ = ["CHECKPOINT_SCHEMA", "Checkpoint", "fingerprint_jobs"]
 
-#: Schema identifier stamped into every checkpoint header.
-CHECKPOINT_SCHEMA = "repro-exec-checkpoint/v1"
+#: Schema identifier stamped into every checkpoint header.  v2 added the
+#: per-outcome ``telemetry`` field (worker span tree + metrics delta) so a
+#: resumed run restores merged telemetry; v1 files simply fail the header
+#: check and the run starts fresh — the usual resume degradation path.
+CHECKPOINT_SCHEMA = "repro-exec-checkpoint/v2"
 
 #: Manifest keys that participate in the fingerprint (the volatile keys —
 #: metrics, seeds chosen per cell — do not).
@@ -101,24 +105,13 @@ class Checkpoint:
         return reusable
 
     def _read_records(self) -> List[Dict[str, Any]]:
-        if not self.path.exists():
-            return []
-        records: List[Dict[str, Any]] = []
+        # Shared torn-tail-tolerant JSONL reader (also behind the RunLog
+        # trajectory store): stop at the first undecodable line, keep the
+        # intact prefix.
         try:
-            text = self.path.read_text()
+            return read_jsonl_records(self.path, missing_ok=True)
         except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                break  # torn tail from a crash mid-append: keep the prefix
-            if isinstance(record, dict):
-                records.append(record)
-        return records
 
     # ------------------------------------------------------------------ #
     # writing

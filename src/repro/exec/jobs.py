@@ -91,6 +91,10 @@ class JobOutcome:
     worker_pid: Optional[int] = None
     manifest: Optional[Dict[str, Any]] = None
     cached: bool = False
+    #: Worker-side capture shipped over the result pipe: ``{"spans": [...],
+    #: "metrics": <registry snapshot delta>}``.  Persisted in the checkpoint
+    #: so a resumed run restores the merged telemetry of reused cells.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -107,6 +111,7 @@ class JobOutcome:
             "duration": round(self.duration, 6),
             "worker_pid": self.worker_pid,
             "manifest": self.manifest,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -121,15 +126,26 @@ class JobOutcome:
             worker_pid=data.get("worker_pid"),
             manifest=data.get("manifest"),
             cached=True,
+            telemetry=data.get("telemetry"),
         )
 
 
 @dataclass(frozen=True)
 class TaskContext:
-    """What a task may know about its own execution."""
+    """What a task may know about its own execution.
+
+    ``metrics`` and ``tracer`` are the worker-local telemetry sinks (a
+    fresh :class:`~repro.obs.metrics.MetricsRegistry` and
+    :class:`~repro.obs.trace.Tracer` per attempt, so their contents are
+    the attempt's *delta*); both are ``None`` when telemetry capture is
+    off.  Typed as ``Any`` — tasks duck-type them into layers (fastpath)
+    that must not import ``repro.obs``.
+    """
 
     key: str
     attempt: int  # 0-based: 0 on the first try, 1 on the first retry, ...
+    metrics: Optional[Any] = None
+    tracer: Optional[Any] = None
 
 
 TaskFn = Callable[[Dict[str, Any], TaskContext], Dict[str, Any]]

@@ -32,6 +32,18 @@ result tables.
 Observability: pass a :class:`~repro.obs.MetricsRegistry` to count
 ok/failed/retried/crashed/timed-out jobs and sample per-job wall time;
 every outcome carries the worker-built ``repro-manifest/v1`` record.
+
+Cross-process telemetry: when a registry and/or a
+:class:`~repro.obs.trace.Tracer` is attached, each worker builds its own
+tracer + registry (their contents are the attempt's *delta*), serializes
+both, and ships them back with the result.  The parent folds the deltas
+in **job-definition order** (via :func:`merge_outcome_telemetry` — the
+same determinism contract the result table already makes), so
+``fastpath.cache.*`` / ``fastpath.batchsim.*`` counters are correct under
+``--jobs N``, and grafts each worker's span tree under a per-job
+``exec.job`` span with one ``exec.attempt`` child per try (crashes,
+timeouts and retries appear as distinct error-status spans).  Telemetry
+rides inside the checkpoint outcome records, so ``--resume`` restores it.
 """
 
 from __future__ import annotations
@@ -42,16 +54,18 @@ import multiprocessing
 import multiprocessing.connection
 import time
 import traceback
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, ContextManager, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ExecutionError
 from repro.exec.checkpoint import Checkpoint
 from repro.exec.jobs import Job, JobOutcome, JobStatus, TaskContext, get_task
 from repro.obs import MetricsRegistry, build_manifest
+from repro.obs.trace import Tracer, set_active_tracer
 
-__all__ = ["ExecutorConfig", "ParallelExecutor", "run_jobs"]
+__all__ = ["ExecutorConfig", "ParallelExecutor", "run_jobs", "merge_outcome_telemetry"]
 
 #: Upper bound on one poll cycle so deadline/backoff bookkeeping stays live.
 _POLL_SECONDS = 0.05
@@ -63,18 +77,43 @@ def _worker_main(
     key: str,
     attempt: int,
     conn: multiprocessing.connection.Connection,
+    run_id: Optional[str] = None,
+    telemetry: bool = False,
 ) -> None:
-    """Child-process entry point: run one task attempt, report, exit."""
+    """Child-process entry point: run one task attempt, report, exit.
+
+    With ``telemetry`` on, the attempt runs under a fresh worker-local
+    :class:`~repro.obs.trace.Tracer` (installed as the process-wide active
+    tracer so `Strategy.run` / `Engine.run` instrumentation fires) and a
+    fresh :class:`~repro.obs.MetricsRegistry`; both serialize into the
+    result message for the parent to merge.
+    """
     import repro.exec.tasks as tasks  # registers the built-in tasks
 
+    tracer: Optional[Tracer] = None
+    registry: Optional[MetricsRegistry] = None
+    if telemetry:
+        tracer = Tracer(run_id=run_id)
+        registry = MetricsRegistry()
+        set_active_tracer(tracer)
     try:
         tasks.maybe_inject_crash(key, attempt)
         fn = get_task(task_name)
-        value = fn(payload, TaskContext(key=key, attempt=attempt))
-        manifest = build_manifest(
-            extra={"job": key, "task": task_name, "attempt": attempt}
-        )
-        conn.send(("ok", value, manifest))
+        ctx = TaskContext(key=key, attempt=attempt, metrics=registry, tracer=tracer)
+        if tracer is not None:
+            with tracer.span("worker.job", job=key, task=task_name, attempt=attempt):
+                value = fn(payload, ctx)
+        else:
+            value = fn(payload, ctx)
+        extra: Dict[str, Any] = {"job": key, "task": task_name, "attempt": attempt}
+        if run_id is not None:
+            extra["run_id"] = run_id
+        manifest = build_manifest(extra=extra)
+        captured: Optional[Dict[str, Any]] = None
+        if telemetry:
+            assert tracer is not None and registry is not None
+            captured = {"spans": tracer.to_records(), "metrics": registry.snapshot()}
+        conn.send(("ok", value, manifest, captured))
     except BaseException as exc:  # noqa: BLE001 - the pipe is the error channel
         detail = traceback.format_exc(limit=8)
         conn.send(("error", f"{type(exc).__name__}: {exc}", detail))
@@ -152,7 +191,12 @@ class ParallelExecutor:
         Pool sizing and retry/timeout policy.
     metrics:
         Optional registry receiving the ``exec.*`` counters and the
-        per-job duration series.
+        per-job duration series, plus every worker's merged metrics delta.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when set, the run gets
+        an ``exec.run`` span, each job an ``exec.job`` span with
+        per-attempt children, and worker span trees are grafted under
+        their job span.  Its ``run_id`` is threaded to every worker.
     on_outcome:
         Optional callback fired as each job reaches a terminal state
         (progress reporting; called in completion order).
@@ -163,16 +207,25 @@ class ParallelExecutor:
         config: Optional[ExecutorConfig] = None,
         *,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
         on_outcome: Optional[Callable[[Job, JobOutcome], None]] = None,
     ) -> None:
         self.config = config or ExecutorConfig()
         self.config.validate()
         self.metrics = metrics
+        self.tracer = tracer
         self.on_outcome = on_outcome
+        #: Per-job attempt history for the current run (parent-side spans).
+        self._attempt_history: Dict[str, List[Dict[str, Any]]] = {}
         method = self.config.start_method
         if method is None:
             method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         self._ctx = multiprocessing.get_context(method)
+
+    @property
+    def _capture_telemetry(self) -> bool:
+        """Workers capture + ship telemetry whenever a sink is attached."""
+        return self.metrics is not None or self.tracer is not None
 
     # ------------------------------------------------------------------ #
 
@@ -192,51 +245,62 @@ class ParallelExecutor:
         ordered = self._validate_jobs(jobs)
         manifest = manifest if manifest is not None else build_manifest()
         ckpt = Checkpoint(checkpoint) if isinstance(checkpoint, (str, Path)) else checkpoint
+        self._attempt_history = {}
 
-        done: Dict[str, JobOutcome] = {}
-        if ckpt is not None:
-            done = ckpt.open(ordered, manifest)
-            for job in ordered:
-                if job.key in done:
-                    self._note_outcome(job, done[job.key], from_cache=True)
-
-        pending: List[Job] = [job for job in ordered if job.key not in done]
-        attempts: Dict[str, int] = {job.key: 0 for job in pending}
-        errors: Dict[str, str] = {}
-        delayed: List[Tuple[float, int, Job]] = []  # (ready_at, seq, job)
-        running: Dict[str, _Running] = {}
-        seq = itertools.count()
-        try:
-            while pending or delayed or running:
-                now = time.monotonic()
-                while delayed and delayed[0][0] <= now:
-                    pending.append(heapq.heappop(delayed)[2])
-                while pending and len(running) < self.config.jobs:
-                    self._launch(pending.pop(0), attempts, running)
-                self._wait(running, delayed)
-                now = time.monotonic()
-                for slot in list(running.values()):
-                    outcome = self._reap(slot, now, attempts, errors)
-                    if outcome is None:
-                        continue
-                    del running[slot.job.key]
-                    if outcome is _RETRY:
-                        ready = now + self.config.backoff(slot.attempt)
-                        heapq.heappush(delayed, (ready, next(seq), slot.job))
-                    else:
-                        assert isinstance(outcome, JobOutcome)
-                        done[slot.job.key] = outcome
-                        if ckpt is not None:
-                            ckpt.record(outcome)
-                        self._note_outcome(slot.job, outcome)
-        finally:
-            for slot in running.values():
-                if slot.process.is_alive():
-                    slot.process.kill()
-                slot.process.join()
-                slot.conn.close()
+        run_span: ContextManager[Any] = (
+            self.tracer.span("exec.run", jobs=len(ordered), workers=self.config.jobs)
+            if self.tracer is not None
+            else nullcontext()
+        )
+        with run_span:
+            done: Dict[str, JobOutcome] = {}
             if ckpt is not None:
-                ckpt.close()
+                done = ckpt.open(ordered, manifest)
+                for job in ordered:
+                    if job.key in done:
+                        self._note_outcome(job, done[job.key], from_cache=True)
+
+            pending: List[Job] = [job for job in ordered if job.key not in done]
+            attempts: Dict[str, int] = {job.key: 0 for job in pending}
+            errors: Dict[str, str] = {}
+            delayed: List[Tuple[float, int, Job]] = []  # (ready_at, seq, job)
+            running: Dict[str, _Running] = {}
+            seq = itertools.count()
+            try:
+                while pending or delayed or running:
+                    now = time.monotonic()
+                    while delayed and delayed[0][0] <= now:
+                        pending.append(heapq.heappop(delayed)[2])
+                    while pending and len(running) < self.config.jobs:
+                        self._launch(pending.pop(0), attempts, running)
+                    self._wait(running, delayed)
+                    now = time.monotonic()
+                    for slot in list(running.values()):
+                        outcome = self._reap(slot, now, attempts, errors)
+                        if outcome is None:
+                            continue
+                        del running[slot.job.key]
+                        if outcome is _RETRY:
+                            ready = now + self.config.backoff(slot.attempt)
+                            heapq.heappush(delayed, (ready, next(seq), slot.job))
+                        else:
+                            assert isinstance(outcome, JobOutcome)
+                            done[slot.job.key] = outcome
+                            if ckpt is not None:
+                                ckpt.record(outcome)
+                            self._note_outcome(slot.job, outcome)
+            finally:
+                for slot in running.values():
+                    if slot.process.is_alive():
+                        slot.process.kill()
+                    slot.process.join()
+                    slot.conn.close()
+                if ckpt is not None:
+                    ckpt.close()
+
+            # Completion order varied with scheduling; the merge below is in
+            # job-definition order, the executor's determinism contract.
+            self._merge_telemetry(ordered, done)
 
         return [done[job.key] for job in ordered]
 
@@ -257,9 +321,10 @@ class ParallelExecutor:
     def _launch(self, job: Job, attempts: Dict[str, int], running: Dict[str, _Running]) -> None:
         attempt = attempts[job.key]
         recv, send = self._ctx.Pipe(duplex=False)
+        run_id = self.tracer.run_id if self.tracer is not None else None
         process = self._ctx.Process(
             target=_worker_main,
-            args=(job.task, job.payload, job.key, attempt, send),
+            args=(job.task, job.payload, job.key, attempt, send, run_id, self._capture_telemetry),
             name=f"repro-exec:{job.key}:a{attempt}",
             daemon=True,
         )
@@ -308,12 +373,14 @@ class ParallelExecutor:
             slot.process.join()
             slot.conn.close()
             if message is not None and message[0] == "ok":
-                _, value, worker_manifest = message
-                return self._finish_ok(slot, now, value, worker_manifest)
+                _, value, worker_manifest, telemetry = message
+                self._log_attempt(slot, now, "ok")
+                return self._finish_ok(slot, now, value, worker_manifest, telemetry)
             if message is not None:
                 _, error, detail = message
                 errors[key] = error
                 self._count("exec.task_errors")
+                self._log_attempt(slot, now, "task-error", error)
                 if self.config.retry_errors and self._retries_left(slot):
                     return self._note_retry(slot, attempts)
                 return self._finish_failed(slot, now, error, attempts)
@@ -322,12 +389,14 @@ class ParallelExecutor:
             code = slot.process.exitcode
             errors[key] = f"worker crashed (exit code {code})"
             self._count("exec.crashes")
+            self._log_attempt(slot, now, "crash", errors[key])
         elif not slot.process.is_alive():
             slot.process.join()
             slot.conn.close()
             code = slot.process.exitcode
             errors[key] = f"worker crashed (exit code {code})"
             self._count("exec.crashes")
+            self._log_attempt(slot, now, "crash", errors[key])
         elif slot.deadline is not None and now >= slot.deadline:
             slot.process.kill()
             slot.process.join()
@@ -335,6 +404,7 @@ class ParallelExecutor:
             assert self.config.timeout is not None
             errors[key] = f"timed out after {self.config.timeout:g}s"
             self._count("exec.timeouts")
+            self._log_attempt(slot, now, "timeout", errors[key])
         else:
             return None  # still running
         # crash / timeout path: requeue on a fresh worker if budget remains
@@ -350,12 +420,70 @@ class ParallelExecutor:
         self._count("exec.retries")
         return _RETRY
 
+    def _log_attempt(self, slot: _Running, now: float, outcome: str, error: Optional[str] = None) -> None:
+        """Remember one attempt's timing/outcome for the per-job spans."""
+        if self.tracer is None:
+            return
+        entry: Dict[str, Any] = {
+            "attempt": slot.attempt,
+            "outcome": outcome,
+            "start": slot.started,
+            "end": now,
+        }
+        if error is not None:
+            entry["error"] = error
+        self._attempt_history.setdefault(slot.job.key, []).append(entry)
+
+    def _merge_telemetry(self, ordered: Sequence[Job], done: Dict[str, JobOutcome]) -> None:
+        """Fold worker telemetry in job-definition order; emit job spans."""
+        if self.metrics is not None:
+            merge_outcome_telemetry(
+                [done[job.key] for job in ordered if job.key in done], metrics=self.metrics
+            )
+        tracer = self.tracer
+        if tracer is None:
+            return
+        for job in ordered:
+            outcome = done.get(job.key)
+            if outcome is None:  # pragma: no cover - run() always fills done
+                continue
+            history = self._attempt_history.get(job.key, [])
+            start = history[0]["start"] if history else 0.0
+            end = history[-1]["end"] if history else 0.0
+            job_span = tracer.record_span(
+                "exec.job",
+                start=start,
+                end=end,
+                status="ok" if outcome.ok else "error",
+                job=job.key,
+                task=job.task,
+                attempts=outcome.attempts,
+                cached=outcome.cached,
+            )
+            for entry in history:
+                attrs: Dict[str, Any] = {"attempt": entry["attempt"], "outcome": entry["outcome"]}
+                if "error" in entry:
+                    attrs["error"] = entry["error"]
+                tracer.record_span(
+                    "exec.attempt",
+                    parent=job_span,
+                    start=entry["start"],
+                    end=entry["end"],
+                    status="ok" if entry["outcome"] == "ok" else "error",
+                    **attrs,
+                )
+            telemetry = outcome.telemetry or {}
+            spans = telemetry.get("spans")
+            if spans:
+                tracer.attach(spans, parent=job_span)
+
     def _finish_ok(
         self,
         slot: _Running,
         now: float,
         value: Optional[Dict[str, Any]],
         worker_manifest: Optional[Dict[str, Any]],
+        telemetry: Optional[Dict[str, Any]],
     ) -> JobOutcome:
         self._count("exec.jobs_ok")
         return JobOutcome(
@@ -366,6 +494,7 @@ class ParallelExecutor:
             duration=now - slot.started,
             worker_pid=slot.process.pid,
             manifest=worker_manifest,
+            telemetry=telemetry,
         )
 
     def _finish_failed(
@@ -401,6 +530,28 @@ class ParallelExecutor:
 _RETRY: object = object()
 
 
+def merge_outcome_telemetry(
+    outcomes: Sequence[JobOutcome],
+    *,
+    metrics: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Fold every outcome's worker metrics delta into one registry.
+
+    The merge is **order-insensitive in effect**: outcomes are folded
+    sorted by job key, so a shuffled completion order, a crash-requeued
+    worker (only the successful attempt ships telemetry) and a
+    resume-from-checkpoint run all produce byte-identical merged
+    snapshots — the property the telemetry determinism tests pin.
+    """
+    registry = metrics if metrics is not None else MetricsRegistry()
+    for outcome in sorted(outcomes, key=lambda o: o.key):
+        telemetry = outcome.telemetry or {}
+        snapshot = telemetry.get("metrics")
+        if snapshot:
+            registry.merge_snapshot(snapshot)
+    return registry
+
+
 def run_jobs(
     jobs: Sequence[Job],
     config: Optional[ExecutorConfig] = None,
@@ -408,8 +559,9 @@ def run_jobs(
     checkpoint: Optional[Union[str, Path]] = None,
     manifest: Optional[Dict[str, Any]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
     on_outcome: Optional[Callable[[Job, JobOutcome], None]] = None,
 ) -> List[JobOutcome]:
     """Convenience wrapper: build a :class:`ParallelExecutor` and run."""
-    executor = ParallelExecutor(config, metrics=metrics, on_outcome=on_outcome)
+    executor = ParallelExecutor(config, metrics=metrics, tracer=tracer, on_outcome=on_outcome)
     return executor.run(jobs, checkpoint=checkpoint, manifest=manifest)

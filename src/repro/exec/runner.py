@@ -29,6 +29,7 @@ from repro.analysis.sweeps import Sweep, SweepRow
 from repro.exec.jobs import Job, JobOutcome
 from repro.exec.pool import ExecutorConfig, ParallelExecutor
 from repro.obs import MetricsRegistry, build_manifest
+from repro.obs.trace import Tracer
 
 __all__ = [
     "experiment_jobs",
@@ -93,6 +94,7 @@ def parallel_sweep(
     cache_dir: Optional[Union[str, Path]] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
     on_outcome: Optional[OutcomeHook] = None,
 ) -> Tuple[Sweep, List[SweepRow], List[JobOutcome]]:
     """The parallel twin of :func:`repro.analysis.sweeps.run_sweep`.
@@ -105,7 +107,7 @@ def parallel_sweep(
     """
     sweep = Sweep(strategies, dimensions, verify=verify)
     jobs = sweep_jobs(strategies, dimensions, verify=verify, cache_dir=cache_dir)
-    executor = ParallelExecutor(config, metrics=metrics, on_outcome=on_outcome)
+    executor = ParallelExecutor(config, metrics=metrics, tracer=tracer, on_outcome=on_outcome)
     outcomes = executor.run(jobs, checkpoint=checkpoint, manifest=_batch_manifest(jobs))
 
     rows: List[SweepRow] = []
@@ -173,6 +175,7 @@ def parallel_experiments(
     cache_dir: Optional[Union[str, Path]] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
     on_outcome: Optional[OutcomeHook] = None,
 ) -> Tuple[List[ExperimentResult], List[JobOutcome]]:
     """The parallel twin of :func:`repro.analysis.experiments.run_all`.
@@ -182,7 +185,7 @@ def parallel_experiments(
     carry the executor's error text (``EXECUTOR FAILED: ...``).
     """
     jobs = experiment_jobs(ids, cache_dir=cache_dir)
-    executor = ParallelExecutor(config, metrics=metrics, on_outcome=on_outcome)
+    executor = ParallelExecutor(config, metrics=metrics, tracer=tracer, on_outcome=on_outcome)
     outcomes = executor.run(jobs, checkpoint=checkpoint, manifest=_batch_manifest(jobs))
 
     results: List[ExperimentResult] = []
@@ -253,6 +256,7 @@ def parallel_montecarlo(
     shards: Optional[int] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
     on_outcome: Optional[OutcomeHook] = None,
 ) -> Tuple[Any, List[JobOutcome]]:
     """The parallel twin of :func:`repro.fastpath.batchsim.run_batch`.
@@ -268,7 +272,7 @@ def parallel_montecarlo(
 
     config = config or ExecutorConfig()
     jobs = montecarlo_jobs(spec, shards or max(config.jobs, 1))
-    executor = ParallelExecutor(config, metrics=metrics, on_outcome=on_outcome)
+    executor = ParallelExecutor(config, metrics=metrics, tracer=tracer, on_outcome=on_outcome)
     outcomes = executor.run(jobs, checkpoint=checkpoint, manifest=_batch_manifest(jobs))
 
     parts = []

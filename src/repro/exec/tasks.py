@@ -76,6 +76,11 @@ def sweep_cell(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]:
     dimension = int(payload["dimension"])
     cache_dir = payload.get("cache_dir")
     cache = ScheduleCache(Path(str(cache_dir))) if cache_dir else None
+    if cache is not None:
+        # Mirror cache hit/miss/publish into the worker's telemetry sinks
+        # (both Nones when capture is off — bind() accepts that).
+        cache.bind_metrics(ctx.metrics)
+        cache.bind_tracer(ctx.tracer)
     values, _, provenance = measure_cell(
         name, dimension, verify=bool(payload.get("verify", True)), cache=cache
     )
@@ -110,6 +115,8 @@ def experiment_cell(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]
         from repro.fastpath import ScheduleCache
 
         cache = ScheduleCache(Path(str(cache_dir)))
+        cache.bind_metrics(ctx.metrics)
+        cache.bind_tracer(ctx.tracer)
         previous = set_active_cache(cache)
         try:
             result = run_experiment(str(payload["id"]))
@@ -145,7 +152,13 @@ def batch_cell(payload: Dict[str, Any], ctx: TaskContext) -> Dict[str, Any]:
     from repro.fastpath.batchsim import BatchScenarioSpec, run_batch
 
     spec = BatchScenarioSpec.from_payload(dict(payload["spec"]))
-    result = run_batch(spec, start=int(payload["start"]), count=int(payload["count"]))
+    result = run_batch(
+        spec,
+        start=int(payload["start"]),
+        count=int(payload["count"]),
+        metrics=ctx.metrics,
+        tracer=ctx.tracer,
+    )
     return result.to_payload()
 
 

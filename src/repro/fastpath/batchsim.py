@@ -945,6 +945,7 @@ def run_batch(
     topology: Optional[Hypercube] = None,
     stats: Optional[BatchStats] = None,
     metrics: Optional[Any] = None,
+    tracer: Optional[Any] = None,
 ) -> BatchResult:
     """Score trials ``[start, start+count)`` of the campaign.
 
@@ -953,7 +954,10 @@ def run_batch(
     reassembles the serial result exactly (determinism section of the
     module docstring).  ``compiled`` short-circuits schedule generation
     when the caller already holds the columns; ``metrics`` mirrors the
-    :class:`BatchStats` counters into an observability registry.
+    :class:`BatchStats` counters into an observability registry;
+    ``tracer`` (duck-typed — rule ``RPR220`` keeps ``repro.obs`` out of
+    this layer) wraps the shard in a ``fastpath.run_batch`` span with
+    compile / verify / per-homebase-timeline child spans.
     """
     if count is None:
         count = spec.trials - start
@@ -961,17 +965,46 @@ def run_batch(
         raise ScheduleError(
             f"trial window [{start}, {start + count}) outside campaign of {spec.trials}"
         )
+    if tracer is not None:
+        with tracer.span(
+            "fastpath.run_batch",
+            strategy=spec.strategy,
+            dimension=spec.dimension,
+            start=start,
+            count=count,
+            policy=spec.intruder,
+        ):
+            return _run_batch(spec, start, count, compiled, topology, stats, metrics, tracer)
+    return _run_batch(spec, start, count, compiled, topology, stats, metrics, None)
+
+
+def _run_batch(
+    spec: BatchScenarioSpec,
+    start: int,
+    count: int,
+    compiled: Optional[CompiledSchedule],
+    topology: Optional[Hypercube],
+    stats: Optional[BatchStats],
+    metrics: Optional[Any],
+    tracer: Optional[Any],
+) -> BatchResult:
     stats = stats or BatchStats()
     if metrics is not None:
         stats.bind(metrics)
-    base = compiled or compile_for_spec(spec)
+    if compiled is not None:
+        base = compiled
+    elif tracer is not None:
+        with tracer.span("fastpath.compile", strategy=spec.strategy, dimension=spec.dimension):
+            base = compile_for_spec(spec)
+    else:
+        base = compile_for_spec(spec)
     if base.dimension != spec.dimension:
         raise ScheduleError(
             f"compiled schedule is d={base.dimension}, spec wants d={spec.dimension}"
         )
     topo = topology or Hypercube(spec.dimension)
     n = topo.n
-    report = batch_verify(base, topo)
+    report = batch_verify(base, topo, tracer=tracer)
     verdict = {
         "monotone": report.monotone,
         "contiguous": report.contiguous,
@@ -1004,7 +1037,11 @@ def run_batch(
 
         timeline = timelines.get(home)
         if timeline is None:
-            timeline = ScenarioTimeline(base, home, topo, stats=stats)
+            if tracer is not None:
+                with tracer.span("fastpath.timeline", homebase=home):
+                    timeline = ScenarioTimeline(base, home, topo, stats=stats)
+            else:
+                timeline = ScenarioTimeline(base, home, topo, stats=stats)
             timelines[home] = timeline
         elif stats is not None:
             stats.count("timelines_reused")

@@ -144,9 +144,17 @@ def _region_mask_from(in_region: bytearray) -> int:
 
 
 def batch_verify(
-    compiled: CompiledSchedule, topology: Optional[Hypercube] = None
+    compiled: CompiledSchedule,
+    topology: Optional[Hypercube] = None,
+    *,
+    tracer: Optional[object] = None,
 ) -> BatchVerificationReport:
     """Replay ``compiled`` per time unit with O(1)-per-move kernels.
+
+    ``tracer`` is duck-typed (anything with a ``span(name, **attrs)``
+    context manager — this module must not import ``repro.obs``, lint
+    rule ``RPR220``); when given, the replay runs under a
+    ``fastpath.batch_verify`` span.
 
     The hot loop touches no Python objects beyond flat integer tables:
     guard counts, agent positions/clocks, a 0/1 decontaminated-region
@@ -167,6 +175,15 @@ def batch_verify(
     matching the classic verifier; invariant failures never raise — they
     are recorded on the returned report.
     """
+    if tracer is not None:
+        with tracer.span(  # type: ignore[attr-defined]
+            "fastpath.batch_verify",
+            dimension=compiled.dimension,
+            moves=compiled.total_moves,
+        ) as span:
+            report = batch_verify(compiled, topology)
+            span.attrs["ok"] = report.ok
+            return report
     topo = topology or Hypercube(compiled.dimension)
     if topo.n != compiled.n:
         raise ScheduleError(

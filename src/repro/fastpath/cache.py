@@ -136,10 +136,17 @@ class ScheduleCache:
         if self.root.exists() and not self.root.is_dir():
             raise ScheduleCacheError(f"cache root {self.root} is not a directory")
         self.stats = CacheStats()
+        self._tracer: Optional[Any] = None
 
     def bind_metrics(self, metrics: Any) -> None:
         """Mirror the counters into ``metrics`` (``fastpath.cache.*``)."""
         self.stats.bind(metrics)
+
+    def bind_tracer(self, tracer: Any) -> None:
+        """Wrap every load/store in spans on ``tracer`` (duck-typed —
+        anything with a ``span(name, **attrs)`` context manager works, so
+        this module never imports ``repro.obs``; ``None`` unbinds)."""
+        self._tracer = tracer
 
     # ------------------------------------------------------------------ #
     # addressing
@@ -169,6 +176,15 @@ class ScheduleCache:
         is deleted, counted as both ``corrupt`` and a miss, and reported
         as ``None`` so the caller regenerates.
         """
+        tracer = self._tracer
+        if tracer is None:
+            return self._load(fp)
+        with tracer.span("fastpath.cache.load", fingerprint=fp[:16]) as span:
+            compiled = self._load(fp)
+            span.attrs["outcome"] = "hit" if compiled is not None else "miss"
+            return compiled
+
+    def _load(self, fp: str) -> Optional[CompiledSchedule]:
         path = self.path_for(fp)
         try:
             blob = path.read_bytes()
@@ -199,6 +215,13 @@ class ScheduleCache:
         writers each publish a complete blob, readers never observe a
         torn one.
         """
+        tracer = self._tracer
+        if tracer is None:
+            return self._store(fp, compiled)
+        with tracer.span("fastpath.cache.store", fingerprint=fp[:16]):
+            return self._store(fp, compiled)
+
+    def _store(self, fp: str, compiled: CompiledSchedule) -> Path:
         path = self.path_for(fp)
         try:
             self.root.mkdir(parents=True, exist_ok=True)

@@ -680,6 +680,81 @@ def _check_fastpath_layering(mod: _Module) -> List[Finding]:
     return findings
 
 
+#: Package prefixes the tracing plane must never import (every runtime
+#: layer reports *into* tracing via injected handles — `bind_tracer`,
+#: `set_active_tracer` — so importing one back would be a cycle and
+#: would drag heavyweight planes into every RunLog reader).
+_TRACE_FORBIDDEN_PREFIXES: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.protocols",
+    "repro.exec",
+    "repro.fastpath",
+    "repro.analysis",
+    "repro.cli",
+    "repro.viz",
+)
+
+_TRACE_FORBIDDEN_TOPS: FrozenSet[str] = frozenset(
+    p.split(".", 1)[1] for p in _TRACE_FORBIDDEN_PREFIXES
+)
+
+#: Module stems inside ``obs`` that form the tracing/trajectory plane.
+_TRACE_STEMS: FrozenSet[str] = frozenset({"trace", "runlog", "prom"})
+
+
+def _is_trace_module(path: str) -> bool:
+    """Whether ``path`` is a tracing-plane module (``obs/{trace,runlog,prom}``)."""
+    p = Path(path)
+    return "obs" in p.parts and p.stem in _TRACE_STEMS
+
+
+def _check_trace_layering(mod: _Module) -> List[Finding]:
+    """RPR230: tracing modules must not import runtime/frontend layers.
+
+    Applies only to the tracing-plane modules inside an ``obs`` package
+    (``trace``, ``runlog``, ``prom``); flags absolute imports of any
+    instrumented or frontend layer and relative imports that escape the
+    package toward one (``from ..exec import x``).  Stricter than RPR200
+    because these modules are also *read-side* tools (``repro-search
+    trace`` parses RunLogs) and must stay loadable standalone.
+    """
+    if not _is_trace_module(mod.path):
+        return []
+    findings: List[Finding] = []
+
+    def _forbidden(name: str) -> bool:
+        return any(
+            name == p or name.startswith(p + ".") for p in _TRACE_FORBIDDEN_PREFIXES
+        )
+
+    def _flag(node: ast.AST, imported: str) -> None:
+        findings.append(
+            mod.finding(
+                "RPR230",
+                node,
+                f"tracing module imports `{imported}`: every runtime layer "
+                "reports into tracing through injected handles "
+                "(`bind_tracer`, `set_active_tracer`), so this is an "
+                "import cycle — keep trace/runlog/prom layering-terminal",
+            )
+        )
+
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _forbidden(alias.name):
+                    _flag(node, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and _forbidden(module):
+                _flag(node, module)
+            elif node.level >= 2:  # `from ..exec import x` escapes repro/obs/
+                target = module.split(".", 1)[0]
+                if target in _TRACE_FORBIDDEN_TOPS:
+                    _flag(node, f"{'.' * node.level}{module}")
+    return findings
+
+
 def _check_memory(mod: _Module) -> List[Finding]:
     """RPR130: agent memory writes must go through ``remember``."""
     findings: List[Finding] = []
@@ -732,7 +807,7 @@ def _sort(findings: Sequence[Finding]) -> List[Finding]:
 
 
 def _per_file_findings(mod: _Module) -> List[Finding]:
-    """Every single-module rule (RPR100–RPR220, RPR340/RPR350)."""
+    """Every single-module rule (RPR100–RPR230, RPR340/RPR350)."""
     return (
         _check_model(mod)
         + _check_board_mutation(mod)
@@ -741,6 +816,7 @@ def _per_file_findings(mod: _Module) -> List[Finding]:
         + _check_obs_layering(mod)
         + _check_exec_layering(mod)
         + _check_fastpath_layering(mod)
+        + _check_trace_layering(mod)
         + check_concurrency(mod.tree, mod.path)
     )
 

@@ -155,6 +155,18 @@ _RULE_TABLE: Tuple[Rule, ...] = (
         ),
     ),
     Rule(
+        code="RPR230",
+        name="trace-imports-runtime-layer",
+        summary=(
+            "tracing/trajectory modules (`repro.obs.trace`, "
+            "`repro.obs.runlog`, `repro.obs.prom`) must not import the "
+            "simulation, executor, fast-path or frontend layers: every "
+            "runtime layer reports *into* tracing, so the reverse "
+            "direction is an import cycle — tracer handles are injected "
+            "(`bind_tracer`, `set_active_tracer`), never imported"
+        ),
+    ),
+    Rule(
         code="RPR300",
         name="nondeterministic-rng",
         summary=(

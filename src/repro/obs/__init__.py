@@ -1,4 +1,5 @@
-"""Live instrumentation layer: event bus, metrics, probes, manifests.
+"""Live instrumentation layer: event bus, metrics, probes, manifests,
+spans and the run trajectory store.
 
 The :mod:`repro.obs` package turns the discrete-event engine from a black
 box (all measurement post-hoc on the final :class:`~repro.sim.trace.Trace`)
@@ -22,11 +23,20 @@ revision, metric snapshot — schema ``repro-manifest/v1``), and
 :mod:`~repro.obs.report` renders metric snapshots as sparkline text
 reports (``repro-search report``).
 
+The trace plane adds cross-process observability: :mod:`~repro.obs.trace`
+records hierarchical spans under a process-wide active tracer (workers
+ship their span forest + metrics delta home for a deterministic merge),
+:mod:`~repro.obs.runlog` persists one ``repro-trace/v1`` JSONL stream per
+run (``repro-search trace``), and :mod:`~repro.obs.prom` exports any
+metrics snapshot in the Prometheus text format (``repro-search metrics``).
+
 Layering
 --------
 ``obs`` sits *below* the simulation core: :mod:`repro.sim.engine` imports
 the event types from here, and nothing in this package may import
-``repro.sim`` (enforced statically by ``repro-lint`` rule ``RPR200``).
+``repro.sim`` (enforced statically by ``repro-lint`` rule ``RPR200``;
+the trace plane is additionally barred from every runtime frontend by
+``RPR230``).
 Consumers that need simulation state receive it through the event payloads
 (bitmasks and scalars), never through an import.
 """
@@ -69,8 +79,22 @@ from repro.obs.probes import (
     ProbeViolation,
     standard_probes,
 )
-from repro.obs.report import render_report, sparkline
-from repro.obs.stream import JsonlStreamer
+from repro.obs.prom import prometheus_name, to_prometheus
+from repro.obs.report import REPORT_SCHEMA, render_report, report_payload, sparkline
+from repro.obs.runlog import TRACE_SCHEMA, RunLog, RunLogData, RunLogWriter, read_runlog
+from repro.obs.stream import JsonlStreamer, read_jsonl_records
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    critical_path,
+    get_active_tracer,
+    new_run_id,
+    render_span_tree,
+    render_trace,
+    self_times,
+    set_active_tracer,
+    span_tree_digest,
+)
 
 __all__ = [
     "EventBus",
@@ -104,6 +128,26 @@ __all__ = [
     "git_revision",
     "write_manifest",
     "render_report",
+    "report_payload",
+    "REPORT_SCHEMA",
     "sparkline",
     "JsonlStreamer",
+    "read_jsonl_records",
+    "Span",
+    "Tracer",
+    "new_run_id",
+    "set_active_tracer",
+    "get_active_tracer",
+    "span_tree_digest",
+    "critical_path",
+    "self_times",
+    "render_span_tree",
+    "render_trace",
+    "TRACE_SCHEMA",
+    "RunLog",
+    "RunLogData",
+    "RunLogWriter",
+    "read_runlog",
+    "prometheus_name",
+    "to_prometheus",
 ]

@@ -158,6 +158,27 @@ class MetricsRegistry:
             metric = self._series[name] = TimeSeries(name, maxlen)
         return metric
 
+    # -- cross-process merge -------------------------------------------- #
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        The executor's telemetry merge: each worker ships its registry
+        snapshot (a *delta* — workers start from an empty registry) over
+        the result pipe and the parent folds them in job order, so merged
+        counters are independent of completion order.  Counters add,
+        gauges take the incoming value (last-write in merge order), series
+        samples are replayed through the stride-decimation logic.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, samples in (snapshot.get("series") or {}).items():
+            series = self.series(name)
+            for t, v in samples:
+                series.sample(t, v)
+
     # -- export --------------------------------------------------------- #
 
     def snapshot(self) -> Dict[str, Any]:

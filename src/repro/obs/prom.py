@@ -1,0 +1,102 @@
+"""Prometheus text exposition of a metrics snapshot — stdlib only.
+
+Renders a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict in the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ (version
+0.0.4), the lingua franca every scrape pipeline accepts:
+
+* counters become ``<prefix><name>_total`` with ``# TYPE ... counter``;
+* gauges become ``<prefix><name>`` with ``# TYPE ... gauge``;
+* bracketed registry families — ``moves_per_level[3]``,
+  ``moves_per_phase[sweep]`` — collapse into one metric family with a
+  ``key`` label, which is exactly what the bracket convention encodes;
+* time series export their last value as a gauge plus a
+  ``<name>_samples`` gauge carrying the retained sample count (exposition
+  is a point-in-time scrape; the full series lives in the RunLog).
+
+Names are sanitized to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` metric charset and
+label values are escaped per the spec.  This is a *renderer* of plain
+snapshot dicts: it imports nothing above the metrics layer and can format
+snapshots from live registries, RunLog ``metrics`` records, or checkpoint
+telemetry alike.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["prometheus_name", "to_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_BRACKET = re.compile(r"^(?P<family>[^\[\]]+)\[(?P<key>[^\[\]]*)\]$")
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize ``name`` into the Prometheus metric-name charset."""
+    cleaned = _NAME_OK.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)
+
+
+def _split_family(name: str) -> Tuple[str, Optional[str]]:
+    """``moves_per_level[3]`` -> (``moves_per_level``, ``3``)."""
+    match = _BRACKET.match(name)
+    if match is None:
+        return name, None
+    return match.group("family"), match.group("key")
+
+
+def _emit_family(
+    lines: List[str],
+    family: str,
+    kind: str,
+    samples: List[Tuple[Optional[str], Any]],
+    help_text: str,
+) -> None:
+    lines.append(f"# HELP {family} {help_text}")
+    lines.append(f"# TYPE {family} {kind}")
+    for key, value in samples:
+        label = "" if key is None else f'{{key="{_escape_label(key)}"}}'
+        lines.append(f"{family}{label} {_format_value(value)}")
+
+
+def to_prometheus(snapshot: Mapping[str, Any], *, prefix: str = "repro_") -> str:
+    """Render ``snapshot`` (a registry snapshot dict) as exposition text."""
+    families: Dict[str, Tuple[str, str, List[Tuple[Optional[str], Any]]]] = {}
+
+    def add(raw_name: str, suffix: str, kind: str, value: Any, help_text: str) -> None:
+        base, key = _split_family(raw_name)
+        family = prometheus_name(f"{prefix}{base}{suffix}")
+        entry = families.get(family)
+        if entry is None:
+            entry = families[family] = (kind, help_text, [])
+        entry[2].append((key, value))
+
+    for name, value in sorted(dict(snapshot.get("counters") or {}).items()):
+        suffix = "" if name.split("[", 1)[0].endswith("_total") else "_total"
+        add(name, suffix, "counter", value, f"repro counter {name}")
+    for name, value in sorted(dict(snapshot.get("gauges") or {}).items()):
+        add(name, "", "gauge", value, f"repro gauge {name}")
+    for name, samples in sorted(dict(snapshot.get("series") or {}).items()):
+        last = samples[-1][1] if samples else 0
+        add(name, "_last", "gauge", last, f"repro series {name} (last sample)")
+        add(name, "_samples", "gauge", len(samples), f"repro series {name} retained samples")
+
+    lines: List[str] = []
+    for family in sorted(families):
+        kind, help_text, samples = families[family]
+        _emit_family(lines, family, kind, samples, help_text)
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -12,7 +12,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["sparkline", "render_report"]
+__all__ = ["sparkline", "render_report", "report_payload", "REPORT_SCHEMA"]
+
+#: Schema identifier for the machine-readable report payload
+#: (``repro-search report --json``).
+REPORT_SCHEMA = "repro-report/v1"
 
 _BARS = "▁▂▃▄▅▆▇█"
 
@@ -57,6 +61,50 @@ def _kv_rows(table: Dict[str, float], indent: str = "  ") -> List[str]:
         return [f"{indent}(none)"]
     pad = max(len(name) for name in table)
     return [f"{indent}{name:<{pad}} : {_format_value(value)}" for name, value in table.items()]
+
+
+def report_payload(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Machine-readable report: counters, gauges, per-series summaries.
+
+    The JSON twin of :func:`render_report` (schema ``repro-report/v1``) —
+    series collapse to ``{first, last, min, peak, mean, samples}`` summary
+    stats instead of sparklines, and the optional per-agent table reduces
+    to state counts plus the total move count.  Consumed by
+    ``repro-search report --json``; the shape is pinned by a test.
+    """
+    counters: Dict[str, float] = dict(snapshot.get("counters") or {})
+    gauges: Dict[str, float] = dict(snapshot.get("gauges") or {})
+    series_summary: Dict[str, Dict[str, float]] = {}
+    for name, samples in sorted(dict(snapshot.get("series") or {}).items()):
+        values = [float(v) for _, v in samples]
+        if not values:
+            continue
+        series_summary[name] = {
+            "first": values[0],
+            "last": values[-1],
+            "min": min(values),
+            "peak": max(values),
+            "mean": sum(values) / len(values),
+            "samples": len(values),
+        }
+    payload: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "counters": counters,
+        "gauges": gauges,
+        "series": series_summary,
+    }
+    per_agent: Optional[Dict[str, Dict[str, Any]]] = snapshot.get("per_agent")
+    if per_agent:
+        states: Dict[str, int] = {}
+        for info in per_agent.values():
+            state = str(info.get("state", "active"))
+            states[state] = states.get(state, 0) + 1
+        payload["agents"] = {
+            "total": len(per_agent),
+            "states": dict(sorted(states.items())),
+            "moves_total": sum(int(info.get("moves", 0)) for info in per_agent.values()),
+        }
+    return payload
 
 
 def render_report(snapshot: Dict[str, Any], *, title: str = "metrics", width: int = 48) -> str:

@@ -6,16 +6,50 @@ text-file-like object as they happen — the live-tailing path behind
 ``repro-search watch``.  Unlike the :class:`~repro.sim.trace.Trace`, a
 streamer holds O(1) state no matter how long the run is: events leave the
 process as they occur instead of accumulating.
+
+:func:`read_jsonl_records` is the matching reader — torn-tail tolerant,
+shared by the executor checkpoint and the :mod:`~repro.obs.runlog`
+trajectory store, so "append-only JSONL that survives a crash mid-line"
+has exactly one implementation.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, TextIO
+import os
+from pathlib import Path
+from typing import Any, Dict, List, TextIO, Union
 
 from repro.obs.events import EngineEvent
 
-__all__ = ["JsonlStreamer"]
+__all__ = ["JsonlStreamer", "read_jsonl_records"]
+
+
+def read_jsonl_records(path: Union[str, Path], *, missing_ok: bool = True) -> List[Dict[str, Any]]:
+    """All complete JSON-object records from an append-only JSONL file.
+
+    Tolerates the torn tail a crash mid-append leaves behind: parsing stops
+    at the first undecodable line and the intact prefix is returned.  Blank
+    lines and non-object records are skipped.  A missing file yields ``[]``
+    when ``missing_ok`` (the default); other ``OSError``\\ s propagate for
+    the caller to wrap in its own error type.
+    """
+    target = Path(path)
+    if missing_ok and not target.exists():
+        return []
+    text = target.read_text()
+    records: List[Dict[str, Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            break  # torn tail from a crash mid-append: keep the prefix
+        if isinstance(record, dict):
+            records.append(record)
+    return records
 
 
 class JsonlStreamer:
@@ -34,12 +68,26 @@ class JsonlStreamer:
         When true, include the bitmask payload fields of state-carrying
         events (as hex strings — they can be thousands of bits at high
         dimension); default omits them to keep lines small.
+    fsync:
+        When true, every flush is followed by ``os.fsync`` so each record
+        is durable against power loss, not just process death.  Costs one
+        disk sync per ``flush_every`` records — the trajectory store's
+        ``--trace`` durability opt-in.  Ignored for handles without a real
+        file descriptor (``StringIO``, pipes that reject fsync).
     """
 
-    def __init__(self, fh: TextIO, *, flush_every: int = 1, mask_fields: bool = False) -> None:
+    def __init__(
+        self,
+        fh: TextIO,
+        *,
+        flush_every: int = 1,
+        mask_fields: bool = False,
+        fsync: bool = False,
+    ) -> None:
         self._fh = fh
         self._flush_every = flush_every
         self._mask_fields = mask_fields
+        self._fsync = fsync
         #: Events written so far.
         self.count = 0
 
@@ -66,6 +114,14 @@ class JsonlStreamer:
             try:
                 flush()
             except OSError:  # pragma: no cover - closed pipe during teardown
+                return
+        if self._fsync:
+            fileno = getattr(self._fh, "fileno", None)
+            if fileno is None:
+                return
+            try:
+                os.fsync(fileno())
+            except (OSError, ValueError):  # StringIO / closed handle / pipes
                 pass
 
     def __repr__(self) -> str:

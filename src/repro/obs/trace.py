@@ -1,0 +1,436 @@
+"""Hierarchical spans: monotonic-clock tracing across processes — stdlib only.
+
+A :class:`Span` is one timed operation; a :class:`Tracer` holds a forest of
+them for a single *run* (identified by a correlation ``run_id``).  Spans nest
+through the context-manager API::
+
+    tracer = Tracer()
+    with tracer.span("engine.run", dimension=4):
+        with tracer.span("strategy.run", strategy="clean"):
+            ...
+
+Durations come from :func:`time.perf_counter` (monotonic, immune to wall
+clock steps — exempt from lint rule ``RPR310``).  Span start/end values are
+therefore only meaningful *relative to other spans from the same process*;
+cross-process ordering is carried by the tree structure, never by clocks.
+
+Cross-process capture
+---------------------
+Worker processes build their own :class:`Tracer`, serialize it with
+:meth:`Tracer.to_records`, and ship the records over the executor result
+pipe.  The parent grafts them under its own span tree with
+:meth:`Tracer.attach` — span ids are rewritten into the parent's id space,
+so ids are *local handles*, never global identity.
+
+Determinism
+-----------
+:func:`span_tree_digest` canonicalizes a span forest into a digest that is
+invariant to sibling completion order, span ids, and volatile attributes
+(pids, timings, attempt counters).  The executor's telemetry-merge tests
+pin shuffled / crash-requeued / resumed runs to byte-identical digests.
+
+Layering: this module (and the sibling trajectory store
+:mod:`repro.obs.runlog`) is the substrate every layer feeds — imports point
+*into* it, never out of it.  It must not import the simulation, executor,
+fastpath or frontend layers (lint rule ``RPR230``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "new_run_id",
+    "set_active_tracer",
+    "get_active_tracer",
+    "span_tree_digest",
+    "critical_path",
+    "self_times",
+    "render_span_tree",
+    "render_trace",
+    "VOLATILE_ATTRS",
+]
+
+#: Attribute names excluded from :func:`span_tree_digest` canonical form —
+#: anything that legitimately differs between an execution and its replay
+#: (retry counters, process ids, cache warmth) without changing *what work
+#: was done*.
+VOLATILE_ATTRS = frozenset(
+    {"attempt", "attempts", "pid", "worker_pid", "cached", "run_id", "duration"}
+)
+
+
+def new_run_id() -> str:
+    """A fresh correlation id (12 hex chars, collision-safe per machine)."""
+    return uuid.uuid4().hex[:12]
+
+
+class Span:
+    """One timed operation inside a :class:`Tracer`'s forest."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "status", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+        *,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        #: ``"open"`` until closed, then ``"ok"`` or ``"error"``.
+        self.status = "open"
+        self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return max(self.end - self.start, 0.0)
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-able form (the ``repro-trace/v1`` span payload)."""
+        record: Dict[str, Any] = {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"status={self.status}, duration={self.duration:.6f})"
+        )
+
+
+class Tracer:
+    """A forest of spans for one run, with a context-manager entry point.
+
+    Not thread-safe by design: each process (and each executor worker) owns
+    exactly one tracer, the same ownership discipline the executor already
+    applies to its :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    def __init__(self, run_id: Optional[str] = None, *, clock: Any = time.perf_counter) -> None:
+        #: Correlation id threaded through job payloads and RunLog records.
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self._clock = clock
+        self.spans: List[Span] = []  # creation order == record order
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- recording ------------------------------------------------------- #
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` at the top level."""
+        return self._stack[-1] if self._stack else None
+
+    def _new_span(self, name: str, parent_id: Optional[int], attrs: Dict[str, Any]) -> Span:
+        span = Span(self._next_id, parent_id, name, self._clock(), attrs=attrs)
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a child of the current span; close it (ok/error) on exit."""
+        parent = self.current
+        span = self._new_span(name, parent.span_id if parent else None, attrs)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            span.end = self._clock()
+            if span.status == "open":
+                span.status = "ok"
+            self._stack.pop()
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        end: float,
+        parent: Optional[Span] = None,
+        status: str = "ok",
+        **attrs: Any,
+    ) -> Span:
+        """Append an already-completed span (for after-the-fact bookkeeping).
+
+        ``parent`` defaults to the innermost open span; pass an explicit
+        :class:`Span` to graft elsewhere.
+        """
+        anchor = parent if parent is not None else self.current
+        span = self._new_span(name, anchor.span_id if anchor else None, dict(attrs))
+        span.start = start
+        span.end = end
+        span.status = status
+        return span
+
+    def attach(
+        self,
+        records: Sequence[Dict[str, Any]],
+        *,
+        parent: Optional[Span] = None,
+    ) -> List[Span]:
+        """Graft serialized span records (e.g. from a worker) into this forest.
+
+        Ids are rewritten into this tracer's id space; roots of the incoming
+        forest become children of ``parent`` (default: the innermost open
+        span, or forest roots).  Records arrive in creation order, which is
+        preserved.
+        """
+        anchor = parent if parent is not None else self.current
+        anchor_id = anchor.span_id if anchor else None
+        id_map: Dict[int, int] = {}
+        grafted: List[Span] = []
+        for record in records:
+            old_id = record.get("span")
+            old_parent = record.get("parent")
+            if old_parent is not None and old_parent in id_map:
+                new_parent: Optional[int] = id_map[old_parent]
+            else:
+                new_parent = anchor_id
+            span = self._new_span(str(record.get("name", "?")), new_parent, dict(record.get("attrs") or {}))
+            span.start = float(record.get("start") or 0.0)
+            end = record.get("end")
+            span.end = float(end) if end is not None else None
+            span.status = str(record.get("status", "ok"))
+            if isinstance(old_id, int):
+                id_map[old_id] = span.span_id
+            grafted.append(span)
+        return grafted
+
+    # -- export ---------------------------------------------------------- #
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """All spans as JSON-able records, creation order."""
+        return [span.to_record() for span in self.spans]
+
+    def __repr__(self) -> str:
+        return f"Tracer(run_id={self.run_id!r}, spans={len(self.spans)}, open={len(self._stack)})"
+
+
+# -- process-wide active tracer ------------------------------------------- #
+#
+# The same duck-typed global idiom as ``repro.core.strategy.set_active_cache``:
+# instrumented layers (Strategy.run, Engine.run) fetch the active tracer with
+# one function call and skip all tracing work when it is None — the EventBus
+# zero-cost-guard discipline.
+
+_ACTIVE_TRACER: Optional[Tracer] = None
+
+
+def set_active_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global _ACTIVE_TRACER
+    previous = _ACTIVE_TRACER
+    _ACTIVE_TRACER = tracer
+    return previous
+
+
+def get_active_tracer() -> Optional[Tracer]:
+    """The process-wide tracer, or ``None`` when tracing is disabled."""
+    return _ACTIVE_TRACER
+
+
+# -- canonical digest ------------------------------------------------------ #
+
+
+def _build_forest(
+    records: Sequence[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], Dict[int, List[Dict[str, Any]]]]:
+    """(roots, children-by-span-id), preserving record order."""
+    by_id = {r["span"]: r for r in records if isinstance(r.get("span"), int)}
+    roots: List[Dict[str, Any]] = []
+    children: Dict[int, List[Dict[str, Any]]] = {}
+    for record in records:
+        parent = record.get("parent")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+    return roots, children
+
+
+def _canonical(
+    record: Dict[str, Any],
+    children: Dict[int, List[Dict[str, Any]]],
+    volatile: frozenset,
+) -> Any:
+    attrs = {
+        k: v for k, v in sorted((record.get("attrs") or {}).items()) if k not in volatile
+    }
+    kids = sorted(
+        (
+            _canonical(child, children, volatile)
+            for child in children.get(record.get("span"), [])
+        ),
+        key=lambda c: json.dumps(c, sort_keys=True),
+    )
+    return [str(record.get("name", "?")), str(record.get("status", "ok")), attrs, kids]
+
+
+def span_tree_digest(
+    records: Sequence[Dict[str, Any]],
+    *,
+    volatile: frozenset = VOLATILE_ATTRS,
+) -> str:
+    """SHA-256 over the canonical span forest.
+
+    Invariant to span ids, sibling order, timings and ``volatile``
+    attributes — two runs that did the same *work* digest identically even
+    when scheduling, retries or cache warmth differed.
+    """
+    roots, children = _build_forest(records)
+    canon = sorted(
+        (_canonical(root, children, volatile) for root in roots),
+        key=lambda c: json.dumps(c, sort_keys=True),
+    )
+    payload = json.dumps(canon, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- analysis -------------------------------------------------------------- #
+
+
+def critical_path(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The chain of longest-duration spans from the longest root down."""
+    roots, children = _build_forest(records)
+    if not roots:
+        return []
+
+    def dur(record: Dict[str, Any]) -> float:
+        return float(record.get("duration") or 0.0)
+
+    path = [max(roots, key=dur)]
+    while True:
+        kids = children.get(path[-1].get("span"), [])
+        if not kids:
+            return path
+        path.append(max(kids, key=dur))
+
+
+def self_times(records: Sequence[Dict[str, Any]]) -> List[Tuple[str, float, int]]:
+    """Per-span-name ``(name, self_seconds, count)``, largest first.
+
+    Self time is a span's duration minus its direct children's durations
+    (clamped at zero — cross-process clocks make child sums approximate).
+    """
+    _, children = _build_forest(records)
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for record in records:
+        name = str(record.get("name", "?"))
+        own = float(record.get("duration") or 0.0)
+        child_sum = sum(
+            float(c.get("duration") or 0.0) for c in children.get(record.get("span"), [])
+        )
+        totals[name] = totals.get(name, 0.0) + max(own - child_sum, 0.0)
+        counts[name] = counts.get(name, 0) + 1
+    return sorted(
+        ((name, totals[name], counts[name]) for name in totals),
+        key=lambda item: (-item[1], item[0]),
+    )
+
+
+# -- rendering ------------------------------------------------------------- #
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _fmt_attrs(attrs: Dict[str, Any], limit: int = 4) -> str:
+    shown = [f"{k}={v}" for k, v in list(sorted(attrs.items()))[:limit] if k != "error"]
+    return f" [{', '.join(shown)}]" if shown else ""
+
+
+def render_span_tree(
+    records: Sequence[Dict[str, Any]],
+    *,
+    max_depth: Optional[int] = None,
+) -> str:
+    """ASCII tree of the span forest with durations and percentages."""
+    roots, children = _build_forest(records)
+    if not roots:
+        return "(no spans)"
+    total = sum(float(r.get("duration") or 0.0) for r in roots) or 1.0
+    lines: List[str] = []
+
+    def walk(record: Dict[str, Any], prefix: str, is_last: bool, depth: int) -> None:
+        dur = float(record.get("duration") or 0.0)
+        pct = 100.0 * dur / total
+        connector = "" if not prefix and depth == 0 else ("`- " if is_last else "|- ")
+        marker = " !" if record.get("status") == "error" else ""
+        lines.append(
+            f"{prefix}{connector}{record.get('name', '?')}"
+            f"  {_fmt_seconds(dur)} ({pct:.1f}%){marker}"
+            f"{_fmt_attrs(record.get('attrs') or {})}"
+        )
+        if max_depth is not None and depth + 1 >= max_depth:
+            return
+        kids = children.get(record.get("span"), [])
+        child_prefix = prefix + ("" if depth == 0 else ("   " if is_last else "|  "))
+        for i, child in enumerate(kids):
+            walk(child, child_prefix, i == len(kids) - 1, depth + 1)
+
+    for i, root in enumerate(roots):
+        walk(root, "", i == len(roots) - 1, 0)
+    return "\n".join(lines)
+
+
+def render_trace(
+    records: Sequence[Dict[str, Any]],
+    *,
+    top: int = 5,
+    max_depth: Optional[int] = None,
+) -> str:
+    """Span tree + critical path + top-K self-time — the `trace` CLI body."""
+    sections = [render_span_tree(records, max_depth=max_depth)]
+    path = critical_path(records)
+    if path:
+        steps = " -> ".join(
+            f"{r.get('name', '?')} ({_fmt_seconds(float(r.get('duration') or 0.0))})"
+            for r in path
+        )
+        sections.append(f"critical path: {steps}")
+    ranked = self_times(records)[:top]
+    if ranked:
+        width = max(len(name) for name, _, _ in ranked)
+        rows = "\n".join(
+            f"  {name.ljust(width)}  {_fmt_seconds(sec).rjust(9)}  x{count}"
+            for name, sec, count in ranked
+        )
+        sections.append(f"top self-time:\n{rows}")
+    return "\n\n".join(sections)

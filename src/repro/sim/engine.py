@@ -59,6 +59,7 @@ from repro.obs.events import (
     WhiteboardEvent,
 )
 from repro.obs.manifest import build_manifest
+from repro.obs.trace import get_active_tracer
 from repro.sim.agent import (
     AgentContext,
     CloneSelf,
@@ -335,7 +336,28 @@ class Engine:
     # ------------------------------------------------------------------ #
 
     def run(self) -> SimResult:
-        """Execute until quiescence and return the :class:`SimResult`."""
+        """Execute until quiescence and return the :class:`SimResult`.
+
+        When a process-wide tracer is active the run is wrapped in an
+        ``engine.run`` span (same zero-cost-when-disabled guard as the
+        event bus: one global read per run, nothing per event).
+        """
+        tracer = get_active_tracer()
+        if tracer is None:
+            return self._run_traced()
+        with tracer.span(
+            "engine.run",
+            n=self._topo.n,
+            dimension=getattr(self._topo, "d", 0),
+            agents=len(self._agents),
+        ) as span:
+            result = self._run_traced()
+            span.attrs["makespan"] = result.makespan
+            span.attrs["moves"] = result.total_moves
+            span.attrs["captured"] = result.intruder_captured
+            return result
+
+    def _run_traced(self) -> SimResult:
         if self._subscribers:
             self._bus.publish(
                 RunStartEvent(

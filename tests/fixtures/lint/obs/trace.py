@@ -1,0 +1,8 @@
+"""RPR230 fixture: a tracing-plane module importing the executor layer."""
+
+from repro.exec.pool import ParallelExecutor
+
+
+def trace_pool(executor: ParallelExecutor) -> str:
+    """Describe a pool (the import above is the violation, not this)."""
+    return f"{executor.config.jobs} workers"

@@ -234,7 +234,7 @@ class TestCheckpointResume:
         lines = path.read_text().splitlines()
         records = [json.loads(line) for line in lines]
         assert records[0]["record"] == "header"
-        assert records[0]["schema"] == "repro-exec-checkpoint/v1"
+        assert records[0]["schema"] == "repro-exec-checkpoint/v2"
         assert {r["key"] for r in records[1:]} == {"echo:0", "echo:1"}
 
     def test_checkpoint_context_manager(self, tmp_path):

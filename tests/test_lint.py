@@ -33,6 +33,7 @@ VIOLATIONS = {
     "obs/viol_rpr200.py": ("RPR200", 3, ""),
     "exec/viol_rpr210.py": ("RPR210", 3, ""),
     "fastpath/viol_rpr220.py": ("RPR220", 3, ""),
+    "obs/trace.py": ("RPR230", 3, ""),
     "determinism/viol_rpr300.py": ("RPR300", 13, "JitteryStrategy.generate"),
     "determinism/viol_rpr310.py": ("RPR310", 12, "StampedStrategy.generate"),
     "determinism/viol_rpr320.py": ("RPR320", 12, "TunedStrategy.generate"),
@@ -383,3 +384,42 @@ class TestFastpathLayering:
             "from repro.errors import SimulationError\n"
         )
         assert analyze_source(source, "src/repro/fastpath/batchsim.py") == []
+
+
+class TestTraceLayering:
+    """RPR230: the tracing plane must stay layering-terminal."""
+
+    def test_absolute_imports_flagged(self):
+        source = (
+            "import repro.exec.pool\n"
+            "from repro.fastpath import batchsim\n"
+        )
+        findings = analyze_source(source, "src/repro/obs/trace.py")
+        assert [f.code for f in findings] == ["RPR230", "RPR230"]
+        assert [f.line for f in findings] == [1, 2]
+
+    def test_relative_escape_flagged(self):
+        source = "from ..exec import run_jobs\n"
+        findings = analyze_source(source, "src/repro/obs/runlog.py")
+        assert [f.code for f in findings] == ["RPR230"]
+
+    def test_sim_import_fires_both_layering_rules(self):
+        # a trace module importing the engine breaks RPR200 *and* RPR230
+        source = "from repro.sim.engine import Engine\n"
+        codes = [f.code for f in analyze_source(source, "src/repro/obs/prom.py")]
+        assert codes == ["RPR200", "RPR230"]
+
+    def test_rule_only_applies_to_trace_stems(self):
+        # obs modules outside the tracing plane may import exec helpers
+        source = "from repro.exec import run_jobs\n"
+        assert analyze_source(source, "src/repro/obs/report.py") == []
+
+    def test_rule_only_applies_inside_obs(self):
+        source = "import repro.exec.pool\n"
+        assert analyze_source(source, "src/repro/analysis/trace.py") == []
+
+    def test_shipped_trace_modules_are_clean(self):
+        from repro.lint.analyzer import obs_dir
+
+        for stem in ("trace", "runlog", "prom"):
+            assert analyze_path(obs_dir() / f"{stem}.py") == []

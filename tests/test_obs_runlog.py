@@ -1,0 +1,243 @@
+"""Tests for the RunLog trajectory store, the shared torn-tail JSONL
+reader, the Prometheus exposition, the ``repro-report/v1`` payload, and
+the ``trace`` / ``metrics`` CLI surface.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import (
+    REPORT_SCHEMA,
+    TRACE_SCHEMA,
+    JsonlStreamer,
+    MetricsRegistry,
+    RunLog,
+    Tracer,
+    prometheus_name,
+    read_jsonl_records,
+    read_runlog,
+    report_payload,
+    to_prometheus,
+)
+
+
+def sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("moves_total").inc(8)
+    reg.counter("moves_per_level[3]").inc(2)
+    reg.gauge("workers_busy").set(2)
+    series = reg.series("queue_depth")
+    for t, v in enumerate([1.0, 4.0, 2.0]):
+        series.sample(float(t), v)
+    return reg
+
+
+def write_run(root, run_id="runabc", status="ok", end=True):
+    runlog = RunLog(root)
+    writer = runlog.writer(run_id)
+    writer.begin(manifest={"schema": "repro-manifest/v1", "git": "deadbeef"})
+    tracer = Tracer(run_id=run_id)
+    with tracer.span("engine.run", n=16):
+        with tracer.span("strategy.run"):
+            pass
+    writer.write_spans(tracer.to_records())
+    writer.write_metrics(sample_registry().snapshot())
+    if end:
+        writer.end(status=status)
+    else:
+        writer.close()
+    return runlog, writer.path
+
+
+class TestJsonlReader:
+    def test_reads_records_and_skips_blanks(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert read_jsonl_records(path) == [{"a": 1}, {"b": 2}]
+
+    def test_torn_tail_keeps_prefix(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"torn": ')
+        assert read_jsonl_records(path) == [{"a": 1}, {"b": 2}]
+
+    def test_missing_ok_semantics(self, tmp_path):
+        assert read_jsonl_records(tmp_path / "absent.jsonl") == []
+        with pytest.raises(OSError):
+            read_jsonl_records(tmp_path / "absent.jsonl", missing_ok=False)
+
+    def test_non_object_lines_skipped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('[1, 2]\n"str"\n{"ok": true}\n')
+        assert read_jsonl_records(path) == [{"ok": True}]
+
+
+class TestStreamerFsync:
+    def test_fsync_mode_writes_records(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with path.open("w") as fh:
+            streamer = JsonlStreamer(fh, flush_every=1, fsync=True)
+            streamer.write_record({"record": "x"})
+        assert read_jsonl_records(path) == [{"record": "x"}]
+
+
+class TestRunLogRoundTrip:
+    def test_full_stream(self, tmp_path):
+        _, path = write_run(tmp_path / "traces")
+        data = read_runlog(path)
+        assert data.schema == TRACE_SCHEMA
+        assert data.run_id == "runabc"
+        assert data.manifest["git"] == "deadbeef"
+        assert [s["name"] for s in data.spans] == ["engine.run", "strategy.run"]
+        assert data.counters["moves_total"] == 8
+        assert data.complete
+        assert data.end["status"] == "ok"
+
+    def test_missing_end_marks_incomplete(self, tmp_path):
+        _, path = write_run(tmp_path / "traces", end=False)
+        data = read_runlog(path)
+        assert not data.complete
+        assert data.spans  # everything before the death is readable
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        _, path = write_run(tmp_path / "traces", end=False)
+        with path.open("a") as fh:
+            fh.write('{"record": "metrics", "metr')  # interrupted append
+        data = read_runlog(path)
+        assert len(data.metrics) == 1  # the complete sample survives
+
+    def test_end_is_idempotent_and_publishes_once(self, tmp_path):
+        runlog, writer_path = write_run(tmp_path / "traces")
+        runlog2 = RunLog(tmp_path / "traces")
+        assert [e["run_id"] for e in runlog2.runs()] == ["runabc"]
+        assert runlog2.latest() == writer_path
+
+    def test_context_manager_ends_with_error_status(self, tmp_path):
+        runlog = RunLog(tmp_path / "traces")
+        with pytest.raises(RuntimeError):
+            with runlog.writer("dying") as writer:
+                writer.begin()
+                raise RuntimeError("boom")
+        data = read_runlog(tmp_path / "traces" / "dying.jsonl")
+        assert data.end["status"] == "error"
+
+
+class TestIndex:
+    def test_replaces_by_run_id(self, tmp_path):
+        runlog = RunLog(tmp_path / "traces")
+        runlog.publish({"run_id": "a", "file": "a.jsonl", "status": "ok"})
+        runlog.publish({"run_id": "a", "file": "a.jsonl", "status": "error"})
+        (entry,) = runlog.runs()
+        assert entry["status"] == "error"
+
+    def test_corrupt_index_is_tolerated(self, tmp_path):
+        runlog = RunLog(tmp_path / "traces")
+        runlog.publish({"run_id": "a", "file": "a.jsonl", "status": "ok"})
+        runlog.index_path.write_text("{not json")
+        assert runlog.runs() == []  # streams are the source of truth
+        runlog.publish({"run_id": "b", "file": "b.jsonl", "status": "ok"})
+        assert [e["run_id"] for e in runlog.runs()] == ["b"]
+
+    def test_no_tmp_droppings(self, tmp_path):
+        runlog = RunLog(tmp_path / "traces")
+        runlog.publish({"run_id": "a", "file": "a.jsonl", "status": "ok"})
+        names = os.listdir(tmp_path / "traces")
+        assert names == ["index.json"]
+
+    def test_latest_skips_deleted_streams(self, tmp_path):
+        root = tmp_path / "traces"
+        _, first = write_run(root, run_id="first")
+        _, second = write_run(root, run_id="second")
+        second.unlink()
+        assert RunLog(root).latest() == first
+
+
+class TestPrometheus:
+    def test_exposition_families(self):
+        text = to_prometheus(sample_registry().snapshot())
+        assert "# TYPE repro_moves_total counter" in text
+        assert "repro_moves_total 8" in text
+        assert 'repro_moves_per_level_total{key="3"} 2' in text
+        assert "# TYPE repro_workers_busy gauge" in text
+        assert "repro_workers_busy 2" in text
+        assert "repro_queue_depth_last 2" in text
+        assert "repro_queue_depth_samples 3" in text
+
+    def test_name_sanitization(self):
+        assert prometheus_name("fastpath.cache.hits") == "fastpath_cache_hits"
+        assert prometheus_name("3bad") == "_3bad"
+
+    def test_every_line_is_comment_or_sample(self):
+        for line in to_prometheus(sample_registry().snapshot()).splitlines():
+            assert line.startswith("#") or " " in line
+
+
+class TestReportPayload:
+    def test_schema_pin(self):
+        payload = report_payload(sample_registry().snapshot())
+        assert payload["schema"] == REPORT_SCHEMA == "repro-report/v1"
+        assert set(payload) == {"schema", "counters", "gauges", "series"}
+        assert payload["counters"]["moves_total"] == 8
+        summary = payload["series"]["queue_depth"]
+        assert set(summary) == {"first", "last", "min", "peak", "mean", "samples"}
+        assert summary["peak"] == 4.0
+        assert summary["samples"] == 3
+
+    def test_report_json_cli_embeds_payload(self, tmp_path, capsys):
+        target = tmp_path / "snap.json"
+        assert cli_main(["report", "-d", "3", "-p", "clean", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["report"]["schema"] == "repro-report/v1"
+        assert payload["report"]["counters"] == payload["metrics"]["counters"]
+
+
+class TestTraceCli:
+    def test_renders_runlog_file(self, tmp_path, capsys):
+        _, path = write_run(tmp_path / "traces")
+        assert cli_main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run runabc" in out
+        assert "engine.run" in out
+        assert "critical path:" in out
+        assert "moves_total = 8" in out
+
+    def test_directory_resolves_latest(self, tmp_path, capsys):
+        root = tmp_path / "traces"
+        write_run(root, run_id="older")
+        write_run(root, run_id="newer")
+        assert cli_main(["trace", str(root)]) == 0
+        assert "run newer" in capsys.readouterr().out
+
+    def test_incomplete_run_exits_nonzero(self, tmp_path, capsys):
+        _, path = write_run(tmp_path / "traces", end=False)
+        assert cli_main(["trace", str(path)]) == 1
+        assert "status: incomplete" in capsys.readouterr().out
+
+    def test_missing_target_is_a_clean_error(self, tmp_path, capsys):
+        assert cli_main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "trace" in capsys.readouterr().err
+
+
+class TestMetricsCli:
+    def test_exports_runlog_snapshot(self, tmp_path, capsys):
+        _, path = write_run(tmp_path / "traces")
+        assert cli_main(["metrics", "--runlog", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_moves_total 8" in out
+
+    def test_live_run_export(self, capsys):
+        assert cli_main(["metrics", "-d", "3", "-p", "clean"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_moves_total counter" in out
+
+    def test_requires_a_source(self, capsys):
+        assert cli_main(["metrics"]) == 2
+        assert "--runlog" in capsys.readouterr().err
+
+    def test_output_file(self, tmp_path, capsys):
+        _, path = write_run(tmp_path / "traces")
+        target = tmp_path / "metrics.prom"
+        assert cli_main(["metrics", "--runlog", str(path), "-o", str(target)]) == 0
+        assert "repro_moves_total 8" in target.read_text()

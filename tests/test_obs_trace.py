@@ -1,0 +1,244 @@
+"""Tests for hierarchical spans (``repro.obs.trace``).
+
+Covers the context-manager nesting discipline, error propagation,
+after-the-fact recording, cross-process grafting (``attach``), the
+canonical span-tree digest (invariant to ids, sibling order and volatile
+attributes), the process-wide active-tracer global, and the render
+helpers backing ``repro-search trace``.
+"""
+
+import pytest
+
+from repro.obs.trace import (
+    VOLATILE_ATTRS,
+    Tracer,
+    critical_path,
+    get_active_tracer,
+    new_run_id,
+    render_span_tree,
+    render_trace,
+    self_times,
+    set_active_tracer,
+    span_tree_digest,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each read advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def make_tracer() -> Tracer:
+    return Tracer(run_id="test-run", clock=FakeClock())
+
+
+class TestSpanLifecycle:
+    def test_nesting_assigns_parents(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_durations_from_injected_clock(self):
+        tracer = make_tracer()
+        with tracer.span("op") as span:
+            pass
+        assert span.status == "ok"
+        assert span.duration == pytest.approx(1.0)  # one clock tick inside
+
+    def test_exception_marks_error_and_reraises(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert span.attrs["error"] == "ValueError: boom"
+        assert tracer.current is None  # stack unwound
+
+    def test_open_span_has_zero_duration(self):
+        tracer = make_tracer()
+        with tracer.span("open") as span:
+            assert span.duration == 0.0
+
+    def test_record_span_grafts_under_current(self):
+        tracer = make_tracer()
+        with tracer.span("parent") as parent:
+            child = tracer.record_span("late", start=5.0, end=7.0, k=1)
+        assert child.parent_id == parent.span_id
+        assert child.duration == pytest.approx(2.0)
+        assert child.attrs == {"k": 1}
+
+    def test_to_records_round_trip(self):
+        tracer = make_tracer()
+        with tracer.span("a", x=1):
+            with tracer.span("b"):
+                pass
+        records = tracer.to_records()
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert records[1]["parent"] == records[0]["span"]
+        assert records[0]["attrs"] == {"x": 1}
+        assert all(r["status"] == "ok" for r in records)
+
+
+class TestAttach:
+    def test_worker_forest_is_rewritten_into_parent_ids(self):
+        worker = make_tracer()
+        with worker.span("worker.job"):
+            with worker.span("inner"):
+                pass
+        parent = make_tracer()
+        with parent.span("exec.job") as anchor:
+            grafted = parent.attach(worker.to_records())
+        assert grafted[0].parent_id == anchor.span_id
+        assert grafted[1].parent_id == grafted[0].span_id
+        # ids are local handles: no collisions with the parent's own spans
+        assert len({s.span_id for s in parent.spans}) == len(parent.spans)
+
+    def test_attach_without_anchor_creates_roots(self):
+        worker = make_tracer()
+        with worker.span("worker.job"):
+            pass
+        parent = make_tracer()
+        (root,) = parent.attach(worker.to_records())
+        assert root.parent_id is None
+
+
+class TestDigest:
+    def _forest(self, order=(0, 1)):
+        """Two sibling children under one root, emitted in ``order``."""
+        tracer = make_tracer()
+        with tracer.span("root"):
+            names = ["left", "right"]
+            for i in order:
+                with tracer.span(names[i], idx=names[i]):
+                    pass
+        return tracer.to_records()
+
+    def test_invariant_to_sibling_order(self):
+        assert span_tree_digest(self._forest((0, 1))) == span_tree_digest(
+            self._forest((1, 0))
+        )
+
+    def test_invariant_to_volatile_attributes(self):
+        def forest(attempt):
+            tracer = make_tracer()
+            with tracer.span("job", attempt=attempt, pid=attempt * 100, stable="s"):
+                pass
+            return tracer.to_records()
+
+        assert span_tree_digest(forest(1)) == span_tree_digest(forest(2))
+        assert "attempt" in VOLATILE_ATTRS and "pid" in VOLATILE_ATTRS
+
+    def test_sensitive_to_structure_and_stable_attrs(self):
+        base = self._forest()
+
+        tracer = make_tracer()
+        with tracer.span("root"):
+            with tracer.span("left", idx="left"):
+                pass
+            with tracer.span("right", idx="CHANGED"):
+                pass
+        assert span_tree_digest(base) != span_tree_digest(tracer.to_records())
+
+    def test_sensitive_to_status(self):
+        ok = self._forest()
+        tracer = make_tracer()
+        with tracer.span("root"):
+            for name in ("left", "right"):
+                try:
+                    with tracer.span(name, idx=name):
+                        if name == "right":
+                            raise RuntimeError("x")
+                except RuntimeError:
+                    pass
+        assert span_tree_digest(ok) != span_tree_digest(tracer.to_records())
+
+
+class TestActiveTracer:
+    def test_set_returns_previous_and_restores(self):
+        assert get_active_tracer() is None
+        first = make_tracer()
+        assert set_active_tracer(first) is None
+        try:
+            second = make_tracer()
+            assert set_active_tracer(second) is first
+            assert get_active_tracer() is second
+        finally:
+            set_active_tracer(None)
+        assert get_active_tracer() is None
+
+    def test_run_ids_are_fresh(self):
+        assert new_run_id() != new_run_id()
+        assert len(new_run_id()) == 12
+
+
+class TestAnalysis:
+    def _records(self):
+        tracer = make_tracer()
+        with tracer.span("run"):
+            with tracer.span("fast"):
+                pass
+            with tracer.span("slow"):
+                with tracer.span("leaf"):
+                    pass
+                # widen `slow` beyond `fast` (extra clock ticks)
+                tracer._clock()
+                tracer._clock()
+        return tracer.to_records()
+
+    def test_critical_path_follows_longest_children(self):
+        names = [r["name"] for r in critical_path(self._records())]
+        assert names == ["run", "slow", "leaf"]
+
+    def test_self_times_subtract_children(self):
+        ranked = dict((name, sec) for name, sec, _ in self_times(self._records()))
+        assert set(ranked) == {"run", "fast", "slow", "leaf"}
+        assert all(sec >= 0.0 for sec in ranked.values())
+
+    def test_empty_forest(self):
+        assert critical_path([]) == []
+        assert self_times([]) == []
+        assert render_span_tree([]) == "(no spans)"
+
+
+class TestRender:
+    def test_tree_shows_hierarchy_and_error_marker(self):
+        tracer = make_tracer()
+        with tracer.span("run", d=4):
+            try:
+                with tracer.span("bad"):
+                    raise RuntimeError("x")
+            except RuntimeError:
+                pass
+        text = render_span_tree(tracer.to_records())
+        assert "run" in text and "bad" in text
+        assert "[d=4]" in text
+        assert "!" in text  # error marker
+        assert "`- bad" in text
+
+    def test_max_depth_truncates(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        text = render_span_tree(tracer.to_records(), max_depth=2)
+        assert "b" in text and "c" not in text
+
+    def test_render_trace_sections(self):
+        text = render_trace(TestAnalysis()._records(), top=2)
+        assert "critical path:" in text
+        assert "top self-time:" in text
+        assert text.count("\n\n") == 2  # tree / path / table
