@@ -16,15 +16,28 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.verify import verify_schedule
+from repro.core.chunkstream import DEFAULT_CHUNK_MOVES, ScheduleChunk
 from repro.core.schedule import Schedule
 from repro.core.strategy import get_strategy
 from repro.errors import ReproError
-from repro.fastpath import CompiledSchedule, ScheduleCache, batch_verify, measure_schedule
+from repro.fastpath import (
+    CompiledSchedule,
+    ScheduleCache,
+    batch_verify,
+    batch_verify_chunks,
+    measure_chunks,
+    measure_schedule,
+)
 
 __all__ = ["SweepRow", "Sweep", "run_sweep", "measure_cell"]
 
 #: the standard measured columns, in render order
 STANDARD_COLUMNS = ("agents", "moves", "agent_moves", "sync_moves", "steps")
+
+#: dimensions at or above this stream by default: a materialized d=16
+#: schedule is ~1M ``Move`` objects (hundreds of MB); the chunk pipeline
+#: holds one block at a time
+STREAM_DIMENSION_THRESHOLD = 16
 
 
 @dataclass(frozen=True)
@@ -71,6 +84,8 @@ def measure_cell(
     *,
     verify: bool = True,
     cache: Optional[ScheduleCache] = None,
+    stream: Optional[bool] = None,
+    chunk_moves: int = DEFAULT_CHUNK_MOVES,
 ) -> tuple[Dict[str, float], object, Dict[str, object]]:
     """One (strategy, dimension) measurement — the single cell kernel.
 
@@ -81,19 +96,36 @@ def measure_cell(
     * ``values`` — the :data:`STANDARD_COLUMNS` metric dict,
     * ``schedule_like`` — a :class:`~repro.core.schedule.Schedule` on the
       cache-less path, a :class:`~repro.fastpath.CompiledSchedule` on the
-      cached one (callers needing real moves decompile on demand),
+      cached one (callers needing real moves decompile on demand), and
+      the final :class:`~repro.core.chunkstream.ScheduleChunk` on the
+      streaming path (the whole schedule was never resident),
     * ``provenance`` — empty without a cache; with one, the entry
       fingerprint and whether it was served from ``"cache"`` or
       ``"generated"``.
 
+    ``stream`` selects the bounded-memory chunk pipeline: generation (or
+    the cache's chunked warm path), verification and measurement all
+    fold chunk by chunk, holding ``O(chunk_moves)`` moves at any moment.
+    The default (``None``) streams at ``d >=``
+    :data:`STREAM_DIMENSION_THRESHOLD`, where materialized schedules
+    stop fitting comfortably in memory; the verdicts and metric values
+    are identical either way.
+
     With a cache, verification uses the columnar batch verifier on both
     the cold and warm paths (same verdict either way, and re-verifying a
     warm entry guards against anything the CRC cannot see); without one,
-    the classic replay verifier runs exactly as before.  A verification
-    failure raises :class:`~repro.errors.ReproError` — a sweep refuses
-    to report numbers from a broken schedule.
+    the classic replay verifier runs exactly as before — except when
+    streaming, which always uses the chunked batch verifier.  A
+    verification failure raises :class:`~repro.errors.ReproError` — a
+    sweep refuses to report numbers from a broken schedule.
     """
     strategy = get_strategy(name)
+    if stream is None:
+        stream = dimension >= STREAM_DIMENSION_THRESHOLD
+    if stream:
+        return _measure_cell_streaming(
+            name, strategy, dimension, verify, cache, chunk_moves
+        )
     if cache is not None:
         fp, compiled = cache.load_compiled(strategy, dimension)
         provenance: Dict[str, object] = {"fingerprint": fp, "source": "cache"}
@@ -122,6 +154,52 @@ def measure_cell(
     return measure_schedule(schedule), schedule, {}
 
 
+def _measure_cell_streaming(
+    name: str,
+    strategy,
+    dimension: int,
+    verify: bool,
+    cache: Optional[ScheduleCache],
+    chunk_moves: int,
+) -> tuple[Dict[str, float], object, Dict[str, object]]:
+    """The chunked cell kernel: one pass, one resident block.
+
+    The chunk stream flows through the verifier while a one-slot tap
+    captures the final chunk; measurement then folds from its cumulative
+    aggregate block — generate/verify/measure without the schedule ever
+    existing whole.
+    """
+    provenance: Dict[str, object] = {}
+    if cache is not None:
+        fp = cache.fingerprint_of(strategy, dimension)
+        warm = cache.chunk_path_for(fp).exists() or cache.path_for(fp).exists()
+        provenance = {"fingerprint": fp, "source": "cache" if warm else "generated"}
+        chunks = cache.stream_chunks(strategy, dimension, chunk_moves)
+    else:
+        from repro.topology.hypercube import Hypercube
+
+        chunks = strategy.generate_chunks(Hypercube(dimension), chunk_moves)
+    final: List[ScheduleChunk] = []
+
+    def _tap(stream):
+        for chunk in stream:
+            if chunk.is_last:
+                final.append(chunk)
+            yield chunk
+
+    if verify:
+        report = batch_verify_chunks(_tap(chunks))
+        if not report.ok:
+            raise ReproError(
+                f"{name} d={dimension} failed verification: {report.summary()}"
+            )
+    else:
+        for _ in _tap(chunks):
+            pass
+    values = measure_chunks(iter(final))
+    return values, final[0], provenance
+
+
 class Sweep:
     """A strategies × dimensions measurement grid.
 
@@ -142,6 +220,15 @@ class Sweep:
         cells are served from it (compiling and storing on miss) and
         verified with the columnar batch verifier.  A warm cell is pure
         deserialize-and-measure.
+    stream:
+        ``True`` forces every cell through the bounded-memory chunk
+        pipeline, ``False`` forces materialization; the default
+        (``None``) streams cells at ``d >=``
+        :data:`STREAM_DIMENSION_THRESHOLD`.  Streaming cells never
+        materialize a schedule, so they cannot feed ``extra_metrics``
+        (``fn(schedule)`` callbacks) — combining the two raises.
+    chunk_moves:
+        Block size of the streaming pipeline.
     """
 
     def __init__(
@@ -152,14 +239,30 @@ class Sweep:
         extra_metrics: Optional[Dict[str, Callable[[Schedule], float]]] = None,
         verify: bool = True,
         cache: Optional[ScheduleCache] = None,
+        stream: Optional[bool] = None,
+        chunk_moves: int = DEFAULT_CHUNK_MOVES,
     ) -> None:
         if not strategies or not dimensions:
             raise ReproError("sweep needs at least one strategy and one dimension")
+        if extra_metrics and stream:
+            raise ReproError(
+                "extra_metrics need a materialized schedule; "
+                "a streaming sweep never builds one (drop stream=True "
+                "or the extra metrics)"
+            )
         self.strategies = list(strategies)
         self.dimensions = list(dimensions)
         self.extra_metrics = dict(extra_metrics or {})
         self.verify = verify
         self.cache = cache
+        self.stream = stream
+        self.chunk_moves = chunk_moves
+
+    def _cell_streams(self, dimension: int) -> bool:
+        """Whether the cell at ``dimension`` goes through the chunk path."""
+        if self.stream is None:
+            return dimension >= STREAM_DIMENSION_THRESHOLD
+        return self.stream
 
     def run(self) -> List[SweepRow]:
         """Execute the grid; returns one row per (strategy, dimension)."""
@@ -168,7 +271,12 @@ class Sweep:
             for d in self.dimensions:
                 try:
                     values, schedule_like, _ = measure_cell(
-                        name, d, verify=self.verify, cache=self.cache
+                        name,
+                        d,
+                        verify=self.verify,
+                        cache=self.cache,
+                        stream=self._cell_streams(d) and not self.extra_metrics,
+                        chunk_moves=self.chunk_moves,
                     )
                 except ReproError as exc:
                     if "failed verification" in str(exc):

@@ -150,6 +150,28 @@ def build_parser() -> argparse.ArgumentParser:
         "-s", "--strategies", nargs="+", default=["clean", "visibility", "cloning"]
     )
     sweep.add_argument("--csv", metavar="FILE", default=None, help="also write CSV")
+    stream_group = sweep.add_mutually_exclusive_group()
+    stream_group.add_argument(
+        "--stream",
+        dest="stream",
+        action="store_true",
+        default=None,
+        help="force the bounded-memory chunk pipeline for every cell "
+        "(default: stream automatically at d >= 16)",
+    )
+    stream_group.add_argument(
+        "--no-stream",
+        dest="stream",
+        action="store_false",
+        help="force full materialization even at high dimensions",
+    )
+    sweep.add_argument(
+        "--chunk-moves",
+        type=int,
+        default=None,
+        metavar="N",
+        help="moves per chunk on the streaming pipeline (default: 65536)",
+    )
     _add_executor_flags(sweep)
     _add_cache_flags(sweep)
     _add_trace_flag(sweep)
@@ -412,6 +434,11 @@ def _cache_epilogue(cache) -> None:
         f"schedule cache: {stats.hits} hit(s), {stats.misses} miss(es), "
         f"{stats.corrupt} corrupt in {cache.root}"
     )
+    if stats.chunk_hits or stats.chunk_stores:
+        print(
+            f"schedule cache: {stats.chunk_hits} chunk hit(s), "
+            f"{stats.chunk_stores} chunk store(s)"
+        )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -552,12 +579,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     cache_dir=cache_dir,
                     metrics=trace.registry if trace else None,
                     tracer=trace.tracer if trace else None,
+                    stream=args.stream,
+                    chunk_moves=args.chunk_moves,
                 )
         except ReproError as exc:
             print(f"repro-search sweep: {exc}", file=sys.stderr)
             return 2
     else:
         from repro.analysis.sweeps import run_sweep
+        from repro.core.chunkstream import DEFAULT_CHUNK_MOVES
         from repro.fastpath import ScheduleCache
 
         if cache_dir is not None:
@@ -567,7 +597,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 cache.bind_tracer(trace.tracer)
         try:
             with trace or nullcontext():
-                sweep, rows = run_sweep(args.strategies, args.dimensions, cache=cache)
+                sweep, rows = run_sweep(
+                    args.strategies,
+                    args.dimensions,
+                    cache=cache,
+                    stream=args.stream,
+                    chunk_moves=args.chunk_moves or DEFAULT_CHUNK_MOVES,
+                )
         except ReproError as exc:
             print(f"repro-search sweep: {exc}", file=sys.stderr)
             return 2
@@ -973,6 +1009,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         info = cache.info()
         print(f"root        : {info['root']}")
         print(f"entries     : {info['entries']}")
+        print(f"chunked     : {info['chunked_entries']}")
         print(f"total bytes : {info['total_bytes']}")
         return 0
     removed = cache.clear()

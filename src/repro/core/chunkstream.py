@@ -1,0 +1,537 @@
+"""The chunk plane: schedules as bounded-memory columnar block streams.
+
+The paper's strategies emit ``O(n log n)`` moves (Theorems 3/8), so a
+materialized :class:`~repro.core.schedule.Schedule` at d=18 is millions
+of Python ``Move`` objects — hundreds of megabytes before any consumer
+touches the first move.  This module defines the streaming alternative:
+a schedule as an ordered sequence of :class:`ScheduleChunk` blocks, each
+a fixed-size slice of the six-column struct-of-arrays layout the
+compiled form (:class:`~repro.fastpath.compiled.CompiledSchedule`) uses,
+with the running :class:`~repro.core.schedule.ScheduleAggregates` folded
+per chunk.  A strategy that can emit its moves incrementally
+(:meth:`~repro.core.strategy.Strategy.stream_moves`) produces the whole
+stream in ``O(chunk + frontier)`` memory; every downstream consumer —
+the batch verifier, the metric collector, the schedule cache's chunked
+blob format — folds chunk by chunk without ever holding the schedule.
+
+Stream contract
+---------------
+* chunks arrive in replay order: concatenating the columns of every
+  chunk yields exactly the compiled form of the monolithic schedule
+  (byte-identical — the collector tests pin this);
+* every chunk carries the stream *header* (dimension, strategy,
+  homebase, cloning flag and the exact ``team_size``, which the paper's
+  formulas predict up front — the streaming verifier needs the initial
+  homebase guard count before the first move);
+* ``stats_so_far`` on each chunk is the aggregate block over all moves
+  up to and including that chunk, so any prefix of the stream is
+  measurable and the final chunk's block equals the monolithic
+  ``Schedule.aggregates()``;
+* exactly one chunk has ``is_last=True`` — the final chunk, which also
+  carries the generator ``metadata`` (finalized only at the end of
+  generation) — and it is the stream terminator: a consumer that runs
+  out of chunks without seeing it is reading a torn stream;
+* every chunk except the last holds exactly ``chunk_moves`` moves; the
+  last holds the remainder (possibly zero moves for empty schedules).
+
+Within one time unit, moves never straddle *logical* boundaries — a
+chunk boundary may split a time unit, and consumers carry their
+incremental state (contiguity trichotomy, open time-unit bookkeeping)
+across it; nothing in the format aligns chunks to time units.
+"""
+
+from __future__ import annotations
+
+import itertools
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.schedule import Move, MoveKind, Schedule, ScheduleAggregates
+from repro.core.states import AgentRole
+from repro.errors import ReproError, ScheduleError
+
+__all__ = [
+    "DEFAULT_CHUNK_MOVES",
+    "KINDS",
+    "ROLES",
+    "KIND_CODE",
+    "ROLE_CODE",
+    "ChunkStreamHeader",
+    "ScheduleChunk",
+    "AggregateScanner",
+    "TimeOrderedEmitter",
+    "chunk_move_stream",
+    "collect_stream",
+    "header_from_schedule",
+    "stream_from_schedule",
+    "chunks_from_schedule",
+    "rechunk",
+    "chunks_to_schedule",
+]
+
+#: default moves per chunk — 64k int64 rows x 6 columns = 3 MiB of
+#: column payload per chunk, small enough to stream d >= 16 in bounded
+#: memory and large enough that per-chunk overhead disappears.
+DEFAULT_CHUNK_MOVES = 65536
+
+# Canonical enum <-> small-int code tables, shared with the compiled
+# form (repro.fastpath.compiled imports these — fastpath sits above the
+# core plane, so the dependency points downward).  The *byte* formats
+# never store these indices bare: their headers record the enum value
+# strings in index order, so blobs survive enum reordering.
+KINDS: Tuple[MoveKind, ...] = tuple(MoveKind)
+ROLES: Tuple[AgentRole, ...] = tuple(AgentRole)
+KIND_CODE: Dict[MoveKind, int] = {kind: i for i, kind in enumerate(KINDS)}
+ROLE_CODE: Dict[AgentRole, int] = {role: i for i, role in enumerate(ROLES)}
+
+
+@dataclass(frozen=True)
+class ChunkStreamHeader:
+    """Everything about a schedule that is known before its first move.
+
+    ``team_size`` must be *exact*: the streaming verifier deploys the
+    initial homebase guards from it, and the chunker cross-checks it
+    against the generator's final count (a mismatch is a generator bug
+    and raises, never silently degrades a verdict).
+    """
+
+    dimension: int
+    strategy: str
+    homebase: int
+    uses_cloning: bool
+    team_size: int
+
+    @property
+    def n(self) -> int:
+        """Number of hypercube nodes, ``2**dimension``."""
+        return 1 << self.dimension
+
+
+@dataclass
+class ScheduleChunk:
+    """One fixed-size columnar block of a schedule stream.
+
+    The six parallel ``array('q')`` columns are the exact
+    :class:`~repro.fastpath.compiled.CompiledSchedule` layout for the
+    slice ``[start_move, start_move + len(self))`` of the move list;
+    ``stats_so_far`` aggregates every move up to the end of this chunk.
+    Only the final chunk (``is_last``) carries the generator metadata.
+    """
+
+    header: ChunkStreamHeader
+    index: int
+    start_move: int
+    times: "array[int]"
+    agents: "array[int]"
+    srcs: "array[int]"
+    dsts: "array[int]"
+    kinds: "array[int]"
+    roles: "array[int]"
+    stats_so_far: ScheduleAggregates
+    is_last: bool = False
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the six columns of this chunk."""
+        return sum(col.itemsize * len(col) for col in self.columns().values())
+
+    def columns(self) -> Dict[str, "array[int]"]:
+        """The column buffers, keyed by compiled-form column name."""
+        return {
+            "time": self.times,
+            "agent": self.agents,
+            "src": self.srcs,
+            "dst": self.dsts,
+            "kind": self.kinds,
+            "role": self.roles,
+        }
+
+    def moves(self) -> Iterator[Move]:
+        """Materialize this chunk's slice as ``Move`` objects (tests and
+        collectors only — the streaming consumers read the columns)."""
+        for i in range(len(self.times)):
+            yield Move(
+                agent=self.agents[i],
+                src=self.srcs[i],
+                dst=self.dsts[i],
+                time=self.times[i],
+                role=ROLES[self.roles[i]],
+                kind=KINDS[self.kinds[i]],
+            )
+
+
+class AggregateScanner:
+    """Incremental :func:`~repro.core.schedule.scan_moves` over a sorted
+    move stream.
+
+    Chunk streams are emitted in replay order (non-decreasing times), so
+    ``peak_traveling_agents`` folds over runs of equal completion time
+    with one reusable set — the same streaming trick the monolithic
+    scanner uses — and the snapshot after the final move equals
+    ``scan_moves(schedule.moves)`` exactly.
+    """
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.makespan = 0
+        self.role_counts = [0] * len(ROLES)
+        self.kind_counts = [0] * len(KINDS)
+        self.agents: set = set()
+        self._run_time: Optional[int] = None
+        self._run_agents: set = set()
+        self._peak = 0
+
+    def add(self, time: int, agent: int, kind_code: int, role_code: int) -> None:
+        """Fold one move (already encoded) into the running aggregates."""
+        if self._run_time is not None and time < self._run_time:
+            raise ScheduleError(
+                f"chunk stream goes back in time ({time} < {self._run_time})"
+            )
+        self.total += 1
+        self.role_counts[role_code] += 1
+        self.kind_counts[kind_code] += 1
+        self.agents.add(agent)
+        if time > self.makespan:
+            self.makespan = time
+        if time != self._run_time:
+            if len(self._run_agents) > self._peak:
+                self._peak = len(self._run_agents)
+            self._run_agents.clear()
+            self._run_time = time
+        self._run_agents.add(agent)
+
+    def snapshot(self) -> ScheduleAggregates:
+        """The aggregate block over every move folded so far."""
+        peak = max(self._peak, len(self._run_agents))
+        return ScheduleAggregates(
+            total_moves=self.total,
+            makespan=self.makespan,
+            role_counts={role: self.role_counts[i] for i, role in enumerate(ROLES)},
+            kind_counts={kind: self.kind_counts[i] for i, kind in enumerate(KINDS)},
+            agents_used=len(self.agents),
+            peak_traveling_agents=peak,
+        )
+
+
+class TimeOrderedEmitter:
+    """Streaming replacement for the generators' final ``moves.sort()``.
+
+    The CLEAN and level-sweep generators emit moves in *program* order —
+    an agent's whole walk at its dispatch point — and stable-sort by
+    completion time at the end.  Sorting needs the full list; this
+    emitter reproduces the exact same order incrementally.  Moves are
+    bucketed by completion time; :meth:`release` flushes every bucket up
+    to a *watermark* the generator guarantees no future move can
+    undercut (both generators only ever start walks at or after the
+    coordinator clock, which never decreases).  Buckets keep append
+    order, so the flushed sequence equals the stable sort exactly.
+
+    Peak buffered moves = one dispatch burst (the walks racing ahead of
+    the coordinator clock), which is ``O(level width * d)`` — the
+    streaming generators' memory high-water mark, far below the full
+    ``O(n log n)`` move list.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, List[Move]] = {}
+        self._released = 0
+        self.peak_buffered = 0
+        self._buffered = 0
+
+    def emit(self, move: Move) -> None:
+        """Buffer one move awaiting its watermark."""
+        self._buckets.setdefault(move.time, []).append(move)
+        self._buffered += 1
+        if self._buffered > self.peak_buffered:
+            self.peak_buffered = self._buffered
+
+    def release(self, watermark: int) -> Iterator[Move]:
+        """Yield every buffered move with ``time <= watermark`` in time
+        order (stable within a time unit).
+
+        The caller promises every *future* :meth:`emit` has
+        ``time > watermark``; releasing is then safe because no later
+        move can belong before the flushed prefix.
+        """
+        if self._released > watermark:
+            raise ReproError(
+                f"watermark went backwards ({watermark} < {self._released})"
+            )
+        due = sorted(t for t in self._buckets if t <= watermark)
+        for t in due:
+            bucket = self._buckets.pop(t)
+            self._buffered -= len(bucket)
+            yield from bucket
+        self._released = watermark
+
+    def drain(self) -> Iterator[Move]:
+        """Yield everything left, in time order (end of generation)."""
+        for t in sorted(self._buckets):
+            bucket = self._buckets.pop(t)
+            self._buffered -= len(bucket)
+            yield from bucket
+
+
+def _empty_column() -> "array[int]":
+    return array("q", bytes(0))
+
+
+def chunk_move_stream(
+    header: ChunkStreamHeader,
+    moves: Iterator[Move],
+    chunk_moves: int = DEFAULT_CHUNK_MOVES,
+) -> Iterator[ScheduleChunk]:
+    """Pack a replay-ordered move stream into :class:`ScheduleChunk`\\ s.
+
+    ``moves`` is typically a strategy's
+    :meth:`~repro.core.strategy.Strategy.stream_moves` generator; its
+    ``return`` value (captured from ``StopIteration``) is the stream
+    footer — a dict with the final ``team_size`` and ``metadata``.  The
+    footer's team size is cross-checked against the header's: the header
+    value seeds the streaming verifier's homebase guards, so the two
+    disagreeing means the strategy's up-front team prediction is wrong —
+    a generator bug that must fail loudly, not degrade a verdict.
+
+    Always emits at least one chunk (the empty-schedule stream is a
+    single zero-move final chunk).
+    """
+    if chunk_moves < 1:
+        raise ReproError(f"chunk_moves must be >= 1, got {chunk_moves}")
+    scanner = AggregateScanner()
+    index = 0
+    start = 0
+    times = _empty_column()
+    agents = _empty_column()
+    srcs = _empty_column()
+    dsts = _empty_column()
+    kinds = _empty_column()
+    roles = _empty_column()
+    footer: Dict[str, object] = {}
+    while True:
+        try:
+            move = next(moves)
+        except StopIteration as stop:
+            if stop.value is not None:
+                footer = dict(stop.value)
+            break
+        kind_code = KIND_CODE[move.kind]
+        role_code = ROLE_CODE[move.role]
+        times.append(move.time)
+        agents.append(move.agent)
+        srcs.append(move.src)
+        dsts.append(move.dst)
+        kinds.append(kind_code)
+        roles.append(role_code)
+        scanner.add(move.time, move.agent, kind_code, role_code)
+        if len(times) == chunk_moves:
+            yield ScheduleChunk(
+                header=header,
+                index=index,
+                start_move=start,
+                times=times,
+                agents=agents,
+                srcs=srcs,
+                dsts=dsts,
+                kinds=kinds,
+                roles=roles,
+                stats_so_far=scanner.snapshot(),
+            )
+            index += 1
+            start += chunk_moves
+            times = _empty_column()
+            agents = _empty_column()
+            srcs = _empty_column()
+            dsts = _empty_column()
+            kinds = _empty_column()
+            roles = _empty_column()
+    final_team = footer.get("team_size")
+    if final_team is not None and int(final_team) != header.team_size:  # type: ignore[call-overload]
+        raise ReproError(
+            f"{header.strategy}(d={header.dimension}): streamed team size "
+            f"{final_team} != predicted {header.team_size} — the strategy's "
+            "up-front team prediction (expected_team_size) is wrong"
+        )
+    yield ScheduleChunk(
+        header=header,
+        index=index,
+        start_move=start,
+        times=times,
+        agents=agents,
+        srcs=srcs,
+        dsts=dsts,
+        kinds=kinds,
+        roles=roles,
+        stats_so_far=scanner.snapshot(),
+        is_last=True,
+        metadata=dict(footer.get("metadata") or {}),  # type: ignore[call-overload]
+    )
+
+
+def collect_stream(header: ChunkStreamHeader, moves: Iterator[Move]) -> Schedule:
+    """Materialize a move stream into a full :class:`Schedule`.
+
+    The thin collector behind the streaming strategies' ``generate``:
+    drives the generator to exhaustion, captures the footer, and builds
+    the exact ``Schedule`` the monolithic generator used to return.
+    """
+    collected: List[Move] = []
+    footer: Dict[str, object] = {}
+    while True:
+        try:
+            collected.append(next(moves))
+        except StopIteration as stop:
+            if stop.value is not None:
+                footer = dict(stop.value)
+            break
+    team = int(footer.get("team_size", header.team_size))  # type: ignore[call-overload]
+    schedule = Schedule(
+        dimension=header.dimension,
+        strategy=header.strategy,
+        moves=collected,
+        team_size=team,
+        homebase=header.homebase,
+        uses_cloning=header.uses_cloning,
+    )
+    schedule.metadata.update(dict(footer.get("metadata") or {}))  # type: ignore[call-overload]
+    return schedule
+
+
+def header_from_schedule(schedule: Schedule) -> ChunkStreamHeader:
+    """The stream header of an already-materialized schedule."""
+    return ChunkStreamHeader(
+        dimension=schedule.dimension,
+        strategy=schedule.strategy,
+        homebase=schedule.homebase,
+        uses_cloning=schedule.uses_cloning,
+        team_size=schedule.team_size,
+    )
+
+
+def stream_from_schedule(schedule: Schedule) -> Iterator[Move]:
+    """A footered move stream over an already-materialized schedule.
+
+    The fallback behind the default
+    :meth:`~repro.core.strategy.Strategy.stream_moves` — not bounded
+    (the schedule already exists), but it lets every strategy speak the
+    chunk protocol even before it grows a native streaming generator.
+    """
+    yield from schedule.moves
+    return {  # type: ignore[return-value]
+        "team_size": schedule.team_size,
+        "metadata": dict(schedule.metadata),
+    }
+
+
+def chunks_from_schedule(
+    schedule: Schedule, chunk_moves: int = DEFAULT_CHUNK_MOVES
+) -> Iterator[ScheduleChunk]:
+    """Chunk an already-materialized schedule (fallback / test helper)."""
+    return chunk_move_stream(
+        header_from_schedule(schedule), stream_from_schedule(schedule), chunk_moves
+    )
+
+
+def rechunk(
+    chunks: Iterable[ScheduleChunk], chunk_moves: int
+) -> Iterator[ScheduleChunk]:
+    """Re-slice a chunk stream to a different block size.
+
+    Pure column surgery — no ``Move`` objects, no stats re-scan: output
+    ``stats_so_far`` blocks are taken from the input blocks when a
+    boundary coincides and re-derived incrementally otherwise.  Used by
+    the cache's warm path to serve any requested ``chunk_moves`` from
+    the stored block size.
+    """
+    if chunk_moves < 1:
+        raise ReproError(f"chunk_moves must be >= 1, got {chunk_moves}")
+    scanner = AggregateScanner()
+    header: Optional[ChunkStreamHeader] = None
+    metadata: Dict[str, object] = {}
+    index = 0
+    start = 0
+    pending: List["array[int]"] = [_empty_column() for _ in range(6)]
+
+    def _flush(is_last: bool) -> ScheduleChunk:
+        nonlocal index, start, pending
+        assert header is not None
+        chunk = ScheduleChunk(
+            header=header,
+            index=index,
+            start_move=start,
+            times=pending[0],
+            agents=pending[1],
+            srcs=pending[2],
+            dsts=pending[3],
+            kinds=pending[4],
+            roles=pending[5],
+            stats_so_far=scanner.snapshot(),
+            is_last=is_last,
+            metadata=dict(metadata) if is_last else {},
+        )
+        index += 1
+        start += len(chunk)
+        pending = [_empty_column() for _ in range(6)]
+        return chunk
+
+    saw_last = False
+    for chunk in chunks:
+        header = chunk.header
+        if chunk.is_last:
+            saw_last = True
+            metadata = chunk.metadata
+        cols = [chunk.times, chunk.agents, chunk.srcs, chunk.dsts, chunk.kinds, chunk.roles]
+        offset = 0
+        total = len(chunk)
+        while offset < total:
+            take = min(chunk_moves - len(pending[0]), total - offset)
+            for buf, col in zip(pending, cols):
+                buf.extend(col[offset : offset + take])
+            for i in range(offset, offset + take):
+                scanner.add(chunk.times[i], chunk.agents[i], chunk.kinds[i], chunk.roles[i])
+            offset += take
+            if len(pending[0]) == chunk_moves:
+                yield _flush(is_last=False)
+    if header is None:
+        raise ScheduleError("cannot rechunk an empty stream (no chunks at all)")
+    if not saw_last:
+        raise ScheduleError("torn chunk stream: no final chunk seen")
+    yield _flush(is_last=True)
+
+
+def chunks_to_schedule(chunks: Iterable[ScheduleChunk]) -> Schedule:
+    """Materialize a chunk stream back into a full :class:`Schedule`.
+
+    The inverse collector (tests, and callers that genuinely need
+    ``Move`` objects from a streamed source).  Raises on a torn stream.
+    """
+    it = iter(chunks)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise ScheduleError("empty chunk stream (no chunks at all)") from None
+    header = first.header
+    moves: List[Move] = []
+    last: Optional[ScheduleChunk] = None
+    for chunk in itertools.chain([first], it):
+        moves.extend(chunk.moves())
+        if chunk.is_last:
+            last = chunk
+    if last is None:
+        raise ScheduleError("torn chunk stream: no final chunk seen")
+    schedule = Schedule(
+        dimension=header.dimension,
+        strategy=header.strategy,
+        moves=moves,
+        team_size=header.team_size,
+        homebase=header.homebase,
+        uses_cloning=header.uses_cloning,
+        metadata=dict(last.metadata),
+    )
+    schedule._agg = last.stats_so_far
+    schedule._agg_key = (len(moves), moves[-1] if moves else None)
+    return schedule

@@ -34,9 +34,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.analysis import formulas
+from repro.core.chunkstream import (
+    ChunkStreamHeader,
+    TimeOrderedEmitter,
+    collect_stream,
+)
 from repro.core.schedule import Move, MoveKind, Schedule
 from repro.core.states import AgentRole
 from repro.core.strategy import Strategy, register
@@ -108,9 +113,32 @@ class CleanStrategy(Strategy):
     # ------------------------------------------------------------------ #
 
     def generate(self, hypercube: Hypercube) -> Schedule:
+        header = ChunkStreamHeader(
+            dimension=hypercube.d,
+            strategy=self.name,
+            homebase=0,
+            uses_cloning=False,
+            team_size=formulas.clean_peak_agents(hypercube.d),
+        )
+        return collect_stream(header, self.stream_moves(hypercube))
+
+    def stream_moves(self, hypercube: Hypercube) -> Iterator[Move]:
+        """Native streaming generator: ``O(level width)`` buffered moves.
+
+        The monolithic generator emitted moves in *program* order (each
+        agent's whole walk at its dispatch point) and stable-sorted by
+        completion time at the end.  Here the same emission order feeds a
+        :class:`~repro.core.chunkstream.TimeOrderedEmitter` released at
+        the synchronizer clock: every walk starts at
+        ``max(agent.ready, sync_time)`` and ``sync_time`` never
+        decreases, so no future move can complete at or before the
+        current clock — flushing up to it reproduces the stable sort
+        byte-for-byte while only the walks racing ahead of the
+        synchronizer stay buffered.
+        """
         d = hypercube.d
         tree = BroadcastTree(hypercube)
-        moves: List[Move] = []
+        emitter = TimeOrderedEmitter()
         pool = _Pool()
 
         # one guard agent per currently guarded node of the active level
@@ -124,7 +152,7 @@ class CleanStrategy(Strategy):
         def sync_step(dst: int, kind: MoveKind) -> None:
             nonlocal sync_pos, sync_time
             sync_time += 1
-            moves.append(
+            emitter.emit(
                 Move(
                     agent=SYNCHRONIZER_ID,
                     src=sync_pos,
@@ -148,14 +176,15 @@ class CleanStrategy(Strategy):
             t = agent.ready
             for src, dst in zip(path, path[1:]):
                 t += 1
-                moves.append(Move(agent=agent.ident, src=src, dst=dst, time=t, kind=kind))
+                emitter.emit(Move(agent=agent.ident, src=src, dst=dst, time=t, kind=kind))
             agent.position = path[-1]
             agent.ready = t
 
         if d == 0:
-            schedule = Schedule(dimension=0, strategy=self.name, team_size=1)
-            schedule.metadata.update({"extras_per_level": {}, "active_per_level": {}})
-            return schedule
+            return {  # type: ignore[return-value]
+                "team_size": 1,
+                "metadata": {"extras_per_level": {}, "active_per_level": {}},
+            }
 
         # ---------------- Step 1: root to level 1 ---------------------- #
         # Escort one agent to each of the d children T(d-1) .. T(0); the
@@ -170,6 +199,7 @@ class CleanStrategy(Strategy):
             sync_step(0, MoveKind.ESCORT)
             sync_time = max(sync_time, agent.ready)
             guards[child] = [agent]
+            yield from emitter.release(sync_time)
         active_per_level[0] = d + 1
 
         # ---------------- Step 2: level l to level l + 1 ---------------- #
@@ -214,6 +244,7 @@ class CleanStrategy(Strategy):
                     agent.ready = max(agent.ready, sync_time)
                     agent_walk(agent, tree.path_to_root(x), MoveKind.RETURN)
                     pool.release(agent)
+                    yield from emitter.release(sync_time)
                     continue
 
                 # escort one agent down each broadcast-tree edge
@@ -228,6 +259,7 @@ class CleanStrategy(Strategy):
                     guards[child] = [agent]
                 if squad:
                     raise ReproError(f"agents left behind on {x}")
+                yield from emitter.release(sync_time)
 
         # Final tidy-up: the agent guarding the last node (11...1, the only
         # level-d node) walks home — all its neighbours (the whole of level
@@ -241,22 +273,15 @@ class CleanStrategy(Strategy):
             agent_walk(agent, tree.path_to_root(final_node), MoveKind.RETURN)
             pool.release(agent)
 
-        # Stable sort by completion time: concurrent travellers interleave
-        # with the synchronizer's sequential walk.
-        moves.sort(key=lambda m: m.time)
+        # Flush the last buffered walks in completion-time order — the
+        # streaming equivalent of the old stable sort by time.
+        yield from emitter.drain()
 
-        schedule = Schedule(
-            dimension=d,
-            strategy=self.name,
-            moves=moves,
-            team_size=pool.hired + 1,  # + the synchronizer
-            uses_cloning=False,
-        )
-        schedule.metadata.update(
-            {
+        return {  # type: ignore[return-value]
+            "team_size": pool.hired + 1,  # + the synchronizer
+            "metadata": {
                 "extras_per_level": extras_per_level,
                 "active_per_level": active_per_level,
                 "synchronizer_id": SYNCHRONIZER_ID,
-            }
-        )
-        return schedule
+            },
+        }

@@ -21,9 +21,10 @@ The paper also observes cloning would *not* help Algorithm ``CLEAN``
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, Optional
 
 from repro.analysis import formulas
+from repro.core.chunkstream import ChunkStreamHeader, collect_stream
 from repro.core.schedule import Move, MoveKind, Schedule
 from repro.core.states import AgentRole
 from repro.core.strategy import Strategy, register
@@ -40,6 +41,7 @@ class CloningStrategy(Strategy):
 
     name = "cloning"
     model = "cloning"
+    uses_cloning = True
 
     def expected_team_size(self, d: int) -> Optional[int]:
         return formulas.cloning_agents(d)
@@ -51,9 +53,19 @@ class CloningStrategy(Strategy):
         return formulas.cloning_time_steps(d)
 
     def generate(self, hypercube: Hypercube) -> Schedule:
+        header = ChunkStreamHeader(
+            dimension=hypercube.d,
+            strategy=self.name,
+            homebase=0,
+            uses_cloning=True,
+            team_size=formulas.cloning_agents(hypercube.d),
+        )
+        return collect_stream(header, self.stream_moves(hypercube))
+
+    def stream_moves(self, hypercube: Hypercube) -> Iterator[Move]:
+        """Native streaming generator (wave order is replay order)."""
         d = hypercube.d
         tree = BroadcastTree(hypercube)
-        moves: List[Move] = []
         next_clone = 1  # agent 0 is the original, placed on the homebase
         resident: Dict[int, int] = {0: 0}  # node -> agent living there
         wave_sizes: Dict[int, int] = {}
@@ -74,28 +86,20 @@ class CloningStrategy(Strategy):
                     else:
                         mover = next_clone
                         next_clone += 1
-                    moves.append(
-                        Move(
-                            agent=mover,
-                            src=node,
-                            dst=child,
-                            time=wave + 1,
-                            role=AgentRole.AGENT,
-                            kind=MoveKind.DEPLOY,
-                        )
+                    yield Move(
+                        agent=mover,
+                        src=node,
+                        dst=child,
+                        time=wave + 1,
+                        role=AgentRole.AGENT,
+                        kind=MoveKind.DEPLOY,
                     )
                     resident[child] = mover
                     movers += 1
             wave_sizes[wave] = movers
 
-        schedule = Schedule(
-            dimension=d,
-            strategy=self.name,
-            moves=moves,
-            team_size=next_clone,  # the original plus every clone created
-            uses_cloning=True,
-        )
-        schedule.metadata.update(
-            {"wave_sizes": wave_sizes, "final_leaves": sorted(resident)}
-        )
-        return schedule
+        return {  # type: ignore[return-value]
+            # the original plus every clone created
+            "team_size": next_clone,
+            "metadata": {"wave_sizes": wave_sizes, "final_leaves": sorted(resident)},
+        }

@@ -15,9 +15,16 @@ this is what the CLI and the benches use.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Type
+from typing import Dict, Iterator, List, Optional, Type
 
-from repro.core.schedule import Schedule
+from repro.core.chunkstream import (
+    DEFAULT_CHUNK_MOVES,
+    ChunkStreamHeader,
+    ScheduleChunk,
+    chunk_move_stream,
+    chunks_from_schedule,
+)
+from repro.core.schedule import Move, Schedule
 from repro.errors import ReproError
 from repro.obs.trace import get_active_tracer
 from repro.topology.hypercube import Hypercube
@@ -76,6 +83,9 @@ class Strategy(abc.ABC):
     #: output for the same inputs, so content-addressed cache entries
     #: built from the old generator stop matching.
     version: str = "1"
+    #: whether agents are created away from the homebase (Section 5);
+    #: part of the chunk-stream header, needed before the first move.
+    uses_cloning: bool = False
 
     def cache_params(self) -> Dict[str, object]:
         """Parameters that change the generated schedule (cache key part).
@@ -89,6 +99,85 @@ class Strategy(abc.ABC):
     @abc.abstractmethod
     def generate(self, hypercube: Hypercube) -> Schedule:
         """Produce the full cleaning schedule for ``hypercube``."""
+
+    # ------------------------------------------------------------------ #
+    # streaming production (the chunk plane)
+    # ------------------------------------------------------------------ #
+
+    def stream_moves(self, hypercube: Hypercube) -> Iterator[Move]:
+        """Yield the schedule's moves in replay order, incrementally.
+
+        A generator whose ``return`` value is the stream *footer*: a dict
+        with the final ``team_size`` and the generator ``metadata`` (both
+        only known once generation finishes).  Strategies with a native
+        streaming generator override this to run in ``O(frontier)``
+        memory; this default materializes via :meth:`generate` and
+        replays — correct for every strategy, bounded for none.
+        """
+        schedule = self.generate(hypercube)
+        yield from schedule.moves
+        return {  # type: ignore[return-value]
+            "team_size": schedule.team_size,
+            "metadata": dict(schedule.metadata),
+        }
+
+    def generate_chunks(
+        self, hypercube: Hypercube, chunk_moves: int = DEFAULT_CHUNK_MOVES
+    ) -> Iterator[ScheduleChunk]:
+        """Produce the schedule as a bounded-memory chunk stream.
+
+        Yields :class:`~repro.core.chunkstream.ScheduleChunk` blocks in
+        the compiled columnar layout; concatenated, they are
+        byte-identical to compiling :meth:`generate`'s output.  Bounded
+        memory requires an exact up-front team prediction
+        (:meth:`expected_team_size` — the streaming verifier seeds the
+        homebase guards from it); a strategy without one falls back to
+        materialize-then-chunk, which is still chunked for consumers but
+        not bounded at the producer.
+        """
+        team = self.expected_team_size(hypercube.d)
+        if team is None:
+            return chunks_from_schedule(self.generate(hypercube), chunk_moves)
+        header = ChunkStreamHeader(
+            dimension=hypercube.d,
+            strategy=self.name,
+            homebase=0,
+            uses_cloning=self.uses_cloning,
+            team_size=team,
+        )
+        return chunk_move_stream(header, self.stream_moves(hypercube), chunk_moves)
+
+    def run_chunks(
+        self, dimension: int, chunk_moves: int = DEFAULT_CHUNK_MOVES
+    ) -> Iterator[ScheduleChunk]:
+        """Streaming counterpart of :meth:`run`: chunks, never a Schedule.
+
+        Serves from the process-wide cache when one is installed and
+        offers a chunk-streaming accessor (``stream_for``); a traced run
+        reports its move count from the final chunk's aggregate block,
+        so tracing never forces materialization.
+        """
+        tracer = get_active_tracer()
+        if tracer is None:
+            yield from self._run_chunks(dimension, chunk_moves)
+            return
+        with tracer.span(
+            "strategy.run_chunks", strategy=self.name, dimension=dimension
+        ) as span:
+            moves = 0
+            for chunk in self._run_chunks(dimension, chunk_moves):
+                moves = chunk.stats_so_far.total_moves
+                yield chunk
+            span.attrs["moves"] = moves
+            span.attrs["chunk_moves"] = chunk_moves
+
+    def _run_chunks(
+        self, dimension: int, chunk_moves: int
+    ) -> Iterator[ScheduleChunk]:
+        cache = _ACTIVE_CACHE
+        if cache is not None and hasattr(cache, "stream_for"):
+            return cache.stream_for(self, dimension, chunk_moves)  # type: ignore[attr-defined]
+        return self.generate_chunks(Hypercube(dimension), chunk_moves)
 
     # ------------------------------------------------------------------ #
     # predicted complexities (None = the paper gives only a bound)
@@ -123,7 +212,10 @@ class Strategy(abc.ABC):
             "strategy.run", strategy=self.name, dimension=dimension
         ) as span:
             schedule = self._run(dimension)
-            span.attrs["moves"] = len(schedule.moves)
+            # Report from the aggregate block, not len(schedule.moves): a
+            # warm cache hit arrives with the stats header pre-attached,
+            # and touching the move list here would force decompilation.
+            span.attrs["moves"] = schedule.aggregates().total_moves
             return schedule
 
     def _run(self, dimension: int) -> Schedule:

@@ -24,9 +24,10 @@ largest subtree first, mirroring how the whiteboard would assign them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.analysis import formulas
+from repro.core.chunkstream import ChunkStreamHeader, collect_stream
 from repro.core.schedule import Move, MoveKind, Schedule
 from repro.core.states import AgentRole
 from repro.core.strategy import Strategy, register
@@ -86,10 +87,26 @@ class VisibilityStrategy(Strategy):
         return squad
 
     def generate(self, hypercube: Hypercube) -> Schedule:
+        header = ChunkStreamHeader(
+            dimension=hypercube.d,
+            strategy=self.name,
+            homebase=0,
+            uses_cloning=self._uses_cloning(),
+            team_size=formulas.visibility_agents(hypercube.d),
+        )
+        return collect_stream(header, self.stream_moves(hypercube))
+
+    def stream_moves(self, hypercube: Hypercube) -> Iterator[Move]:
+        """Native streaming generator: one wave buffered at a time.
+
+        The wave schedule emits every move of wave ``i`` at completion
+        time ``i + 1`` before any move of wave ``i + 1`` — already
+        replay-ordered, so moves stream straight out as each node of the
+        current class forwards its squads.
+        """
         d = hypercube.d
         tree = BroadcastTree(hypercube)
         team = formulas.visibility_agents(d)
-        moves: List[Move] = []
         stationed: Dict[int, List[int]] = {0: self._initial_agents(team)}
         wave_sizes: Dict[int, int] = {}
 
@@ -114,29 +131,24 @@ class VisibilityStrategy(Strategy):
                     take = formulas.agents_for_type(child_k)
                     chunk = squad[offset : offset + take]
                     offset += take
-                    stationed[child] = self._emit_moves(node, child, chunk, wave, moves)
+                    burst: List[Move] = []
+                    stationed[child] = self._emit_moves(node, child, chunk, wave, burst)
+                    yield from burst
                 if offset != len(squad):
                     raise ReproError(f"agents stranded on {node}")
                 movers += len(squad)
             wave_sizes[wave] = movers
 
         # After the last wave every agent sits on a distinct leaf.
-        schedule = Schedule(
-            dimension=d,
-            strategy=self.name,
-            moves=moves,
-            team_size=self._team_size(team, moves),
-            uses_cloning=self._uses_cloning(),
-        )
-        schedule.metadata.update(
-            {"wave_sizes": wave_sizes, "final_leaves": sorted(stationed)}
-        )
-        return schedule
+        return {  # type: ignore[return-value]
+            "team_size": self._final_team_size(team),
+            "metadata": {"wave_sizes": wave_sizes, "final_leaves": sorted(stationed)},
+        }
 
     # hooks overridden by the cloning subclass ------------------------- #
 
-    def _team_size(self, initial_team: int, moves: List[Move]) -> int:
+    def _final_team_size(self, initial_team: int) -> int:
         return initial_team
 
     def _uses_cloning(self) -> bool:
-        return False
+        return self.uses_cloning

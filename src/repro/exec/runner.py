@@ -56,13 +56,17 @@ def sweep_jobs(
     *,
     verify: bool = True,
     cache_dir: Optional[Union[str, Path]] = None,
+    stream: Optional[bool] = None,
+    chunk_moves: Optional[int] = None,
 ) -> List[Job]:
     """One ``sweep_cell`` job per (strategy, dimension), serial order.
 
     ``cache_dir`` names a shared :class:`~repro.fastpath.ScheduleCache`
     directory; every worker opens the same directory (safe: entries are
     published via atomic renames) so one cell's miss becomes every later
-    run's hit.
+    run's hit.  ``stream``/``chunk_moves`` select and size the workers'
+    bounded-memory chunk pipeline (``None`` = the cell kernel's
+    d-threshold default / default block size).
     """
     jobs: List[Job] = []
     for name in strategies:
@@ -74,6 +78,10 @@ def sweep_jobs(
             }
             if cache_dir is not None:
                 payload["cache_dir"] = str(cache_dir)
+            if stream is not None:
+                payload["stream"] = bool(stream)
+            if chunk_moves is not None:
+                payload["chunk_moves"] = int(chunk_moves)
             jobs.append(
                 Job(
                     key=f"sweep:{name}:d={d}",
@@ -96,6 +104,8 @@ def parallel_sweep(
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
     on_outcome: Optional[OutcomeHook] = None,
+    stream: Optional[bool] = None,
+    chunk_moves: Optional[int] = None,
 ) -> Tuple[Sweep, List[SweepRow], List[JobOutcome]]:
     """The parallel twin of :func:`repro.analysis.sweeps.run_sweep`.
 
@@ -104,9 +114,17 @@ def parallel_sweep(
     ``status="failed"`` and no metric values (the renderers print
     ``FAILED``).  Only the standard metric columns are supported —
     ``extra_metrics`` callables cannot be shipped to workers.
+    ``stream``/``chunk_moves`` ride along to every worker's cell kernel.
     """
     sweep = Sweep(strategies, dimensions, verify=verify)
-    jobs = sweep_jobs(strategies, dimensions, verify=verify, cache_dir=cache_dir)
+    jobs = sweep_jobs(
+        strategies,
+        dimensions,
+        verify=verify,
+        cache_dir=cache_dir,
+        stream=stream,
+        chunk_moves=chunk_moves,
+    )
     executor = ParallelExecutor(config, metrics=metrics, tracer=tracer, on_outcome=on_outcome)
     outcomes = executor.run(jobs, checkpoint=checkpoint, manifest=_batch_manifest(jobs))
 

@@ -38,7 +38,11 @@ from repro.fastpath.batchsim import (
     replay_order,
     run_batch,
 )
-from repro.fastpath.batchverify import BatchVerificationReport, batch_verify
+from repro.fastpath.batchverify import (
+    BatchVerificationReport,
+    batch_verify,
+    batch_verify_chunks,
+)
 from repro.fastpath.cache import (
     CACHE_DIR_ENV,
     CacheStats,
@@ -53,7 +57,7 @@ from repro.fastpath.compiled import (
     decode_metadata,
     encode_metadata,
 )
-from repro.fastpath.measure import Measurable, measure_schedule
+from repro.fastpath.measure import Measurable, measure_chunks, measure_schedule
 
 __all__ = [
     "BatchResult",
@@ -64,6 +68,7 @@ __all__ = [
     "INTRUDER_POLICIES",
     "ScenarioTimeline",
     "batch_verify",
+    "batch_verify_chunks",
     "compile_for_spec",
     "replay_order",
     "run_batch",
@@ -78,5 +83,6 @@ __all__ = [
     "decode_metadata",
     "encode_metadata",
     "Measurable",
+    "measure_chunks",
     "measure_schedule",
 ]

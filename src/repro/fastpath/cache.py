@@ -21,6 +21,19 @@ fingerprint is the file name, so a cache directory is safe to share:
   ``corrupt`` and regenerated; it never crashes a run and never
   propagates garbage.
 
+Entries come in two layouts under one fingerprint: the monolithic v1
+blob (``.rprc``, the whole compiled schedule with one trailing CRC) and
+the chunked v2 blob (``.rprk``, fixed-size column blocks each with its
+own length + CRC record, header up front, metadata/stats footer at the
+end).  The classic accessors (:meth:`ScheduleCache.schedule_for`,
+:meth:`ScheduleCache.compiled_for`) and the streaming one
+(:meth:`ScheduleCache.stream_for`) each serve from either layout, so a
+cell is stored once in whichever layout produced it.  The chunked
+layout is what makes ``d >= 16`` warm paths bounded-memory: chunks
+stream straight off disk — never the whole entry in memory, never a
+``Move`` object — and a corrupt chunk costs one deterministic
+regeneration spliced invisibly into the stream, not a crash.
+
 Hit/miss/corrupt counts are mirrored into the process-wide
 :class:`~repro.obs.metrics.MetricsRegistry` (``fastpath.cache.*``
 counters) for run manifests, without this module importing any
@@ -33,19 +46,68 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import struct
 import tempfile
+import zlib
+from array import array
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.core.schedule import Schedule
+from repro.core.chunkstream import (
+    DEFAULT_CHUNK_MOVES,
+    KIND_CODE,
+    KINDS,
+    ROLE_CODE,
+    ROLES,
+    AggregateScanner,
+    ChunkStreamHeader,
+    ScheduleChunk,
+    rechunk,
+)
+from repro.core.schedule import MoveKind, Schedule, ScheduleAggregates
+from repro.core.states import AgentRole
 from repro.core.strategy import Strategy
-from repro.errors import CompiledScheduleError, ScheduleCacheError
-from repro.fastpath.compiled import FORMAT_VERSION, SCHEMA_VERSION, CompiledSchedule
+from repro.errors import CompiledScheduleError, ScheduleCacheError, ScheduleError
+from repro.fastpath.compiled import (
+    COLUMN_NAMES,
+    FORMAT_VERSION,
+    SCHEMA_VERSION,
+    CompiledSchedule,
+    _native,
+    decode_metadata,
+    encode_metadata,
+)
 
 __all__ = ["ScheduleCache", "CacheStats", "default_cache_dir", "fingerprint"]
 
 #: bump to orphan every existing cache entry at once
 CACHE_SCHEMA = "schedule-cache/v1"
+
+#: magic prefix of a chunked (v2) cache entry
+CHUNK_MAGIC = b"RPRK"
+#: version tag of the chunked byte layout below
+CHUNK_FORMAT_VERSION = 2
+#: logical schema tag of the chunked blob (documentation; the cache
+#: fingerprint deliberately does NOT include it — a v1 and a v2 entry
+#: of the same cell are the same content in two layouts, so they share
+#: one content address and either satisfies a lookup)
+CHUNK_SCHEMA_VERSION = "compiled-schedule-chunked/v2"
+
+# chunked entry layout:
+#   CHUNK_MAGIC | version u16 | header_len u32 | header JSON |
+#   chunk records: n_rows u32 | crc32(payload) u32 | payload |
+#   footer record: 0xFFFFFFFF u32 | crc32(footer JSON) u32 |
+#                  footer_len u32 | footer JSON
+# The header holds everything known before the first move (the chunk
+# stream header fields + enum value tables + the stored block size);
+# the footer holds what only the end of generation knows (metadata,
+# final aggregate stats).  Each chunk payload is the six int64 columns
+# of the block, concatenated in COLUMN_NAMES order, little-endian, and
+# is independently CRC-protected: one flipped bit costs one chunk's
+# regeneration, not the whole entry's trust.
+_CHUNK_PREAMBLE = struct.Struct("<4sHI")
+_CHUNK_RECORD = struct.Struct("<II")
+_FOOTER_SENTINEL = 0xFFFFFFFF
 
 #: environment variable naming the default cache directory
 CACHE_DIR_ENV = "REPRO_SCHEDULE_CACHE"
@@ -99,6 +161,11 @@ class CacheStats:
         self.misses = 0
         self.corrupt = 0
         self.stores = 0
+        # chunk-level counters of the streaming path: one ``chunk_hits``
+        # per chunk served to a consumer from a warm on-disk entry, one
+        # ``chunk_stores`` per chunk record persisted while streaming
+        self.chunk_hits = 0
+        self.chunk_stores = 0
         self._metrics: Optional[Any] = None
 
     def bind(self, metrics: Any) -> None:
@@ -106,18 +173,21 @@ class CacheStats:
         self._metrics = metrics
 
     def count(self, what: str) -> None:
-        """Bump counter ``what`` (``hits``/``misses``/``corrupt``/``stores``)."""
+        """Bump counter ``what`` (``hits``/``misses``/``corrupt``/
+        ``stores``/``chunk_hits``/``chunk_stores``)."""
         setattr(self, what, getattr(self, what) + 1)
         if self._metrics is not None:
             self._metrics.counter(f"fastpath.cache.{what}").inc()
 
     def as_dict(self) -> Dict[str, int]:
-        """The four counters as a JSON-able dict."""
+        """The six counters as a JSON-able dict."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "corrupt": self.corrupt,
             "stores": self.stores,
+            "chunk_hits": self.chunk_hits,
+            "chunk_stores": self.chunk_stores,
         }
 
 
@@ -153,10 +223,20 @@ class ScheduleCache:
     # ------------------------------------------------------------------ #
 
     def path_for(self, fp: str) -> Path:
-        """On-disk location of the entry with fingerprint ``fp``."""
+        """On-disk location of the monolithic (v1) entry for ``fp``."""
         if len(fp) != 64 or not all(c in "0123456789abcdef" for c in fp):
             raise ScheduleCacheError(f"malformed fingerprint {fp!r}")
         return self.root / f"{fp}.rprc"
+
+    def chunk_path_for(self, fp: str) -> Path:
+        """On-disk location of the chunked (v2) entry for ``fp``.
+
+        The two layouts share one fingerprint — same content, different
+        bytes — so a cell is stored at most once: the classic path
+        publishes ``.rprc``, the streaming path ``.rprk``, and each
+        loader falls back to the other's file.
+        """
+        return self.path_for(fp).with_suffix(".rprk")
 
     @staticmethod
     def fingerprint_of(strategy: Strategy, dimension: int) -> str:
@@ -189,8 +269,7 @@ class ScheduleCache:
         try:
             blob = path.read_bytes()
         except FileNotFoundError:
-            self.stats.count("misses")
-            return None
+            return self._load_chunked_fallback(fp)
         except OSError:
             self.stats.count("corrupt")
             self.stats.count("misses")
@@ -202,6 +281,31 @@ class ScheduleCache:
             self.stats.count("misses")
             try:
                 path.unlink()
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+            return None
+        self.stats.count("hits")
+        return compiled
+
+    def _load_chunked_fallback(self, fp: str) -> Optional[CompiledSchedule]:
+        """Serve a :meth:`load` request from a chunked (v2) entry.
+
+        A cell generated by the streaming path exists only as ``.rprk``;
+        assembling its chunks gives classic consumers a warm hit instead
+        of a pointless regeneration.  Corruption is handled exactly like
+        a corrupt v1 blob: delete, count, miss.
+        """
+        cpath = self.chunk_path_for(fp)
+        if not cpath.exists():
+            self.stats.count("misses")
+            return None
+        try:
+            compiled = CompiledSchedule.from_chunks(self._read_chunk_entry(cpath))
+        except (CompiledScheduleError, ScheduleError, OSError):
+            self.stats.count("corrupt")
+            self.stats.count("misses")
+            try:
+                cpath.unlink()
             except OSError:  # pragma: no cover - racing unlink
                 pass
             return None
@@ -244,6 +348,245 @@ class ScheduleCache:
         return path
 
     # ------------------------------------------------------------------ #
+    # chunked (v2) entry I/O
+    # ------------------------------------------------------------------ #
+
+    def _read_chunk_entry(
+        self,
+        path: Path,
+        expect_strategy: Optional[str] = None,
+        expect_dimension: Optional[int] = None,
+    ) -> Iterator[ScheduleChunk]:
+        """Stream the chunks of a chunked (v2) entry off disk.
+
+        Bounded memory: one chunk record is resident at a time (plus a
+        one-chunk lookahead so the final record can be flagged
+        ``is_last`` when the footer arrives).  Raises
+        :class:`~repro.errors.CompiledScheduleError` on any
+        malformation — bad magic, truncated record, per-chunk CRC
+        failure, footer stats disagreeing with the payloads — which the
+        callers translate into delete-and-regenerate.
+        """
+        with path.open("rb") as fh:
+            pre = fh.read(_CHUNK_PREAMBLE.size)
+            if len(pre) != _CHUNK_PREAMBLE.size:
+                raise CompiledScheduleError(f"chunked blob too short ({len(pre)} bytes)")
+            magic, version, header_len = _CHUNK_PREAMBLE.unpack(pre)
+            if magic != CHUNK_MAGIC:
+                raise CompiledScheduleError(f"bad chunked magic {magic!r}")
+            if version != CHUNK_FORMAT_VERSION:
+                raise CompiledScheduleError(
+                    f"unsupported chunked format version {version}"
+                )
+            header_bytes = fh.read(header_len)
+            if len(header_bytes) != header_len:
+                raise CompiledScheduleError("truncated chunked header")
+            try:
+                raw = json.loads(header_bytes.decode("utf-8"))
+                dimension = int(raw["dimension"])
+                strategy = str(raw["strategy"])
+                columns = list(raw["columns"])
+                kind_values = [MoveKind(v) for v in raw["kind_values"]]
+                role_values = [AgentRole(v) for v in raw["role_values"]]
+                header = ChunkStreamHeader(
+                    dimension=dimension,
+                    strategy=strategy,
+                    homebase=int(raw["homebase"]),
+                    uses_cloning=bool(raw["uses_cloning"]),
+                    team_size=int(raw["team_size"]),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CompiledScheduleError(
+                    f"undecodable chunked header: {exc}"
+                ) from exc
+            if columns != list(COLUMN_NAMES):
+                raise CompiledScheduleError(f"unexpected column set {columns}")
+            # the fingerprint already binds content, so a mismatch here
+            # means a hash collision or a renamed file: treat as corrupt
+            if expect_strategy is not None and strategy != expect_strategy:
+                raise CompiledScheduleError(
+                    f"entry holds strategy {strategy!r}, expected {expect_strategy!r}"
+                )
+            if expect_dimension is not None and dimension != expect_dimension:
+                raise CompiledScheduleError(
+                    f"entry holds d={dimension}, expected d={expect_dimension}"
+                )
+            scanner = AggregateScanner()
+            pending: Optional[ScheduleChunk] = None
+            index = 0
+            start = 0
+            while True:
+                head = fh.read(_CHUNK_RECORD.size)
+                if len(head) != _CHUNK_RECORD.size:
+                    raise CompiledScheduleError(
+                        "truncated chunked blob (no footer record)"
+                    )
+                n_rows, crc = _CHUNK_RECORD.unpack(head)
+                if n_rows == _FOOTER_SENTINEL:
+                    lenb = fh.read(4)
+                    if len(lenb) != 4:
+                        raise CompiledScheduleError("truncated footer record")
+                    (footer_len,) = struct.unpack("<I", lenb)
+                    footer_bytes = fh.read(footer_len)
+                    if len(footer_bytes) != footer_len:
+                        raise CompiledScheduleError("truncated footer record")
+                    if zlib.crc32(footer_bytes) != crc:
+                        raise CompiledScheduleError("footer CRC mismatch")
+                    try:
+                        footer = json.loads(footer_bytes.decode("utf-8"))
+                        stats = ScheduleAggregates.from_dict(footer["stats"])
+                        metadata = decode_metadata(footer["metadata"])
+                    except (KeyError, TypeError, ValueError) as exc:
+                        raise CompiledScheduleError(
+                            f"undecodable chunked footer: {exc}"
+                        ) from exc
+                    break
+                payload = fh.read(n_rows * len(COLUMN_NAMES) * 8)
+                if len(payload) != n_rows * len(COLUMN_NAMES) * 8:
+                    raise CompiledScheduleError(f"truncated chunk {index}")
+                if zlib.crc32(payload) != crc:
+                    raise CompiledScheduleError(
+                        f"chunk {index} CRC mismatch (corrupt entry)"
+                    )
+                cols: List["array[int]"] = []
+                for c in range(len(COLUMN_NAMES)):
+                    col = array("q", bytes(0))
+                    col.frombytes(payload[c * n_rows * 8 : (c + 1) * n_rows * 8])
+                    cols.append(_native(col))
+                # re-map stored enum codes if declaration order changed
+                if kind_values != list(KINDS):  # pragma: no cover - enum reorder
+                    cols[4] = array("q", (KIND_CODE[kind_values[v]] for v in cols[4]))
+                if role_values != list(ROLES):  # pragma: no cover - enum reorder
+                    cols[5] = array("q", (ROLE_CODE[role_values[v]] for v in cols[5]))
+                try:
+                    for i in range(n_rows):
+                        scanner.add(cols[0][i], cols[1][i], cols[4][i], cols[5][i])
+                except (IndexError, ScheduleError) as exc:
+                    raise CompiledScheduleError(
+                        f"chunk {index} holds malformed moves: {exc}"
+                    ) from exc
+                chunk = ScheduleChunk(
+                    header=header,
+                    index=index,
+                    start_move=start,
+                    times=cols[0],
+                    agents=cols[1],
+                    srcs=cols[2],
+                    dsts=cols[3],
+                    kinds=cols[4],
+                    roles=cols[5],
+                    stats_so_far=scanner.snapshot(),
+                )
+                if pending is not None:
+                    yield pending
+                pending = chunk
+                index += 1
+                start += n_rows
+            if pending is None:
+                raise CompiledScheduleError("chunked blob has no chunk records")
+            if pending.stats_so_far != stats:
+                raise CompiledScheduleError(
+                    "footer stats disagree with chunk payloads (corrupt entry)"
+                )
+            pending.is_last = True
+            pending.metadata = dict(metadata) if isinstance(metadata, dict) else {}
+            yield pending
+
+    def _write_chunk_stream(
+        self, fp: str, chunks: Iterable[ScheduleChunk], chunk_moves: int
+    ) -> Iterator[ScheduleChunk]:
+        """Tee a chunk stream to a chunked (v2) entry while yielding it.
+
+        Store-while-streaming: each chunk is appended to a tmp file the
+        moment it is yielded, and the entry is published atomically
+        (:func:`os.replace`) as soon as the final chunk — and therefore
+        the footer — has been written, *before* that chunk is handed to
+        the consumer.  An abandoned or torn stream leaves no entry
+        behind, only a tmp file that is unlinked on the way out.
+        """
+        path = self.chunk_path_for(fp)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{fp[:16]}.", suffix=".tmp", dir=self.root
+            )
+        except OSError as exc:
+            raise ScheduleCacheError(f"cannot write cache entry {path}: {exc}") from exc
+        published = False
+        handle = os.fdopen(fd, "wb")
+        try:
+            wrote_preamble = False
+            for chunk in chunks:
+                try:
+                    if not wrote_preamble:
+                        head = chunk.header
+                        header_bytes = json.dumps(
+                            {
+                                "schema": CHUNK_SCHEMA_VERSION,
+                                "dimension": head.dimension,
+                                "strategy": head.strategy,
+                                "team_size": head.team_size,
+                                "homebase": head.homebase,
+                                "uses_cloning": head.uses_cloning,
+                                "chunk_moves": chunk_moves,
+                                "columns": list(COLUMN_NAMES),
+                                "kind_values": [k.value for k in KINDS],
+                                "role_values": [r.value for r in ROLES],
+                            },
+                            separators=(",", ":"),
+                        ).encode("utf-8")
+                        handle.write(
+                            _CHUNK_PREAMBLE.pack(
+                                CHUNK_MAGIC, CHUNK_FORMAT_VERSION, len(header_bytes)
+                            )
+                        )
+                        handle.write(header_bytes)
+                        wrote_preamble = True
+                    payload = b"".join(
+                        _native(col).tobytes() for col in chunk.columns().values()
+                    )
+                    handle.write(_CHUNK_RECORD.pack(len(chunk), zlib.crc32(payload)))
+                    handle.write(payload)
+                    self.stats.count("chunk_stores")
+                    if chunk.is_last:
+                        footer_bytes = json.dumps(
+                            {
+                                "metadata": encode_metadata(chunk.metadata),
+                                "stats": chunk.stats_so_far.as_dict(),
+                                "total_moves": chunk.start_move + len(chunk),
+                                "num_chunks": chunk.index + 1,
+                            },
+                            separators=(",", ":"),
+                        ).encode("utf-8")
+                        handle.write(
+                            _CHUNK_RECORD.pack(
+                                _FOOTER_SENTINEL, zlib.crc32(footer_bytes)
+                            )
+                        )
+                        handle.write(struct.pack("<I", len(footer_bytes)))
+                        handle.write(footer_bytes)
+                        handle.close()
+                        os.replace(tmp, path)
+                        published = True
+                        self.stats.count("stores")
+                except OSError as exc:
+                    raise ScheduleCacheError(
+                        f"cannot write cache entry {path}: {exc}"
+                    ) from exc
+                yield chunk
+        finally:
+            if not handle.closed:
+                try:
+                    handle.close()
+                except OSError:  # pragma: no cover - close of broken fd
+                    pass
+            if not published:
+                try:
+                    os.unlink(tmp)
+                except OSError:  # pragma: no cover - racing unlink
+                    pass
+
+    # ------------------------------------------------------------------ #
     # the warm path
     # ------------------------------------------------------------------ #
 
@@ -254,6 +597,25 @@ class ScheduleCache:
         fp = self.fingerprint_of(strategy, dimension)
         return fp, self.load(fp)
 
+    def compiled_for(self, strategy: Strategy, dimension: int) -> CompiledSchedule:
+        """The strategy's compiled schedule, served warm when possible.
+
+        The columnar twin of :meth:`schedule_for`: a warm hit returns
+        the deserialized columns *as columns* — no ``Move`` object is
+        ever constructed — which is what the batch verifier, the metric
+        collector and the scenario engine actually consume.  A miss
+        generates, compiles, publishes and returns the compiled form.
+        """
+        fp, compiled = self.load_compiled(strategy, dimension)
+        if compiled is None:
+            from repro.topology.hypercube import Hypercube
+
+            compiled = CompiledSchedule.from_schedule(
+                strategy.generate(Hypercube(dimension))
+            )
+            self.store(fp, compiled)
+        return compiled
+
     def schedule_for(self, strategy: Strategy, dimension: int) -> Schedule:
         """The strategy's schedule, served warm when possible.
 
@@ -261,6 +623,12 @@ class ScheduleCache:
         consults when this cache is installed as the process-wide active
         cache: a hit decompiles the stored columns (no generation), a
         miss generates, compiles and publishes.
+
+        ``run``'s contract is a materialized :class:`Schedule`, so a
+        warm hit here necessarily pays ``to_schedule()`` — one ``Move``
+        object per stored row.  Columnar consumers must not route
+        through this accessor: use :meth:`compiled_for` (columns, stats
+        header) or :meth:`stream_for` (bounded-memory chunks) instead.
         """
         fp, compiled = self.load_compiled(strategy, dimension)
         if compiled is None:
@@ -272,20 +640,137 @@ class ScheduleCache:
         return compiled.to_schedule()
 
     # ------------------------------------------------------------------ #
+    # the streaming warm path
+    # ------------------------------------------------------------------ #
+
+    def stream_chunks(
+        self,
+        strategy: Strategy,
+        dimension: int,
+        chunk_moves: int = DEFAULT_CHUNK_MOVES,
+    ) -> Iterator[ScheduleChunk]:
+        """The strategy's schedule as a bounded-memory chunk stream.
+
+        Resolution order:
+
+        1. a chunked (v2) entry — chunks stream straight off disk,
+           re-sliced to ``chunk_moves`` if the stored block size
+           differs; one ``chunk_hits`` count per chunk served;
+        2. a monolithic (v1) entry — sliced via
+           :meth:`CompiledSchedule.iter_chunks` (in-memory columns, but
+           still zero ``Move`` objects);
+        3. cold — the strategy's streaming generator, teed to a new
+           chunked entry while the consumer drains it
+           (store-while-streaming), published atomically at the final
+           chunk.
+
+        A chunk that fails its CRC mid-stream is handled without
+        disturbing the consumer: the entry is deleted and counted
+        ``corrupt``, generation restarts (deterministic, same block
+        size), already-delivered chunks are skipped, and the stream
+        continues seamlessly while the entry is re-published.
+        """
+        if chunk_moves < 1:
+            raise ScheduleCacheError(f"chunk_moves must be >= 1, got {chunk_moves}")
+        fp = self.fingerprint_of(strategy, dimension)
+        inner = self._stream_chunks(fp, strategy, dimension, chunk_moves)
+        if self._tracer is None:
+            return inner
+        return self._traced_chunks(inner, fp)
+
+    def _traced_chunks(
+        self, inner: Iterator[ScheduleChunk], fp: str
+    ) -> Iterator[ScheduleChunk]:
+        with self._tracer.span(  # type: ignore[union-attr]
+            "fastpath.cache.stream", fingerprint=fp[:16]
+        ) as span:
+            chunks = 0
+            moves = 0
+            for chunk in inner:
+                chunks += 1
+                moves = chunk.stats_so_far.total_moves
+                yield chunk
+            span.attrs["chunks"] = chunks
+            span.attrs["moves"] = moves
+
+    def _stream_chunks(
+        self, fp: str, strategy: Strategy, dimension: int, chunk_moves: int
+    ) -> Iterator[ScheduleChunk]:
+        from repro.topology.hypercube import Hypercube
+
+        cpath = self.chunk_path_for(fp)
+        if cpath.exists():
+            delivered = 0  # moves already handed over (complete chunks only)
+            warm = False
+            try:
+                source = self._read_chunk_entry(cpath, strategy.name, dimension)
+                for chunk in rechunk(source, chunk_moves):
+                    if not warm:
+                        self.stats.count("hits")
+                        warm = True
+                    self.stats.count("chunk_hits")
+                    yield chunk
+                    delivered += len(chunk)
+                return
+            except (CompiledScheduleError, ScheduleError, OSError):
+                self.stats.count("corrupt")
+                self.stats.count("misses")
+                try:
+                    cpath.unlink()
+                except OSError:  # pragma: no cover - racing unlink
+                    pass
+                # regenerate deterministically at the same block size;
+                # every chunk yielded before the failure was a complete
+                # chunk_moves block (rechunk only emits its final,
+                # possibly-short chunk after a clean source), so the
+                # replacement chunks line up exactly and the consumer
+                # never notices the splice
+                regen = strategy.generate_chunks(Hypercube(dimension), chunk_moves)
+                for chunk in self._write_chunk_stream(fp, regen, chunk_moves):
+                    if chunk.start_move < delivered and not chunk.is_last:
+                        continue
+                    yield chunk
+                return
+        compiled = self.load(fp)
+        if compiled is not None:
+            for chunk in compiled.iter_chunks(chunk_moves):
+                self.stats.count("chunk_hits")
+                yield chunk
+            return
+        regen = strategy.generate_chunks(Hypercube(dimension), chunk_moves)
+        yield from self._write_chunk_stream(fp, regen, chunk_moves)
+
+    def stream_for(
+        self,
+        strategy: Strategy,
+        dimension: int,
+        chunk_moves: int = DEFAULT_CHUNK_MOVES,
+    ) -> Iterator[ScheduleChunk]:
+        """The hook :meth:`repro.core.strategy.Strategy.run_chunks`
+        consults when this cache is the process-wide active cache
+        (duck-typed, like ``schedule_for``)."""
+        return self.stream_chunks(strategy, dimension, chunk_moves)
+
+    # ------------------------------------------------------------------ #
     # maintenance (the ``repro-search cache`` subcommand)
     # ------------------------------------------------------------------ #
 
     def entries(self) -> Iterator[Path]:
-        """Every entry file currently in the cache directory."""
+        """Every entry file (monolithic and chunked) in the cache dir."""
         if not self.root.is_dir():
             return iter(())
-        return iter(sorted(self.root.glob("*.rprc")))
+        return iter(
+            sorted(list(self.root.glob("*.rprc")) + list(self.root.glob("*.rprk")))
+        )
 
     def info(self) -> Dict[str, object]:
         """Summary of the on-disk state plus this process's counters."""
         paths = list(self.entries())
         total = 0
+        chunked = 0
         for p in paths:
+            if p.suffix == ".rprk":
+                chunked += 1
             try:
                 total += p.stat().st_size
             except OSError:  # pragma: no cover - racing delete
@@ -293,6 +778,7 @@ class ScheduleCache:
         return {
             "root": str(self.root),
             "entries": len(paths),
+            "chunked_entries": chunked,
             "total_bytes": total,
             "stats": self.stats.as_dict(),
         }
@@ -302,7 +788,12 @@ class ScheduleCache:
         removed = 0
         if not self.root.is_dir():
             return removed
-        for path in list(self.root.glob("*.rprc")) + list(self.root.glob("*.tmp")):
+        doomed = (
+            list(self.root.glob("*.rprc"))
+            + list(self.root.glob("*.rprk"))
+            + list(self.root.glob("*.tmp"))
+        )
+        for path in doomed:
             try:
                 path.unlink()
                 removed += 1

@@ -29,11 +29,21 @@ import sys
 import zlib
 from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
+from repro.core.chunkstream import DEFAULT_CHUNK_MOVES, AggregateScanner
+
+from repro.core.chunkstream import (
+    KIND_CODE,
+    KINDS,
+    ROLE_CODE,
+    ROLES,
+    ChunkStreamHeader,
+    ScheduleChunk,
+)
 from repro.core.schedule import Move, MoveKind, Schedule, ScheduleAggregates, scan_moves
 from repro.core.states import AgentRole
-from repro.errors import CompiledScheduleError
+from repro.errors import CompiledScheduleError, ScheduleError
 
 __all__ = [
     "CompiledSchedule",
@@ -53,13 +63,15 @@ SCHEMA_VERSION = "compiled-schedule/v1"
 #: column order in the binary payload (each an int64 array)
 COLUMN_NAMES: Tuple[str, ...] = ("time", "agent", "src", "dst", "kind", "role")
 
-# enum <-> small-int codes.  The *byte* form never stores these indices
-# bare: the header records the enum value strings in index order, so a
-# blob decodes correctly even if the enum declaration order changes.
-_KINDS: Tuple[MoveKind, ...] = tuple(MoveKind)
-_ROLES: Tuple[AgentRole, ...] = tuple(AgentRole)
-_KIND_CODE = {kind: i for i, kind in enumerate(_KINDS)}
-_ROLE_CODE = {role: i for i, role in enumerate(_ROLES)}
+# enum <-> small-int codes, shared with the chunk plane so a chunk's
+# columns and a compiled column slice are interchangeable.  The *byte*
+# form never stores these indices bare: the header records the enum
+# value strings in index order, so a blob decodes correctly even if the
+# enum declaration order changes.
+_KINDS: Tuple[MoveKind, ...] = KINDS
+_ROLES: Tuple[AgentRole, ...] = ROLES
+_KIND_CODE = KIND_CODE
+_ROLE_CODE = ROLE_CODE
 
 # MAGIC | format version (u16) | header length (u32), little-endian
 _PREAMBLE = struct.Struct("<4sHI")
@@ -185,6 +197,112 @@ class CompiledSchedule:
             "kind": self.kinds,
             "role": self.roles,
         }
+
+    # ------------------------------------------------------------------ #
+    # chunk streaming
+    # ------------------------------------------------------------------ #
+
+    def stream_header(self) -> ChunkStreamHeader:
+        """This schedule's chunk-stream header."""
+        return ChunkStreamHeader(
+            dimension=self.dimension,
+            strategy=self.strategy,
+            homebase=self.homebase,
+            uses_cloning=self.uses_cloning,
+            team_size=self.team_size,
+        )
+
+    def iter_chunks(
+        self, chunk_moves: int = DEFAULT_CHUNK_MOVES
+    ) -> Iterator[ScheduleChunk]:
+        """Slice the columns into a chunk stream (no ``Move`` objects).
+
+        The output is exactly what :meth:`generate_chunks
+        <repro.core.strategy.Strategy.generate_chunks>` would have
+        produced for the same schedule and block size — the in-memory
+        warm path of the chunk protocol.  Per-chunk ``stats_so_far``
+        blocks are re-derived by an integer column scan; the final
+        chunk's block is asserted against the stored stats header.
+        """
+        if chunk_moves < 1:
+            raise CompiledScheduleError(
+                f"chunk_moves must be >= 1, got {chunk_moves}"
+            )
+        header = self.stream_header()
+        total = len(self.times)
+        scanner = AggregateScanner()
+        index = 0
+        offset = 0
+        while True:
+            end = min(offset + chunk_moves, total)
+            for i in range(offset, end):
+                scanner.add(self.times[i], self.agents[i], self.kinds[i], self.roles[i])
+            is_last = end == total
+            yield ScheduleChunk(
+                header=header,
+                index=index,
+                start_move=offset,
+                times=self.times[offset:end],
+                agents=self.agents[offset:end],
+                srcs=self.srcs[offset:end],
+                dsts=self.dsts[offset:end],
+                kinds=self.kinds[offset:end],
+                roles=self.roles[offset:end],
+                stats_so_far=scanner.snapshot(),
+                is_last=is_last,
+                metadata=dict(self.metadata) if is_last else {},
+            )
+            if is_last:
+                break
+            index += 1
+            offset = end
+
+    @classmethod
+    def from_chunks(cls, chunks: Iterable[ScheduleChunk]) -> "CompiledSchedule":
+        """Assemble a chunk stream into one compiled schedule.
+
+        Column concatenation only — the inverse of :meth:`iter_chunks`,
+        and the bridge the cache's store-while-streaming path uses.
+        Raises :class:`~repro.errors.ScheduleError` on a torn stream
+        (no chunks, or no final chunk).
+        """
+        times = array("q", bytes(0))
+        agents = array("q", bytes(0))
+        srcs = array("q", bytes(0))
+        dsts = array("q", bytes(0))
+        kinds = array("q", bytes(0))
+        roles = array("q", bytes(0))
+        last: ScheduleChunk | None = None
+        header: ChunkStreamHeader | None = None
+        for chunk in chunks:
+            header = chunk.header
+            times.extend(chunk.times)
+            agents.extend(chunk.agents)
+            srcs.extend(chunk.srcs)
+            dsts.extend(chunk.dsts)
+            kinds.extend(chunk.kinds)
+            roles.extend(chunk.roles)
+            if chunk.is_last:
+                last = chunk
+        if header is None:
+            raise ScheduleError("empty chunk stream (no chunks at all)")
+        if last is None:
+            raise ScheduleError("torn chunk stream: no final chunk seen")
+        return cls(
+            dimension=header.dimension,
+            strategy=header.strategy,
+            team_size=header.team_size,
+            homebase=header.homebase,
+            uses_cloning=header.uses_cloning,
+            metadata=dict(last.metadata),
+            times=times,
+            agents=agents,
+            srcs=srcs,
+            dsts=dsts,
+            kinds=kinds,
+            roles=roles,
+            stats=last.stats_so_far,
+        )
 
     # ------------------------------------------------------------------ #
     # compile / decompile

@@ -15,12 +15,14 @@ materializing a single ``Move``.
 
 from __future__ import annotations
 
-from typing import Dict, Protocol
+from typing import Dict, Iterable, Protocol
 
+from repro.core.chunkstream import ScheduleChunk
 from repro.core.schedule import ScheduleAggregates
 from repro.core.states import AgentRole
+from repro.errors import ScheduleError
 
-__all__ = ["measure_schedule", "Measurable"]
+__all__ = ["measure_schedule", "measure_chunks", "Measurable"]
 
 
 class Measurable(Protocol):
@@ -49,6 +51,35 @@ def measure_schedule(schedule: Measurable) -> Dict[str, float]:
     agg = schedule.aggregates()
     return {
         "agents": schedule.team_size,
+        "moves": agg.total_moves,
+        "agent_moves": agg.role_counts[AgentRole.AGENT],
+        "sync_moves": agg.role_counts[AgentRole.SYNCHRONIZER],
+        "steps": agg.makespan,
+    }
+
+
+def measure_chunks(chunks: Iterable[ScheduleChunk]) -> Dict[str, float]:
+    """Fold a chunk stream into the standard metric columns.
+
+    Every chunk already carries the running aggregate block, so this is
+    a pure fold: drain the stream, answer from the final chunk's
+    ``stats_so_far`` and the header team size.  Values are identical to
+    ``measure_schedule`` on the materialized schedule.  Raises
+    :class:`~repro.errors.ScheduleError` on a torn stream.
+    """
+    last: ScheduleChunk | None = None
+    seen = False
+    for chunk in chunks:
+        seen = True
+        if chunk.is_last:
+            last = chunk
+    if not seen:
+        raise ScheduleError("empty chunk stream (no chunks at all)")
+    if last is None:
+        raise ScheduleError("torn chunk stream: no final chunk seen")
+    agg = last.stats_so_far
+    return {
+        "agents": last.header.team_size,
         "moves": agg.total_moves,
         "agent_moves": agg.role_counts[AgentRole.AGENT],
         "sync_moves": agg.role_counts[AgentRole.SYNCHRONIZER],

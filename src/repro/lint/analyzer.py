@@ -94,6 +94,15 @@ _BASE_MODULE_NAMES: FrozenSet[str] = frozenset(
     {"base", "protocols.base", "repro.protocols.base"}
 )
 
+#: Module names that genuinely export the action vocabulary.  A name
+#: from :data:`ACTION_NAMES` imported from anywhere else (``Move`` from
+#: ``repro.core.schedule`` is the schedule *dataclass*, not the sim
+#: action) shadows the action for that module: yielding it is a data
+#: pipeline, not a behaviour.
+_ACTION_MODULE_NAMES: FrozenSet[str] = frozenset(
+    {"agent", "sim.agent", "repro.sim.agent", "repro.sim"}
+)
+
 _CAP_TO_CODE = {"visibility": "RPR101", "cloning": "RPR102", "global_clock": "RPR103"}
 
 _FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
@@ -208,10 +217,13 @@ def _takes_ctx(func: _AnyFunction) -> bool:
     return "ctx" in names
 
 
-def _is_action_call(value: Optional[ast.expr]) -> bool:
-    return (
-        isinstance(value, ast.Call) and _call_name(value.func) in ACTION_NAMES
-    )
+def _is_action_call(
+    value: Optional[ast.expr], shadowed: FrozenSet[str] = frozenset()
+) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    name = _call_name(value.func)
+    return name in ACTION_NAMES and name not in shadowed
 
 
 class _Module:
@@ -228,13 +240,17 @@ class _Module:
         # behaviours too, but only in modules that have a strong behaviour
         # — otherwise every plain generator pipeline (topology iterators,
         # the analyzer itself) would be mistaken for a protocol module.
+        shadowed = self._find_shadowed_actions()
         strong = [
             f
             for f in self.functions
             if _own_yields(f)
             and (
                 _takes_ctx(f)
-                or any(_is_action_call(getattr(y, "value", None)) for y in _own_yields(f))
+                or any(
+                    _is_action_call(getattr(y, "value", None), shadowed)
+                    for y in _own_yields(f)
+                )
             )
         ]
         delegators = [
@@ -283,6 +299,32 @@ class _Module:
                 return node, declared
             return node, None  # declared, but not statically readable
         return None, None
+
+    def _find_shadowed_actions(self) -> FrozenSet[str]:
+        """Action-vocabulary names this module binds to something else.
+
+        ``from repro.core.schedule import Move`` rebinds ``Move`` to the
+        schedule dataclass; a local ``class Move`` does the same.  Such
+        modules yield these values as *data* (streaming generators,
+        column materializers), so the behaviour-detection heuristic must
+        not read those yields as sim actions.  Importing from the real
+        action module (:data:`_ACTION_MODULE_NAMES`) never shadows, and
+        a bare unimported name keeps its action reading.
+        """
+        shadowed: Set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module in _ACTION_MODULE_NAMES:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if local in ACTION_NAMES:
+                        shadowed.add(local)
+            elif isinstance(node, (ast.ClassDef, *_FunctionNode)):
+                if node.name in ACTION_NAMES:
+                    shadowed.add(node.name)
+        return frozenset(shadowed)
 
     def _find_imports(self) -> Tuple[Dict[str, str], Set[str]]:
         """Local names bound to base helpers, and to the base module itself."""
@@ -806,13 +848,148 @@ def _sort(findings: Sequence[Finding]) -> List[Finding]:
     return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))
 
 
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` if ``node`` is ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _looks_like_strategy(cls: ast.ClassDef, methods: Dict[str, _AnyFunction]) -> bool:
+    """Whether ``cls`` participates in the schedule-cache contract.
+
+    Heuristic on purpose: a base named ``*Strategy``, a ``register``
+    decorator, or an own ``cache_params`` override all mark the class as
+    fingerprinted by the cache; a random class that merely has a
+    ``generate`` method is not.
+    """
+    for base in cls.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+        if name and "Strategy" in name:
+            return True
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if _call_name(target) == "register":
+            return True
+    return "cache_params" in methods
+
+
+def _check_cache_params(mod: _Module) -> List[Finding]:
+    """RPR240: generation-steering constructor knobs must be in
+    ``cache_params``.
+
+    The schedule cache fingerprints ``(strategy name, version tag,
+    dimension, cache_params())`` — nothing else.  A constructor
+    parameter stored on ``self`` and read anywhere in the generation
+    closure (``generate``/``generate_chunks``/``stream_moves``/
+    ``expected_team_size`` plus every helper method they reach through
+    ``self.<m>()``) steers the
+    schedule bytes, so leaving it out of ``cache_params`` makes two
+    differently-configured instances address the same entry: whichever
+    runs second is served the first one's schedule.  Knobs assigned from
+    constants (internal state, memo slots) are not configuration and do
+    not count.
+    """
+    findings: List[Finding] = []
+    for cls in (n for n in ast.walk(mod.tree) if isinstance(n, ast.ClassDef)):
+        methods: Dict[str, _AnyFunction] = {
+            m.name: m for m in cls.body if isinstance(m, _FunctionNode)
+        }
+        roots = [
+            name
+            for name in ("generate", "stream_moves", "generate_chunks", "expected_team_size")
+            if name in methods
+        ]
+        init = methods.get("__init__")
+        if not roots or init is None or not _looks_like_strategy(cls, methods):
+            continue
+        args = init.args
+        params = {
+            a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        } - {"self"}
+        for star in (args.vararg, args.kwarg):
+            if star is not None:
+                params.add(star.arg)
+        # knobs: ``self.X = <expr mentioning an __init__ parameter>``
+        knobs: Dict[str, ast.AST] = {}
+        for node in ast.walk(init):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if value is None or not any(
+                isinstance(sub, ast.Name) and sub.id in params
+                for sub in ast.walk(value)
+            ):
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    knobs.setdefault(attr, node)
+        if not knobs:
+            continue
+        # the generation closure: methods reachable from the roots
+        reached: Set[str] = set()
+        frontier = list(roots)
+        while frontier:
+            name = frontier.pop()
+            if name in reached or name not in methods:
+                continue
+            reached.add(name)
+            for node in ast.walk(methods[name]):
+                if isinstance(node, ast.Call):
+                    callee = _self_attr(node.func)
+                    if callee is not None:
+                        frontier.append(callee)
+        read: Set[str] = set()
+        for name in reached:
+            for node in ast.walk(methods[name]):
+                attr = _self_attr(node)
+                if attr is not None and isinstance(node.ctx, ast.Load):
+                    read.add(attr)
+        hot = sorted(attr for attr in knobs if attr in read)
+        if not hot:
+            continue
+        covered: Set[str] = set()
+        cache_params = methods.get("cache_params")
+        if cache_params is not None:
+            for node in ast.walk(cache_params):
+                attr = _self_attr(node)
+                if attr is not None:
+                    covered.add(attr)
+                elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                    covered.add(node.value)
+        for attr in hot:
+            if {attr, attr.lstrip("_")} & covered:
+                continue
+            findings.append(
+                mod.finding(
+                    "RPR240",
+                    knobs[attr],
+                    f"constructor knob `self.{attr}` steers `{cls.name}` "
+                    "generation but `cache_params()` omits it — two "
+                    "differently-configured instances share one cache "
+                    "fingerprint, so one is served the other's stale "
+                    "schedule",
+                )
+            )
+    return findings
+
+
 def _per_file_findings(mod: _Module) -> List[Finding]:
-    """Every single-module rule (RPR100–RPR230, RPR340/RPR350)."""
+    """Every single-module rule (RPR100–RPR240, RPR340/RPR350)."""
     return (
         _check_model(mod)
         + _check_board_mutation(mod)
         + _check_yields(mod)
         + _check_memory(mod)
+        + _check_cache_params(mod)
         + _check_obs_layering(mod)
         + _check_exec_layering(mod)
         + _check_fastpath_layering(mod)

@@ -167,6 +167,18 @@ _RULE_TABLE: Tuple[Rule, ...] = (
         ),
     ),
     Rule(
+        code="RPR240",
+        name="cache-params-incomplete",
+        summary=(
+            "a strategy constructor knob that steers generation must "
+            "appear in `cache_params()`: the schedule cache fingerprints "
+            "(strategy, version, dimension, cache_params), so an omitted "
+            "knob makes two differently-configured instances share one "
+            "fingerprint and serves one configuration the other's stale "
+            "schedule"
+        ),
+    ),
+    Rule(
         code="RPR300",
         name="nondeterministic-rng",
         summary=(

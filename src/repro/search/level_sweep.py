@@ -17,9 +17,14 @@ this gap, which is what the broadcast-tree choreography buys.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.analysis.counting import binomial
+from repro.core.chunkstream import (
+    ChunkStreamHeader,
+    TimeOrderedEmitter,
+    collect_stream,
+)
 from repro.core.schedule import Move, MoveKind, Schedule
 from repro.core.states import AgentRole
 from repro.core.strategy import Strategy, register
@@ -54,9 +59,26 @@ class LevelSweepStrategy(Strategy):
         return level_sweep_peak_agents(d)
 
     def generate(self, hypercube: Hypercube) -> Schedule:
+        header = ChunkStreamHeader(
+            dimension=hypercube.d,
+            strategy=self.name,
+            homebase=0,
+            uses_cloning=False,
+            team_size=level_sweep_peak_agents(hypercube.d),
+        )
+        return collect_stream(header, self.stream_moves(hypercube))
+
+    def stream_moves(self, hypercube: Hypercube) -> Iterator[Move]:
+        """Native streaming generator: two levels of walks buffered.
+
+        Same watermark argument as CLEAN's: every walk starts at
+        ``max(ready, clock)`` and ``clock`` never decreases, so flushing
+        the time-ordered buffer up to the clock reproduces the old
+        post-hoc stable sort exactly.
+        """
         d = hypercube.d
         tree = BroadcastTree(hypercube)
-        moves: List[Move] = []
+        emitter = TimeOrderedEmitter()
         # pool of (ready_time, agent_id) at the root; hire on demand
         pool: List[tuple[int, int]] = []
         next_id = 0
@@ -76,13 +98,16 @@ class LevelSweepStrategy(Strategy):
             t = start
             for src, dst in zip(path, path[1:]):
                 t += 1
-                moves.append(
+                emitter.emit(
                     Move(agent=agent, src=src, dst=dst, time=t, role=AgentRole.AGENT, kind=kind)
                 )
             return t
 
         if d == 0:
-            return Schedule(dimension=0, strategy=self.name, team_size=1)
+            return {  # type: ignore[return-value]
+                "team_size": 1,
+                "metadata": {},
+            }
 
         for level in range(0, d):
             # guard every level-(l+1) node with a dispatched agent
@@ -93,6 +118,7 @@ class LevelSweepStrategy(Strategy):
                 guard_of[x] = agent
                 guard_ready[x] = arrival
             clock = max(clock, max(guard_ready[x] for x in hypercube.level_nodes(level + 1)))
+            yield from emitter.release(clock)
             # release every level-l guard back to the root
             for x in hypercube.level_nodes(level):
                 if x == 0:
@@ -107,12 +133,8 @@ class LevelSweepStrategy(Strategy):
         agent = guard_of.pop(top)
         walk(agent, tree.path_to_root(top), max(guard_ready.pop(top), clock), MoveKind.RETURN)
 
-        moves.sort(key=lambda m: m.time)
-        schedule = Schedule(
-            dimension=d,
-            strategy=self.name,
-            moves=moves,
-            team_size=next_id,
-        )
-        schedule.metadata["peak_agents_formula"] = level_sweep_peak_agents(d)
-        return schedule
+        yield from emitter.drain()
+        return {  # type: ignore[return-value]
+            "team_size": next_id,
+            "metadata": {"peak_agents_formula": level_sweep_peak_agents(d)},
+        }

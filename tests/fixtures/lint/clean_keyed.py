@@ -1,0 +1,18 @@
+"""Fixture: every generation-steering knob appears in ``cache_params``."""
+
+from repro.core.strategy import Strategy
+
+
+class KeyedStrategy(Strategy):
+    """``fanout`` steers generation and is part of the cache key; the
+    memo dict is internal state assigned from a constant, not a knob."""
+
+    def __init__(self, fanout=2):
+        self._fanout = fanout
+        self._memo = {}
+
+    def generate(self, graph, homebase=0):
+        return [homebase ^ (1 << (level % graph.dimension)) for level in range(self._fanout)]
+
+    def cache_params(self):
+        return {"fanout": self._fanout}

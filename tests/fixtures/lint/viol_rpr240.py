@@ -1,0 +1,20 @@
+"""Fixture: a constructor knob missing from ``cache_params`` (RPR240)."""
+
+from repro.core.strategy import Strategy
+
+
+class WidthTunedStrategy(Strategy):
+    """``fanout`` changes the schedule but not the cache fingerprint."""
+
+    def __init__(self, fanout=2, label="tuned"):
+        self._fanout = fanout
+        self.label = label
+
+    def generate(self, graph, homebase=0):
+        return [homebase ^ bit for bit in self._spread(graph.dimension)]
+
+    def _spread(self, dimension):
+        return [1 << (level % dimension) for level in range(self._fanout)]
+
+    def cache_params(self):
+        return {"label": self.label}

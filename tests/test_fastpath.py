@@ -248,6 +248,40 @@ class TestScheduleCache:
         assert counters["fastpath.cache.hits"] == 1
         assert counters["fastpath.cache.stores"] == 1
 
+    def test_incomplete_cache_params_serves_stale_schedule(self, tmp_path):
+        """The hazard RPR240 guards: a knob omitted from cache_params
+        collapses two configurations onto one fingerprint, and the
+        second instance is served the first one's schedule."""
+        from repro.core.strategy import Strategy
+
+        class Tunable(Strategy):
+            name = "tunable-probe"
+
+            def __init__(self, steps=1):
+                self.steps = steps
+
+            def generate(self, hypercube):
+                moves = [mk(0, 0, 1, t) for t in range(1, self.steps + 1)]
+                return seeded(moves, 1, d=hypercube.dimension)
+
+        cache = ScheduleCache(tmp_path)
+        short, long = Tunable(steps=1), Tunable(steps=3)
+        assert cache.fingerprint_of(short, 2) == cache.fingerprint_of(long, 2)
+        assert len(cache.schedule_for(short, 2).moves) == 1
+        # stale: `long` wants 3 moves but warm-hits `short`'s entry
+        assert len(cache.schedule_for(long, 2).moves) == 1
+
+        class Keyed(Tunable):
+            name = "keyed-probe"
+
+            def cache_params(self):
+                return {"steps": self.steps}
+
+        short, long = Keyed(steps=1), Keyed(steps=3)
+        assert cache.fingerprint_of(short, 2) != cache.fingerprint_of(long, 2)
+        assert len(cache.schedule_for(short, 2).moves) == 1
+        assert len(cache.schedule_for(long, 2).moves) == 3
+
     def test_active_cache_serves_strategy_run(self, tmp_path):
         cache = ScheduleCache(tmp_path)
         previous = set_active_cache(cache)

@@ -34,6 +34,7 @@ VIOLATIONS = {
     "exec/viol_rpr210.py": ("RPR210", 3, ""),
     "fastpath/viol_rpr220.py": ("RPR220", 3, ""),
     "obs/trace.py": ("RPR230", 3, ""),
+    "viol_rpr240.py": ("RPR240", 10, "__init__"),
     "determinism/viol_rpr300.py": ("RPR300", 13, "JitteryStrategy.generate"),
     "determinism/viol_rpr310.py": ("RPR310", 12, "StampedStrategy.generate"),
     "determinism/viol_rpr320.py": ("RPR320", 12, "TunedStrategy.generate"),
