@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-import numpy as np
+# Predates the kernel-backend seam; these census helpers are mandatory
+# (numpy is a declared dependency), not an optional accelerated path.
+import numpy as np  # repro-lint: disable=RPR250
 
 __all__ = [
     "popcount",

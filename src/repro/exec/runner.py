@@ -58,6 +58,7 @@ def sweep_jobs(
     cache_dir: Optional[Union[str, Path]] = None,
     stream: Optional[bool] = None,
     chunk_moves: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[Job]:
     """One ``sweep_cell`` job per (strategy, dimension), serial order.
 
@@ -66,7 +67,9 @@ def sweep_jobs(
     published via atomic renames) so one cell's miss becomes every later
     run's hit.  ``stream``/``chunk_moves`` select and size the workers'
     bounded-memory chunk pipeline (``None`` = the cell kernel's
-    d-threshold default / default block size).
+    d-threshold default / default block size).  ``backend`` rides along
+    to every worker's columnar verifier (``None`` = defer to the
+    worker's ``$REPRO_KERNEL_BACKEND``).
     """
     jobs: List[Job] = []
     for name in strategies:
@@ -82,6 +85,8 @@ def sweep_jobs(
                 payload["stream"] = bool(stream)
             if chunk_moves is not None:
                 payload["chunk_moves"] = int(chunk_moves)
+            if backend is not None:
+                payload["backend"] = str(backend)
             jobs.append(
                 Job(
                     key=f"sweep:{name}:d={d}",
@@ -106,6 +111,7 @@ def parallel_sweep(
     on_outcome: Optional[OutcomeHook] = None,
     stream: Optional[bool] = None,
     chunk_moves: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[Sweep, List[SweepRow], List[JobOutcome]]:
     """The parallel twin of :func:`repro.analysis.sweeps.run_sweep`.
 
@@ -114,9 +120,10 @@ def parallel_sweep(
     ``status="failed"`` and no metric values (the renderers print
     ``FAILED``).  Only the standard metric columns are supported —
     ``extra_metrics`` callables cannot be shipped to workers.
-    ``stream``/``chunk_moves`` ride along to every worker's cell kernel.
+    ``stream``/``chunk_moves``/``backend`` ride along to every worker's
+    cell kernel.
     """
-    sweep = Sweep(strategies, dimensions, verify=verify)
+    sweep = Sweep(strategies, dimensions, verify=verify, backend=backend)
     jobs = sweep_jobs(
         strategies,
         dimensions,
@@ -124,6 +131,7 @@ def parallel_sweep(
         cache_dir=cache_dir,
         stream=stream,
         chunk_moves=chunk_moves,
+        backend=backend,
     )
     executor = ParallelExecutor(config, metrics=metrics, tracer=tracer, on_outcome=on_outcome)
     outcomes = executor.run(jobs, checkpoint=checkpoint, manifest=_batch_manifest(jobs))
@@ -235,7 +243,9 @@ def parallel_experiments(
 # --------------------------------------------------------------------- #
 
 
-def montecarlo_jobs(spec: Any, shards: int) -> List[Job]:
+def montecarlo_jobs(
+    spec: Any, shards: int, *, backend: Optional[str] = None
+) -> List[Job]:
     """One ``batch_cell`` job per contiguous trial window, serial order.
 
     The campaign's trials are split into ``shards`` near-equal windows
@@ -243,7 +253,9 @@ def montecarlo_jobs(spec: Any, shards: int) -> List[Job]:
     seed stream and skips to its window
     (:mod:`repro.fastpath.batchsim`, determinism section), the merged
     shards equal the serial run regardless of the split or the pool's
-    scheduling.
+    scheduling.  ``backend`` rides along to every shard's
+    :func:`~repro.fastpath.batchsim.run_batch` call (``None`` = defer to
+    the worker's ``$REPRO_KERNEL_BACKEND``).
     """
     if shards < 1:
         raise ValueError("need at least one shard")
@@ -254,12 +266,19 @@ def montecarlo_jobs(spec: Any, shards: int) -> List[Job]:
     start = 0
     for index in range(shards):
         count = base + (1 if index < remainder else 0)
+        payload: Dict[str, Any] = {
+            "spec": spec.to_payload(),
+            "start": start,
+            "count": count,
+        }
+        if backend is not None:
+            payload["backend"] = str(backend)
         jobs.append(
             Job(
                 key=f"montecarlo:{spec.strategy}:d={spec.dimension}:"
                 f"trials={start}..{start + count}",
                 task="batch_cell",
-                payload={"spec": spec.to_payload(), "start": start, "count": count},
+                payload=payload,
                 index=index,
             )
         )
@@ -276,6 +295,7 @@ def parallel_montecarlo(
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
     on_outcome: Optional[OutcomeHook] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[Any, List[JobOutcome]]:
     """The parallel twin of :func:`repro.fastpath.batchsim.run_batch`.
 
@@ -289,7 +309,7 @@ def parallel_montecarlo(
     from repro.fastpath.batchsim import BatchResult
 
     config = config or ExecutorConfig()
-    jobs = montecarlo_jobs(spec, shards or max(config.jobs, 1))
+    jobs = montecarlo_jobs(spec, shards or max(config.jobs, 1), backend=backend)
     executor = ParallelExecutor(config, metrics=metrics, tracer=tracer, on_outcome=on_outcome)
     outcomes = executor.run(jobs, checkpoint=checkpoint, manifest=_batch_manifest(jobs))
 

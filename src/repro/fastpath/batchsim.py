@@ -72,6 +72,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ScheduleError, SimulationError
+import repro.fastpath.npkernels as npkernels
 from repro.fastpath.batchverify import batch_verify
 from repro.fastpath.compiled import CompiledSchedule
 from repro.topology.hypercube import Hypercube
@@ -946,6 +947,7 @@ def run_batch(
     stats: Optional[BatchStats] = None,
     metrics: Optional[Any] = None,
     tracer: Optional[Any] = None,
+    backend: Optional[str] = None,
 ) -> BatchResult:
     """Score trials ``[start, start+count)`` of the campaign.
 
@@ -958,6 +960,14 @@ def run_batch(
     ``tracer`` (duck-typed — rule ``RPR220`` keeps ``repro.obs`` out of
     this layer) wraps the shard in a ``fastpath.run_batch`` span with
     compile / verify / per-homebase-timeline child spans.
+
+    ``backend`` picks the kernel backend
+    (:func:`repro.fastpath.npkernels.resolve_backend`): under
+    ``"numpy"`` the schedule verdict replays through the bit-plane
+    verifier and ``reachable``-policy campaigns score all trials as
+    column vectors (one timeline, vectorized RNG streams) — results and
+    counters are byte-identical to the pure path, which remains the
+    fallback for every other policy.
     """
     if count is None:
         count = spec.trials - start
@@ -974,8 +984,10 @@ def run_batch(
             count=count,
             policy=spec.intruder,
         ):
-            return _run_batch(spec, start, count, compiled, topology, stats, metrics, tracer)
-    return _run_batch(spec, start, count, compiled, topology, stats, metrics, None)
+            return _run_batch(
+                spec, start, count, compiled, topology, stats, metrics, tracer, backend
+            )
+    return _run_batch(spec, start, count, compiled, topology, stats, metrics, None, backend)
 
 
 def _run_batch(
@@ -987,6 +999,7 @@ def _run_batch(
     stats: Optional[BatchStats],
     metrics: Optional[Any],
     tracer: Optional[Any],
+    backend: Optional[str] = None,
 ) -> BatchResult:
     stats = stats or BatchStats()
     if metrics is not None:
@@ -1004,7 +1017,8 @@ def _run_batch(
         )
     topo = topology or Hypercube(spec.dimension)
     n = topo.n
-    report = batch_verify(base, topo, tracer=tracer)
+    resolved = npkernels.resolve_backend(backend)
+    report = batch_verify(base, topo, tracer=tracer, backend=resolved)
     verdict = {
         "monotone": report.monotone,
         "contiguous": report.contiguous,
@@ -1022,6 +1036,11 @@ def _run_batch(
             "walker policies replay the engine's move order, which is only "
             "modelled for non-cloning schedules"
         )
+
+    if resolved == "numpy" and policy == "reachable" and count > 0:
+        _run_batch_reachable_np(spec, start, count, base, topo, stats, result, tracer)
+        result.counters = stats.as_dict()
+        return result
 
     for sub in _trial_subseeds(spec, start, count):
         trial_rng = random.Random(sub)
@@ -1085,3 +1104,79 @@ def _run_batch(
 
     result.counters = stats.as_dict()
     return result
+
+
+def _run_batch_reachable_np(
+    spec: BatchScenarioSpec,
+    start: int,
+    count: int,
+    base: CompiledSchedule,
+    topo: Hypercube,
+    stats: BatchStats,
+    result: BatchResult,
+    tracer: Optional[Any],
+) -> None:
+    """Score a ``reachable``-policy shard as column vectors.
+
+    The omniscient intruder's capture unit is the index at which the
+    contaminated region empties — a property of the *translated* replay,
+    and the XOR automorphism maps any homebase's replay onto any
+    other's, so capture units, cumulative moves and unit counts are
+    homebase-invariant.  One :class:`ScenarioTimeline` therefore scores
+    every trial; what actually varies per trial is the drawn homebase
+    and the delay stretches, which :class:`~repro.fastpath.npkernels.
+    VectorMT19937` draws for all trials at once, word-for-word on each
+    trial's ``random.Random`` sub-stream.  Counters report the
+    scalar-equivalent accounting (a timeline "build" per distinct
+    homebase, a "reuse" per repeat) so both backends publish identical
+    statistics.
+    """
+    np = npkernels._require_np()
+    n = topo.n
+    vmt = npkernels.VectorMT19937(_trial_subseeds(spec, start, count))
+    # fixed draw order per trial sub-stream (see _run_batch): homebase,
+    # intruder seed, delay seed — the intruder seed is drawn to keep the
+    # stream aligned even though the reachable policy never uses it
+    if spec.rotate_homebase:
+        homes = vmt.randbelow(n)
+    else:
+        homes = np.zeros(count, dtype=np.int64)
+    vmt.getrandbits64()
+    delay_seeds = vmt.getrandbits64()
+
+    if tracer is not None:
+        with tracer.span("fastpath.timeline", homebase=base.homebase):
+            timeline = ScenarioTimeline(base, base.homebase, topo, stats=None)
+    else:
+        timeline = ScenarioTimeline(base, base.homebase, topo, stats=None)
+    distinct = int(len(np.unique(homes)))
+    stats.count("timelines_built", distinct)
+    if count > distinct:
+        stats.count("timelines_reused", count - distinct)
+
+    cap_index = timeline.reachable_capture_index()
+    caught = cap_index >= 0
+    moves_at = timeline.cum_moves[cap_index] if caught else len(base)
+    cap_unit = timeline.unit_times[cap_index] if caught else -1
+    units = len(timeline.unit_times)
+
+    if spec.delay == "random":
+        delay_vmt = npkernels.VectorMT19937(delay_seeds)
+        stretches = delay_vmt.randint_matrix(spec.delay_low, spec.delay_high, units)
+        walls = np.cumsum(stretches, axis=1)
+        durations = walls[:, -1].tolist() if units else [0] * count
+        cap_walls = walls[:, cap_index].tolist() if caught else [-1] * count
+    else:
+        shared = _stretches(spec, units, random.Random(0))  # rng unused
+        wall_list, duration = _wall_times(shared, units)
+        durations = [duration] * count
+        cap_walls = [wall_list[cap_index]] * count if caught else [-1] * count
+
+    result.homebases.extend(int(h) for h in homes)
+    result.captured.extend([caught] * count)
+    result.capture_units.extend([cap_unit] * count)
+    result.capture_walls.extend(cap_walls)
+    result.duration_walls.extend(durations)
+    result.moves_to_capture.extend([moves_at] * count)
+    stats.count("trials", count)
+    stats.count("captures" if caught else "escapes", count)

@@ -36,7 +36,7 @@ when no contaminated node remains (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.chunkstream import ScheduleChunk
 from repro.errors import (
@@ -47,7 +47,9 @@ from repro.errors import (
     SimulationError,
     VerificationError,
 )
+import repro.fastpath.npkernels as npkernels
 from repro.fastpath.compiled import CompiledSchedule
+from repro.fastpath.npkernels import KernelFallback, NPChunkVerifier
 from repro.topology.hypercube import Hypercube
 
 __all__ = ["BatchVerificationReport", "batch_verify", "batch_verify_chunks"]
@@ -411,11 +413,170 @@ class _ReplayState:
         )
 
 
+class _NPReplayAdapter:
+    """`_ReplayState`-shaped front for :class:`NPChunkVerifier`.
+
+    Presents the same ``feed``/``finish`` surface, so the two batch
+    entry points drive either backend through one code path.  The numpy
+    verifier only ever *commits* state the pure replay would accept
+    silently; the moment it declines a block (:class:`KernelFallback` —
+    which covers every malformed or invariant-violating schedule), this
+    adapter rebuilds a pure :class:`_ReplayState` from the committed
+    state and replays the declined rows through it, so verdicts,
+    violation strings and error messages (global move indices included)
+    are byte-identical to the pure backend.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        strategy: str,
+        homebase: int,
+        team: int,
+        topo: Hypercube,
+    ) -> None:
+        if topo.n != (1 << dimension):
+            raise ScheduleError(
+                f"topology has {topo.n} nodes but schedule is d={dimension}"
+            )
+        self.dimension = dimension
+        self.strategy = strategy
+        self.homebase = homebase
+        self.team = team
+        self.topo = topo
+        self._kernel: Optional[NPChunkVerifier] = NPChunkVerifier(
+            dimension, homebase, team
+        )
+        self._pure: Optional[_ReplayState] = None
+
+    def _demote(self) -> _ReplayState:
+        """Build the pure continuation state and replay the declined rows."""
+        kernel = self._kernel
+        assert kernel is not None
+        state = _ReplayState(
+            dimension=self.dimension,
+            strategy=self.strategy,
+            homebase=self.homebase,
+            uses_cloning=False,
+            team=self.team,
+            topo=self.topo,
+        )
+        export = kernel.export_pure_state()
+        state.guard_count = export["guard_count"]
+        state.in_region = export["in_region"]
+        state.contam_count = export["contam_count"]
+        state.region_size = export["region_size"]
+        state.position = export["position"]
+        state.clock = export["clock"]
+        state.moves_seen = export["moves_seen"]
+        # the committed prefix ends on a settled unit boundary: vacated is
+        # empty and the adjacent-extension invariant held throughout, so
+        # the incremental contiguity cache is a known True
+        state.unit_time = export["unit_time"]
+        pending = kernel.pending_rows()
+        self._pure = state
+        self._kernel = None
+        state.feed(*pending)
+        return state
+
+    def feed(
+        self,
+        times: Sequence[int],
+        agents: Sequence[int],
+        srcs: Sequence[int],
+        dsts: Sequence[int],
+    ) -> None:
+        if self._pure is not None:
+            self._pure.feed(times, agents, srcs, dsts)
+            return
+        assert self._kernel is not None
+        try:
+            self._kernel.feed(times, agents, srcs, dsts)
+        except KernelFallback:
+            self._demote()
+
+    def finish(
+        self,
+        declared_team_size: int,
+        agents_used: int,
+        total_moves: int,
+        makespan: int,
+    ) -> BatchVerificationReport:
+        if self._pure is None:
+            assert self._kernel is not None
+            try:
+                self._kernel.finish_tail()
+            except KernelFallback:
+                self._demote()
+        if self._pure is not None:
+            return self._pure.finish(
+                declared_team_size, agents_used, total_moves, makespan
+            )
+        kernel = self._kernel
+        assert kernel is not None
+        if declared_team_size and agents_used > declared_team_size:
+            raise ScheduleError(
+                f"{agents_used} agents appear in moves but "
+                f"team_size={declared_team_size}"
+            )
+        violations: List[str] = []
+        complete = kernel.region_size == kernel.n
+        if not complete:
+            remaining_count = kernel.n - kernel.region_size
+            violations.append(
+                f"{remaining_count} contaminated nodes remain: "
+                f"{kernel.contaminated_sample(8)}"
+            )
+        # defensive cross-check of the committed invariant: the region
+        # grew only by adjacent extension, so it must be connected — a
+        # frontier BFS on the packed plane (cheap, runs once per verdict)
+        contiguous = kernel.region_size == 0 or npkernels.plane_connected(
+            kernel.clean_plane, kernel.d, kernel.home
+        )
+        return BatchVerificationReport(
+            dimension=self.dimension,
+            strategy=self.strategy,
+            monotone=True,
+            contiguous=contiguous,
+            complete=complete,
+            intruder_captured=complete,
+            total_moves=total_moves,
+            makespan=makespan,
+            team_size=max(self.team, agents_used, 1),
+            violations=violations,
+        )
+
+
+_AnyReplay = Union[_ReplayState, _NPReplayAdapter]
+
+
+def _make_replay_state(
+    dimension: int,
+    strategy: str,
+    homebase: int,
+    uses_cloning: bool,
+    team: int,
+    topo: Hypercube,
+    backend: Optional[str],
+) -> _AnyReplay:
+    """Replay state for the resolved backend.
+
+    Cloning schedules always take the pure path: clone materialization
+    is mid-unit stateful in a way the segmented kernels do not model
+    (and cloning strategies are small — d≤8 in the catalogue).
+    """
+    resolved = npkernels.resolve_backend(backend)
+    if resolved == "numpy" and not uses_cloning:
+        return _NPReplayAdapter(dimension, strategy, homebase, team, topo)
+    return _ReplayState(dimension, strategy, homebase, uses_cloning, team, topo)
+
+
 def batch_verify(
     compiled: CompiledSchedule,
     topology: Optional[Hypercube] = None,
     *,
     tracer: Optional[object] = None,
+    backend: Optional[str] = None,
 ) -> BatchVerificationReport:
     """Replay ``compiled`` per time unit with O(1)-per-move kernels.
 
@@ -423,6 +584,13 @@ def batch_verify(
     context manager — this module must not import ``repro.obs``, lint
     rule ``RPR220``); when given, the replay runs under a
     ``fastpath.batch_verify`` span.
+
+    ``backend`` selects the kernel backend (``"numpy"`` / ``"pure"`` /
+    ``"auto"``; ``None`` reads ``$REPRO_KERNEL_BACKEND`` — see
+    :func:`repro.fastpath.npkernels.resolve_backend`).  Verdicts,
+    violation strings and error messages are byte-identical across
+    backends: the numpy path hands anything it cannot prove safe back
+    to the pure replay.
 
     The hot loop (see :meth:`_ReplayState.feed`) touches no Python
     objects beyond flat integer tables: guard counts, agent
@@ -450,24 +618,29 @@ def batch_verify(
             dimension=compiled.dimension,
             moves=compiled.total_moves,
         ) as span:
-            report = batch_verify(compiled, topology)
+            report = batch_verify(compiled, topology, backend=backend)
             span.attrs["ok"] = report.ok
             return report
     topo = topology or Hypercube(compiled.dimension)
-    state = _ReplayState(
+    state = _make_replay_state(
         dimension=compiled.dimension,
         strategy=compiled.strategy,
         homebase=compiled.homebase,
         uses_cloning=compiled.uses_cloning,
         team=max(compiled.team_size, compiled.stats.agents_used, 1),
         topo=topo,
+        backend=backend,
     )
-    state.feed(
-        compiled.times.tolist(),
-        compiled.agents.tolist(),
-        compiled.srcs.tolist(),
-        compiled.dsts.tolist(),
-    )
+    if isinstance(state, _NPReplayAdapter):
+        # the kernel consumes the int64 columns zero-copy
+        state.feed(compiled.times, compiled.agents, compiled.srcs, compiled.dsts)
+    else:
+        state.feed(
+            compiled.times.tolist(),
+            compiled.agents.tolist(),
+            compiled.srcs.tolist(),
+            compiled.dsts.tolist(),
+        )
     return state.finish(
         declared_team_size=compiled.team_size,
         agents_used=compiled.stats.agents_used,
@@ -481,6 +654,7 @@ def batch_verify_chunks(
     topology: Optional[Hypercube] = None,
     *,
     tracer: Optional[object] = None,
+    backend: Optional[str] = None,
 ) -> BatchVerificationReport:
     """Streaming :func:`batch_verify`: one chunk resident at a time.
 
@@ -493,8 +667,16 @@ def batch_verify_chunks(
     time unit; the unit is settled once a later time arrives, whichever
     chunk that lands in.  The verdict and every error message (global
     move indices included) are identical to feeding the concatenated
-    columns to :func:`batch_verify`; peak memory is the O(n) node
-    tables plus one chunk, never the move plane.
+    columns to :func:`batch_verify`.
+
+    Peak memory: the chunk stream itself is *not* what dominates — the
+    PR 9 measurements showed the O(n) per-node tables (guard counts,
+    region/contamination tables) overtake the one-chunk window from
+    d≈16 up, which is why the ``"numpy"`` backend packs the region into
+    ``uint64`` bit-planes and flat int64 tables (about 25 MiB of state
+    at d=20 versus hundreds of MiB of boxed-int lists).  Either way a
+    single resident chunk bounds the *stream's* contribution; the node
+    tables set the floor.
 
     The stream header must carry the exact team size (it seeds the
     homebase guards before the first move); the final chunk's aggregate
@@ -506,23 +688,24 @@ def batch_verify_chunks(
         with tracer.span(  # type: ignore[attr-defined]
             "fastpath.batch_verify_chunks"
         ) as span:
-            report = batch_verify_chunks(chunks, topology)
+            report = batch_verify_chunks(chunks, topology, backend=backend)
             span.attrs["dimension"] = report.dimension
             span.attrs["moves"] = report.total_moves
             span.attrs["ok"] = report.ok
             return report
-    state: Optional[_ReplayState] = None
+    state: Optional[_AnyReplay] = None
     last: Optional[ScheduleChunk] = None
     for chunk in chunks:
         if state is None:
             header = chunk.header
-            state = _ReplayState(
+            state = _make_replay_state(
                 dimension=header.dimension,
                 strategy=header.strategy,
                 homebase=header.homebase,
                 uses_cloning=header.uses_cloning,
                 team=max(header.team_size, 1),
                 topo=topology or Hypercube(header.dimension),
+                backend=backend,
             )
         state.feed(chunk.times, chunk.agents, chunk.srcs, chunk.dsts)
         if chunk.is_last:

@@ -1,0 +1,12 @@
+"""RPR250 pass fixture: the one sanctioned home of a numpy import.
+
+A file named ``npkernels.py`` inside a ``fastpath`` package is the
+kernel-backend seam itself, so its numpy import must not be flagged.
+"""
+
+import numpy as np
+
+
+def plane_popcount(plane):
+    """Count set bits across a packed bit-plane."""
+    return int(np.bitwise_count(plane).sum())

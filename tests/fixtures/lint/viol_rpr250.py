@@ -1,0 +1,8 @@
+"""RPR250 fixture: a module importing numpy outside the kernel seam."""
+
+import numpy as np
+
+
+def fast_popcount(values):
+    """Vectorized popcount (the direct numpy import is the violation)."""
+    return np.bitwise_count(np.asarray(values, dtype="uint64"))

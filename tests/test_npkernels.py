@@ -1,0 +1,412 @@
+"""Backend parity tests for the NumPy kernel backend.
+
+The ``numpy`` backend's one contract is *byte-identity*: same verdicts,
+same error indices and messages, same batch statistics as the pure
+kernels it accelerates.  Four layers of evidence:
+
+* **plane primitives** — pack/shift/spread/translate/popcount/connect
+  against brute-force set arithmetic on node lists;
+* **vectorized RNG** — :class:`VectorMT19937` row-for-row against
+  CPython's ``random.Random`` across twist boundaries, block rejection
+  windows and the array-seeding paths;
+* **verifier parity** — clean and deliberately corrupted schedules,
+  monolithic and chunked at randomized chunk sizes, all strategies up
+  to d=9: reports compare equal field-for-field;
+* **batch-engine parity** — ``run_batch`` payloads and
+  ``BatchResult.merge`` statistics shard-for-shard and merged-vs-merged
+  (serial-vs-merged counters differ *in the pure path too* — each shard
+  rebuilds its timelines — so that comparison would test the sharding,
+  not the backend).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategy import available_strategies, get_strategy
+from repro.errors import ScheduleError
+from repro.fastpath import (
+    BACKEND_ENV,
+    CompiledSchedule,
+    batch_verify,
+    batch_verify_chunks,
+    numpy_available,
+    resolve_backend,
+)
+from repro.fastpath.batchsim import BatchResult, BatchScenarioSpec, run_batch
+from repro.topology.hypercube import Hypercube
+
+np = pytest.importorskip("numpy")
+
+import repro.fastpath.npkernels as npk  # noqa: E402
+
+ALL_STRATEGIES = sorted(available_strategies())
+
+QUICK = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_COMPILED_CACHE = {}
+
+
+def compiled_for(name: str, d: int) -> CompiledSchedule:
+    """Memoized schedules so hypothesis reruns don't regenerate."""
+    key = (name, d)
+    if key not in _COMPILED_CACHE:
+        _COMPILED_CACHE[key] = CompiledSchedule.from_schedule(
+            get_strategy(name).generate(Hypercube(d))
+        )
+    return _COMPILED_CACHE[key]
+
+
+# --------------------------------------------------------------------- #
+# backend resolution
+# --------------------------------------------------------------------- #
+
+
+class TestResolveBackend:
+    def test_explicit_choices(self):
+        assert resolve_backend("pure") == "pure"
+        assert resolve_backend("numpy") == "numpy"
+        assert resolve_backend("auto") == "numpy"  # numpy importable here
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None) == "numpy"
+        monkeypatch.setenv(BACKEND_ENV, "pure")
+        assert resolve_backend(None) == "pure"
+        monkeypatch.setenv(BACKEND_ENV, "NumPy")  # case-insensitive
+        assert resolve_backend(None) == "numpy"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend("pure") == "pure"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ScheduleError, match="unknown kernel backend"):
+            resolve_backend("cuda")
+
+    def test_numpy_available(self):
+        assert numpy_available()
+
+
+# --------------------------------------------------------------------- #
+# packed bit-plane primitives vs. brute-force set arithmetic
+# --------------------------------------------------------------------- #
+
+
+node_sets = st.integers(min_value=2, max_value=8).flatmap(
+    lambda d: st.tuples(
+        st.just(d),
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << d) - 1),
+            unique=True,
+            max_size=1 << d,
+        ),
+    )
+)
+
+
+class TestPlanePrimitives:
+    @QUICK
+    @given(case=node_sets)
+    def test_pack_unpack_roundtrip(self, case):
+        d, nodes = case
+        n = 1 << d
+        plane = npk.pack_nodes(np.array(nodes, dtype=np.int64), n)
+        dense = npk.unpack_plane(plane, n)
+        assert sorted(np.nonzero(dense)[0].tolist()) == sorted(nodes)
+        assert npk.plane_popcount(plane) == len(nodes)
+
+    @QUICK
+    @given(case=node_sets, p=st.integers(min_value=0, max_value=7))
+    def test_shift_dim_is_xor_by_single_bit(self, case, p):
+        d, nodes = case
+        if p >= d:
+            p %= d
+        n = 1 << d
+        plane = npk.pack_nodes(np.array(nodes, dtype=np.int64), n)
+        shifted = npk.plane_shift_dim(plane, p)
+        expected = sorted(v ^ (1 << p) for v in nodes)
+        assert sorted(np.nonzero(npk.unpack_plane(shifted, n))[0].tolist()) == expected
+
+    @QUICK
+    @given(case=node_sets, xor=st.integers(min_value=0, max_value=255))
+    def test_translate_is_xor_automorphism(self, case, xor):
+        d, nodes = case
+        n = 1 << d
+        xor &= n - 1
+        plane = npk.pack_nodes(np.array(nodes, dtype=np.int64), n)
+        moved = npk.plane_translate(plane, xor, d)
+        expected = sorted(v ^ xor for v in nodes)
+        assert sorted(np.nonzero(npk.unpack_plane(moved, n))[0].tolist()) == expected
+
+    @QUICK
+    @given(case=node_sets)
+    def test_spread_is_neighbourhood_union(self, case):
+        d, nodes = case
+        n = 1 << d
+        plane = npk.pack_nodes(np.array(nodes, dtype=np.int64), n)
+        spread = npk.plane_spread(plane, d)
+        expected = sorted({v ^ (1 << p) for v in nodes for p in range(d)})
+        assert sorted(np.nonzero(npk.unpack_plane(spread, n))[0].tolist()) == expected
+
+    @QUICK
+    @given(case=node_sets, start=st.integers(min_value=0, max_value=255))
+    def test_connected_matches_bfs(self, case, start):
+        d, nodes = case
+        n = 1 << d
+        start &= n - 1
+        plane = npk.pack_nodes(np.array(nodes, dtype=np.int64), n)
+        expected = True
+        if nodes:
+            seen = {nodes[0]}
+            frontier = [nodes[0]]
+            members = set(nodes)
+            while frontier:
+                frontier = [
+                    w
+                    for v in frontier
+                    for p in range(d)
+                    if (w := v ^ (1 << p)) in members and w not in seen
+                    and not seen.add(w)
+                ]
+            expected = seen == members
+        assert npk.plane_connected(plane, d, start) == expected
+
+    @QUICK
+    @given(
+        d=st.integers(min_value=2, max_value=8),
+        masks=st.lists(st.integers(min_value=0), min_size=1, max_size=6),
+    )
+    def test_mask_matrix_roundtrip(self, d, masks):
+        n = 1 << d
+        masks = [m & ((1 << n) - 1) for m in masks]
+        matrix = npk.mask_list_to_matrix(masks, n)
+        assert npk.matrix_to_mask_list(matrix) == masks
+
+
+# --------------------------------------------------------------------- #
+# VectorMT19937 row-for-row against random.Random
+# --------------------------------------------------------------------- #
+
+
+class TestVectorMT19937:
+    @QUICK
+    @given(
+        seeds=st.lists(
+            st.integers(min_value=-(2**70), max_value=2**70),
+            min_size=1,
+            max_size=5,
+        ),
+        rounds=st.integers(min_value=1, max_value=30),
+    )
+    def test_mixed_draws_match_cpython(self, seeds, rounds):
+        vmt = npk.VectorMT19937(seeds)
+        refs = [random.Random(s) for s in seeds]
+        ops = random.Random(rounds * 1000 + len(seeds))
+        for _ in range(rounds):
+            op = ops.randrange(4)
+            if op == 0:
+                got = vmt.getrandbits32()
+                want = [r.getrandbits(32) for r in refs]
+            elif op == 1:
+                got = vmt.getrandbits64()
+                want = [r.getrandbits(64) for r in refs]
+            elif op == 2:
+                width = ops.choice([2, 3, 10, 777])
+                got = vmt.randbelow(width)
+                want = [r.randrange(width) for r in refs]
+            else:
+                count = ops.randrange(1, 8)
+                got = vmt.randint_matrix(1, 6, count)
+                want = [[r.randint(1, 6) for _ in range(count)] for r in refs]
+            assert np.asarray(got).tolist() == want
+
+    def test_draws_across_twist_boundary(self):
+        """624 words per row: long draws must cross the reload exactly
+        like the scalar generator does."""
+        seeds = [0, 1, 2005, 2**40 + 7]
+        vmt = npk.VectorMT19937(seeds)
+        refs = [random.Random(s) for s in seeds]
+        for _ in range(3):
+            got = vmt.randint_matrix(1, 3, 300)  # ~300+ words per row
+            want = [[r.randint(1, 3) for _ in range(300)] for r in refs]
+            assert got.tolist() == want
+
+    def test_rejection_divergence(self):
+        """``randbelow`` on a non-power-of-two width makes rows consume
+        different word counts; later draws must still match per row."""
+        seeds = list(range(40))
+        vmt = npk.VectorMT19937(seeds)
+        refs = [random.Random(s) for s in seeds]
+        for width in (3, 5, 6, 1000, 3):
+            got = vmt.randbelow(width)
+            assert got.tolist() == [r.randrange(width) for r in refs]
+        got = vmt.getrandbits64()
+        assert got.tolist() == [r.getrandbits(64) for r in refs]
+
+
+# --------------------------------------------------------------------- #
+# verifier parity: verdicts, error indices, error messages
+# --------------------------------------------------------------------- #
+
+
+class TestVerifierParity:
+    @QUICK
+    @given(
+        name=st.sampled_from(ALL_STRATEGIES),
+        d=st.integers(min_value=0, max_value=9),
+        chunk_moves=st.integers(min_value=1, max_value=5000),
+    )
+    def test_clean_schedules_all_strategies_d_le_9(self, name, d, chunk_moves):
+        compiled = compiled_for(name, d)
+        pure = batch_verify(compiled, backend="pure")
+        assert batch_verify(compiled, backend="numpy") == pure
+        assert (
+            batch_verify_chunks(compiled.iter_chunks(chunk_moves), backend="numpy")
+            == pure
+        )
+        assert pure.ok
+
+    @QUICK
+    @given(
+        name=st.sampled_from(ALL_STRATEGIES),
+        d=st.integers(min_value=2, max_value=6),
+        data=st.data(),
+    )
+    def test_corrupted_schedules_same_errors(self, name, d, data):
+        """Inject a violation and demand identical outcomes — a failing
+        report field-for-field, or the same :class:`ScheduleError` text
+        (malformed streams raise rather than report)."""
+
+        def outcome(fn):
+            try:
+                return ("report", fn())
+            except ScheduleError as exc:
+                return ("raise", str(exc))
+
+        base = compiled_for(name, d)
+        compiled = CompiledSchedule.from_bytes(base.to_bytes())
+        total = len(compiled.dsts)
+        idx = data.draw(st.integers(min_value=0, max_value=total - 1))
+        mode = data.draw(st.sampled_from(["teleport", "time_warp", "self_loop"]))
+        if mode == "teleport":
+            compiled.dsts[idx] = (compiled.dsts[idx] + 3) % (1 << d)
+        elif mode == "time_warp":
+            compiled.times[idx] = compiled.times[idx] + 50
+        else:
+            compiled.dsts[idx] = compiled.srcs[idx]
+        pure = outcome(lambda: batch_verify(compiled, backend="pure"))
+        fast = outcome(lambda: batch_verify(compiled, backend="numpy"))
+        assert fast == pure
+        # chunked-vs-monolithic wording differs in the pure path too
+        # ("chunk stream goes back in time" vs "move #k ..."), so the
+        # chunked comparison is chunked-pure vs chunked-numpy.
+        chunk_moves = data.draw(st.integers(min_value=1, max_value=total + 1))
+        chunked_pure = outcome(
+            lambda: batch_verify_chunks(
+                compiled.iter_chunks(chunk_moves), backend="pure"
+            )
+        )
+        chunked_fast = outcome(
+            lambda: batch_verify_chunks(
+                compiled.iter_chunks(chunk_moves), backend="numpy"
+            )
+        )
+        assert chunked_fast == chunked_pure
+
+    def test_env_selected_backend_same_verdict(self, monkeypatch):
+        compiled = compiled_for("visibility", 6)
+        monkeypatch.setenv(BACKEND_ENV, "pure")
+        pure = batch_verify(compiled)
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert batch_verify(compiled) == pure
+
+
+# --------------------------------------------------------------------- #
+# batch-engine parity: payloads, shards, merge statistics
+# --------------------------------------------------------------------- #
+
+
+def _spec(**overrides) -> BatchScenarioSpec:
+    base = dict(
+        dimension=6,
+        strategy="visibility",
+        trials=200,
+        intruder="reachable",
+        delay="random",
+        rotate_homebase=True,
+        rng_seed=2005,
+    )
+    base.update(overrides)
+    return BatchScenarioSpec(**base)
+
+
+class TestBatchEngineParity:
+    @pytest.mark.parametrize("delay", ["unit", "random", "adversarial"])
+    @pytest.mark.parametrize("rotate", [False, True])
+    def test_payload_identity_reachable(self, delay, rotate):
+        spec = _spec(delay=delay, rotate_homebase=rotate)
+        fast = run_batch(spec, backend="numpy")
+        pure = run_batch(spec, backend="pure")
+        assert fast.to_payload() == pure.to_payload()
+        assert fast.summary() == pure.summary()
+
+    @pytest.mark.parametrize("strategy", ["clean", "visibility"])
+    def test_payload_identity_across_strategies(self, strategy):
+        spec = _spec(strategy=strategy, trials=120)
+        assert (
+            run_batch(spec, backend="numpy").to_payload()
+            == run_batch(spec, backend="pure").to_payload()
+        )
+
+    @QUICK
+    @given(
+        trials=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**32),
+        cut=st.integers(min_value=0, max_value=59),
+    )
+    def test_sharded_windows_match_pure(self, trials, seed, cut):
+        """Shard-for-shard and merged-vs-merged parity.  (Merged-vs-
+        serial counters differ in the *pure* path too — each shard
+        rebuilds its timelines — so that axis is not a backend
+        property.)"""
+        spec = _spec(trials=trials, rng_seed=seed)
+        cut = min(cut, trials)
+        windows = [(0, cut), (cut, trials - cut)]
+        fast_parts, pure_parts = [], []
+        for start, count in windows:
+            if count == 0:
+                continue
+            fast = run_batch(spec, start=start, count=count, backend="numpy")
+            pure = run_batch(spec, start=start, count=count, backend="pure")
+            assert fast.to_payload() == pure.to_payload()
+            fast_parts.append(fast)
+            pure_parts.append(pure)
+        merged_fast = BatchResult.merge(fast_parts)
+        merged_pure = BatchResult.merge(pure_parts)
+        assert merged_fast.to_payload() == merged_pure.to_payload()
+        assert merged_fast.summary() == merged_pure.summary()
+
+    def test_env_selected_backend_same_payload(self, monkeypatch):
+        spec = _spec(trials=80)
+        monkeypatch.setenv(BACKEND_ENV, "pure")
+        pure = run_batch(spec)
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert run_batch(spec).to_payload() == pure.to_payload()
+
+    def test_non_reachable_policies_share_the_scalar_path(self):
+        """``inert``/walker policies have no vectorized fast path yet:
+        the numpy backend must fall through to the scalar engine and
+        stay byte-identical by construction."""
+        for intruder in ("inert", "walker"):
+            spec = _spec(intruder=intruder, trials=60, delay="unit")
+            assert (
+                run_batch(spec, backend="numpy").to_payload()
+                == run_batch(spec, backend="pure").to_payload()
+            )

@@ -170,6 +170,38 @@ class TestBoundedMemory:
         ceiling = 24 * chunk_moves * 6 * 8 + 64 * cube.n + 8 * 2**20
         assert peak < ceiling, f"peak {peak} exceeds O(chunk + n) ceiling {ceiling}"
 
+    def test_numpy_packed_plane_ceiling_at_d16(self):
+        """Regression pin for the packed-plane backend's node tables.
+
+        PR 9 showed the O(n) per-node tables — not the one-chunk stream
+        window — dominate the streaming verifier's peak from d≈16 up.
+        The ``numpy`` backend packs them into flat int64 tables and
+        ``uint64`` bit-planes; this pins that ceiling so a future change
+        quietly reintroducing boxed per-node state fails loudly.
+        Generation runs untraced (tracemalloc multiplies the pure-Python
+        producer's cost ~7x and its allocations are not under test).
+        """
+        from repro.fastpath import numpy_available
+
+        if not numpy_available():
+            pytest.skip("numpy backend unavailable")
+        strategy = get_strategy("clean")
+        cube = Hypercube(16)
+        chunk_moves = 4096
+        chunks = list(strategy.generate_chunks(cube, chunk_moves))
+        tracemalloc.start()
+        try:
+            report = batch_verify_chunks(iter(chunks), backend="numpy")
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert report.ok
+        assert report.total_moves > 800_000
+        # flat tables + packed planes are a handful of 8-byte words per
+        # node; a few chunk windows of six int64 columns; fixed slack.
+        ceiling = 8 * 8 * cube.n + 4 * chunk_moves * 6 * 8 + 8 * 2**20
+        assert peak < ceiling, f"peak {peak} exceeds packed-plane ceiling {ceiling}"
+
     def test_materialized_baseline_exceeds_streaming_peak(self):
         """Sanity for the ceiling above: actually materializing the d=12
         schedule costs more than the whole streaming verify at d=12."""
